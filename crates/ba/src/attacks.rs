@@ -1,0 +1,101 @@
+//! Byzantine behaviours against binary BA.
+
+use crate::ba::{V1, V2, V3};
+use aft_broadcast::Acast;
+use aft_sim::{Context, Instance, PartyId, Payload, SessionTag};
+use rand::Rng;
+
+/// A Byzantine party that broadcasts uniformly random votes in every phase
+/// of rounds `0..rounds` and sprays `Decide` claims for both values.
+///
+/// Vote validation at honest receivers caps its influence: its phase-2/3
+/// votes are accepted only when the honest vote distribution makes them
+/// plausible, so it can delay but not derail agreement — which is exactly
+/// what the agreement tests assert.
+pub struct RandomVoter {
+    rounds: u64,
+}
+
+impl RandomVoter {
+    /// Creates the attacker, active for the first `rounds` rounds.
+    pub fn new(rounds: u64) -> Self {
+        RandomVoter { rounds }
+    }
+}
+
+/// Mirror of the BA's private `DecideMsg`; field layout compatibility is
+/// irrelevant because honest parties match on their own type — this simply
+/// exercises the type-confusion path too.
+#[derive(Debug, Clone, Copy)]
+struct FakeDecide;
+
+impl Instance for RandomVoter {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let n = ctx.n();
+        let me = ctx.me();
+        for r in 0..self.rounds {
+            let idx = r * n as u64 + me.0 as u64;
+            let b1: bool = ctx.rng().gen();
+            let b2: bool = ctx.rng().gen();
+            let d: Option<bool> = match ctx.rng().gen_range(0..3) {
+                0 => Some(true),
+                1 => Some(false),
+                _ => None,
+            };
+            ctx.spawn(
+                SessionTag::new("bav1", idx),
+                Box::new(Acast::sender(me, V1(b1))),
+            );
+            ctx.spawn(
+                SessionTag::new("bav2", idx),
+                Box::new(Acast::sender(me, V2(b2))),
+            );
+            ctx.spawn(
+                SessionTag::new("bav3", idx),
+                Box::new(Acast::sender(me, V3(d))),
+            );
+        }
+        ctx.send_all(FakeDecide);
+    }
+
+    fn on_message(&mut self, _from: PartyId, _payload: &Payload, _ctx: &mut Context<'_>) {}
+}
+
+/// A Byzantine party that tries to push a fixed value `target`: it votes
+/// `target` in every phase regardless of its input or the honest
+/// distribution.
+pub struct FixedVoter {
+    target: bool,
+    rounds: u64,
+}
+
+impl FixedVoter {
+    /// Creates the attacker pushing `target` for `rounds` rounds.
+    pub fn new(target: bool, rounds: u64) -> Self {
+        FixedVoter { target, rounds }
+    }
+}
+
+impl Instance for FixedVoter {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let n = ctx.n();
+        let me = ctx.me();
+        for r in 0..self.rounds {
+            let idx = r * n as u64 + me.0 as u64;
+            ctx.spawn(
+                SessionTag::new("bav1", idx),
+                Box::new(Acast::sender(me, V1(self.target))),
+            );
+            ctx.spawn(
+                SessionTag::new("bav2", idx),
+                Box::new(Acast::sender(me, V2(self.target))),
+            );
+            ctx.spawn(
+                SessionTag::new("bav3", idx),
+                Box::new(Acast::sender(me, V3(Some(self.target)))),
+            );
+        }
+    }
+
+    fn on_message(&mut self, _from: PartyId, _payload: &Payload, _ctx: &mut Context<'_>) {}
+}

@@ -1,0 +1,416 @@
+//! Binary Byzantine agreement (Definition 3.3), after Bracha'87's
+//! three-step validated-voting rounds with a pluggable common coin.
+
+use crate::coin::{Coin, CoinSource};
+use aft_broadcast::Acast;
+use aft_sim::{Context, Instance, PartyId, Payload, SessionTag};
+use std::collections::{HashMap, HashSet};
+
+/// Phase-1 vote value (A-Cast payload/output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct V1(pub bool);
+/// Phase-2 vote value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct V2(pub bool);
+/// Phase-3 vote value; `None` is the "no candidate" (⊥) vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct V3(pub Option<bool>);
+
+/// Direct (non-broadcast) termination-gadget message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DecideMsg(bool);
+
+/// Session tag kinds for per-round vote broadcasts (index packs
+/// `round * n + voter`).
+const V1_TAG: &str = "bav1";
+/// Phase-2 tag kind.
+const V2_TAG: &str = "bav2";
+/// Phase-3 tag kind.
+const V3_TAG: &str = "bav3";
+/// Coin child tag kind (index = round).
+const COIN_TAG: &str = "bacoin";
+
+/// Hard cap on rounds — almost-sure termination makes hitting this
+/// practically impossible; it converts a liveness bug into a loud panic.
+const MAX_ROUNDS: u64 = 10_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PhaseState {
+    /// Sent my phase-1 vote, waiting for n−t accepted phase-1 votes.
+    Await1,
+    /// Sent phase-2, waiting for n−t accepted phase-2 votes.
+    Await2,
+    /// Sent phase-3, waiting for n−t accepted phase-3 votes.
+    Await3,
+    /// Waiting for an asynchronous coin protocol.
+    AwaitCoin,
+}
+
+#[derive(Default)]
+struct RoundVotes {
+    v1: HashMap<PartyId, bool>,
+    v2: HashMap<PartyId, bool>,
+    v3: HashMap<PartyId, Option<bool>>,
+    /// Votes delivered but not yet validated.
+    pending2: Vec<(PartyId, bool)>,
+    pending3: Vec<(PartyId, Option<bool>)>,
+    /// Whether my own phase-2 / phase-3 votes were broadcast.
+    sent2: bool,
+    sent3: bool,
+    /// Whether the round's coin was already requested. The coin is flipped
+    /// EVERY round by EVERY party — even parties that decide without
+    /// consulting it — because a protocol coin (the SVSS-based weak coin)
+    /// only terminates when all honest parties participate.
+    coin_requested: bool,
+}
+
+/// One party's binary Byzantine agreement instance.
+///
+/// Structure per round (all vote messages via [`Acast`], which pins
+/// Byzantine voters to a single value per broadcast):
+///
+/// 1. broadcast `V1(est)`; await `n−t` accepted phase-1 votes, set
+///    `est₁ :=` their majority;
+/// 2. broadcast `V2(est₁)` — accepted at a receiver only once `t+1` of its
+///    accepted phase-1 votes support the value; await `n−t` accepted, set
+///    the candidate `d := Some(w)` if `2t+1` accepted phase-2 votes carry
+///    `w`, else `d := None`;
+/// 3. broadcast `V3(d)` — `Some(w)` accepted only with `2t+1` accepted
+///    phase-2 `w`-votes, `None` only if both values appear among accepted
+///    phase-2 votes; await `n−t` accepted: `2t+1 × Some(w)` ⇒ **decide
+///    `w`**, `t+1 × Some(w)` ⇒ `est := w`, otherwise `est :=` coin.
+///
+/// The validation rules make a unanimous round decide *deterministically*
+/// (Byzantine counter-votes fail validation), which yields the Validity
+/// property outright; agreement is threshold arithmetic (see the test
+/// suite); and termination is almost-sure because every round that flips
+/// the common coin onto the locked value ends in unanimity.
+///
+/// Deciding parties keep participating until a Bracha-style termination
+/// gadget (`Decide` at `t+1` → relay, `2t+1` → halt) lets everyone stop,
+/// which gives Definition 3.3's "if some nonfaulty party completes, all
+/// do".
+pub struct BinaryBa {
+    input: bool,
+    est: bool,
+    round: u64,
+    state: PhaseState,
+    rounds: HashMap<u64, RoundVotes>,
+    coin: Box<dyn CoinSource>,
+    decided: Option<bool>,
+    decide_sent: bool,
+    decide_votes: HashMap<bool, HashSet<PartyId>>,
+    halted: bool,
+    output_done: bool,
+}
+
+impl BinaryBa {
+    /// Creates the instance with this party's `input` bit and a coin
+    /// source.
+    pub fn new(input: bool, coin: Box<dyn CoinSource>) -> Self {
+        BinaryBa {
+            input,
+            est: input,
+            round: 0,
+            state: PhaseState::Await1,
+            rounds: HashMap::new(),
+            coin,
+            decided: None,
+            decide_sent: false,
+            decide_votes: HashMap::new(),
+            halted: false,
+            output_done: false,
+        }
+    }
+
+    /// Number of rounds executed so far (diagnostics / experiments).
+    pub fn rounds_run(&self) -> u64 {
+        self.round
+    }
+
+    fn vote_tag(kind: &'static str, round: u64, voter: PartyId, n: usize) -> SessionTag {
+        SessionTag::new(kind, round * n as u64 + voter.0 as u64)
+    }
+
+    /// Enters `round`: spawn receivers for everyone's three vote
+    /// broadcasts and the sender for my phase-1 vote.
+    fn start_round(&mut self, ctx: &mut Context<'_>) {
+        if self.halted {
+            return;
+        }
+        assert!(self.round < MAX_ROUNDS, "BA liveness failure: round cap hit");
+        let n = ctx.n();
+        let me = ctx.me();
+        let r = self.round;
+        self.state = PhaseState::Await1;
+        self.rounds.entry(r).or_default();
+        for p in ctx.parties().collect::<Vec<_>>() {
+            if p != me {
+                ctx.spawn(
+                    Self::vote_tag(V1_TAG, r, p, n),
+                    Box::new(Acast::<V1>::receiver(p)),
+                );
+                ctx.spawn(
+                    Self::vote_tag(V2_TAG, r, p, n),
+                    Box::new(Acast::<V2>::receiver(p)),
+                );
+                ctx.spawn(
+                    Self::vote_tag(V3_TAG, r, p, n),
+                    Box::new(Acast::<V3>::receiver(p)),
+                );
+            }
+        }
+        ctx.spawn(
+            Self::vote_tag(V1_TAG, r, me, n),
+            Box::new(Acast::sender(me, V1(self.est))),
+        );
+        self.advance(ctx);
+    }
+
+    /// Validation + phase-progression fixpoint for the current round.
+    fn advance(&mut self, ctx: &mut Context<'_>) {
+        if self.halted {
+            return;
+        }
+        let n = ctx.n();
+        let t = ctx.t();
+        let me = ctx.me();
+        loop {
+            let r = self.round;
+            let votes = self.rounds.entry(r).or_default();
+
+            // Validate pending phase-2 votes: value w needs t+1 accepted
+            // phase-1 votes for w.
+            let mut progressed = false;
+            let mut i = 0;
+            while i < votes.pending2.len() {
+                let (voter, w) = votes.pending2[i];
+                let support = votes.v1.values().filter(|&&v| v == w).count();
+                if support >= t + 1 {
+                    votes.pending2.swap_remove(i);
+                    votes.v2.entry(voter).or_insert(w);
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            // Validate pending phase-3 votes.
+            let mut i = 0;
+            while i < votes.pending3.len() {
+                let (voter, d) = votes.pending3[i];
+                let ok = match d {
+                    Some(w) => votes.v2.values().filter(|&&v| v == w).count() >= n - t,
+                    None => {
+                        votes.v2.values().any(|&v| v)
+                            && votes.v2.values().any(|&v| !v)
+                    }
+                };
+                if ok {
+                    votes.pending3.swap_remove(i);
+                    votes.v3.entry(voter).or_insert(d);
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+
+            match self.state {
+                PhaseState::Await1 => {
+                    let votes = self.rounds.entry(r).or_default();
+                    if votes.v1.len() >= n - t && !votes.sent2 {
+                        votes.sent2 = true;
+                        let trues = votes.v1.values().filter(|&&v| v).count();
+                        let falses = votes.v1.len() - trues;
+                        let maj = match trues.cmp(&falses) {
+                            std::cmp::Ordering::Greater => true,
+                            std::cmp::Ordering::Less => false,
+                            std::cmp::Ordering::Equal => self.est,
+                        };
+                        self.state = PhaseState::Await2;
+                        ctx.spawn(
+                            Self::vote_tag(V2_TAG, r, me, n),
+                            Box::new(Acast::sender(me, V2(maj))),
+                        );
+                        continue;
+                    }
+                }
+                PhaseState::Await2 => {
+                    let votes = self.rounds.entry(r).or_default();
+                    if votes.v2.len() >= n - t && !votes.sent3 {
+                        votes.sent3 = true;
+                        let cand = [true, false]
+                            .into_iter()
+                            .find(|&w| votes.v2.values().filter(|&&v| v == w).count() >= n - t);
+                        self.state = PhaseState::Await3;
+                        ctx.spawn(
+                            Self::vote_tag(V3_TAG, r, me, n),
+                            Box::new(Acast::sender(me, V3(cand))),
+                        );
+                        continue;
+                    }
+                }
+                PhaseState::Await3 => {
+                    let votes = self.rounds.entry(r).or_default();
+                    if votes.v3.len() >= n - t && !votes.coin_requested {
+                        votes.coin_requested = true;
+                        // Flip the coin unconditionally (see RoundVotes::
+                        // coin_requested); the decision logic runs when the
+                        // value is available.
+                        match self.coin.flip(r, ctx) {
+                            Coin::Immediate(b) => {
+                                self.finish_round(b, ctx);
+                                return;
+                            }
+                            Coin::Protocol(inst) => {
+                                self.state = PhaseState::AwaitCoin;
+                                ctx.spawn(SessionTag::new(COIN_TAG, r), inst);
+                                return;
+                            }
+                        }
+                    }
+                }
+                PhaseState::AwaitCoin => {}
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// End-of-round transition, once the round's coin value is known:
+    /// `2t+1 × Some(w)` ⇒ decide `w`; `t+1 × Some(w)` ⇒ `est := w`;
+    /// otherwise `est :=` coin. At most one value can hold phase-3
+    /// candidates (both would need `2t+1` accepted phase-2 votes each,
+    /// more than `n` in total), so the winner is unambiguous.
+    fn finish_round(&mut self, coin_value: bool, ctx: &mut Context<'_>) {
+        let (n, t) = (ctx.n(), ctx.t());
+        let votes = self.rounds.entry(self.round).or_default();
+        let cand_count =
+            |w: bool| votes.v3.values().filter(|&&d| d == Some(w)).count();
+        let winner = [true, false].into_iter().find(|&w| cand_count(w) > 0);
+        if let Some(w) = winner {
+            let count = cand_count(w);
+            if count >= n - t {
+                self.decide(w, ctx);
+                self.est = w;
+                self.next_round(ctx);
+                return;
+            } else if count >= t + 1 {
+                self.est = w;
+                self.next_round(ctx);
+                return;
+            }
+        }
+        self.est = coin_value;
+        self.next_round(ctx);
+    }
+
+    fn next_round(&mut self, ctx: &mut Context<'_>) {
+        // Old rounds' votes stay around (A-Cast stragglers still route),
+        // but are no longer consulted.
+        self.round += 1;
+        self.start_round(ctx);
+    }
+
+    fn decide(&mut self, v: bool, ctx: &mut Context<'_>) {
+        if let Some(prev) = self.decided {
+            assert_eq!(prev, v, "BA decided two different values — safety bug");
+            return;
+        }
+        self.decided = Some(v);
+        if !self.output_done {
+            self.output_done = true;
+            ctx.output(v);
+        }
+        if !self.decide_sent {
+            self.decide_sent = true;
+            ctx.send_all(DecideMsg(v));
+        }
+    }
+
+    fn on_decide_msg(&mut self, from: PartyId, v: bool, ctx: &mut Context<'_>) {
+        if self.halted {
+            return;
+        }
+        let (n, t) = (ctx.n(), ctx.t());
+        let set = self.decide_votes.entry(v).or_default();
+        if !set.insert(from) {
+            return;
+        }
+        let count = set.len();
+        if count >= t + 1 {
+            // At least one honest party decided v: adopt and relay.
+            self.est = v;
+            if !self.decide_sent {
+                self.decide_sent = true;
+                self.decided.get_or_insert(v);
+                if !self.output_done {
+                    self.output_done = true;
+                    ctx.output(v);
+                }
+                ctx.send_all(DecideMsg(v));
+            }
+        }
+        if count >= n - t {
+            self.halted = true;
+            if !self.output_done {
+                self.output_done = true;
+                ctx.output(v);
+            }
+        }
+    }
+}
+
+impl Instance for BinaryBa {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.est = self.input;
+        self.start_round(ctx);
+    }
+
+    fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
+        if self.halted {
+            return;
+        }
+        if let Some(DecideMsg(v)) = payload.downcast_ref::<DecideMsg>() {
+            self.on_decide_msg(from, *v, ctx);
+        }
+    }
+
+    fn on_child_output(&mut self, child: &SessionTag, output: &Payload, ctx: &mut Context<'_>) {
+        if self.halted {
+            return;
+        }
+        let n = ctx.n();
+        let round = child.index / n as u64;
+        let voter = PartyId((child.index % n as u64) as usize);
+        match child.kind {
+            V1_TAG => {
+                if let Some(V1(v)) = output.downcast_ref::<V1>() {
+                    self.rounds.entry(round).or_default().v1.entry(voter).or_insert(*v);
+                }
+            }
+            V2_TAG => {
+                if let Some(V2(v)) = output.downcast_ref::<V2>() {
+                    self.rounds.entry(round).or_default().pending2.push((voter, *v));
+                }
+            }
+            V3_TAG => {
+                if let Some(V3(d)) = output.downcast_ref::<V3>() {
+                    self.rounds.entry(round).or_default().pending3.push((voter, *d));
+                }
+            }
+            COIN_TAG => {
+                if child.index == self.round && self.state == PhaseState::AwaitCoin {
+                    if let Some(&b) = output.downcast_ref::<bool>() {
+                        self.finish_round(b, ctx);
+                        return;
+                    }
+                }
+            }
+            _ => return,
+        }
+        if round == self.round {
+            self.advance(ctx);
+        }
+    }
+}

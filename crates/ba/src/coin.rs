@@ -1,0 +1,330 @@
+//! Common-coin sources for binary Byzantine agreement.
+//!
+//! The BA protocol (Definition 3.3) is *safe* with any coin — agreement and
+//! validity never depend on coin quality — but its expected round count
+//! does. The three sources span the design space the paper discusses:
+//!
+//! * [`LocalCoin`] — Ben-Or'83: private fair coins. Almost-surely
+//!   terminating, exponential expected rounds (the baseline of
+//!   experiment E8).
+//! * [`OracleCoin`] — an ideal common-coin functionality (every party
+//!   derives the same pseudo-random bit from the round number). Used for
+//!   ablations and fast tests; not a real protocol.
+//! * [`WeakSharedCoin`] — an SVSS-based weak coin in the spirit of the
+//!   paper's reference [2] (Abraham–Dolev–Halpern'08): every party deals a
+//!   hidden random bit, parties gather `n − t` completed dealings,
+//!   exchange gather sets and output the parity of the union they adopt.
+//!   Parties may disagree on the output (that is what makes it *weak*),
+//!   but it is common-and-uniform often enough to make BA terminate in
+//!   expected O(1) rounds under the schedulers of `aft-sim`.
+
+use aft_field::Fp;
+use aft_sim::{Context, Instance, PartyId, Payload, SessionTag};
+use aft_svss::{ShareBundle, SvssRec, SvssShare};
+use rand::Rng;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// What a [`CoinSource`] produces for a given round.
+pub enum Coin {
+    /// The coin value is immediately available locally.
+    Immediate(bool),
+    /// A protocol instance must be spawned; it outputs a `bool`.
+    Protocol(Box<dyn Instance>),
+}
+
+/// A per-round coin supplier for binary BA.
+pub trait CoinSource: Send {
+    /// Produces the round-`round` coin (value or protocol).
+    fn flip(&mut self, round: u64, ctx: &mut Context<'_>) -> Coin;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Ben-Or's private coin: each party flips locally. Unbiased but
+/// uncorrelated across parties — agreement of all honest coins happens
+/// with probability `2^-(h-1)` per round, so expected round counts grow
+/// exponentially with `n`. The classic baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalCoin;
+
+impl CoinSource for LocalCoin {
+    fn flip(&mut self, _round: u64, ctx: &mut Context<'_>) -> Coin {
+        Coin::Immediate(ctx.rng().gen())
+    }
+    fn name(&self) -> &'static str {
+        "local"
+    }
+}
+
+/// An ideal common coin: all parties derive the same unbiased bit from
+/// `(salt, round)` via an integer hash. Models a perfect coin
+/// functionality for tests and ablations (experiment E9); it is *not* a
+/// distributed protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleCoin {
+    salt: u64,
+}
+
+impl OracleCoin {
+    /// Creates the oracle with a shared salt (all parties must use the same
+    /// salt for the coin to be common).
+    pub fn new(salt: u64) -> Self {
+        OracleCoin { salt }
+    }
+}
+
+/// SplitMix64 finalizer — a well-distributed integer hash.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl CoinSource for OracleCoin {
+    fn flip(&mut self, round: u64, _ctx: &mut Context<'_>) -> Coin {
+        Coin::Immediate(mix(self.salt ^ mix(round)) & 1 == 1)
+    }
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+}
+
+/// Factory for the SVSS-based weak shared coin: each flip spawns a
+/// [`WeakCoinInstance`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WeakSharedCoin;
+
+impl CoinSource for WeakSharedCoin {
+    fn flip(&mut self, _round: u64, _ctx: &mut Context<'_>) -> Coin {
+        Coin::Protocol(Box::new(WeakCoinInstance::new()))
+    }
+    fn name(&self) -> &'static str {
+        "weak-shared"
+    }
+}
+
+/// Messages of the weak shared coin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum WeakCoinMsg {
+    /// "These n − t dealers' share phases completed for me."
+    Gather(BTreeSet<usize>),
+}
+
+/// Session tag kinds for the weak coin's children.
+const WSHARE_TAG: &str = "wc-share";
+const WREC_TAG: &str = "wc-rec";
+
+/// One execution of the SVSS-based weak common coin (one instance per BA
+/// round, spawned by the BA through [`WeakSharedCoin`]).
+///
+/// Protocol: every party deals an SVSS of a uniformly random bit; on
+/// completing `n − t` dealings it broadcasts its *gather set*; having
+/// received `n − t` gather sets it reconstructs every dealer in their
+/// union and outputs the parity of the sum of reconstructed values.
+///
+/// Output commonality is *not* guaranteed (parties may adopt different
+/// unions) — this is exactly the weak coin/strong coin gap the paper's
+/// Section 3 closes. Unbiasedness-in-the-common-case comes from every
+/// union containing at least one honest dealer whose bit is hidden until
+/// the unions are fixed.
+pub struct WeakCoinInstance {
+    bundles: HashMap<usize, ShareBundle>,
+    gather_sent: bool,
+    gathers: HashMap<PartyId, BTreeSet<usize>>,
+    /// The adopted union, fixed once n − t gather sets arrived.
+    union: Option<BTreeSet<usize>>,
+    /// Dealers in the union whose reconstruction has been spawned.
+    rec_spawned: HashSet<usize>,
+    rec_values: HashMap<usize, Fp>,
+    done: bool,
+}
+
+impl WeakCoinInstance {
+    /// Creates the instance.
+    pub fn new() -> Self {
+        WeakCoinInstance {
+            bundles: HashMap::new(),
+            gather_sent: false,
+            gathers: HashMap::new(),
+            union: None,
+            rec_spawned: HashSet::new(),
+            rec_values: HashMap::new(),
+            done: false,
+        }
+    }
+
+    fn try_progress(&mut self, ctx: &mut Context<'_>) {
+        let (n, t) = (ctx.n(), ctx.t());
+        if !self.gather_sent && self.bundles.len() >= n - t {
+            self.gather_sent = true;
+            let set: BTreeSet<usize> = self.bundles.keys().copied().collect();
+            ctx.send_all(WeakCoinMsg::Gather(set));
+        }
+        if self.union.is_none() && self.gathers.len() >= n - t {
+            let mut u = BTreeSet::new();
+            for set in self.gathers.values() {
+                u.extend(set.iter().copied());
+            }
+            self.union = Some(u);
+        }
+        // Once my own gather set is fixed, participate in the
+        // reconstruction of EVERY completed dealing — not only my union's.
+        // Parties may adopt different unions (that is what makes the coin
+        // weak), so a dealer can be in a peer's union but not mine; if only
+        // union members reconstructed, such dealings would lack the 2t+1
+        // honest participants reconstruction needs and the peer would stall
+        // forever. Universal participation keeps every reconstruction live;
+        // my union only gates my own output.
+        if self.gather_sent {
+            let mut available: Vec<usize> = self
+                .bundles
+                .keys()
+                .copied()
+                .filter(|d| !self.rec_spawned.contains(d))
+                .collect();
+            // Sorted: spawn order must not depend on HashMap iteration
+            // order, or deterministic replay breaks.
+            available.sort_unstable();
+            for dealer in available {
+                self.rec_spawned.insert(dealer);
+                let bundle = self.bundles[&dealer].clone();
+                ctx.spawn(
+                    SessionTag::new(WREC_TAG, dealer as u64),
+                    Box::new(SvssRec::new(bundle)),
+                );
+            }
+        }
+        if let Some(union) = self.union.clone() {
+            if !self.done && union.iter().all(|d| self.rec_values.contains_key(d)) {
+                self.done = true;
+                let sum: Fp = union.iter().map(|d| self.rec_values[d]).sum();
+                ctx.output(sum.value() & 1 == 1);
+            }
+        }
+    }
+}
+
+impl Default for WeakCoinInstance {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Instance for WeakCoinInstance {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let me = ctx.me();
+        let bit = Fp::from(ctx.rng().gen::<bool>());
+        for d in ctx.parties().collect::<Vec<_>>() {
+            let inst: Box<dyn Instance> = if d == me {
+                Box::new(SvssShare::dealer(me, bit))
+            } else {
+                Box::new(SvssShare::party(d))
+            };
+            ctx.spawn(SessionTag::new(WSHARE_TAG, d.0 as u64), inst);
+        }
+    }
+
+    fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
+        let Some(WeakCoinMsg::Gather(set)) = payload.downcast_ref::<WeakCoinMsg>() else {
+            return;
+        };
+        let (n, t) = (ctx.n(), ctx.t());
+        if set.len() < n - t || set.iter().any(|&d| d >= n) {
+            return; // malformed gather
+        }
+        if self.gathers.contains_key(&from) {
+            return;
+        }
+        self.gathers.insert(from, set.clone());
+        self.try_progress(ctx);
+    }
+
+    fn on_child_output(&mut self, child: &SessionTag, output: &Payload, ctx: &mut Context<'_>) {
+        match child.kind {
+            WSHARE_TAG => {
+                if let Some(bundle) = output.downcast_ref::<ShareBundle>() {
+                    self.bundles.insert(child.index as usize, bundle.clone());
+                    self.try_progress(ctx);
+                }
+            }
+            WREC_TAG => {
+                if let Some(v) = output.downcast_ref::<Fp>() {
+                    self.rec_values.insert(child.index as usize, *v);
+                    self.try_progress(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aft_sim::{scheduler_by_name, NetConfig, SessionId, SimNetwork};
+
+    #[test]
+    fn oracle_coin_is_common_and_roughly_fair() {
+        // Same salt ⇒ same bits; distribution roughly balanced.
+        let mut a = OracleCoin::new(7);
+        let mut ones = 0;
+        let mut net = SimNetwork::new(NetConfig::new(4, 1, 0), scheduler_by_name("fifo").unwrap());
+        // A context is needed only for the trait signature; oracle ignores it.
+        let _ = &mut net;
+        // Count bits through the raw mix function to avoid a context.
+        for round in 0..1000u64 {
+            if mix(7 ^ mix(round)) & 1 == 1 {
+                ones += 1;
+            }
+        }
+        assert!((350..650).contains(&ones), "ones={ones}");
+        assert_eq!(a.name(), "oracle");
+        let _ = &mut a;
+    }
+
+    #[test]
+    fn weak_coin_standalone_terminates_and_is_boolean() {
+        for seed in 0..5u64 {
+            let (n, t) = (4usize, 1usize);
+            let mut net =
+                SimNetwork::new(NetConfig::new(n, t, seed), scheduler_by_name("random").unwrap());
+            let sid = SessionId::root().child(SessionTag::new("wcoin", 0));
+            for p in 0..n {
+                net.spawn(PartyId(p), sid.clone(), Box::new(WeakCoinInstance::new()));
+            }
+            let report = net.run(10_000_000);
+            assert_eq!(report.stop, aft_sim::StopReason::Quiescent, "seed={seed}");
+            for p in 0..n {
+                assert!(
+                    net.output_as::<bool>(PartyId(p), &sid).is_some(),
+                    "seed={seed} p={p} no coin output"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weak_coin_often_agrees_under_random_scheduling() {
+        let mut agree = 0;
+        let trials = 10;
+        for seed in 0..trials {
+            let (n, t) = (4usize, 1usize);
+            let mut net =
+                SimNetwork::new(NetConfig::new(n, t, seed), scheduler_by_name("random").unwrap());
+            let sid = SessionId::root().child(SessionTag::new("wcoin", 0));
+            for p in 0..n {
+                net.spawn(PartyId(p), sid.clone(), Box::new(WeakCoinInstance::new()));
+            }
+            net.run(10_000_000);
+            let vals: Vec<bool> = (0..n)
+                .filter_map(|p| net.output_as::<bool>(PartyId(p), &sid).copied())
+                .collect();
+            if vals.len() == n && vals.windows(2).all(|w| w[0] == w[1]) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= trials / 2, "agreement too rare: {agree}/{trials}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Definition 3.3 properties of binary BA: termination, validity,
+//! correctness — across coin sources, schedulers, and adversaries.
+
+use aft_ba::attacks::{FixedVoter, RandomVoter};
+use aft_ba::{BinaryBa, CoinSource, LocalCoin, OracleCoin, WeakSharedCoin};
+use aft_sim::{
+    scheduler_by_name, Instance, NetConfig, PartyId, SessionId, SessionTag, SilentInstance,
+    SimNetwork, StopReason,
+};
+
+fn sid() -> SessionId {
+    SessionId::root().child(SessionTag::new("ba", 0))
+}
+
+fn coin_by_name(name: &str, salt: u64) -> Box<dyn CoinSource> {
+    match name {
+        "local" => Box::new(LocalCoin),
+        "oracle" => Box::new(OracleCoin::new(salt)),
+        "weak-shared" => Box::new(WeakSharedCoin),
+        other => panic!("unknown coin {other}"),
+    }
+}
+
+/// Runs BA with the given per-party instances; returns the network.
+fn run_ba(
+    n: usize,
+    t: usize,
+    seed: u64,
+    sched: &str,
+    mk: impl Fn(usize) -> Box<dyn Instance>,
+) -> SimNetwork {
+    let mut net = SimNetwork::new(NetConfig::new(n, t, seed), scheduler_by_name(sched).unwrap());
+    for p in 0..n {
+        net.spawn(PartyId(p), sid(), mk(p));
+    }
+    let report = net.run(50_000_000);
+    assert_eq!(report.stop, StopReason::Quiescent, "BA must reach quiescence");
+    net
+}
+
+fn honest_outputs(net: &SimNetwork, honest: &[usize]) -> Vec<bool> {
+    honest
+        .iter()
+        .filter_map(|&p| net.output_as::<bool>(PartyId(p), &sid()).copied())
+        .collect()
+}
+
+#[test]
+fn validity_unanimous_inputs_decide_that_value() {
+    for coin in ["local", "oracle", "weak-shared"] {
+        for input in [true, false] {
+            let net = run_ba(4, 1, 7, "random", |_| {
+                Box::new(BinaryBa::new(input, coin_by_name(coin, 5)))
+            });
+            for p in 0..4 {
+                assert_eq!(
+                    net.output_as::<bool>(PartyId(p), &sid()),
+                    Some(&input),
+                    "coin={coin} input={input} p={p}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn agreement_split_inputs_all_schedulers() {
+    for sched in ["fifo", "random", "lifo", "window4"] {
+        for seed in 0..10u64 {
+            let net = run_ba(4, 1, seed, sched, |p| {
+                Box::new(BinaryBa::new(p % 2 == 0, Box::new(OracleCoin::new(seed))))
+            });
+            let outs = honest_outputs(&net, &[0, 1, 2, 3]);
+            assert_eq!(outs.len(), 4, "sched={sched} seed={seed}: someone didn't terminate");
+            assert!(
+                outs.windows(2).all(|w| w[0] == w[1]),
+                "sched={sched} seed={seed}: {outs:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn agreement_with_silent_party() {
+    for seed in 0..10u64 {
+        let net = run_ba(4, 1, seed, "random", |p| {
+            if p == 3 {
+                Box::new(SilentInstance)
+            } else {
+                Box::new(BinaryBa::new(p == 0, Box::new(OracleCoin::new(seed))))
+            }
+        });
+        let outs = honest_outputs(&net, &[0, 1, 2]);
+        assert_eq!(outs.len(), 3, "seed={seed}");
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+    }
+}
+
+#[test]
+fn agreement_with_random_voter() {
+    for seed in 0..10u64 {
+        let net = run_ba(4, 1, seed, "random", |p| {
+            if p == 2 {
+                Box::new(RandomVoter::new(30))
+            } else {
+                Box::new(BinaryBa::new(p == 0, Box::new(OracleCoin::new(seed))))
+            }
+        });
+        let outs = honest_outputs(&net, &[0, 1, 3]);
+        assert_eq!(outs.len(), 3, "seed={seed}");
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+    }
+}
+
+#[test]
+fn validity_resists_fixed_voter_pushing_other_value() {
+    // All honest input true; the Byzantine pushes false. Validation must
+    // make honest parties decide true regardless.
+    for seed in 0..10u64 {
+        let net = run_ba(4, 1, seed, "random", |p| {
+            if p == 1 {
+                Box::new(FixedVoter::new(false, 30))
+            } else {
+                Box::new(BinaryBa::new(true, Box::new(OracleCoin::new(seed))))
+            }
+        });
+        for p in [0usize, 2, 3] {
+            assert_eq!(net.output_as::<bool>(PartyId(p), &sid()), Some(&true), "seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn larger_system_split_inputs() {
+    for seed in 0..5u64 {
+        let net = run_ba(7, 2, seed, "random", |p| {
+            Box::new(BinaryBa::new(p < 3, Box::new(OracleCoin::new(seed))))
+        });
+        let outs = honest_outputs(&net, &[0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(outs.len(), 7, "seed={seed}");
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+    }
+}
+
+#[test]
+fn local_coin_terminates_split_inputs() {
+    // Ben-Or baseline: still almost-surely terminating (just slower).
+    for seed in 0..5u64 {
+        let net = run_ba(4, 1, seed, "random", |p| {
+            Box::new(BinaryBa::new(p % 2 == 0, Box::new(LocalCoin)))
+        });
+        let outs = honest_outputs(&net, &[0, 1, 2, 3]);
+        assert_eq!(outs.len(), 4, "seed={seed}");
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+    }
+}
+
+#[test]
+fn weak_shared_coin_terminates_split_inputs() {
+    for seed in 0..3u64 {
+        let net = run_ba(4, 1, seed, "random", |p| {
+            Box::new(BinaryBa::new(p % 2 == 0, Box::new(WeakSharedCoin)))
+        });
+        let outs = honest_outputs(&net, &[0, 1, 2, 3]);
+        assert_eq!(outs.len(), 4, "seed={seed}");
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+    }
+}
+
+#[test]
+fn output_is_some_honest_input_under_split() {
+    // Binary domain: with mixed inputs any output is trivially some honest
+    // party's input — asserted anyway as a regression guard on outputs.
+    for seed in 0..5u64 {
+        let net = run_ba(4, 1, seed, "random", |p| {
+            Box::new(BinaryBa::new(p == 0, Box::new(OracleCoin::new(seed))))
+        });
+        let outs = honest_outputs(&net, &[0, 1, 2, 3]);
+        assert!(outs.iter().all(|&b| b == outs[0]));
+    }
+}
+
+#[test]
+fn deterministic_replay() {
+    let run = |seed: u64| {
+        let net = run_ba(4, 1, seed, "random", |p| {
+            Box::new(BinaryBa::new(p % 2 == 0, Box::new(OracleCoin::new(1))))
+        });
+        honest_outputs(&net, &[0, 1, 2, 3])
+    };
+    assert_eq!(run(42), run(42));
+}
+
+#[test]
+fn unanimous_true_with_starved_party() {
+    // Starving one party's messages delays but cannot break validity.
+    let net = run_ba(4, 1, 3, "starve:1", |_| {
+        Box::new(BinaryBa::new(true, Box::new(OracleCoin::new(2))))
+    });
+    for p in 0..4 {
+        assert_eq!(net.output_as::<bool>(PartyId(p), &sid()), Some(&true));
+    }
+}

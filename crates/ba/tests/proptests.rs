@@ -1,0 +1,99 @@
+//! Property-based tests of binary BA: agreement, validity, termination
+//! under randomized inputs, schedulers, coins, and fault placements.
+
+use aft_ba::{BinaryBa, CoinSource, LocalCoin, OracleCoin};
+use aft_sim::{
+    scheduler_by_name, Instance, NetConfig, PartyId, SessionId, SessionTag, SilentInstance,
+    SimNetwork, StopReason,
+};
+use proptest::prelude::*;
+
+fn sid() -> SessionId {
+    SessionId::root().child(SessionTag::new("ba", 0))
+}
+
+fn sched_name(i: usize) -> &'static str {
+    ["fifo", "random", "lifo", "window4"][i % 4]
+}
+
+fn coin(i: usize, salt: u64) -> Box<dyn CoinSource> {
+    match i % 2 {
+        0 => Box::new(OracleCoin::new(salt)),
+        _ => Box::new(LocalCoin),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any input vector, scheduler, and coin source: all honest
+    /// parties terminate with the same value; if inputs are unanimous the
+    /// output is that value.
+    #[test]
+    fn agreement_validity_termination(
+        seed in any::<u64>(),
+        inputs in proptest::collection::vec(any::<bool>(), 4..=4),
+        sched in 0usize..4,
+        coin_idx in 0usize..2,
+    ) {
+        let (n, t) = (4usize, 1usize);
+        let mut net = SimNetwork::new(
+            NetConfig::new(n, t, seed),
+            scheduler_by_name(sched_name(sched)).unwrap(),
+        );
+        for p in 0..n {
+            net.spawn(
+                PartyId(p),
+                sid(),
+                Box::new(BinaryBa::new(inputs[p], coin(coin_idx, seed))),
+            );
+        }
+        let report = net.run(500_000_000);
+        prop_assert_eq!(report.stop, StopReason::Quiescent);
+        let outs: Vec<bool> = (0..n)
+            .map(|p| *net.output_as::<bool>(PartyId(p), &sid()).expect("terminates"))
+            .collect();
+        prop_assert!(outs.windows(2).all(|w| w[0] == w[1]), "disagreement: {outs:?}");
+        if inputs.windows(2).all(|w| w[0] == w[1]) {
+            prop_assert_eq!(outs[0], inputs[0], "validity violated");
+        }
+    }
+
+    /// With up to t silent parties at n = 7: honest agreement and
+    /// unanimous-honest validity still hold.
+    #[test]
+    fn faulty_parties_cannot_break_agreement(
+        seed in any::<u64>(),
+        honest_input in any::<bool>(),
+        mixed in any::<bool>(),
+        byz_a in 0usize..7,
+        byz_b in 0usize..7,
+    ) {
+        let (n, t) = (7usize, 2usize);
+        let byz = [byz_a % n, byz_b % n];
+        let mut net = SimNetwork::new(
+            NetConfig::new(n, t, seed),
+            scheduler_by_name("random").unwrap(),
+        );
+        for p in 0..n {
+            let inst: Box<dyn Instance> = if byz.contains(&p) {
+                Box::new(SilentInstance)
+            } else {
+                let input = if mixed { p % 2 == 0 } else { honest_input };
+                Box::new(BinaryBa::new(input, Box::new(OracleCoin::new(seed))))
+            };
+            net.spawn(PartyId(p), sid(), inst);
+        }
+        let report = net.run(500_000_000);
+        prop_assert_eq!(report.stop, StopReason::Quiescent);
+        let honest: Vec<usize> = (0..n).filter(|p| !byz.contains(p)).collect();
+        let outs: Vec<bool> = honest
+            .iter()
+            .map(|&p| *net.output_as::<bool>(PartyId(p), &sid()).expect("terminates"))
+            .collect();
+        prop_assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
+        if !mixed {
+            prop_assert_eq!(outs[0], honest_input);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the algebraic substrate: field ops, polynomial
+//! evaluation/interpolation, Reed–Solomon decoding.
+
+use aft_field::{interpolate, oec_decode, rs_decode, BivarPoly, Fp, Poly};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(42)
+}
+
+fn bench_fp(c: &mut Criterion) {
+    let mut r = rng();
+    let a = Fp::random(&mut r);
+    let b = Fp::random(&mut r);
+    c.bench_function("fp/mul", |bench| bench.iter(|| black_box(a) * black_box(b)));
+    c.bench_function("fp/inv", |bench| bench.iter(|| black_box(a).inv().unwrap()));
+}
+
+fn bench_poly(c: &mut Criterion) {
+    let mut r = rng();
+    for deg in [4usize, 16, 64] {
+        let p = Poly::random(deg, &mut r);
+        let x = Fp::random(&mut r);
+        c.bench_with_input(BenchmarkId::new("poly/eval", deg), &deg, |bench, _| {
+            bench.iter(|| p.eval(black_box(x)))
+        });
+        let pts: Vec<(Fp, Fp)> = (1..=deg as u64 + 1)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect();
+        c.bench_with_input(BenchmarkId::new("poly/interpolate", deg), &deg, |bench, _| {
+            bench.iter(|| interpolate(black_box(&pts)).unwrap())
+        });
+    }
+}
+
+fn bench_bivar(c: &mut Criterion) {
+    let mut r = rng();
+    for t in [1usize, 3, 5] {
+        let f = BivarPoly::random(t, &mut r);
+        c.bench_with_input(BenchmarkId::new("bivar/row", t), &t, |bench, _| {
+            bench.iter(|| f.row(black_box(Fp::new(3))))
+        });
+    }
+}
+
+fn bench_rs(c: &mut Criterion) {
+    let mut r = rng();
+    for t in [1usize, 2, 4] {
+        let n = 3 * t + 1;
+        let p = Poly::random(t, &mut r);
+        let mut pts: Vec<(Fp, Fp)> = (1..=n as u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect();
+        for bad in pts.iter_mut().take(t) {
+            bad.1 += Fp::new(r.gen_range(1..100));
+        }
+        c.bench_with_input(BenchmarkId::new("rs/decode_t_errors", t), &t, |bench, _| {
+            bench.iter(|| rs_decode(black_box(&pts), t, t).unwrap())
+        });
+        c.bench_with_input(BenchmarkId::new("rs/oec", t), &t, |bench, _| {
+            bench.iter(|| oec_decode(black_box(&pts), t).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_fp, bench_poly, bench_bivar, bench_rs);
+criterion_main!(benches);

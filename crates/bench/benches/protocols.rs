@@ -1,0 +1,155 @@
+//! End-to-end protocol benchmarks: one full simulated execution per
+//! iteration, for every layer of the stack (A-Cast → SVSS → BA →
+//! CommonSubset → CoinFlip → FairChoice → FBA).
+
+use aft_ba::{BinaryBa, OracleCoin};
+use aft_broadcast::Acast;
+use aft_core::{
+    CoinFlip, CoinFlipParams, CoinKind, CommonSubsetInstance, FairChoice, FairChoiceParams, Fba,
+};
+use aft_field::Fp;
+use aft_sim::{
+    scheduler_by_name, Instance, NetConfig, PartyId, SessionId, SessionTag, SimNetwork,
+};
+use aft_svss::{ShareBundle, SvssRec, SvssShare};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn sid() -> SessionId {
+    SessionId::root().child(SessionTag::new("bench", 0))
+}
+
+fn run_net(n: usize, t: usize, seed: u64, mk: impl Fn(usize) -> Box<dyn Instance>) -> SimNetwork {
+    let mut net = SimNetwork::new(NetConfig::new(n, t, seed), scheduler_by_name("random").unwrap());
+    for p in 0..n {
+        net.spawn(PartyId(p), sid(), mk(p));
+    }
+    net.run(u64::MAX);
+    net
+}
+
+fn bench_acast(c: &mut Criterion) {
+    for &(n, t) in &[(4usize, 1usize), (7, 2), (10, 3)] {
+        c.bench_with_input(BenchmarkId::new("acast/full_run", n), &n, |b, _| {
+            b.iter(|| {
+                run_net(n, t, 7, |p| {
+                    if p == 0 {
+                        Box::new(Acast::sender(PartyId(0), 42u64))
+                    } else {
+                        Box::new(Acast::<u64>::receiver(PartyId(0)))
+                    }
+                })
+            })
+        });
+    }
+}
+
+fn bench_svss(c: &mut Criterion) {
+    for &(n, t) in &[(4usize, 1usize), (7, 2)] {
+        c.bench_with_input(BenchmarkId::new("svss/share", n), &n, |b, _| {
+            b.iter(|| {
+                run_net(n, t, 7, |p| {
+                    if p == 0 {
+                        Box::new(SvssShare::dealer(PartyId(0), Fp::new(5)))
+                    } else {
+                        Box::new(SvssShare::party(PartyId(0)))
+                    }
+                })
+            })
+        });
+        c.bench_with_input(BenchmarkId::new("svss/share_and_rec", n), &n, |b, _| {
+            b.iter(|| {
+                let mut net = run_net(n, t, 7, |p| {
+                    if p == 0 {
+                        Box::new(SvssShare::dealer(PartyId(0), Fp::new(5)))
+                    } else {
+                        Box::new(SvssShare::party(PartyId(0)))
+                    }
+                });
+                let rsid = SessionId::root().child(SessionTag::new("rec", 0));
+                for p in 0..n {
+                    if let Some(bundle) = net.output_as::<ShareBundle>(PartyId(p), &sid()).cloned()
+                    {
+                        net.spawn(PartyId(p), rsid.clone(), Box::new(SvssRec::new(bundle)));
+                    }
+                }
+                net.run(u64::MAX);
+                net
+            })
+        });
+    }
+}
+
+fn bench_ba(c: &mut Criterion) {
+    for &(n, t) in &[(4usize, 1usize), (7, 2)] {
+        c.bench_with_input(BenchmarkId::new("ba/split_inputs", n), &n, |b, _| {
+            b.iter(|| {
+                run_net(n, t, 7, |p| {
+                    Box::new(BinaryBa::new(p % 2 == 0, Box::new(OracleCoin::new(1))))
+                })
+            })
+        });
+    }
+}
+
+fn bench_common_subset(c: &mut Criterion) {
+    for &(n, t) in &[(4usize, 1usize), (7, 2)] {
+        c.bench_with_input(BenchmarkId::new("common_subset/full", n), &n, |b, _| {
+            b.iter(|| {
+                run_net(n, t, 7, |_| {
+                    Box::new(CommonSubsetInstance::new(n - t, CoinKind::Oracle(1), true))
+                })
+            })
+        });
+    }
+}
+
+fn bench_coin_flip(c: &mut Criterion) {
+    for &k in &[1usize, 2] {
+        c.bench_with_input(BenchmarkId::new("coin_flip/n4_k", k), &k, |b, _| {
+            b.iter(|| {
+                run_net(4, 1, 7, |_| {
+                    Box::new(CoinFlip::new(
+                        CoinFlipParams::FixedK { k },
+                        CoinKind::Oracle(1),
+                    ))
+                })
+            })
+        });
+    }
+}
+
+fn bench_fair_choice(c: &mut Criterion) {
+    c.bench_function("fair_choice/m3_n4", |b| {
+        b.iter(|| {
+            run_net(4, 1, 7, |_| {
+                Box::new(FairChoice::new(
+                    3,
+                    FairChoiceParams::FixedK { k: 1 },
+                    CoinKind::Oracle(1),
+                ))
+            })
+        })
+    });
+}
+
+fn bench_fba(c: &mut Criterion) {
+    c.bench_function("fba/distinct_inputs_n4", |b| {
+        b.iter(|| {
+            run_net(4, 1, 7, |p| {
+                Box::new(Fba::new(
+                    p as u64,
+                    FairChoiceParams::FixedK { k: 1 },
+                    CoinKind::Oracle(1),
+                ))
+            })
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_acast, bench_svss, bench_ba, bench_common_subset,
+              bench_coin_flip, bench_fair_choice, bench_fba
+}
+criterion_main!(benches);

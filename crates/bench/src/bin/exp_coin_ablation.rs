@@ -1,0 +1,129 @@
+//! E9 — ablations on the strong coin: substrate quality (real SVSS-based
+//! weak coins vs ideal oracle coins inside the BAs), iteration count k
+//! (scaled vs paper-exact), and message complexity vs n.
+//!
+//! The paper-exact run executes `k = 4⌈(e/(ε·π))²·n⁴⌉` SVSS iterations —
+//! thousands of sequential SVSS+CommonSubset rounds — exactly as
+//! Algorithm 1 prescribes.
+
+use aft_bench::{print_table, run_coin, trials, Adversary};
+use aft_core::{CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind};
+use aft_sim::{
+    run_trials, scheduler_by_name, NetConfig, PartyId, SessionId, SessionTag, SimNetwork,
+    StopReason,
+};
+
+fn main() {
+    println!("# E9 — Coin ablations");
+    let n_trials = trials(30);
+
+    // (a) substrate quality: oracle vs weak-shared inner coins.
+    let mut rows = Vec::new();
+    for coin in [CoinKind::Oracle(0xA11), CoinKind::WeakShared] {
+        let outcomes = run_trials(0..n_trials, 24, |seed| {
+            let coin = match coin {
+                CoinKind::Oracle(_) => CoinKind::Oracle(seed ^ 0xA11),
+                other => other,
+            };
+            let o = run_coin(4, 1, seed, 2, coin, "random", Adversary::None);
+            (o.agreement && o.all_terminated, o.metrics.sent, o.steps)
+        });
+        let ok = outcomes.iter().filter(|o| o.0).count();
+        let msgs = outcomes.iter().map(|o| o.1).sum::<u64>() / outcomes.len() as u64;
+        let steps = outcomes.iter().map(|o| o.2).sum::<u64>() / outcomes.len() as u64;
+        rows.push(vec![
+            match coin {
+                CoinKind::Oracle(_) => "oracle (ideal functionality)".to_string(),
+                CoinKind::WeakShared => "weak shared (SVSS-based, full IT)".to_string(),
+                CoinKind::Local => unreachable!(),
+            },
+            format!("{ok}/{}", outcomes.len()),
+            msgs.to_string(),
+            steps.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("(a) inner-BA coin substrate, CoinFlip k=2, n=4, {n_trials} runs"),
+        &["inner coin", "agreed+terminated", "avg messages", "avg steps"],
+        &rows,
+    );
+
+    // (b) message complexity vs n at fixed k.
+    let mut rows = Vec::new();
+    for &(n, t) in &[(4usize, 1usize), (7, 2), (10, 3)] {
+        let outcomes = run_trials(0..n_trials.min(10), 24, |seed| {
+            let o = run_coin(n, t, seed, 1, CoinKind::Oracle(seed ^ 3), "random", Adversary::None);
+            (o.metrics.sent, o.steps)
+        });
+        let msgs = outcomes.iter().map(|o| o.0).sum::<u64>() / outcomes.len() as u64;
+        let steps = outcomes.iter().map(|o| o.1).sum::<u64>() / outcomes.len() as u64;
+        rows.push(vec![
+            format!("{n}/{t}"),
+            msgs.to_string(),
+            steps.to_string(),
+            format!("{:.1}", msgs as f64 / (n * n * n) as f64),
+        ]);
+    }
+    print_table(
+        "(b) cost vs n (k=1 iteration)",
+        &["n/t", "avg messages", "avg steps", "messages / n³"],
+        &rows,
+    );
+
+    // (c) k-sweep: the majority's robustness budget.
+    let mut rows = Vec::new();
+    for &k in &[1usize, 2, 4, 8, 16] {
+        let outcomes = run_trials(0..n_trials.min(15), 24, |seed| {
+            let o = run_coin(4, 1, seed, k, CoinKind::Oracle(seed ^ 0x99), "random", Adversary::None);
+            (o.agreement, o.metrics.sent)
+        });
+        let agreed = outcomes.iter().filter(|o| o.0).count();
+        let msgs = outcomes.iter().map(|o| o.1).sum::<u64>() / outcomes.len() as u64;
+        rows.push(vec![
+            k.to_string(),
+            format!("{agreed}/{}", outcomes.len()),
+            msgs.to_string(),
+        ]);
+    }
+    print_table("(c) iteration count k (n=4)", &["k", "agreement", "avg messages"], &rows);
+
+    // (d) PAPER-EXACT mode: Algorithm 1 with the real k formula.
+    let epsilon = std::env::var("AFT_EPSILON")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.4f64);
+    let params = CoinFlipParams::PaperExact { epsilon };
+    let k = params.iterations(4);
+    println!("\n(d) paper-exact run: n=4, ε={epsilon} ⇒ k = 4⌈(e/(επ))²·n⁴⌉ = {k} iterations…");
+    let t0 = std::time::Instant::now();
+    let mut net = SimNetwork::new(NetConfig::new(4, 1, 424242), scheduler_by_name("random").unwrap());
+    let sid = SessionId::root().child(SessionTag::new("paper-coin", 0));
+    for p in 0..4 {
+        net.spawn(
+            PartyId(p),
+            sid.clone(),
+            Box::new(CoinFlip::new(params, CoinKind::Oracle(0xF00D))),
+        );
+    }
+    let report = net.run(u64::MAX);
+    assert_eq!(report.stop, StopReason::Quiescent);
+    let outs: Vec<CoinFlipOutput> = (0..4)
+        .map(|p| *net.output_as::<CoinFlipOutput>(PartyId(p), &sid).expect("terminates"))
+        .collect();
+    let agreed = outs.windows(2).all(|w| w[0].value == w[1].value);
+    print_table(
+        "(d) paper-exact Algorithm 1",
+        &["ε", "k", "agreed", "coin", "messages", "steps", "wall time"],
+        &[vec![
+            epsilon.to_string(),
+            k.to_string(),
+            agreed.to_string(),
+            (outs[0].value as u8).to_string(),
+            report.metrics.sent.to_string(),
+            report.steps.to_string(),
+            format!("{:.1?}", t0.elapsed()),
+        ]],
+    );
+    println!("\nthe scaled-k experiments (E2) measure the same estimator with affordable");
+    println!("sample counts; the paper-exact run here executes Algorithm 1 verbatim.");
+}

@@ -1,0 +1,68 @@
+//! E4 — Theorem 4.3: FairChoice(m) hits every majority subset with
+//! probability > 1/2.
+//!
+//! For each m, estimates the outcome distribution and evaluates the
+//! *worst-case* majority subset G (the ⌈(m+1)/2⌉ least likely outcomes —
+//! the adversary's best choice of G).
+
+use aft_bench::{fmt_prob, print_table, run_fair_choice, trials, Adversary};
+use aft_core::CoinKind;
+use aft_sim::run_trials;
+
+fn main() {
+    println!("# E4 — FairChoice validity (Theorem 4.3)");
+    let n_trials = trials(200);
+
+    let mut rows = Vec::new();
+    for &m in &[3usize, 5] {
+        for adversary in [Adversary::None, Adversary::CrashOne] {
+            let outcomes = run_trials(0..n_trials, 24, |seed| {
+                let o = run_fair_choice(
+                    4,
+                    1,
+                    seed,
+                    m,
+                    1,
+                    CoinKind::Oracle(seed.wrapping_mul(0x9E3779B97F4A7C15)),
+                    "random",
+                    adversary,
+                );
+                assert!(o.agreement, "FairChoice must agree");
+                o.outputs.first().copied()
+            });
+            let total = outcomes.len();
+            let mut hist = vec![0usize; m];
+            for o in outcomes.iter().flatten() {
+                hist[*o] += 1;
+            }
+            // Worst-case majority subset: the (m+1)/2 least-frequent outcomes.
+            let mut order: Vec<usize> = (0..m).collect();
+            order.sort_by_key(|&i| hist[i]);
+            let g_size = m / 2 + 1;
+            let worst_g: usize = order[..g_size].iter().map(|&i| hist[i]).sum();
+            rows.push(vec![
+                m.to_string(),
+                adversary.label().into(),
+                format!("{hist:?}"),
+                format!("{g_size} of {m}"),
+                fmt_prob(worst_g, total),
+                "> 0.5".into(),
+            ]);
+        }
+    }
+    print_table(
+        &format!("FairChoice(m) over {n_trials} runs per row (n=4, t=1)"),
+        &[
+            "m",
+            "adversary",
+            "outcome histogram",
+            "|G| (worst-case majority)",
+            "Pr[output ∈ G]",
+            "paper bound",
+        ],
+        &rows,
+    );
+    println!("\nnote: with an unbiased agreed coin the outcome distribution is near-uniform,");
+    println!("so even the adversarially-chosen majority subset keeps > 1/2 of the mass —");
+    println!("the slack the paper engineers via ε = 1/(100·m·log₂ m).");
+}

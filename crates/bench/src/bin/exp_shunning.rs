@@ -1,0 +1,95 @@
+//! E7 — the shunning budget: "fewer than n² shunning events can take
+//! place overall", and binding failures only occur alongside shun events.
+//!
+//! Runs long SVSS campaigns against reveal-equivocating Byzantine parties
+//! and tracks the cumulative shun counter, verifying it saturates far
+//! below n² (each ordered pair shuns at most once) while every detected
+//! attack run is followed by dropped influence for the attacker.
+
+use aft_bench::{print_table, trials};
+use aft_field::Fp;
+use aft_sim::{scheduler_by_name, Instance, NetConfig, PartyId, SessionId, SessionTag, SimNetwork};
+use aft_svss::attacks::EquivocalReveal;
+use aft_svss::{ShareBundle, SvssRec, SvssShare};
+
+fn main() {
+    println!("# E7 — Shunning dynamics (Definition 3.2's escape hatch)");
+    let instances = trials(40) as usize;
+
+    let mut rows = Vec::new();
+    for &(n, t) in &[(4usize, 1usize), (7, 2)] {
+        let mut net =
+            SimNetwork::new(NetConfig::new(n, t, 1234), scheduler_by_name("random").unwrap());
+        let mut shun_curve = Vec::new();
+        let mut binding_violations_without_shun = 0usize;
+        for i in 0..instances {
+            let ssid = SessionId::root().child(SessionTag::new("svss-share", i as u64));
+            let rsid = SessionId::root().child(SessionTag::new("svss-rec", i as u64));
+            for p in 0..n {
+                let inst: Box<dyn Instance> = if p == 0 {
+                    Box::new(SvssShare::dealer(PartyId(0), Fp::new(i as u64)))
+                } else {
+                    Box::new(SvssShare::party(PartyId(0)))
+                };
+                net.spawn(PartyId(p), ssid.clone(), inst);
+            }
+            net.run(1_000_000_000);
+            // Reconstruct, with the last party equivocating its reveal.
+            let bundles: Vec<Option<ShareBundle>> = (0..n)
+                .map(|p| net.output_as::<ShareBundle>(PartyId(p), &ssid).cloned())
+                .collect();
+            for (p, b) in bundles.into_iter().enumerate() {
+                if let Some(b) = b {
+                    let inst: Box<dyn Instance> = if p == n - 1 {
+                        Box::new(EquivocalReveal::new(b))
+                    } else {
+                        Box::new(SvssRec::new(b))
+                    };
+                    net.spawn(PartyId(p), rsid.clone(), inst);
+                }
+            }
+            net.run(1_000_000_000);
+            // Binding check among honest reconstructors.
+            let outs: Vec<Fp> = (0..n - 1)
+                .filter_map(|p| net.output_as::<Fp>(PartyId(p), &rsid).copied())
+                .collect();
+            let consistent = outs.windows(2).all(|w| w[0] == w[1]);
+            if !consistent && net.metrics().shun_events == 0 {
+                binding_violations_without_shun += 1;
+            }
+            shun_curve.push(net.metrics().shun_events);
+        }
+        let final_shuns = *shun_curve.last().unwrap();
+        let saturation_at = shun_curve
+            .iter()
+            .position(|&s| s == final_shuns)
+            .unwrap_or(0);
+        rows.push(vec![
+            format!("{n}/{t}"),
+            instances.to_string(),
+            final_shuns.to_string(),
+            format!("{}", n * n),
+            format!("instance {saturation_at}"),
+            binding_violations_without_shun.to_string(),
+        ]);
+        println!(
+            "n={n}: cumulative shun curve (per instance): {:?}",
+            shun_curve
+        );
+    }
+    print_table(
+        &format!("{instances} sequential SVSS instances with a reveal-equivocating party"),
+        &[
+            "n/t",
+            "SVSS instances",
+            "total shun events",
+            "n² bound",
+            "curve saturates at",
+            "binding violations w/o shun",
+        ],
+        &rows,
+    );
+    println!("\npaper: each ordered pair shuns at most once ⇒ fewer than n² events ever;");
+    println!("after saturation the attacker's messages are dropped and later instances");
+    println!("run clean — exactly the budget the CoinFlip analysis charges against k.");
+}

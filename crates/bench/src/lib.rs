@@ -1,0 +1,243 @@
+//! # aft-bench
+//!
+//! Experiment harness for the `aft` reproduction: shared runners, table
+//! formatting, and statistics used by the `exp_*` binaries (one per
+//! experiment E1–E9 of DESIGN.md §5) and the Criterion benchmarks.
+//!
+//! Run an experiment with e.g.
+//!
+//! ```sh
+//! cargo run --release -p aft-bench --bin exp_coin_bias
+//! ```
+//!
+//! Every binary prints a Markdown table whose rows are recorded in
+//! `EXPERIMENTS.md`. Trial counts scale with the `AFT_TRIALS` environment
+//! variable (default noted per experiment).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aft_core::{CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind, FairChoice, FairChoiceParams, Fba};
+use aft_sim::{
+    scheduler_by_name, Instance, Metrics, NetConfig, PartyId, SessionId, SessionTag,
+    SilentInstance, SimNetwork, StopReason,
+};
+
+/// Reads the trial multiplier from `AFT_TRIALS` (default `base`).
+pub fn trials(base: u64) -> u64 {
+    std::env::var("AFT_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(base)
+}
+
+/// Prints a Markdown table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// The standard session id used by the runners.
+pub fn session(kind: &'static str) -> SessionId {
+    SessionId::root().child(SessionTag::new(kind, 0))
+}
+
+/// Which parties are Byzantine and how, for the standard runners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adversary {
+    /// All parties honest.
+    None,
+    /// The last `t` parties are silent from the start.
+    CrashT,
+    /// The last party is silent.
+    CrashOne,
+}
+
+impl Adversary {
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Adversary::None => "none",
+            Adversary::CrashT => "crash-t",
+            Adversary::CrashOne => "crash-1",
+        }
+    }
+
+    /// Whether party `p` of `n` (threshold `t`) is Byzantine.
+    pub fn is_byz(&self, p: usize, n: usize, t: usize) -> bool {
+        match self {
+            Adversary::None => false,
+            Adversary::CrashT => p >= n - t,
+            Adversary::CrashOne => p == n - 1,
+        }
+    }
+}
+
+/// Result of one protocol run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<T> {
+    /// Outputs of the honest parties (in party order).
+    pub outputs: Vec<T>,
+    /// Whether all honest parties produced an output.
+    pub all_terminated: bool,
+    /// Whether all honest outputs are equal.
+    pub agreement: bool,
+    /// Network metrics at quiescence.
+    pub metrics: Metrics,
+    /// Delivery steps used.
+    pub steps: u64,
+}
+
+/// Runs one `CoinFlip` execution and collects honest outputs.
+pub fn run_coin(
+    n: usize,
+    t: usize,
+    seed: u64,
+    k: usize,
+    coin: CoinKind,
+    sched: &str,
+    adversary: Adversary,
+) -> RunOutcome<bool> {
+    run_protocol(n, t, seed, sched, adversary, |_, _| {
+        Box::new(CoinFlip::new(CoinFlipParams::FixedK { k }, coin))
+    })
+    .map_outputs(|o: CoinFlipOutput| o.value)
+}
+
+/// Runs one `FairChoice(m)` execution.
+pub fn run_fair_choice(
+    n: usize,
+    t: usize,
+    seed: u64,
+    m: usize,
+    k: usize,
+    coin: CoinKind,
+    sched: &str,
+    adversary: Adversary,
+) -> RunOutcome<usize> {
+    run_protocol(n, t, seed, sched, adversary, |_, _| {
+        Box::new(FairChoice::new(m, FairChoiceParams::FixedK { k }, coin))
+    })
+}
+
+/// Runs one `FBA` execution over string inputs.
+pub fn run_fba(
+    n: usize,
+    t: usize,
+    seed: u64,
+    inputs: &[String],
+    k: usize,
+    coin: CoinKind,
+    sched: &str,
+    adversary: Adversary,
+) -> RunOutcome<String> {
+    let inputs = inputs.to_vec();
+    run_protocol(n, t, seed, sched, adversary, move |p, _| {
+        Box::new(Fba::new(
+            inputs[p].clone(),
+            FairChoiceParams::FixedK { k },
+            coin,
+        ))
+    })
+}
+
+/// Generic runner: spawns `mk(p, byz)` for honest parties, `SilentInstance`
+/// for Byzantine ones, runs to quiescence, and gathers honest outputs of
+/// type `T`.
+pub fn run_protocol<T: Clone + PartialEq + 'static>(
+    n: usize,
+    t: usize,
+    seed: u64,
+    sched: &str,
+    adversary: Adversary,
+    mk: impl Fn(usize, bool) -> Box<dyn Instance>,
+) -> RunOutcome<T> {
+    let mut net = SimNetwork::new(
+        NetConfig::new(n, t, seed),
+        scheduler_by_name(sched).unwrap_or_else(|| panic!("unknown scheduler {sched}")),
+    );
+    let sid = session("exp");
+    for p in 0..n {
+        let inst: Box<dyn Instance> = if adversary.is_byz(p, n, t) {
+            Box::new(SilentInstance)
+        } else {
+            mk(p, false)
+        };
+        net.spawn(PartyId(p), sid.clone(), inst);
+    }
+    let report = net.run(4_000_000_000);
+    assert_eq!(
+        report.stop,
+        StopReason::Quiescent,
+        "run must quiesce (n={n} seed={seed} sched={sched})"
+    );
+    let honest: Vec<usize> = (0..n).filter(|&p| !adversary.is_byz(p, n, t)).collect();
+    let outputs: Vec<T> = honest
+        .iter()
+        .filter_map(|&p| net.output_as::<T>(PartyId(p), &sid).cloned())
+        .collect();
+    let all_terminated = outputs.len() == honest.len();
+    let agreement = outputs.windows(2).all(|w| w[0] == w[1]);
+    RunOutcome {
+        outputs,
+        all_terminated,
+        agreement,
+        metrics: report.metrics.clone(),
+        steps: report.steps,
+    }
+}
+
+impl<T> RunOutcome<T> {
+    /// Maps the output type (e.g. project a field out of a richer output).
+    pub fn map_outputs<U>(self, f: impl Fn(T) -> U) -> RunOutcome<U> {
+        RunOutcome {
+            outputs: self.outputs.into_iter().map(f).collect(),
+            all_terminated: self.all_terminated,
+            agreement: self.agreement,
+            metrics: self.metrics,
+            steps: self.steps,
+        }
+    }
+}
+
+/// Formats a probability with a 95% binomial confidence half-width.
+pub fn fmt_prob(successes: usize, trials: usize) -> String {
+    if trials == 0 {
+        return "n/a".into();
+    }
+    let p = successes as f64 / trials as f64;
+    let ci = 1.96 * (p * (1.0 - p) / trials as f64).sqrt();
+    format!("{p:.3} ± {ci:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coin_runner_smoke() {
+        let out = run_coin(4, 1, 0, 1, CoinKind::Oracle(1), "random", Adversary::None);
+        assert!(out.all_terminated);
+        assert!(out.agreement);
+        assert_eq!(out.outputs.len(), 4);
+    }
+
+    #[test]
+    fn adversary_membership() {
+        assert!(Adversary::CrashT.is_byz(3, 4, 1));
+        assert!(!Adversary::CrashT.is_byz(2, 4, 1));
+        assert!(Adversary::CrashOne.is_byz(6, 7, 2));
+        assert!(!Adversary::None.is_byz(0, 4, 1));
+    }
+
+    #[test]
+    fn fmt_prob_output() {
+        assert_eq!(fmt_prob(0, 0), "n/a");
+        let s = fmt_prob(5, 10);
+        assert!(s.starts_with("0.500"), "{s}");
+    }
+}

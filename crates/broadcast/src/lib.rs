@@ -1,0 +1,468 @@
+//! # aft-broadcast
+//!
+//! Bracha's asynchronous reliable broadcast ("A-Cast"), the `Broadcast`
+//! primitive of Definition 4.4 in Abraham–Dolev–Stern (PODC 2020), after
+//! Bracha (Inf. & Comp. 1987).
+//!
+//! A designated sender broadcasts a value `v`; with `n ≥ 3t + 1` and at most
+//! `t` Byzantine parties the protocol guarantees:
+//!
+//! * **Termination** — if the sender is nonfaulty all nonfaulty parties
+//!   output; if *any* nonfaulty party outputs, every nonfaulty participant
+//!   eventually outputs.
+//! * **Validity** — if the sender is nonfaulty, every output equals `v`.
+//! * **Correctness** (agreement) — no two nonfaulty parties output
+//!   different values, even under an equivocating Byzantine sender.
+//!
+//! The message flow is the classic three-phase amplification:
+//! `Send(v)` → `Echo(v)` on first `Send` → `Ready(v)` on `2t+1` echoes or
+//! `t+1` readies → deliver on `2t+1` readies.
+//!
+//! # Example
+//!
+//! ```
+//! use aft_broadcast::Acast;
+//! use aft_sim::{NetConfig, PartyId, RandomScheduler, SessionId, SessionTag, SimNetwork};
+//!
+//! let mut net = SimNetwork::new(NetConfig::new(4, 1, 42), Box::new(RandomScheduler));
+//! let sid = SessionId::root().child(SessionTag::new("acast", 0));
+//! for p in 0..4 {
+//!     let inst = if p == 0 {
+//!         Acast::sender(PartyId(0), "hello".to_string())
+//!     } else {
+//!         Acast::receiver(PartyId(0))
+//!     };
+//!     net.spawn(PartyId(p), sid.clone(), Box::new(inst));
+//! }
+//! net.run(100_000);
+//! for p in 0..4 {
+//!     assert_eq!(net.output_as::<String>(PartyId(p), &sid).unwrap(), "hello");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aft_sim::{Context, Instance, PartyId, Payload};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Bound on the value types A-Cast can carry.
+pub trait Value: Clone + Eq + Hash + Debug + Send + Sync + 'static {}
+impl<T: Clone + Eq + Hash + Debug + Send + Sync + 'static> Value for T {}
+
+/// Wire messages of the A-Cast protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AcastMsg<V> {
+    /// The sender's initial value.
+    Send(V),
+    /// Echo of the first received `Send`.
+    Echo(V),
+    /// Commitment amplification.
+    Ready(V),
+}
+
+/// One party's A-Cast instance (honest behaviour).
+///
+/// Construct with [`Acast::sender`] for the designated sender or
+/// [`Acast::receiver`] for everyone else, then spawn on a
+/// [`aft_sim::SimNetwork`] under a common session id. The instance outputs
+/// the delivered value of type `V`.
+pub struct Acast<V> {
+    sender: PartyId,
+    input: Option<V>,
+    echoed: bool,
+    readied: bool,
+    delivered: bool,
+    echoes: HashMap<V, HashSet<PartyId>>,
+    readies: HashMap<V, HashSet<PartyId>>,
+}
+
+impl<V: Value> Acast<V> {
+    /// Creates the designated sender's instance, broadcasting `input`.
+    pub fn sender(sender: PartyId, input: V) -> Self {
+        Acast {
+            sender,
+            input: Some(input),
+            echoed: false,
+            readied: false,
+            delivered: false,
+            echoes: HashMap::new(),
+            readies: HashMap::new(),
+        }
+    }
+
+    /// Creates a non-sender participant expecting `sender`'s broadcast.
+    pub fn receiver(sender: PartyId) -> Self {
+        Acast {
+            sender,
+            input: None,
+            echoed: false,
+            readied: false,
+            delivered: false,
+            echoes: HashMap::new(),
+            readies: HashMap::new(),
+        }
+    }
+
+    fn maybe_ready(&mut self, v: &V, ctx: &mut Context<'_>) {
+        if !self.readied {
+            self.readied = true;
+            ctx.send_all(AcastMsg::Ready(v.clone()));
+        }
+    }
+}
+
+impl<V: Value> Instance for Acast<V> {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if ctx.me() == self.sender {
+            if let Some(v) = self.input.clone() {
+                ctx.send_all(AcastMsg::Send(v));
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
+        let Some(msg) = payload.downcast_ref::<AcastMsg<V>>() else {
+            return; // type-confused (Byzantine) message: ignore
+        };
+        let (n, t) = (ctx.n(), ctx.t());
+        match msg {
+            AcastMsg::Send(v) => {
+                // Only the designated sender's first Send counts.
+                if from == self.sender && !self.echoed {
+                    self.echoed = true;
+                    ctx.send_all(AcastMsg::Echo(v.clone()));
+                }
+            }
+            AcastMsg::Echo(v) => {
+                let set = self.echoes.entry(v.clone()).or_default();
+                if set.insert(from) && set.len() >= n - t {
+                    let v = v.clone();
+                    self.maybe_ready(&v, ctx);
+                }
+            }
+            AcastMsg::Ready(v) => {
+                let set = self.readies.entry(v.clone()).or_default();
+                if set.insert(from) {
+                    let count = set.len();
+                    let v = v.clone();
+                    if count >= t + 1 {
+                        self.maybe_ready(&v, ctx);
+                    }
+                    if count >= n - t && !self.delivered {
+                        self.delivered = true;
+                        ctx.output(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A Byzantine sender that *equivocates*: it sends `value_a` to parties
+/// with even ids and `value_b` to odd ids, then plays the rest of the
+/// protocol honestly for whichever value it echoes itself.
+///
+/// Against `n ≥ 3t + 1` honest amplification this cannot cause two honest
+/// parties to deliver different values — the agreement test uses it.
+pub struct EquivocatingSender<V> {
+    value_a: V,
+    value_b: V,
+    inner: Acast<V>,
+}
+
+impl<V: Value> EquivocatingSender<V> {
+    /// Creates the equivocating sender (must be spawned at the sender's
+    /// party).
+    pub fn new(me: PartyId, value_a: V, value_b: V) -> Self {
+        EquivocatingSender {
+            value_a,
+            value_b,
+            inner: Acast::receiver(me),
+        }
+    }
+}
+
+impl<V: Value> Instance for EquivocatingSender<V> {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for p in ctx.parties().collect::<Vec<_>>() {
+            let v = if p.0 % 2 == 0 {
+                self.value_a.clone()
+            } else {
+                self.value_b.clone()
+            };
+            ctx.send(p, AcastMsg::Send(v));
+        }
+    }
+
+    fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
+        // Participate "honestly" downstream of the split Send.
+        self.inner.on_message(from, payload, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aft_sim::{
+        scheduler_by_name, NetConfig, SessionId, SessionTag, SilentInstance, SimNetwork,
+        StopReason,
+    };
+
+    fn sid() -> SessionId {
+        SessionId::root().child(SessionTag::new("acast", 0))
+    }
+
+    fn run_acast(
+        n: usize,
+        t: usize,
+        seed: u64,
+        sched: &str,
+        setup: impl Fn(usize) -> Box<dyn Instance>,
+    ) -> SimNetwork {
+        let mut net = SimNetwork::new(
+            NetConfig::new(n, t, seed),
+            scheduler_by_name(sched).unwrap(),
+        );
+        for p in 0..n {
+            net.spawn(PartyId(p), sid(), setup(p));
+        }
+        net.run(2_000_000);
+        net
+    }
+
+    #[test]
+    fn honest_sender_all_deliver_value() {
+        for n in [4usize, 7, 10] {
+            let t = (n - 1) / 3;
+            for sched in ["fifo", "random", "lifo"] {
+                for seed in 0..5 {
+                    let net = run_acast(n, t, seed, sched, |p| {
+                        if p == 0 {
+                            Box::new(Acast::sender(PartyId(0), 123u64))
+                        } else {
+                            Box::new(Acast::<u64>::receiver(PartyId(0)))
+                        }
+                    });
+                    for p in 0..n {
+                        assert_eq!(
+                            net.output_as::<u64>(PartyId(p), &sid()),
+                            Some(&123),
+                            "n={n} sched={sched} seed={seed} p={p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn silent_sender_no_delivery_but_quiescent() {
+        let net = run_acast(4, 1, 0, "random", |p| {
+            if p == 0 {
+                Box::new(SilentInstance)
+            } else {
+                Box::new(Acast::<u8>::receiver(PartyId(0)))
+            }
+        });
+        for p in 0..4 {
+            assert!(net.output(PartyId(p), &sid()).is_none());
+        }
+    }
+
+    #[test]
+    fn t_silent_receivers_still_deliver() {
+        for n in [4usize, 7] {
+            let t = (n - 1) / 3;
+            let net = run_acast(n, t, 3, "random", |p| {
+                if p == 0 {
+                    Box::new(Acast::sender(PartyId(0), 9u32))
+                } else if p <= t {
+                    Box::new(SilentInstance)
+                } else {
+                    Box::new(Acast::<u32>::receiver(PartyId(0)))
+                }
+            });
+            for p in t + 1..n {
+                assert_eq!(net.output_as::<u32>(PartyId(p), &sid()), Some(&9));
+            }
+        }
+    }
+
+    #[test]
+    fn equivocating_sender_never_splits_agreement() {
+        for n in [4usize, 7, 10] {
+            let t = (n - 1) / 3;
+            for seed in 0..20 {
+                let net = run_acast(n, t, seed, "random", |p| {
+                    if p == 0 {
+                        Box::new(EquivocatingSender::new(PartyId(0), 1u8, 2u8))
+                    } else {
+                        Box::new(Acast::<u8>::receiver(PartyId(0)))
+                    }
+                });
+                let outputs: Vec<&u8> = (1..n)
+                    .filter_map(|p| net.output_as::<u8>(PartyId(p), &sid()))
+                    .collect();
+                // All honest outputs (if any) must be identical.
+                if let Some(first) = outputs.first() {
+                    assert!(
+                        outputs.iter().all(|v| v == first),
+                        "n={n} seed={seed}: split outputs {outputs:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn totality_if_one_delivers_all_deliver() {
+        // Run under every scheduler and check the all-or-nothing property
+        // among honest parties (with an equivocating sender it may be
+        // nothing; with honest sender it must be all).
+        for seed in 0..20 {
+            let net = run_acast(7, 2, seed, "random", |p| {
+                if p == 0 {
+                    Box::new(EquivocatingSender::new(PartyId(0), 10u8, 20u8))
+                } else {
+                    Box::new(Acast::<u8>::receiver(PartyId(0)))
+                }
+            });
+            let delivered: Vec<bool> = (1..7)
+                .map(|p| net.output(PartyId(p), &sid()).is_some())
+                .collect();
+            let any = delivered.iter().any(|&b| b);
+            let all = delivered.iter().all(|&b| b);
+            assert!(
+                !any || all,
+                "seed={seed}: partial delivery among honest parties {delivered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_mid_broadcast_preserves_agreement() {
+        for seed in 0..10 {
+            let mut net = SimNetwork::new(
+                NetConfig::new(7, 2, seed),
+                scheduler_by_name("random").unwrap(),
+            );
+            for p in 0..7 {
+                let inst: Box<dyn Instance> = if p == 0 {
+                    Box::new(Acast::sender(PartyId(0), 5u8))
+                } else {
+                    Box::new(Acast::<u8>::receiver(PartyId(0)))
+                };
+                net.spawn(PartyId(p), sid(), inst);
+            }
+            net.crash_at(PartyId(1), 10);
+            net.crash_at(PartyId(2), 25);
+            let report = net.run(2_000_000);
+            assert_eq!(report.stop, StopReason::Quiescent);
+            for p in 3..7 {
+                assert_eq!(net.output_as::<u8>(PartyId(p), &sid()), Some(&5), "seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_and_garbage_messages_ignored() {
+        // A Byzantine receiver spams Echo/Ready duplicates for a bogus value;
+        // honest parties still deliver the sender's value.
+        struct Spammer;
+        impl Instance for Spammer {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for _ in 0..3 {
+                    ctx.send_all(AcastMsg::Echo(77u8));
+                    ctx.send_all(AcastMsg::Ready(77u8));
+                }
+                ctx.send_all("not even an AcastMsg".to_string());
+            }
+            fn on_message(&mut self, _f: PartyId, _p: &Payload, ctx: &mut Context<'_>) {
+                ctx.send_all(AcastMsg::Ready(77u8));
+            }
+        }
+        let net = run_acast(4, 1, 1, "random", |p| {
+            if p == 0 {
+                Box::new(Acast::sender(PartyId(0), 5u8))
+            } else if p == 3 {
+                Box::new(Spammer)
+            } else {
+                Box::new(Acast::<u8>::receiver(PartyId(0)))
+            }
+        });
+        for p in 1..3 {
+            assert_eq!(net.output_as::<u8>(PartyId(p), &sid()), Some(&5));
+        }
+    }
+
+    #[test]
+    fn non_sender_send_is_ignored() {
+        // A Byzantine non-sender issuing Send must not trigger echoes.
+        struct FakeSender;
+        impl Instance for FakeSender {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send_all(AcastMsg::Send(66u8));
+            }
+            fn on_message(&mut self, _f: PartyId, _p: &Payload, _c: &mut Context<'_>) {}
+        }
+        // Real sender silent; fake sender shouts. Nobody may deliver 66.
+        let net = run_acast(4, 1, 2, "random", |p| match p {
+            0 => Box::new(SilentInstance),
+            1 => Box::new(FakeSender),
+            _ => Box::new(Acast::<u8>::receiver(PartyId(0))),
+        });
+        for p in 2..4 {
+            assert!(net.output(PartyId(p), &sid()).is_none());
+        }
+    }
+
+    #[test]
+    fn multiple_parallel_acasts_do_not_interfere() {
+        // Every party broadcasts its own id in its own session.
+        let n = 4;
+        let mut net = SimNetwork::new(
+            NetConfig::new(n, 1, 9),
+            scheduler_by_name("random").unwrap(),
+        );
+        let mk_sid =
+            |s: usize| SessionId::root().child(SessionTag::new("acast", s as u64));
+        for s in 0..n {
+            for p in 0..n {
+                let inst: Box<dyn Instance> = if p == s {
+                    Box::new(Acast::sender(PartyId(s), s as u64))
+                } else {
+                    Box::new(Acast::<u64>::receiver(PartyId(s)))
+                };
+                net.spawn(PartyId(p), mk_sid(s), inst);
+            }
+        }
+        net.run(2_000_000);
+        for s in 0..n {
+            for p in 0..n {
+                assert_eq!(
+                    net.output_as::<u64>(PartyId(p), &mk_sid(s)),
+                    Some(&(s as u64)),
+                    "session {s} party {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn string_values_work() {
+        let net = run_acast(4, 1, 4, "fifo", |p| {
+            if p == 0 {
+                Box::new(Acast::sender(PartyId(0), "payload".to_string()))
+            } else {
+                Box::new(Acast::<String>::receiver(PartyId(0)))
+            }
+        });
+        assert_eq!(
+            net.output_as::<String>(PartyId(2), &sid()).map(String::as_str),
+            Some("payload")
+        );
+    }
+}

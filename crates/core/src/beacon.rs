@@ -1,0 +1,142 @@
+//! A randomness beacon: a stream of strong common coins.
+//!
+//! The classic application of the paper's `CoinFlip` — repeated agreed,
+//! unpredictable bits for leader rotation, lotteries and committee
+//! sampling. Epochs run sequentially; the instance outputs the whole
+//! bitstring when the last epoch completes, and each epoch's bit is also
+//! recorded under its own child session for streaming consumers.
+
+use crate::coin_flip::{CoinFlip, CoinFlipOutput, CoinFlipParams};
+use crate::config::CoinKind;
+use aft_sim::{Context, Instance, PartyId, Payload, SessionTag};
+
+/// Session tag kind of the beacon's epochs (`index = epoch`).
+const EPOCH_TAG: &str = "beacon-epoch";
+
+/// The completed beacon output: one agreed bit per epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeaconOutput {
+    /// The agreed bits, in epoch order.
+    pub bits: Vec<bool>,
+}
+
+impl BeaconOutput {
+    /// Packs the first 64 bits into an integer (e.g. for seeding).
+    pub fn as_u64(&self) -> u64 {
+        self.bits
+            .iter()
+            .take(64)
+            .fold(0u64, |acc, &b| (acc << 1) | u64::from(b))
+    }
+}
+
+/// One party's beacon instance: `epochs` sequential [`CoinFlip`]s.
+///
+/// All properties are inherited per epoch from Theorem 3.5: every bit is
+/// agreed by all honest parties, has bias at most ε, and arrives
+/// almost-surely.
+///
+/// # Examples
+///
+/// ```
+/// use aft_core::{Beacon, BeaconOutput, CoinFlipParams, CoinKind};
+/// use aft_sim::{NetConfig, PartyId, RandomScheduler, SessionId, SessionTag, SimNetwork};
+///
+/// let (n, t) = (4, 1);
+/// let mut net = SimNetwork::new(NetConfig::new(n, t, 5), Box::new(RandomScheduler));
+/// let sid = SessionId::root().child(SessionTag::new("beacon", 0));
+/// for p in 0..n {
+///     net.spawn(PartyId(p), sid.clone(), Box::new(Beacon::new(
+///         3,
+///         CoinFlipParams::FixedK { k: 1 },
+///         CoinKind::Oracle(9),
+///     )));
+/// }
+/// net.run(u64::MAX);
+/// let out = net.output_as::<BeaconOutput>(PartyId(0), &sid).unwrap();
+/// assert_eq!(out.bits.len(), 3);
+/// for p in 1..n {
+///     assert_eq!(net.output_as::<BeaconOutput>(PartyId(p), &sid), Some(out));
+/// }
+/// ```
+pub struct Beacon {
+    epochs: u32,
+    params: CoinFlipParams,
+    coin: CoinKind,
+    bits: Vec<bool>,
+    done: bool,
+}
+
+impl Beacon {
+    /// Creates a beacon producing `epochs` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs == 0`.
+    pub fn new(epochs: u32, params: CoinFlipParams, coin: CoinKind) -> Self {
+        assert!(epochs > 0, "a beacon needs at least one epoch");
+        Beacon {
+            epochs,
+            params,
+            coin,
+            bits: Vec::new(),
+            done: false,
+        }
+    }
+
+    fn start_epoch(&mut self, ctx: &mut Context<'_>) {
+        let e = self.bits.len() as u64;
+        ctx.spawn(
+            SessionTag::new(EPOCH_TAG, e),
+            Box::new(CoinFlip::new(self.params, self.coin)),
+        );
+    }
+}
+
+impl Instance for Beacon {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.start_epoch(ctx);
+    }
+
+    fn on_message(&mut self, _from: PartyId, _payload: &Payload, _ctx: &mut Context<'_>) {}
+
+    fn on_child_output(&mut self, child: &SessionTag, output: &Payload, ctx: &mut Context<'_>) {
+        if child.kind != EPOCH_TAG || self.done {
+            return;
+        }
+        if child.index != self.bits.len() as u64 {
+            return;
+        }
+        let Some(out) = output.downcast_ref::<CoinFlipOutput>() else {
+            return;
+        };
+        self.bits.push(out.value);
+        if self.bits.len() < self.epochs as usize {
+            self.start_epoch(ctx);
+        } else {
+            self.done = true;
+            ctx.output(BeaconOutput {
+                bits: self.bits.clone(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_epochs_rejected() {
+        let _ = Beacon::new(0, CoinFlipParams::FixedK { k: 1 }, CoinKind::Local);
+    }
+
+    #[test]
+    fn beacon_output_packs_bits() {
+        let out = BeaconOutput {
+            bits: vec![true, false, true, true],
+        };
+        assert_eq!(out.as_u64(), 0b1011);
+    }
+}

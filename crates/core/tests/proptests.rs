@@ -1,0 +1,163 @@
+//! Property-based tests of the paper's algorithms: agreement invariants
+//! of CoinFlip / FairChoice / FBA / CommonSubset over randomized
+//! configurations.
+
+use aft_core::{
+    CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind, CommonSubsetInstance, Fba, FairChoice,
+    FairChoiceParams,
+};
+use aft_sim::{
+    scheduler_by_name, Instance, NetConfig, PartyId, SessionId, SessionTag, SilentInstance,
+    SimNetwork, StopReason,
+};
+use proptest::prelude::*;
+
+fn sid() -> SessionId {
+    SessionId::root().child(SessionTag::new("p", 0))
+}
+
+fn sched_name(i: usize) -> &'static str {
+    ["fifo", "random", "lifo", "window4"][i % 4]
+}
+
+fn run(
+    n: usize,
+    t: usize,
+    seed: u64,
+    sched: usize,
+    byz: &[usize],
+    mk: impl Fn(usize) -> Box<dyn Instance>,
+) -> SimNetwork {
+    let mut net = SimNetwork::new(
+        NetConfig::new(n, t, seed),
+        scheduler_by_name(sched_name(sched)).unwrap(),
+    );
+    for p in 0..n {
+        let inst: Box<dyn Instance> = if byz.contains(&p) {
+            Box::new(SilentInstance)
+        } else {
+            mk(p)
+        };
+        net.spawn(PartyId(p), sid(), inst);
+    }
+    let report = net.run(2_000_000_000);
+    assert_eq!(report.stop, StopReason::Quiescent);
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CoinFlip: strong agreement for any seed/scheduler/k and any single
+    /// crashed party.
+    #[test]
+    fn coin_flip_agreement_invariant(
+        seed in any::<u64>(),
+        sched in 0usize..4,
+        k in 1usize..4,
+        byz in 0usize..5,
+    ) {
+        let (n, t) = (4usize, 1usize);
+        let byz: Vec<usize> = if byz < n { vec![byz] } else { vec![] };
+        let net = run(n, t, seed, sched, &byz, |_| {
+            Box::new(CoinFlip::new(
+                CoinFlipParams::FixedK { k },
+                CoinKind::Oracle(seed ^ 0xC0),
+            ))
+        });
+        let outs: Vec<bool> = (0..n)
+            .filter(|p| !byz.contains(p))
+            .map(|p| {
+                net.output_as::<CoinFlipOutput>(PartyId(p), &sid())
+                    .expect("terminates")
+                    .value
+            })
+            .collect();
+        prop_assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
+    }
+
+    /// FairChoice: agreed output within range for any m.
+    #[test]
+    fn fair_choice_invariants(
+        seed in any::<u64>(),
+        m in 3usize..7,
+        sched in 0usize..4,
+    ) {
+        let (n, t) = (4usize, 1usize);
+        let net = run(n, t, seed, sched, &[], |_| {
+            Box::new(FairChoice::new(
+                m,
+                FairChoiceParams::FixedK { k: 1 },
+                CoinKind::Oracle(seed ^ 0xFC),
+            ))
+        });
+        let outs: Vec<usize> = (0..n)
+            .map(|p| *net.output_as::<usize>(PartyId(p), &sid()).expect("terminates"))
+            .collect();
+        prop_assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
+        prop_assert!(outs[0] < m);
+    }
+
+    /// FBA: agreement, and the output is some honest input (with only
+    /// crash adversaries every delivered value is an honest input).
+    #[test]
+    fn fba_agreement_and_anchored_output(
+        seed in any::<u64>(),
+        inputs in proptest::collection::vec(0u32..5, 4..=4),
+        sched in 0usize..4,
+        byz in 0usize..5,
+    ) {
+        let (n, t) = (4usize, 1usize);
+        let byz: Vec<usize> = if byz < n { vec![byz] } else { vec![] };
+        let inputs_c = inputs.clone();
+        let net = run(n, t, seed, sched, &byz, move |p| {
+            Box::new(Fba::new(
+                inputs_c[p],
+                FairChoiceParams::FixedK { k: 1 },
+                CoinKind::Oracle(seed ^ 0xFBA),
+            ))
+        });
+        let honest: Vec<usize> = (0..n).filter(|p| !byz.contains(p)).collect();
+        let outs: Vec<u32> = honest
+            .iter()
+            .map(|&p| *net.output_as::<u32>(PartyId(p), &sid()).expect("terminates"))
+            .collect();
+        prop_assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
+        let honest_inputs: Vec<u32> = honest.iter().map(|&p| inputs[p]).collect();
+        prop_assert!(honest_inputs.contains(&outs[0]), "output not an honest input");
+        // Unanimity ⇒ that value.
+        if honest_inputs.windows(2).all(|w| w[0] == w[1]) {
+            prop_assert_eq!(outs[0], honest_inputs[0]);
+        }
+    }
+
+    /// CommonSubset: common set, size ≥ n − t, silent parties excluded.
+    #[test]
+    fn common_subset_invariants(
+        seed in any::<u64>(),
+        sched in 0usize..4,
+        byz in 0usize..5,
+    ) {
+        let (n, t) = (4usize, 1usize);
+        let byz: Vec<usize> = if byz < n { vec![byz] } else { vec![] };
+        let net = run(n, t, seed, sched, &byz, |_| {
+            Box::new(CommonSubsetInstance::new(n - t, CoinKind::Oracle(seed ^ 0xC5), true))
+        });
+        let honest: Vec<usize> = (0..n).filter(|p| !byz.contains(p)).collect();
+        let sets: Vec<Vec<PartyId>> = honest
+            .iter()
+            .map(|&p| {
+                net.output_as::<Vec<PartyId>>(PartyId(p), &sid())
+                    .expect("terminates")
+                    .clone()
+            })
+            .collect();
+        for s in &sets[1..] {
+            prop_assert_eq!(s, &sets[0]);
+        }
+        prop_assert!(sets[0].len() >= n - t);
+        for b in &byz {
+            prop_assert!(!sets[0].contains(&PartyId(*b)), "silent member in S");
+        }
+    }
+}

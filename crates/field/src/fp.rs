@@ -1,0 +1,356 @@
+//! Prime-field arithmetic over the Mersenne prime `p = 2^61 - 1`.
+//!
+//! The field is large enough that random secrets collide with negligible
+//! probability and small enough that products fit comfortably in `u128`,
+//! making every operation branch-light and fast. Reduction uses the Mersenne
+//! identity `x mod (2^61 - 1) = (x & p) + (x >> 61)` (repeated once).
+
+use rand::Rng;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The field modulus `2^61 - 1`.
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// An element of the prime field `GF(2^61 - 1)`.
+///
+/// The internal representative is always kept in canonical range
+/// `0 <= value < MODULUS`.
+///
+/// # Examples
+///
+/// ```
+/// use aft_field::Fp;
+///
+/// let a = Fp::new(7);
+/// let b = Fp::new(5);
+/// assert_eq!(a + b, Fp::new(12));
+/// assert_eq!(a * b, Fp::new(35));
+/// assert_eq!((a / b) * b, a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Fp(u64);
+
+impl Fp {
+    /// The additive identity.
+    pub const ZERO: Fp = Fp(0);
+    /// The multiplicative identity.
+    pub const ONE: Fp = Fp(1);
+
+    /// Creates a field element from a `u64`, reducing modulo `p`.
+    ///
+    /// ```
+    /// use aft_field::{Fp, MODULUS};
+    /// assert_eq!(Fp::new(MODULUS), Fp::ZERO);
+    /// assert_eq!(Fp::new(MODULUS + 3), Fp::new(3));
+    /// ```
+    #[inline]
+    pub const fn new(value: u64) -> Self {
+        // Two folds suffice for any u64 input.
+        let v = (value & MODULUS) + (value >> 61);
+        let v = if v >= MODULUS { v - MODULUS } else { v };
+        Fp(v)
+    }
+
+    /// Returns the canonical representative in `[0, MODULUS)`.
+    #[inline]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the additive identity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Samples a uniformly random field element.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Rejection sampling for perfect uniformity (the rejection region is
+        // tiny: only MODULUS..2^61 and 2^61..2^64 after masking, handled by
+        // gen_range which is already unbiased).
+        Fp(rng.gen_range(0..MODULUS))
+    }
+
+    /// Raises `self` to the power `exp` via square-and-multiply.
+    ///
+    /// ```
+    /// use aft_field::Fp;
+    /// assert_eq!(Fp::new(3).pow(4), Fp::new(81));
+    /// assert_eq!(Fp::new(0).pow(0), Fp::ONE);
+    /// ```
+    pub fn pow(self, mut exp: u64) -> Self {
+        let mut base = self;
+        let mut acc = Fp::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Returns the multiplicative inverse, or `None` for zero.
+    ///
+    /// Uses Fermat's little theorem (`a^(p-2)`), which is constant-cost and
+    /// simple; this library does not aim for side-channel resistance (see
+    /// DESIGN.md §7).
+    ///
+    /// ```
+    /// use aft_field::Fp;
+    /// let a = Fp::new(1234567);
+    /// assert_eq!(a * a.inv().unwrap(), Fp::ONE);
+    /// assert_eq!(Fp::ZERO.inv(), None);
+    /// ```
+    pub fn inv(self) -> Option<Self> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(self.pow(MODULUS - 2))
+        }
+    }
+}
+
+impl fmt::Debug for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp({})", self.0)
+    }
+}
+
+impl fmt::Display for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Fp {
+    fn from(v: u64) -> Self {
+        Fp::new(v)
+    }
+}
+
+impl From<u32> for Fp {
+    fn from(v: u32) -> Self {
+        Fp::new(v as u64)
+    }
+}
+
+impl From<bool> for Fp {
+    fn from(v: bool) -> Self {
+        if v {
+            Fp::ONE
+        } else {
+            Fp::ZERO
+        }
+    }
+}
+
+impl Add for Fp {
+    type Output = Fp;
+    #[inline]
+    fn add(self, rhs: Fp) -> Fp {
+        let s = self.0 + rhs.0; // < 2^62, no overflow
+        Fp(if s >= MODULUS { s - MODULUS } else { s })
+    }
+}
+
+impl Sub for Fp {
+    type Output = Fp;
+    #[inline]
+    fn sub(self, rhs: Fp) -> Fp {
+        let s = self.0.wrapping_sub(rhs.0);
+        Fp(if self.0 < rhs.0 {
+            s.wrapping_add(MODULUS)
+        } else {
+            s
+        })
+    }
+}
+
+impl Mul for Fp {
+    type Output = Fp;
+    #[inline]
+    fn mul(self, rhs: Fp) -> Fp {
+        let prod = (self.0 as u128) * (rhs.0 as u128);
+        // Mersenne fold: low 61 bits + high bits. After one fold the value is
+        // < 2^62, so a second fold plus conditional subtraction canonicalises.
+        let folded = (prod & MODULUS as u128) as u64 + (prod >> 61) as u64;
+        Fp::new(folded)
+    }
+}
+
+impl Div for Fp {
+    type Output = Fp;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[inline]
+    fn div(self, rhs: Fp) -> Fp {
+        self * rhs.inv().expect("division by zero in Fp")
+    }
+}
+
+impl Neg for Fp {
+    type Output = Fp;
+    #[inline]
+    fn neg(self) -> Fp {
+        if self.0 == 0 {
+            self
+        } else {
+            Fp(MODULUS - self.0)
+        }
+    }
+}
+
+impl AddAssign for Fp {
+    fn add_assign(&mut self, rhs: Fp) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Fp {
+    fn sub_assign(&mut self, rhs: Fp) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Fp {
+    fn mul_assign(&mut self, rhs: Fp) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Fp {
+    fn div_assign(&mut self, rhs: Fp) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Fp {
+    fn sum<I: Iterator<Item = Fp>>(iter: I) -> Fp {
+        iter.fold(Fp::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Fp {
+    fn product<I: Iterator<Item = Fp>>(iter: I) -> Fp {
+        iter.fold(Fp::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> impl Rng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn canonical_construction_reduces() {
+        assert_eq!(Fp::new(MODULUS), Fp::ZERO);
+        assert_eq!(Fp::new(MODULUS + 1), Fp::ONE);
+        assert_eq!(Fp::new(u64::MAX).value() < MODULUS, true);
+        // u64::MAX = 2^64 - 1 = 8 * (2^61 - 1) + 7  =>  reduces to 7
+        assert_eq!(Fp::new(u64::MAX), Fp::new(7));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let a = Fp::random(&mut r);
+            let b = Fp::random(&mut r);
+            assert_eq!(a + b - b, a);
+            assert_eq!(a - b + b, a);
+        }
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let a = Fp::random(&mut r);
+            let b = Fp::random(&mut r);
+            let expect = ((a.value() as u128 * b.value() as u128) % MODULUS as u128) as u64;
+            assert_eq!((a * b).value(), expect);
+        }
+    }
+
+    #[test]
+    fn mul_extreme_values() {
+        let m = Fp::new(MODULUS - 1);
+        // (p-1)^2 mod p = 1
+        assert_eq!(m * m, Fp::ONE);
+        assert_eq!(m * Fp::ZERO, Fp::ZERO);
+        assert_eq!(m * Fp::ONE, m);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let a = Fp::random(&mut r);
+            assert_eq!(a + (-a), Fp::ZERO);
+        }
+        assert_eq!(-Fp::ZERO, Fp::ZERO);
+    }
+
+    #[test]
+    fn inv_is_multiplicative_inverse() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let a = Fp::random(&mut r);
+            if !a.is_zero() {
+                assert_eq!(a * a.inv().unwrap(), Fp::ONE);
+            }
+        }
+        assert!(Fp::ZERO.inv().is_none());
+    }
+
+    #[test]
+    fn pow_laws() {
+        let a = Fp::new(987654321);
+        assert_eq!(a.pow(0), Fp::ONE);
+        assert_eq!(a.pow(1), a);
+        assert_eq!(a.pow(5), a * a * a * a * a);
+        // Fermat: a^(p-1) = 1
+        assert_eq!(a.pow(MODULUS - 1), Fp::ONE);
+    }
+
+    #[test]
+    fn div_by_zero_panics() {
+        let result = std::panic::catch_unwind(|| Fp::ONE / Fp::ZERO);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn sum_and_product_iterators() {
+        let xs = [Fp::new(1), Fp::new(2), Fp::new(3), Fp::new(4)];
+        assert_eq!(xs.iter().copied().sum::<Fp>(), Fp::new(10));
+        assert_eq!(xs.iter().copied().product::<Fp>(), Fp::new(24));
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        assert_eq!(format!("{}", Fp::new(5)), "5");
+        assert_eq!(format!("{:?}", Fp::new(5)), "Fp(5)");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Fp::from(true), Fp::ONE);
+        assert_eq!(Fp::from(false), Fp::ZERO);
+        assert_eq!(Fp::from(17u32), Fp::new(17));
+        assert_eq!(Fp::from(17u64), Fp::new(17));
+    }
+
+    #[test]
+    fn random_is_in_range() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(Fp::random(&mut r).value() < MODULUS);
+        }
+    }
+}

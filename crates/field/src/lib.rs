@@ -1,0 +1,53 @@
+//! # aft-field
+//!
+//! Finite-field arithmetic for the `aft` reproduction of
+//! *Revisiting Asynchronous Fault Tolerant Computation with Optimal
+//! Resilience* (Abraham–Dolev–Stern, PODC 2020).
+//!
+//! This crate is the algebraic substrate under the secret-sharing layer:
+//!
+//! * [`Fp`] — the prime field `GF(2^61 − 1)` (fast Mersenne reduction);
+//! * [`Poly`] — univariate polynomials (Shamir sharing, evaluation,
+//!   division);
+//! * [`BivarPoly`] — bivariate polynomials of bounded degree per variable
+//!   (the dealer object in SVSS);
+//! * [`interpolate`] / [`interpolate_at_zero`] — Lagrange interpolation;
+//! * [`rs_decode`] / [`oec_decode`] / [`OnlineDecoder`] — Berlekamp–Welch
+//!   Reed–Solomon decoding and the *online error correction* loop used by
+//!   asynchronous reconstruction with up to `t` Byzantine points.
+//!
+//! # Example: Shamir share-and-reconstruct with faults
+//!
+//! ```
+//! use aft_field::{oec_decode, Fp, Poly};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let secret = Fp::new(1234);
+//! let t = 2; // up to t corrupted shares
+//! let n = 3 * t + 1;
+//! let poly = Poly::random_with_secret(secret, t, &mut rng);
+//! let mut shares: Vec<(Fp, Fp)> =
+//!     (1..=n as u64).map(|i| (Fp::new(i), poly.eval(Fp::new(i)))).collect();
+//! shares[0].1 = Fp::new(999); // a Byzantine party lies
+//! shares[3].1 = Fp::new(42);  // another one lies
+//! let recovered = oec_decode(&shares, t).unwrap();
+//! assert_eq!(recovered.eval(Fp::ZERO), secret);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bivar;
+mod fp;
+mod interp;
+mod linalg;
+mod poly;
+mod rs;
+
+pub use bivar::BivarPoly;
+pub use fp::{Fp, MODULUS};
+pub use interp::{interpolate, interpolate_at, interpolate_at_zero, InterpolateError};
+pub use linalg::solve_linear;
+pub use poly::Poly;
+pub use rs::{oec_decode, rs_decode, DuplicatePointError, OnlineDecoder};

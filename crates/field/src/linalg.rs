@@ -1,0 +1,183 @@
+//! Dense Gaussian elimination over [`Fp`], used by the Berlekamp–Welch
+//! decoder.
+
+use crate::fp::Fp;
+
+/// Solves the linear system `A z = b` over `GF(2^61 - 1)` by Gaussian
+/// elimination with partial "first nonzero" pivoting.
+///
+/// * Returns `Some(z)` with *a* solution when the system is consistent
+///   (free variables are set to zero).
+/// * Returns `None` when the system is inconsistent or shapes mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use aft_field::{solve_linear, Fp};
+///
+/// // x + y = 3, x - y = 1  =>  x = 2, y = 1
+/// let a = vec![
+///     vec![Fp::new(1), Fp::new(1)],
+///     vec![Fp::new(1), -Fp::new(1)],
+/// ];
+/// let b = vec![Fp::new(3), Fp::new(1)];
+/// let z = solve_linear(&a, &b).unwrap();
+/// assert_eq!(z, vec![Fp::new(2), Fp::new(1)]);
+/// ```
+pub fn solve_linear(a: &[Vec<Fp>], b: &[Fp]) -> Option<Vec<Fp>> {
+    let rows = a.len();
+    if rows != b.len() {
+        return None;
+    }
+    let cols = a.first().map_or(0, |r| r.len());
+    if a.iter().any(|r| r.len() != cols) {
+        return None;
+    }
+
+    // Augmented matrix.
+    let mut m: Vec<Vec<Fp>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &rhs)| {
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+
+    let mut pivot_row = 0usize;
+    let mut pivot_cols: Vec<usize> = Vec::new();
+    for col in 0..cols {
+        // Find a nonzero pivot in this column at or below pivot_row.
+        let Some(src) = (pivot_row..rows).find(|&r| !m[r][col].is_zero()) else {
+            continue;
+        };
+        m.swap(pivot_row, src);
+        let inv = m[pivot_row][col].inv().expect("pivot nonzero");
+        for c in col..=cols {
+            m[pivot_row][c] = m[pivot_row][c] * inv;
+        }
+        for r in 0..rows {
+            if r != pivot_row && !m[r][col].is_zero() {
+                let factor = m[r][col];
+                for c in col..=cols {
+                    let sub = factor * m[pivot_row][c];
+                    m[r][c] = m[r][c] - sub;
+                }
+            }
+        }
+        pivot_cols.push(col);
+        pivot_row += 1;
+        if pivot_row == rows {
+            break;
+        }
+    }
+
+    // Inconsistency: a zero row with nonzero rhs.
+    for r in pivot_row..rows {
+        if m[r][..cols].iter().all(|c| c.is_zero()) && !m[r][cols].is_zero() {
+            return None;
+        }
+    }
+
+    let mut z = vec![Fp::ZERO; cols];
+    for (rank_idx, &col) in pivot_cols.iter().enumerate() {
+        z[col] = m[rank_idx][cols];
+    }
+    Some(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    fn mat_vec(a: &[Vec<Fp>], z: &[Fp]) -> Vec<Fp> {
+        a.iter()
+            .map(|row| row.iter().zip(z).map(|(&c, &x)| c * x).sum())
+            .collect()
+    }
+
+    #[test]
+    fn solves_random_square_systems() {
+        let mut r = rng();
+        for n in 1..8usize {
+            for _ in 0..20 {
+                let a: Vec<Vec<Fp>> = (0..n)
+                    .map(|_| (0..n).map(|_| Fp::random(&mut r)).collect())
+                    .collect();
+                let x_true: Vec<Fp> = (0..n).map(|_| Fp::random(&mut r)).collect();
+                let b = mat_vec(&a, &x_true);
+                if let Some(z) = solve_linear(&a, &b) {
+                    assert_eq!(mat_vec(&a, &z), b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detects_inconsistent_system() {
+        // x + y = 1; x + y = 2
+        let a = vec![
+            vec![Fp::new(1), Fp::new(1)],
+            vec![Fp::new(1), Fp::new(1)],
+        ];
+        let b = vec![Fp::new(1), Fp::new(2)];
+        assert!(solve_linear(&a, &b).is_none());
+    }
+
+    #[test]
+    fn underdetermined_returns_some_solution() {
+        // x + y = 5 (one equation, two unknowns)
+        let a = vec![vec![Fp::new(1), Fp::new(1)]];
+        let b = vec![Fp::new(5)];
+        let z = solve_linear(&a, &b).unwrap();
+        assert_eq!(z[0] + z[1], Fp::new(5));
+    }
+
+    #[test]
+    fn overdetermined_consistent_system() {
+        // y = 2x + 1 sampled at 4 points, unknowns (a0, a1).
+        let pts = [1u64, 2, 3, 4];
+        let a: Vec<Vec<Fp>> = pts.iter().map(|&x| vec![Fp::ONE, Fp::new(x)]).collect();
+        let b: Vec<Fp> = pts.iter().map(|&x| Fp::new(2 * x + 1)).collect();
+        let z = solve_linear(&a, &b).unwrap();
+        assert_eq!(z, vec![Fp::new(1), Fp::new(2)]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_none() {
+        let a = vec![vec![Fp::ONE], vec![Fp::ONE, Fp::ONE]];
+        assert!(solve_linear(&a, &[Fp::ONE, Fp::ONE]).is_none());
+        let a2 = vec![vec![Fp::ONE]];
+        assert!(solve_linear(&a2, &[Fp::ONE, Fp::ONE]).is_none());
+    }
+
+    #[test]
+    fn zero_system_solves_to_zero() {
+        let a = vec![vec![Fp::ZERO, Fp::ZERO]];
+        let b = vec![Fp::ZERO];
+        assert_eq!(solve_linear(&a, &b).unwrap(), vec![Fp::ZERO, Fp::ZERO]);
+        let b_bad = vec![Fp::ONE];
+        assert!(solve_linear(&a, &b_bad).is_none());
+    }
+
+    #[test]
+    fn random_rank_deficient_consistent() {
+        let mut r = rng();
+        for _ in 0..20 {
+            // Build rank-1 3x3 system from outer product; rhs in column space.
+            let u: Vec<Fp> = (0..3).map(|_| Fp::random(&mut r)).collect();
+            let v: Vec<Fp> = (0..3).map(|_| Fp::random(&mut r)).collect();
+            let a: Vec<Vec<Fp>> = u.iter().map(|&ui| v.iter().map(|&vj| ui * vj).collect()).collect();
+            let x: Vec<Fp> = (0..3).map(|_| Fp::random(&mut r)).collect();
+            let b = mat_vec(&a, &x);
+            let z = solve_linear(&a, &b).expect("consistent by construction");
+            assert_eq!(mat_vec(&a, &z), b);
+        }
+    }
+}

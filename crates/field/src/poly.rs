@@ -1,0 +1,330 @@
+//! Univariate polynomials over [`Fp`] in coefficient form.
+
+use crate::fp::Fp;
+use rand::Rng;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A univariate polynomial over `GF(2^61 - 1)`, stored as coefficients in
+/// ascending degree order (`coeffs[i]` multiplies `x^i`).
+///
+/// The zero polynomial is represented by an empty coefficient vector; all
+/// constructors and operations keep the representation normalised (no
+/// trailing zero coefficients), so `==` is semantic equality.
+///
+/// # Examples
+///
+/// ```
+/// use aft_field::{Fp, Poly};
+///
+/// // 3 + 2x
+/// let p = Poly::from_coeffs(vec![Fp::new(3), Fp::new(2)]);
+/// assert_eq!(p.eval(Fp::new(10)), Fp::new(23));
+/// assert_eq!(p.degree(), Some(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Poly {
+    coeffs: Vec<Fp>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Fp) -> Self {
+        Poly::from_coeffs(vec![c])
+    }
+
+    /// Builds a polynomial from coefficients in ascending degree order,
+    /// trimming trailing zeros.
+    pub fn from_coeffs(coeffs: Vec<Fp>) -> Self {
+        let mut p = Poly { coeffs };
+        p.normalize();
+        p
+    }
+
+    /// Samples a uniformly random polynomial of degree at most `deg`.
+    pub fn random<R: Rng + ?Sized>(deg: usize, rng: &mut R) -> Self {
+        let coeffs = (0..=deg).map(|_| Fp::random(rng)).collect();
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Samples a random polynomial of degree at most `deg` with fixed
+    /// constant term `p(0) = secret` — the Shamir sharing polynomial.
+    pub fn random_with_secret<R: Rng + ?Sized>(secret: Fp, deg: usize, rng: &mut R) -> Self {
+        let mut coeffs: Vec<Fp> = (0..=deg).map(|_| Fp::random(rng)).collect();
+        coeffs[0] = secret;
+        Poly::from_coeffs(coeffs)
+    }
+
+    fn normalize(&mut self) {
+        while self.coeffs.last().is_some_and(|c| c.is_zero()) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// The degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        if self.coeffs.is_empty() {
+            None
+        } else {
+            Some(self.coeffs.len() - 1)
+        }
+    }
+
+    /// Returns `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The coefficients in ascending degree order (no trailing zeros).
+    pub fn coeffs(&self) -> &[Fp] {
+        &self.coeffs
+    }
+
+    /// The coefficient of `x^i` (zero beyond the degree).
+    pub fn coeff(&self, i: usize) -> Fp {
+        self.coeffs.get(i).copied().unwrap_or(Fp::ZERO)
+    }
+
+    /// Evaluates the polynomial at `x` by Horner's rule.
+    pub fn eval(&self, x: Fp) -> Fp {
+        let mut acc = Fp::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Evaluates at the canonical party points `1..=n` (index `i` holds
+    /// `p(i+1)`), the share vector used throughout the secret-sharing layer.
+    pub fn eval_points(&self, n: usize) -> Vec<Fp> {
+        (1..=n as u64).map(|i| self.eval(Fp::new(i))).collect()
+    }
+
+    /// Multiplies by the monomial `(x - root)`.
+    pub fn mul_linear(&self, root: Fp) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![Fp::ZERO; self.coeffs.len() + 1];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            out[i + 1] += c;
+            out[i] -= c * root;
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Divides exactly by `divisor`, returning `None` when the division
+    /// leaves a remainder or the divisor is zero.
+    ///
+    /// Used by Berlekamp–Welch decoding where `Q(x) / E(x)` must be exact.
+    pub fn div_exact(&self, divisor: &Poly) -> Option<Poly> {
+        let (q, r) = self.div_rem(divisor)?;
+        if r.is_zero() {
+            Some(q)
+        } else {
+            None
+        }
+    }
+
+    /// Polynomial long division: returns `(quotient, remainder)`, or `None`
+    /// if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Poly) -> Option<(Poly, Poly)> {
+        let d_deg = divisor.degree()?;
+        let d_lead_inv = divisor.coeffs[d_deg].inv().expect("leading coeff nonzero");
+        let mut rem = self.coeffs.clone();
+        if rem.len() < divisor.coeffs.len() {
+            return Some((Poly::zero(), self.clone()));
+        }
+        let q_len = rem.len() - d_deg;
+        let mut quot = vec![Fp::ZERO; q_len];
+        for qi in (0..q_len).rev() {
+            let lead = rem[qi + d_deg];
+            if lead.is_zero() {
+                continue;
+            }
+            let factor = lead * d_lead_inv;
+            quot[qi] = factor;
+            for (k, &dc) in divisor.coeffs.iter().enumerate() {
+                rem[qi + k] -= factor * dc;
+            }
+        }
+        Some((Poly::from_coeffs(quot), Poly::from_coeffs(rem)))
+    }
+}
+
+impl Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let coeffs = (0..n).map(|i| self.coeff(i) + rhs.coeff(i)).collect();
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let coeffs = (0..n).map(|i| self.coeff(i) - rhs.coeff(i)).collect();
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![Fp::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly::from_coeffs(out)
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "Poly(0)");
+        }
+        write!(f, "Poly(")?;
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + {c}*x^{i}")?;
+            } else {
+                write!(f, "{c}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn zero_poly_invariants() {
+        let z = Poly::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.eval(Fp::new(99)), Fp::ZERO);
+        assert_eq!(Poly::from_coeffs(vec![Fp::ZERO, Fp::ZERO]), z);
+    }
+
+    #[test]
+    fn constant_and_coeff_access() {
+        let p = Poly::constant(Fp::new(9));
+        assert_eq!(p.degree(), Some(0));
+        assert_eq!(p.coeff(0), Fp::new(9));
+        assert_eq!(p.coeff(5), Fp::ZERO);
+    }
+
+    #[test]
+    fn eval_horner_matches_naive() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let p = Poly::random(6, &mut r);
+            let x = Fp::random(&mut r);
+            let naive: Fp = p
+                .coeffs()
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c * x.pow(i as u64))
+                .sum();
+            assert_eq!(p.eval(x), naive);
+        }
+    }
+
+    #[test]
+    fn random_with_secret_fixes_constant_term() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let s = Fp::random(&mut r);
+            let p = Poly::random_with_secret(s, 4, &mut r);
+            assert_eq!(p.eval(Fp::ZERO), s);
+        }
+    }
+
+    #[test]
+    fn add_sub_mul_algebra() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let a = Poly::random(4, &mut r);
+            let b = Poly::random(3, &mut r);
+            let x = Fp::random(&mut r);
+            assert_eq!((&a + &b).eval(x), a.eval(x) + b.eval(x));
+            assert_eq!((&a - &b).eval(x), a.eval(x) - b.eval(x));
+            assert_eq!((&a * &b).eval(x), a.eval(x) * b.eval(x));
+        }
+    }
+
+    #[test]
+    fn mul_linear_adds_root() {
+        let mut r = rng();
+        let p = Poly::random(3, &mut r);
+        let root = Fp::new(5);
+        let q = p.mul_linear(root);
+        assert_eq!(q.eval(root), Fp::ZERO);
+        assert_eq!(q.degree(), Some(4));
+        let x = Fp::new(17);
+        assert_eq!(q.eval(x), p.eval(x) * (x - root));
+    }
+
+    #[test]
+    fn division_roundtrip() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let a = Poly::random(7, &mut r);
+            let b = Poly::random(3, &mut r);
+            if b.is_zero() {
+                continue;
+            }
+            let (q, rem) = a.div_rem(&b).unwrap();
+            let recombined = &(&q * &b) + &rem;
+            assert_eq!(recombined, a);
+            assert!(rem.degree().unwrap_or(0) < b.degree().unwrap() || rem.is_zero());
+        }
+    }
+
+    #[test]
+    fn div_exact_detects_remainder() {
+        let mut r = rng();
+        let b = Poly::random(2, &mut r);
+        let q = Poly::random(3, &mut r);
+        let product = &q * &b;
+        assert_eq!(product.div_exact(&b), Some(q));
+        let with_rem = &product + &Poly::constant(Fp::ONE);
+        assert_eq!(with_rem.div_exact(&b), None);
+    }
+
+    #[test]
+    fn div_by_zero_returns_none() {
+        let p = Poly::constant(Fp::ONE);
+        assert!(p.div_rem(&Poly::zero()).is_none());
+    }
+
+    #[test]
+    fn eval_points_are_one_indexed() {
+        // p(x) = x
+        let p = Poly::from_coeffs(vec![Fp::ZERO, Fp::ONE]);
+        assert_eq!(
+            p.eval_points(3),
+            vec![Fp::new(1), Fp::new(2), Fp::new(3)]
+        );
+    }
+}

@@ -1,0 +1,392 @@
+//! Reed–Solomon decoding: Berlekamp–Welch with a fixed error budget, plus
+//! the *online error correction* (OEC) loop used by asynchronous
+//! reconstruction.
+//!
+//! In the SVSS reconstruction of [ADH08]-style protocols, a party receives
+//! claimed points of a degree-`t` polynomial one at a time; up to `t` of the
+//! eventual points are adversarial. OEC retries decoding with a growing
+//! error budget as points arrive and accepts only a polynomial that agrees
+//! with enough received points to be uniquely correct. See `DESIGN.md` §4.1.
+
+use crate::fp::Fp;
+use crate::interp::interpolate;
+use crate::linalg::solve_linear;
+use crate::poly::Poly;
+
+/// Decodes the unique polynomial of degree ≤ `degree` through `points`,
+/// tolerating at most `errors` wrong points (Berlekamp–Welch).
+///
+/// Requirements for a guaranteed decode: `points.len() >= degree + 2*errors + 1`
+/// and at most `errors` of the points are wrong. The returned polynomial is
+/// *verified* to agree with at least `points.len() - errors` of the supplied
+/// points, which makes it unique: two degree-≤`degree` polynomials each
+/// missing ≤ `errors` of `m ≥ degree + 2·errors + 1` points agree on
+/// ≥ `degree + 1` common points and are therefore equal.
+///
+/// Returns `None` when no such polynomial exists (more errors than budget,
+/// or too few points). Duplicate x-coordinates return `None`.
+///
+/// # Examples
+///
+/// ```
+/// use aft_field::{rs_decode, Fp, Poly};
+///
+/// // y = x + 1 at 5 points, one corrupted.
+/// let mut pts: Vec<(Fp, Fp)> = (1..=5u64).map(|i| (Fp::new(i), Fp::new(i + 1))).collect();
+/// pts[2].1 = Fp::new(999);
+/// let p = rs_decode(&pts, 1, 1).unwrap();
+/// assert_eq!(p.eval(Fp::new(10)), Fp::new(11));
+/// ```
+pub fn rs_decode(points: &[(Fp, Fp)], degree: usize, errors: usize) -> Option<Poly> {
+    let m = points.len();
+    if m < degree + 2 * errors + 1 {
+        return None;
+    }
+    for (i, (xi, _)) in points.iter().enumerate() {
+        if points[..i].iter().any(|(xj, _)| xj == xi) {
+            return None;
+        }
+    }
+
+    let candidate = if errors == 0 {
+        interpolate(&points[..degree + 1]).ok()?
+    } else {
+        berlekamp_welch(points, degree, errors)?
+    };
+
+    if candidate.degree().map_or(0, |d| d) > degree {
+        return None;
+    }
+    let agree = points.iter().filter(|&&(x, y)| candidate.eval(x) == y).count();
+    if agree >= m - errors {
+        Some(candidate)
+    } else {
+        None
+    }
+}
+
+/// Core Berlekamp–Welch system: find monic `E` of degree `e` and `Q` of
+/// degree ≤ `d + e` with `Q(x_i) = y_i · E(x_i)` for all points, then return
+/// `Q / E` when the division is exact.
+fn berlekamp_welch(points: &[(Fp, Fp)], d: usize, e: usize) -> Option<Poly> {
+    let m = points.len();
+    // Unknowns: q_0..q_{d+e}  (d+e+1 of them), then e_0..e_{e-1}.
+    let nq = d + e + 1;
+    let unknowns = nq + e;
+    let mut a = Vec::with_capacity(m);
+    let mut b = Vec::with_capacity(m);
+    for &(x, y) in points {
+        let mut row = vec![Fp::ZERO; unknowns];
+        let mut xp = Fp::ONE;
+        for cell in row.iter_mut().take(nq) {
+            *cell = xp;
+            xp *= x;
+        }
+        let mut xp = Fp::ONE;
+        for k in 0..e {
+            row[nq + k] = -(y * xp);
+            xp *= x;
+        }
+        // x^e coefficient of E is fixed to 1 (monic):
+        b.push(y * x.pow(e as u64));
+        a.push(row);
+    }
+    let z = solve_linear(&a, &b)?;
+    let q = Poly::from_coeffs(z[..nq].to_vec());
+    let mut e_coeffs = z[nq..].to_vec();
+    e_coeffs.push(Fp::ONE); // monic
+    let e_poly = Poly::from_coeffs(e_coeffs);
+    q.div_exact(&e_poly)
+}
+
+/// Online error correction: tries error budgets `0, 1, 2, …` as far as the
+/// current number of points allows and returns the first verified decode.
+///
+/// Guarantee: if at most `f` of the supplied points are wrong and at least
+/// `degree + 2f + 1` points are present, a correct polynomial is returned.
+/// Conversely, *any* returned polynomial agrees with at least
+/// `m − e ≥ degree + e + 1` points for the budget `e` that succeeded, so if
+/// at most `e` points are wrong the result is exact.
+///
+/// **Caveat for streaming use**: when points arrive one at a time, an early
+/// call can succeed with a small budget while a corrupted point sits among
+/// the first `degree + 1` — correct *only* relative to the points seen so
+/// far. For asynchronous protocols with a global bound of `max_bad`
+/// adversarial points, use [`OnlineDecoder`], whose acceptance rule
+/// additionally demands agreement with `degree + max_bad + 1` points and is
+/// therefore sound at any prefix.
+///
+/// ```
+/// use aft_field::{oec_decode, Fp};
+/// // degree 1 polynomial y = 2x, points arriving with 1 corruption
+/// let pts = vec![
+///     (Fp::new(1), Fp::new(2)),
+///     (Fp::new(2), Fp::new(4)),
+///     (Fp::new(3), Fp::new(777)), // bad
+///     (Fp::new(4), Fp::new(8)),
+///     (Fp::new(5), Fp::new(10)),
+/// ];
+/// let p = oec_decode(&pts, 1).unwrap();
+/// assert_eq!(p.eval(Fp::new(6)), Fp::new(12));
+/// ```
+pub fn oec_decode(points: &[(Fp, Fp)], degree: usize) -> Option<Poly> {
+    let m = points.len();
+    if m <= degree {
+        return None;
+    }
+    let max_e = (m - degree - 1) / 2;
+    (0..=max_e).find_map(|e| rs_decode(points, degree, e))
+}
+
+/// An incremental online-error-correcting decoder that is *sound at every
+/// prefix* under a global bound of `max_bad` adversarial points.
+///
+/// Feed points as they arrive with [`OnlineDecoder::add_point`]. A
+/// candidate is accepted only when it agrees with at least
+/// `degree + max_bad + 1` of the received points: at most `max_bad` of
+/// those can be adversarial, so at least `degree + 1` agreeing points are
+/// honest and pin the polynomial down uniquely. Hence an accepted decode is
+/// always the honest parties' polynomial — even if many of the *early*
+/// arrivals were adversarial.
+///
+/// Termination: once all `h ≥ degree + max_bad + 1` honest points have
+/// arrived (e.g. `h = 2t + 1`, `degree = t`, `max_bad = t` in the SVSS
+/// layer), the loop reaches a budget `e` covering the `f ≤ max_bad` bad
+/// points actually received (`e = f` satisfies both
+/// `m ≥ degree + 2e + 1` and `m − e ≥ degree + max_bad + 1`), so decoding
+/// is guaranteed to succeed.
+///
+/// Duplicate x-coordinates are rejected (`add_point` returns an error) —
+/// in protocol use each party contributes at most one point.
+#[derive(Debug, Clone)]
+pub struct OnlineDecoder {
+    degree: usize,
+    max_bad: usize,
+    points: Vec<(Fp, Fp)>,
+    decoded: Option<Poly>,
+}
+
+/// Error returned when a duplicate x-coordinate is fed to [`OnlineDecoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicatePointError(pub Fp);
+
+impl std::fmt::Display for DuplicatePointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "duplicate x-coordinate {} fed to online decoder", self.0)
+    }
+}
+
+impl std::error::Error for DuplicatePointError {}
+
+impl OnlineDecoder {
+    /// Creates a decoder for a polynomial of degree ≤ `degree` with at most
+    /// `max_bad` adversarial points among all that will ever arrive.
+    pub fn new(degree: usize, max_bad: usize) -> Self {
+        OnlineDecoder {
+            degree,
+            max_bad,
+            points: Vec::new(),
+            decoded: None,
+        }
+    }
+
+    /// The number of points received so far.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points have been received.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The decoded polynomial, if decoding has already succeeded.
+    pub fn decoded(&self) -> Option<&Poly> {
+        self.decoded.as_ref()
+    }
+
+    /// Adds a point and re-attempts decoding.
+    ///
+    /// Returns `Ok(Some(poly))` once decoding succeeds (and on every later
+    /// call), `Ok(None)` while more points are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DuplicatePointError`] if `x` was already supplied.
+    pub fn add_point(&mut self, x: Fp, y: Fp) -> Result<Option<&Poly>, DuplicatePointError> {
+        if self.points.iter().any(|&(px, _)| px == x) {
+            return Err(DuplicatePointError(x));
+        }
+        self.points.push((x, y));
+        if self.decoded.is_none() {
+            self.decoded = self.try_decode();
+        }
+        Ok(self.decoded.as_ref())
+    }
+
+    /// Attempts a sound decode of the points received so far.
+    fn try_decode(&self) -> Option<Poly> {
+        let m = self.points.len();
+        // Acceptance needs agreement with >= degree + max_bad + 1 points,
+        // i.e. m - e >= degree + max_bad + 1; BW needs m >= degree + 2e + 1.
+        let bound = m.checked_sub(self.degree + self.max_bad + 1)?;
+        let bw_bound = (m - self.degree - 1) / 2;
+        (0..=bound.min(bw_bound)).find_map(|e| rs_decode(&self.points, self.degree, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(23)
+    }
+
+    fn sample_points(p: &Poly, n: usize) -> Vec<(Fp, Fp)> {
+        (1..=n as u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect()
+    }
+
+    #[test]
+    fn decodes_with_zero_errors() {
+        let mut r = rng();
+        let p = Poly::random(3, &mut r);
+        let pts = sample_points(&p, 4);
+        assert_eq!(rs_decode(&pts, 3, 0).unwrap(), p);
+    }
+
+    #[test]
+    fn corrects_exactly_e_errors() {
+        let mut r = rng();
+        for t in 1..5usize {
+            for e in 1..=t {
+                let p = Poly::random(t, &mut r);
+                let n = t + 2 * e + 1;
+                let mut pts = sample_points(&p, n);
+                // corrupt e random positions with distinct garbage
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.shuffle(&mut r);
+                for &i in idx.iter().take(e) {
+                    pts[i].1 += Fp::new(1 + r.gen_range(0..1000));
+                }
+                let decoded = rs_decode(&pts, t, e).expect("within budget");
+                assert_eq!(decoded, p, "t={t} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_errors_fails_cleanly() {
+        let mut r = rng();
+        let t = 2;
+        let p = Poly::random(t, &mut r);
+        let n = t + 2 + 1; // budget e=1
+        let mut pts = sample_points(&p, n);
+        // corrupt 2 > budget
+        pts[0].1 += Fp::ONE;
+        pts[1].1 += Fp::ONE;
+        // may fail or return garbage that fails verification; must be None
+        assert!(rs_decode(&pts, t, 1).is_none());
+    }
+
+    #[test]
+    fn insufficient_points_is_none() {
+        let mut r = rng();
+        let p = Poly::random(3, &mut r);
+        let pts = sample_points(&p, 4);
+        assert!(rs_decode(&pts, 3, 1).is_none()); // needs 3+2+1=6
+    }
+
+    #[test]
+    fn duplicate_x_is_none() {
+        let pts = vec![(Fp::new(1), Fp::new(1)), (Fp::new(1), Fp::new(2)), (Fp::new(2), Fp::new(3))];
+        assert!(rs_decode(&pts, 1, 0).is_none());
+    }
+
+    #[test]
+    fn oec_succeeds_at_minimum_points() {
+        let mut r = rng();
+        let t = 3usize;
+        let f = 2usize; // actual bad points
+        let p = Poly::random(t, &mut r);
+        let n = t + 2 * f + 1;
+        let mut pts = sample_points(&p, n);
+        pts[1].1 += Fp::new(5);
+        pts[4].1 += Fp::new(9);
+        assert_eq!(oec_decode(&pts, t).unwrap(), p);
+        // With one fewer point it may or may not decode, but must never
+        // return a *wrong* polynomial when ≤ f errors and budget respected:
+        if let Some(q) = oec_decode(&pts[..n - 1], t) {
+            assert_eq!(q, p);
+        }
+    }
+
+    #[test]
+    fn online_decoder_streams_to_success() {
+        let mut r = rng();
+        let t = 2usize;
+        let p = Poly::random(t, &mut r);
+        // 9 points: 2 corrupted, delivered in adversarial order (bad first).
+        let mut pts = sample_points(&p, 9);
+        pts[0].1 += Fp::ONE;
+        pts[1].1 += Fp::new(7);
+        pts.swap(2, 8);
+        let mut dec = OnlineDecoder::new(t, 2);
+        let mut done_at = None;
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            if dec.add_point(x, y).unwrap().is_some() && done_at.is_none() {
+                done_at = Some(i);
+            }
+        }
+        assert_eq!(dec.decoded().unwrap(), &p);
+        // Must have succeeded by the time all points are in (t + 2*2 + 1 = 7).
+        assert!(done_at.unwrap() <= 8);
+    }
+
+    #[test]
+    fn online_decoder_rejects_duplicates() {
+        let mut dec = OnlineDecoder::new(1, 0);
+        dec.add_point(Fp::new(1), Fp::new(1)).unwrap();
+        assert_eq!(
+            dec.add_point(Fp::new(1), Fp::new(2)),
+            Err(DuplicatePointError(Fp::new(1)))
+        );
+    }
+
+    #[test]
+    fn online_decoder_never_wrong_within_budget() {
+        // Property-style loop: random polynomial, random ≤ t corruptions,
+        // random arrival order; whenever a decode is produced it is exact.
+        let mut r = rng();
+        for _ in 0..50 {
+            let t = r.gen_range(1..4usize);
+            let n = 3 * t + 1;
+            let p = Poly::random(t, &mut r);
+            let mut pts = sample_points(&p, n);
+            let bad = r.gen_range(0..=t);
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.shuffle(&mut r);
+            for &i in idx.iter().take(bad) {
+                pts[i].1 += Fp::new(r.gen_range(1..100));
+            }
+            pts.shuffle(&mut r);
+            let mut dec = OnlineDecoder::new(t, t);
+            for &(x, y) in &pts {
+                if let Some(q) = dec.add_point(x, y).unwrap() {
+                    assert_eq!(q, &p);
+                }
+            }
+            assert_eq!(dec.decoded(), Some(&p), "must decode with all points in");
+        }
+    }
+
+    #[test]
+    fn empty_decoder_accessors() {
+        let dec = OnlineDecoder::new(2, 1);
+        assert!(dec.is_empty());
+        assert_eq!(dec.len(), 0);
+        assert!(dec.decoded().is_none());
+    }
+}

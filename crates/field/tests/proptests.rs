@@ -1,0 +1,170 @@
+//! Property-based tests of the algebraic substrate.
+
+use aft_field::{
+    interpolate, interpolate_at, interpolate_at_zero, oec_decode, rs_decode, solve_linear,
+    BivarPoly, Fp, OnlineDecoder, Poly, MODULUS,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn fp() -> impl Strategy<Value = Fp> {
+    (0..MODULUS).prop_map(Fp::new)
+}
+
+fn poly(max_deg: usize) -> impl Strategy<Value = Poly> {
+    proptest::collection::vec(fp(), 1..=max_deg + 1).prop_map(Poly::from_coeffs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn field_addition_group(a in fp(), b in fp(), c in fp()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a + Fp::ZERO, a);
+        prop_assert_eq!(a + (-a), Fp::ZERO);
+    }
+
+    #[test]
+    fn field_multiplication_group(a in fp(), b in fp(), c in fp()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a * Fp::ONE, a);
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.inv().unwrap(), Fp::ONE);
+        }
+    }
+
+    #[test]
+    fn field_distributivity(a in fp(), b in fp(), c in fp()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn subtraction_and_division_invert(a in fp(), b in fp()) {
+        prop_assert_eq!(a + b - b, a);
+        if !b.is_zero() {
+            prop_assert_eq!(a / b * b, a);
+        }
+    }
+
+    #[test]
+    fn poly_arithmetic_agrees_with_evaluation(p in poly(6), q in poly(6), x in fp()) {
+        prop_assert_eq!((&p + &q).eval(x), p.eval(x) + q.eval(x));
+        prop_assert_eq!((&p - &q).eval(x), p.eval(x) - q.eval(x));
+        prop_assert_eq!((&p * &q).eval(x), p.eval(x) * q.eval(x));
+    }
+
+    #[test]
+    fn poly_division_roundtrip(p in poly(8), q in poly(4)) {
+        if !q.is_zero() {
+            let (quot, rem) = p.div_rem(&q).unwrap();
+            prop_assert_eq!(&(&quot * &q) + &rem, p);
+        }
+    }
+
+    #[test]
+    fn interpolation_roundtrip(p in poly(7)) {
+        let deg = p.degree().unwrap_or(0);
+        let pts: Vec<(Fp, Fp)> = (1..=deg as u64 + 1)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect();
+        prop_assert_eq!(interpolate(&pts).unwrap(), p);
+    }
+
+    #[test]
+    fn interpolate_at_matches_full(p in poly(5), x in fp()) {
+        let deg = p.degree().unwrap_or(0);
+        let pts: Vec<(Fp, Fp)> = (1..=deg as u64 + 1)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect();
+        prop_assert_eq!(interpolate_at(&pts, x).unwrap(), p.eval(x));
+        prop_assert_eq!(interpolate_at_zero(&pts).unwrap(), p.eval(Fp::ZERO));
+    }
+
+    #[test]
+    fn rs_corrects_any_error_pattern(
+        seed in any::<u64>(),
+        t in 1usize..4,
+        errors in proptest::collection::hash_set(0usize..13, 0..4),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = Poly::random(t, &mut rng);
+        let e = errors.iter().filter(|&&i| i < 3 * t + 1).count().min(t);
+        let n = t + 2 * e + 1 + (3 * t - 2 * e); // use all 3t+1 points
+        let mut pts: Vec<(Fp, Fp)> = (1..=n as u64)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect();
+        let mut corrupted = 0;
+        for &i in &errors {
+            if i < pts.len() && corrupted < t {
+                pts[i].1 += Fp::new(7 + i as u64);
+                corrupted += 1;
+            }
+        }
+        // With at most t corruptions among 3t+1 points, decode must be exact.
+        prop_assert_eq!(rs_decode(&pts, t, t).unwrap(), p.clone());
+        prop_assert_eq!(oec_decode(&pts, t).unwrap(), p);
+    }
+
+    #[test]
+    fn online_decoder_sound_at_every_prefix(
+        seed in any::<u64>(),
+        t in 1usize..4,
+        order_seed in any::<u64>(),
+    ) {
+        use rand::seq::SliceRandom;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = Poly::random(t, &mut rng);
+        let n = 3 * t + 1;
+        let mut pts: Vec<(Fp, Fp)> = (1..=n as u64)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect();
+        // Corrupt exactly t points.
+        for bad in pts.iter_mut().take(t) {
+            bad.1 += Fp::ONE;
+        }
+        let mut order_rng = rand::rngs::StdRng::seed_from_u64(order_seed);
+        pts.shuffle(&mut order_rng);
+        let mut dec = OnlineDecoder::new(t, t);
+        for &(x, y) in &pts {
+            if let Some(q) = dec.add_point(x, y).unwrap() {
+                // ANY produced decode must be the honest polynomial.
+                prop_assert_eq!(q, &p);
+            }
+        }
+        prop_assert_eq!(dec.decoded(), Some(&p));
+    }
+
+    #[test]
+    fn bivar_row_col_cross_consistency(seed in any::<u64>(), t in 1usize..5) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let f = BivarPoly::random(t, &mut rng);
+        for i in 1..=(t as u64 + 2) {
+            for j in 1..=(t as u64 + 2) {
+                let (xi, xj) = (Fp::new(i), Fp::new(j));
+                prop_assert_eq!(f.row(xi).eval(xj), f.col(xj).eval(xi));
+            }
+        }
+    }
+
+    #[test]
+    fn linear_solver_solutions_verify(seed in any::<u64>(), n in 1usize..6) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<Vec<Fp>> = (0..n)
+            .map(|_| (0..n).map(|_| Fp::random(&mut rng)).collect())
+            .collect();
+        let x: Vec<Fp> = (0..n).map(|_| Fp::random(&mut rng)).collect();
+        let b: Vec<Fp> = a
+            .iter()
+            .map(|row| row.iter().zip(&x).map(|(&c, &v)| c * v).sum())
+            .collect();
+        let z = solve_linear(&a, &b).expect("consistent by construction");
+        let bz: Vec<Fp> = a
+            .iter()
+            .map(|row| row.iter().zip(&z).map(|(&c, &v)| c * v).sum())
+            .collect();
+        prop_assert_eq!(bz, b);
+    }
+}

@@ -1,0 +1,178 @@
+//! The five-element field `GF(5)` used by the toy AVSS.
+//!
+//! The lower-bound machinery needs *enumerable* randomness and message
+//! spaces (the proof of Theorem 2.2 assumes bounded per-round randomness),
+//! so the toy protocol works over the smallest field admitting degree-1
+//! Shamir sharing among four parties.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An element of `GF(5)`, kept in canonical range `0..5`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct F5(u8);
+
+impl F5 {
+    /// The field size.
+    pub const ORDER: u8 = 5;
+    /// Zero.
+    pub const ZERO: F5 = F5(0);
+    /// One.
+    pub const ONE: F5 = F5(1);
+
+    /// Constructs an element, reducing modulo 5.
+    pub const fn new(v: u8) -> F5 {
+        F5(v % 5)
+    }
+
+    /// The canonical representative in `0..5`.
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// All five field elements, for exhaustive enumeration.
+    pub fn all() -> impl Iterator<Item = F5> {
+        (0..5).map(F5)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    pub fn inv(self) -> F5 {
+        // 1⁻¹=1, 2⁻¹=3, 3⁻¹=2, 4⁻¹=4
+        match self.0 {
+            1 => F5(1),
+            2 => F5(3),
+            3 => F5(2),
+            4 => F5(4),
+            _ => panic!("inverse of zero in GF(5)"),
+        }
+    }
+
+    /// The parity interpretation used for binary secrets: field values
+    /// `{1, 3}` read as bit 1, `{0, 2, 4}` as bit 0.
+    pub fn parity(self) -> bool {
+        self.0 % 2 == 1
+    }
+}
+
+impl Add for F5 {
+    type Output = F5;
+    fn add(self, r: F5) -> F5 {
+        F5((self.0 + r.0) % 5)
+    }
+}
+
+impl Sub for F5 {
+    type Output = F5;
+    fn sub(self, r: F5) -> F5 {
+        F5((self.0 + 5 - r.0) % 5)
+    }
+}
+
+impl Mul for F5 {
+    type Output = F5;
+    fn mul(self, r: F5) -> F5 {
+        F5((self.0 * r.0) % 5)
+    }
+}
+
+impl Neg for F5 {
+    type Output = F5;
+    fn neg(self) -> F5 {
+        F5((5 - self.0) % 5)
+    }
+}
+
+impl std::fmt::Display for F5 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The line through `(x1, y1)` and `(x2, y2)`, evaluated at zero — the
+/// reconstruction primitive of the toy AVSS.
+///
+/// # Panics
+///
+/// Panics if `x1 == x2`.
+pub fn line_at_zero(x1: F5, y1: F5, x2: F5, y2: F5) -> F5 {
+    assert_ne!(x1, x2, "distinct x-coordinates required");
+    // slope = (y2 - y1)/(x2 - x1); value at 0 = y1 - slope * x1.
+    let slope = (y2 - y1) * (x2 - x1).inv();
+    y1 - slope * x1
+}
+
+/// Whether three points are collinear.
+pub fn collinear(p1: (F5, F5), p2: (F5, F5), p3: (F5, F5)) -> bool {
+    // (y2-y1)(x3-x1) == (y3-y1)(x2-x1)
+    (p2.1 - p1.1) * (p3.0 - p1.0) == (p3.1 - p1.1) * (p2.0 - p1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_exhaustive() {
+        for a in F5::all() {
+            assert_eq!(a + F5::ZERO, a);
+            assert_eq!(a * F5::ONE, a);
+            assert_eq!(a - a, F5::ZERO);
+            assert_eq!(a + (-a), F5::ZERO);
+            if a != F5::ZERO {
+                assert_eq!(a * a.inv(), F5::ONE);
+            }
+            for b in F5::all() {
+                assert_eq!(a + b, b + a);
+                assert_eq!(a * b, b * a);
+                assert_eq!((a + b) - b, a);
+                for c in F5::all() {
+                    assert_eq!(a * (b + c), a * b + a * c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_mapping() {
+        assert!(!F5::new(0).parity());
+        assert!(F5::new(1).parity());
+        assert!(!F5::new(2).parity());
+        assert!(F5::new(3).parity());
+        assert!(!F5::new(4).parity());
+    }
+
+    #[test]
+    fn line_reconstruction() {
+        // f(x) = 3 + 2x: points (1,0), (2,2) — f(1)=5=0, f(2)=7=2.
+        let at0 = line_at_zero(F5::new(1), F5::new(0), F5::new(2), F5::new(2));
+        assert_eq!(at0, F5::new(3));
+    }
+
+    #[test]
+    fn line_recovers_all_secrets_exhaustively() {
+        for s in F5::all() {
+            for c in F5::all() {
+                let f = |x: F5| s + c * x;
+                let r = line_at_zero(F5::new(1), f(F5::new(1)), F5::new(2), f(F5::new(2)));
+                assert_eq!(r, s);
+            }
+        }
+    }
+
+    #[test]
+    fn collinearity() {
+        // On f(x) = 1 + x: (1,2), (2,3), (3,4).
+        let on = [(F5::new(1), F5::new(2)), (F5::new(2), F5::new(3)), (F5::new(3), F5::new(4))];
+        assert!(collinear(on[0], on[1], on[2]));
+        assert!(!collinear(on[0], on[1], (F5::new(3), F5::new(0))));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn line_same_x_panics() {
+        let _ = line_at_zero(F5::new(1), F5::new(0), F5::new(1), F5::new(1));
+    }
+}

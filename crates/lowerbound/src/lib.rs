@@ -1,0 +1,51 @@
+//! # aft-lowerbound
+//!
+//! **Theorem 2.2, executable**: for any ε > 0 and `n ≤ 4t` there is no
+//! almost-surely-terminating `(2/3 + ε)`-correct `t`-resilient Byzantine
+//! AVSS. This crate turns Section 2 of Abraham–Dolev–Stern (PODC 2020)
+//! into code:
+//!
+//! * a **toy AVSS** at `n = 4, t = 1` ([`honest_run`]) with *perfect*
+//!   honest-run correctness, *perfect* hiding (verified **exhaustively** —
+//!   the toy's randomness space is 625 executions), and unconditional
+//!   termination: exactly the protocol the theorem says cannot exist;
+//! * the **Claim 1 attack** ([`claim1_run`]): an equivocating dealer makes
+//!   A complete the share phase with a view distributed as an honest
+//!   `s = 0` execution while B's view is distributed as `s = 1` — view
+//!   distributions matched exactly, not statistically;
+//! * the **Claim 2 attack** ([`claim2_run`]): against an *honest* dealer
+//!   sharing 0, a faulty B simulates the `s = 1` world consistent with its
+//!   transcript and forces honest A to output 1 with probability exactly
+//!   **2/5 > 1/3 ≥ 1/3 − ε** — contradicting `(2/3+ε)`-correctness for
+//!   every ε > 0;
+//! * the assembled verdict ([`theorem_2_2_report`]), which experiment E1
+//!   prints.
+//!
+//! The toy AVSS masks shares with one-time pads, which is what makes its
+//! hiding perfect **and** its reveals unforgeable-proof-free: a reveal can
+//! be forged to match any mask. Weakening the pad to make reveals
+//! verifiable breaks hiding — the `n ≤ 4t` wall, concretely.
+//!
+//! # Example
+//!
+//! ```
+//! let report = aft_lowerbound::theorem_2_2_report();
+//! assert!(report.contradiction_established());
+//! assert!((report.claim2_wrong_output_prob - 0.4).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod attacks;
+mod f5;
+mod protocol;
+
+pub use analysis::{
+    claim1_views_match_honest, claim2_exact, honest_view_multiset, theorem_2_2_report,
+    Claim2Exact, Theorem22Report,
+};
+pub use attacks::{claim1_run, claim2_run, Claim1Randomness, Claim2Outcome, Claim2Randomness};
+pub use f5::{collinear, line_at_zero, F5};
+pub use protocol::{honest_run, CMode, Party, Randomness, Reveal, ShareView, Transcript};

@@ -1,0 +1,376 @@
+//! The toy AVSS of the lower-bound demonstration.
+//!
+//! A deliberately simple 4-party (`A`, `B`, `C`, dealer `D`), 1-resilient
+//! AVSS that *claims* to always terminate, with perfect hiding and perfect
+//! honest-run correctness — the kind of protocol Theorem 2.2 proves cannot
+//! exist. Every run is a pure function of the explicit [`Randomness`], so
+//! all probability statements about it are verified **exhaustively** (the
+//! proof's bounded-randomness assumption, taken literally).
+//!
+//! ## Protocol
+//!
+//! *Share*, with secret `s ∈ GF(5)` (binary secrets use `{0, 1}`):
+//!
+//! 1. `D` samples a line `f(x) = s + c·x` and sends `share_P = f(x_P)` to
+//!    each of `A, B, C` (`x_A = 1, x_B = 2, x_C = 3`).
+//! 2. Each of `A, B, C` samples a pad `ν_P ∈ GF(5)` and sends every other
+//!    non-dealer the *mask* `m_P = share_P + ν_P`. (A one-time pad: this
+//!    is what makes hiding perfect — and reveals unverifiable, which is
+//!    the crack Theorem 2.2 wedges open.)
+//! 3. A party completes `S` after holding its share and a mask from at
+//!    least one other non-dealer (so one crashed party cannot block).
+//!
+//! *Rec*: every non-dealer reveals `(share_P, ν_P)`; a reveal is *valid*
+//! at `Q` if it matches the mask `Q` received in step 2 (`share + ν = m`).
+//! From the valid revealed points: if all are collinear, output the line
+//! at zero; otherwise output the line through the two smallest-`x` valid
+//! points (a deterministic tiebreak). Binary outputs read the field value
+//! through [`F5::parity`].
+
+use crate::f5::{collinear, line_at_zero, F5};
+use rand::Rng;
+
+/// The four parties of the lower-bound setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Party {
+    /// Honest party A (x = 1).
+    A,
+    /// Party B (x = 2) — the Claim 2 attacker.
+    B,
+    /// Party C (x = 3) — "crashed"/delayed in the attacks.
+    C,
+    /// The dealer — the Claim 1 attacker.
+    D,
+}
+
+impl Party {
+    /// The share x-coordinate of a non-dealer party.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Party::D`] (the dealer holds no share point).
+    pub fn x(self) -> F5 {
+        match self {
+            Party::A => F5::new(1),
+            Party::B => F5::new(2),
+            Party::C => F5::new(3),
+            Party::D => panic!("dealer has no share coordinate"),
+        }
+    }
+}
+
+/// Explicit randomness of one toy-AVSS execution: the dealer's line
+/// coefficient and the three pads. Enumerating all `5⁴ = 625` values
+/// enumerates all executions for a fixed secret.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Randomness {
+    /// Dealer's line coefficient `c`.
+    pub c: F5,
+    /// A's pad.
+    pub nu_a: F5,
+    /// B's pad.
+    pub nu_b: F5,
+    /// C's pad.
+    pub nu_c: F5,
+}
+
+impl Randomness {
+    /// Enumerates all 625 randomness assignments.
+    pub fn all() -> impl Iterator<Item = Randomness> {
+        F5::all().flat_map(move |c| {
+            F5::all().flat_map(move |nu_a| {
+                F5::all().flat_map(move |nu_b| {
+                    F5::all().map(move |nu_c| Randomness { c, nu_a, nu_b, nu_c })
+                })
+            })
+        })
+    }
+
+    /// Samples uniform randomness.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Randomness {
+        let mut f = || F5::new(rng.gen_range(0..5));
+        Randomness {
+            c: f(),
+            nu_a: f(),
+            nu_b: f(),
+            nu_c: f(),
+        }
+    }
+}
+
+/// How party C behaves/is scheduled in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CMode {
+    /// C participates normally in both phases.
+    Honest,
+    /// C is faulty-and-silent: it never sends anything (the conditioning
+    /// world of the view distributions `π_{s,P}`).
+    Crashed,
+    /// C is honest but all its messages are delayed past the share phase
+    /// (delivered before reconstruction) — the Claim 2 scheduling.
+    Delayed,
+}
+
+/// One non-dealer party's view of the share phase: everything it received
+/// plus its own randomness. `Ord`/`Eq` make views directly comparable and
+/// histogrammable — the objects the lower-bound lemmas reason about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ShareView {
+    /// The share received from the dealer (`None` = withheld).
+    pub share: Option<F5>,
+    /// Own pad.
+    pub nonce: F5,
+    /// Mask received from the other of {A, B} (`None` = not received).
+    pub mask_ab: Option<F5>,
+    /// Mask received from C (`None` in the Crashed/Delayed-S worlds).
+    pub mask_c: Option<F5>,
+}
+
+/// A reveal message of the reconstruction phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reveal {
+    /// The share being revealed (`None` = "I never received one").
+    pub share: Option<F5>,
+    /// The claimed pad.
+    pub nonce: F5,
+}
+
+/// The full transcript of a run: share-phase views, reveals, and outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transcript {
+    /// A's share-phase view.
+    pub view_a: ShareView,
+    /// B's share-phase view.
+    pub view_b: ShareView,
+    /// Reconstruction outputs of A, B, C (`None` if the party did not
+    /// participate).
+    pub out_a: Option<F5>,
+    /// B's output.
+    pub out_b: Option<F5>,
+    /// C's output.
+    pub out_c: Option<F5>,
+}
+
+/// The reveals each party holds at reconstruction time, with the masks it
+/// can validate against.
+pub(crate) struct RecInput {
+    /// (party, reveal, mask-I-received-from-them-or-None)
+    pub(crate) entries: Vec<(Party, Reveal, Option<F5>)>,
+    /// own point, always trusted
+    pub(crate) own: Option<(F5, F5)>,
+}
+
+/// The toy reconstruction decision rule (identical for every party).
+pub(crate) fn decide(input: &RecInput) -> F5 {
+    let mut points: Vec<(F5, F5)> = Vec::new();
+    if let Some(p) = input.own {
+        points.push(p);
+    }
+    for &(party, reveal, mask) in &input.entries {
+        let Some(share) = reveal.share else { continue };
+        // Validate against the mask when one was received; a missing mask
+        // (C crashed during S) leaves the reveal unverifiable but usable —
+        // the protocol must terminate regardless.
+        if let Some(m) = mask {
+            if share + reveal.nonce != m {
+                continue; // provably inconsistent reveal: drop
+            }
+        }
+        points.push((party.x(), share));
+    }
+    points.sort();
+    points.dedup_by_key(|p| p.0);
+    match points.len() {
+        0 | 1 => F5::ZERO,
+        2 => line_at_zero(points[0].0, points[0].1, points[1].0, points[1].1),
+        _ => {
+            if collinear(points[0], points[1], points[2]) {
+                line_at_zero(points[0].0, points[0].1, points[1].0, points[1].1)
+            } else {
+                // Deterministic tiebreak: the two smallest x-coordinates.
+                line_at_zero(points[0].0, points[0].1, points[1].0, points[1].1)
+            }
+        }
+    }
+}
+
+/// Runs the toy AVSS honestly (dealer shares `s`), with C in the given
+/// mode, fully determined by `rand`.
+pub fn honest_run(s: F5, c_mode: CMode, rand: Randomness) -> Transcript {
+    let f = |x: F5| s + rand.c * x;
+    let share_a = f(Party::A.x());
+    let share_b = f(Party::B.x());
+    let share_c = f(Party::C.x());
+
+    let mask_a = share_a + rand.nu_a;
+    let mask_b = share_b + rand.nu_b;
+    let mask_c = share_c + rand.nu_c;
+
+    let c_in_s = c_mode == CMode::Honest;
+    let view_a = ShareView {
+        share: Some(share_a),
+        nonce: rand.nu_a,
+        mask_ab: Some(mask_b),
+        mask_c: if c_in_s { Some(mask_c) } else { None },
+    };
+    let view_b = ShareView {
+        share: Some(share_b),
+        nonce: rand.nu_b,
+        mask_ab: Some(mask_a),
+        mask_c: if c_in_s { Some(mask_c) } else { None },
+    };
+
+    // Reconstruction. C participates unless crashed; its delayed share-
+    // phase masks are delivered before R in Delayed mode.
+    let c_in_r = c_mode != CMode::Crashed;
+    let mask_c_at_r = if c_mode == CMode::Crashed { None } else { Some(mask_c) };
+
+    let reveal_a = Reveal { share: Some(share_a), nonce: rand.nu_a };
+    let reveal_b = Reveal { share: Some(share_b), nonce: rand.nu_b };
+    let reveal_c = Reveal { share: Some(share_c), nonce: rand.nu_c };
+
+    let a_input = RecInput {
+        own: Some((Party::A.x(), share_a)),
+        entries: {
+            let mut e = vec![(Party::B, reveal_b, Some(mask_b))];
+            if c_in_r {
+                e.push((Party::C, reveal_c, mask_c_at_r));
+            }
+            e
+        },
+    };
+    let b_input = RecInput {
+        own: Some((Party::B.x(), share_b)),
+        entries: {
+            let mut e = vec![(Party::A, reveal_a, Some(mask_a))];
+            if c_in_r {
+                e.push((Party::C, reveal_c, mask_c_at_r));
+            }
+            e
+        },
+    };
+    let c_input = RecInput {
+        own: Some((Party::C.x(), share_c)),
+        entries: vec![
+            (Party::A, reveal_a, Some(mask_a)),
+            (Party::B, reveal_b, Some(mask_b)),
+        ],
+    };
+
+    Transcript {
+        view_a,
+        view_b,
+        out_a: Some(decide(&a_input)),
+        out_b: Some(decide(&b_input)),
+        out_c: if c_in_r { Some(decide(&c_input)) } else { None },
+    }
+}
+
+pub(crate) use {decide as toy_decide, RecInput as ToyRecInput};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_correctness_exhaustive_all_modes() {
+        // Perfect correctness: every party that outputs, outputs s — over
+        // ALL randomness, secrets and C-modes. (This is the toy's claimed
+        // "1-correctness", which Theorem 2.2 shows must be attackable.)
+        for s in F5::all() {
+            for mode in [CMode::Honest, CMode::Crashed, CMode::Delayed] {
+                for rand in Randomness::all() {
+                    let t = honest_run(s, mode, rand);
+                    assert_eq!(t.out_a, Some(s), "{mode:?} {rand:?}");
+                    assert_eq!(t.out_b, Some(s));
+                    if mode == CMode::Crashed {
+                        assert_eq!(t.out_c, None);
+                    } else {
+                        assert_eq!(t.out_c, Some(s));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_hiding_exhaustive() {
+        // The multiset of each SINGLE party's share-phase views is
+        // identical for every secret — perfect hiding against t = 1
+        // corruption, verified exhaustively. (The JOINT view of A and B
+        // determines the line and hence the secret: that is not hiding's
+        // concern, the adversary corrupts at most one party.)
+        for mode in [CMode::Honest, CMode::Crashed] {
+            let views_a = |s: F5| {
+                let mut v: Vec<ShareView> =
+                    Randomness::all().map(|r| honest_run(s, mode, r).view_a).collect();
+                v.sort();
+                v
+            };
+            let views_b = |s: F5| {
+                let mut v: Vec<ShareView> =
+                    Randomness::all().map(|r| honest_run(s, mode, r).view_b).collect();
+                v.sort();
+                v
+            };
+            let (a0, b0) = (views_a(F5::ZERO), views_b(F5::ZERO));
+            for s in F5::all() {
+                assert_eq!(views_a(s), a0, "A's view depends on secret for {mode:?}");
+                assert_eq!(views_b(s), b0, "B's view depends on secret for {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn joint_views_do_determine_the_secret() {
+        // Sanity counterpoint: the JOINT (A, B) view multiset differs
+        // across secrets — two shares pin the line down. This is why
+        // hiding is stated against t = 1 corruption only.
+        let joint = |s: F5| {
+            let mut v: Vec<(ShareView, ShareView)> = Randomness::all()
+                .map(|r| {
+                    let t = honest_run(s, CMode::Crashed, r);
+                    (t.view_a, t.view_b)
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_ne!(joint(F5::ZERO), joint(F5::ONE));
+    }
+
+    #[test]
+    fn crashed_c_views_lack_c_messages() {
+        let t = honest_run(F5::ZERO, CMode::Crashed, Randomness {
+            c: F5::new(2),
+            nu_a: F5::new(1),
+            nu_b: F5::new(3),
+            nu_c: F5::new(4),
+        });
+        assert_eq!(t.view_a.mask_c, None);
+        assert_eq!(t.view_b.mask_c, None);
+        assert!(t.view_a.share.is_some());
+    }
+
+    #[test]
+    fn invalid_reveal_is_dropped() {
+        // A reveal inconsistent with its mask must be ignored by decide().
+        let input = RecInput {
+            own: Some((F5::new(1), F5::new(2))), // on line f(x)=1+x
+            entries: vec![
+                (
+                    Party::B,
+                    Reveal { share: Some(F5::new(3)), nonce: F5::new(0) },
+                    Some(F5::new(4)), // 3 + 0 != 4: invalid
+                ),
+                (
+                    Party::C,
+                    Reveal { share: Some(F5::new(4)), nonce: F5::new(1) },
+                    Some(F5::new(0)), // 4 + 1 = 5 = 0: valid
+                ),
+            ],
+        };
+        // Line through (1,2) and (3,4): f(0) = 1.
+        assert_eq!(decide(&input), F5::new(1));
+    }
+}

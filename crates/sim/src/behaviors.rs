@@ -1,0 +1,198 @@
+//! Generic Byzantine behaviours, usable against any protocol.
+//!
+//! Protocol-specific attacks (wrong shares, equivocating dealers, …) live
+//! next to the protocols they attack; the behaviours here are
+//! protocol-agnostic: silence, delayed crash, and garbage injection.
+
+use crate::ids::PartyId;
+use crate::instance::{Context, Instance};
+use crate::payload::Payload;
+use rand::Rng;
+
+/// A party that never sends anything — the paper's recurring
+/// "faulty and silent" adversary (e.g. party C in the Section 2 attacks).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SilentInstance;
+
+impl Instance for SilentInstance {
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+    fn on_message(&mut self, _from: PartyId, _payload: &Payload, _ctx: &mut Context<'_>) {}
+}
+
+/// Runs the honest `inner` instance but goes permanently silent after
+/// `after` events (start + messages + child outputs combined) — a
+/// mid-protocol crash confined to one session.
+///
+/// For whole-party crashes use [`SimNetwork::crash`] /
+/// [`SimNetwork::crash_at`] instead.
+///
+/// [`SimNetwork::crash`]: crate::SimNetwork::crash
+/// [`SimNetwork::crash_at`]: crate::SimNetwork::crash_at
+pub struct MuteAfter {
+    inner: Box<dyn Instance>,
+    after: u64,
+    seen: u64,
+}
+
+impl MuteAfter {
+    /// Wraps `inner`, muting it after `after` events.
+    pub fn new(inner: Box<dyn Instance>, after: u64) -> Self {
+        MuteAfter {
+            inner,
+            after,
+            seen: 0,
+        }
+    }
+
+    fn alive(&mut self) -> bool {
+        self.seen += 1;
+        self.seen <= self.after
+    }
+}
+
+impl Instance for MuteAfter {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.alive() {
+            self.inner.on_start(ctx);
+        }
+    }
+    fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
+        if self.alive() {
+            self.inner.on_message(from, payload, ctx);
+        }
+    }
+    fn on_child_output(&mut self, child: &crate::SessionTag, output: &Payload, ctx: &mut Context<'_>) {
+        if self.alive() {
+            self.inner.on_child_output(child, output, ctx);
+        }
+    }
+}
+
+/// Marker payload type emitted by [`GarbageInstance`]; honest instances
+/// fail to downcast it and ignore it, exercising type-confusion paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Garbage(pub u64);
+
+/// A party that responds to every event by spraying meaningless payloads at
+/// random parties — stress for routing, buffering and downcast handling.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GarbageInstance {
+    sent: u64,
+    /// Cap on total garbage messages (keeps runs quiescent).
+    budget: u64,
+}
+
+impl GarbageInstance {
+    /// Creates a garbage sprayer with a total message budget.
+    pub fn new(budget: u64) -> Self {
+        GarbageInstance { sent: 0, budget }
+    }
+
+    fn spray(&mut self, ctx: &mut Context<'_>) {
+        if self.sent >= self.budget {
+            return;
+        }
+        self.sent += 1;
+        let n = ctx.n();
+        let to = PartyId(ctx.rng().gen_range(0..n));
+        let junk = Garbage(ctx.rng().gen());
+        ctx.send(to, junk);
+    }
+}
+
+impl Instance for GarbageInstance {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.spray(ctx);
+    }
+    fn on_message(&mut self, _from: PartyId, _payload: &Payload, ctx: &mut Context<'_>) {
+        self.spray(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{SessionId, SessionTag};
+    use crate::network::{NetConfig, SimNetwork, StopReason};
+    use crate::scheduler::RandomScheduler;
+
+    fn sid() -> SessionId {
+        SessionId::root().child(SessionTag::new("b", 0))
+    }
+
+    /// Counts pings; outputs after 3.
+    struct Pinger {
+        heard: usize,
+    }
+    impl Instance for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send_all(1u8);
+        }
+        fn on_message(&mut self, _f: PartyId, p: &Payload, ctx: &mut Context<'_>) {
+            if p.downcast_ref::<u8>().is_some() {
+                self.heard += 1;
+                if self.heard == 3 {
+                    ctx.output(self.heard);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn silent_party_does_not_block_others() {
+        let mut net = SimNetwork::new(NetConfig::new(4, 1, 5), Box::new(RandomScheduler));
+        for p in 0..3 {
+            net.spawn(PartyId(p), sid(), Box::new(Pinger { heard: 0 }));
+        }
+        net.spawn(PartyId(3), sid(), Box::new(SilentInstance));
+        let r = net.run(100_000);
+        assert_eq!(r.stop, StopReason::Quiescent);
+        for p in 0..3 {
+            assert_eq!(net.output_as::<usize>(PartyId(p), &sid()), Some(&3));
+        }
+        assert!(net.output(PartyId(3), &sid()).is_none());
+    }
+
+    #[test]
+    fn garbage_is_ignored_by_honest_parties() {
+        let mut net = SimNetwork::new(NetConfig::new(4, 1, 5), Box::new(RandomScheduler));
+        for p in 0..3 {
+            net.spawn(PartyId(p), sid(), Box::new(Pinger { heard: 0 }));
+        }
+        net.spawn(PartyId(3), sid(), Box::new(GarbageInstance::new(50)));
+        let r = net.run(100_000);
+        assert_eq!(r.stop, StopReason::Quiescent);
+        for p in 0..3 {
+            assert_eq!(net.output_as::<usize>(PartyId(p), &sid()), Some(&3));
+        }
+    }
+
+    #[test]
+    fn mute_after_silences_inner() {
+        // MuteAfter(0) behaves like SilentInstance.
+        let mut net = SimNetwork::new(NetConfig::new(4, 1, 5), Box::new(RandomScheduler));
+        for p in 0..3 {
+            net.spawn(PartyId(p), sid(), Box::new(Pinger { heard: 0 }));
+        }
+        net.spawn(
+            PartyId(3),
+            sid(),
+            Box::new(MuteAfter::new(Box::new(Pinger { heard: 0 }), 0)),
+        );
+        net.run(100_000);
+        assert!(net.output(PartyId(3), &sid()).is_none());
+
+        // MuteAfter(large) behaves honestly.
+        let mut net2 = SimNetwork::new(NetConfig::new(4, 1, 5), Box::new(RandomScheduler));
+        for p in 0..3 {
+            net2.spawn(PartyId(p), sid(), Box::new(Pinger { heard: 0 }));
+        }
+        net2.spawn(
+            PartyId(3),
+            sid(),
+            Box::new(MuteAfter::new(Box::new(Pinger { heard: 0 }), 1_000)),
+        );
+        net2.run(100_000);
+        assert_eq!(net2.output_as::<usize>(PartyId(3), &sid()), Some(&3));
+    }
+}

@@ -1,0 +1,180 @@
+//! Identifiers: parties and hierarchical protocol sessions.
+
+use std::fmt;
+
+/// A party (processor) identifier in `0..n`.
+///
+/// The secret-sharing layer maps party `i` to the field point `i + 1`
+/// (zero is reserved for the secret).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct PartyId(pub usize);
+
+impl fmt::Display for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for PartyId {
+    fn from(v: usize) -> Self {
+        PartyId(v)
+    }
+}
+
+/// One component of a hierarchical [`SessionId`]: a protocol kind plus an
+/// instance index (round number, dealer id, …).
+///
+/// ```
+/// use aft_sim::SessionTag;
+/// let tag = SessionTag::new("svss-share", 3);
+/// assert_eq!(tag.kind, "svss-share");
+/// assert_eq!(tag.index, 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SessionTag {
+    /// Protocol kind, e.g. `"acast"`, `"ba"`, `"svss-share"`.
+    pub kind: &'static str,
+    /// Instance index within the parent (dealer id, round, slot …).
+    pub index: u64,
+}
+
+impl SessionTag {
+    /// Creates a tag.
+    pub fn new(kind: &'static str, index: u64) -> Self {
+        SessionTag { kind, index }
+    }
+}
+
+impl fmt::Display for SessionTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.kind, self.index)
+    }
+}
+
+/// A hierarchical session identifier: the path of [`SessionTag`]s from the
+/// root protocol down to a sub-protocol instance.
+///
+/// Hierarchy is what lets protocols *compose*: an instance spawns children
+/// under child session ids, and a child's output is routed back to it. All
+/// parties construct identical session ids for the same logical instance,
+/// so messages route without global coordination.
+///
+/// ```
+/// use aft_sim::{SessionId, SessionTag};
+/// let coin = SessionId::root().child(SessionTag::new("coin", 0));
+/// let svss = coin.child(SessionTag::new("svss", 7));
+/// assert_eq!(svss.parent(), Some(coin.clone()));
+/// assert!(svss.starts_with(&coin));
+/// assert_eq!(svss.last(), Some(&SessionTag::new("svss", 7)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct SessionId(Vec<SessionTag>);
+
+impl SessionId {
+    /// The empty (root) session.
+    pub fn root() -> Self {
+        SessionId(Vec::new())
+    }
+
+    /// Builds a session id from a tag path.
+    pub fn from_path(path: Vec<SessionTag>) -> Self {
+        SessionId(path)
+    }
+
+    /// Returns a child session extended with `tag`.
+    #[must_use]
+    pub fn child(&self, tag: SessionTag) -> SessionId {
+        let mut path = self.0.clone();
+        path.push(tag);
+        SessionId(path)
+    }
+
+    /// The parent session, or `None` at the root.
+    pub fn parent(&self) -> Option<SessionId> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(SessionId(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// The final tag on the path, or `None` at the root.
+    pub fn last(&self) -> Option<&SessionTag> {
+        self.0.last()
+    }
+
+    /// The tag path.
+    pub fn path(&self) -> &[SessionTag] {
+        &self.0
+    }
+
+    /// Path length (root = 0).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether `self` is `prefix` or a descendant of it.
+    pub fn starts_with(&self, prefix: &SessionId) -> bool {
+        self.0.len() >= prefix.0.len() && self.0[..prefix.0.len()] == prefix.0[..]
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "/");
+        }
+        for tag in &self.0 {
+            write!(f, "/{tag}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_parent_roundtrip() {
+        let root = SessionId::root();
+        let a = root.child(SessionTag::new("a", 1));
+        let b = a.child(SessionTag::new("b", 2));
+        assert_eq!(b.parent(), Some(a.clone()));
+        assert_eq!(a.parent(), Some(root.clone()));
+        assert_eq!(root.parent(), None);
+        assert_eq!(b.depth(), 2);
+    }
+
+    #[test]
+    fn starts_with_semantics() {
+        let a = SessionId::root().child(SessionTag::new("a", 1));
+        let b = a.child(SessionTag::new("b", 2));
+        assert!(b.starts_with(&a));
+        assert!(b.starts_with(&b));
+        assert!(b.starts_with(&SessionId::root()));
+        assert!(!a.starts_with(&b));
+        let other = SessionId::root().child(SessionTag::new("a", 2));
+        assert!(!b.starts_with(&other));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SessionId::root().to_string(), "/");
+        let s = SessionId::root()
+            .child(SessionTag::new("coin", 0))
+            .child(SessionTag::new("svss", 3));
+        assert_eq!(s.to_string(), "/coin[0]/svss[3]");
+        assert_eq!(PartyId(4).to_string(), "P4");
+    }
+
+    #[test]
+    fn equality_and_hashing_distinguish_indices() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(SessionId::root().child(SessionTag::new("x", 0)));
+        set.insert(SessionId::root().child(SessionTag::new("x", 1)));
+        set.insert(SessionId::root().child(SessionTag::new("y", 0)));
+        assert_eq!(set.len(), 3);
+    }
+}

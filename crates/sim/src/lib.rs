@@ -1,0 +1,95 @@
+//! # aft-sim
+//!
+//! A deterministic discrete-event simulator for asynchronous Byzantine
+//! message-passing protocols — the execution substrate of the `aft`
+//! reproduction of *Revisiting Asynchronous Fault Tolerant Computation with
+//! Optimal Resilience* (Abraham–Dolev–Stern, PODC 2020).
+//!
+//! ## Model
+//!
+//! * `n` parties, up to `t` Byzantine, `n ≥ 3t + 1` (optimal resilience).
+//! * Protocols are event-driven [`Instance`]s composed hierarchically via
+//!   [`SessionId`]s: instances spawn children, children's outputs flow back
+//!   to their parents.
+//! * The asynchronous adversary is a [`Scheduler`]: it chooses the delivery
+//!   order of in-flight messages, subject to a fairness cap (every message
+//!   is eventually delivered — the paper's model).
+//! * Byzantine parties run arbitrary [`Instance`]s instead of honest ones;
+//!   whole-party crashes are injected with [`SimNetwork::crash`] /
+//!   [`SimNetwork::crash_at`].
+//! * A run is a pure function of its seed: Monte-Carlo estimation of
+//!   probabilistic guarantees ([`run_trials`]) and byte-exact replay of
+//!   adversarial schedules both follow.
+//! * Shunning (Definition 3.2 of the paper) is enforced by the per-party
+//!   router: after `Shun(i → j)`, party `i` drops `j`'s messages outside
+//!   the invocation in which the shun occurred; each ordered pair shuns at
+//!   most once, so fewer than `n²` shun events occur globally.
+//!
+//! See the crate-level example on [`SimNetwork`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behaviors;
+pub mod cluster;
+mod ids;
+mod instance;
+mod montecarlo;
+mod network;
+mod node;
+mod payload;
+mod scheduler;
+pub mod threaded;
+
+pub use behaviors::{Garbage, GarbageInstance, MuteAfter, SilentInstance};
+pub use ids::{PartyId, SessionId, SessionTag};
+pub use instance::{Context, Instance};
+pub use montecarlo::{run_trials, Bernoulli};
+pub use network::{Envelope, Metrics, NetConfig, RunReport, SimNetwork, StopReason};
+pub use node::{Node, Outgoing, ShunRegistry};
+pub use payload::Payload;
+pub use scheduler::{
+    FifoScheduler, LifoScheduler, RandomScheduler, Scheduler, SchedulerConfig, StarveScheduler,
+    WindowScheduler,
+};
+
+/// Builds a boxed scheduler by name — convenience for experiment sweeps.
+///
+/// Supported names: `"fifo"`, `"random"`, `"lifo"`, `"window4"`,
+/// `"window16"`, and `"starve:<id>"` (starve one party).
+///
+/// # Examples
+///
+/// ```
+/// let s = aft_sim::scheduler_by_name("random").unwrap();
+/// assert_eq!(s.name(), "random");
+/// assert!(aft_sim::scheduler_by_name("bogus").is_none());
+/// ```
+pub fn scheduler_by_name(name: &str) -> Option<Box<dyn Scheduler>> {
+    match name {
+        "fifo" => Some(Box::new(FifoScheduler)),
+        "random" => Some(Box::new(RandomScheduler)),
+        "lifo" => Some(Box::new(LifoScheduler)),
+        "window4" => Some(Box::new(WindowScheduler::new(4))),
+        "window16" => Some(Box::new(WindowScheduler::new(16))),
+        _ => {
+            let rest = name.strip_prefix("starve:")?;
+            let id: usize = rest.parse().ok()?;
+            Some(Box::new(StarveScheduler::new([PartyId(id)])))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_by_name_covers_all() {
+        for n in ["fifo", "random", "lifo", "window4", "window16", "starve:2"] {
+            assert!(scheduler_by_name(n).is_some(), "{n}");
+        }
+        assert!(scheduler_by_name("nope").is_none());
+        assert!(scheduler_by_name("starve:x").is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Seed-parallel Monte-Carlo driver.
+//!
+//! Probabilistic protocol guarantees ("with probability at least 1/2 − ε…")
+//! are verified empirically by running many independent, deterministic
+//! simulations. Each trial is a pure function of its seed, so trials can run
+//! on OS threads with no shared state.
+
+/// Runs `trial(seed)` for every seed in `seeds`, in parallel across up to
+/// `threads` OS threads, and returns results in seed order.
+///
+/// Each trial must be deterministic in its seed; the driver imposes no
+/// other structure.
+///
+/// # Examples
+///
+/// ```
+/// use aft_sim::run_trials;
+/// let outcomes = run_trials(0..100u64, 4, |seed| seed % 2 == 0);
+/// assert_eq!(outcomes.iter().filter(|&&b| b).count(), 50);
+/// ```
+pub fn run_trials<T, I, F>(seeds: I, threads: usize, trial: F) -> Vec<T>
+where
+    T: Send,
+    I: IntoIterator<Item = u64>,
+    F: Fn(u64) -> T + Sync,
+{
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    let threads = threads.max(1).min(seeds.len().max(1));
+    if threads == 1 || seeds.len() <= 1 {
+        return seeds.into_iter().map(trial).collect();
+    }
+    let mut results: Vec<Option<T>> = (0..seeds.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= seeds.len() {
+                    break;
+                }
+                let out = trial(seeds[i]);
+                let mut guard = results_mutex.lock().unwrap();
+                guard[i] = Some(out);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("trial completed")).collect()
+}
+
+/// Summary statistics for a Bernoulli estimate: successes over trials, with
+/// a normal-approximation 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    /// Number of successes.
+    pub successes: usize,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+impl Bernoulli {
+    /// Builds the summary from an iterator of outcomes.
+    pub fn from_outcomes<I: IntoIterator<Item = bool>>(outcomes: I) -> Self {
+        let mut successes = 0;
+        let mut trials = 0;
+        for b in outcomes {
+            trials += 1;
+            if b {
+                successes += 1;
+            }
+        }
+        Bernoulli { successes, trials }
+    }
+
+    /// The point estimate `successes / trials` (0 when no trials ran).
+    pub fn estimate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Normal-approximation 95% confidence half-width
+    /// (`1.96 * sqrt(p(1-p)/n)`).
+    pub fn ci95(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        let p = self.estimate();
+        1.96 * (p * (1.0 - p) / self.trials as f64).sqrt()
+    }
+}
+
+impl std::fmt::Display for Bernoulli {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} ({}/{})",
+            self.estimate(),
+            self.ci95(),
+            self.successes,
+            self.trials
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_seed_order() {
+        let out = run_trials(0..50u64, 8, |s| s * 2);
+        assert_eq!(out, (0..50u64).map(|s| s * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_threaded_path() {
+        let out = run_trials(0..5u64, 1, |s| s);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_seeds() {
+        let out: Vec<u64> = run_trials(std::iter::empty(), 4, |s| s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn bernoulli_stats() {
+        let b = Bernoulli::from_outcomes([true, false, true, true]);
+        assert_eq!(b.successes, 3);
+        assert_eq!(b.trials, 4);
+        assert!((b.estimate() - 0.75).abs() < 1e-12);
+        assert!(b.ci95() > 0.0);
+        let empty = Bernoulli::from_outcomes(std::iter::empty());
+        assert_eq!(empty.estimate(), 0.0);
+        assert_eq!(empty.ci95(), 0.0);
+        let shown = format!("{b}");
+        assert!(shown.contains("3/4"), "{shown}");
+    }
+}

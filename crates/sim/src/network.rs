@@ -1,0 +1,563 @@
+//! The deterministic asynchronous network simulator.
+
+use crate::ids::{PartyId, SessionId};
+use crate::instance::Instance;
+use crate::node::{Node, Outgoing};
+use crate::payload::Payload;
+use crate::scheduler::{Scheduler, SchedulerConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::collections::HashMap;
+
+/// An in-flight message.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender.
+    pub from: PartyId,
+    /// Receiver.
+    pub to: PartyId,
+    /// Destination session.
+    pub session: SessionId,
+    /// Body.
+    pub payload: Payload,
+    /// Global send sequence number (unique, monotone).
+    pub seq: u64,
+    /// Delivery step at which the envelope was sent.
+    pub born_step: u64,
+}
+
+/// Counters collected during a run.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    /// Envelopes handed to the network.
+    pub sent: u64,
+    /// Envelopes delivered to a node.
+    pub delivered: u64,
+    /// Envelopes dropped because the receiver shuns the sender.
+    pub dropped_shunned: u64,
+    /// Envelopes dropped because the receiver crashed.
+    pub dropped_crashed: u64,
+    /// Delivery steps executed.
+    pub steps: u64,
+    /// Shun events declared across all nodes.
+    pub shun_events: u64,
+    /// Sent-message counts keyed by the leaf session kind.
+    pub sent_by_kind: HashMap<&'static str, u64>,
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No messages left in flight: the system is quiescent.
+    Quiescent,
+    /// The step budget was exhausted first.
+    StepLimit,
+    /// The caller's predicate requested a stop.
+    Predicate,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Delivery steps executed.
+    pub steps: u64,
+    /// Copy of the metrics at stop time.
+    pub metrics: Metrics,
+}
+
+/// Static parameters of a simulated system.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Number of parties.
+    pub n: usize,
+    /// Fault threshold; protocols in this workspace need `n >= 3t + 1`.
+    pub t: usize,
+    /// Master seed: all node RNGs and the scheduler RNG derive from it.
+    pub seed: u64,
+    /// Fairness cap (see [`SchedulerConfig`]).
+    pub scheduler: SchedulerConfig,
+}
+
+impl NetConfig {
+    /// Convenience constructor with the default fairness cap.
+    pub fn new(n: usize, t: usize, seed: u64) -> Self {
+        NetConfig {
+            n,
+            t,
+            seed,
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// The deterministic discrete-event network: `n` nodes, a set of in-flight
+/// envelopes, and a [`Scheduler`] choosing the delivery order.
+///
+/// A run is a pure function of `(NetConfig, spawned instances, scheduler)`,
+/// which is what makes Monte-Carlo estimation over seeds meaningful and
+/// every failure replayable.
+///
+/// # Examples
+///
+/// ```
+/// use aft_sim::{Context, Instance, NetConfig, PartyId, Payload, RandomScheduler,
+///               SessionId, SessionTag, SimNetwork};
+///
+/// /// Every party greets everyone; a party outputs when it heard n greetings.
+/// struct Hello { heard: usize }
+/// impl Instance for Hello {
+///     fn on_start(&mut self, ctx: &mut Context<'_>) { ctx.send_all(1u8); }
+///     fn on_message(&mut self, _f: PartyId, _p: &Payload, ctx: &mut Context<'_>) {
+///         self.heard += 1;
+///         if self.heard == ctx.n() { ctx.output(self.heard); }
+///     }
+/// }
+///
+/// let mut net = SimNetwork::new(NetConfig::new(4, 1, 7), Box::new(RandomScheduler));
+/// let sid = SessionId::root().child(SessionTag::new("hello", 0));
+/// for p in 0..4 {
+///     net.spawn(PartyId(p), sid.clone(), Box::new(Hello { heard: 0 }));
+/// }
+/// let report = net.run(100_000);
+/// assert_eq!(report.stop, aft_sim::StopReason::Quiescent);
+/// for p in 0..4 {
+///     assert_eq!(net.output(PartyId(p), &sid).unwrap().downcast_ref::<usize>(), Some(&4));
+/// }
+/// ```
+pub struct SimNetwork {
+    config: NetConfig,
+    nodes: Vec<Node>,
+    pending: Vec<Envelope>,
+    scheduler: Box<dyn Scheduler>,
+    sched_rng: ChaCha12Rng,
+    metrics: Metrics,
+    seq: u64,
+    /// Parties whose outgoing messages are silently discarded (full crash).
+    muted: Vec<bool>,
+    /// Optional per-party crash step: at this delivery step the party stops.
+    crash_at: HashMap<PartyId, u64>,
+    /// Trace of (seq, from, to) for determinism checks, if enabled.
+    trace: Option<Vec<(u64, PartyId, PartyId)>>,
+}
+
+impl SimNetwork {
+    /// Creates a network of `config.n` fresh nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n < 3t + 1` (the resilience bound assumed by
+    /// every protocol in this workspace).
+    pub fn new(config: NetConfig, scheduler: Box<dyn Scheduler>) -> Self {
+        assert!(config.n > 0, "need at least one party");
+        assert!(
+            config.n >= 3 * config.t + 1,
+            "optimal resilience requires n >= 3t + 1 (n={}, t={})",
+            config.n,
+            config.t
+        );
+        let nodes = (0..config.n)
+            .map(|i| {
+                // Derive per-node RNG from the master seed; keep streams
+                // independent by spacing the seeds.
+                let rng = ChaCha12Rng::seed_from_u64(
+                    config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64),
+                );
+                Node::new(PartyId(i), config.n, config.t, rng)
+            })
+            .collect();
+        let sched_rng = ChaCha12Rng::seed_from_u64(config.seed.wrapping_add(0xC0FF_EE00));
+        SimNetwork {
+            config,
+            nodes,
+            pending: Vec::new(),
+            scheduler,
+            sched_rng,
+            metrics: Metrics::default(),
+            seq: 0,
+            muted: vec![false; config.n],
+            crash_at: HashMap::new(),
+            trace: None,
+        }
+    }
+
+    /// The network's static configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Enables recording of `(seq, from, to)` delivery tuples, for
+    /// determinism tests.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded delivery trace (empty unless [`enable_trace`] was
+    /// called).
+    ///
+    /// [`enable_trace`]: SimNetwork::enable_trace
+    pub fn trace(&self) -> &[(u64, PartyId, PartyId)] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Spawns `instance` for `party` at `session` and injects its initial
+    /// sends.
+    pub fn spawn(&mut self, party: PartyId, session: SessionId, instance: Box<dyn Instance>) {
+        let out = self.nodes[party.0].spawn(session, instance);
+        self.enqueue(party, out);
+    }
+
+    /// Crashes `party` immediately: it stops processing and sending.
+    pub fn crash(&mut self, party: PartyId) {
+        self.nodes[party.0].crash();
+        self.muted[party.0] = true;
+    }
+
+    /// Schedules `party` to crash at delivery step `step`.
+    pub fn crash_at(&mut self, party: PartyId, step: u64) {
+        self.crash_at.insert(party, step);
+    }
+
+    /// The number of in-flight envelopes.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Run metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Immutable access to a node (outputs, shun registry, …).
+    pub fn node(&self, party: PartyId) -> &Node {
+        &self.nodes[party.0]
+    }
+
+    /// The first output of `party` in `session`, if recorded.
+    pub fn output(&self, party: PartyId, session: &SessionId) -> Option<&Payload> {
+        self.nodes[party.0].output(session)
+    }
+
+    /// Typed convenience over [`output`](SimNetwork::output).
+    pub fn output_as<T: 'static>(&self, party: PartyId, session: &SessionId) -> Option<&T> {
+        self.output(party, session).and_then(|p| p.downcast_ref::<T>())
+    }
+
+    /// Delivers exactly one message (chosen by the scheduler, subject to
+    /// the fairness cap). Returns `false` when nothing is pending.
+    pub fn step(&mut self) -> bool {
+        let Some(env) = self.pick_next() else {
+            return false;
+        };
+        self.metrics.steps += 1;
+        // Trigger scheduled crashes.
+        let step_now = self.metrics.steps;
+        let due: Vec<PartyId> = self
+            .crash_at
+            .iter()
+            .filter(|(_, &s)| s <= step_now)
+            .map(|(&p, _)| p)
+            .collect();
+        for p in due {
+            self.crash_at.remove(&p);
+            self.crash(p);
+        }
+
+        if let Some(trace) = &mut self.trace {
+            trace.push((env.seq, env.from, env.to));
+        }
+        let node = &mut self.nodes[env.to.0];
+        if node.is_crashed() {
+            self.metrics.dropped_crashed += 1;
+            return true;
+        }
+        let shuns_before = node.shun_event_count();
+        let mut out = Vec::new();
+        let accepted = node.deliver(env.from, env.session, env.payload, &mut out);
+        if !accepted {
+            self.metrics.dropped_shunned += 1;
+        } else {
+            self.metrics.delivered += 1;
+        }
+        self.metrics.shun_events += self.nodes[env.to.0].shun_event_count() - shuns_before;
+        self.enqueue(env.to, out);
+        true
+    }
+
+    /// Runs until quiescence or until `max_steps` deliveries.
+    pub fn run(&mut self, max_steps: u64) -> RunReport {
+        self.run_until(max_steps, |_| false)
+    }
+
+    /// Runs until quiescence, the step budget, or `stop(self)` returning
+    /// `true` (checked after every delivery).
+    pub fn run_until<F: FnMut(&SimNetwork) -> bool>(
+        &mut self,
+        max_steps: u64,
+        mut stop: F,
+    ) -> RunReport {
+        let start = self.metrics.steps;
+        loop {
+            if self.metrics.steps - start >= max_steps {
+                return self.report(StopReason::StepLimit);
+            }
+            if !self.step() {
+                return self.report(StopReason::Quiescent);
+            }
+            if stop(self) {
+                return self.report(StopReason::Predicate);
+            }
+        }
+    }
+
+    /// Convenience: runs until every listed party has an output for
+    /// `session` (or the budget runs out).
+    pub fn run_until_outputs(
+        &mut self,
+        max_steps: u64,
+        session: &SessionId,
+        parties: &[PartyId],
+    ) -> RunReport {
+        let session = session.clone();
+        let parties = parties.to_vec();
+        self.run_until(max_steps, move |net| {
+            parties.iter().all(|&p| net.output(p, &session).is_some())
+        })
+    }
+
+    fn report(&self, stop: StopReason) -> RunReport {
+        RunReport {
+            stop,
+            steps: self.metrics.steps,
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    fn enqueue(&mut self, from: PartyId, out: Vec<Outgoing>) {
+        if self.muted[from.0] {
+            return;
+        }
+        for o in out {
+            let kind = o.session.last().map_or("root", |t| t.kind);
+            *self.metrics.sent_by_kind.entry(kind).or_insert(0) += 1;
+            self.metrics.sent += 1;
+            self.pending.push(Envelope {
+                from,
+                to: o.to,
+                session: o.session,
+                payload: o.payload,
+                seq: self.seq,
+                born_step: self.metrics.steps,
+            });
+            self.seq += 1;
+        }
+    }
+
+    /// Applies the fairness cap, then the scheduler.
+    fn pick_next(&mut self) -> Option<Envelope> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let now = self.metrics.steps;
+        let max_age = self.config.scheduler.max_age;
+        // Oldest pending (they are in arrival order; index 0 is oldest).
+        let idx = if now.saturating_sub(self.pending[0].born_step) > max_age {
+            0
+        } else {
+            let i = self.scheduler.pick(&self.pending, &mut self.sched_rng);
+            debug_assert!(i < self.pending.len(), "scheduler index out of range");
+            i.min(self.pending.len() - 1)
+        };
+        Some(self.pending.remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SessionTag;
+    use crate::instance::Context;
+    use crate::scheduler::{FifoScheduler, LifoScheduler, RandomScheduler};
+
+    fn sid() -> SessionId {
+        SessionId::root().child(SessionTag::new("t", 0))
+    }
+
+    /// Flood: every party sends `rounds` waves of pings; outputs when it
+    /// received `n * rounds` pings.
+    struct Flood {
+        rounds: u32,
+        sent: u32,
+        heard: usize,
+    }
+    impl Flood {
+        fn new(rounds: u32) -> Self {
+            Flood {
+                rounds,
+                sent: 0,
+                heard: 0,
+            }
+        }
+    }
+    impl Instance for Flood {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            self.sent = 1;
+            ctx.send_all(0u32);
+        }
+        fn on_message(&mut self, _f: PartyId, _p: &Payload, ctx: &mut Context<'_>) {
+            self.heard += 1;
+            if self.heard % ctx.n() == 0 && self.sent < self.rounds {
+                self.sent += 1;
+                ctx.send_all(self.sent);
+            }
+            if self.heard == ctx.n() * self.rounds as usize {
+                ctx.output(self.heard);
+            }
+        }
+    }
+
+    fn flood_net(seed: u64, sched: Box<dyn Scheduler>) -> SimNetwork {
+        let mut net = SimNetwork::new(NetConfig::new(4, 1, seed), sched);
+        for p in 0..4 {
+            net.spawn(PartyId(p), sid(), Box::new(Flood::new(3)));
+        }
+        net
+    }
+
+    #[test]
+    fn flood_reaches_quiescence_under_all_schedulers() {
+        for sched in [
+            Box::new(FifoScheduler) as Box<dyn Scheduler>,
+            Box::new(RandomScheduler),
+            Box::new(LifoScheduler),
+        ] {
+            let mut net = flood_net(3, sched);
+            let report = net.run(1_000_000);
+            assert_eq!(report.stop, StopReason::Quiescent);
+            for p in 0..4 {
+                assert_eq!(
+                    net.output_as::<usize>(PartyId(p), &sid()),
+                    Some(&12),
+                    "party {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_replay_same_seed() {
+        let trace = |seed| {
+            let mut net = flood_net(seed, Box::new(RandomScheduler));
+            net.enable_trace();
+            net.run(1_000_000);
+            net.trace().to_vec()
+        };
+        assert_eq!(trace(9), trace(9));
+        assert_ne!(trace(9), trace(10), "different seeds should differ");
+    }
+
+    #[test]
+    fn crash_suppresses_party() {
+        let mut net = flood_net(1, Box::new(RandomScheduler));
+        net.crash(PartyId(3));
+        let report = net.run(1_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        // The crashed party never outputs; others can't finish all rounds
+        // (they need n*rounds pings but P3 is silent) — but no deadlock:
+        // quiescence is reached.
+        assert!(net.output(PartyId(3), &sid()).is_none());
+        assert!(report.metrics.dropped_crashed > 0);
+    }
+
+    #[test]
+    fn crash_at_takes_effect_mid_run() {
+        let mut net = flood_net(1, Box::new(FifoScheduler));
+        net.crash_at(PartyId(2), 5);
+        net.run(1_000_000);
+        assert!(net.node(PartyId(2)).is_crashed());
+    }
+
+    #[test]
+    fn step_limit_stops_runaway() {
+        let mut net = flood_net(1, Box::new(RandomScheduler));
+        let report = net.run(3);
+        assert_eq!(report.stop, StopReason::StepLimit);
+        assert_eq!(report.steps, 3);
+    }
+
+    #[test]
+    fn metrics_count_sends_and_deliveries() {
+        let mut net = flood_net(1, Box::new(FifoScheduler));
+        let report = net.run(1_000_000);
+        assert!(report.metrics.sent >= 48, "3 waves * 4 parties * 4 dests");
+        assert_eq!(
+            report.metrics.sent,
+            report.metrics.delivered
+                + report.metrics.dropped_shunned
+                + report.metrics.dropped_crashed
+                + net.pending_len() as u64
+        );
+        assert_eq!(report.metrics.sent_by_kind.get("t").copied(), Some(report.metrics.sent));
+    }
+
+    #[test]
+    fn fairness_cap_forces_starved_delivery() {
+        // LIFO would starve the first message forever without the cap.
+        struct OneShot;
+        impl Instance for OneShot {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send(PartyId(1), 1u8);
+            }
+            fn on_message(&mut self, _f: PartyId, _p: &Payload, ctx: &mut Context<'_>) {
+                ctx.output(1u8);
+            }
+        }
+        /// Keeps the network busy with self-traffic.
+        struct Chatter {
+            left: u32,
+        }
+        impl Instance for Chatter {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let me = ctx.me();
+                ctx.send(me, 0u8);
+            }
+            fn on_message(&mut self, _f: PartyId, _p: &Payload, ctx: &mut Context<'_>) {
+                if self.left > 0 {
+                    self.left -= 1;
+                    let me = ctx.me();
+                    ctx.send(me, 0u8);
+                }
+            }
+        }
+        let mut config = NetConfig::new(4, 1, 1);
+        config.scheduler.max_age = 50;
+        let mut net = SimNetwork::new(config, Box::new(LifoScheduler));
+        let s_victim = SessionId::root().child(SessionTag::new("victim", 0));
+        let s_noise = SessionId::root().child(SessionTag::new("noise", 0));
+        net.spawn(PartyId(0), s_victim.clone(), Box::new(OneShot));
+        net.spawn(PartyId(1), s_victim.clone(), Box::new(OneShot));
+        net.spawn(PartyId(2), s_noise.clone(), Box::new(Chatter { left: 10_000 }));
+        let report = net.run(20_000);
+        // Despite LIFO + endless chatter, the victim's message must deliver
+        // within the aging cap.
+        assert!(
+            net.output(PartyId(1), &s_victim).is_some(),
+            "fairness cap failed: {report:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "optimal resilience")]
+    fn rejects_insufficient_n() {
+        let _ = SimNetwork::new(NetConfig::new(3, 1, 0), Box::new(FifoScheduler));
+    }
+
+    #[test]
+    fn output_as_downcasts() {
+        let mut net = flood_net(2, Box::new(FifoScheduler));
+        net.run(1_000_000);
+        assert_eq!(net.output_as::<usize>(PartyId(0), &sid()), Some(&12));
+        assert_eq!(net.output_as::<u64>(PartyId(0), &sid()), None);
+    }
+}

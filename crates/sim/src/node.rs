@@ -1,0 +1,462 @@
+//! A single party's runtime: session routing, child spawning, output
+//! propagation, shun enforcement.
+
+use crate::ids::{PartyId, SessionId, SessionTag};
+use crate::instance::{Context, Effect, Instance};
+use crate::payload::Payload;
+use rand_chacha::ChaCha12Rng;
+use std::collections::{HashMap, VecDeque};
+
+/// An outgoing envelope produced by a node (delivery is the network's job).
+#[derive(Debug, Clone)]
+pub struct Outgoing {
+    /// Destination party.
+    pub to: PartyId,
+    /// Destination session.
+    pub session: SessionId,
+    /// Message body.
+    pub payload: Payload,
+}
+
+/// Per-party record of shunned peers.
+///
+/// `Shun(i → j)` is recorded at most once per ordered pair (so fewer than
+/// `n^2` shun events occur globally — the bound the paper's coin analysis
+/// relies on). Messages from a shunned party are dropped unless they belong
+/// to the *invocation subtree in which the shun occurred*, matching the
+/// paper: "it accepted messages from it in the current invocation, but
+/// won't accept any messages from it in future interactions".
+#[derive(Debug, Default, Clone)]
+pub struct ShunRegistry {
+    /// target -> session in which the shun was declared.
+    entries: HashMap<PartyId, SessionId>,
+}
+
+impl ShunRegistry {
+    /// Records a shun of `target` declared inside `session`. Returns `true`
+    /// if this is a *new* shun event (first for this ordered pair).
+    pub fn record(&mut self, target: PartyId, session: SessionId) -> bool {
+        if self.entries.contains_key(&target) {
+            return false;
+        }
+        self.entries.insert(target, session);
+        true
+    }
+
+    /// Whether a message from `from` addressed to `session` should be
+    /// dropped.
+    pub fn blocks(&self, from: PartyId, session: &SessionId) -> bool {
+        match self.entries.get(&from) {
+            None => false,
+            // Same invocation subtree (or an ancestor of it) still accepted.
+            Some(declared_in) => {
+                !(session.starts_with(declared_in) || declared_in.starts_with(session))
+            }
+        }
+    }
+
+    /// Parties currently shunned by this node.
+    pub fn shunned(&self) -> impl Iterator<Item = PartyId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Number of shun entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no shun was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Internal work items processed by the node's effect loop.
+enum Work {
+    Start(SessionId),
+    Msg(SessionId, PartyId, Payload),
+    ChildOutput(SessionId, SessionTag, Payload),
+}
+
+/// One party's local runtime: routes messages to protocol instances,
+/// spawns children, propagates outputs upward, and enforces shunning.
+pub struct Node {
+    id: PartyId,
+    n: usize,
+    t: usize,
+    rng: ChaCha12Rng,
+    instances: HashMap<SessionId, Box<dyn Instance>>,
+    /// Messages that arrived before their session was spawned locally.
+    early: HashMap<SessionId, VecDeque<(PartyId, Payload)>>,
+    /// First output of each session.
+    outputs: HashMap<SessionId, Payload>,
+    /// Peers this node shuns.
+    pub(crate) shun: ShunRegistry,
+    /// True once the party has crashed (stops reacting entirely).
+    crashed: bool,
+    /// Count of shun events this node declared (for metrics).
+    shun_events: u64,
+}
+
+impl Node {
+    /// Creates a node for party `id` in an `(n, t)` system with the given
+    /// deterministic RNG.
+    pub fn new(id: PartyId, n: usize, t: usize, rng: ChaCha12Rng) -> Self {
+        Node {
+            id,
+            n,
+            t,
+            rng,
+            instances: HashMap::new(),
+            early: HashMap::new(),
+            outputs: HashMap::new(),
+            shun: ShunRegistry::default(),
+            crashed: false,
+            shun_events: 0,
+        }
+    }
+
+    /// This node's party id.
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+
+    /// Marks the party as crashed: it stops processing and emitting.
+    pub fn crash(&mut self) {
+        self.crashed = true;
+    }
+
+    /// Whether the party has crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The first output recorded for `session`, if any.
+    pub fn output(&self, session: &SessionId) -> Option<&Payload> {
+        self.outputs.get(session)
+    }
+
+    /// All recorded `(session, output)` pairs.
+    pub fn outputs(&self) -> impl Iterator<Item = (&SessionId, &Payload)> {
+        self.outputs.iter()
+    }
+
+    /// Number of live instances (diagnostics).
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of shun events declared by this node.
+    pub fn shun_event_count(&self) -> u64 {
+        self.shun_events
+    }
+
+    /// The node's shun registry.
+    pub fn shun_registry(&self) -> &ShunRegistry {
+        &self.shun
+    }
+
+    /// Spawns a root-level instance at `session`, running its `on_start`.
+    /// Returns envelopes to inject into the network.
+    pub fn spawn(&mut self, session: SessionId, instance: Box<dyn Instance>) -> Vec<Outgoing> {
+        let mut out = Vec::new();
+        if self.crashed {
+            return out;
+        }
+        if self.instances.contains_key(&session) {
+            return out; // idempotent
+        }
+        self.instances.insert(session.clone(), instance);
+        self.run_loop(Work::Start(session), &mut out);
+        out
+    }
+
+    /// Delivers a message to `session` from `from`. Messages for unknown
+    /// sessions are buffered until the session spawns. Messages from
+    /// shunned parties (outside the shun's invocation subtree) are dropped;
+    /// returns `false` in that case.
+    pub fn deliver(
+        &mut self,
+        from: PartyId,
+        session: SessionId,
+        payload: Payload,
+        out: &mut Vec<Outgoing>,
+    ) -> bool {
+        if self.crashed {
+            return false;
+        }
+        if from != self.id && self.shun.blocks(from, &session) {
+            return false;
+        }
+        self.run_loop(Work::Msg(session, from, payload), out);
+        true
+    }
+
+    /// The effect-processing loop: executes one work item, then drains all
+    /// effects it generated (which may enqueue more work).
+    fn run_loop(&mut self, first: Work, out: &mut Vec<Outgoing>) {
+        let mut queue = VecDeque::new();
+        queue.push_back(first);
+        while let Some(work) = queue.pop_front() {
+            let (session, effects) = match work {
+                Work::Start(session) => {
+                    let Some(mut inst) = self.instances.remove(&session) else {
+                        continue;
+                    };
+                    let mut ctx =
+                        Context::new(self.id, self.n, self.t, session.clone(), &mut self.rng);
+                    inst.on_start(&mut ctx);
+                    self.instances.insert(session.clone(), inst);
+                    // Drain any messages that raced ahead of the spawn.
+                    if let Some(buffered) = self.early.remove(&session) {
+                        for (from, payload) in buffered {
+                            queue.push_back(Work::Msg(session.clone(), from, payload));
+                        }
+                    }
+                    (session, ctx.effects)
+                }
+                Work::Msg(session, from, payload) => {
+                    let Some(mut inst) = self.instances.remove(&session) else {
+                        self.early
+                            .entry(session)
+                            .or_default()
+                            .push_back((from, payload));
+                        continue;
+                    };
+                    let mut ctx =
+                        Context::new(self.id, self.n, self.t, session.clone(), &mut self.rng);
+                    inst.on_message(from, &payload, &mut ctx);
+                    self.instances.insert(session.clone(), inst);
+                    (session, ctx.effects)
+                }
+                Work::ChildOutput(session, tag, value) => {
+                    let Some(mut inst) = self.instances.remove(&session) else {
+                        continue;
+                    };
+                    let mut ctx =
+                        Context::new(self.id, self.n, self.t, session.clone(), &mut self.rng);
+                    inst.on_child_output(&tag, &value, &mut ctx);
+                    self.instances.insert(session.clone(), inst);
+                    (session, ctx.effects)
+                }
+            };
+            let _ = session;
+            for effect in effects {
+                match effect {
+                    Effect::Send {
+                        to,
+                        session,
+                        payload,
+                    } => out.push(Outgoing {
+                        to,
+                        session,
+                        payload,
+                    }),
+                    Effect::SendAll { session, payload } => {
+                        for p in 0..self.n {
+                            out.push(Outgoing {
+                                to: PartyId(p),
+                                session: session.clone(),
+                                payload: payload.clone(),
+                            });
+                        }
+                    }
+                    Effect::Spawn { session, instance } => {
+                        if !self.instances.contains_key(&session) {
+                            self.instances.insert(session.clone(), instance);
+                            queue.push_back(Work::Start(session));
+                        }
+                    }
+                    Effect::Output { session, value } => {
+                        if self.outputs.contains_key(&session) {
+                            continue; // first output wins
+                        }
+                        self.outputs.insert(session.clone(), value.clone());
+                        if let (Some(parent), Some(tag)) = (session.parent(), session.last()) {
+                            queue.push_back(Work::ChildOutput(parent, *tag, value));
+                        }
+                    }
+                    Effect::Shun { target, session } => {
+                        if target != self.id && self.shun.record(target, session) {
+                            self.shun_events += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn node(id: usize) -> Node {
+        Node::new(PartyId(id), 4, 1, ChaCha12Rng::seed_from_u64(id as u64))
+    }
+
+    fn sid(kind: &'static str) -> SessionId {
+        SessionId::root().child(SessionTag::new(kind, 0))
+    }
+
+    /// Echoes every received u32 back to the sender, doubled; outputs on 99.
+    struct Doubler;
+    impl Instance for Doubler {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send(PartyId(0), 1u32);
+        }
+        fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
+            if let Some(&v) = payload.downcast_ref::<u32>() {
+                if v == 99 {
+                    ctx.output(v);
+                } else {
+                    ctx.send(from, v * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spawn_runs_on_start_and_emits() {
+        let mut n = node(1);
+        let out = n.spawn(sid("x"), Box::new(Doubler));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, PartyId(0));
+        assert_eq!(out[0].payload.downcast_ref::<u32>(), Some(&1));
+    }
+
+    #[test]
+    fn deliver_routes_and_responds() {
+        let mut n = node(1);
+        n.spawn(sid("x"), Box::new(Doubler));
+        let mut out = Vec::new();
+        assert!(n.deliver(PartyId(2), sid("x"), Payload::new(21u32), &mut out));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload.downcast_ref::<u32>(), Some(&42));
+        assert_eq!(out[0].to, PartyId(2));
+    }
+
+    #[test]
+    fn early_messages_buffer_until_spawn() {
+        let mut n = node(1);
+        let mut out = Vec::new();
+        assert!(n.deliver(PartyId(2), sid("x"), Payload::new(5u32), &mut out));
+        assert!(out.is_empty(), "no instance yet");
+        let out2 = n.spawn(sid("x"), Box::new(Doubler));
+        // on_start send + the buffered message's reply
+        assert_eq!(out2.len(), 2);
+        assert_eq!(out2[1].payload.downcast_ref::<u32>(), Some(&10));
+    }
+
+    #[test]
+    fn output_recorded_once_and_not_overwritten() {
+        let mut n = node(1);
+        n.spawn(sid("x"), Box::new(Doubler));
+        let mut out = Vec::new();
+        n.deliver(PartyId(0), sid("x"), Payload::new(99u32), &mut out);
+        assert_eq!(n.output(&sid("x")).unwrap().downcast_ref::<u32>(), Some(&99));
+        n.deliver(PartyId(0), sid("x"), Payload::new(99u32), &mut out);
+        assert_eq!(n.outputs().count(), 1);
+    }
+
+    /// Parent spawns a child on start; child outputs immediately; parent
+    /// records what it heard.
+    struct Parent {
+        heard: Option<u32>,
+    }
+    struct Child;
+    impl Instance for Child {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.output(7u32);
+        }
+        fn on_message(&mut self, _f: PartyId, _p: &Payload, _c: &mut Context<'_>) {}
+    }
+    impl Instance for Parent {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.spawn(SessionTag::new("child", 3), Box::new(Child));
+        }
+        fn on_message(&mut self, _f: PartyId, _p: &Payload, _c: &mut Context<'_>) {}
+        fn on_child_output(&mut self, child: &SessionTag, output: &Payload, ctx: &mut Context<'_>) {
+            assert_eq!(child, &SessionTag::new("child", 3));
+            self.heard = output.downcast_ref::<u32>().copied();
+            ctx.output(*output.downcast_ref::<u32>().unwrap() + 1);
+        }
+    }
+
+    #[test]
+    fn child_output_routes_to_parent() {
+        let mut n = node(0);
+        n.spawn(sid("p"), Box::new(Parent { heard: None }));
+        // parent's own output = child output + 1
+        assert_eq!(n.output(&sid("p")).unwrap().downcast_ref::<u32>(), Some(&8));
+        // child output recorded too
+        let child_sid = sid("p").child(SessionTag::new("child", 3));
+        assert_eq!(n.output(&child_sid).unwrap().downcast_ref::<u32>(), Some(&7));
+    }
+
+    #[test]
+    fn crashed_node_is_inert() {
+        let mut n = node(1);
+        n.crash();
+        assert!(n.spawn(sid("x"), Box::new(Doubler)).is_empty());
+        let mut out = Vec::new();
+        assert!(!n.deliver(PartyId(0), sid("x"), Payload::new(1u32), &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shun_blocks_other_sessions_but_not_same_invocation() {
+        let mut reg = ShunRegistry::default();
+        let inv = sid("svss");
+        assert!(reg.record(PartyId(2), inv.clone()));
+        assert!(!reg.record(PartyId(2), sid("other")), "idempotent per pair");
+        // same invocation subtree: allowed
+        assert!(!reg.blocks(PartyId(2), &inv));
+        assert!(!reg.blocks(PartyId(2), &inv.child(SessionTag::new("sub", 1))));
+        // unrelated session: blocked
+        assert!(reg.blocks(PartyId(2), &sid("other")));
+        // other parties unaffected
+        assert!(!reg.blocks(PartyId(3), &sid("other")));
+    }
+
+    #[test]
+    fn node_drops_messages_from_shunned_party() {
+        struct Shunner;
+        impl Instance for Shunner {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.shun(PartyId(2));
+            }
+            fn on_message(&mut self, _f: PartyId, p: &Payload, ctx: &mut Context<'_>) {
+                if let Some(&v) = p.downcast_ref::<u32>() {
+                    ctx.output(v);
+                }
+            }
+        }
+        let mut n = node(1);
+        n.spawn(sid("a"), Box::new(Shunner));
+        assert_eq!(n.shun_event_count(), 1);
+        let mut out = Vec::new();
+        // same invocation: accepted
+        assert!(n.deliver(PartyId(2), sid("a"), Payload::new(5u32), &mut out));
+        assert_eq!(n.output(&sid("a")).unwrap().downcast_ref::<u32>(), Some(&5));
+        // different session: dropped
+        n.spawn(sid("b"), Box::new(Doubler));
+        assert!(!n.deliver(PartyId(2), sid("b"), Payload::new(5u32), &mut out));
+    }
+
+    #[test]
+    fn self_shun_ignored() {
+        struct SelfShun;
+        impl Instance for SelfShun {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let me = ctx.me();
+                ctx.shun(me);
+            }
+            fn on_message(&mut self, _f: PartyId, _p: &Payload, _c: &mut Context<'_>) {}
+        }
+        let mut n = node(1);
+        n.spawn(sid("x"), Box::new(SelfShun));
+        assert_eq!(n.shun_event_count(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Dynamically-typed, cheaply-cloneable message payloads.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// A protocol message payload or instance output.
+///
+/// Payloads are dynamically typed so that protocol crates can define their
+/// own message enums without the simulator depending on them. A receiving
+/// instance downcasts to the type it expects; a failed downcast models a
+/// type-confused (Byzantine) message and is simply ignored by honest code.
+///
+/// Cloning is an `Arc` bump, so broadcasting to `n` parties does not copy
+/// the message body.
+///
+/// ```
+/// use aft_sim::Payload;
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Echo(u32);
+///
+/// let p = Payload::new(Echo(7));
+/// assert_eq!(p.downcast_ref::<Echo>(), Some(&Echo(7)));
+/// assert_eq!(p.downcast_ref::<String>(), None);
+/// ```
+#[derive(Clone)]
+pub struct Payload {
+    value: Arc<dyn Any + Send + Sync>,
+    type_name: &'static str,
+}
+
+impl Payload {
+    /// Wraps a value as a payload.
+    pub fn new<T: Any + Send + Sync>(value: T) -> Self {
+        Payload {
+            value: Arc::new(value),
+            type_name: std::any::type_name::<T>(),
+        }
+    }
+
+    /// Borrows the payload as `T`, or `None` when the type differs.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.value.as_ref().downcast_ref::<T>()
+    }
+
+    /// Whether the payload holds a `T`.
+    pub fn is<T: Any>(&self) -> bool {
+        self.value.as_ref().is::<T>()
+    }
+
+    /// The Rust type name of the wrapped value (diagnostics only).
+    pub fn type_name(&self) -> &'static str {
+        self.type_name
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload<{}>", self.type_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct A(u8);
+    #[derive(Debug, PartialEq)]
+    struct B(u8);
+
+    #[test]
+    fn downcast_success_and_failure() {
+        let p = Payload::new(A(3));
+        assert!(p.is::<A>());
+        assert!(!p.is::<B>());
+        assert_eq!(p.downcast_ref::<A>(), Some(&A(3)));
+        assert_eq!(p.downcast_ref::<B>(), None);
+    }
+
+    #[test]
+    fn clone_shares_value() {
+        let p = Payload::new(A(9));
+        let q = p.clone();
+        assert_eq!(q.downcast_ref::<A>(), Some(&A(9)));
+    }
+
+    #[test]
+    fn debug_includes_type_name() {
+        let p = Payload::new(A(1));
+        let s = format!("{p:?}");
+        assert!(s.contains("A"), "{s}");
+    }
+}
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    #[test]
+    fn payload_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Payload>();
+    }
+}

@@ -1,0 +1,250 @@
+//! Message schedulers: the asynchronous adversary's delivery-order control.
+//!
+//! The asynchronous model lets the adversary delay any message by an
+//! arbitrary *finite* amount. A [`Scheduler`] is exactly that power: it
+//! picks which in-flight envelope is delivered next. Every scheduler here
+//! is *fair* — no message is deferred forever — which is the hypothesis of
+//! the paper's almost-sure-termination claims. The aging cap in
+//! [`SchedulerConfig::max_age`] enforces fairness even for adversarial
+//! policies.
+
+use crate::network::Envelope;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use std::collections::HashSet;
+
+use crate::ids::PartyId;
+
+/// Picks the next envelope to deliver from the pending set.
+///
+/// `pending` is never empty when `pick` is called. The returned index must
+/// be `< pending.len()`.
+pub trait Scheduler: Send {
+    /// Chooses the index of the next envelope to deliver.
+    fn pick(&mut self, pending: &[Envelope], rng: &mut ChaCha12Rng) -> usize;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str {
+        "scheduler"
+    }
+}
+
+/// Delivers messages in the order they were sent (a synchronous-looking,
+/// best-case network).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FifoScheduler;
+
+impl Scheduler for FifoScheduler {
+    fn pick(&mut self, _pending: &[Envelope], _rng: &mut ChaCha12Rng) -> usize {
+        0
+    }
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Delivers a uniformly random pending message — the standard *oblivious*
+/// asynchronous adversary. Fair with probability 1.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RandomScheduler;
+
+impl Scheduler for RandomScheduler {
+    fn pick(&mut self, pending: &[Envelope], rng: &mut ChaCha12Rng) -> usize {
+        rng.gen_range(0..pending.len())
+    }
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// An adversarial scheduler that starves a victim set: messages to or from
+/// victims are deferred while any non-victim message is pending. The
+/// network-level aging cap still forces eventual delivery, so the adversary
+/// delays victims "up to any finite amount" — the paper's model, at its
+/// most hostile.
+#[derive(Debug, Clone)]
+pub struct StarveScheduler {
+    victims: HashSet<PartyId>,
+}
+
+impl StarveScheduler {
+    /// Starves messages touching any party in `victims`.
+    pub fn new<I: IntoIterator<Item = PartyId>>(victims: I) -> Self {
+        StarveScheduler {
+            victims: victims.into_iter().collect(),
+        }
+    }
+
+    fn touches_victim(&self, e: &Envelope) -> bool {
+        self.victims.contains(&e.from) || self.victims.contains(&e.to)
+    }
+}
+
+impl Scheduler for StarveScheduler {
+    fn pick(&mut self, pending: &[Envelope], rng: &mut ChaCha12Rng) -> usize {
+        let clean: Vec<usize> = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !self.touches_victim(e))
+            .map(|(i, _)| i)
+            .collect();
+        if clean.is_empty() {
+            rng.gen_range(0..pending.len())
+        } else {
+            clean[rng.gen_range(0..clean.len())]
+        }
+    }
+    fn name(&self) -> &'static str {
+        "starve"
+    }
+}
+
+/// Reorders within a sliding window: picks uniformly among the `window`
+/// oldest pending messages. `window = 1` degenerates to FIFO; large windows
+/// approach [`RandomScheduler`]. Models bounded out-of-orderness.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowScheduler {
+    window: usize,
+}
+
+impl WindowScheduler {
+    /// Creates a scheduler picking among the `window` oldest messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        WindowScheduler { window }
+    }
+}
+
+impl Scheduler for WindowScheduler {
+    fn pick(&mut self, pending: &[Envelope], rng: &mut ChaCha12Rng) -> usize {
+        // Pending is kept in arrival order by the network, so the first
+        // `window` entries are the oldest.
+        let lim = self.window.min(pending.len());
+        rng.gen_range(0..lim)
+    }
+    fn name(&self) -> &'static str {
+        "window"
+    }
+}
+
+/// A last-in-first-out scheduler: always delivers the *newest* message.
+/// Maximally unfair without an aging cap; with the cap it stress-tests
+/// buffering and session races (children spawned late, replies overtaking
+/// requests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LifoScheduler;
+
+impl Scheduler for LifoScheduler {
+    fn pick(&mut self, pending: &[Envelope], _rng: &mut ChaCha12Rng) -> usize {
+        pending.len() - 1
+    }
+    fn name(&self) -> &'static str {
+        "lifo"
+    }
+}
+
+/// Configuration shared by all schedulers.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Fairness cap: if the oldest pending envelope has waited more than
+    /// this many delivery steps, it is delivered regardless of the
+    /// scheduler's preference. This enforces the "every message is
+    /// eventually delivered" hypothesis of the asynchronous model.
+    pub max_age: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        // Generous but finite: adversaries can starve hard, never forever.
+        SchedulerConfig { max_age: 4096 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{SessionId, SessionTag};
+    use crate::payload::Payload;
+    use rand::SeedableRng;
+
+    fn env(from: usize, to: usize, seq: u64) -> Envelope {
+        Envelope {
+            from: PartyId(from),
+            to: PartyId(to),
+            session: SessionId::root().child(SessionTag::new("x", 0)),
+            payload: Payload::new(0u8),
+            seq,
+            born_step: 0,
+        }
+    }
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn fifo_picks_first_lifo_picks_last() {
+        let pending = vec![env(0, 1, 0), env(1, 2, 1), env(2, 3, 2)];
+        let mut r = rng();
+        assert_eq!(FifoScheduler.pick(&pending, &mut r), 0);
+        assert_eq!(LifoScheduler.pick(&pending, &mut r), 2);
+    }
+
+    #[test]
+    fn random_stays_in_bounds() {
+        let pending = vec![env(0, 1, 0), env(1, 2, 1)];
+        let mut r = rng();
+        let mut s = RandomScheduler;
+        for _ in 0..100 {
+            assert!(s.pick(&pending, &mut r) < pending.len());
+        }
+    }
+
+    #[test]
+    fn starve_avoids_victims_when_possible() {
+        let mut s = StarveScheduler::new([PartyId(1)]);
+        let pending = vec![env(1, 2, 0), env(0, 2, 1), env(2, 1, 2)];
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(s.pick(&pending, &mut r), 1, "only index 1 avoids P1");
+        }
+        // When everything touches a victim, still picks something valid.
+        let all_victim = vec![env(1, 2, 0), env(2, 1, 2)];
+        for _ in 0..50 {
+            assert!(s.pick(&all_victim, &mut r) < 2);
+        }
+    }
+
+    #[test]
+    fn window_respects_window() {
+        let pending = vec![env(0, 1, 0), env(1, 2, 1), env(2, 3, 2), env(3, 0, 3)];
+        let mut r = rng();
+        let mut s = WindowScheduler::new(2);
+        for _ in 0..100 {
+            assert!(s.pick(&pending, &mut r) < 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn window_zero_panics() {
+        let _ = WindowScheduler::new(0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            FifoScheduler.name(),
+            RandomScheduler.name(),
+            StarveScheduler::new([]).name(),
+            WindowScheduler::new(1).name(),
+            LifoScheduler.name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

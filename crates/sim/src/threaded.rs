@@ -1,0 +1,237 @@
+//! A threaded runtime: the same [`Instance`] protocol code running over
+//! real OS threads and channels instead of the deterministic simulator.
+//!
+//! Each party is one thread owning its [`Node`]; links are unbounded
+//! crossbeam channels; delivery order is whatever the OS scheduler
+//! produces — a genuinely asynchronous (if benign) network. The runtime
+//! exists to demonstrate that the protocol implementations are not
+//! simulator-bound; quantitative experiments use [`SimNetwork`] for
+//! determinism and adversarial scheduling.
+//!
+//! Termination uses a global in-flight counter: every send increments it,
+//! every completed delivery decrements it; when it reaches zero there are
+//! no messages anywhere (channels are empty and no handler is running), so
+//! all threads exit.
+//!
+//! [`SimNetwork`]: crate::SimNetwork
+
+use crate::ids::{PartyId, SessionId};
+use crate::instance::Instance;
+use crate::node::{Node, Outgoing};
+use crate::payload::Payload;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Wire {
+    from: PartyId,
+    session: SessionId,
+    payload: Payload,
+}
+
+/// Per-party outputs of a threaded run.
+pub type ThreadedOutputs = Vec<HashMap<SessionId, Payload>>;
+
+/// Runs one protocol deployment over OS threads.
+///
+/// `spawns[p]` lists the `(session, instance)` pairs party `p` starts
+/// with. The function returns when the system is quiescent (no in-flight
+/// messages) — protocols that almost-surely terminate reach this state —
+/// and yields every party's recorded session outputs.
+///
+/// `poll` is the idle-polling interval used to detect quiescence
+/// (tests use a few milliseconds).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, if `spawns.len() != n`, or if a worker thread
+/// panics (protocol assertion failures propagate).
+pub fn run_threaded(
+    n: usize,
+    t: usize,
+    seed: u64,
+    spawns: Vec<Vec<(SessionId, Box<dyn Instance>)>>,
+    poll: Duration,
+) -> ThreadedOutputs {
+    assert!(n > 0, "need at least one party");
+    assert_eq!(spawns.len(), n, "one spawn list per party");
+
+    let mut senders: Vec<Sender<Wire>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Wire>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let in_flight = Arc::new(AtomicI64::new(0));
+
+    let dispatch = |from: PartyId,
+                    out: Vec<Outgoing>,
+                    senders: &[Sender<Wire>],
+                    in_flight: &AtomicI64| {
+        for o in out {
+            in_flight.fetch_add(1, Ordering::SeqCst);
+            // Receiver may only disappear after quiescence; ignore failures.
+            let _ = senders[o.to.0].send(Wire {
+                from,
+                session: o.session,
+                payload: o.payload,
+            });
+        }
+    };
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (p, instances) in spawns.into_iter().enumerate() {
+            let me = PartyId(p);
+            let rx = receivers[p].clone();
+            let senders = senders.clone();
+            let in_flight = Arc::clone(&in_flight);
+            handles.push(scope.spawn(move || {
+                let rng = ChaCha12Rng::seed_from_u64(
+                    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(p as u64),
+                );
+                let mut node = Node::new(me, n, t, rng);
+                for (session, instance) in instances {
+                    let out = node.spawn(session, instance);
+                    dispatch(me, out, &senders, &in_flight);
+                }
+                loop {
+                    match rx.recv_timeout(poll) {
+                        Ok(wire) => {
+                            let mut out = Vec::new();
+                            node.deliver(wire.from, wire.session, wire.payload, &mut out);
+                            dispatch(me, out, &senders, &in_flight);
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        Err(_) => {
+                            // Idle: if nothing is in flight anywhere, the
+                            // system is quiescent.
+                            if in_flight.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                        }
+                    }
+                }
+                node.outputs()
+                    .map(|(s, v)| (s.clone(), v.clone()))
+                    .collect::<HashMap<_, _>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SessionTag;
+    use crate::instance::Context;
+
+    fn sid() -> SessionId {
+        SessionId::root().child(SessionTag::new("t", 0))
+    }
+
+    /// Greets everyone; outputs after hearing from all n parties.
+    struct Hello {
+        heard: usize,
+    }
+    impl Instance for Hello {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send_all(1u8);
+        }
+        fn on_message(&mut self, _f: PartyId, _p: &Payload, ctx: &mut Context<'_>) {
+            self.heard += 1;
+            if self.heard == ctx.n() {
+                ctx.output(self.heard);
+            }
+        }
+    }
+
+    #[test]
+    fn hello_over_threads() {
+        let n = 4;
+        let spawns: Vec<Vec<(SessionId, Box<dyn Instance>)>> = (0..n)
+            .map(|_| {
+                vec![(
+                    sid(),
+                    Box::new(Hello { heard: 0 }) as Box<dyn Instance>,
+                )]
+            })
+            .collect();
+        let outputs = run_threaded(n, 1, 7, spawns, Duration::from_millis(5));
+        for (p, out) in outputs.iter().enumerate() {
+            assert_eq!(
+                out.get(&sid()).and_then(|v| v.downcast_ref::<usize>()),
+                Some(&n),
+                "party {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_system_quiesces() {
+        let outputs = run_threaded(
+            4,
+            1,
+            0,
+            (0..4).map(|_| Vec::new()).collect(),
+            Duration::from_millis(2),
+        );
+        assert!(outputs.iter().all(|o| o.is_empty()));
+    }
+
+    /// Ping-pong volley across threads terminates and counts correctly.
+    struct Volley {
+        start: bool,
+        bounces: u32,
+    }
+    impl Instance for Volley {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            if self.start {
+                ctx.send(PartyId(1), 50u32);
+            }
+        }
+        fn on_message(&mut self, from: PartyId, p: &Payload, ctx: &mut Context<'_>) {
+            if let Some(&v) = p.downcast_ref::<u32>() {
+                self.bounces += 1;
+                if v == 0 {
+                    ctx.output(self.bounces);
+                } else {
+                    ctx.send(from, v - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_over_threads() {
+        let spawns: Vec<Vec<(SessionId, Box<dyn Instance>)>> = (0..4)
+            .map(|p| {
+                vec![(
+                    sid(),
+                    Box::new(Volley {
+                        start: p == 0,
+                        bounces: 0,
+                    }) as Box<dyn Instance>,
+                )]
+            })
+            .collect();
+        let outputs = run_threaded(4, 1, 3, spawns, Duration::from_millis(5));
+        // 51 messages bounce between P0 and P1; the terminal catcher
+        // outputs its bounce count.
+        let total: u32 = outputs
+            .iter()
+            .filter_map(|o| o.get(&sid()))
+            .filter_map(|v| v.downcast_ref::<u32>())
+            .sum();
+        assert!(total > 0, "someone must have caught the last ball");
+    }
+}

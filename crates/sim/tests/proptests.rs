@@ -1,0 +1,177 @@
+//! Property-based tests of the simulator: fairness, conservation,
+//! determinism, and session routing under randomized configurations.
+
+use aft_sim::{
+    Context, Instance, NetConfig, PartyId, Payload, RandomScheduler, Scheduler, SessionId,
+    SessionTag, SimNetwork, StopReason, WindowScheduler,
+};
+use proptest::prelude::*;
+
+/// Ping-pong instance: replies `v - 1` to any positive v received.
+struct PingPong {
+    start: Option<(PartyId, u32)>,
+    received: u64,
+}
+
+impl Instance for PingPong {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if let Some((to, v)) = self.start {
+            ctx.send(to, v);
+        }
+    }
+    fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
+        self.received += 1;
+        if let Some(&v) = payload.downcast_ref::<u32>() {
+            if v > 0 {
+                ctx.send(from, v - 1);
+            } else {
+                ctx.output(self.received);
+            }
+        }
+    }
+}
+
+fn sid() -> SessionId {
+    SessionId::root().child(SessionTag::new("pp", 0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every run reaches quiescence and conserves messages:
+    /// sent = delivered + dropped + pending.
+    #[test]
+    fn message_conservation(seed in any::<u64>(), n in 4usize..10, volleys in 1u32..30) {
+        let t = (n - 1) / 3;
+        let mut net = SimNetwork::new(NetConfig::new(n, t, seed), Box::new(RandomScheduler));
+        for p in 0..n {
+            let start = if p == 0 {
+                Some((PartyId(n - 1), volleys))
+            } else {
+                None
+            };
+            net.spawn(PartyId(p), sid(), Box::new(PingPong { start, received: 0 }));
+        }
+        let report = net.run(10_000_000);
+        prop_assert_eq!(report.stop, StopReason::Quiescent);
+        let m = &report.metrics;
+        prop_assert_eq!(
+            m.sent,
+            m.delivered + m.dropped_shunned + m.dropped_crashed + net.pending_len() as u64
+        );
+        // The volley bounces exactly `volleys + 1` times.
+        prop_assert_eq!(m.sent, volleys as u64 + 1);
+    }
+
+    /// Identical seeds yield identical traces; different seeds (almost
+    /// always) different ones, under every scheduler window.
+    #[test]
+    fn determinism(seed in any::<u64>(), window in 1usize..8) {
+        let run = |s: u64| {
+            let mut net = SimNetwork::new(
+                NetConfig::new(4, 1, s),
+                Box::new(WindowScheduler::new(window)),
+            );
+            net.enable_trace();
+            for p in 0..4 {
+                let start = if p == 0 { Some((PartyId(3), 20)) } else { None };
+                net.spawn(PartyId(p), sid(), Box::new(PingPong { start, received: 0 }));
+            }
+            net.run(1_000_000);
+            net.trace().to_vec()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Fairness: under ANY scheduler in the suite, a single in-flight
+    /// message among heavy competing traffic is delivered within the
+    /// fairness cap.
+    #[test]
+    fn fairness_cap_bounds_starvation(seed in any::<u64>(), sched_idx in 0usize..3) {
+        struct Noise { left: u32 }
+        impl Instance for Noise {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let me = ctx.me();
+                ctx.send(me, 0u8);
+            }
+            fn on_message(&mut self, _f: PartyId, _p: &Payload, ctx: &mut Context<'_>) {
+                if self.left > 0 {
+                    self.left -= 1;
+                    let me = ctx.me();
+                    ctx.send(me, 0u8);
+                }
+            }
+        }
+        struct OneShot;
+        impl Instance for OneShot {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send(PartyId(1), 1u8);
+            }
+            fn on_message(&mut self, _f: PartyId, _p: &Payload, ctx: &mut Context<'_>) {
+                ctx.output(());
+            }
+        }
+        let sched: Box<dyn Scheduler> = match sched_idx {
+            0 => Box::new(aft_sim::LifoScheduler),
+            1 => Box::new(aft_sim::StarveScheduler::new([PartyId(0), PartyId(1)])),
+            _ => Box::new(WindowScheduler::new(2)),
+        };
+        let mut config = NetConfig::new(4, 1, seed);
+        config.scheduler.max_age = 64;
+        let mut net = SimNetwork::new(config, sched);
+        let vict = SessionId::root().child(SessionTag::new("victim", 0));
+        let noise = SessionId::root().child(SessionTag::new("noise", 0));
+        net.spawn(PartyId(0), vict.clone(), Box::new(OneShot));
+        net.spawn(PartyId(1), vict.clone(), Box::new(OneShot));
+        net.spawn(PartyId(2), noise.clone(), Box::new(Noise { left: 5_000 }));
+        net.run(20_000);
+        prop_assert!(net.output(PartyId(1), &vict).is_some(), "victim starved past cap");
+    }
+
+    /// Messages sent to sessions spawned later are buffered, never lost.
+    #[test]
+    fn early_buffering_lossless(seed in any::<u64>(), delay_spawn in 1u64..50) {
+        struct Sender;
+        impl Instance for Sender {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send(PartyId(1), 42u32);
+            }
+            fn on_message(&mut self, _f: PartyId, _p: &Payload, _c: &mut Context<'_>) {}
+        }
+        struct Receiver;
+        impl Instance for Receiver {
+            fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+            fn on_message(&mut self, _f: PartyId, p: &Payload, ctx: &mut Context<'_>) {
+                if let Some(&v) = p.downcast_ref::<u32>() {
+                    ctx.output(v);
+                }
+            }
+        }
+        let mut net = SimNetwork::new(NetConfig::new(4, 1, seed), Box::new(RandomScheduler));
+        let s = SessionId::root().child(SessionTag::new("late", 0));
+        net.spawn(PartyId(0), s.clone(), Box::new(Sender));
+        // Deliver the message before the receiver's instance exists.
+        for _ in 0..delay_spawn {
+            if !net.step() {
+                break;
+            }
+        }
+        net.spawn(PartyId(1), s.clone(), Box::new(Receiver));
+        net.run(10_000);
+        prop_assert_eq!(net.output_as::<u32>(PartyId(1), &s), Some(&42));
+    }
+
+    /// Crashed parties never emit after the crash step.
+    #[test]
+    fn crash_silences(seed in any::<u64>(), crash_step in 1u64..40) {
+        let mut net = SimNetwork::new(NetConfig::new(4, 1, seed), Box::new(RandomScheduler));
+        for p in 0..4 {
+            let start = if p == 0 { Some((PartyId(2), 200)) } else { None };
+            net.spawn(PartyId(p), sid(), Box::new(PingPong { start, received: 0 }));
+        }
+        net.crash_at(PartyId(2), crash_step);
+        let report = net.run(10_000_000);
+        prop_assert_eq!(report.stop, StopReason::Quiescent);
+        prop_assert!(net.node(PartyId(2)).is_crashed());
+    }
+}

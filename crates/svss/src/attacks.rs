@@ -1,0 +1,207 @@
+//! Byzantine behaviours against SVSS, used by the test suite and the
+//! shunning experiments (E7).
+
+use crate::msgs::{party_point, RecMsg, ShareBundle, ShareMsg};
+use crate::share::SvssShare;
+use aft_field::{BivarPoly, Fp, Poly};
+use aft_sim::{Context, Instance, PartyId, Payload};
+
+/// A Byzantine dealer that deals shares of **two different secrets**: the
+/// parties in `group_a` receive rows/columns of a polynomial with secret
+/// `secret_a`, everyone else of one with `secret_b`.
+///
+/// If one group has at least `n − t` members a core can still form inside
+/// it and the share phase completes; reconstruction then binds to that
+/// group's secret. If neither group is large enough, no core forms and the
+/// share phase never completes (allowed for a faulty dealer — and the
+/// simulator still reaches quiescence).
+pub struct TwoFacedDealer {
+    inner: SvssShare,
+    group_a: Vec<PartyId>,
+    secret_a: Fp,
+    secret_b: Fp,
+}
+
+impl TwoFacedDealer {
+    /// Creates the attack instance; must be spawned at `dealer`.
+    pub fn new(dealer: PartyId, group_a: Vec<PartyId>, secret_a: Fp, secret_b: Fp) -> Self {
+        TwoFacedDealer {
+            inner: SvssShare::party(dealer),
+            group_a,
+            secret_a,
+            secret_b,
+        }
+    }
+}
+
+impl Instance for TwoFacedDealer {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let t = ctx.t();
+        let fa = BivarPoly::random_with_secret(self.secret_a, t, ctx.rng());
+        let fb = BivarPoly::random_with_secret(self.secret_b, t, ctx.rng());
+        for p in ctx.parties().collect::<Vec<_>>() {
+            let f = if self.group_a.contains(&p) { &fa } else { &fb };
+            let x = party_point(p);
+            ctx.send(
+                p,
+                ShareMsg::Shares {
+                    row: f.row(x),
+                    col: f.col(x),
+                },
+            );
+        }
+        // From here on behave like an ordinary participant (the dealer is
+        // in group A iff listed there); the inner instance will propose a
+        // core once it sees a clique, because `me == dealer`.
+    }
+
+    fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
+        self.inner.on_message(from, payload, ctx);
+    }
+
+    fn on_child_output(
+        &mut self,
+        child: &aft_sim::SessionTag,
+        output: &Payload,
+        ctx: &mut Context<'_>,
+    ) {
+        self.inner.on_child_output(child, output, ctx);
+    }
+}
+
+/// A party that runs the share phase honestly except that the cross points
+/// it sends to `victims` are corrupted (off by one). The victims simply
+/// never OK it, so it is excluded from the core when the dealer is honest;
+/// the share phase still completes for everyone.
+pub struct WrongCross {
+    inner: SvssShare,
+    victims: Vec<PartyId>,
+}
+
+impl WrongCross {
+    /// Creates the attack instance for a non-dealer party.
+    pub fn new(dealer: PartyId, victims: Vec<PartyId>) -> Self {
+        WrongCross {
+            inner: SvssShare::party(dealer),
+            victims,
+        }
+    }
+}
+
+impl Instance for WrongCross {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.inner.on_start(ctx);
+    }
+
+    fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
+        // Intercept our own Shares delivery: forward to inner, then send
+        // corrected/corrupted crosses. The inner already sends honest
+        // crosses, so instead we corrupt the *victims'* view by sending a
+        // second, conflicting cross first. Since receivers keep the first
+        // cross per peer, flood the victims with the corrupted value before
+        // the inner handles the message.
+        if let Some(ShareMsg::Shares { row, col }) = payload.downcast_ref::<ShareMsg>() {
+            for &v in &self.victims {
+                let x = party_point(v);
+                ctx.send(
+                    v,
+                    ShareMsg::Cross {
+                        a: row.eval(x) + Fp::ONE,
+                        b: col.eval(x) + Fp::ONE,
+                    },
+                );
+            }
+        }
+        self.inner.on_message(from, payload, ctx);
+    }
+
+    fn on_child_output(
+        &mut self,
+        child: &aft_sim::SessionTag,
+        output: &Payload,
+        ctx: &mut Context<'_>,
+    ) {
+        self.inner.on_child_output(child, output, ctx);
+    }
+}
+
+/// Reconstruction attack: sends a wrong σ (off by `delta`) but otherwise
+/// plays honestly. If the party is a core member and also reveals, every
+/// honest party detects the self-contradiction and **shuns** it; if it
+/// withholds the reveal, the wrong σ is absorbed by online error
+/// correction.
+pub struct WrongSigma {
+    bundle: ShareBundle,
+    delta: Fp,
+    reveal_too: bool,
+}
+
+impl WrongSigma {
+    /// Creates the attack; `reveal_too` controls whether the (honest)
+    /// reveal is also sent, which exposes the contradiction.
+    pub fn new(bundle: ShareBundle, delta: Fp, reveal_too: bool) -> Self {
+        WrongSigma {
+            bundle,
+            delta,
+            reveal_too,
+        }
+    }
+}
+
+impl Instance for WrongSigma {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if let Some(row) = self.bundle.row.clone() {
+            ctx.send_all(RecMsg::Sigma(row.eval(Fp::ZERO) + self.delta));
+            if self.reveal_too && self.bundle.in_core() {
+                if let Some(col) = self.bundle.col.clone() {
+                    ctx.send_all(RecMsg::Reveal { row, col });
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: PartyId, _payload: &Payload, _ctx: &mut Context<'_>) {}
+}
+
+/// Reconstruction attack: reveals a row different from the cross points it
+/// distributed during the share phase. Every honest party that holds this
+/// party's share-phase cross detects the contradiction and shuns it —
+/// the canonical shunning-event generator for experiment E7.
+pub struct EquivocalReveal {
+    bundle: ShareBundle,
+}
+
+impl EquivocalReveal {
+    /// Creates the attack instance.
+    pub fn new(bundle: ShareBundle) -> Self {
+        EquivocalReveal { bundle }
+    }
+}
+
+impl Instance for EquivocalReveal {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if let (Some(row), Some(col)) = (self.bundle.row.clone(), self.bundle.col.clone()) {
+            // Honest σ, lying reveal: shifted row/col.
+            ctx.send_all(RecMsg::Sigma(row.eval(Fp::ZERO)));
+            if self.bundle.in_core() {
+                let shift = Poly::constant(Fp::ONE);
+                ctx.send_all(RecMsg::Reveal {
+                    row: &row + &shift,
+                    col: &col + &shift,
+                });
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: PartyId, _payload: &Payload, _ctx: &mut Context<'_>) {}
+}
+
+/// Runs the share phase honestly but stays completely silent during
+/// reconstruction (withholds both σ and reveal) — the withholding
+/// adversary that online error correction must tolerate.
+pub struct SilentRec;
+
+impl Instance for SilentRec {
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+    fn on_message(&mut self, _from: PartyId, _payload: &Payload, _ctx: &mut Context<'_>) {}
+}

@@ -1,0 +1,169 @@
+//! Lexicographically-first clique search on small consistency graphs.
+//!
+//! The share phase needs a clique of size `n − t` in the pairwise-OK graph
+//! (the dealer's core proposal); reconstruction needs a clique of size
+//! `t + 1` among revealed rows. The graphs have at most `n ≤ ~16` vertices
+//! in this workspace, where plain backtracking is instantaneous; the search
+//! returns the lexicographically smallest clique so that every party with
+//! the same view picks the same set deterministically.
+
+/// Finds the lexicographically-first clique of exactly `target` vertices in
+/// the undirected graph given by the symmetric adjacency closure of `adj`
+/// (an edge exists iff `adj[u][v] && adj[v][u]`).
+///
+/// Returns vertex indices in increasing order, or `None` if no clique of
+/// that size exists. `target == 0` returns an empty clique.
+///
+/// # Panics
+///
+/// Panics if `adj` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use aft_svss::find_clique;
+/// // Triangle 0-1-2 plus isolated 3.
+/// let mut adj = vec![vec![false; 4]; 4];
+/// for (u, v) in [(0, 1), (0, 2), (1, 2)] {
+///     adj[u][v] = true;
+///     adj[v][u] = true;
+/// }
+/// assert_eq!(find_clique(&adj, 3), Some(vec![0, 1, 2]));
+/// assert_eq!(find_clique(&adj, 4), None);
+/// ```
+pub fn find_clique(adj: &[Vec<bool>], target: usize) -> Option<Vec<usize>> {
+    let n = adj.len();
+    for row in adj {
+        assert_eq!(row.len(), n, "adjacency matrix must be square");
+    }
+    if target == 0 {
+        return Some(Vec::new());
+    }
+    if target > n {
+        return None;
+    }
+    let edge = |u: usize, v: usize| adj[u][v] && adj[v][u];
+    let mut chosen: Vec<usize> = Vec::with_capacity(target);
+
+    fn backtrack(
+        chosen: &mut Vec<usize>,
+        start: usize,
+        n: usize,
+        target: usize,
+        edge: &dyn Fn(usize, usize) -> bool,
+    ) -> bool {
+        if chosen.len() == target {
+            return true;
+        }
+        // Prune: not enough vertices left.
+        let needed = target - chosen.len();
+        if n - start < needed {
+            return false;
+        }
+        for v in start..n {
+            if chosen.iter().all(|&u| edge(u, v)) {
+                chosen.push(v);
+                if backtrack(chosen, v + 1, n, target, edge) {
+                    return true;
+                }
+                chosen.pop();
+            }
+        }
+        false
+    }
+
+    if backtrack(&mut chosen, 0, n, target, &edge) {
+        Some(chosen)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<bool>> {
+        let mut adj = vec![vec![false; n]; n];
+        for &(u, v) in edges {
+            adj[u][v] = true;
+            adj[v][u] = true;
+        }
+        adj
+    }
+
+    #[test]
+    fn empty_target_is_empty_clique() {
+        assert_eq!(find_clique(&graph(3, &[]), 0), Some(vec![]));
+    }
+
+    #[test]
+    fn single_vertices_are_cliques_of_one() {
+        assert_eq!(find_clique(&graph(3, &[]), 1), Some(vec![0]));
+    }
+
+    #[test]
+    fn finds_lex_first_among_multiple() {
+        // Two triangles: {0,1,2} and {2,3,4}; lex-first is {0,1,2}.
+        let adj = graph(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]);
+        assert_eq!(find_clique(&adj, 3), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn prefers_smaller_ids_even_when_larger_clique_elsewhere() {
+        // K4 on {2,3,4,5}, edge {0,1}: target 2 must return {0,1}.
+        let adj = graph(
+            6,
+            &[(0, 1), (2, 3), (2, 4), (2, 5), (3, 4), (3, 5), (4, 5)],
+        );
+        assert_eq!(find_clique(&adj, 2), Some(vec![0, 1]));
+        assert_eq!(find_clique(&adj, 4), Some(vec![2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn asymmetric_claims_are_not_edges() {
+        // Edge requires both directions.
+        let mut adj = vec![vec![false; 2]; 2];
+        adj[0][1] = true; // only one direction
+        assert_eq!(find_clique(&adj, 2), None);
+        adj[1][0] = true;
+        assert_eq!(find_clique(&adj, 2), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn no_clique_returns_none() {
+        let adj = graph(4, &[(0, 1), (1, 2), (2, 3)]); // path
+        assert_eq!(find_clique(&adj, 3), None);
+    }
+
+    #[test]
+    fn target_larger_than_n() {
+        assert_eq!(find_clique(&graph(2, &[(0, 1)]), 3), None);
+    }
+
+    #[test]
+    fn dense_graph_stress() {
+        // Complete graph K12 minus one edge; target 11 must avoid the
+        // missing edge's endpoints together.
+        let n = 12;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                if !(u == 0 && v == 1) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let adj = graph(n, &edges);
+        let c = find_clique(&adj, 11).unwrap();
+        assert!(!(c.contains(&0) && c.contains(&1)));
+        assert_eq!(c.len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        let adj = vec![vec![false; 2], vec![false; 3]];
+        let _ = find_clique(&adj, 1);
+    }
+}

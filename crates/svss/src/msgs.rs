@@ -1,0 +1,108 @@
+//! Wire messages and shared types of the SVSS protocol.
+
+use aft_field::{Fp, Poly};
+use aft_sim::PartyId;
+use std::collections::HashMap;
+
+/// The field point assigned to party `i`: `x_i = i + 1` (zero is reserved
+/// for the secret).
+pub fn party_point(p: PartyId) -> Fp {
+    Fp::new(p.0 as u64 + 1)
+}
+
+/// Messages of the SVSS share phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShareMsg {
+    /// Dealer → party `i`: its row `f_i(y) = F(x_i, y)` and column
+    /// `g_i(x) = F(x, x_i)` of the sharing bivariate polynomial.
+    Shares {
+        /// The recipient's row polynomial.
+        row: Poly,
+        /// The recipient's column polynomial.
+        col: Poly,
+    },
+    /// Party `i` → party `j`: the cross points `a = f_i(x_j)` and
+    /// `b = g_i(x_j)`, which `j` checks against its own column and row.
+    Cross {
+        /// `f_i(x_j) = F(x_i, x_j)`.
+        a: Fp,
+        /// `g_i(x_j) = F(x_j, x_i)`.
+        b: Fp,
+    },
+    /// Broadcast vote: "my cross-checks with `peer` succeeded".
+    Ok(PartyId),
+    /// Share-completion amplification (Bracha-style `t+1 / 2t+1`).
+    Done,
+}
+
+/// Messages of the SVSS reconstruction phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecMsg {
+    /// The sender's row evaluated at zero: its point of
+    /// `h(x) = F(x, 0)` — input to online error correction.
+    Sigma(Fp),
+    /// Core members additionally reveal their full row and column for the
+    /// clique fallback (faulty-dealer path).
+    Reveal {
+        /// Claimed row polynomial.
+        row: Poly,
+        /// Claimed column polynomial.
+        col: Poly,
+    },
+}
+
+/// A party's state after completing the share phase — the input to
+/// [`SvssRec`](crate::SvssRec).
+#[derive(Debug, Clone)]
+pub struct ShareBundle {
+    /// The dealer of this SVSS instance.
+    pub dealer: PartyId,
+    /// The party this bundle belongs to.
+    pub me: PartyId,
+    /// The party's row `F(x_me, ·)`, if the dealer sent one (of valid
+    /// degree).
+    pub row: Option<Poly>,
+    /// The party's column `F(·, x_me)`, if the dealer sent one.
+    pub col: Option<Poly>,
+    /// The agreed core set `C` (`|C| = n − t`), delivered by the dealer's
+    /// A-Cast and edge-verified by at least one honest party.
+    pub core: Vec<PartyId>,
+    /// Cross points received from each peer `j` during the share phase:
+    /// `(a, b)` where `a` claims `F(x_j, x_me)` and `b` claims
+    /// `F(x_me, x_j)`. Used by reconstruction to detect self-contradiction
+    /// (the shunning trigger).
+    pub crosses: HashMap<PartyId, (Fp, Fp)>,
+}
+
+impl ShareBundle {
+    /// Whether this party is a member of the agreed core.
+    pub fn in_core(&self) -> bool {
+        self.core.contains(&self.me)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn party_point_is_one_based() {
+        assert_eq!(party_point(PartyId(0)), Fp::new(1));
+        assert_eq!(party_point(PartyId(6)), Fp::new(7));
+    }
+
+    #[test]
+    fn bundle_in_core() {
+        let b = ShareBundle {
+            dealer: PartyId(0),
+            me: PartyId(2),
+            row: None,
+            col: None,
+            core: vec![PartyId(1), PartyId(2)],
+            crosses: HashMap::new(),
+        };
+        assert!(b.in_core());
+        let b2 = ShareBundle { me: PartyId(3), ..b };
+        assert!(!b2.in_core());
+    }
+}

@@ -1,0 +1,192 @@
+//! The SVSS reconstruction phase (`SVSS-Rec` of Definition 3.2).
+
+use crate::clique::find_clique;
+use crate::msgs::{party_point, RecMsg, ShareBundle};
+use aft_field::{interpolate_at_zero, Fp, OnlineDecoder, Poly};
+use aft_sim::{Context, Instance, PartyId, Payload};
+use std::collections::HashMap;
+
+/// One party's reconstruction instance, built from the [`ShareBundle`] the
+/// share phase produced. Outputs the reconstructed secret as an [`Fp`].
+///
+/// Reconstruction runs two tracks concurrently and outputs whichever
+/// certifies first:
+///
+/// * **Point track** — every party holding a row sends
+///   `σ = row(0) = F(x, 0)`; a sound [`OnlineDecoder`] (degree `t`, at most
+///   `t` bad points) decodes `h(x) = F(x, 0)` and outputs `h(0)`. With an
+///   honest dealer all `2t+1` honest parties hold genuine rows, so this
+///   track terminates and is exact.
+/// * **Clique track** — core members additionally reveal their full
+///   row/column; a `(t+1)`-clique of pairwise cross-consistent reveals
+///   determines the bound polynomial `F̂` and yields `F̂(0,0)` (Lagrange at
+///   zero over the clique rows' σ values). This track guarantees
+///   termination when a faulty dealer handed some honest parties garbage:
+///   the ≥ `t+1` honest core members always eventually form a clique.
+///
+/// **Shunning triggers** (the binding escape hatch of Definition 3.2):
+/// a peer whose reveal contradicts the cross points it sent *me* during the
+/// share phase is shunned, as is a peer sending duplicate σ/reveals or
+/// reveals of invalid degree. An honest party never trips these (it never
+/// contradicts itself), so honest parties never shun honest parties.
+///
+/// Against adversaries that craft globally-consistent-but-wrong data a
+/// faulty dealer can still split the clique track between honest parties —
+/// the paper's own lower bound (Theorem 2.2) shows *some* such gap is
+/// unavoidable for a terminating protocol at `n ≤ 4t`; DESIGN.md §4.3
+/// documents the boundary relative to full ADH08.
+pub struct SvssRec {
+    bundle: ShareBundle,
+    decoder: OnlineDecoder,
+    /// Reveals accepted from core members.
+    reveals: HashMap<PartyId, (Poly, Poly)>,
+    /// Parties whose σ was received (duplicate detection).
+    sigma_seen: HashMap<PartyId, Fp>,
+    done: bool,
+}
+
+impl SvssRec {
+    /// Creates the reconstruction instance for this party.
+    pub fn new(bundle: ShareBundle) -> Self {
+        SvssRec {
+            bundle,
+            // degree t, up to t adversarial points — set in on_start when t
+            // is known; re-created there.
+            decoder: OnlineDecoder::new(0, 0),
+            reveals: HashMap::new(),
+            sigma_seen: HashMap::new(),
+            done: false,
+        }
+    }
+
+    fn output_once(&mut self, value: Fp, ctx: &mut Context<'_>) {
+        if !self.done {
+            self.done = true;
+            ctx.output(value);
+        }
+    }
+
+    /// Clique track: find a `(t+1)`-clique of mutually consistent reveals
+    /// among core members and interpolate the secret.
+    fn try_clique(&mut self, ctx: &mut Context<'_>) {
+        if self.done {
+            return;
+        }
+        let t = ctx.t();
+        let members: Vec<PartyId> = {
+            let mut m: Vec<PartyId> = self.reveals.keys().copied().collect();
+            m.sort();
+            m
+        };
+        if members.len() < t + 1 {
+            return;
+        }
+        // Edge (u, v): u's row at x_v equals v's col at x_u, and vice
+        // versa — both claim grid values of the same bivariate.
+        let k = members.len();
+        let mut adj = vec![vec![false; k]; k];
+        for a in 0..k {
+            for b in a + 1..k {
+                let (u, v) = (members[a], members[b]);
+                let (ru, cu) = &self.reveals[&u];
+                let (rv, cv) = &self.reveals[&v];
+                let (xu, xv) = (party_point(u), party_point(v));
+                let ok = ru.eval(xv) == cv.eval(xu) && rv.eval(xu) == cu.eval(xv);
+                adj[a][b] = ok;
+                adj[b][a] = ok;
+            }
+        }
+        if let Some(clique) = find_clique(&adj, t + 1) {
+            let pts: Vec<(Fp, Fp)> = clique
+                .iter()
+                .map(|&idx| {
+                    let u = members[idx];
+                    (party_point(u), self.reveals[&u].0.eval(Fp::ZERO))
+                })
+                .collect();
+            let secret = interpolate_at_zero(&pts).expect("distinct party points");
+            self.output_once(secret, ctx);
+        }
+    }
+}
+
+impl Instance for SvssRec {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let t = ctx.t();
+        self.decoder = OnlineDecoder::new(t, t);
+        if let Some(row) = self.bundle.row.clone() {
+            ctx.send_all(RecMsg::Sigma(row.eval(Fp::ZERO)));
+            if self.bundle.in_core() {
+                if let Some(col) = self.bundle.col.clone() {
+                    ctx.send_all(RecMsg::Reveal { row, col });
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
+        let Some(msg) = payload.downcast_ref::<RecMsg>() else {
+            return;
+        };
+        let t = ctx.t();
+        match msg {
+            RecMsg::Sigma(v) => {
+                if let Some(prev) = self.sigma_seen.get(&from) {
+                    if prev != v {
+                        // An honest party never equivocates its σ.
+                        ctx.shun(from);
+                    }
+                    return;
+                }
+                self.sigma_seen.insert(from, *v);
+                // A σ that contradicts the same party's reveal is a
+                // self-contradiction: shun (honest parties send
+                // σ = row(0) and reveal the same row).
+                if let Some((row, _)) = self.reveals.get(&from) {
+                    if row.eval(Fp::ZERO) != *v {
+                        ctx.shun(from);
+                        return;
+                    }
+                }
+                if self.done {
+                    return;
+                }
+                if let Ok(Some(poly)) = self.decoder.add_point(party_point(from), *v) {
+                    let secret = poly.eval(Fp::ZERO);
+                    self.output_once(secret, ctx);
+                }
+            }
+            RecMsg::Reveal { row, col } => {
+                if !self.bundle.core.contains(&from) {
+                    return; // only core members reveal
+                }
+                if self.reveals.contains_key(&from) {
+                    return; // first reveal wins; repeats are harmless noise
+                }
+                if row.degree().unwrap_or(0) > t || col.degree().unwrap_or(0) > t {
+                    // Malformed reveal from a core member: provably faulty.
+                    ctx.shun(from);
+                    return;
+                }
+                // Self-contradiction checks: the reveal must match the
+                // cross points this peer sent me during the share phase,
+                // and the σ it already sent (if any).
+                if let Some(&(a, b)) = self.bundle.crosses.get(&from) {
+                    let x_me = party_point(self.bundle.me);
+                    if row.eval(x_me) != a || col.eval(x_me) != b {
+                        ctx.shun(from);
+                        return;
+                    }
+                }
+                if let Some(&sigma) = self.sigma_seen.get(&from) {
+                    if row.eval(Fp::ZERO) != sigma {
+                        ctx.shun(from);
+                        return;
+                    }
+                }
+                self.reveals.insert(from, (row.clone(), col.clone()));
+                self.try_clique(ctx);
+            }
+        }
+    }
+}

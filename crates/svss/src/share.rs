@@ -1,0 +1,292 @@
+//! The SVSS share phase (`SVSS-Share` of Definition 3.2).
+
+use crate::clique::find_clique;
+use crate::msgs::{party_point, ShareBundle, ShareMsg};
+use aft_broadcast::Acast;
+use aft_field::{BivarPoly, Fp, Poly};
+use aft_sim::{Context, Instance, PartyId, Payload, SessionTag};
+use std::collections::{HashMap, HashSet};
+
+/// Session tag kind under which the dealer's core proposal is A-Cast.
+pub const CORE_TAG: &str = "svss-core";
+
+/// One party's share-phase instance.
+///
+/// Protocol outline (all thresholds for `n = 3t + 1`):
+///
+/// 1. The dealer samples a bivariate `F` with `F(0,0) = s`, degree ≤ t per
+///    variable, and privately sends each party its row and column.
+/// 2. Parties exchange *cross points* pairwise and vote `Ok(peer)` to all
+///    when the peer's points match their own polynomials.
+/// 3. The dealer watches the mutual-OK graph; on finding an `(n−t)`-clique
+///    `C` it A-Casts `Core(C)`.
+/// 4. A party that delivered `Core(C)` and locally observed every edge of
+///    `C` sends `Done` to all; `Done` is amplified Bracha-style (re-send at
+///    `t+1`, complete at `2t+1` provided `Core` was delivered).
+/// 5. On completion the instance outputs a [`ShareBundle`] carrying the
+///    party's row/column, the core, and all received cross points (the
+///    evidence reconstruction uses for shunning).
+///
+/// Termination properties (Definition 3.2, validated by tests):
+/// with an honest dealer all honest parties complete; if any honest party
+/// completes, every honest participant almost-surely completes.
+pub struct SvssShare {
+    dealer: PartyId,
+    /// Dealer's secret (`Some` only at the dealer).
+    secret: Option<Fp>,
+    row: Option<Poly>,
+    col: Option<Poly>,
+    /// Cross points received from peers.
+    crosses: HashMap<PartyId, (Fp, Fp)>,
+    /// `oks[v]` = set of peers that `v` has publicly OK'd.
+    oks: HashMap<PartyId, HashSet<PartyId>>,
+    /// Peers I have already OK'd (avoid duplicate votes).
+    my_oks: HashSet<PartyId>,
+    /// The agreed core, once the dealer's A-Cast delivers.
+    core: Option<Vec<PartyId>>,
+    /// Whether I already sent `Done`.
+    done_sent: bool,
+    /// Parties whose `Done` I received.
+    dones: HashSet<PartyId>,
+    /// Whether the bundle was output.
+    completed: bool,
+    /// Dealer only: full sharing polynomial.
+    bivar: Option<BivarPoly>,
+    /// Dealer only: whether `Core` was already proposed.
+    core_proposed: bool,
+}
+
+impl SvssShare {
+    /// Creates the dealer's instance sharing `secret`.
+    pub fn dealer(dealer: PartyId, secret: Fp) -> Self {
+        SvssShare {
+            dealer,
+            secret: Some(secret),
+            ..Self::empty(dealer)
+        }
+    }
+
+    /// Creates a non-dealer participant's instance.
+    pub fn party(dealer: PartyId) -> Self {
+        Self::empty(dealer)
+    }
+
+    fn empty(dealer: PartyId) -> Self {
+        SvssShare {
+            dealer,
+            secret: None,
+            row: None,
+            col: None,
+            crosses: HashMap::new(),
+            oks: HashMap::new(),
+            my_oks: HashSet::new(),
+            core: None,
+            done_sent: false,
+            dones: HashSet::new(),
+            completed: false,
+            bivar: None,
+            core_proposed: false,
+        }
+    }
+
+    /// Checks the stored cross points from `j` against our own polynomials
+    /// and issues a public `Ok(j)` vote on success.
+    fn try_ok(&mut self, j: PartyId, ctx: &mut Context<'_>) {
+        if self.my_oks.contains(&j) {
+            return;
+        }
+        let (Some(row), Some(col)) = (&self.row, &self.col) else {
+            return;
+        };
+        let Some(&(a, b)) = self.crosses.get(&j) else {
+            return;
+        };
+        // a claims F(x_j, x_me) = my col at x_j; b claims F(x_me, x_j) =
+        // my row at x_j.
+        let xj = party_point(j);
+        if col.eval(xj) == a && row.eval(xj) == b {
+            self.my_oks.insert(j);
+            ctx.send_all(ShareMsg::Ok(j));
+        }
+    }
+
+    /// Mutual-OK edge test from this party's local view.
+    fn edge(&self, u: PartyId, v: PartyId) -> bool {
+        u != v
+            && self.oks.get(&u).is_some_and(|s| s.contains(&v))
+            && self.oks.get(&v).is_some_and(|s| s.contains(&u))
+    }
+
+    /// Dealer: look for an `(n−t)`-clique in the mutual-OK graph and A-Cast
+    /// it as the core.
+    fn dealer_try_core(&mut self, ctx: &mut Context<'_>) {
+        if self.core_proposed || ctx.me() != self.dealer {
+            return;
+        }
+        let n = ctx.n();
+        let adj: Vec<Vec<bool>> = (0..n)
+            .map(|u| (0..n).map(|v| self.edge(PartyId(u), PartyId(v))).collect())
+            .collect();
+        if let Some(clique) = find_clique(&adj, n - ctx.t()) {
+            self.core_proposed = true;
+            let core: Vec<usize> = clique;
+            ctx.spawn(
+                SessionTag::new(CORE_TAG, self.dealer.0 as u64),
+                Box::new(Acast::sender(self.dealer, core)),
+            );
+        }
+    }
+
+    /// Sends `Done` once the core is delivered and all its edges verified
+    /// locally.
+    fn try_done(&mut self, ctx: &mut Context<'_>) {
+        if self.done_sent {
+            return;
+        }
+        let Some(core) = &self.core else {
+            return;
+        };
+        let verified = core
+            .iter()
+            .enumerate()
+            .all(|(i, &u)| core[i + 1..].iter().all(|&v| self.edge(u, v)));
+        if verified {
+            self.done_sent = true;
+            ctx.send_all(ShareMsg::Done);
+        }
+    }
+
+    /// Completes (outputs the bundle) when `2t+1` `Done`s arrived and the
+    /// core is known.
+    fn try_complete(&mut self, ctx: &mut Context<'_>) {
+        if self.completed || self.core.is_none() {
+            return;
+        }
+        if self.dones.len() >= ctx.n() - ctx.t() {
+            self.completed = true;
+            let bundle = ShareBundle {
+                dealer: self.dealer,
+                me: ctx.me(),
+                row: self.row.clone(),
+                col: self.col.clone(),
+                core: self.core.clone().expect("checked above"),
+                crosses: self.crosses.clone(),
+            };
+            ctx.output(bundle);
+        }
+    }
+}
+
+impl Instance for SvssShare {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let me = ctx.me();
+        let (n, t) = (ctx.n(), ctx.t());
+        if me == self.dealer {
+            let secret = self.secret.expect("dealer constructed with secret");
+            let bivar = BivarPoly::random_with_secret(secret, t, ctx.rng());
+            for p in 0..n {
+                let pid = PartyId(p);
+                let x = party_point(pid);
+                ctx.send(
+                    pid,
+                    ShareMsg::Shares {
+                        row: bivar.row(x),
+                        col: bivar.col(x),
+                    },
+                );
+            }
+            self.bivar = Some(bivar);
+        } else {
+            // Participate in the dealer's core A-Cast from the start so a
+            // racing proposal is not lost.
+            ctx.spawn(
+                SessionTag::new(CORE_TAG, self.dealer.0 as u64),
+                Box::new(Acast::<Vec<usize>>::receiver(self.dealer)),
+            );
+        }
+    }
+
+    fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
+        let Some(msg) = payload.downcast_ref::<ShareMsg>() else {
+            return;
+        };
+        let t = ctx.t();
+        match msg {
+            ShareMsg::Shares { row, col } => {
+                // Only the dealer's first share message, of valid degree.
+                if from != self.dealer || self.row.is_some() {
+                    return;
+                }
+                if row.degree().unwrap_or(0) > t || col.degree().unwrap_or(0) > t {
+                    return; // malformed: treat as absent
+                }
+                self.row = Some(row.clone());
+                self.col = Some(col.clone());
+                // Send cross points to every party.
+                let my_row = self.row.clone().expect("just set");
+                let my_col = self.col.clone().expect("just set");
+                for p in ctx.parties().collect::<Vec<_>>() {
+                    let x = party_point(p);
+                    ctx.send(
+                        p,
+                        ShareMsg::Cross {
+                            a: my_row.eval(x),
+                            b: my_col.eval(x),
+                        },
+                    );
+                }
+                // Re-check buffered cross points now that we can verify.
+                // (Sorted: emission order must not depend on HashMap
+                // iteration order, or deterministic replay breaks.)
+                let mut peers: Vec<PartyId> = self.crosses.keys().copied().collect();
+                peers.sort();
+                for j in peers {
+                    self.try_ok(j, ctx);
+                }
+            }
+            ShareMsg::Cross { a, b } => {
+                // First cross from each peer counts.
+                if self.crosses.contains_key(&from) {
+                    return;
+                }
+                self.crosses.insert(from, (*a, *b));
+                self.try_ok(from, ctx);
+            }
+            ShareMsg::Ok(peer) => {
+                if self.oks.entry(from).or_default().insert(*peer) {
+                    self.dealer_try_core(ctx);
+                    self.try_done(ctx);
+                }
+            }
+            ShareMsg::Done => {
+                if self.dones.insert(from) {
+                    if self.dones.len() >= t + 1 && !self.done_sent {
+                        self.done_sent = true;
+                        ctx.send_all(ShareMsg::Done);
+                    }
+                    self.try_complete(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_child_output(&mut self, child: &SessionTag, output: &Payload, ctx: &mut Context<'_>) {
+        if child.kind != CORE_TAG || self.core.is_some() {
+            return;
+        }
+        let Some(core) = output.downcast_ref::<Vec<usize>>() else {
+            return;
+        };
+        let n = ctx.n();
+        // Validate: exactly n − t distinct known parties.
+        let mut seen = HashSet::new();
+        let valid = core.len() == n - ctx.t()
+            && core.iter().all(|&p| p < n && seen.insert(p));
+        if !valid {
+            return; // a faulty dealer's junk proposal: ignore forever
+        }
+        self.core = Some(core.iter().map(|&p| PartyId(p)).collect());
+        self.try_done(ctx);
+        self.try_complete(ctx);
+    }
+}

@@ -1,0 +1,55 @@
+//! The same protocol code over real OS threads: binary Byzantine
+//! agreement with split inputs, running on crossbeam channels instead of
+//! the simulator — no schedulers, no seeds controlling delivery, just the
+//! operating system's own nondeterminism.
+//!
+//! ```sh
+//! cargo run --example threaded_agreement [rounds]
+//! ```
+
+use aft::ba::{BinaryBa, OracleCoin};
+use aft::sim::threaded::run_threaded;
+use aft::sim::{Instance, SessionId, SessionTag};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let iterations: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let n = 4;
+
+    println!("== binary BA over real OS threads ==");
+    println!("n = {n}, split inputs, {iterations} independent agreements\n");
+
+    for i in 0..iterations {
+        let sid = SessionId::root().child(SessionTag::new("ba", 0));
+        let spawns: Vec<Vec<(SessionId, Box<dyn Instance>)>> = (0..n)
+            .map(|p| {
+                let inst: Box<dyn Instance> = Box::new(BinaryBa::new(
+                    p % 2 == 0,
+                    Box::new(OracleCoin::new(1000 + i as u64)),
+                ));
+                vec![(sid.clone(), inst)]
+            })
+            .collect();
+        let t0 = Instant::now();
+        let outputs = run_threaded(n, 1, i as u64, spawns, Duration::from_millis(3));
+        let decisions: Vec<bool> = outputs
+            .iter()
+            .map(|o| {
+                *o.get(&sid)
+                    .and_then(|v| v.downcast_ref::<bool>())
+                    .expect("BA terminates")
+            })
+            .collect();
+        let agreed = decisions.windows(2).all(|w| w[0] == w[1]);
+        println!(
+            "  run {i:>2}: decided {} in {:>7.2?}  (agreement: {agreed})",
+            decisions[0] as u8,
+            t0.elapsed()
+        );
+        assert!(agreed, "agreement must hold over real threads");
+    }
+    println!("\nall runs agreed — same Instance code as the simulator, zero changes.");
+}

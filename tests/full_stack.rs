@@ -1,0 +1,249 @@
+//! Cross-crate integration tests: the complete paper stack
+//! (A-Cast → SVSS → BA → CommonSubset → CoinFlip → FairChoice → FBA)
+//! running together over the simulator, including the fully
+//! information-theoretic configuration with no oracle anywhere.
+
+use aft::core::{
+    CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind, FairChoiceParams, Fba,
+};
+use aft::sim::{
+    scheduler_by_name, Instance, NetConfig, PartyId, SessionId, SessionTag, SilentInstance,
+    SimNetwork, StopReason,
+};
+
+fn sid(kind: &'static str) -> SessionId {
+    SessionId::root().child(SessionTag::new(kind, 0))
+}
+
+#[test]
+fn full_it_stack_coin_flip_no_oracle() {
+    // CoinFlip with WeakShared BA coins: every bit of randomness in the
+    // system comes from SVSS — the paper's actual construction.
+    let (n, t) = (4usize, 1usize);
+    for seed in 0..2u64 {
+        let mut net =
+            SimNetwork::new(NetConfig::new(n, t, seed), scheduler_by_name("random").unwrap());
+        for p in 0..n {
+            net.spawn(
+                PartyId(p),
+                sid("coin"),
+                Box::new(CoinFlip::new(
+                    CoinFlipParams::FixedK { k: 1 },
+                    CoinKind::WeakShared,
+                )),
+            );
+        }
+        let report = net.run(500_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent, "seed={seed}");
+        let outs: Vec<bool> = (0..n)
+            .map(|p| {
+                net.output_as::<CoinFlipOutput>(PartyId(p), &sid("coin"))
+                    .unwrap_or_else(|| panic!("seed={seed} p={p} did not terminate"))
+                    .value
+            })
+            .collect();
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+    }
+}
+
+#[test]
+fn fba_full_stack_with_weak_shared_coins() {
+    let (n, t) = (4usize, 1usize);
+    let mut net = SimNetwork::new(NetConfig::new(n, t, 5), scheduler_by_name("random").unwrap());
+    let inputs = ["alpha", "beta", "gamma", "delta"];
+    for p in 0..n {
+        net.spawn(
+            PartyId(p),
+            sid("fba"),
+            Box::new(Fba::new(
+                inputs[p].to_string(),
+                FairChoiceParams::FixedK { k: 1 },
+                CoinKind::WeakShared,
+            )),
+        );
+    }
+    let report = net.run(2_000_000_000);
+    assert_eq!(report.stop, StopReason::Quiescent);
+    let outs: Vec<String> = (0..n)
+        .map(|p| net.output_as::<String>(PartyId(p), &sid("fba")).expect("terminates").clone())
+        .collect();
+    assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
+    assert!(inputs.contains(&outs[0].as_str()));
+}
+
+#[test]
+fn coin_flip_under_every_scheduler() {
+    for sched in ["fifo", "random", "lifo", "window4", "window16", "starve:0"] {
+        let (n, t) = (4usize, 1usize);
+        let mut net = SimNetwork::new(NetConfig::new(n, t, 9), scheduler_by_name(sched).unwrap());
+        for p in 0..n {
+            net.spawn(
+                PartyId(p),
+                sid("coin"),
+                Box::new(CoinFlip::new(
+                    CoinFlipParams::FixedK { k: 2 },
+                    CoinKind::Oracle(3),
+                )),
+            );
+        }
+        let report = net.run(500_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent, "sched={sched}");
+        let outs: Vec<bool> = (0..n)
+            .map(|p| {
+                net.output_as::<CoinFlipOutput>(PartyId(p), &sid("coin"))
+                    .unwrap_or_else(|| panic!("sched={sched} p={p}"))
+                    .value
+            })
+            .collect();
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "sched={sched}: {outs:?}");
+    }
+}
+
+#[test]
+fn concurrent_protocol_sessions_do_not_interfere() {
+    // A coin flip and an FBA run concurrently on the same network.
+    let (n, t) = (4usize, 1usize);
+    let mut net = SimNetwork::new(NetConfig::new(n, t, 10), scheduler_by_name("random").unwrap());
+    for p in 0..n {
+        net.spawn(
+            PartyId(p),
+            sid("coin"),
+            Box::new(CoinFlip::new(
+                CoinFlipParams::FixedK { k: 1 },
+                CoinKind::Oracle(1),
+            )),
+        );
+        net.spawn(
+            PartyId(p),
+            sid("fba"),
+            Box::new(Fba::new(
+                p,
+                FairChoiceParams::FixedK { k: 1 },
+                CoinKind::Oracle(2),
+            )),
+        );
+    }
+    let report = net.run(1_000_000_000);
+    assert_eq!(report.stop, StopReason::Quiescent);
+    let coin0 = net.output_as::<CoinFlipOutput>(PartyId(0), &sid("coin")).unwrap().value;
+    let fba0 = *net.output_as::<usize>(PartyId(0), &sid("fba")).unwrap();
+    for p in 1..n {
+        assert_eq!(
+            net.output_as::<CoinFlipOutput>(PartyId(p), &sid("coin")).unwrap().value,
+            coin0
+        );
+        assert_eq!(net.output_as::<usize>(PartyId(p), &sid("fba")), Some(&fba0));
+    }
+    assert!(fba0 < n, "FBA output is some party's input");
+}
+
+#[test]
+fn whole_stack_deterministic_replay() {
+    let run = |seed: u64| {
+        let (n, t) = (4usize, 1usize);
+        let mut net =
+            SimNetwork::new(NetConfig::new(n, t, seed), scheduler_by_name("random").unwrap());
+        net.enable_trace();
+        for p in 0..n {
+            net.spawn(
+                PartyId(p),
+                sid("coin"),
+                Box::new(CoinFlip::new(
+                    CoinFlipParams::FixedK { k: 1 },
+                    CoinKind::Oracle(0),
+                )),
+            );
+        }
+        net.run(500_000_000);
+        (
+            net.trace().to_vec(),
+            net.output_as::<CoinFlipOutput>(PartyId(0), &sid("coin")).copied(),
+        )
+    };
+    let (trace_a, out_a) = run(77);
+    let (trace_b, out_b) = run(77);
+    assert_eq!(out_a, out_b);
+    assert_eq!(trace_a, trace_b, "byte-identical delivery schedule");
+}
+
+#[test]
+fn fba_with_crash_mid_protocol() {
+    let (n, t) = (7usize, 2usize);
+    let mut net = SimNetwork::new(NetConfig::new(n, t, 4), scheduler_by_name("random").unwrap());
+    for p in 0..n {
+        net.spawn(
+            PartyId(p),
+            sid("fba"),
+            Box::new(Fba::new(
+                format!("v{}", p % 3),
+                FairChoiceParams::FixedK { k: 1 },
+                CoinKind::Oracle(6),
+            )),
+        );
+    }
+    net.crash_at(PartyId(5), 300);
+    net.crash_at(PartyId(6), 800);
+    let report = net.run(2_000_000_000);
+    assert_eq!(report.stop, StopReason::Quiescent);
+    let outs: Vec<String> = (0..5)
+        .map(|p| net.output_as::<String>(PartyId(p), &sid("fba")).expect("terminates").clone())
+        .collect();
+    assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
+}
+
+#[test]
+fn byzantine_garbage_across_the_stack() {
+    // A garbage-spraying party must not derail CoinFlip.
+    use aft::sim::GarbageInstance;
+    let (n, t) = (4usize, 1usize);
+    let mut net = SimNetwork::new(NetConfig::new(n, t, 8), scheduler_by_name("random").unwrap());
+    for p in 0..n {
+        let inst: Box<dyn Instance> = if p == 1 {
+            Box::new(GarbageInstance::new(500))
+        } else {
+            Box::new(CoinFlip::new(
+                CoinFlipParams::FixedK { k: 2 },
+                CoinKind::Oracle(5),
+            ))
+        };
+        net.spawn(PartyId(p), sid("coin"), inst);
+    }
+    let report = net.run(1_000_000_000);
+    assert_eq!(report.stop, StopReason::Quiescent);
+    let outs: Vec<bool> = [0usize, 2, 3]
+        .iter()
+        .map(|&p| {
+            net.output_as::<CoinFlipOutput>(PartyId(p), &sid("coin"))
+                .expect("honest parties terminate")
+                .value
+        })
+        .collect();
+    assert!(outs.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn silent_t_parties_at_larger_n() {
+    let (n, t) = (7usize, 2usize);
+    let mut net = SimNetwork::new(NetConfig::new(n, t, 12), scheduler_by_name("random").unwrap());
+    for p in 0..n {
+        let inst: Box<dyn Instance> = if p < t {
+            Box::new(SilentInstance)
+        } else {
+            Box::new(CoinFlip::new(
+                CoinFlipParams::FixedK { k: 1 },
+                CoinKind::Oracle(7),
+            ))
+        };
+        net.spawn(PartyId(p), sid("coin"), inst);
+    }
+    let report = net.run(2_000_000_000);
+    assert_eq!(report.stop, StopReason::Quiescent);
+    let outs: Vec<bool> = (t..n)
+        .map(|p| {
+            net.output_as::<CoinFlipOutput>(PartyId(p), &sid("coin"))
+                .unwrap_or_else(|| panic!("p={p}"))
+                .value
+        })
+        .collect();
+    assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
+}
