@@ -138,7 +138,10 @@ impl BinaryBa {
         if self.halted {
             return;
         }
-        assert!(self.round < MAX_ROUNDS, "BA liveness failure: round cap hit");
+        assert!(
+            self.round < MAX_ROUNDS,
+            "BA liveness failure: round cap hit"
+        );
         let n = ctx.n();
         let me = ctx.me();
         let r = self.round;
@@ -186,7 +189,7 @@ impl BinaryBa {
             while i < votes.pending2.len() {
                 let (voter, w) = votes.pending2[i];
                 let support = votes.v1.values().filter(|&&v| v == w).count();
-                if support >= t + 1 {
+                if support > t {
                     votes.pending2.swap_remove(i);
                     votes.v2.entry(voter).or_insert(w);
                     progressed = true;
@@ -200,10 +203,7 @@ impl BinaryBa {
                 let (voter, d) = votes.pending3[i];
                 let ok = match d {
                     Some(w) => votes.v2.values().filter(|&&v| v == w).count() >= n - t,
-                    None => {
-                        votes.v2.values().any(|&v| v)
-                            && votes.v2.values().any(|&v| !v)
-                    }
+                    None => votes.v2.values().any(|&v| v) && votes.v2.values().any(|&v| !v),
                 };
                 if ok {
                     votes.pending3.swap_remove(i);
@@ -285,8 +285,7 @@ impl BinaryBa {
     fn finish_round(&mut self, coin_value: bool, ctx: &mut Context<'_>) {
         let (n, t) = (ctx.n(), ctx.t());
         let votes = self.rounds.entry(self.round).or_default();
-        let cand_count =
-            |w: bool| votes.v3.values().filter(|&&d| d == Some(w)).count();
+        let cand_count = |w: bool| votes.v3.values().filter(|&&d| d == Some(w)).count();
         let winner = [true, false].into_iter().find(|&w| cand_count(w) > 0);
         if let Some(w) = winner {
             let count = cand_count(w);
@@ -295,7 +294,7 @@ impl BinaryBa {
                 self.est = w;
                 self.next_round(ctx);
                 return;
-            } else if count >= t + 1 {
+            } else if count > t {
                 self.est = w;
                 self.next_round(ctx);
                 return;
@@ -338,7 +337,7 @@ impl BinaryBa {
             return;
         }
         let count = set.len();
-        if count >= t + 1 {
+        if count > t {
             // At least one honest party decided v: adopt and relay.
             self.est = v;
             if !self.decide_sent {
@@ -386,17 +385,30 @@ impl Instance for BinaryBa {
         match child.kind {
             V1_TAG => {
                 if let Some(V1(v)) = output.downcast_ref::<V1>() {
-                    self.rounds.entry(round).or_default().v1.entry(voter).or_insert(*v);
+                    self.rounds
+                        .entry(round)
+                        .or_default()
+                        .v1
+                        .entry(voter)
+                        .or_insert(*v);
                 }
             }
             V2_TAG => {
                 if let Some(V2(v)) = output.downcast_ref::<V2>() {
-                    self.rounds.entry(round).or_default().pending2.push((voter, *v));
+                    self.rounds
+                        .entry(round)
+                        .or_default()
+                        .pending2
+                        .push((voter, *v));
                 }
             }
             V3_TAG => {
                 if let Some(V3(d)) = output.downcast_ref::<V3>() {
-                    self.rounds.entry(round).or_default().pending3.push((voter, *d));
+                    self.rounds
+                        .entry(round)
+                        .or_default()
+                        .pending3
+                        .push((voter, *d));
                 }
             }
             COIN_TAG => {

@@ -288,8 +288,10 @@ mod tests {
     fn weak_coin_standalone_terminates_and_is_boolean() {
         for seed in 0..5u64 {
             let (n, t) = (4usize, 1usize);
-            let mut net =
-                SimNetwork::new(NetConfig::new(n, t, seed), scheduler_by_name("random").unwrap());
+            let mut net = SimNetwork::new(
+                NetConfig::new(n, t, seed),
+                scheduler_by_name("random").unwrap(),
+            );
             let sid = SessionId::root().child(SessionTag::new("wcoin", 0));
             for p in 0..n {
                 net.spawn(PartyId(p), sid.clone(), Box::new(WeakCoinInstance::new()));
@@ -311,8 +313,10 @@ mod tests {
         let trials = 10;
         for seed in 0..trials {
             let (n, t) = (4usize, 1usize);
-            let mut net =
-                SimNetwork::new(NetConfig::new(n, t, seed), scheduler_by_name("random").unwrap());
+            let mut net = SimNetwork::new(
+                NetConfig::new(n, t, seed),
+                scheduler_by_name("random").unwrap(),
+            );
             let sid = SessionId::root().child(SessionTag::new("wcoin", 0));
             for p in 0..n {
                 net.spawn(PartyId(p), sid.clone(), Box::new(WeakCoinInstance::new()));

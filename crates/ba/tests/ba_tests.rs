@@ -29,12 +29,19 @@ fn run_ba(
     sched: &str,
     mk: impl Fn(usize) -> Box<dyn Instance>,
 ) -> SimNetwork {
-    let mut net = SimNetwork::new(NetConfig::new(n, t, seed), scheduler_by_name(sched).unwrap());
+    let mut net = SimNetwork::new(
+        NetConfig::new(n, t, seed),
+        scheduler_by_name(sched).unwrap(),
+    );
     for p in 0..n {
         net.spawn(PartyId(p), sid(), mk(p));
     }
     let report = net.run(50_000_000);
-    assert_eq!(report.stop, StopReason::Quiescent, "BA must reach quiescence");
+    assert_eq!(
+        report.stop,
+        StopReason::Quiescent,
+        "BA must reach quiescence"
+    );
     net
 }
 
@@ -71,7 +78,11 @@ fn agreement_split_inputs_all_schedulers() {
                 Box::new(BinaryBa::new(p % 2 == 0, Box::new(OracleCoin::new(seed))))
             });
             let outs = honest_outputs(&net, &[0, 1, 2, 3]);
-            assert_eq!(outs.len(), 4, "sched={sched} seed={seed}: someone didn't terminate");
+            assert_eq!(
+                outs.len(),
+                4,
+                "sched={sched} seed={seed}: someone didn't terminate"
+            );
             assert!(
                 outs.windows(2).all(|w| w[0] == w[1]),
                 "sched={sched} seed={seed}: {outs:?}"
@@ -92,7 +103,10 @@ fn agreement_with_silent_party() {
         });
         let outs = honest_outputs(&net, &[0, 1, 2]);
         assert_eq!(outs.len(), 3, "seed={seed}");
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "seed={seed}: {outs:?}"
+        );
     }
 }
 
@@ -108,7 +122,10 @@ fn agreement_with_random_voter() {
         });
         let outs = honest_outputs(&net, &[0, 1, 3]);
         assert_eq!(outs.len(), 3, "seed={seed}");
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "seed={seed}: {outs:?}"
+        );
     }
 }
 
@@ -125,7 +142,11 @@ fn validity_resists_fixed_voter_pushing_other_value() {
             }
         });
         for p in [0usize, 2, 3] {
-            assert_eq!(net.output_as::<bool>(PartyId(p), &sid()), Some(&true), "seed={seed}");
+            assert_eq!(
+                net.output_as::<bool>(PartyId(p), &sid()),
+                Some(&true),
+                "seed={seed}"
+            );
         }
     }
 }
@@ -138,7 +159,10 @@ fn larger_system_split_inputs() {
         });
         let outs = honest_outputs(&net, &[0, 1, 2, 3, 4, 5, 6]);
         assert_eq!(outs.len(), 7, "seed={seed}");
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "seed={seed}: {outs:?}"
+        );
     }
 }
 
@@ -151,7 +175,10 @@ fn local_coin_terminates_split_inputs() {
         });
         let outs = honest_outputs(&net, &[0, 1, 2, 3]);
         assert_eq!(outs.len(), 4, "seed={seed}");
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "seed={seed}: {outs:?}"
+        );
     }
 }
 
@@ -163,7 +190,10 @@ fn weak_shared_coin_terminates_split_inputs() {
         });
         let outs = honest_outputs(&net, &[0, 1, 2, 3]);
         assert_eq!(outs.len(), 4, "seed={seed}");
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "seed={seed}: {outs:?}"
+        );
     }
 }
 
@@ -199,5 +229,29 @@ fn unanimous_true_with_starved_party() {
     });
     for p in 0..4 {
         assert_eq!(net.output_as::<bool>(PartyId(p), &sid()), Some(&true));
+    }
+}
+
+/// The identical BA deployment driven through the `Runtime` trait on every
+/// backend: agreement and termination hold over real threads exactly as
+/// over the simulator.
+#[test]
+fn ba_through_runtime_trait_on_every_backend() {
+    use aft_sim::{runtime_by_name, Runtime, RuntimeExt};
+    for backend in ["sim", "threaded"] {
+        let mut rt: Box<dyn Runtime> = runtime_by_name(backend, NetConfig::new(4, 1, 19)).unwrap();
+        for p in 0..4 {
+            rt.spawn(
+                PartyId(p),
+                sid(),
+                Box::new(BinaryBa::new(p % 2 == 0, coin_by_name("oracle", 9))),
+            );
+        }
+        let report = rt.run(1_000_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent, "{backend}");
+        let outs: Vec<bool> = (0..4)
+            .map(|p| *rt.output_as::<bool>(PartyId(p), &sid()).expect("decides"))
+            .collect();
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "{backend}: {outs:?}");
     }
 }

@@ -41,11 +41,11 @@ proptest! {
             NetConfig::new(n, t, seed),
             scheduler_by_name(sched_name(sched)).unwrap(),
         );
-        for p in 0..n {
+        for (p, &input) in inputs.iter().enumerate().take(n) {
             net.spawn(
                 PartyId(p),
                 sid(),
-                Box::new(BinaryBa::new(inputs[p], coin(coin_idx, seed))),
+                Box::new(BinaryBa::new(input, coin(coin_idx, seed))),
             );
         }
         let report = net.run(500_000_000);

@@ -28,9 +28,11 @@ fn bench_poly(c: &mut Criterion) {
         let pts: Vec<(Fp, Fp)> = (1..=deg as u64 + 1)
             .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
             .collect();
-        c.bench_with_input(BenchmarkId::new("poly/interpolate", deg), &deg, |bench, _| {
-            bench.iter(|| interpolate(black_box(&pts)).unwrap())
-        });
+        c.bench_with_input(
+            BenchmarkId::new("poly/interpolate", deg),
+            &deg,
+            |bench, _| bench.iter(|| interpolate(black_box(&pts)).unwrap()),
+        );
     }
 }
 
@@ -49,7 +51,9 @@ fn bench_rs(c: &mut Criterion) {
     for t in [1usize, 2, 4] {
         let n = 3 * t + 1;
         let p = Poly::random(t, &mut r);
-        let mut pts: Vec<(Fp, Fp)> = (1..=n as u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect();
+        let mut pts: Vec<(Fp, Fp)> = (1..=n as u64)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect();
         for bad in pts.iter_mut().take(t) {
             bad.1 += Fp::new(r.gen_range(1..100));
         }

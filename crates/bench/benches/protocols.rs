@@ -8,9 +8,7 @@ use aft_core::{
     CoinFlip, CoinFlipParams, CoinKind, CommonSubsetInstance, FairChoice, FairChoiceParams, Fba,
 };
 use aft_field::Fp;
-use aft_sim::{
-    scheduler_by_name, Instance, NetConfig, PartyId, SessionId, SessionTag, SimNetwork,
-};
+use aft_sim::{scheduler_by_name, Instance, NetConfig, PartyId, SessionId, SessionTag, SimNetwork};
 use aft_svss::{ShareBundle, SvssRec, SvssShare};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -19,7 +17,10 @@ fn sid() -> SessionId {
 }
 
 fn run_net(n: usize, t: usize, seed: u64, mk: impl Fn(usize) -> Box<dyn Instance>) -> SimNetwork {
-    let mut net = SimNetwork::new(NetConfig::new(n, t, seed), scheduler_by_name("random").unwrap());
+    let mut net = SimNetwork::new(
+        NetConfig::new(n, t, seed),
+        scheduler_by_name("random").unwrap(),
+    );
     for p in 0..n {
         net.spawn(PartyId(p), sid(), mk(p));
     }

@@ -7,10 +7,8 @@
 //! OracleCoin under adversarially split inputs.
 
 use aft_ba::{BinaryBa, CoinSource, LocalCoin, OracleCoin, WeakSharedCoin};
-use aft_bench::{print_table, session, trials};
-use aft_sim::{
-    run_trials, scheduler_by_name, NetConfig, PartyId, SimNetwork, StopReason,
-};
+use aft_bench::{print_table, runtime_arg, session, trials};
+use aft_sim::{run_trials, NetConfig, PartyId, RuntimeExt, StopReason};
 
 fn coin_source(name: &str, seed: u64) -> Box<dyn CoinSource> {
     match name {
@@ -23,6 +21,8 @@ fn coin_source(name: &str, seed: u64) -> Box<dyn CoinSource> {
 
 fn main() {
     println!("# E8 — BA baselines: local coin vs shared coin");
+    let rt = runtime_arg();
+    rt.announce();
     let n_trials = trials(60);
 
     let mut rows = Vec::new();
@@ -35,10 +35,7 @@ fn main() {
                 n_trials
             };
             let outcomes = run_trials(0..runs, 24, |seed| {
-                let mut net = SimNetwork::new(
-                    NetConfig::new(n, t, seed),
-                    scheduler_by_name("random").unwrap(),
-                );
+                let mut net = rt.make(NetConfig::new(n, t, seed), "random");
                 let sid = session("ba");
                 for p in 0..n {
                     net.spawn(
@@ -55,7 +52,7 @@ fn main() {
                 assert_eq!(outs.len(), n, "termination");
                 assert!(outs.windows(2).all(|w| w[0] == w[1]), "agreement");
                 // Phase-1 A-Cast traffic is proportional to rounds run.
-                let v1 = report.metrics.sent_by_kind.get("bav1").copied().unwrap_or(0);
+                let v1 = report.metrics.sent_by_kind("bav1");
                 // one round of phase-1 for n parties ≈ n * (n + 2n^2) sends
                 let per_round = (n * (n + 2 * n * n)) as f64;
                 (v1 as f64 / per_round, report.steps)
@@ -63,8 +60,7 @@ fn main() {
             let rounds: Vec<f64> = outcomes.iter().map(|o| o.0).collect();
             let mean_rounds = rounds.iter().sum::<f64>() / rounds.len() as f64;
             let max_rounds = rounds.iter().cloned().fold(0.0f64, f64::max);
-            let mean_steps =
-                outcomes.iter().map(|o| o.1).sum::<u64>() / outcomes.len() as u64;
+            let mean_steps = outcomes.iter().map(|o| o.1).sum::<u64>() / outcomes.len() as u64;
             rows.push(vec![
                 format!("{n}/{t}"),
                 coin.into(),
@@ -98,10 +94,7 @@ fn main() {
     let mut rows = Vec::new();
     for &(n, t) in &[(4usize, 1usize), (7, 2)] {
         let outcomes = run_trials(0..wc_trials, 24, |seed| {
-            let mut net = SimNetwork::new(
-                NetConfig::new(n, t, seed),
-                scheduler_by_name("random").unwrap(),
-            );
+            let mut net = rt.make(NetConfig::new(n, t, seed), "random");
             let sid = session("wcoin");
             for p in 0..n {
                 net.spawn(PartyId(p), sid.clone(), Box::new(WeakCoinInstance::new()));
@@ -127,7 +120,12 @@ fn main() {
     }
     print_table(
         &format!("Standalone weak shared coin quality, {wc_trials} flips per row"),
-        &["n/t", "terminated", "all parties same bit", "Pr[party 0 sees 1]"],
+        &[
+            "n/t",
+            "terminated",
+            "all parties same bit",
+            "Pr[party 0 sees 1]",
+        ],
         &rows,
     );
     println!("\nthe weak coin terminates always but only agrees with probability δ < 1 —");

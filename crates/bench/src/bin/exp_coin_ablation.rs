@@ -6,7 +6,7 @@
 //! thousands of sequential SVSS+CommonSubset rounds — exactly as
 //! Algorithm 1 prescribes.
 
-use aft_bench::{print_table, run_coin, trials, Adversary};
+use aft_bench::{print_table, run_coin, runtime_arg, trials, Adversary};
 use aft_core::{CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind};
 use aft_sim::{
     run_trials, scheduler_by_name, NetConfig, PartyId, SessionId, SessionTag, SimNetwork,
@@ -15,6 +15,8 @@ use aft_sim::{
 
 fn main() {
     println!("# E9 — Coin ablations");
+    let rt = runtime_arg();
+    rt.announce();
     let n_trials = trials(30);
 
     // (a) substrate quality: oracle vs weak-shared inner coins.
@@ -25,7 +27,7 @@ fn main() {
                 CoinKind::Oracle(_) => CoinKind::Oracle(seed ^ 0xA11),
                 other => other,
             };
-            let o = run_coin(4, 1, seed, 2, coin, "random", Adversary::None);
+            let o = run_coin(&rt, 4, 1, seed, 2, coin, "random", Adversary::None);
             (o.agreement && o.all_terminated, o.metrics.sent, o.steps)
         });
         let ok = outcomes.iter().filter(|o| o.0).count();
@@ -44,7 +46,12 @@ fn main() {
     }
     print_table(
         &format!("(a) inner-BA coin substrate, CoinFlip k=2, n=4, {n_trials} runs"),
-        &["inner coin", "agreed+terminated", "avg messages", "avg steps"],
+        &[
+            "inner coin",
+            "agreed+terminated",
+            "avg messages",
+            "avg steps",
+        ],
         &rows,
     );
 
@@ -52,7 +59,16 @@ fn main() {
     let mut rows = Vec::new();
     for &(n, t) in &[(4usize, 1usize), (7, 2), (10, 3)] {
         let outcomes = run_trials(0..n_trials.min(10), 24, |seed| {
-            let o = run_coin(n, t, seed, 1, CoinKind::Oracle(seed ^ 3), "random", Adversary::None);
+            let o = run_coin(
+                &rt,
+                n,
+                t,
+                seed,
+                1,
+                CoinKind::Oracle(seed ^ 3),
+                "random",
+                Adversary::None,
+            );
             (o.metrics.sent, o.steps)
         });
         let msgs = outcomes.iter().map(|o| o.0).sum::<u64>() / outcomes.len() as u64;
@@ -74,7 +90,16 @@ fn main() {
     let mut rows = Vec::new();
     for &k in &[1usize, 2, 4, 8, 16] {
         let outcomes = run_trials(0..n_trials.min(15), 24, |seed| {
-            let o = run_coin(4, 1, seed, k, CoinKind::Oracle(seed ^ 0x99), "random", Adversary::None);
+            let o = run_coin(
+                &rt,
+                4,
+                1,
+                seed,
+                k,
+                CoinKind::Oracle(seed ^ 0x99),
+                "random",
+                Adversary::None,
+            );
             (o.agreement, o.metrics.sent)
         });
         let agreed = outcomes.iter().filter(|o| o.0).count();
@@ -85,7 +110,11 @@ fn main() {
             msgs.to_string(),
         ]);
     }
-    print_table("(c) iteration count k (n=4)", &["k", "agreement", "avg messages"], &rows);
+    print_table(
+        "(c) iteration count k (n=4)",
+        &["k", "agreement", "avg messages"],
+        &rows,
+    );
 
     // (d) PAPER-EXACT mode: Algorithm 1 with the real k formula.
     let epsilon = std::env::var("AFT_EPSILON")
@@ -96,7 +125,10 @@ fn main() {
     let k = params.iterations(4);
     println!("\n(d) paper-exact run: n=4, ε={epsilon} ⇒ k = 4⌈(e/(επ))²·n⁴⌉ = {k} iterations…");
     let t0 = std::time::Instant::now();
-    let mut net = SimNetwork::new(NetConfig::new(4, 1, 424242), scheduler_by_name("random").unwrap());
+    let mut net = SimNetwork::new(
+        NetConfig::new(4, 1, 424242),
+        scheduler_by_name("random").unwrap(),
+    );
     let sid = SessionId::root().child(SessionTag::new("paper-coin", 0));
     for p in 0..4 {
         net.spawn(
@@ -108,7 +140,10 @@ fn main() {
     let report = net.run(u64::MAX);
     assert_eq!(report.stop, StopReason::Quiescent);
     let outs: Vec<CoinFlipOutput> = (0..4)
-        .map(|p| *net.output_as::<CoinFlipOutput>(PartyId(p), &sid).expect("terminates"))
+        .map(|p| {
+            *net.output_as::<CoinFlipOutput>(PartyId(p), &sid)
+                .expect("terminates")
+        })
         .collect();
     let agreed = outs.windows(2).all(|w| w[0].value == w[1].value);
     print_table(

@@ -4,12 +4,14 @@
 //! `Pr[all honest output 0]`, `Pr[all honest output 1]` (each must be
 //! ≥ 1/2 − ε) and the agreement rate (must be 1.0).
 
-use aft_bench::{fmt_prob, print_table, run_coin, trials, Adversary};
+use aft_bench::{fmt_prob, print_table, run_coin, runtime_arg, trials, Adversary};
 use aft_core::CoinKind;
 use aft_sim::run_trials;
 
 fn main() {
     println!("# E2 — Strong common coin bias (Theorem 3.5)");
+    let rt = runtime_arg();
+    rt.announce();
     let n_trials = trials(200);
 
     let mut rows = Vec::new();
@@ -20,7 +22,7 @@ fn main() {
                     let outcomes = run_trials(0..n_trials, 24, |seed| {
                         // Decorrelate the oracle salt from the scheduler seed.
                         let coin = CoinKind::Oracle(seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xABCD);
-                        let o = run_coin(n, t, seed, k, coin, sched, adversary);
+                        let o = run_coin(&rt, n, t, seed, k, coin, sched, adversary);
                         (o.all_terminated, o.agreement, o.outputs.first().copied())
                     });
                     let total = outcomes.len();
@@ -70,7 +72,7 @@ fn main() {
     for &k in &[2usize, 8] {
         let outcomes = run_trials(0..n_trials, 24, |seed| {
             let coin = CoinKind::Oracle(seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xABCD);
-            let o = run_coin(4, 1, seed, k, coin, "random", Adversary::None);
+            let o = run_coin(&rt, 4, 1, seed, k, coin, "random", Adversary::None);
             (o.agreement, o.outputs.first().copied())
         });
         let total = outcomes.len();
@@ -93,23 +95,46 @@ fn main() {
     }
     print_table(
         "Reproduction note: even-k majority ties resolve to 0 (vanishes as k → paper scale)",
-        &["k (even)", "measured Pr[coin=1]", "binomial tie prediction Pr[X > k/2]"],
+        &[
+            "k (even)",
+            "measured Pr[coin=1]",
+            "binomial tie prediction Pr[X > k/2]",
+        ],
         &rows,
     );
 
     // Full IT configuration: weak shared coin inside the BAs, smaller scale.
     let it_trials = trials(200).min(60);
     let outcomes = run_trials(0..it_trials, 24, |seed| {
-        let o = run_coin(4, 1, seed, 1, CoinKind::WeakShared, "random", Adversary::None);
+        let o = run_coin(
+            &rt,
+            4,
+            1,
+            seed,
+            1,
+            CoinKind::WeakShared,
+            "random",
+            Adversary::None,
+        );
         (o.all_terminated, o.agreement, o.outputs.first().copied())
     });
     let total = outcomes.len();
     let agreed = outcomes.iter().filter(|o| o.1).count();
-    let zeros = outcomes.iter().filter(|o| o.1 && o.2 == Some(false)).count();
+    let zeros = outcomes
+        .iter()
+        .filter(|o| o.1 && o.2 == Some(false))
+        .count();
     let ones = outcomes.iter().filter(|o| o.1 && o.2 == Some(true)).count();
     print_table(
         &format!("Fully information-theoretic stack (WeakShared inner coins), {it_trials} runs"),
-        &["n/t", "k", "terminated", "agreement", "Pr[coin=0]", "Pr[coin=1]"],
+        &[
+            "n/t",
+            "k",
+            "terminated",
+            "agreement",
+            "Pr[coin=0]",
+            "Pr[coin=1]",
+        ],
         &[vec![
             "4/1".into(),
             "1".into(),

@@ -4,7 +4,7 @@
 //! and schedulers: every run terminates, the tail is short, no scheduler
 //! starves the protocol past the fairness cap.
 
-use aft_bench::{print_table, run_coin, trials, Adversary};
+use aft_bench::{print_table, run_coin, runtime_arg, trials, Adversary};
 use aft_core::CoinKind;
 use aft_sim::run_trials;
 
@@ -16,6 +16,8 @@ fn quantiles(mut xs: Vec<u64>) -> (u64, u64, u64, u64) {
 
 fn main() {
     println!("# E3 — Coin termination distribution");
+    let rt = runtime_arg();
+    rt.announce();
     let n_trials = trials(100);
 
     let mut rows = Vec::new();
@@ -23,6 +25,7 @@ fn main() {
         for sched in ["fifo", "random", "lifo", "window4", "starve:0"] {
             let outcomes = run_trials(0..n_trials, 24, |seed| {
                 let o = run_coin(
+                    &rt,
                     n,
                     t,
                     seed,

@@ -1,12 +1,14 @@
 //! E6 — Definition 3.4 / Theorem C.2: CommonSubset agreement, size, and
 //! soundness of membership.
 
-use aft_bench::{print_table, run_protocol, trials, Adversary};
+use aft_bench::{print_table, run_protocol, runtime_arg, trials, Adversary};
 use aft_core::{CoinKind, CommonSubsetInstance};
 use aft_sim::{run_trials, PartyId};
 
 fn main() {
     println!("# E6 — CommonSubset (Algorithm 4 / Appendix C)");
+    let rt = runtime_arg();
+    rt.announce();
     let n_trials = trials(150);
 
     let mut rows = Vec::new();
@@ -14,27 +16,28 @@ fn main() {
         for adversary in [Adversary::None, Adversary::CrashT] {
             for sched in ["random", "lifo"] {
                 let outcomes = run_trials(0..n_trials, 24, |seed| {
-                    let o = run_protocol::<Vec<PartyId>>(
-                        n,
-                        t,
-                        seed,
-                        sched,
-                        adversary,
-                        |_, _| {
+                    let o =
+                        run_protocol::<Vec<PartyId>>(&rt, n, t, seed, sched, adversary, |_, _| {
                             Box::new(CommonSubsetInstance::new(
                                 n - t,
                                 CoinKind::Oracle(seed ^ 0xC5),
                                 true,
                             ))
-                        },
-                    );
+                        });
                     let size_ok = o.outputs.first().is_some_and(|s| s.len() >= n - t);
                     // Soundness: silent parties never announced, so they
                     // cannot be members.
-                    let sound = o.outputs.first().is_some_and(|s| {
-                        s.iter().all(|p| !adversary.is_byz(p.0, n, t))
-                    });
-                    (o.all_terminated, o.agreement, size_ok, sound, o.metrics.sent)
+                    let sound = o
+                        .outputs
+                        .first()
+                        .is_some_and(|s| s.iter().all(|p| !adversary.is_byz(p.0, n, t)));
+                    (
+                        o.all_terminated,
+                        o.agreement,
+                        size_ok,
+                        sound,
+                        o.metrics.sent,
+                    )
                 });
                 let total = outcomes.len();
                 let term = outcomes.iter().filter(|o| o.0).count();

@@ -5,12 +5,14 @@
 //! *worst-case* majority subset G (the ⌈(m+1)/2⌉ least likely outcomes —
 //! the adversary's best choice of G).
 
-use aft_bench::{fmt_prob, print_table, run_fair_choice, trials, Adversary};
+use aft_bench::{fmt_prob, print_table, run_fair_choice, runtime_arg, trials, Adversary};
 use aft_core::CoinKind;
 use aft_sim::run_trials;
 
 fn main() {
     println!("# E4 — FairChoice validity (Theorem 4.3)");
+    let rt = runtime_arg();
+    rt.announce();
     let n_trials = trials(200);
 
     let mut rows = Vec::new();
@@ -18,6 +20,7 @@ fn main() {
         for adversary in [Adversary::None, Adversary::CrashOne] {
             let outcomes = run_trials(0..n_trials, 24, |seed| {
                 let o = run_fair_choice(
+                    &rt,
                     4,
                     1,
                     seed,

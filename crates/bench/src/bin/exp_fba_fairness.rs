@@ -5,12 +5,14 @@
 //!   probability ≥ 1/2 (fair validity), even with crashed parties and a
 //!   hostile scheduler.
 
-use aft_bench::{fmt_prob, print_table, run_fba, trials, Adversary};
+use aft_bench::{fmt_prob, print_table, run_fba, runtime_arg, trials, Adversary};
 use aft_core::CoinKind;
 use aft_sim::run_trials;
 
 fn main() {
     println!("# E5 — FBA fair validity (Theorem 4.5)");
+    let rt = runtime_arg();
+    rt.announce();
     let n_trials = trials(150);
 
     // Validity: unanimous.
@@ -19,6 +21,7 @@ fn main() {
         let outcomes = run_trials(0..n_trials.min(60), 24, |seed| {
             let inputs: Vec<String> = (0..4).map(|_| "common".to_string()).collect();
             let o = run_fba(
+                &rt,
                 4,
                 1,
                 seed,
@@ -55,6 +58,7 @@ fn main() {
         let outcomes = run_trials(0..n_trials, 24, |seed| {
             let inputs: Vec<String> = (0..4).map(|p| format!("input-{p}")).collect();
             let o = run_fba(
+                &rt,
                 4,
                 1,
                 seed,
@@ -83,7 +87,12 @@ fn main() {
     }
     print_table(
         &format!("Fair validity over {n_trials} runs per row (n=4, t=1)"),
-        &["configuration", "scheduler", "Pr[output is honest input]", "paper bound"],
+        &[
+            "configuration",
+            "scheduler",
+            "Pr[output is honest input]",
+            "paper bound",
+        ],
         &rows,
     );
 
@@ -93,7 +102,7 @@ fn main() {
     let outcomes = run_trials(0..n_trials, 24, |seed| {
         use aft_bench::run_protocol;
         use aft_core::{FairChoiceParams, Fba};
-        let o = run_protocol::<String>(4, 1, seed, "random", Adversary::None, move |p, _| {
+        let o = run_protocol::<String>(&rt, 4, 1, seed, "random", Adversary::None, move |p, _| {
             let input = if p == 3 {
                 "PLANTED".to_string()
             } else {
@@ -113,7 +122,11 @@ fn main() {
     let fair = outcomes.iter().filter(|o| **o == Some(true)).count();
     print_table(
         &format!("Byzantine-participating planted value, {n_trials} runs"),
-        &["configuration", "Pr[output is an honest input]", "paper bound"],
+        &[
+            "configuration",
+            "Pr[output is an honest input]",
+            "paper bound",
+        ],
         &[vec![
             "3 honest distinct inputs + 1 Byzantine \"PLANTED\"".into(),
             fmt_prob(fair, total),

@@ -4,12 +4,20 @@
 //! claimed properties, the Claim 1 view-indistinguishability, and the
 //! Claim 2 correctness violation.
 
-use aft_bench::{fmt_prob, print_table, trials};
+use aft_bench::{fmt_prob, print_table, runtime_arg, trials};
 use aft_lowerbound::{claim2_exact, claim2_run, theorem_2_2_report, Claim2Randomness};
 use rand::SeedableRng;
 
 fn main() {
     println!("# E1 — Lower bound (Theorem 2.2)");
+    let rt = runtime_arg();
+    if rt.label() != "sim" {
+        println!(
+            "note: --runtime {} ignored — the lower-bound attacks are exhaustive local \
+             computations with no message-passing runtime",
+            rt.label()
+        );
+    }
     let r = theorem_2_2_report();
 
     print_table(

@@ -17,10 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use aft_core::{CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind, FairChoice, FairChoiceParams, Fba};
+use aft_core::{
+    CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind, FairChoice, FairChoiceParams, Fba,
+};
 use aft_sim::{
-    scheduler_by_name, Instance, Metrics, NetConfig, PartyId, SessionId, SessionTag,
-    SilentInstance, SimNetwork, StopReason,
+    runtime_by_name, Instance, Metrics, NetConfig, PartyId, Runtime, RuntimeExt, SessionId,
+    SessionTag, SilentInstance, StopReason,
 };
 
 /// Reads the trial multiplier from `AFT_TRIALS` (default `base`).
@@ -31,11 +33,103 @@ pub fn trials(base: u64) -> u64 {
         .unwrap_or(base)
 }
 
+/// Which execution backend an experiment runs on, from its `--runtime`
+/// flag.
+///
+/// * `--runtime sim` (default) — the deterministic simulator; each row's
+///   scheduler column picks the adversary.
+/// * `--runtime sim:<sched>` — the simulator pinned to one scheduler,
+///   overriding per-row schedulers.
+/// * `--runtime threaded[:<poll_ms>]` — the OS-thread backend; scheduler
+///   columns are ignored (the OS is the scheduler).
+#[derive(Debug, Clone)]
+pub struct RuntimeSpec {
+    name: String,
+}
+
+impl RuntimeSpec {
+    /// Builds a spec from an explicit backend name.
+    pub fn named(name: &str) -> Self {
+        RuntimeSpec {
+            name: name.to_string(),
+        }
+    }
+
+    /// The backend name as given (`"sim"`, `"threaded"`, …).
+    pub fn label(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether rows parameterized by scheduler are meaningful.
+    pub fn honors_schedulers(&self) -> bool {
+        self.name == "sim"
+    }
+
+    /// Resolves the backend name for a row that wants scheduler `sched`.
+    pub fn backend_for(&self, sched: &str) -> String {
+        if self.name == "sim" {
+            format!("sim:{sched}")
+        } else {
+            self.name.clone()
+        }
+    }
+
+    /// Builds the runtime for a row with scheduler `sched`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown backend or scheduler name.
+    pub fn make(&self, config: NetConfig, sched: &str) -> Box<dyn Runtime> {
+        let name = self.backend_for(sched);
+        runtime_by_name(&name, config)
+            .unwrap_or_else(|| panic!("unknown runtime or scheduler: {name}"))
+    }
+
+    /// Prints the standard one-line backend banner.
+    pub fn announce(&self) {
+        println!("runtime backend: {}", self.name);
+        if !self.honors_schedulers() {
+            println!("(scheduler columns are ignored on this backend)");
+        }
+    }
+}
+
+/// Parses `--runtime <name>` / `--runtime=<name>` from the command line
+/// (default `"sim"`). Every `exp_*` binary accepts this flag; an unknown
+/// backend name exits immediately with a usage message instead of
+/// panicking mid-experiment.
+pub fn runtime_arg() -> RuntimeSpec {
+    let mut picked = RuntimeSpec::named("sim");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--runtime" {
+            if let Some(name) = args.next() {
+                picked = RuntimeSpec::named(&name);
+            }
+        } else if let Some(name) = arg.strip_prefix("--runtime=") {
+            picked = RuntimeSpec::named(name);
+        }
+    }
+    // Validate eagerly (per-row schedulers are resolved later, so probe
+    // with a plain scheduler).
+    if runtime_by_name(&picked.backend_for("random"), NetConfig::new(4, 1, 0)).is_none() {
+        eprintln!(
+            "error: unknown --runtime {:?} (expected sim, sim:<scheduler>, or threaded[:<poll_ms>])",
+            picked.label()
+        );
+        std::process::exit(2);
+    }
+    picked
+}
+
 /// Prints a Markdown table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -93,7 +187,9 @@ pub struct RunOutcome<T> {
 }
 
 /// Runs one `CoinFlip` execution and collects honest outputs.
+#[allow(clippy::too_many_arguments)] // mirrors the experiment parameter grid
 pub fn run_coin(
+    rt: &RuntimeSpec,
     n: usize,
     t: usize,
     seed: u64,
@@ -102,14 +198,16 @@ pub fn run_coin(
     sched: &str,
     adversary: Adversary,
 ) -> RunOutcome<bool> {
-    run_protocol(n, t, seed, sched, adversary, |_, _| {
+    run_protocol(rt, n, t, seed, sched, adversary, |_, _| {
         Box::new(CoinFlip::new(CoinFlipParams::FixedK { k }, coin))
     })
     .map_outputs(|o: CoinFlipOutput| o.value)
 }
 
 /// Runs one `FairChoice(m)` execution.
+#[allow(clippy::too_many_arguments)] // mirrors the experiment parameter grid
 pub fn run_fair_choice(
+    rt: &RuntimeSpec,
     n: usize,
     t: usize,
     seed: u64,
@@ -119,13 +217,15 @@ pub fn run_fair_choice(
     sched: &str,
     adversary: Adversary,
 ) -> RunOutcome<usize> {
-    run_protocol(n, t, seed, sched, adversary, |_, _| {
+    run_protocol(rt, n, t, seed, sched, adversary, |_, _| {
         Box::new(FairChoice::new(m, FairChoiceParams::FixedK { k }, coin))
     })
 }
 
 /// Runs one `FBA` execution over string inputs.
+#[allow(clippy::too_many_arguments)] // mirrors the experiment parameter grid
 pub fn run_fba(
+    rt: &RuntimeSpec,
     n: usize,
     t: usize,
     seed: u64,
@@ -136,7 +236,7 @@ pub fn run_fba(
     adversary: Adversary,
 ) -> RunOutcome<String> {
     let inputs = inputs.to_vec();
-    run_protocol(n, t, seed, sched, adversary, move |p, _| {
+    run_protocol(rt, n, t, seed, sched, adversary, move |p, _| {
         Box::new(Fba::new(
             inputs[p].clone(),
             FairChoiceParams::FixedK { k },
@@ -146,9 +246,10 @@ pub fn run_fba(
 }
 
 /// Generic runner: spawns `mk(p, byz)` for honest parties, `SilentInstance`
-/// for Byzantine ones, runs to quiescence, and gathers honest outputs of
-/// type `T`.
+/// for Byzantine ones, runs to quiescence on the backend selected by `rt`,
+/// and gathers honest outputs of type `T`.
 pub fn run_protocol<T: Clone + PartialEq + 'static>(
+    rt: &RuntimeSpec,
     n: usize,
     t: usize,
     seed: u64,
@@ -156,10 +257,7 @@ pub fn run_protocol<T: Clone + PartialEq + 'static>(
     adversary: Adversary,
     mk: impl Fn(usize, bool) -> Box<dyn Instance>,
 ) -> RunOutcome<T> {
-    let mut net = SimNetwork::new(
-        NetConfig::new(n, t, seed),
-        scheduler_by_name(sched).unwrap_or_else(|| panic!("unknown scheduler {sched}")),
-    );
+    let mut net = rt.make(NetConfig::new(n, t, seed), sched);
     let sid = session("exp");
     for p in 0..n {
         let inst: Box<dyn Instance> = if adversary.is_byz(p, n, t) {
@@ -173,7 +271,8 @@ pub fn run_protocol<T: Clone + PartialEq + 'static>(
     assert_eq!(
         report.stop,
         StopReason::Quiescent,
-        "run must quiesce (n={n} seed={seed} sched={sched})"
+        "run must quiesce (n={n} seed={seed} sched={sched} rt={})",
+        rt.label()
     );
     let honest: Vec<usize> = (0..n).filter(|&p| !adversary.is_byz(p, n, t)).collect();
     let outputs: Vec<T> = honest
@@ -220,10 +319,49 @@ mod tests {
 
     #[test]
     fn coin_runner_smoke() {
-        let out = run_coin(4, 1, 0, 1, CoinKind::Oracle(1), "random", Adversary::None);
+        let rt = RuntimeSpec::named("sim");
+        let out = run_coin(
+            &rt,
+            4,
+            1,
+            0,
+            1,
+            CoinKind::Oracle(1),
+            "random",
+            Adversary::None,
+        );
         assert!(out.all_terminated);
         assert!(out.agreement);
         assert_eq!(out.outputs.len(), 4);
+    }
+
+    #[test]
+    fn coin_runner_on_threaded_backend() {
+        let rt = RuntimeSpec::named("threaded");
+        let out = run_coin(
+            &rt,
+            4,
+            1,
+            0,
+            1,
+            CoinKind::Oracle(1),
+            "random",
+            Adversary::None,
+        );
+        assert!(out.all_terminated);
+        assert!(out.agreement);
+    }
+
+    #[test]
+    fn runtime_spec_backend_resolution() {
+        let sim = RuntimeSpec::named("sim");
+        assert!(sim.honors_schedulers());
+        assert_eq!(sim.backend_for("lifo"), "sim:lifo");
+        let pinned = RuntimeSpec::named("sim:fifo");
+        assert!(!pinned.honors_schedulers());
+        assert_eq!(pinned.backend_for("lifo"), "sim:fifo");
+        let threaded = RuntimeSpec::named("threaded");
+        assert_eq!(threaded.backend_for("lifo"), "threaded");
     }
 
     #[test]

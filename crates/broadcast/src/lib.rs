@@ -148,7 +148,7 @@ impl<V: Value> Instance for Acast<V> {
                 if set.insert(from) {
                     let count = set.len();
                     let v = v.clone();
-                    if count >= t + 1 {
+                    if count > t {
                         self.maybe_ready(&v, ctx);
                     }
                     if count >= n - t && !self.delivered {
@@ -207,8 +207,7 @@ impl<V: Value> Instance for EquivocatingSender<V> {
 mod tests {
     use super::*;
     use aft_sim::{
-        scheduler_by_name, NetConfig, SessionId, SessionTag, SilentInstance, SimNetwork,
-        StopReason,
+        scheduler_by_name, NetConfig, SessionId, SessionTag, SilentInstance, SimNetwork, StopReason,
     };
 
     fn sid() -> SessionId {
@@ -362,7 +361,11 @@ mod tests {
             let report = net.run(2_000_000);
             assert_eq!(report.stop, StopReason::Quiescent);
             for p in 3..7 {
-                assert_eq!(net.output_as::<u8>(PartyId(p), &sid()), Some(&5), "seed={seed}");
+                assert_eq!(
+                    net.output_as::<u8>(PartyId(p), &sid()),
+                    Some(&5),
+                    "seed={seed}"
+                );
             }
         }
     }
@@ -427,8 +430,7 @@ mod tests {
             NetConfig::new(n, 1, 9),
             scheduler_by_name("random").unwrap(),
         );
-        let mk_sid =
-            |s: usize| SessionId::root().child(SessionTag::new("acast", s as u64));
+        let mk_sid = |s: usize| SessionId::root().child(SessionTag::new("acast", s as u64));
         for s in 0..n {
             for p in 0..n {
                 let inst: Box<dyn Instance> = if p == s {
@@ -461,7 +463,8 @@ mod tests {
             }
         });
         assert_eq!(
-            net.output_as::<String>(PartyId(2), &sid()).map(String::as_str),
+            net.output_as::<String>(PartyId(2), &sid())
+                .map(String::as_str),
             Some("payload")
         );
     }

@@ -1,0 +1,63 @@
+//! A-Cast driven through the `Runtime` trait on every execution backend:
+//! the broadcast guarantees are backend-independent.
+
+use aft_broadcast::Acast;
+use aft_sim::{
+    runtime_by_name, Instance, NetConfig, PartyId, Runtime, RuntimeExt, SessionId, SessionTag,
+    StopReason,
+};
+
+fn sid() -> SessionId {
+    SessionId::root().child(SessionTag::new("acast", 0))
+}
+
+#[test]
+fn acast_delivers_on_every_backend() {
+    for backend in ["sim", "threaded"] {
+        let mut rt: Box<dyn Runtime> = runtime_by_name(backend, NetConfig::new(4, 1, 43)).unwrap();
+        for p in 0..4 {
+            let inst: Box<dyn Instance> = if p == 0 {
+                Box::new(Acast::sender(PartyId(0), String::from("payload")))
+            } else {
+                Box::new(Acast::<String>::receiver(PartyId(0)))
+            };
+            rt.spawn(PartyId(p), sid(), inst);
+        }
+        let report = rt.run(1_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent, "{backend}");
+        for p in 0..4 {
+            assert_eq!(
+                rt.output_as::<String>(PartyId(p), &sid())
+                    .map(String::as_str),
+                Some("payload"),
+                "{backend}: party {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn acast_crashed_sender_no_delivery_but_quiescent_on_every_backend() {
+    for backend in ["sim", "threaded"] {
+        let mut rt: Box<dyn Runtime> = runtime_by_name(backend, NetConfig::new(4, 1, 47)).unwrap();
+        // Crash before spawning: the portable way to guarantee a party
+        // never acts (the simulator starts instances eagerly on spawn).
+        rt.crash(PartyId(0));
+        for p in 0..4 {
+            let inst: Box<dyn Instance> = if p == 0 {
+                Box::new(Acast::sender(PartyId(0), 5u64))
+            } else {
+                Box::new(Acast::<u64>::receiver(PartyId(0)))
+            };
+            rt.spawn(PartyId(p), sid(), inst);
+        }
+        let report = rt.run(1_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent, "{backend}");
+        for p in 1..4 {
+            assert!(
+                rt.output(PartyId(p), &sid()).is_none(),
+                "{backend}: no delivery without a sender"
+            );
+        }
+    }
+}

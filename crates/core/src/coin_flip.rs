@@ -44,7 +44,10 @@ impl CoinFlipParams {
     pub fn iterations(&self, n: usize) -> usize {
         match *self {
             CoinFlipParams::PaperExact { epsilon } => {
-                assert!(epsilon > 0.0 && epsilon < 0.5, "epsilon must be in (0, 1/2)");
+                assert!(
+                    epsilon > 0.0 && epsilon < 0.5,
+                    "epsilon must be in (0, 1/2)"
+                );
                 let c = std::f64::consts::E / (epsilon * std::f64::consts::PI);
                 let n4 = (n as f64).powi(4);
                 4 * (c * c * n4).ceil() as usize
@@ -172,9 +175,9 @@ impl CoinFlip {
             return;
         }
         // b'_r = XOR over the subset of (value mod 2).
-        let bit = subset
-            .iter()
-            .fold(false, |acc, j| acc ^ (self.rec_values[&j.0].value() & 1 == 1));
+        let bit = subset.iter().fold(false, |acc, j| {
+            acc ^ (self.rec_values[&j.0].value() & 1 == 1)
+        });
         self.round_bits.push(bit);
         self.round += 1;
         if self.round < self.k {

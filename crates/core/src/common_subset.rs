@@ -95,9 +95,7 @@ impl CommonSubset {
             return None;
         }
         let j = (child.index - self.tag_base) as usize;
-        let Some(&b) = output.downcast_ref::<bool>() else {
-            return None;
-        };
+        let &b = output.downcast_ref::<bool>()?;
         if self.outputs.insert(j, b).is_some() {
             return None;
         }

@@ -172,11 +172,7 @@ mod tests {
 
     #[test]
     fn flips_equals_l() {
-        let fc = FairChoice::new(
-            5,
-            FairChoiceParams::FixedK { k: 1 },
-            CoinKind::Oracle(0),
-        );
+        let fc = FairChoice::new(5, FairChoiceParams::FixedK { k: 1 }, CoinKind::Oracle(0));
         let (l, _) = fair_choice_parameters(5);
         assert_eq!(fc.flips(), l);
     }

@@ -2,8 +2,8 @@
 //! CoinFlip, FairChoice, FBA.
 
 use aft_core::{
-    CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind, CommonSubsetInstance, Fba, FairChoice,
-    FairChoiceParams,
+    CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind, CommonSubsetInstance, FairChoice,
+    FairChoiceParams, Fba,
 };
 use aft_sim::{
     scheduler_by_name, Instance, NetConfig, PartyId, SessionId, SessionTag, SilentInstance,
@@ -22,12 +22,19 @@ fn run(
     kind: &'static str,
     mk: impl Fn(usize) -> Box<dyn Instance>,
 ) -> SimNetwork {
-    let mut net = SimNetwork::new(NetConfig::new(n, t, seed), scheduler_by_name(sched).unwrap());
+    let mut net = SimNetwork::new(
+        NetConfig::new(n, t, seed),
+        scheduler_by_name(sched).unwrap(),
+    );
     for p in 0..n {
         net.spawn(PartyId(p), sid(kind), mk(p));
     }
     let report = net.run(200_000_000);
-    assert_eq!(report.stop, StopReason::Quiescent, "{kind} must reach quiescence");
+    assert_eq!(
+        report.stop,
+        StopReason::Quiescent,
+        "{kind} must reach quiescence"
+    );
     net
 }
 
@@ -38,7 +45,11 @@ fn common_subset_agreement_and_size() {
     for (n, t) in [(4usize, 1usize), (7, 2)] {
         for seed in 0..5u64 {
             let net = run(n, t, seed, "random", "cs", |_| {
-                Box::new(CommonSubsetInstance::new(n - t, CoinKind::Oracle(seed), true))
+                Box::new(CommonSubsetInstance::new(
+                    n - t,
+                    CoinKind::Oracle(seed),
+                    true,
+                ))
             });
             let sets: Vec<Vec<PartyId>> = (0..n)
                 .map(|p| {
@@ -91,7 +102,11 @@ fn common_subset_tolerates_silent_party() {
             if p == 2 {
                 Box::new(SilentInstance)
             } else {
-                Box::new(CommonSubsetInstance::new(n - t, CoinKind::Oracle(seed), true))
+                Box::new(CommonSubsetInstance::new(
+                    n - t,
+                    CoinKind::Oracle(seed),
+                    true,
+                ))
             }
         });
         let sets: Vec<Vec<PartyId>> = [0usize, 1, 3]
@@ -112,7 +127,14 @@ fn common_subset_tolerates_silent_party() {
 
 // ---------------------------------------------------------------- coin
 
-fn flip_coins(n: usize, t: usize, seed: u64, k: usize, coin: CoinKind, sched: &str) -> Vec<CoinFlipOutput> {
+fn flip_coins(
+    n: usize,
+    t: usize,
+    seed: u64,
+    k: usize,
+    coin: CoinKind,
+    sched: &str,
+) -> Vec<CoinFlipOutput> {
     let net = run(n, t, seed, sched, "coin", |_| {
         Box::new(CoinFlip::new(CoinFlipParams::FixedK { k }, coin))
     });
@@ -140,7 +162,10 @@ fn coin_flip_strong_agreement() {
 fn coin_flip_with_weak_shared_inner_coins() {
     // Full information-theoretic stack (no oracle anywhere).
     let outs = flip_coins(4, 1, 3, 1, CoinKind::WeakShared, "random");
-    assert!(outs.windows(2).all(|w| w[0].value == w[1].value), "{outs:?}");
+    assert!(
+        outs.windows(2).all(|w| w[0].value == w[1].value),
+        "{outs:?}"
+    );
 }
 
 #[test]
@@ -163,7 +188,10 @@ fn coin_flip_with_silent_party() {
                     .unwrap_or_else(|| panic!("seed={seed} p={p}"))
             })
             .collect();
-        assert!(outs.windows(2).all(|w| w[0].value == w[1].value), "seed={seed}");
+        assert!(
+            outs.windows(2).all(|w| w[0].value == w[1].value),
+            "seed={seed}"
+        );
     }
 }
 
@@ -214,7 +242,10 @@ fn fair_choice_agreement_and_range() {
                     .unwrap_or_else(|| panic!("seed={seed} p={p}"))
             })
             .collect();
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "seed={seed}: {outs:?}"
+        );
         assert!(outs[0] < m);
     }
 }
@@ -250,7 +281,8 @@ fn fba_validity_unanimous() {
         let net = run_fba(4, 1, seed, "random", &["v", "v", "v", "v"], &[]);
         for p in 0..4 {
             assert_eq!(
-                net.output_as::<String>(PartyId(p), &sid("fba")).map(String::as_str),
+                net.output_as::<String>(PartyId(p), &sid("fba"))
+                    .map(String::as_str),
                 Some("v"),
                 "seed={seed} p={p}"
             );
@@ -267,7 +299,8 @@ fn fba_majority_value_wins() {
         let net = run_fba(4, 1, seed, "random", &["a", "a", "a", "b"], &[]);
         for p in 0..4 {
             assert_eq!(
-                net.output_as::<String>(PartyId(p), &sid("fba")).map(String::as_str),
+                net.output_as::<String>(PartyId(p), &sid("fba"))
+                    .map(String::as_str),
                 Some("a"),
                 "seed={seed} p={p}"
             );
@@ -286,9 +319,15 @@ fn fba_agreement_all_distinct_inputs() {
                     .clone()
             })
             .collect();
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "seed={seed}: {outs:?}"
+        );
         // Output is some party's input.
-        assert!(["w", "x", "y", "z"].contains(&outs[0].as_str()), "seed={seed}");
+        assert!(
+            ["w", "x", "y", "z"].contains(&outs[0].as_str()),
+            "seed={seed}"
+        );
     }
 }
 
@@ -303,7 +342,10 @@ fn fba_with_silent_byzantine() {
                     .clone()
             })
             .collect();
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "seed={seed}: {outs:?}"
+        );
         assert!(["p", "q", "r"].contains(&outs[0].as_str()));
     }
 }
@@ -372,4 +414,34 @@ fn beacon_tolerates_crash_mid_stream() {
         })
         .collect();
     assert!(outs.windows(2).all(|w| w[0] == w[1]));
+}
+
+/// The identical CoinFlip deployment driven through the `Runtime` trait on
+/// every backend: strong-coin agreement holds over real threads too.
+#[test]
+fn coin_flip_through_runtime_trait_on_every_backend() {
+    use aft_sim::{runtime_by_name, Runtime, RuntimeExt};
+    for backend in ["sim", "threaded"] {
+        let mut rt: Box<dyn Runtime> = runtime_by_name(backend, NetConfig::new(4, 1, 37)).unwrap();
+        for p in 0..4 {
+            rt.spawn(
+                PartyId(p),
+                sid("coin"),
+                Box::new(CoinFlip::new(
+                    CoinFlipParams::FixedK { k: 1 },
+                    CoinKind::Oracle(4),
+                )),
+            );
+        }
+        let report = rt.run(1_000_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent, "{backend}");
+        let outs: Vec<bool> = (0..4)
+            .map(|p| {
+                rt.output_as::<CoinFlipOutput>(PartyId(p), &sid("coin"))
+                    .expect("terminates")
+                    .value
+            })
+            .collect();
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "{backend}: {outs:?}");
+    }
 }

@@ -3,8 +3,8 @@
 //! configurations.
 
 use aft_core::{
-    CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind, CommonSubsetInstance, Fba, FairChoice,
-    FairChoiceParams,
+    CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind, CommonSubsetInstance, FairChoice,
+    FairChoiceParams, Fba,
 };
 use aft_sim::{
     scheduler_by_name, Instance, NetConfig, PartyId, SessionId, SessionTag, SilentInstance,

@@ -180,7 +180,10 @@ mod tests {
         // f_i(j) == g_j(i): the SVSS pairwise check identity.
         for i in 1..6u64 {
             for j in 1..6u64 {
-                assert_eq!(f.row(Fp::new(i)).eval(Fp::new(j)), f.col(Fp::new(j)).eval(Fp::new(i)));
+                assert_eq!(
+                    f.row(Fp::new(i)).eval(Fp::new(j)),
+                    f.col(Fp::new(j)).eval(Fp::new(i))
+                );
             }
         }
     }

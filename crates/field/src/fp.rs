@@ -189,7 +189,10 @@ impl Div for Fp {
     /// Panics if `rhs` is zero.
     #[inline]
     fn div(self, rhs: Fp) -> Fp {
-        self * rhs.inv().expect("division by zero in Fp")
+        #[allow(clippy::suspicious_arithmetic_impl)] // division IS multiply-by-inverse
+        {
+            self * rhs.inv().expect("division by zero in Fp")
+        }
     }
 }
 
@@ -251,7 +254,7 @@ mod tests {
     fn canonical_construction_reduces() {
         assert_eq!(Fp::new(MODULUS), Fp::ZERO);
         assert_eq!(Fp::new(MODULUS + 1), Fp::ONE);
-        assert_eq!(Fp::new(u64::MAX).value() < MODULUS, true);
+        assert!(Fp::new(u64::MAX).value() < MODULUS);
         // u64::MAX = 2^64 - 1 = 8 * (2^61 - 1) + 7  =>  reduces to 7
         assert_eq!(Fp::new(u64::MAX), Fp::new(7));
     }

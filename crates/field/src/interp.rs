@@ -154,7 +154,9 @@ mod tests {
         let mut r = rng();
         for _ in 0..30 {
             let p = Poly::random(5, &mut r);
-            let pts: Vec<(Fp, Fp)> = (1..=6u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect();
+            let pts: Vec<(Fp, Fp)> = (1..=6u64)
+                .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+                .collect();
             assert_eq!(interpolate_at_zero(&pts).unwrap(), p.eval(Fp::ZERO));
         }
     }
@@ -164,7 +166,9 @@ mod tests {
         let mut r = rng();
         for _ in 0..30 {
             let p = Poly::random(4, &mut r);
-            let pts: Vec<(Fp, Fp)> = (1..=5u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect();
+            let pts: Vec<(Fp, Fp)> = (1..=5u64)
+                .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+                .collect();
             let x = Fp::new(r.gen_range(0..1000));
             assert_eq!(interpolate_at(&pts, x).unwrap(), p.eval(x));
         }
@@ -199,7 +203,9 @@ mod tests {
     fn oversampled_points_still_recover_low_degree() {
         // 10 points on a degree-2 polynomial must interpolate back to it.
         let p = Poly::from_coeffs(vec![Fp::new(1), Fp::new(2), Fp::new(3)]);
-        let pts: Vec<(Fp, Fp)> = (1..=10u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect();
+        let pts: Vec<(Fp, Fp)> = (1..=10u64)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect();
         assert_eq!(interpolate(&pts).unwrap(), p);
     }
 }

@@ -24,6 +24,7 @@ use crate::fp::Fp;
 /// let z = solve_linear(&a, &b).unwrap();
 /// assert_eq!(z, vec![Fp::new(2), Fp::new(1)]);
 /// ```
+#[allow(clippy::needless_range_loop)] // Gaussian elimination reads clearer indexed
 pub fn solve_linear(a: &[Vec<Fp>], b: &[Fp]) -> Option<Vec<Fp>> {
     let rows = a.len();
     if rows != b.len() {
@@ -55,14 +56,14 @@ pub fn solve_linear(a: &[Vec<Fp>], b: &[Fp]) -> Option<Vec<Fp>> {
         m.swap(pivot_row, src);
         let inv = m[pivot_row][col].inv().expect("pivot nonzero");
         for c in col..=cols {
-            m[pivot_row][c] = m[pivot_row][c] * inv;
+            m[pivot_row][c] *= inv;
         }
         for r in 0..rows {
             if r != pivot_row && !m[r][col].is_zero() {
                 let factor = m[r][col];
                 for c in col..=cols {
                     let sub = factor * m[pivot_row][c];
-                    m[r][c] = m[r][c] - sub;
+                    m[r][c] -= sub;
                 }
             }
         }
@@ -122,10 +123,7 @@ mod tests {
     #[test]
     fn detects_inconsistent_system() {
         // x + y = 1; x + y = 2
-        let a = vec![
-            vec![Fp::new(1), Fp::new(1)],
-            vec![Fp::new(1), Fp::new(1)],
-        ];
+        let a = vec![vec![Fp::new(1), Fp::new(1)], vec![Fp::new(1), Fp::new(1)]];
         let b = vec![Fp::new(1), Fp::new(2)];
         assert!(solve_linear(&a, &b).is_none());
     }
@@ -173,7 +171,10 @@ mod tests {
             // Build rank-1 3x3 system from outer product; rhs in column space.
             let u: Vec<Fp> = (0..3).map(|_| Fp::random(&mut r)).collect();
             let v: Vec<Fp> = (0..3).map(|_| Fp::random(&mut r)).collect();
-            let a: Vec<Vec<Fp>> = u.iter().map(|&ui| v.iter().map(|&vj| ui * vj).collect()).collect();
+            let a: Vec<Vec<Fp>> = u
+                .iter()
+                .map(|&ui| v.iter().map(|&vj| ui * vj).collect())
+                .collect();
             let x: Vec<Fp> = (0..3).map(|_| Fp::random(&mut r)).collect();
             let b = mat_vec(&a, &x);
             let z = solve_linear(&a, &b).expect("consistent by construction");

@@ -322,9 +322,6 @@ mod tests {
     fn eval_points_are_one_indexed() {
         // p(x) = x
         let p = Poly::from_coeffs(vec![Fp::ZERO, Fp::ONE]);
-        assert_eq!(
-            p.eval_points(3),
-            vec![Fp::new(1), Fp::new(2), Fp::new(3)]
-        );
+        assert_eq!(p.eval_points(3), vec![Fp::new(1), Fp::new(2), Fp::new(3)]);
     }
 }

@@ -57,7 +57,10 @@ pub fn rs_decode(points: &[(Fp, Fp)], degree: usize, errors: usize) -> Option<Po
     if candidate.degree().map_or(0, |d| d) > degree {
         return None;
     }
-    let agree = points.iter().filter(|&&(x, y)| candidate.eval(x) == y).count();
+    let agree = points
+        .iter()
+        .filter(|&&(x, y)| candidate.eval(x) == y)
+        .count();
     if agree >= m - errors {
         Some(candidate)
     } else {
@@ -246,7 +249,9 @@ mod tests {
     }
 
     fn sample_points(p: &Poly, n: usize) -> Vec<(Fp, Fp)> {
-        (1..=n as u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect()
+        (1..=n as u64)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect()
     }
 
     #[test]
@@ -269,7 +274,7 @@ mod tests {
                 let mut idx: Vec<usize> = (0..n).collect();
                 idx.shuffle(&mut r);
                 for &i in idx.iter().take(e) {
-                    pts[i].1 += Fp::new(1 + r.gen_range(0..1000));
+                    pts[i].1 += Fp::new(1 + r.gen_range(0..1000u64));
                 }
                 let decoded = rs_decode(&pts, t, e).expect("within budget");
                 assert_eq!(decoded, p, "t={t} e={e}");
@@ -301,7 +306,11 @@ mod tests {
 
     #[test]
     fn duplicate_x_is_none() {
-        let pts = vec![(Fp::new(1), Fp::new(1)), (Fp::new(1), Fp::new(2)), (Fp::new(2), Fp::new(3))];
+        let pts = vec![
+            (Fp::new(1), Fp::new(1)),
+            (Fp::new(1), Fp::new(2)),
+            (Fp::new(2), Fp::new(3)),
+        ];
         assert!(rs_decode(&pts, 1, 0).is_none());
     }
 

@@ -134,7 +134,7 @@ pub fn claim2_exact() -> Claim2Exact {
         // Multiset equality up to uniform multiplicity:
         let ha = dedup(std::mem::take(&mut a));
         let hh = dedup(std::mem::take(&mut h));
-        ha == hh && attack_views.len() == 5 * honest_views.len() / 1 && {
+        ha == hh && attack_views.len() == (5 * honest_views.len()) && {
             // every view must appear exactly 5x as often in the attack
             let count = |v: &[ShareView], x: ShareView| v.iter().filter(|&&y| y == x).count();
             ha.iter()

@@ -83,9 +83,18 @@ pub fn claim1_run(rand: Claim1Randomness) -> Transcript {
 
     // Reconstruction: D silent; C participates (it was only slow) but has
     // no share to reveal.
-    let reveal_a = Reveal { share: Some(share_a), nonce: rand.nu_a };
-    let reveal_b = Reveal { share: Some(share_b), nonce: rand.nu_b };
-    let reveal_c = Reveal { share: None, nonce: F5::ZERO };
+    let reveal_a = Reveal {
+        share: Some(share_a),
+        nonce: rand.nu_a,
+    };
+    let reveal_b = Reveal {
+        share: Some(share_b),
+        nonce: rand.nu_b,
+    };
+    let reveal_c = Reveal {
+        share: None,
+        nonce: F5::ZERO,
+    };
 
     let a_input = ToyRecInput {
         own: Some((Party::A.x(), share_a)),
@@ -103,10 +112,7 @@ pub fn claim1_run(rand: Claim1Randomness) -> Transcript {
     };
     let c_input = ToyRecInput {
         own: None,
-        entries: vec![
-            (Party::A, reveal_a, None),
-            (Party::B, reveal_b, None),
-        ],
+        entries: vec![(Party::A, reveal_a, None), (Party::B, reveal_b, None)],
     };
 
     Transcript {
@@ -134,9 +140,8 @@ pub struct Claim2Randomness {
 impl Claim2Randomness {
     /// Enumerates all `5⁵ = 3125` assignments.
     pub fn all() -> impl Iterator<Item = Claim2Randomness> {
-        Randomness::all().flat_map(move |honest| {
-            F5::all().map(move |c_hat| Claim2Randomness { honest, c_hat })
-        })
+        Randomness::all()
+            .flat_map(move |honest| F5::all().map(move |c_hat| Claim2Randomness { honest, c_hat }))
     }
 
     /// Samples uniformly.
@@ -203,9 +208,18 @@ pub fn claim2_run(rand: Claim2Randomness) -> Claim2Outcome {
     let nu_b_fake = mask_b - share_b_fake;
     debug_assert_eq!(share_b_fake + nu_b_fake, mask_b, "forged reveal validates");
 
-    let reveal_a = Reveal { share: Some(share_a), nonce: r.nu_a };
-    let reveal_b_fake = Reveal { share: Some(share_b_fake), nonce: nu_b_fake };
-    let reveal_c = Reveal { share: Some(share_c), nonce: r.nu_c };
+    let reveal_a = Reveal {
+        share: Some(share_a),
+        nonce: r.nu_a,
+    };
+    let reveal_b_fake = Reveal {
+        share: Some(share_b_fake),
+        nonce: nu_b_fake,
+    };
+    let reveal_c = Reveal {
+        share: Some(share_c),
+        nonce: r.nu_c,
+    };
 
     // D is silent during R; C's delayed share-phase messages arrive before
     // R, so A can validate C's reveal.

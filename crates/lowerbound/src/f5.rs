@@ -165,7 +165,11 @@ mod tests {
     #[test]
     fn collinearity() {
         // On f(x) = 1 + x: (1,2), (2,3), (3,4).
-        let on = [(F5::new(1), F5::new(2)), (F5::new(2), F5::new(3)), (F5::new(3), F5::new(4))];
+        let on = [
+            (F5::new(1), F5::new(2)),
+            (F5::new(2), F5::new(3)),
+            (F5::new(3), F5::new(4)),
+        ];
         assert!(collinear(on[0], on[1], on[2]));
         assert!(!collinear(on[0], on[1], (F5::new(3), F5::new(0))));
     }

@@ -43,8 +43,8 @@ mod f5;
 mod protocol;
 
 pub use analysis::{
-    claim1_views_match_honest, claim2_exact, honest_view_multiset, theorem_2_2_report,
-    Claim2Exact, Theorem22Report,
+    claim1_views_match_honest, claim2_exact, honest_view_multiset, theorem_2_2_report, Claim2Exact,
+    Theorem22Report,
 };
 pub use attacks::{claim1_run, claim2_run, Claim1Randomness, Claim2Outcome, Claim2Randomness};
 pub use f5::{collinear, line_at_zero, F5};

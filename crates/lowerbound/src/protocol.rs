@@ -80,7 +80,12 @@ impl Randomness {
         F5::all().flat_map(move |c| {
             F5::all().flat_map(move |nu_a| {
                 F5::all().flat_map(move |nu_b| {
-                    F5::all().map(move |nu_c| Randomness { c, nu_a, nu_b, nu_c })
+                    F5::all().map(move |nu_c| Randomness {
+                        c,
+                        nu_a,
+                        nu_b,
+                        nu_c,
+                    })
                 })
             })
         })
@@ -223,11 +228,24 @@ pub fn honest_run(s: F5, c_mode: CMode, rand: Randomness) -> Transcript {
     // Reconstruction. C participates unless crashed; its delayed share-
     // phase masks are delivered before R in Delayed mode.
     let c_in_r = c_mode != CMode::Crashed;
-    let mask_c_at_r = if c_mode == CMode::Crashed { None } else { Some(mask_c) };
+    let mask_c_at_r = if c_mode == CMode::Crashed {
+        None
+    } else {
+        Some(mask_c)
+    };
 
-    let reveal_a = Reveal { share: Some(share_a), nonce: rand.nu_a };
-    let reveal_b = Reveal { share: Some(share_b), nonce: rand.nu_b };
-    let reveal_c = Reveal { share: Some(share_c), nonce: rand.nu_c };
+    let reveal_a = Reveal {
+        share: Some(share_a),
+        nonce: rand.nu_a,
+    };
+    let reveal_b = Reveal {
+        share: Some(share_b),
+        nonce: rand.nu_b,
+    };
+    let reveal_c = Reveal {
+        share: Some(share_c),
+        nonce: rand.nu_c,
+    };
 
     let a_input = RecInput {
         own: Some((Party::A.x(), share_a)),
@@ -302,14 +320,16 @@ mod tests {
         // concern, the adversary corrupts at most one party.)
         for mode in [CMode::Honest, CMode::Crashed] {
             let views_a = |s: F5| {
-                let mut v: Vec<ShareView> =
-                    Randomness::all().map(|r| honest_run(s, mode, r).view_a).collect();
+                let mut v: Vec<ShareView> = Randomness::all()
+                    .map(|r| honest_run(s, mode, r).view_a)
+                    .collect();
                 v.sort();
                 v
             };
             let views_b = |s: F5| {
-                let mut v: Vec<ShareView> =
-                    Randomness::all().map(|r| honest_run(s, mode, r).view_b).collect();
+                let mut v: Vec<ShareView> = Randomness::all()
+                    .map(|r| honest_run(s, mode, r).view_b)
+                    .collect();
                 v.sort();
                 v
             };
@@ -341,12 +361,16 @@ mod tests {
 
     #[test]
     fn crashed_c_views_lack_c_messages() {
-        let t = honest_run(F5::ZERO, CMode::Crashed, Randomness {
-            c: F5::new(2),
-            nu_a: F5::new(1),
-            nu_b: F5::new(3),
-            nu_c: F5::new(4),
-        });
+        let t = honest_run(
+            F5::ZERO,
+            CMode::Crashed,
+            Randomness {
+                c: F5::new(2),
+                nu_a: F5::new(1),
+                nu_b: F5::new(3),
+                nu_c: F5::new(4),
+            },
+        );
         assert_eq!(t.view_a.mask_c, None);
         assert_eq!(t.view_b.mask_c, None);
         assert!(t.view_a.share.is_some());
@@ -360,12 +384,18 @@ mod tests {
             entries: vec![
                 (
                     Party::B,
-                    Reveal { share: Some(F5::new(3)), nonce: F5::new(0) },
+                    Reveal {
+                        share: Some(F5::new(3)),
+                        nonce: F5::new(0),
+                    },
                     Some(F5::new(4)), // 3 + 0 != 4: invalid
                 ),
                 (
                     Party::C,
-                    Reveal { share: Some(F5::new(4)), nonce: F5::new(1) },
+                    Reveal {
+                        share: Some(F5::new(4)),
+                        nonce: F5::new(1),
+                    },
                     Some(F5::new(0)), // 4 + 1 = 5 = 0: valid
                 ),
             ],

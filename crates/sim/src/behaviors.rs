@@ -61,7 +61,12 @@ impl Instance for MuteAfter {
             self.inner.on_message(from, payload, ctx);
         }
     }
-    fn on_child_output(&mut self, child: &crate::SessionTag, output: &Payload, ctx: &mut Context<'_>) {
+    fn on_child_output(
+        &mut self,
+        child: &crate::SessionTag,
+        output: &Payload,
+        ctx: &mut Context<'_>,
+    ) {
         if self.alive() {
             self.inner.on_child_output(child, output, ctx);
         }
@@ -113,7 +118,8 @@ impl Instance for GarbageInstance {
 mod tests {
     use super::*;
     use crate::ids::{SessionId, SessionTag};
-    use crate::network::{NetConfig, SimNetwork, StopReason};
+    use crate::network::SimNetwork;
+    use crate::runtime::{NetConfig, StopReason};
     use crate::scheduler::RandomScheduler;
 
     fn sid() -> SessionId {

@@ -33,8 +33,7 @@ pub struct ClusterMsg {
 }
 
 /// Factory producing each hosted inner party's initial instances.
-pub type InnerFactory =
-    Box<dyn Fn(usize) -> Vec<(SessionId, Box<dyn Instance>)> + Send>;
+pub type InnerFactory = Box<dyn Fn(usize) -> Vec<(SessionId, Box<dyn Instance>)> + Send>;
 
 /// One outer party hosting a bloc of inner parties (Appendix B's
 /// "super-party").
@@ -181,8 +180,7 @@ impl Instance for Cluster {
             msg.payload.clone(),
             &mut outs,
         );
-        let batch: Vec<(usize, Outgoing)> =
-            outs.into_iter().map(|o| (msg.to_inner, o)).collect();
+        let batch: Vec<(usize, Outgoing)> = outs.into_iter().map(|o| (msg.to_inner, o)).collect();
         self.pump_from(batch, ctx);
     }
 }
@@ -191,7 +189,8 @@ impl Instance for Cluster {
 mod tests {
     use super::*;
     use crate::ids::SessionTag;
-    use crate::network::{NetConfig, SimNetwork, StopReason};
+    use crate::network::SimNetwork;
+    use crate::runtime::{NetConfig, StopReason};
     use crate::scheduler::RandomScheduler;
 
     fn watched() -> SessionId {
@@ -215,12 +214,7 @@ mod tests {
     }
 
     fn factory() -> InnerFactory {
-        Box::new(|_inner| {
-            vec![(
-                watched(),
-                Box::new(Hello { heard: 0 }) as Box<dyn Instance>,
-            )]
-        })
+        Box::new(|_inner| vec![(watched(), Box::new(Hello { heard: 0 }) as Box<dyn Instance>)])
     }
 
     #[test]

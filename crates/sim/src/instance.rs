@@ -39,7 +39,10 @@ pub(crate) enum Effect {
         payload: Payload,
     },
     /// Send to every party (including the sender) within the session.
-    SendAll { session: SessionId, payload: Payload },
+    SendAll {
+        session: SessionId,
+        payload: Payload,
+    },
     /// Spawn a child instance under the emitting session.
     Spawn {
         session: SessionId,
@@ -55,7 +58,11 @@ pub(crate) enum Effect {
 impl std::fmt::Debug for Effect {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Effect::Send { to, session, payload } => f
+            Effect::Send {
+                to,
+                session,
+                payload,
+            } => f
                 .debug_struct("Send")
                 .field("to", to)
                 .field("session", session)
@@ -66,9 +73,10 @@ impl std::fmt::Debug for Effect {
                 .field("session", session)
                 .field("payload", payload)
                 .finish(),
-            Effect::Spawn { session, .. } => {
-                f.debug_struct("Spawn").field("session", session).finish_non_exhaustive()
-            }
+            Effect::Spawn { session, .. } => f
+                .debug_struct("Spawn")
+                .field("session", session)
+                .finish_non_exhaustive(),
             Effect::Output { session, value } => f
                 .debug_struct("Output")
                 .field("session", session)
@@ -219,7 +227,11 @@ mod tests {
         ctx.shun(PartyId(3));
         assert_eq!(ctx.effects.len(), 5);
         match &ctx.effects[0] {
-            Effect::Send { to, session, payload } => {
+            Effect::Send {
+                to,
+                session,
+                payload,
+            } => {
                 assert_eq!(*to, PartyId(2));
                 assert_eq!(session, &sid);
                 assert_eq!(payload.downcast_ref::<u32>(), Some(&42));

@@ -15,7 +15,7 @@
 //!   order of in-flight messages, subject to a fairness cap (every message
 //!   is eventually delivered — the paper's model).
 //! * Byzantine parties run arbitrary [`Instance`]s instead of honest ones;
-//!   whole-party crashes are injected with [`SimNetwork::crash`] /
+//!   whole-party crashes are injected with [`Runtime::crash`] /
 //!   [`SimNetwork::crash_at`].
 //! * A run is a pure function of its seed: Monte-Carlo estimation of
 //!   probabilistic guarantees ([`run_trials`]) and byte-exact replay of
@@ -25,7 +25,20 @@
 //!   the invocation in which the shun occurred; each ordered pair shuns at
 //!   most once, so fewer than `n²` shun events occur globally.
 //!
-//! See the crate-level example on [`SimNetwork`].
+//! ## The runtime seam
+//!
+//! Every execution backend implements the [`Runtime`] trait, so the same
+//! deployment runs unchanged on:
+//!
+//! * [`SimNetwork`] — the deterministic simulator (adversarial schedulers,
+//!   traces, replay);
+//! * [`ThreadedRuntime`] — real OS threads and channels (genuine
+//!   asynchrony, no determinism).
+//!
+//! [`runtime_by_name`] builds either from a string, which is what the
+//! `exp_*` binaries' `--runtime` flags and the cross-backend test suites
+//! use. See the crate-level example on [`SimNetwork`] and the trait
+//! example on [`Runtime`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +51,8 @@ mod montecarlo;
 mod network;
 mod node;
 mod payload;
+mod queue;
+mod runtime;
 mod scheduler;
 pub mod threaded;
 
@@ -45,24 +60,35 @@ pub use behaviors::{Garbage, GarbageInstance, MuteAfter, SilentInstance};
 pub use ids::{PartyId, SessionId, SessionTag};
 pub use instance::{Context, Instance};
 pub use montecarlo::{run_trials, Bernoulli};
-pub use network::{Envelope, Metrics, NetConfig, RunReport, SimNetwork, StopReason};
+pub use network::{Envelope, SimNetwork};
 pub use node::{Node, Outgoing, ShunRegistry};
 pub use payload::Payload;
+pub use queue::{MsgMeta, Pending};
+pub use runtime::{
+    runtime_by_name, Metrics, NetConfig, RunReport, Runtime, RuntimeExt, StopReason,
+};
 pub use scheduler::{
     FifoScheduler, LifoScheduler, RandomScheduler, Scheduler, SchedulerConfig, StarveScheduler,
     WindowScheduler,
 };
+pub use threaded::{run_threaded, ThreadedOutputs, ThreadedRuntime};
 
 /// Builds a boxed scheduler by name — convenience for experiment sweeps.
 ///
-/// Supported names: `"fifo"`, `"random"`, `"lifo"`, `"window4"`,
-/// `"window16"`, and `"starve:<id>"` (starve one party).
+/// Supported names:
+///
+/// * `"fifo"`, `"random"`, `"lifo"`;
+/// * `"window<k>"` for any positive `k` (e.g. `"window4"`, `"window128"`);
+/// * `"starve:<ids>"` with a comma-separated victim list
+///   (e.g. `"starve:2"`, `"starve:1,3"`).
 ///
 /// # Examples
 ///
 /// ```
 /// let s = aft_sim::scheduler_by_name("random").unwrap();
 /// assert_eq!(s.name(), "random");
+/// assert!(aft_sim::scheduler_by_name("window9").is_some());
+/// assert!(aft_sim::scheduler_by_name("starve:1,3").is_some());
 /// assert!(aft_sim::scheduler_by_name("bogus").is_none());
 /// ```
 pub fn scheduler_by_name(name: &str) -> Option<Box<dyn Scheduler>> {
@@ -70,12 +96,21 @@ pub fn scheduler_by_name(name: &str) -> Option<Box<dyn Scheduler>> {
         "fifo" => Some(Box::new(FifoScheduler)),
         "random" => Some(Box::new(RandomScheduler)),
         "lifo" => Some(Box::new(LifoScheduler)),
-        "window4" => Some(Box::new(WindowScheduler::new(4))),
-        "window16" => Some(Box::new(WindowScheduler::new(16))),
         _ => {
+            if let Some(k) = name.strip_prefix("window") {
+                let k: usize = k.parse().ok()?;
+                if k == 0 {
+                    return None;
+                }
+                return Some(Box::new(WindowScheduler::new(k)));
+            }
             let rest = name.strip_prefix("starve:")?;
-            let id: usize = rest.parse().ok()?;
-            Some(Box::new(StarveScheduler::new([PartyId(id)])))
+            let mut victims = Vec::new();
+            for part in rest.split(',') {
+                let id: usize = part.trim().parse().ok()?;
+                victims.push(PartyId(id));
+            }
+            Some(Box::new(StarveScheduler::new(victims)))
         }
     }
 }
@@ -91,5 +126,52 @@ mod tests {
         }
         assert!(scheduler_by_name("nope").is_none());
         assert!(scheduler_by_name("starve:x").is_none());
+    }
+
+    #[test]
+    fn scheduler_by_name_window_arbitrary_k() {
+        for k in [1usize, 2, 3, 7, 9, 100, 4096] {
+            let s = scheduler_by_name(&format!("window{k}")).unwrap();
+            assert_eq!(s.name(), "window", "window{k}");
+        }
+        assert!(scheduler_by_name("window0").is_none(), "zero window");
+        assert!(scheduler_by_name("window").is_none(), "missing k");
+        assert!(scheduler_by_name("window-3").is_none(), "negative k");
+        assert!(scheduler_by_name("windowabc").is_none(), "non-numeric k");
+    }
+
+    #[test]
+    fn scheduler_by_name_starve_multi_party() {
+        for spec in ["starve:0", "starve:1,3", "starve:0,1,2", "starve: 1, 3"] {
+            let s = scheduler_by_name(spec).unwrap();
+            assert_eq!(s.name(), "starve", "{spec}");
+        }
+        assert!(scheduler_by_name("starve:").is_none(), "empty list");
+        assert!(scheduler_by_name("starve:1,,3").is_none(), "empty element");
+        assert!(scheduler_by_name("starve:1,x").is_none(), "bad element");
+    }
+
+    #[test]
+    fn starve_multi_party_actually_starves_all_victims() {
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha12Rng;
+        // Build a pending set where only one entry avoids both victims.
+        let mut q = Pending::new();
+        let mk = |from: usize, to: usize, seq: u64| Envelope {
+            from: PartyId(from),
+            to: PartyId(to),
+            session: SessionId::root().child(SessionTag::new("x", 0)),
+            payload: Payload::new(0u8),
+            seq,
+            born_step: 0,
+        };
+        q.push(mk(1, 0, 0)); // touches victim 1
+        q.push(mk(0, 3, 1)); // touches victim 3
+        q.push(mk(0, 2, 2)); // clean
+        let mut sched = scheduler_by_name("starve:1,3").unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(sched.pick(&q, &mut rng), 2);
+        }
     }
 }

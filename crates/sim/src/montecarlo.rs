@@ -45,7 +45,10 @@ where
             });
         }
     });
-    results.into_iter().map(|r| r.expect("trial completed")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("trial completed"))
+        .collect()
 }
 
 /// Summary statistics for a Bernoulli estimate: successes over trials, with

@@ -4,7 +4,11 @@ use crate::ids::{PartyId, SessionId};
 use crate::instance::Instance;
 use crate::node::{Node, Outgoing};
 use crate::payload::Payload;
-use crate::scheduler::{Scheduler, SchedulerConfig};
+use crate::queue::Pending;
+use crate::runtime::{
+    build_node, deliver_counted, Metrics, NetConfig, RunReport, Runtime, StopReason,
+};
+use crate::scheduler::Scheduler;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::collections::HashMap;
@@ -26,78 +30,19 @@ pub struct Envelope {
     pub born_step: u64,
 }
 
-/// Counters collected during a run.
-#[derive(Debug, Default, Clone)]
-pub struct Metrics {
-    /// Envelopes handed to the network.
-    pub sent: u64,
-    /// Envelopes delivered to a node.
-    pub delivered: u64,
-    /// Envelopes dropped because the receiver shuns the sender.
-    pub dropped_shunned: u64,
-    /// Envelopes dropped because the receiver crashed.
-    pub dropped_crashed: u64,
-    /// Delivery steps executed.
-    pub steps: u64,
-    /// Shun events declared across all nodes.
-    pub shun_events: u64,
-    /// Sent-message counts keyed by the leaf session kind.
-    pub sent_by_kind: HashMap<&'static str, u64>,
-}
-
-/// Why a run stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StopReason {
-    /// No messages left in flight: the system is quiescent.
-    Quiescent,
-    /// The step budget was exhausted first.
-    StepLimit,
-    /// The caller's predicate requested a stop.
-    Predicate,
-}
-
-/// Summary of a completed run.
-#[derive(Debug, Clone)]
-pub struct RunReport {
-    /// Why the run stopped.
-    pub stop: StopReason,
-    /// Delivery steps executed.
-    pub steps: u64,
-    /// Copy of the metrics at stop time.
-    pub metrics: Metrics,
-}
-
-/// Static parameters of a simulated system.
-#[derive(Debug, Clone, Copy)]
-pub struct NetConfig {
-    /// Number of parties.
-    pub n: usize,
-    /// Fault threshold; protocols in this workspace need `n >= 3t + 1`.
-    pub t: usize,
-    /// Master seed: all node RNGs and the scheduler RNG derive from it.
-    pub seed: u64,
-    /// Fairness cap (see [`SchedulerConfig`]).
-    pub scheduler: SchedulerConfig,
-}
-
-impl NetConfig {
-    /// Convenience constructor with the default fairness cap.
-    pub fn new(n: usize, t: usize, seed: u64) -> Self {
-        NetConfig {
-            n,
-            t,
-            seed,
-            scheduler: SchedulerConfig::default(),
-        }
-    }
-}
-
-/// The deterministic discrete-event network: `n` nodes, a set of in-flight
+/// The deterministic discrete-event network: `n` nodes, a slab of in-flight
 /// envelopes, and a [`Scheduler`] choosing the delivery order.
 ///
 /// A run is a pure function of `(NetConfig, spawned instances, scheduler)`,
 /// which is what makes Monte-Carlo estimation over seeds meaningful and
 /// every failure replayable.
+///
+/// `SimNetwork` implements [`Runtime`], so deployments written against the
+/// trait run identically here and on the [`ThreadedRuntime`]; the inherent
+/// methods additionally expose simulator-only power (step-by-step
+/// execution, delivery traces, scheduled crashes, mid-run inspection).
+///
+/// [`ThreadedRuntime`]: crate::ThreadedRuntime
 ///
 /// # Examples
 ///
@@ -129,7 +74,7 @@ impl NetConfig {
 pub struct SimNetwork {
     config: NetConfig,
     nodes: Vec<Node>,
-    pending: Vec<Envelope>,
+    pending: Pending,
     scheduler: Box<dyn Scheduler>,
     sched_rng: ChaCha12Rng,
     metrics: Metrics,
@@ -152,26 +97,17 @@ impl SimNetwork {
     pub fn new(config: NetConfig, scheduler: Box<dyn Scheduler>) -> Self {
         assert!(config.n > 0, "need at least one party");
         assert!(
-            config.n >= 3 * config.t + 1,
+            config.n > 3 * config.t,
             "optimal resilience requires n >= 3t + 1 (n={}, t={})",
             config.n,
             config.t
         );
-        let nodes = (0..config.n)
-            .map(|i| {
-                // Derive per-node RNG from the master seed; keep streams
-                // independent by spacing the seeds.
-                let rng = ChaCha12Rng::seed_from_u64(
-                    config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64),
-                );
-                Node::new(PartyId(i), config.n, config.t, rng)
-            })
-            .collect();
+        let nodes = (0..config.n).map(|i| build_node(&config, i)).collect();
         let sched_rng = ChaCha12Rng::seed_from_u64(config.seed.wrapping_add(0xC0FF_EE00));
         SimNetwork {
             config,
             nodes,
-            pending: Vec::new(),
+            pending: Pending::new(),
             scheduler,
             sched_rng,
             metrics: Metrics::default(),
@@ -241,7 +177,8 @@ impl SimNetwork {
 
     /// Typed convenience over [`output`](SimNetwork::output).
     pub fn output_as<T: 'static>(&self, party: PartyId, session: &SessionId) -> Option<&T> {
-        self.output(party, session).and_then(|p| p.downcast_ref::<T>())
+        self.output(party, session)
+            .and_then(|p| p.downcast_ref::<T>())
     }
 
     /// Delivers exactly one message (chosen by the scheduler, subject to
@@ -250,37 +187,34 @@ impl SimNetwork {
         let Some(env) = self.pick_next() else {
             return false;
         };
-        self.metrics.steps += 1;
-        // Trigger scheduled crashes.
-        let step_now = self.metrics.steps;
-        let due: Vec<PartyId> = self
-            .crash_at
-            .iter()
-            .filter(|(_, &s)| s <= step_now)
-            .map(|(&p, _)| p)
-            .collect();
-        for p in due {
-            self.crash_at.remove(&p);
-            self.crash(p);
+        // Trigger scheduled crashes (steps is incremented by the shared
+        // dispatch core below, so "now" is steps + 1).
+        if !self.crash_at.is_empty() {
+            let step_now = self.metrics.steps + 1;
+            let due: Vec<PartyId> = self
+                .crash_at
+                .iter()
+                .filter(|(_, &s)| s <= step_now)
+                .map(|(&p, _)| p)
+                .collect();
+            for p in due {
+                self.crash_at.remove(&p);
+                self.crash(p);
+            }
         }
 
         if let Some(trace) = &mut self.trace {
             trace.push((env.seq, env.from, env.to));
         }
-        let node = &mut self.nodes[env.to.0];
-        if node.is_crashed() {
-            self.metrics.dropped_crashed += 1;
-            return true;
-        }
-        let shuns_before = node.shun_event_count();
         let mut out = Vec::new();
-        let accepted = node.deliver(env.from, env.session, env.payload, &mut out);
-        if !accepted {
-            self.metrics.dropped_shunned += 1;
-        } else {
-            self.metrics.delivered += 1;
-        }
-        self.metrics.shun_events += self.nodes[env.to.0].shun_event_count() - shuns_before;
+        deliver_counted(
+            &mut self.nodes[env.to.0],
+            env.from,
+            env.session,
+            env.payload,
+            &mut out,
+            &mut self.metrics,
+        );
         self.enqueue(env.to, out);
         true
     }
@@ -339,9 +273,7 @@ impl SimNetwork {
             return;
         }
         for o in out {
-            let kind = o.session.last().map_or("root", |t| t.kind);
-            *self.metrics.sent_by_kind.entry(kind).or_insert(0) += 1;
-            self.metrics.sent += 1;
+            self.metrics.on_sent(&o.session);
             self.pending.push(Envelope {
                 from,
                 to: o.to,
@@ -361,15 +293,45 @@ impl SimNetwork {
         }
         let now = self.metrics.steps;
         let max_age = self.config.scheduler.max_age;
-        // Oldest pending (they are in arrival order; index 0 is oldest).
-        let idx = if now.saturating_sub(self.pending[0].born_step) > max_age {
+        // Index 0 is the oldest pending message (arrival order).
+        let idx = if now.saturating_sub(self.pending.meta(0).born_step) > max_age {
             0
         } else {
             let i = self.scheduler.pick(&self.pending, &mut self.sched_rng);
             debug_assert!(i < self.pending.len(), "scheduler index out of range");
             i.min(self.pending.len() - 1)
         };
-        Some(self.pending.remove(idx))
+        Some(self.pending.take(idx))
+    }
+}
+
+impl Runtime for SimNetwork {
+    fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    fn spawn(&mut self, party: PartyId, session: SessionId, instance: Box<dyn Instance>) {
+        SimNetwork::spawn(self, party, session, instance);
+    }
+
+    fn crash(&mut self, party: PartyId) {
+        SimNetwork::crash(self, party);
+    }
+
+    fn run(&mut self, max_steps: u64) -> RunReport {
+        SimNetwork::run(self, max_steps)
+    }
+
+    fn output(&self, party: PartyId, session: &SessionId) -> Option<&Payload> {
+        SimNetwork::output(self, party, session)
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.metrics.clone()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "sim"
     }
 }
 
@@ -407,7 +369,7 @@ mod tests {
         }
         fn on_message(&mut self, _f: PartyId, _p: &Payload, ctx: &mut Context<'_>) {
             self.heard += 1;
-            if self.heard % ctx.n() == 0 && self.sent < self.rounds {
+            if self.heard.is_multiple_of(ctx.n()) && self.sent < self.rounds {
                 self.sent += 1;
                 ctx.send_all(self.sent);
             }
@@ -498,7 +460,8 @@ mod tests {
                 + report.metrics.dropped_crashed
                 + net.pending_len() as u64
         );
-        assert_eq!(report.metrics.sent_by_kind.get("t").copied(), Some(report.metrics.sent));
+        assert_eq!(report.metrics.sent_by_kind("t"), report.metrics.sent);
+        assert_eq!(report.metrics.sent_by_kind("nope"), 0);
     }
 
     #[test]
@@ -537,7 +500,11 @@ mod tests {
         let s_noise = SessionId::root().child(SessionTag::new("noise", 0));
         net.spawn(PartyId(0), s_victim.clone(), Box::new(OneShot));
         net.spawn(PartyId(1), s_victim.clone(), Box::new(OneShot));
-        net.spawn(PartyId(2), s_noise.clone(), Box::new(Chatter { left: 10_000 }));
+        net.spawn(
+            PartyId(2),
+            s_noise.clone(),
+            Box::new(Chatter { left: 10_000 }),
+        );
         let report = net.run(20_000);
         // Despite LIFO + endless chatter, the victim's message must deliver
         // within the aging cap.
@@ -559,5 +526,24 @@ mod tests {
         net.run(1_000_000);
         assert_eq!(net.output_as::<usize>(PartyId(0), &sid()), Some(&12));
         assert_eq!(net.output_as::<u64>(PartyId(0), &sid()), None);
+    }
+
+    #[test]
+    fn runtime_trait_drives_the_simulator() {
+        use crate::runtime::{Runtime, RuntimeExt};
+        let mut rt: Box<dyn Runtime> = Box::new(SimNetwork::new(
+            NetConfig::new(4, 1, 3),
+            Box::new(RandomScheduler),
+        ));
+        for p in 0..4 {
+            rt.spawn(PartyId(p), sid(), Box::new(Flood::new(3)));
+        }
+        let report = rt.run(1_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        assert_eq!(rt.backend_name(), "sim");
+        for p in 0..4 {
+            assert_eq!(rt.output_as::<usize>(PartyId(p), &sid()), Some(&12));
+        }
+        assert_eq!(rt.metrics().sent, report.metrics.sent);
     }
 }

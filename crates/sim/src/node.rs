@@ -355,7 +355,10 @@ mod tests {
         n.spawn(sid("x"), Box::new(Doubler));
         let mut out = Vec::new();
         n.deliver(PartyId(0), sid("x"), Payload::new(99u32), &mut out);
-        assert_eq!(n.output(&sid("x")).unwrap().downcast_ref::<u32>(), Some(&99));
+        assert_eq!(
+            n.output(&sid("x")).unwrap().downcast_ref::<u32>(),
+            Some(&99)
+        );
         n.deliver(PartyId(0), sid("x"), Payload::new(99u32), &mut out);
         assert_eq!(n.outputs().count(), 1);
     }
@@ -392,7 +395,10 @@ mod tests {
         assert_eq!(n.output(&sid("p")).unwrap().downcast_ref::<u32>(), Some(&8));
         // child output recorded too
         let child_sid = sid("p").child(SessionTag::new("child", 3));
-        assert_eq!(n.output(&child_sid).unwrap().downcast_ref::<u32>(), Some(&7));
+        assert_eq!(
+            n.output(&child_sid).unwrap().downcast_ref::<u32>(),
+            Some(&7)
+        );
     }
 
     #[test]

@@ -1,0 +1,456 @@
+//! The runtime seam: one [`Runtime`] trait over every execution backend.
+//!
+//! Protocol code is written once against [`Instance`] and runs unchanged on
+//! any backend implementing [`Runtime`]: today the deterministic
+//! [`SimNetwork`] and the OS-thread [`ThreadedRuntime`], tomorrow sharded
+//! or wire-serialized backends. The trait captures the full lifecycle an
+//! experiment needs — deploy instances, inject crashes, run to quiescence,
+//! read outputs and metrics — so cross-backend suites and `--runtime`
+//! experiment flags are one `Box<dyn Runtime>` away.
+//!
+//! This module also owns the backend-shared pieces: the static
+//! [`NetConfig`], the [`Metrics`] counters (with interned per-kind send
+//! counts), run reports, per-party RNG derivation, and the
+//! deliver-with-accounting core both backends route every message through.
+//!
+//! [`SimNetwork`]: crate::SimNetwork
+//! [`ThreadedRuntime`]: crate::ThreadedRuntime
+
+use crate::ids::{PartyId, SessionId};
+use crate::instance::Instance;
+use crate::node::{Node, Outgoing};
+use crate::payload::Payload;
+use crate::scheduler::SchedulerConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Static parameters of a simulated system.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Number of parties.
+    pub n: usize,
+    /// Fault threshold; protocols in this workspace need `n >= 3t + 1`.
+    pub t: usize,
+    /// Master seed: all node RNGs and the scheduler RNG derive from it.
+    pub seed: u64,
+    /// Fairness cap (see [`SchedulerConfig`]).
+    pub scheduler: SchedulerConfig,
+}
+
+impl NetConfig {
+    /// Convenience constructor with the default fairness cap.
+    pub fn new(n: usize, t: usize, seed: u64) -> Self {
+        NetConfig {
+            n,
+            t,
+            seed,
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// Counters collected during a run.
+///
+/// Per-kind send counts are interned into a small vector instead of a
+/// hash map: sends are the hot path and session kinds are a handful of
+/// `&'static str`s, so a memoized linear scan beats hashing every
+/// envelope.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    /// Envelopes handed to the network.
+    pub sent: u64,
+    /// Envelopes delivered to a node.
+    pub delivered: u64,
+    /// Envelopes dropped because the receiver shuns the sender.
+    pub dropped_shunned: u64,
+    /// Envelopes dropped because the receiver crashed.
+    pub dropped_crashed: u64,
+    /// Delivery steps executed.
+    pub steps: u64,
+    /// Shun events declared across all nodes.
+    pub shun_events: u64,
+    /// Sent counts per leaf session kind, in first-seen order.
+    by_kind: Vec<(&'static str, u64)>,
+    /// Index into `by_kind` of the most recently counted kind.
+    last_kind: usize,
+}
+
+impl Metrics {
+    /// Sent-message count for the leaf session kind `kind`.
+    pub fn sent_by_kind(&self, kind: &str) -> u64 {
+        self.by_kind
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |&(_, c)| c)
+    }
+
+    /// All `(kind, sent count)` pairs, in first-seen order.
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.by_kind.iter().copied()
+    }
+
+    /// Records one sent envelope for `session`'s leaf kind.
+    pub(crate) fn on_sent(&mut self, session: &SessionId) {
+        self.sent += 1;
+        let kind = session.last().map_or("root", |t| t.kind);
+        // Fast path: consecutive sends are overwhelmingly same-kind.
+        if let Some(&mut (k, ref mut c)) = self.by_kind.get_mut(self.last_kind) {
+            if std::ptr::eq(k.as_ptr(), kind.as_ptr()) || k == kind {
+                *c += 1;
+                return;
+            }
+        }
+        if let Some(i) = self.by_kind.iter().position(|(k, _)| *k == kind) {
+            self.by_kind[i].1 += 1;
+            self.last_kind = i;
+        } else {
+            self.by_kind.push((kind, 1));
+            self.last_kind = self.by_kind.len() - 1;
+        }
+    }
+
+    /// Folds `other`'s counters into `self` (threaded workers merge their
+    /// thread-local metrics at quiescence).
+    pub(crate) fn merge(&mut self, other: &Metrics) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped_shunned += other.dropped_shunned;
+        self.dropped_crashed += other.dropped_crashed;
+        self.steps += other.steps;
+        self.shun_events += other.shun_events;
+        for &(kind, count) in &other.by_kind {
+            if let Some(i) = self.by_kind.iter().position(|(k, _)| *k == kind) {
+                self.by_kind[i].1 += count;
+            } else {
+                self.by_kind.push((kind, count));
+            }
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No messages left in flight: the system is quiescent.
+    Quiescent,
+    /// The step budget was exhausted first.
+    StepLimit,
+    /// The caller's predicate requested a stop.
+    Predicate,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Delivery steps executed.
+    pub steps: u64,
+    /// Copy of the metrics at stop time.
+    pub metrics: Metrics,
+}
+
+/// Derives party `p`'s deterministic RNG from the master seed.
+///
+/// Shared by every backend so a protocol's local randomness is identical
+/// across backends for the same `(seed, party)`.
+pub(crate) fn node_rng(seed: u64, party: usize) -> ChaCha12Rng {
+    ChaCha12Rng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(party as u64),
+    )
+}
+
+/// Builds party `p`'s [`Node`] for a configured system.
+pub(crate) fn build_node(config: &NetConfig, party: usize) -> Node {
+    Node::new(
+        PartyId(party),
+        config.n,
+        config.t,
+        node_rng(config.seed, party),
+    )
+}
+
+/// Delivers one message to `node` with full metric accounting — the
+/// dispatch core shared by every backend. Crashed receivers count as
+/// `dropped_crashed`, shun-filtered messages as `dropped_shunned`,
+/// the rest as `delivered`; new shun declarations are tallied.
+pub(crate) fn deliver_counted(
+    node: &mut Node,
+    from: PartyId,
+    session: SessionId,
+    payload: Payload,
+    out: &mut Vec<Outgoing>,
+    metrics: &mut Metrics,
+) {
+    metrics.steps += 1;
+    if node.is_crashed() {
+        metrics.dropped_crashed += 1;
+        return;
+    }
+    let shuns_before = node.shun_event_count();
+    if node.deliver(from, session, payload, out) {
+        metrics.delivered += 1;
+    } else {
+        metrics.dropped_shunned += 1;
+    }
+    metrics.shun_events += node.shun_event_count() - shuns_before;
+}
+
+/// One execution backend: deploy [`Instance`]s, run, read outputs.
+///
+/// Both backends implement the same deploy-run-inspect lifecycle:
+///
+/// 1. [`spawn`](Runtime::spawn) the protocol instances (and optionally
+///    [`crash`](Runtime::crash) parties);
+/// 2. [`run`](Runtime::run) until quiescence or a step budget;
+/// 3. read [`output`](Runtime::output)s and [`metrics`](Runtime::metrics).
+///
+/// The deterministic simulator additionally allows interleaving spawns
+/// and runs and mid-run inspection through its inherent methods; the
+/// trait captures the portable subset.
+///
+/// # Examples
+///
+/// The identical deployment on both backends:
+///
+/// ```
+/// use aft_sim::{runtime_by_name, Context, Instance, NetConfig, PartyId, Payload,
+///               RuntimeExt, SessionId, SessionTag};
+///
+/// struct Hello { heard: usize }
+/// impl Instance for Hello {
+///     fn on_start(&mut self, ctx: &mut Context<'_>) { ctx.send_all(1u8); }
+///     fn on_message(&mut self, _f: PartyId, _p: &Payload, ctx: &mut Context<'_>) {
+///         self.heard += 1;
+///         if self.heard == ctx.n() { ctx.output(self.heard); }
+///     }
+/// }
+///
+/// let sid = SessionId::root().child(SessionTag::new("hello", 0));
+/// for backend in ["sim", "threaded"] {
+///     let mut rt = runtime_by_name(backend, NetConfig::new(4, 1, 7)).unwrap();
+///     for p in 0..4 {
+///         rt.spawn(PartyId(p), sid.clone(), Box::new(Hello { heard: 0 }));
+///     }
+///     let report = rt.run(1_000_000);
+///     assert_eq!(report.stop, aft_sim::StopReason::Quiescent, "{backend}");
+///     for p in 0..4 {
+///         assert_eq!(rt.output_as::<usize>(PartyId(p), &sid), Some(&4), "{backend}");
+///     }
+/// }
+/// ```
+pub trait Runtime {
+    /// The system's static configuration.
+    fn config(&self) -> &NetConfig;
+
+    /// Deploys `instance` for `party` at `session`.
+    ///
+    /// On the simulator the instance starts immediately; on the threaded
+    /// backend spawns are buffered until [`run`](Runtime::run).
+    fn spawn(&mut self, party: PartyId, session: SessionId, instance: Box<dyn Instance>);
+
+    /// Crashes `party`: it stops processing and sending for the rest of
+    /// the run.
+    ///
+    /// To guarantee a party never acts at all, crash it *before* spawning
+    /// its instances: the simulator starts instances eagerly on
+    /// [`spawn`](Runtime::spawn), so a crash issued afterwards cannot
+    /// retract the initial sends already in flight.
+    fn crash(&mut self, party: PartyId);
+
+    /// Runs until quiescence or until `max_steps` deliveries.
+    fn run(&mut self, max_steps: u64) -> RunReport;
+
+    /// The first output of `party` in `session`, if recorded.
+    fn output(&self, party: PartyId, session: &SessionId) -> Option<&Payload>;
+
+    /// Snapshot of the run metrics so far.
+    fn metrics(&self) -> Metrics;
+
+    /// The backend's name (`"sim"`, `"threaded"`, …) for reports.
+    fn backend_name(&self) -> &'static str;
+}
+
+/// Convenience methods available on every [`Runtime`] (including trait
+/// objects).
+pub trait RuntimeExt: Runtime {
+    /// Typed convenience over [`Runtime::output`].
+    fn output_as<T: 'static>(&self, party: PartyId, session: &SessionId) -> Option<&T> {
+        self.output(party, session)
+            .and_then(|p| p.downcast_ref::<T>())
+    }
+
+    /// Runs with an effectively unlimited step budget.
+    fn run_to_quiescence(&mut self) -> RunReport {
+        self.run(u64::MAX)
+    }
+}
+
+impl<R: Runtime + ?Sized> RuntimeExt for R {}
+
+/// Builds a boxed runtime by name — the experiment-sweep counterpart of
+/// [`scheduler_by_name`](crate::scheduler_by_name).
+///
+/// Supported names:
+///
+/// * `"sim"` — deterministic simulator with the random scheduler;
+/// * `"sim:<scheduler>"` — simulator with any
+///   [`scheduler_by_name`](crate::scheduler_by_name) scheduler
+///   (e.g. `"sim:lifo"`, `"sim:window8"`, `"sim:starve:1,3"`);
+/// * `"threaded"` — OS-thread runtime with the default poll interval;
+/// * `"threaded:<millis>"` — OS-thread runtime with an explicit idle-poll
+///   interval in milliseconds.
+///
+/// # Examples
+///
+/// ```
+/// use aft_sim::{runtime_by_name, NetConfig};
+/// let config = NetConfig::new(4, 1, 1);
+/// assert_eq!(runtime_by_name("sim", config).unwrap().backend_name(), "sim");
+/// assert_eq!(runtime_by_name("threaded", config).unwrap().backend_name(), "threaded");
+/// assert!(runtime_by_name("sim:window8", config).is_some());
+/// assert!(runtime_by_name("hovercraft", config).is_none());
+/// ```
+pub fn runtime_by_name(name: &str, config: NetConfig) -> Option<Box<dyn Runtime>> {
+    use crate::network::SimNetwork;
+    use crate::threaded::ThreadedRuntime;
+    if name == "sim" {
+        return Some(Box::new(SimNetwork::new(
+            config,
+            Box::new(crate::scheduler::RandomScheduler),
+        )));
+    }
+    if let Some(sched) = name.strip_prefix("sim:") {
+        return Some(Box::new(SimNetwork::new(
+            config,
+            crate::scheduler_by_name(sched)?,
+        )));
+    }
+    if name == "threaded" {
+        return Some(Box::new(ThreadedRuntime::new(config)));
+    }
+    if let Some(ms) = name.strip_prefix("threaded:") {
+        let ms: u64 = ms.parse().ok()?;
+        return Some(Box::new(ThreadedRuntime::with_poll(
+            config,
+            std::time::Duration::from_millis(ms.max(1)),
+        )));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SessionTag;
+    use crate::instance::Context;
+
+    #[test]
+    fn metrics_interned_kind_counting() {
+        let mut m = Metrics::default();
+        let a = SessionId::root().child(SessionTag::new("a", 0));
+        let b = SessionId::root().child(SessionTag::new("b", 0));
+        for _ in 0..5 {
+            m.on_sent(&a);
+        }
+        m.on_sent(&b);
+        m.on_sent(&a);
+        assert_eq!(m.sent, 7);
+        assert_eq!(m.sent_by_kind("a"), 6);
+        assert_eq!(m.sent_by_kind("b"), 1);
+        assert_eq!(m.sent_by_kind("zzz"), 0);
+        assert_eq!(m.kinds().count(), 2);
+    }
+
+    #[test]
+    fn metrics_merge_accumulates() {
+        let a_sid = SessionId::root().child(SessionTag::new("a", 0));
+        let b_sid = SessionId::root().child(SessionTag::new("b", 0));
+        let mut x = Metrics::default();
+        x.on_sent(&a_sid);
+        x.delivered = 3;
+        let mut y = Metrics::default();
+        y.on_sent(&a_sid);
+        y.on_sent(&b_sid);
+        y.dropped_crashed = 2;
+        x.merge(&y);
+        assert_eq!(x.sent, 3);
+        assert_eq!(x.delivered, 3);
+        assert_eq!(x.dropped_crashed, 2);
+        assert_eq!(x.sent_by_kind("a"), 2);
+        assert_eq!(x.sent_by_kind("b"), 1);
+    }
+
+    #[test]
+    fn node_rng_is_per_party_and_per_seed() {
+        use rand::Rng;
+        let draw = |seed, p| -> u64 { node_rng(seed, p).gen() };
+        assert_eq!(draw(1, 0), draw(1, 0));
+        assert_ne!(draw(1, 0), draw(1, 1));
+        assert_ne!(draw(1, 0), draw(2, 0));
+    }
+
+    #[test]
+    fn deliver_counted_accounts_for_crash_shun_delivery() {
+        struct Shunner;
+        impl Instance for Shunner {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.shun(PartyId(2));
+            }
+            fn on_message(&mut self, _f: PartyId, _p: &Payload, _c: &mut Context<'_>) {}
+        }
+        let config = NetConfig::new(4, 1, 0);
+        let mut node = build_node(&config, 1);
+        let mut metrics = Metrics::default();
+        let mut out = Vec::new();
+        let sid = SessionId::root().child(SessionTag::new("x", 0));
+        let other = SessionId::root().child(SessionTag::new("y", 0));
+
+        node.spawn(sid.clone(), Box::new(Shunner));
+        assert_eq!(node.shun_event_count(), 1);
+
+        // Shunned sender outside the shun invocation: dropped_shunned.
+        deliver_counted(
+            &mut node,
+            PartyId(2),
+            other.clone(),
+            Payload::new(1u8),
+            &mut out,
+            &mut metrics,
+        );
+        assert_eq!(metrics.dropped_shunned, 1);
+
+        // Ordinary delivery.
+        deliver_counted(
+            &mut node,
+            PartyId(3),
+            sid.clone(),
+            Payload::new(1u8),
+            &mut out,
+            &mut metrics,
+        );
+        assert_eq!(metrics.delivered, 1);
+
+        // Crashed receiver.
+        node.crash();
+        deliver_counted(
+            &mut node,
+            PartyId(3),
+            sid,
+            Payload::new(1u8),
+            &mut out,
+            &mut metrics,
+        );
+        assert_eq!(metrics.dropped_crashed, 1);
+        assert_eq!(metrics.steps, 3);
+    }
+
+    #[test]
+    fn runtime_by_name_rejects_garbage() {
+        let config = NetConfig::new(4, 1, 0);
+        assert!(runtime_by_name("sim:bogus", config).is_none());
+        assert!(runtime_by_name("threaded:abc", config).is_none());
+        assert!(runtime_by_name("", config).is_none());
+    }
+}

@@ -2,26 +2,33 @@
 //!
 //! The asynchronous model lets the adversary delay any message by an
 //! arbitrary *finite* amount. A [`Scheduler`] is exactly that power: it
-//! picks which in-flight envelope is delivered next. Every scheduler here
+//! picks which in-flight message is delivered next. Every scheduler here
 //! is *fair* — no message is deferred forever — which is the hypothesis of
 //! the paper's almost-sure-termination claims. The aging cap in
 //! [`SchedulerConfig::max_age`] enforces fairness even for adversarial
 //! policies.
+//!
+//! Schedulers see only the arrival-ordered [`MsgMeta`] view of the
+//! in-flight queue ([`Pending`]) — endpoints, sequence numbers, ages and
+//! session kinds — never payloads, which keeps the delivery hot path free
+//! of envelope copies.
 
-use crate::network::Envelope;
+use crate::ids::PartyId;
+use crate::queue::Pending;
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use std::collections::HashSet;
 
-use crate::ids::PartyId;
+#[allow(unused_imports)] // doc links
+use crate::queue::MsgMeta;
 
-/// Picks the next envelope to deliver from the pending set.
+/// Picks the next message to deliver from the pending set.
 ///
-/// `pending` is never empty when `pick` is called. The returned index must
-/// be `< pending.len()`.
+/// `pending` is never empty when `pick` is called. The returned index is
+/// an arrival-order position and must be `< pending.len()`.
 pub trait Scheduler: Send {
-    /// Chooses the index of the next envelope to deliver.
-    fn pick(&mut self, pending: &[Envelope], rng: &mut ChaCha12Rng) -> usize;
+    /// Chooses the arrival-order index of the next message to deliver.
+    fn pick(&mut self, pending: &Pending, rng: &mut ChaCha12Rng) -> usize;
 
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str {
@@ -35,7 +42,7 @@ pub trait Scheduler: Send {
 pub struct FifoScheduler;
 
 impl Scheduler for FifoScheduler {
-    fn pick(&mut self, _pending: &[Envelope], _rng: &mut ChaCha12Rng) -> usize {
+    fn pick(&mut self, _pending: &Pending, _rng: &mut ChaCha12Rng) -> usize {
         0
     }
     fn name(&self) -> &'static str {
@@ -49,7 +56,7 @@ impl Scheduler for FifoScheduler {
 pub struct RandomScheduler;
 
 impl Scheduler for RandomScheduler {
-    fn pick(&mut self, pending: &[Envelope], rng: &mut ChaCha12Rng) -> usize {
+    fn pick(&mut self, pending: &Pending, rng: &mut ChaCha12Rng) -> usize {
         rng.gen_range(0..pending.len())
     }
     fn name(&self) -> &'static str {
@@ -65,6 +72,8 @@ impl Scheduler for RandomScheduler {
 #[derive(Debug, Clone)]
 pub struct StarveScheduler {
     victims: HashSet<PartyId>,
+    /// Scratch buffer of non-victim indices, reused across picks.
+    clean: Vec<usize>,
 }
 
 impl StarveScheduler {
@@ -72,26 +81,23 @@ impl StarveScheduler {
     pub fn new<I: IntoIterator<Item = PartyId>>(victims: I) -> Self {
         StarveScheduler {
             victims: victims.into_iter().collect(),
+            clean: Vec::new(),
         }
-    }
-
-    fn touches_victim(&self, e: &Envelope) -> bool {
-        self.victims.contains(&e.from) || self.victims.contains(&e.to)
     }
 }
 
 impl Scheduler for StarveScheduler {
-    fn pick(&mut self, pending: &[Envelope], rng: &mut ChaCha12Rng) -> usize {
-        let clean: Vec<usize> = pending
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !self.touches_victim(e))
-            .map(|(i, _)| i)
-            .collect();
-        if clean.is_empty() {
+    fn pick(&mut self, pending: &Pending, rng: &mut ChaCha12Rng) -> usize {
+        self.clean.clear();
+        for (i, m) in pending.metas().iter().enumerate() {
+            if !self.victims.contains(&m.from) && !self.victims.contains(&m.to) {
+                self.clean.push(i);
+            }
+        }
+        if self.clean.is_empty() {
             rng.gen_range(0..pending.len())
         } else {
-            clean[rng.gen_range(0..clean.len())]
+            self.clean[rng.gen_range(0..self.clean.len())]
         }
     }
     fn name(&self) -> &'static str {
@@ -120,9 +126,8 @@ impl WindowScheduler {
 }
 
 impl Scheduler for WindowScheduler {
-    fn pick(&mut self, pending: &[Envelope], rng: &mut ChaCha12Rng) -> usize {
-        // Pending is kept in arrival order by the network, so the first
-        // `window` entries are the oldest.
+    fn pick(&mut self, pending: &Pending, rng: &mut ChaCha12Rng) -> usize {
+        // Arrival order means the first `window` entries are the oldest.
         let lim = self.window.min(pending.len());
         rng.gen_range(0..lim)
     }
@@ -139,7 +144,7 @@ impl Scheduler for WindowScheduler {
 pub struct LifoScheduler;
 
 impl Scheduler for LifoScheduler {
-    fn pick(&mut self, pending: &[Envelope], _rng: &mut ChaCha12Rng) -> usize {
+    fn pick(&mut self, pending: &Pending, _rng: &mut ChaCha12Rng) -> usize {
         pending.len() - 1
     }
     fn name(&self) -> &'static str {
@@ -168,18 +173,23 @@ impl Default for SchedulerConfig {
 mod tests {
     use super::*;
     use crate::ids::{SessionId, SessionTag};
+    use crate::network::Envelope;
     use crate::payload::Payload;
     use rand::SeedableRng;
 
-    fn env(from: usize, to: usize, seq: u64) -> Envelope {
-        Envelope {
-            from: PartyId(from),
-            to: PartyId(to),
-            session: SessionId::root().child(SessionTag::new("x", 0)),
-            payload: Payload::new(0u8),
-            seq,
-            born_step: 0,
+    fn pending(entries: &[(usize, usize)]) -> Pending {
+        let mut q = Pending::new();
+        for (seq, &(from, to)) in entries.iter().enumerate() {
+            q.push(Envelope {
+                from: PartyId(from),
+                to: PartyId(to),
+                session: SessionId::root().child(SessionTag::new("x", 0)),
+                payload: Payload::new(0u8),
+                seq: seq as u64,
+                born_step: 0,
+            });
         }
+        q
     }
 
     fn rng() -> ChaCha12Rng {
@@ -188,32 +198,32 @@ mod tests {
 
     #[test]
     fn fifo_picks_first_lifo_picks_last() {
-        let pending = vec![env(0, 1, 0), env(1, 2, 1), env(2, 3, 2)];
+        let q = pending(&[(0, 1), (1, 2), (2, 3)]);
         let mut r = rng();
-        assert_eq!(FifoScheduler.pick(&pending, &mut r), 0);
-        assert_eq!(LifoScheduler.pick(&pending, &mut r), 2);
+        assert_eq!(FifoScheduler.pick(&q, &mut r), 0);
+        assert_eq!(LifoScheduler.pick(&q, &mut r), 2);
     }
 
     #[test]
     fn random_stays_in_bounds() {
-        let pending = vec![env(0, 1, 0), env(1, 2, 1)];
+        let q = pending(&[(0, 1), (1, 2)]);
         let mut r = rng();
         let mut s = RandomScheduler;
         for _ in 0..100 {
-            assert!(s.pick(&pending, &mut r) < pending.len());
+            assert!(s.pick(&q, &mut r) < q.len());
         }
     }
 
     #[test]
     fn starve_avoids_victims_when_possible() {
         let mut s = StarveScheduler::new([PartyId(1)]);
-        let pending = vec![env(1, 2, 0), env(0, 2, 1), env(2, 1, 2)];
+        let q = pending(&[(1, 2), (0, 2), (2, 1)]);
         let mut r = rng();
         for _ in 0..50 {
-            assert_eq!(s.pick(&pending, &mut r), 1, "only index 1 avoids P1");
+            assert_eq!(s.pick(&q, &mut r), 1, "only index 1 avoids P1");
         }
         // When everything touches a victim, still picks something valid.
-        let all_victim = vec![env(1, 2, 0), env(2, 1, 2)];
+        let all_victim = pending(&[(1, 2), (2, 1)]);
         for _ in 0..50 {
             assert!(s.pick(&all_victim, &mut r) < 2);
         }
@@ -221,11 +231,11 @@ mod tests {
 
     #[test]
     fn window_respects_window() {
-        let pending = vec![env(0, 1, 0), env(1, 2, 1), env(2, 3, 2), env(3, 0, 3)];
+        let q = pending(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
         let mut r = rng();
         let mut s = WindowScheduler::new(2);
         for _ in 0..100 {
-            assert!(s.pick(&pending, &mut r) < 2);
+            assert!(s.pick(&q, &mut r) < 2);
         }
     }
 

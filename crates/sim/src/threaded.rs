@@ -1,17 +1,23 @@
-//! A threaded runtime: the same [`Instance`] protocol code running over
+//! The threaded runtime: the same [`Instance`] protocol code running over
 //! real OS threads and channels instead of the deterministic simulator.
 //!
 //! Each party is one thread owning its [`Node`]; links are unbounded
-//! crossbeam channels; delivery order is whatever the OS scheduler
-//! produces — a genuinely asynchronous (if benign) network. The runtime
-//! exists to demonstrate that the protocol implementations are not
-//! simulator-bound; quantitative experiments use [`SimNetwork`] for
-//! determinism and adversarial scheduling.
+//! channels; delivery order is whatever the OS scheduler produces — a
+//! genuinely asynchronous (if benign) network. The runtime exists to
+//! demonstrate that the protocol implementations are not simulator-bound;
+//! quantitative experiments use [`SimNetwork`] for determinism and
+//! adversarial scheduling.
+//!
+//! [`ThreadedRuntime`] implements [`Runtime`], so deployments written
+//! against the trait run identically here and on the simulator. Messages
+//! route through the same [`Node`] dispatch core as the simulator
+//! (shunning, crash handling and metric accounting included); what differs
+//! is only who chooses the delivery order.
 //!
 //! Termination uses a global in-flight counter: every send increments it,
-//! every completed delivery decrements it; when it reaches zero there are
-//! no messages anywhere (channels are empty and no handler is running), so
-//! all threads exit.
+//! every completed delivery decrements it; once every party finished its
+//! spawn phase and the counter reads zero there are no messages anywhere
+//! (channels are empty and no handler is running), so all threads exit.
 //!
 //! [`SimNetwork`]: crate::SimNetwork
 
@@ -19,11 +25,12 @@ use crate::ids::{PartyId, SessionId};
 use crate::instance::Instance;
 use crate::node::{Node, Outgoing};
 use crate::payload::Payload;
+use crate::runtime::{
+    build_node, deliver_counted, Metrics, NetConfig, RunReport, Runtime, StopReason,
+};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -36,7 +43,319 @@ struct Wire {
 /// Per-party outputs of a threaded run.
 pub type ThreadedOutputs = Vec<HashMap<SessionId, Payload>>;
 
-/// Runs one protocol deployment over OS threads.
+/// One worker's episode result: its session outputs plus thread-local
+/// metrics.
+type WorkerResult = (HashMap<SessionId, Payload>, Metrics);
+
+/// Shared bookkeeping for one threaded episode.
+struct EpisodeState {
+    in_flight: AtomicI64,
+    /// Workers that completed their spawn phase (quiescence requires all).
+    started: AtomicUsize,
+    /// Total deliveries across all workers, for the step budget.
+    steps: AtomicU64,
+    limit_hit: AtomicBool,
+    /// Set when a worker panics: a dead worker never decrements
+    /// `in_flight`, so without this flag the survivors would wait for
+    /// quiescence forever instead of letting the panic propagate.
+    poisoned: AtomicBool,
+    max_steps: u64,
+}
+
+/// Unwind guard: marks the episode poisoned if its worker dies before
+/// reaching the normal exit (i.e. unwinds through a protocol panic).
+struct PoisonOnUnwind {
+    state: Arc<EpisodeState>,
+    disarmed: bool,
+}
+
+impl Drop for PoisonOnUnwind {
+    fn drop(&mut self) {
+        if !self.disarmed {
+            self.state.poisoned.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+fn dispatch(
+    from: PartyId,
+    out: &mut Vec<Outgoing>,
+    senders: &[Sender<Wire>],
+    state: &EpisodeState,
+    metrics: &mut Metrics,
+) {
+    for o in out.drain(..) {
+        metrics.on_sent(&o.session);
+        state.in_flight.fetch_add(1, Ordering::SeqCst);
+        // Receiver may only disappear after quiescence; ignore failures.
+        let _ = senders[o.to.0].send(Wire {
+            from,
+            session: o.session,
+            payload: o.payload,
+        });
+    }
+}
+
+/// Runs one episode: every party's thread spawns its instances, processes
+/// messages to quiescence (or the step budget), and returns its outputs
+/// and thread-local metrics.
+fn run_episode(
+    config: &NetConfig,
+    poll: Duration,
+    spawns: Vec<Vec<(SessionId, Box<dyn Instance>)>>,
+    crashed: &[bool],
+    max_steps: u64,
+) -> (Vec<WorkerResult>, StopReason) {
+    let n = config.n;
+    assert_eq!(spawns.len(), n, "one spawn list per party");
+
+    let mut senders: Vec<Sender<Wire>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Wire>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let state = Arc::new(EpisodeState {
+        in_flight: AtomicI64::new(0),
+        started: AtomicUsize::new(0),
+        steps: AtomicU64::new(0),
+        limit_hit: AtomicBool::new(false),
+        poisoned: AtomicBool::new(false),
+        max_steps,
+    });
+
+    let results = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (p, instances) in spawns.into_iter().enumerate() {
+            let me = PartyId(p);
+            let rx = receivers[p].clone();
+            let senders = senders.clone();
+            let state = Arc::clone(&state);
+            let start_crashed = crashed[p];
+            handles.push(scope.spawn(move || {
+                let mut guard = PoisonOnUnwind {
+                    state: Arc::clone(&state),
+                    disarmed: false,
+                };
+                let mut metrics = Metrics::default();
+                let mut node: Node = build_node(config, p);
+                if start_crashed {
+                    node.crash();
+                }
+                let mut out = Vec::new();
+                for (session, instance) in instances {
+                    out = node.spawn(session, instance);
+                    dispatch(me, &mut out, &senders, &state, &mut metrics);
+                }
+                state.started.fetch_add(1, Ordering::SeqCst);
+                loop {
+                    // A dead worker never drains its queue or decrements
+                    // `in_flight`; stop waiting and let its panic surface.
+                    if state.poisoned.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match rx.recv_timeout(poll) {
+                        Ok(wire) => {
+                            if state.steps.fetch_add(1, Ordering::SeqCst) >= state.max_steps {
+                                // Budget exhausted: drain without
+                                // processing so the system still quiesces.
+                                state.limit_hit.store(true, Ordering::SeqCst);
+                                state.in_flight.fetch_sub(1, Ordering::SeqCst);
+                                continue;
+                            }
+                            deliver_counted(
+                                &mut node,
+                                wire.from,
+                                wire.session,
+                                wire.payload,
+                                &mut out,
+                                &mut metrics,
+                            );
+                            dispatch(me, &mut out, &senders, &state, &mut metrics);
+                            state.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        Err(_) => {
+                            // Idle: once every party spawned and nothing is
+                            // in flight anywhere, the system is quiescent.
+                            if state.started.load(Ordering::SeqCst) == n
+                                && state.in_flight.load(Ordering::SeqCst) == 0
+                            {
+                                break;
+                            }
+                        }
+                    }
+                }
+                guard.disarmed = true;
+                let outputs: HashMap<SessionId, Payload> = node
+                    .outputs()
+                    .map(|(s, v)| (s.clone(), v.clone()))
+                    .collect();
+                (outputs, metrics)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    let stop = if state.limit_hit.load(Ordering::SeqCst) {
+        StopReason::StepLimit
+    } else {
+        StopReason::Quiescent
+    };
+    (results, stop)
+}
+
+/// The OS-thread execution backend.
+///
+/// Spawns are buffered; [`run`](Runtime::run) executes one episode — every
+/// party's thread starts its buffered instances, messages flow until the
+/// system is quiescent (or the step budget is hit), and outputs plus
+/// merged metrics become readable. Parties [`crash`](Runtime::crash)ed
+/// before `run` start crashed: they never process or send.
+///
+/// Compared to [`SimNetwork`], delivery order is real OS nondeterminism:
+/// there is no scheduler to choose, no delivery trace, and `crash_at`
+/// (step-indexed crashes) does not exist because wall-clock runs have no
+/// global step counter a protocol could agree on. Per-party RNGs still
+/// derive from `config.seed`, so protocol-local randomness matches the
+/// simulator's for the same seed.
+///
+/// A later `spawn` + `run` starts a *fresh episode* with fresh node state
+/// (sessions do not persist across episodes); outputs and metrics
+/// accumulate across episodes.
+///
+/// [`SimNetwork`]: crate::SimNetwork
+///
+/// # Examples
+///
+/// ```
+/// use aft_sim::{Context, Instance, NetConfig, PartyId, Payload, Runtime, RuntimeExt,
+///               SessionId, SessionTag, ThreadedRuntime};
+///
+/// struct Hello { heard: usize }
+/// impl Instance for Hello {
+///     fn on_start(&mut self, ctx: &mut Context<'_>) { ctx.send_all(1u8); }
+///     fn on_message(&mut self, _f: PartyId, _p: &Payload, ctx: &mut Context<'_>) {
+///         self.heard += 1;
+///         if self.heard == ctx.n() { ctx.output(self.heard); }
+///     }
+/// }
+///
+/// let sid = SessionId::root().child(SessionTag::new("hello", 0));
+/// let mut rt = ThreadedRuntime::new(NetConfig::new(4, 1, 7));
+/// for p in 0..4 {
+///     rt.spawn(PartyId(p), sid.clone(), Box::new(Hello { heard: 0 }));
+/// }
+/// let report = rt.run(1_000_000);
+/// assert_eq!(report.stop, aft_sim::StopReason::Quiescent);
+/// for p in 0..4 {
+///     assert_eq!(rt.output_as::<usize>(PartyId(p), &sid), Some(&4));
+/// }
+/// ```
+pub struct ThreadedRuntime {
+    config: NetConfig,
+    poll: Duration,
+    spawns: Vec<Vec<(SessionId, Box<dyn Instance>)>>,
+    crashed: Vec<bool>,
+    outputs: ThreadedOutputs,
+    metrics: Metrics,
+}
+
+impl ThreadedRuntime {
+    /// Default idle-poll interval for quiescence detection.
+    pub const DEFAULT_POLL: Duration = Duration::from_millis(2);
+
+    /// Creates a threaded runtime with the default poll interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n < 3t + 1` (the resilience bound assumed by
+    /// every protocol in this workspace).
+    pub fn new(config: NetConfig) -> Self {
+        Self::with_poll(config, Self::DEFAULT_POLL)
+    }
+
+    /// Creates a threaded runtime with an explicit idle-poll interval.
+    ///
+    /// # Panics
+    ///
+    /// See [`ThreadedRuntime::new`].
+    pub fn with_poll(config: NetConfig, poll: Duration) -> Self {
+        assert!(config.n > 0, "need at least one party");
+        assert!(
+            config.n > 3 * config.t,
+            "optimal resilience requires n >= 3t + 1 (n={}, t={})",
+            config.n,
+            config.t
+        );
+        ThreadedRuntime {
+            config,
+            poll,
+            spawns: (0..config.n).map(|_| Vec::new()).collect(),
+            crashed: vec![false; config.n],
+            outputs: (0..config.n).map(|_| HashMap::new()).collect(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// All recorded outputs per party (accumulated across episodes).
+    pub fn outputs(&self) -> &ThreadedOutputs {
+        &self.outputs
+    }
+}
+
+impl Runtime for ThreadedRuntime {
+    fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    fn spawn(&mut self, party: PartyId, session: SessionId, instance: Box<dyn Instance>) {
+        self.spawns[party.0].push((session, instance));
+    }
+
+    fn crash(&mut self, party: PartyId) {
+        self.crashed[party.0] = true;
+    }
+
+    fn run(&mut self, max_steps: u64) -> RunReport {
+        let spawns = std::mem::replace(
+            &mut self.spawns,
+            (0..self.config.n).map(|_| Vec::new()).collect(),
+        );
+        let (results, stop) =
+            run_episode(&self.config, self.poll, spawns, &self.crashed, max_steps);
+        for (p, (outputs, metrics)) in results.into_iter().enumerate() {
+            self.metrics.merge(&metrics);
+            for (session, value) in outputs {
+                // First output wins, matching Node semantics.
+                self.outputs[p].entry(session).or_insert(value);
+            }
+        }
+        RunReport {
+            stop,
+            steps: self.metrics.steps,
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    fn output(&self, party: PartyId, session: &SessionId) -> Option<&Payload> {
+        self.outputs[party.0].get(session)
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.metrics.clone()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "threaded"
+    }
+}
+
+/// Runs one protocol deployment over OS threads (function-style shorthand
+/// for [`ThreadedRuntime`]).
 ///
 /// `spawns[p]` lists the `(session, instance)` pairs party `p` starts
 /// with. The function returns when the system is quiescent (no in-flight
@@ -48,8 +367,8 @@ pub type ThreadedOutputs = Vec<HashMap<SessionId, Payload>>;
 ///
 /// # Panics
 ///
-/// Panics if `n == 0`, if `spawns.len() != n`, or if a worker thread
-/// panics (protocol assertion failures propagate).
+/// Panics if `n == 0`, `n < 3t + 1`, if `spawns.len() != n`, or if a
+/// worker thread panics (protocol assertion failures propagate).
 pub fn run_threaded(
     n: usize,
     t: usize,
@@ -57,76 +376,15 @@ pub fn run_threaded(
     spawns: Vec<Vec<(SessionId, Box<dyn Instance>)>>,
     poll: Duration,
 ) -> ThreadedOutputs {
-    assert!(n > 0, "need at least one party");
     assert_eq!(spawns.len(), n, "one spawn list per party");
-
-    let mut senders: Vec<Sender<Wire>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Receiver<Wire>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(rx);
+    let mut rt = ThreadedRuntime::with_poll(NetConfig::new(n, t, seed), poll);
+    for (p, instances) in spawns.into_iter().enumerate() {
+        for (session, instance) in instances {
+            rt.spawn(PartyId(p), session, instance);
+        }
     }
-    let in_flight = Arc::new(AtomicI64::new(0));
-
-    let dispatch = |from: PartyId,
-                    out: Vec<Outgoing>,
-                    senders: &[Sender<Wire>],
-                    in_flight: &AtomicI64| {
-        for o in out {
-            in_flight.fetch_add(1, Ordering::SeqCst);
-            // Receiver may only disappear after quiescence; ignore failures.
-            let _ = senders[o.to.0].send(Wire {
-                from,
-                session: o.session,
-                payload: o.payload,
-            });
-        }
-    };
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n);
-        for (p, instances) in spawns.into_iter().enumerate() {
-            let me = PartyId(p);
-            let rx = receivers[p].clone();
-            let senders = senders.clone();
-            let in_flight = Arc::clone(&in_flight);
-            handles.push(scope.spawn(move || {
-                let rng = ChaCha12Rng::seed_from_u64(
-                    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(p as u64),
-                );
-                let mut node = Node::new(me, n, t, rng);
-                for (session, instance) in instances {
-                    let out = node.spawn(session, instance);
-                    dispatch(me, out, &senders, &in_flight);
-                }
-                loop {
-                    match rx.recv_timeout(poll) {
-                        Ok(wire) => {
-                            let mut out = Vec::new();
-                            node.deliver(wire.from, wire.session, wire.payload, &mut out);
-                            dispatch(me, out, &senders, &in_flight);
-                            in_flight.fetch_sub(1, Ordering::SeqCst);
-                        }
-                        Err(_) => {
-                            // Idle: if nothing is in flight anywhere, the
-                            // system is quiescent.
-                            if in_flight.load(Ordering::SeqCst) == 0 {
-                                break;
-                            }
-                        }
-                    }
-                }
-                node.outputs()
-                    .map(|(s, v)| (s.clone(), v.clone()))
-                    .collect::<HashMap<_, _>>()
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
+    rt.run(u64::MAX);
+    rt.outputs
 }
 
 #[cfg(test)]
@@ -134,6 +392,7 @@ mod tests {
     use super::*;
     use crate::ids::SessionTag;
     use crate::instance::Context;
+    use crate::runtime::RuntimeExt;
 
     fn sid() -> SessionId {
         SessionId::root().child(SessionTag::new("t", 0))
@@ -159,12 +418,7 @@ mod tests {
     fn hello_over_threads() {
         let n = 4;
         let spawns: Vec<Vec<(SessionId, Box<dyn Instance>)>> = (0..n)
-            .map(|_| {
-                vec![(
-                    sid(),
-                    Box::new(Hello { heard: 0 }) as Box<dyn Instance>,
-                )]
-            })
+            .map(|_| vec![(sid(), Box::new(Hello { heard: 0 }) as Box<dyn Instance>)])
             .collect();
         let outputs = run_threaded(n, 1, 7, spawns, Duration::from_millis(5));
         for (p, out) in outputs.iter().enumerate() {
@@ -233,5 +487,107 @@ mod tests {
             .filter_map(|v| v.downcast_ref::<u32>())
             .sum();
         assert!(total > 0, "someone must have caught the last ball");
+    }
+
+    #[test]
+    fn runtime_metrics_account_for_messages() {
+        let mut rt = ThreadedRuntime::new(NetConfig::new(4, 1, 5));
+        for p in 0..4 {
+            rt.spawn(PartyId(p), sid(), Box::new(Hello { heard: 0 }));
+        }
+        let report = rt.run(u64::MAX);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        // 4 parties broadcast once to 4 destinations each.
+        assert_eq!(report.metrics.sent, 16);
+        assert_eq!(report.metrics.delivered, 16);
+        assert_eq!(report.metrics.sent_by_kind("t"), 16);
+        assert_eq!(report.metrics.steps, 16);
+    }
+
+    #[test]
+    fn crashed_party_is_inert_and_counted() {
+        let mut rt = ThreadedRuntime::new(NetConfig::new(4, 1, 5));
+        for p in 0..4 {
+            rt.spawn(PartyId(p), sid(), Box::new(Hello { heard: 0 }));
+        }
+        rt.crash(PartyId(3));
+        let report = rt.run(u64::MAX);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        // The crashed party neither sends nor outputs; others hear only 3
+        // greetings so they never output either — but the system quiesces.
+        assert!(rt.output(PartyId(3), &sid()).is_none());
+        assert_eq!(report.metrics.sent, 12, "three live broadcasters");
+        assert_eq!(report.metrics.dropped_crashed, 3, "deliveries to P3");
+    }
+
+    #[test]
+    fn step_limit_stops_runaway() {
+        /// Endless self-ping.
+        struct Forever;
+        impl Instance for Forever {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let me = ctx.me();
+                ctx.send(me, 0u8);
+            }
+            fn on_message(&mut self, _f: PartyId, _p: &Payload, ctx: &mut Context<'_>) {
+                let me = ctx.me();
+                ctx.send(me, 0u8);
+            }
+        }
+        let mut rt = ThreadedRuntime::new(NetConfig::new(4, 1, 1));
+        rt.spawn(PartyId(0), sid(), Box::new(Forever));
+        let report = rt.run(500);
+        assert_eq!(report.stop, StopReason::StepLimit);
+        assert!(report.metrics.steps <= 501, "{}", report.metrics.steps);
+    }
+
+    #[test]
+    fn runtime_trait_object_works() {
+        let mut rt: Box<dyn Runtime> = Box::new(ThreadedRuntime::new(NetConfig::new(4, 1, 9)));
+        for p in 0..4 {
+            rt.spawn(PartyId(p), sid(), Box::new(Hello { heard: 0 }));
+        }
+        let report = rt.run(u64::MAX);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        assert_eq!(rt.backend_name(), "threaded");
+        for p in 0..4 {
+            assert_eq!(rt.output_as::<usize>(PartyId(p), &sid()), Some(&4));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "optimal resilience")]
+    fn rejects_insufficient_n() {
+        let _ = ThreadedRuntime::new(NetConfig::new(3, 1, 0));
+    }
+
+    /// A protocol panic in ONE worker must propagate out of `run` instead
+    /// of deadlocking the surviving workers (which would otherwise wait
+    /// forever for the dead worker's in-flight count to drain).
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn single_worker_panic_propagates_instead_of_deadlocking() {
+        struct Poker;
+        impl Instance for Poker {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send(PartyId(3), 1u8);
+            }
+            fn on_message(&mut self, _f: PartyId, _p: &Payload, _c: &mut Context<'_>) {}
+        }
+        struct Bomb;
+        impl Instance for Bomb {
+            fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+            fn on_message(&mut self, _f: PartyId, _p: &Payload, _c: &mut Context<'_>) {
+                panic!("protocol invariant violated");
+            }
+        }
+        let mut rt = ThreadedRuntime::new(NetConfig::new(4, 1, 1));
+        rt.spawn(PartyId(0), sid(), Box::new(Poker));
+        rt.spawn(PartyId(3), sid(), Box::new(Bomb));
+        // Keep the other parties listening so they would spin forever if
+        // the poison flag did not release them.
+        rt.spawn(PartyId(1), sid(), Box::new(Hello { heard: 0 }));
+        rt.spawn(PartyId(2), sid(), Box::new(Hello { heard: 0 }));
+        rt.run(u64::MAX);
     }
 }

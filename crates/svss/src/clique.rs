@@ -112,10 +112,7 @@ mod tests {
     #[test]
     fn prefers_smaller_ids_even_when_larger_clique_elsewhere() {
         // K4 on {2,3,4,5}, edge {0,1}: target 2 must return {0,1}.
-        let adj = graph(
-            6,
-            &[(0, 1), (2, 3), (2, 4), (2, 5), (3, 4), (3, 5), (4, 5)],
-        );
+        let adj = graph(6, &[(0, 1), (2, 3), (2, 4), (2, 5), (3, 4), (3, 5), (4, 5)]);
         assert_eq!(find_clique(&adj, 2), Some(vec![0, 1]));
         assert_eq!(find_clique(&adj, 4), Some(vec![2, 3, 4, 5]));
     }

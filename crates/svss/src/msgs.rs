@@ -102,7 +102,10 @@ mod tests {
             crosses: HashMap::new(),
         };
         assert!(b.in_core());
-        let b2 = ShareBundle { me: PartyId(3), ..b };
+        let b2 = ShareBundle {
+            me: PartyId(3),
+            ..b
+        };
         assert!(!b2.in_core());
     }
 }

@@ -260,7 +260,7 @@ impl Instance for SvssShare {
             }
             ShareMsg::Done => {
                 if self.dones.insert(from) {
-                    if self.dones.len() >= t + 1 && !self.done_sent {
+                    if self.dones.len() > t && !self.done_sent {
                         self.done_sent = true;
                         ctx.send_all(ShareMsg::Done);
                     }
@@ -280,8 +280,7 @@ impl Instance for SvssShare {
         let n = ctx.n();
         // Validate: exactly n − t distinct known parties.
         let mut seen = HashSet::new();
-        let valid = core.len() == n - ctx.t()
-            && core.iter().all(|&p| p < n && seen.insert(p));
+        let valid = core.len() == n - ctx.t() && core.iter().all(|&p| p < n && seen.insert(p));
         if !valid {
             return; // a faulty dealer's junk proposal: ignore forever
         }

@@ -27,7 +27,10 @@ fn run_share(
     sched: &str,
     mk: impl Fn(usize) -> Box<dyn Instance>,
 ) -> SimNetwork {
-    let mut net = SimNetwork::new(NetConfig::new(n, t, seed), scheduler_by_name(sched).unwrap());
+    let mut net = SimNetwork::new(
+        NetConfig::new(n, t, seed),
+        scheduler_by_name(sched).unwrap(),
+    );
     for p in 0..n {
         net.spawn(PartyId(p), share_sid(), mk(p));
     }
@@ -38,9 +41,16 @@ fn run_share(
 
 /// Spawns reconstruction for every party that has a bundle, using `mk_rec`
 /// to choose the instance, then runs to quiescence.
-fn run_rec(net: &mut SimNetwork, n: usize, mk_rec: impl Fn(usize, ShareBundle) -> Box<dyn Instance>) {
+fn run_rec(
+    net: &mut SimNetwork,
+    n: usize,
+    mk_rec: impl Fn(usize, ShareBundle) -> Box<dyn Instance>,
+) {
     let bundles: Vec<Option<ShareBundle>> = (0..n)
-        .map(|p| net.output_as::<ShareBundle>(PartyId(p), &share_sid()).cloned())
+        .map(|p| {
+            net.output_as::<ShareBundle>(PartyId(p), &share_sid())
+                .cloned()
+        })
         .collect();
     for (p, bundle) in bundles.into_iter().enumerate() {
         if let Some(b) = bundle {
@@ -125,7 +135,8 @@ fn silent_party_does_not_block_share_or_rec() {
         // Honest parties complete share despite t silent parties.
         for p in (t + 1)..n {
             assert!(
-                net.output_as::<ShareBundle>(PartyId(p), &share_sid()).is_some(),
+                net.output_as::<ShareBundle>(PartyId(p), &share_sid())
+                    .is_some(),
                 "n={n} p={p}"
             );
         }
@@ -297,7 +308,10 @@ fn two_faced_dealer_majority_group_binds_consistently() {
             }
         });
         let completed: Vec<usize> = (1..n)
-            .filter(|&p| net.output_as::<ShareBundle>(PartyId(p), &share_sid()).is_some())
+            .filter(|&p| {
+                net.output_as::<ShareBundle>(PartyId(p), &share_sid())
+                    .is_some()
+            })
             .collect();
         if completed.is_empty() {
             continue; // faulty dealer may stall the share phase: allowed
@@ -339,7 +353,9 @@ fn two_faced_dealer_even_split_stalls_but_quiesces() {
         }
     });
     for p in 1..n {
-        assert!(net.output_as::<ShareBundle>(PartyId(p), &share_sid()).is_none());
+        assert!(net
+            .output_as::<ShareBundle>(PartyId(p), &share_sid())
+            .is_none());
     }
 }
 
@@ -351,11 +367,17 @@ fn termination_totality_if_one_completes_all_complete() {
         for sched in ["random", "lifo", "starve:2"] {
             let net = run_share(7, 2, seed, sched, honest(3, Fp::new(50)));
             let done: Vec<bool> = (0..7)
-                .map(|p| net.output_as::<ShareBundle>(PartyId(p), &share_sid()).is_some())
+                .map(|p| {
+                    net.output_as::<ShareBundle>(PartyId(p), &share_sid())
+                        .is_some()
+                })
                 .collect();
             let any = done.iter().any(|&b| b);
             let all = done.iter().all(|&b| b);
-            assert!(!any || all, "sched={sched} seed={seed}: partial completion {done:?}");
+            assert!(
+                !any || all,
+                "sched={sched} seed={seed}: partial completion {done:?}"
+            );
         }
     }
 }
@@ -460,7 +482,10 @@ fn shun_bound_under_repeated_attacks() {
     // Run many SVSS instances with an equivocal revealer: total shun
     // events stay below n^2 because each ordered pair shuns once.
     let (n, t) = (4, 1);
-    let mut net = SimNetwork::new(NetConfig::new(n, t, 77), scheduler_by_name("random").unwrap());
+    let mut net = SimNetwork::new(
+        NetConfig::new(n, t, 77),
+        scheduler_by_name("random").unwrap(),
+    );
     let instances = 12;
     for k in 0..instances {
         let ssid = SessionId::root().child(SessionTag::new("svss-share", k));
@@ -543,6 +568,35 @@ fn dealer_byzantine_junk_core_proposal_ignored() {
         }
     });
     for p in 1..4 {
-        assert!(net.output_as::<ShareBundle>(PartyId(p), &share_sid()).is_none());
+        assert!(net
+            .output_as::<ShareBundle>(PartyId(p), &share_sid())
+            .is_none());
+    }
+}
+
+/// The identical SVSS share phase driven through the `Runtime` trait on
+/// every backend: all parties complete with consistent bundles.
+#[test]
+fn svss_share_through_runtime_trait_on_every_backend() {
+    use aft_sim::{runtime_by_name, Runtime, RuntimeExt};
+    for backend in ["sim", "threaded"] {
+        let mut rt: Box<dyn Runtime> = runtime_by_name(backend, NetConfig::new(4, 1, 41)).unwrap();
+        for p in 0..4 {
+            let inst: Box<dyn Instance> = if p == 0 {
+                Box::new(SvssShare::dealer(PartyId(0), Fp::new(77)))
+            } else {
+                Box::new(SvssShare::party(PartyId(0)))
+            };
+            rt.spawn(PartyId(p), share_sid(), inst);
+        }
+        let report = rt.run(1_000_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent, "{backend}");
+        for p in 0..4 {
+            assert!(
+                rt.output_as::<ShareBundle>(PartyId(p), &share_sid())
+                    .is_some(),
+                "{backend}: party {p} must complete the share phase"
+            );
+        }
     }
 }

@@ -42,7 +42,11 @@ fn elect(seed: u64) -> Option<String> {
     // All honest outputs agree; return party 0's.
     let out = net.output_as::<String>(PartyId(0), &sid)?.clone();
     for p in [1usize, 3] {
-        assert_eq!(net.output_as::<String>(PartyId(p), &sid), Some(&out), "agreement");
+        assert_eq!(
+            net.output_as::<String>(PartyId(p), &sid),
+            Some(&out),
+            "agreement"
+        );
     }
     Some(out)
 }

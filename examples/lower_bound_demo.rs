@@ -30,7 +30,10 @@ fn main() {
         "honest runs: every party always outputs the dealer's secret",
         r.honest_correctness == 1.0,
     );
-    check("perfect hiding: any single view independent of the secret", r.hiding_exact);
+    check(
+        "perfect hiding: any single view independent of the secret",
+        r.hiding_exact,
+    );
 
     println!("\nstep 2 — Claim 1 (equivocating dealer):");
     check(

@@ -53,9 +53,15 @@ fn main() {
         );
     }
 
-    let v0 = net.output_as::<CoinFlipOutput>(PartyId(0), &sid).unwrap().value;
+    let v0 = net
+        .output_as::<CoinFlipOutput>(PartyId(0), &sid)
+        .unwrap()
+        .value;
     let all_agree = (0..3).all(|p| {
-        net.output_as::<CoinFlipOutput>(PartyId(p), &sid).unwrap().value == v0
+        net.output_as::<CoinFlipOutput>(PartyId(p), &sid)
+            .unwrap()
+            .value
+            == v0
     });
     println!("\nall honest parties agree: {all_agree} (the STRONG coin property)");
     assert!(all_agree);

@@ -53,7 +53,10 @@ fn main() {
                     .value
             })
             .collect();
-        assert!(bits.windows(2).all(|w| w[0] == w[1]), "strong coin agreement");
+        assert!(
+            bits.windows(2).all(|w| w[0] == w[1]),
+            "strong coin agreement"
+        );
         if bits[0] {
             ones += 1;
         }

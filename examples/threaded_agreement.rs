@@ -1,15 +1,14 @@
 //! The same protocol code over real OS threads: binary Byzantine
-//! agreement with split inputs, running on crossbeam channels instead of
-//! the simulator — no schedulers, no seeds controlling delivery, just the
-//! operating system's own nondeterminism.
+//! agreement with split inputs, driven through the `Runtime` trait on the
+//! threaded backend — no schedulers, no seeds controlling delivery, just
+//! the operating system's own nondeterminism.
 //!
 //! ```sh
 //! cargo run --example threaded_agreement [rounds]
 //! ```
 
 use aft::ba::{BinaryBa, OracleCoin};
-use aft::sim::threaded::run_threaded;
-use aft::sim::{Instance, SessionId, SessionTag};
+use aft::sim::{NetConfig, PartyId, Runtime, RuntimeExt, SessionId, SessionTag, ThreadedRuntime};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -24,30 +23,32 @@ fn main() {
 
     for i in 0..iterations {
         let sid = SessionId::root().child(SessionTag::new("ba", 0));
-        let spawns: Vec<Vec<(SessionId, Box<dyn Instance>)>> = (0..n)
-            .map(|p| {
-                let inst: Box<dyn Instance> = Box::new(BinaryBa::new(
+        let mut rt =
+            ThreadedRuntime::with_poll(NetConfig::new(n, 1, i as u64), Duration::from_millis(3));
+        for p in 0..n {
+            rt.spawn(
+                PartyId(p),
+                sid.clone(),
+                Box::new(BinaryBa::new(
                     p % 2 == 0,
                     Box::new(OracleCoin::new(1000 + i as u64)),
-                ));
-                vec![(sid.clone(), inst)]
-            })
-            .collect();
+                )),
+            );
+        }
         let t0 = Instant::now();
-        let outputs = run_threaded(n, 1, i as u64, spawns, Duration::from_millis(3));
-        let decisions: Vec<bool> = outputs
-            .iter()
-            .map(|o| {
-                *o.get(&sid)
-                    .and_then(|v| v.downcast_ref::<bool>())
+        let report = rt.run(u64::MAX);
+        let decisions: Vec<bool> = (0..n)
+            .map(|p| {
+                *rt.output_as::<bool>(PartyId(p), &sid)
                     .expect("BA terminates")
             })
             .collect();
         let agreed = decisions.windows(2).all(|w| w[0] == w[1]);
         println!(
-            "  run {i:>2}: decided {} in {:>7.2?}  (agreement: {agreed})",
+            "  run {i:>2}: decided {} in {:>7.2?}  ({} deliveries, agreement: {agreed})",
             decisions[0] as u8,
-            t0.elapsed()
+            t0.elapsed(),
+            report.metrics.delivered,
         );
         assert!(agreed, "agreement must hold over real threads");
     }

@@ -12,7 +12,9 @@
 //! ```
 
 use aft::core::{CoinKind, FairChoice, FairChoiceParams};
-use aft::sim::{run_trials, NetConfig, PartyId, SessionId, SessionTag, SimNetwork, StarveScheduler};
+use aft::sim::{
+    run_trials, NetConfig, PartyId, SessionId, SessionTag, SimNetwork, StarveScheduler,
+};
 
 const M: usize = 5;
 

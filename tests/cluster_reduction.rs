@@ -68,10 +68,8 @@ fn binary_ba_eight_on_four() {
     let outer_sid = SessionId::root().child(SessionTag::new("cluster", 0));
     for outer in 0..4 {
         let factory: InnerFactory = Box::new(move |inner| {
-            let inst: Box<dyn aft::sim::Instance> = Box::new(BinaryBa::new(
-                inner % 2 == 0,
-                Box::new(OracleCoin::new(99)),
-            ));
+            let inst: Box<dyn aft::sim::Instance> =
+                Box::new(BinaryBa::new(inner % 2 == 0, Box::new(OracleCoin::new(99))));
             vec![(watched("ba"), inst)]
         });
         net.spawn(

@@ -1,0 +1,261 @@
+//! The cross-backend suite: identical protocol deployments driven through
+//! the [`Runtime`] trait on every execution backend — the deterministic
+//! simulator and the OS-thread runtime — asserting the same protocol
+//! guarantees on each. This is the parameterized successor of the old
+//! simulator-only/threaded-only stacks; backend-specific power
+//! (adversarial schedulers, traces, replay) stays in `full_stack.rs`.
+
+use aft::ba::{BinaryBa, OracleCoin};
+use aft::broadcast::Acast;
+use aft::core::{CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind};
+use aft::sim::{
+    runtime_by_name, Instance, MuteAfter, NetConfig, PartyId, Runtime, RuntimeExt, SessionId,
+    SessionTag, SilentInstance, StopReason,
+};
+
+const BACKENDS: &[&str] = &["sim", "threaded"];
+
+fn sid(kind: &'static str) -> SessionId {
+    SessionId::root().child(SessionTag::new(kind, 0))
+}
+
+/// Runs `deploy` on a fresh runtime of every backend and hands the
+/// quiescent runtime to `check`.
+fn on_every_backend(
+    config: NetConfig,
+    deploy: impl Fn(&mut dyn Runtime),
+    check: impl Fn(&str, &dyn Runtime),
+) {
+    for backend in BACKENDS {
+        let mut rt = runtime_by_name(backend, config)
+            .unwrap_or_else(|| panic!("backend {backend} must exist"));
+        deploy(rt.as_mut());
+        let report = rt.run(1_000_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent, "backend {backend}");
+        check(backend, rt.as_ref());
+    }
+}
+
+#[test]
+fn acast_agreement_on_every_backend() {
+    on_every_backend(
+        NetConfig::new(4, 1, 11),
+        |rt| {
+            for p in 0..4 {
+                let inst: Box<dyn Instance> = if p == 0 {
+                    Box::new(Acast::sender(PartyId(0), 99u64))
+                } else {
+                    Box::new(Acast::<u64>::receiver(PartyId(0)))
+                };
+                rt.spawn(PartyId(p), sid("acast"), inst);
+            }
+        },
+        |backend, rt| {
+            for p in 0..4 {
+                assert_eq!(
+                    rt.output_as::<u64>(PartyId(p), &sid("acast")),
+                    Some(&99),
+                    "backend {backend} party {p}"
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn binary_ba_agreement_on_every_backend() {
+    on_every_backend(
+        NetConfig::new(4, 1, 13),
+        |rt| {
+            for p in 0..4 {
+                rt.spawn(
+                    PartyId(p),
+                    sid("ba"),
+                    Box::new(BinaryBa::new(p % 2 == 0, Box::new(OracleCoin::new(5)))),
+                );
+            }
+        },
+        |backend, rt| {
+            let decisions: Vec<bool> = (0..4)
+                .map(|p| {
+                    *rt.output_as::<bool>(PartyId(p), &sid("ba"))
+                        .unwrap_or_else(|| panic!("backend {backend} p={p} must decide"))
+                })
+                .collect();
+            assert!(
+                decisions.windows(2).all(|w| w[0] == w[1]),
+                "backend {backend}: {decisions:?}"
+            );
+        },
+    );
+}
+
+#[test]
+fn strong_coin_agreement_on_every_backend() {
+    on_every_backend(
+        NetConfig::new(4, 1, 17),
+        |rt| {
+            for p in 0..4 {
+                rt.spawn(
+                    PartyId(p),
+                    sid("coin"),
+                    Box::new(CoinFlip::new(
+                        CoinFlipParams::FixedK { k: 1 },
+                        CoinKind::Oracle(21),
+                    )),
+                );
+            }
+        },
+        |backend, rt| {
+            let coins: Vec<bool> = (0..4)
+                .map(|p| {
+                    rt.output_as::<CoinFlipOutput>(PartyId(p), &sid("coin"))
+                        .unwrap_or_else(|| panic!("backend {backend} p={p} must terminate"))
+                        .value
+                })
+                .collect();
+            assert!(
+                coins.windows(2).all(|w| w[0] == w[1]),
+                "backend {backend}: {coins:?}"
+            );
+        },
+    );
+}
+
+/// Cross-backend equivalence: for a fixed seed set, BA must reach the
+/// *identical* decision on every backend. Unanimous honest inputs make the
+/// decision a deterministic function of the inputs (the validity property
+/// blocks Byzantine counter-votes), so nondeterministic threaded delivery
+/// must still land on the same bit as the simulator.
+#[test]
+fn ba_decisions_identical_across_backends_for_seed_set() {
+    for seed in [1u64, 2, 3, 5, 8, 13] {
+        let input = seed % 2 == 0;
+        let mut decisions = Vec::new();
+        for backend in BACKENDS {
+            let mut rt = runtime_by_name(backend, NetConfig::new(4, 1, seed)).unwrap();
+            for p in 0..4 {
+                rt.spawn(
+                    PartyId(p),
+                    sid("ba"),
+                    Box::new(BinaryBa::new(input, Box::new(OracleCoin::new(seed)))),
+                );
+            }
+            let report = rt.run(1_000_000_000);
+            assert_eq!(report.stop, StopReason::Quiescent, "{backend} seed={seed}");
+            let d = *rt
+                .output_as::<bool>(PartyId(0), &sid("ba"))
+                .unwrap_or_else(|| panic!("{backend} seed={seed} must decide"));
+            assert_eq!(d, input, "{backend} seed={seed}: validity forces the input");
+            decisions.push(d);
+        }
+        assert!(
+            decisions.windows(2).all(|w| w[0] == w[1]),
+            "seed={seed}: backends disagree: {decisions:?}"
+        );
+    }
+}
+
+/// Quiescence under a fully crashed party, on both backends: the three
+/// live parties run BA to completion; deliveries to the crashed party are
+/// dropped and counted, and the system still quiesces.
+#[test]
+fn quiescence_under_crash_on_every_backend() {
+    on_every_backend(
+        NetConfig::new(4, 1, 23),
+        |rt| {
+            for p in 0..4 {
+                rt.spawn(
+                    PartyId(p),
+                    sid("ba"),
+                    Box::new(BinaryBa::new(true, Box::new(OracleCoin::new(2)))),
+                );
+            }
+            rt.crash(PartyId(3));
+        },
+        |backend, rt| {
+            let metrics = rt.metrics();
+            assert!(
+                rt.output(PartyId(3), &sid("ba")).is_none(),
+                "backend {backend}"
+            );
+            assert!(
+                metrics.dropped_crashed > 0,
+                "backend {backend}: deliveries to the crashed party must be counted"
+            );
+            let decisions: Vec<bool> = (0..3)
+                .map(|p| {
+                    *rt.output_as::<bool>(PartyId(p), &sid("ba"))
+                        .unwrap_or_else(|| panic!("backend {backend} p={p} decides despite crash"))
+                })
+                .collect();
+            assert!(decisions.iter().all(|&d| d), "validity with unanimous true");
+        },
+    );
+}
+
+/// Quiescence under mute and mid-protocol-muted behaviors, on both
+/// backends: one party silent from the start, one going mute after a few
+/// events — honest parties still decide and the system quiesces.
+#[test]
+fn quiescence_under_mute_behaviors_on_every_backend() {
+    on_every_backend(
+        NetConfig::new(7, 2, 29),
+        |rt| {
+            for p in 0..7 {
+                let inst: Box<dyn Instance> = match p {
+                    5 => Box::new(SilentInstance),
+                    6 => Box::new(MuteAfter::new(
+                        Box::new(BinaryBa::new(true, Box::new(OracleCoin::new(3)))),
+                        10,
+                    )),
+                    _ => Box::new(BinaryBa::new(true, Box::new(OracleCoin::new(3)))),
+                };
+                rt.spawn(PartyId(p), sid("ba"), inst);
+            }
+        },
+        |backend, rt| {
+            let decisions: Vec<bool> = (0..5)
+                .map(|p| {
+                    *rt.output_as::<bool>(PartyId(p), &sid("ba"))
+                        .unwrap_or_else(|| panic!("backend {backend} p={p} decides despite mutes"))
+                })
+                .collect();
+            assert!(
+                decisions.iter().all(|&d| d),
+                "backend {backend}: {decisions:?}"
+            );
+        },
+    );
+}
+
+/// Message conservation holds on every backend:
+/// `sent = delivered + dropped_shunned + dropped_crashed` at quiescence.
+#[test]
+fn metrics_conservation_on_every_backend() {
+    on_every_backend(
+        NetConfig::new(4, 1, 31),
+        |rt| {
+            for p in 0..4 {
+                rt.spawn(
+                    PartyId(p),
+                    sid("ba"),
+                    Box::new(BinaryBa::new(p == 0, Box::new(OracleCoin::new(7)))),
+                );
+            }
+            rt.crash(PartyId(2));
+        },
+        |backend, rt| {
+            let m = rt.metrics();
+            assert_eq!(
+                m.sent,
+                m.delivered + m.dropped_shunned + m.dropped_crashed,
+                "backend {backend}: conservation at quiescence"
+            );
+            assert!(
+                m.sent_by_kind("bav1") > 0,
+                "backend {backend}: per-kind counts"
+            );
+        },
+    );
+}

@@ -2,10 +2,13 @@
 //! (A-Cast → SVSS → BA → CommonSubset → CoinFlip → FairChoice → FBA)
 //! running together over the simulator, including the fully
 //! information-theoretic configuration with no oracle anywhere.
+//!
+//! These tests exercise simulator-*specific* power — adversarial
+//! schedulers, byte-exact replay, step-indexed crashes. The
+//! backend-portable half of the old suite lives in `cross_backend.rs`,
+//! which runs identical deployments on every `Runtime` backend.
 
-use aft::core::{
-    CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind, FairChoiceParams, Fba,
-};
+use aft::core::{CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind, FairChoiceParams, Fba};
 use aft::sim::{
     scheduler_by_name, Instance, NetConfig, PartyId, SessionId, SessionTag, SilentInstance,
     SimNetwork, StopReason,
@@ -21,8 +24,10 @@ fn full_it_stack_coin_flip_no_oracle() {
     // system comes from SVSS — the paper's actual construction.
     let (n, t) = (4usize, 1usize);
     for seed in 0..2u64 {
-        let mut net =
-            SimNetwork::new(NetConfig::new(n, t, seed), scheduler_by_name("random").unwrap());
+        let mut net = SimNetwork::new(
+            NetConfig::new(n, t, seed),
+            scheduler_by_name("random").unwrap(),
+        );
         for p in 0..n {
             net.spawn(
                 PartyId(p),
@@ -42,21 +47,27 @@ fn full_it_stack_coin_flip_no_oracle() {
                     .value
             })
             .collect();
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed={seed}: {outs:?}");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "seed={seed}: {outs:?}"
+        );
     }
 }
 
 #[test]
 fn fba_full_stack_with_weak_shared_coins() {
     let (n, t) = (4usize, 1usize);
-    let mut net = SimNetwork::new(NetConfig::new(n, t, 5), scheduler_by_name("random").unwrap());
+    let mut net = SimNetwork::new(
+        NetConfig::new(n, t, 5),
+        scheduler_by_name("random").unwrap(),
+    );
     let inputs = ["alpha", "beta", "gamma", "delta"];
-    for p in 0..n {
+    for (p, input) in inputs.iter().enumerate().take(n) {
         net.spawn(
             PartyId(p),
             sid("fba"),
             Box::new(Fba::new(
-                inputs[p].to_string(),
+                input.to_string(),
                 FairChoiceParams::FixedK { k: 1 },
                 CoinKind::WeakShared,
             )),
@@ -65,7 +76,11 @@ fn fba_full_stack_with_weak_shared_coins() {
     let report = net.run(2_000_000_000);
     assert_eq!(report.stop, StopReason::Quiescent);
     let outs: Vec<String> = (0..n)
-        .map(|p| net.output_as::<String>(PartyId(p), &sid("fba")).expect("terminates").clone())
+        .map(|p| {
+            net.output_as::<String>(PartyId(p), &sid("fba"))
+                .expect("terminates")
+                .clone()
+        })
         .collect();
     assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
     assert!(inputs.contains(&outs[0].as_str()));
@@ -95,7 +110,10 @@ fn coin_flip_under_every_scheduler() {
                     .value
             })
             .collect();
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "sched={sched}: {outs:?}");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "sched={sched}: {outs:?}"
+        );
     }
 }
 
@@ -103,7 +121,10 @@ fn coin_flip_under_every_scheduler() {
 fn concurrent_protocol_sessions_do_not_interfere() {
     // A coin flip and an FBA run concurrently on the same network.
     let (n, t) = (4usize, 1usize);
-    let mut net = SimNetwork::new(NetConfig::new(n, t, 10), scheduler_by_name("random").unwrap());
+    let mut net = SimNetwork::new(
+        NetConfig::new(n, t, 10),
+        scheduler_by_name("random").unwrap(),
+    );
     for p in 0..n {
         net.spawn(
             PartyId(p),
@@ -125,11 +146,16 @@ fn concurrent_protocol_sessions_do_not_interfere() {
     }
     let report = net.run(1_000_000_000);
     assert_eq!(report.stop, StopReason::Quiescent);
-    let coin0 = net.output_as::<CoinFlipOutput>(PartyId(0), &sid("coin")).unwrap().value;
+    let coin0 = net
+        .output_as::<CoinFlipOutput>(PartyId(0), &sid("coin"))
+        .unwrap()
+        .value;
     let fba0 = *net.output_as::<usize>(PartyId(0), &sid("fba")).unwrap();
     for p in 1..n {
         assert_eq!(
-            net.output_as::<CoinFlipOutput>(PartyId(p), &sid("coin")).unwrap().value,
+            net.output_as::<CoinFlipOutput>(PartyId(p), &sid("coin"))
+                .unwrap()
+                .value,
             coin0
         );
         assert_eq!(net.output_as::<usize>(PartyId(p), &sid("fba")), Some(&fba0));
@@ -141,8 +167,10 @@ fn concurrent_protocol_sessions_do_not_interfere() {
 fn whole_stack_deterministic_replay() {
     let run = |seed: u64| {
         let (n, t) = (4usize, 1usize);
-        let mut net =
-            SimNetwork::new(NetConfig::new(n, t, seed), scheduler_by_name("random").unwrap());
+        let mut net = SimNetwork::new(
+            NetConfig::new(n, t, seed),
+            scheduler_by_name("random").unwrap(),
+        );
         net.enable_trace();
         for p in 0..n {
             net.spawn(
@@ -157,7 +185,8 @@ fn whole_stack_deterministic_replay() {
         net.run(500_000_000);
         (
             net.trace().to_vec(),
-            net.output_as::<CoinFlipOutput>(PartyId(0), &sid("coin")).copied(),
+            net.output_as::<CoinFlipOutput>(PartyId(0), &sid("coin"))
+                .copied(),
         )
     };
     let (trace_a, out_a) = run(77);
@@ -169,7 +198,10 @@ fn whole_stack_deterministic_replay() {
 #[test]
 fn fba_with_crash_mid_protocol() {
     let (n, t) = (7usize, 2usize);
-    let mut net = SimNetwork::new(NetConfig::new(n, t, 4), scheduler_by_name("random").unwrap());
+    let mut net = SimNetwork::new(
+        NetConfig::new(n, t, 4),
+        scheduler_by_name("random").unwrap(),
+    );
     for p in 0..n {
         net.spawn(
             PartyId(p),
@@ -186,7 +218,11 @@ fn fba_with_crash_mid_protocol() {
     let report = net.run(2_000_000_000);
     assert_eq!(report.stop, StopReason::Quiescent);
     let outs: Vec<String> = (0..5)
-        .map(|p| net.output_as::<String>(PartyId(p), &sid("fba")).expect("terminates").clone())
+        .map(|p| {
+            net.output_as::<String>(PartyId(p), &sid("fba"))
+                .expect("terminates")
+                .clone()
+        })
         .collect();
     assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
 }
@@ -196,7 +232,10 @@ fn byzantine_garbage_across_the_stack() {
     // A garbage-spraying party must not derail CoinFlip.
     use aft::sim::GarbageInstance;
     let (n, t) = (4usize, 1usize);
-    let mut net = SimNetwork::new(NetConfig::new(n, t, 8), scheduler_by_name("random").unwrap());
+    let mut net = SimNetwork::new(
+        NetConfig::new(n, t, 8),
+        scheduler_by_name("random").unwrap(),
+    );
     for p in 0..n {
         let inst: Box<dyn Instance> = if p == 1 {
             Box::new(GarbageInstance::new(500))
@@ -224,7 +263,10 @@ fn byzantine_garbage_across_the_stack() {
 #[test]
 fn silent_t_parties_at_larger_n() {
     let (n, t) = (7usize, 2usize);
-    let mut net = SimNetwork::new(NetConfig::new(n, t, 12), scheduler_by_name("random").unwrap());
+    let mut net = SimNetwork::new(
+        NetConfig::new(n, t, 12),
+        scheduler_by_name("random").unwrap(),
+    );
     for p in 0..n {
         let inst: Box<dyn Instance> = if p < t {
             Box::new(SilentInstance)

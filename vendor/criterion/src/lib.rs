@@ -1,0 +1,243 @@
+//! Offline stand-in for `criterion`: wall-clock sampling benchmarks with
+//! the `criterion_group!`/`criterion_main!` interface. Prints per-bench
+//! statistics; set `BENCH_JSON=<path>` to also write a JSON summary.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevents the optimizer from eliding `value`'s computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing statistics of one benchmark.
+#[derive(Debug, Clone)]
+struct Sample {
+    name: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: usize,
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    times_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `sample_size` executions of `routine` (after one warm-up).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.times_ns.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 60,
+            results: Vec::new(),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            times_ns: Vec::new(),
+        };
+        f(&mut b);
+        self.record(name, b.times_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            times_ns: Vec::new(),
+        };
+        f(&mut b, input);
+        let name = id.full;
+        self.record(&name, b.times_ns);
+        self
+    }
+
+    fn record(&mut self, name: &str, mut times_ns: Vec<f64>) {
+        if times_ns.is_empty() {
+            eprintln!("warning: bench {name} recorded no samples");
+            return;
+        }
+        times_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let n = times_ns.len();
+        let mean = times_ns.iter().sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            times_ns[n / 2]
+        } else {
+            (times_ns[n / 2 - 1] + times_ns[n / 2]) / 2.0
+        };
+        let sample = Sample {
+            name: name.to_string(),
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: times_ns[0],
+            max_ns: times_ns[n - 1],
+            iters: n,
+        };
+        println!(
+            "{:<40} mean {:>12}  median {:>12}  min {:>12}  max {:>12}  ({} iters)",
+            sample.name,
+            fmt_ns(sample.mean_ns),
+            fmt_ns(sample.median_ns),
+            fmt_ns(sample.min_ns),
+            fmt_ns(sample.max_ns),
+            sample.iters
+        );
+        self.results.push(sample);
+    }
+
+    /// Prints the summary and, when `BENCH_JSON` is set, writes it as JSON.
+    pub fn finish(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            let mut out = String::from("{\n  \"benchmarks\": [\n");
+            for (i, s) in self.results.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+                     \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"iters\": {}}}{}\n",
+                    s.name,
+                    s.mean_ns,
+                    s.median_ns,
+                    s.min_ns,
+                    s.max_ns,
+                    s.iters,
+                    if i + 1 < self.results.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("  ]\n}\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("warning: failed to write BENCH_JSON={path}: {e}");
+            } else {
+                eprintln!("bench summary written to {path}");
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+            criterion.finish();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench harness entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].iters, 5);
+        assert_eq!(runs, 6, "5 samples + 1 warm-up");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("acast/full_run", 7);
+        assert_eq!(id.full, "acast/full_run/7");
+    }
+
+    #[test]
+    fn stats_ordering() {
+        let mut c = Criterion::default().sample_size(9);
+        c.bench_function("spin", |b| b.iter(|| std::hint::black_box(0u64)));
+        let s = &c.results[0];
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert!(s.mean_ns > 0.0);
+    }
+}
