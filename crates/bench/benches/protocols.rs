@@ -1,6 +1,8 @@
 //! End-to-end protocol benchmarks: one full simulated execution per
 //! iteration, for every layer of the stack (A-Cast → SVSS → BA →
-//! CommonSubset → CoinFlip → FairChoice → FBA).
+//! CommonSubset → CoinFlip → FairChoice → FBA), plus the cross-backend
+//! `ba_sweep_n64` entries comparing `sim` against `sharded:<k>` at scale
+//! and the `session_id` interner hot-path microbenches.
 
 use aft_ba::{BinaryBa, OracleCoin};
 use aft_broadcast::Acast;
@@ -8,9 +10,12 @@ use aft_core::{
     CoinFlip, CoinFlipParams, CoinKind, CommonSubsetInstance, FairChoice, FairChoiceParams, Fba,
 };
 use aft_field::Fp;
-use aft_sim::{scheduler_by_name, Instance, NetConfig, PartyId, SessionId, SessionTag, SimNetwork};
+use aft_sim::{
+    runtime_by_name, scheduler_by_name, Instance, NetConfig, PartyId, SessionId, SessionTag,
+    SimNetwork,
+};
 use aft_svss::{ShareBundle, SvssRec, SvssShare};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn sid() -> SessionId {
     SessionId::root().child(SessionTag::new("bench", 0))
@@ -147,10 +152,71 @@ fn bench_fba(c: &mut Criterion) {
     });
 }
 
+/// The scale sweep behind the sharded backend: one full unanimous-input
+/// BA execution at n = 64 per iteration, on the single-threaded simulator
+/// and the sharded simulator. The two backends do identical logical work
+/// (same protocol, same message complexity; the sharded schedule is a
+/// pure function of the seed). `sharded:4` overtakes `sim` when worker
+/// shards get real cores; on a single core it pays the price of genuine
+/// per-party random scheduling, which `sim`'s fairness cap collapses to
+/// FIFO pops under load.
+fn bench_ba_sweep_n64(c: &mut Criterion) {
+    let (n, t) = (64usize, 21usize);
+    for backend in ["sim", "sharded:4"] {
+        let label = backend.replace(':', "");
+        c.bench_with_input(BenchmarkId::new("ba_sweep_n64", label), &n, |b, _| {
+            b.iter(|| {
+                let mut rt = runtime_by_name(backend, NetConfig::new(n, t, 7)).unwrap();
+                for p in 0..n {
+                    rt.spawn(
+                        PartyId(p),
+                        sid(),
+                        Box::new(BinaryBa::new(true, Box::new(OracleCoin::new(7)))),
+                    );
+                }
+                rt.run(u64::MAX)
+            })
+        });
+    }
+}
+
+/// The `SessionId` interner hot paths: per-send clones are pointer
+/// copies, child derivation is one interner probe, equality is one word.
+fn bench_session_id(c: &mut Criterion) {
+    let base = SessionId::root()
+        .child(SessionTag::new("coin", 3))
+        .child(SessionTag::new("svss", 17));
+    c.bench_function("session_id/clone_eq_last", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for _ in 0..1000 {
+                let s = black_box(&base).clone();
+                if s == base && s.last().is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    c.bench_function("session_id/child_intern", |b| {
+        b.iter(|| {
+            let mut depth = 0usize;
+            for i in 0..1000u64 {
+                // Mostly interner hits (64 distinct children), as on the
+                // simulator's session-spawn path.
+                let child = black_box(&base).child(SessionTag::new("ba", i % 64));
+                depth += child.depth();
+            }
+            depth
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_acast, bench_svss, bench_ba, bench_common_subset,
-              bench_coin_flip, bench_fair_choice, bench_fba
+              bench_coin_flip, bench_fair_choice, bench_fba,
+              bench_ba_sweep_n64, bench_session_id
 }
 criterion_main!(benches);

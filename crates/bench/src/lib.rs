@@ -40,6 +40,11 @@ pub fn trials(base: u64) -> u64 {
 ///   scheduler column picks the adversary.
 /// * `--runtime sim:<sched>` — the simulator pinned to one scheduler,
 ///   overriding per-row schedulers.
+/// * `--runtime sharded:<k>` — the sharded deterministic simulator with
+///   `k` worker shards; each row's scheduler column picks the per-party
+///   delivery policy.
+/// * `--runtime sharded:<k>:<sched>` — the sharded simulator pinned to
+///   one per-party scheduler, overriding per-row schedulers.
 /// * `--runtime threaded[:<poll_ms>]` — the OS-thread backend; scheduler
 ///   columns are ignored (the OS is the scheduler).
 #[derive(Debug, Clone)]
@@ -60,15 +65,22 @@ impl RuntimeSpec {
         &self.name
     }
 
+    /// Whether this is a bare `sharded:<k>` (no pinned scheduler).
+    fn bare_sharded(&self) -> bool {
+        self.name
+            .strip_prefix("sharded:")
+            .is_some_and(|rest| rest.parse::<usize>().is_ok())
+    }
+
     /// Whether rows parameterized by scheduler are meaningful.
     pub fn honors_schedulers(&self) -> bool {
-        self.name == "sim"
+        self.name == "sim" || self.bare_sharded()
     }
 
     /// Resolves the backend name for a row that wants scheduler `sched`.
     pub fn backend_for(&self, sched: &str) -> String {
-        if self.name == "sim" {
-            format!("sim:{sched}")
+        if self.honors_schedulers() {
+            format!("{}:{sched}", self.name)
         } else {
             self.name.clone()
         }
@@ -114,7 +126,8 @@ pub fn runtime_arg() -> RuntimeSpec {
     // with a plain scheduler).
     if runtime_by_name(&picked.backend_for("random"), NetConfig::new(4, 1, 0)).is_none() {
         eprintln!(
-            "error: unknown --runtime {:?} (expected sim, sim:<scheduler>, or threaded[:<poll_ms>])",
+            "error: unknown --runtime {:?} (expected sim[:<scheduler>], \
+             sharded:<k>[:<scheduler>], or threaded[:<poll_ms>])",
             picked.label()
         );
         std::process::exit(2);
@@ -362,6 +375,29 @@ mod tests {
         assert_eq!(pinned.backend_for("lifo"), "sim:fifo");
         let threaded = RuntimeSpec::named("threaded");
         assert_eq!(threaded.backend_for("lifo"), "threaded");
+        let sharded = RuntimeSpec::named("sharded:4");
+        assert!(sharded.honors_schedulers());
+        assert_eq!(sharded.backend_for("lifo"), "sharded:4:lifo");
+        let sharded_pinned = RuntimeSpec::named("sharded:4:fifo");
+        assert!(!sharded_pinned.honors_schedulers());
+        assert_eq!(sharded_pinned.backend_for("lifo"), "sharded:4:fifo");
+    }
+
+    #[test]
+    fn coin_runner_on_sharded_backend() {
+        let rt = RuntimeSpec::named("sharded:2");
+        let out = run_coin(
+            &rt,
+            4,
+            1,
+            0,
+            1,
+            CoinKind::Oracle(1),
+            "random",
+            Adversary::None,
+        );
+        assert!(out.all_terminated);
+        assert!(out.agreement);
     }
 
     #[test]

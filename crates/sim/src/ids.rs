@@ -1,6 +1,16 @@
 //! Identifiers: parties and hierarchical protocol sessions.
+//!
+//! [`SessionId`] paths are *hash-consed*: every distinct tag path is
+//! stored exactly once in a global interner and a `SessionId` is a
+//! reference to that canonical storage. Cloning a session id — the
+//! per-send hot path, since every envelope carries one — is a pointer
+//! copy instead of a `Vec` allocation, and equality/hashing compare one
+//! machine word instead of walking the path.
 
+use std::collections::HashSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{OnceLock, RwLock};
 
 /// A party (processor) identifier in `0..n`.
 ///
@@ -51,6 +61,39 @@ impl fmt::Display for SessionTag {
     }
 }
 
+/// The canonical empty path (the root session).
+const ROOT_PATH: &[SessionTag] = &[];
+
+/// The global hash-consing table: every distinct path is leaked exactly
+/// once and all `SessionId`s for that path alias the same storage.
+///
+/// Memory grows with the number of *distinct* sessions ever created (a
+/// few per protocol instance), never with message volume.
+fn interner() -> &'static RwLock<HashSet<&'static [SessionTag]>> {
+    static INTERNER: OnceLock<RwLock<HashSet<&'static [SessionTag]>>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        let mut set = HashSet::new();
+        set.insert(ROOT_PATH);
+        RwLock::new(set)
+    })
+}
+
+/// Returns the canonical interned copy of `path`.
+fn intern(path: &[SessionTag]) -> &'static [SessionTag] {
+    if let Some(&hit) = interner().read().expect("interner poisoned").get(path) {
+        return hit;
+    }
+    let mut table = interner().write().expect("interner poisoned");
+    // Double-check: another thread may have interned `path` between the
+    // read unlock and the write lock.
+    if let Some(&hit) = table.get(path) {
+        return hit;
+    }
+    let canonical: &'static [SessionTag] = Box::leak(path.to_vec().into_boxed_slice());
+    table.insert(canonical);
+    canonical
+}
+
 /// A hierarchical session identifier: the path of [`SessionTag`]s from the
 /// root protocol down to a sub-protocol instance.
 ///
@@ -58,6 +101,11 @@ impl fmt::Display for SessionTag {
 /// under child session ids, and a child's output is routed back to it. All
 /// parties construct identical session ids for the same logical instance,
 /// so messages route without global coordination.
+///
+/// Session ids are hash-consed (see the module docs): `clone` is a pointer
+/// copy, and `==`/`Hash` compare the canonical pointer — one word — rather
+/// than the tag path. Lexicographic path order is preserved by
+/// [`Ord`]/[`PartialOrd`].
 ///
 /// ```
 /// use aft_sim::{SessionId, SessionTag};
@@ -67,34 +115,38 @@ impl fmt::Display for SessionTag {
 /// assert!(svss.starts_with(&coin));
 /// assert_eq!(svss.last(), Some(&SessionTag::new("svss", 7)));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
-pub struct SessionId(Vec<SessionTag>);
+#[derive(Clone)]
+pub struct SessionId(&'static [SessionTag]);
 
 impl SessionId {
     /// The empty (root) session.
     pub fn root() -> Self {
-        SessionId(Vec::new())
+        SessionId(ROOT_PATH)
     }
 
     /// Builds a session id from a tag path.
     pub fn from_path(path: Vec<SessionTag>) -> Self {
-        SessionId(path)
+        if path.is_empty() {
+            return SessionId::root();
+        }
+        SessionId(intern(&path))
     }
 
     /// Returns a child session extended with `tag`.
     #[must_use]
     pub fn child(&self, tag: SessionTag) -> SessionId {
-        let mut path = self.0.clone();
+        let mut path = Vec::with_capacity(self.0.len() + 1);
+        path.extend_from_slice(self.0);
         path.push(tag);
-        SessionId(path)
+        SessionId(intern(&path))
     }
 
     /// The parent session, or `None` at the root.
     pub fn parent(&self) -> Option<SessionId> {
-        if self.0.is_empty() {
-            None
-        } else {
-            Some(SessionId(self.0[..self.0.len() - 1].to_vec()))
+        match self.0.len() {
+            0 => None,
+            1 => Some(SessionId::root()),
+            n => Some(SessionId(intern(&self.0[..n - 1]))),
         }
     }
 
@@ -105,7 +157,7 @@ impl SessionId {
 
     /// The tag path.
     pub fn path(&self) -> &[SessionTag] {
-        &self.0
+        self.0
     }
 
     /// Path length (root = 0).
@@ -115,7 +167,50 @@ impl SessionId {
 
     /// Whether `self` is `prefix` or a descendant of it.
     pub fn starts_with(&self, prefix: &SessionId) -> bool {
-        self.0.len() >= prefix.0.len() && self.0[..prefix.0.len()] == prefix.0[..]
+        std::ptr::eq(self.0, prefix.0)
+            || (self.0.len() >= prefix.0.len() && self.0[..prefix.0.len()] == prefix.0[..])
+    }
+}
+
+impl Default for SessionId {
+    fn default() -> Self {
+        SessionId::root()
+    }
+}
+
+impl PartialEq for SessionId {
+    fn eq(&self, other: &Self) -> bool {
+        // Hash-consing makes the canonical slice unique per path, so
+        // pointer identity IS path equality.
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+impl Eq for SessionId {}
+
+impl Hash for SessionId {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (self.0.as_ptr() as usize).hash(state);
+        self.0.len().hash(state);
+    }
+}
+
+impl PartialOrd for SessionId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SessionId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Lexicographic path order, matching the pre-interner semantics.
+        self.0.cmp(other.0)
+    }
+}
+
+impl fmt::Debug for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SessionId").field(&self.0).finish()
     }
 }
 
@@ -124,7 +219,7 @@ impl fmt::Display for SessionId {
         if self.0.is_empty() {
             return write!(f, "/");
         }
-        for tag in &self.0 {
+        for tag in self.0 {
             write!(f, "/{tag}")?;
         }
         Ok(())
@@ -176,5 +271,53 @@ mod tests {
         set.insert(SessionId::root().child(SessionTag::new("x", 1)));
         set.insert(SessionId::root().child(SessionTag::new("y", 0)));
         assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn interning_canonicalizes_equal_paths() {
+        // Two independently-built ids for the same logical path must alias
+        // the same canonical storage (pointer-equal, not just path-equal).
+        let a = SessionId::root()
+            .child(SessionTag::new("i", 4))
+            .child(SessionTag::new("j", 5));
+        let b = SessionId::from_path(vec![SessionTag::new("i", 4), SessionTag::new("j", 5)]);
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.path(), b.path()));
+        // Clones alias too: no per-clone allocation.
+        let c = a.clone();
+        assert!(std::ptr::eq(a.path(), c.path()));
+        // Roots are canonical as well.
+        assert_eq!(SessionId::from_path(Vec::new()), SessionId::root());
+        assert_eq!(SessionId::default(), SessionId::root());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_path() {
+        let a0 = SessionId::root().child(SessionTag::new("a", 0));
+        let a1 = SessionId::root().child(SessionTag::new("a", 1));
+        let a0b = a0.child(SessionTag::new("b", 0));
+        assert!(SessionId::root() < a0);
+        assert!(a0 < a0b, "prefix sorts before extension");
+        assert!(a0b < a1, "index 0 subtree sorts before index 1");
+    }
+
+    #[test]
+    fn interner_is_thread_safe() {
+        let ids: Vec<SessionId> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        SessionId::root()
+                            .child(SessionTag::new("race", 7))
+                            .child(SessionTag::new("deep", 9))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for pair in ids.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+            assert!(std::ptr::eq(pair[0].path(), pair[1].path()));
+        }
     }
 }

@@ -32,10 +32,14 @@
 //!
 //! * [`SimNetwork`] — the deterministic simulator (adversarial schedulers,
 //!   traces, replay);
+//! * [`ShardedSimRuntime`] — the sharded deterministic simulator: parties
+//!   partitioned across worker threads, epoch-barrier merge, schedules
+//!   that are a pure function of `(seed, scheduler)` for *every* shard
+//!   count;
 //! * [`ThreadedRuntime`] — real OS threads and channels (genuine
 //!   asynchrony, no determinism).
 //!
-//! [`runtime_by_name`] builds either from a string, which is what the
+//! [`runtime_by_name`] builds any of them from a string, which is what the
 //! `exp_*` binaries' `--runtime` flags and the cross-backend test suites
 //! use. See the crate-level example on [`SimNetwork`] and the trait
 //! example on [`Runtime`].
@@ -54,6 +58,7 @@ mod payload;
 mod queue;
 mod runtime;
 mod scheduler;
+pub mod shard;
 pub mod threaded;
 
 pub use behaviors::{Garbage, GarbageInstance, MuteAfter, SilentInstance};
@@ -71,6 +76,7 @@ pub use scheduler::{
     FifoScheduler, LifoScheduler, RandomScheduler, Scheduler, SchedulerConfig, StarveScheduler,
     WindowScheduler,
 };
+pub use shard::ShardedSimRuntime;
 pub use threaded::{run_threaded, ThreadedOutputs, ThreadedRuntime};
 
 /// Builds a boxed scheduler by name — convenience for experiment sweeps.

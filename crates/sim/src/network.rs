@@ -85,6 +85,9 @@ pub struct SimNetwork {
     crash_at: HashMap<PartyId, u64>,
     /// Trace of (seq, from, to) for determinism checks, if enabled.
     trace: Option<Vec<(u64, PartyId, PartyId)>>,
+    /// Whether any delivery step has executed (gates the crash-before-run
+    /// retraction of buffered sends).
+    started: bool,
 }
 
 impl SimNetwork {
@@ -115,6 +118,7 @@ impl SimNetwork {
             muted: vec![false; config.n],
             crash_at: HashMap::new(),
             trace: None,
+            started: false,
         }
     }
 
@@ -145,9 +149,19 @@ impl SimNetwork {
     }
 
     /// Crashes `party` immediately: it stops processing and sending.
+    ///
+    /// If no delivery step has executed yet, the party's buffered initial
+    /// sends are retracted and un-counted, so crash-before-run semantics
+    /// match the backends that buffer spawns until `run` (threaded,
+    /// sharded).
     pub fn crash(&mut self, party: PartyId) {
         self.nodes[party.0].crash();
         self.muted[party.0] = true;
+        if !self.started {
+            for env in self.pending.retract_from(party) {
+                self.metrics.on_retracted(&env.session);
+            }
+        }
     }
 
     /// Schedules `party` to crash at delivery step `step`.
@@ -187,6 +201,7 @@ impl SimNetwork {
         let Some(env) = self.pick_next() else {
             return false;
         };
+        self.started = true;
         // Trigger scheduled crashes (steps is incremented by the shared
         // dispatch core below, so "now" is steps + 1).
         if !self.crash_at.is_empty() {
@@ -430,6 +445,31 @@ mod tests {
         // quiescence is reached.
         assert!(net.output(PartyId(3), &sid()).is_none());
         assert!(report.metrics.dropped_crashed > 0);
+    }
+
+    #[test]
+    fn crash_before_first_step_retracts_buffered_sends() {
+        // 4 Flood(1) broadcasters buffer 16 sends; crashing P3 before the
+        // first delivery retracts its 4, matching the buffered backends.
+        let mut net = flood_net(1, Box::new(RandomScheduler));
+        assert_eq!(net.metrics().sent, 16);
+        net.crash(PartyId(3));
+        assert_eq!(net.metrics().sent, 12, "P3's initial sends retracted");
+        assert_eq!(net.metrics().sent_by_kind("t"), 12);
+        assert_eq!(net.pending_len(), 12);
+        let report = net.run(1_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        assert_eq!(report.metrics.dropped_crashed, 3, "deliveries to P3");
+        // After a step has run, crashes no longer retract in-flight sends.
+        let mut net = flood_net(1, Box::new(RandomScheduler));
+        assert!(net.step());
+        let sent_before = net.metrics().sent;
+        net.crash(PartyId(2));
+        assert_eq!(
+            net.metrics().sent,
+            sent_before,
+            "mid-run crash keeps counts"
+        );
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! The in-flight message queue behind the simulator's delivery loop.
 //!
-//! Envelopes live in a slab; what the [`Scheduler`] sees is an
-//! arrival-ordered list of lightweight [`MsgMeta`] records (sender,
-//! receiver, sequence number, age, kind). Schedulers index into that
-//! list — they never touch payloads or session paths, and removing the
-//! chosen message shifts only small `Copy` records plus a slot id, not
-//! whole [`Envelope`]s with their heap-allocated session paths.
+//! Envelopes live in a slab next to their scheduler-visible [`MsgMeta`];
+//! what the [`Scheduler`] sees is an arrival-ordered view of those
+//! lightweight records (sender, receiver, sequence number, age, kind).
+//! Schedulers index into that view and never touch payloads or session
+//! paths.
+//!
+//! The live view is an append-only arrival list with tombstones indexed
+//! by a Fenwick tree, so removal at an arbitrary arrival position — a
+//! random scheduler's every pick — costs O(log len) instead of an O(len)
+//! shift, the front position (fairness-cap forced deliveries, FIFO) is
+//! O(1), and a queue that drains to empty (every sharded-simulator
+//! epoch) resets for free. Dead entries are compacted away when the list
+//! regrows.
 //!
 //! [`Scheduler`]: crate::Scheduler
 
@@ -27,22 +34,77 @@ pub struct MsgMeta {
     pub kind: &'static str,
 }
 
+/// A Fenwick (binary indexed) tree of 0/1 counts over arrival positions:
+/// `select(k)` finds the position of the `k`-th live entry in
+/// O(log capacity).
+#[derive(Default)]
+struct LiveIndex {
+    /// 1-based partial-sum tree; capacity is `tree.len() - 1`.
+    tree: Vec<u32>,
+}
+
+impl LiveIndex {
+    fn with_capacity(cap: usize) -> Self {
+        LiveIndex {
+            tree: vec![0; cap + 1],
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.tree.len().saturating_sub(1)
+    }
+
+    /// Adds `delta` at 0-based position `pos`.
+    fn add(&mut self, pos: usize, delta: i32) {
+        let mut i = pos + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// 0-based position of the `k`-th live entry (`k ≥ 1`).
+    fn select(&self, k: u32) -> usize {
+        let cap = self.capacity();
+        let mut step = cap.next_power_of_two();
+        if step > cap {
+            step >>= 1;
+        }
+        let mut pos = 0;
+        let mut remaining = k;
+        while step > 0 {
+            let next = pos + step;
+            if next <= cap && self.tree[next] < remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos // prefix_sum(pos) < k ≤ prefix_sum(pos + 1): 0-based index `pos`
+    }
+}
+
 /// The arrival-ordered in-flight queue.
 ///
 /// Index `0` is always the oldest pending message; pushes append at the
-/// back. [`take`](Pending::take) removes by arrival index and returns the
-/// envelope in O(live-queue shift of 12-byte records) instead of moving
-/// `Envelope`s around.
+/// back. [`take`](Pending::take) removes by arrival index in
+/// O(log queue) — O(1) at the front.
 #[derive(Default)]
 pub struct Pending {
-    /// Envelope storage; `None` slots are free.
-    slots: Vec<Option<Envelope>>,
+    /// Metadata + envelope storage; `None` slots are free.
+    slots: Vec<Option<(MsgMeta, Envelope)>>,
     /// Free slot indices available for reuse.
     free: Vec<u32>,
-    /// Arrival-ordered live slot indices (parallel to `metas`).
-    order: Vec<u32>,
-    /// Arrival-ordered scheduler-visible metadata (parallel to `order`).
-    metas: Vec<MsgMeta>,
+    /// Arrival-ordered slot ids (append-only between compactions).
+    arrival: Vec<u32>,
+    /// Tombstones, parallel to `arrival`.
+    alive: Vec<bool>,
+    /// Fenwick tree of live counts over `arrival` positions.
+    index: LiveIndex,
+    /// First possibly-live position in `arrival`.
+    head: usize,
+    /// Number of live entries.
+    live: usize,
 }
 
 impl Pending {
@@ -53,12 +115,23 @@ impl Pending {
 
     /// Number of in-flight messages.
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.live
     }
 
     /// Whether nothing is in flight.
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
+        self.live == 0
+    }
+
+    /// Arrival position of the `i`-th oldest live entry.
+    fn position(&self, i: usize) -> usize {
+        assert!(i < self.live, "index {i} beyond live queue ({})", self.live);
+        if i == 0 {
+            // The head skips tombstones eagerly, so it is live.
+            self.head
+        } else {
+            self.index.select(i as u32 + 1)
+        }
     }
 
     /// Metadata of the `i`-th oldest in-flight message.
@@ -67,12 +140,25 @@ impl Pending {
     ///
     /// Panics if `i >= len()`.
     pub fn meta(&self, i: usize) -> MsgMeta {
-        self.metas[i]
+        let slot = self.arrival[self.position(i)];
+        self.slots[slot as usize]
+            .as_ref()
+            .expect("live arrival entry points at an occupied slot")
+            .0
     }
 
     /// All metadata in arrival order (oldest first).
-    pub fn metas(&self) -> &[MsgMeta] {
-        &self.metas
+    pub fn metas(&self) -> impl Iterator<Item = MsgMeta> + '_ {
+        self.arrival[self.head..]
+            .iter()
+            .zip(&self.alive[self.head..])
+            .filter(|&(_, &alive)| alive)
+            .map(|(&slot, _)| {
+                self.slots[slot as usize]
+                    .as_ref()
+                    .expect("live arrival entry points at an occupied slot")
+                    .0
+            })
     }
 
     /// Enqueues an envelope at the back (the youngest position).
@@ -86,16 +172,37 @@ impl Pending {
         };
         let slot = match self.free.pop() {
             Some(s) => {
-                self.slots[s as usize] = Some(env);
+                self.slots[s as usize] = Some((meta, env));
                 s
             }
             None => {
-                self.slots.push(Some(env));
+                self.slots.push(Some((meta, env)));
                 (self.slots.len() - 1) as u32
             }
         };
-        self.order.push(slot);
-        self.metas.push(meta);
+        if self.arrival.len() == self.index.capacity() {
+            self.compact_and_grow();
+        }
+        let pos = self.arrival.len();
+        self.arrival.push(slot);
+        self.alive.push(true);
+        self.index.add(pos, 1);
+        self.live += 1;
+    }
+
+    /// Removes and returns every in-flight message sent by `from`, oldest
+    /// first (crash-before-run retraction; not a hot path).
+    pub(crate) fn retract_from(&mut self, from: PartyId) -> Vec<Envelope> {
+        let mut removed = Vec::new();
+        let mut i = 0;
+        while i < self.len() {
+            if self.meta(i).from == from {
+                removed.push(self.take(i));
+            } else {
+                i += 1;
+            }
+        }
+        removed
     }
 
     /// Removes and returns the `i`-th oldest in-flight message.
@@ -104,12 +211,62 @@ impl Pending {
     ///
     /// Panics if `i >= len()`.
     pub(crate) fn take(&mut self, i: usize) -> Envelope {
-        let slot = self.order.remove(i);
-        self.metas.remove(i);
+        let pos = self.position(i);
+        let slot = self.arrival[pos];
+        self.alive[pos] = false;
+        self.index.add(pos, -1);
+        self.live -= 1;
         self.free.push(slot);
-        self.slots[slot as usize]
+        let env = self.slots[slot as usize]
             .take()
-            .expect("live order entry points at an occupied slot")
+            .expect("live arrival entry points at an occupied slot")
+            .1;
+        if self.live == 0 {
+            // Fully drained (every sharded epoch ends here): the Fenwick
+            // tree is all zeros again, so resetting is free.
+            self.arrival.clear();
+            self.alive.clear();
+            self.head = 0;
+        } else if pos == self.head {
+            while !self.alive[self.head] {
+                self.head += 1;
+            }
+        }
+        env
+    }
+
+    /// Rebuilds `arrival`/`alive`/`index` with tombstones dropped and
+    /// capacity for growth (amortized against the removals that created
+    /// the tombstones).
+    fn compact_and_grow(&mut self) {
+        let lives: Vec<u32> = self.arrival[self.head..]
+            .iter()
+            .zip(&self.alive[self.head..])
+            .filter(|&(_, &alive)| alive)
+            .map(|(&slot, _)| slot)
+            .collect();
+        debug_assert_eq!(lives.len(), self.live);
+        let cap = (self.live * 2).max(64);
+        let mut index = LiveIndex::with_capacity(cap);
+        // O(cap) bulk build: seed the leaves, then push sums upward.
+        for i in 1..=lives.len() {
+            index.tree[i] += 1;
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= cap {
+                index.tree[parent] += index.tree[i];
+            }
+        }
+        // Finish propagation for positions past the seeded range.
+        for i in lives.len() + 1..=cap {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= cap {
+                index.tree[parent] += index.tree[i];
+            }
+        }
+        self.alive = vec![true; lives.len()];
+        self.arrival = lives;
+        self.index = index;
+        self.head = 0;
     }
 }
 
@@ -171,5 +328,70 @@ mod tests {
         assert_eq!(m.to, PartyId(3));
         assert_eq!(m.kind, "k");
         assert_eq!(m.born_step, 7);
+    }
+
+    #[test]
+    fn retract_from_removes_only_that_sender() {
+        let mut q = Pending::new();
+        q.push(env(0, 1, 0));
+        q.push(env(2, 1, 1));
+        q.push(env(0, 3, 2));
+        q.push(env(1, 0, 3));
+        let removed = q.retract_from(PartyId(0));
+        assert_eq!(
+            removed.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.meta(0).seq, 1);
+        assert_eq!(q.meta(1).seq, 3);
+        assert!(q.retract_from(PartyId(0)).is_empty());
+    }
+
+    #[test]
+    fn metas_iterates_in_arrival_order() {
+        let mut q = Pending::new();
+        for s in 0..4 {
+            q.push(env(s, 0, s as u64));
+        }
+        q.take(1);
+        let seqs: Vec<u64> = q.metas().map(|m| m.seq).collect();
+        assert_eq!(seqs, vec![0, 2, 3]);
+    }
+
+    /// Differential test of the Fenwick-indexed view against a naive
+    /// `Vec` model, across interleaved pushes, arbitrary-index takes and
+    /// full drains (compactions included).
+    #[test]
+    fn matches_naive_model_under_mixed_workload() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(42);
+        let mut q = Pending::new();
+        let mut model: Vec<u64> = Vec::new();
+        let mut next_seq = 0u64;
+        for round in 0..2_000 {
+            if model.is_empty() || rng.gen_bool(0.55) {
+                q.push(env(0, 1, next_seq));
+                model.push(next_seq);
+                next_seq += 1;
+            } else {
+                let i = rng.gen_range(0..model.len());
+                assert_eq!(q.meta(i).seq, model[i], "round {round}");
+                assert_eq!(q.take(i).seq, model.remove(i), "round {round}");
+            }
+            assert_eq!(q.len(), model.len());
+            if round % 97 == 0 {
+                let seqs: Vec<u64> = q.metas().map(|m| m.seq).collect();
+                assert_eq!(seqs, model, "round {round}");
+            }
+        }
+        while !model.is_empty() {
+            let i = model.len() / 2;
+            assert_eq!(q.take(i).seq, model.remove(i));
+        }
+        assert!(q.is_empty());
+        // Still usable after a full drain.
+        q.push(env(1, 2, 12345));
+        assert_eq!(q.meta(0).seq, 12345);
     }
 }

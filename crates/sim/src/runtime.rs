@@ -109,6 +109,23 @@ impl Metrics {
         }
     }
 
+    /// Un-counts one previously-recorded send of `session`'s leaf kind
+    /// (the simulator retracts buffered sends of a party crashed before
+    /// the first delivery). A kind whose count reaches zero is dropped
+    /// entirely, so per-kind fingerprints match backends that never
+    /// counted the retracted sends at all.
+    pub(crate) fn on_retracted(&mut self, session: &SessionId) {
+        self.sent -= 1;
+        let kind = session.last().map_or("root", |t| t.kind);
+        if let Some(i) = self.by_kind.iter().position(|(k, _)| *k == kind) {
+            self.by_kind[i].1 -= 1;
+            if self.by_kind[i].1 == 0 {
+                self.by_kind.remove(i);
+                self.last_kind = 0;
+            }
+        }
+    }
+
     /// Folds `other`'s counters into `self` (threaded workers merge their
     /// thread-local metrics at quiescence).
     pub(crate) fn merge(&mut self, other: &Metrics) {
@@ -253,10 +270,15 @@ pub trait Runtime {
     /// Crashes `party`: it stops processing and sending for the rest of
     /// the run.
     ///
-    /// To guarantee a party never acts at all, crash it *before* spawning
-    /// its instances: the simulator starts instances eagerly on
-    /// [`spawn`](Runtime::spawn), so a crash issued afterwards cannot
-    /// retract the initial sends already in flight.
+    /// A crash issued before the first delivery (i.e. before the first
+    /// [`run`](Runtime::run)) retracts the party entirely on *every*
+    /// backend: its buffered initial sends are never delivered. The
+    /// threaded and sharded backends get this for free by buffering
+    /// spawns until `run`; the simulator, which starts instances eagerly
+    /// on [`spawn`](Runtime::spawn), retracts the party's in-flight
+    /// envelopes and un-counts them. A crash issued after deliveries have
+    /// begun only stops future activity — envelopes already in flight
+    /// from the party stay deliverable.
     fn crash(&mut self, party: PartyId);
 
     /// Runs until quiescence or until `max_steps` deliveries.
@@ -298,6 +320,12 @@ impl<R: Runtime + ?Sized> RuntimeExt for R {}
 /// * `"sim:<scheduler>"` — simulator with any
 ///   [`scheduler_by_name`](crate::scheduler_by_name) scheduler
 ///   (e.g. `"sim:lifo"`, `"sim:window8"`, `"sim:starve:1,3"`);
+/// * `"sharded:<k>"` — sharded deterministic simulator
+///   ([`ShardedSimRuntime`](crate::ShardedSimRuntime)) with `k` worker
+///   shards and the random per-party scheduler (`k ≥ 1`);
+/// * `"sharded:<k>:<scheduler>"` — sharded simulator with every party
+///   running the named [`scheduler_by_name`](crate::scheduler_by_name)
+///   policy (e.g. `"sharded:4:lifo"`);
 /// * `"threaded"` — OS-thread runtime with the default poll interval;
 /// * `"threaded:<millis>"` — OS-thread runtime with an explicit idle-poll
 ///   interval in milliseconds.
@@ -309,11 +337,15 @@ impl<R: Runtime + ?Sized> RuntimeExt for R {}
 /// let config = NetConfig::new(4, 1, 1);
 /// assert_eq!(runtime_by_name("sim", config).unwrap().backend_name(), "sim");
 /// assert_eq!(runtime_by_name("threaded", config).unwrap().backend_name(), "threaded");
+/// assert_eq!(runtime_by_name("sharded:4", config).unwrap().backend_name(), "sharded");
 /// assert!(runtime_by_name("sim:window8", config).is_some());
+/// assert!(runtime_by_name("sharded:2:lifo", config).is_some());
+/// assert!(runtime_by_name("sharded:0", config).is_none());
 /// assert!(runtime_by_name("hovercraft", config).is_none());
 /// ```
 pub fn runtime_by_name(name: &str, config: NetConfig) -> Option<Box<dyn Runtime>> {
     use crate::network::SimNetwork;
+    use crate::shard::ShardedSimRuntime;
     use crate::threaded::ThreadedRuntime;
     if name == "sim" {
         return Some(Box::new(SimNetwork::new(
@@ -326,6 +358,25 @@ pub fn runtime_by_name(name: &str, config: NetConfig) -> Option<Box<dyn Runtime>
             config,
             crate::scheduler_by_name(sched)?,
         )));
+    }
+    if let Some(rest) = name.strip_prefix("sharded:") {
+        let (k, sched) = match rest.split_once(':') {
+            Some((k, sched)) => (k, Some(sched)),
+            None => (rest, None),
+        };
+        let k: usize = k.parse().ok()?;
+        if k == 0 {
+            return None;
+        }
+        return Some(match sched {
+            None => Box::new(ShardedSimRuntime::new(config, k)),
+            Some(sched) => {
+                crate::scheduler_by_name(sched)?; // validate the name once
+                Box::new(ShardedSimRuntime::with_scheduler_factory(config, k, |_| {
+                    crate::scheduler_by_name(sched).expect("validated above")
+                }))
+            }
+        });
     }
     if name == "threaded" {
         return Some(Box::new(ThreadedRuntime::new(config)));
@@ -361,6 +412,26 @@ mod tests {
         assert_eq!(m.sent_by_kind("b"), 1);
         assert_eq!(m.sent_by_kind("zzz"), 0);
         assert_eq!(m.kinds().count(), 2);
+    }
+
+    #[test]
+    fn metrics_retraction_drops_zeroed_kinds() {
+        let a = SessionId::root().child(SessionTag::new("a", 0));
+        let b = SessionId::root().child(SessionTag::new("b", 0));
+        let mut m = Metrics::default();
+        m.on_sent(&a);
+        m.on_sent(&b);
+        m.on_sent(&b);
+        m.on_retracted(&a);
+        m.on_retracted(&b);
+        assert_eq!(m.sent, 1);
+        assert_eq!(m.sent_by_kind("b"), 1);
+        // Fully-retracted kinds vanish, so per-kind fingerprints match a
+        // backend that never counted them.
+        assert_eq!(m.kinds().collect::<Vec<_>>(), vec![("b", 1)]);
+        // The interned fast path still works after the removal.
+        m.on_sent(&b);
+        assert_eq!(m.sent_by_kind("b"), 2);
     }
 
     #[test]

@@ -89,7 +89,7 @@ impl StarveScheduler {
 impl Scheduler for StarveScheduler {
     fn pick(&mut self, pending: &Pending, rng: &mut ChaCha12Rng) -> usize {
         self.clean.clear();
-        for (i, m) in pending.metas().iter().enumerate() {
+        for (i, m) in pending.metas().enumerate() {
             if !self.victims.contains(&m.from) && !self.victims.contains(&m.to) {
                 self.clean.push(i);
             }

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Diff a criterion BENCH_JSON summary against the committed baseline.
+
+Usage: check_bench_regression.py <baseline.json> <current.json>
+
+Fails (exit 1) when any *guarded* benchmark — the delivery hot path —
+regresses by more than the threshold (default 25%, override with
+BENCH_REGRESSION_THRESHOLD, e.g. 1.25). Other benchmarks are reported
+but only warn.
+
+Medians are compared, and each benchmark's baseline/current ratio is
+normalized by the median ratio across the whole suite: the baseline was
+recorded on the committing machine, so a runner that is uniformly 2x
+faster or slower shifts every ratio equally and cancels out, while a
+genuine hot-path regression shows up as an outlier against the rest of
+the suite. Because a change that slows the *entire* suite uniformly
+would cancel out too, guarded benches additionally fail on a generous
+absolute ratio (default 3x, override with BENCH_ABSOLUTE_CAP) — wide
+enough to absorb machine-class differences, tight enough to catch a
+catastrophic regression (the pre-Fenwick queue was 50x+).
+
+Only millisecond-scale end-to-end delivery benches are guarded:
+nanosecond microbenches (session_id/*) and the core-count-sensitive
+sharded sweep (ba_sweep_n64/*) are reported but warn-only, since their
+run-to-run variance on shared runners exceeds any sane threshold.
+"""
+
+import json
+import os
+import statistics
+import sys
+
+# The delivery hot path: end-to-end runs dominated by enqueue/pick/deliver
+# work, at millisecond scale (stable on shared runners).
+GUARDED_PREFIXES = (
+    "acast/full_run",
+    "ba/split_inputs",
+)
+
+
+def load(path):
+    with open(path) as f:
+        return {b["name"]: b for b in json.load(f)["benchmarks"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    baseline = load(sys.argv[1])
+    current = load(sys.argv[2])
+    threshold = float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "1.25"))
+    absolute_cap = float(os.environ.get("BENCH_ABSOLUTE_CAP", "3.0"))
+
+    ratios = {
+        name: current[name]["median_ns"] / base["median_ns"]
+        for name, base in baseline.items()
+        if name in current
+    }
+    suite_ratio = statistics.median(ratios.values()) if ratios else 1.0
+    print(f"suite-wide median ratio (machine-speed normalizer): {suite_ratio:.2f}\n")
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        guarded = name.startswith(GUARDED_PREFIXES)
+        cur = current.get(name)
+        if cur is None:
+            msg = f"{name}: present in baseline but missing from current run"
+            if guarded:
+                failures.append(msg)
+            else:
+                print(f"warn: {msg}")
+            continue
+        normalized = ratios[name] / suite_ratio
+        marker = "GUARDED" if guarded else "       "
+        print(
+            f"{marker} {name:<40} baseline {base['median_ns']:>14.1f} ns"
+            f"  current {cur['median_ns']:>14.1f} ns"
+            f"  ratio {ratios[name]:5.2f}  normalized {normalized:5.2f}"
+        )
+        regressed = None
+        if normalized > threshold:
+            regressed = (
+                f"{name}: {normalized:.2f}x slower than the suite-normalized "
+                f"baseline (threshold {threshold:.2f}x)"
+            )
+        elif ratios[name] > absolute_cap:
+            regressed = (
+                f"{name}: {ratios[name]:.2f}x slower than baseline in absolute "
+                f"terms (cap {absolute_cap:.2f}x)"
+            )
+        if regressed:
+            if guarded:
+                failures.append(regressed)
+            else:
+                print(f"warn: {regressed}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: new benchmark without baseline: {name}")
+
+    if failures:
+        print("\nbench regression check FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nbench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

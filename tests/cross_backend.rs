@@ -1,19 +1,20 @@
 //! The cross-backend suite: identical protocol deployments driven through
 //! the [`Runtime`] trait on every execution backend — the deterministic
-//! simulator and the OS-thread runtime — asserting the same protocol
-//! guarantees on each. This is the parameterized successor of the old
-//! simulator-only/threaded-only stacks; backend-specific power
-//! (adversarial schedulers, traces, replay) stays in `full_stack.rs`.
+//! simulator, the sharded deterministic simulator, and the OS-thread
+//! runtime — asserting the same protocol guarantees on each. This is the
+//! parameterized successor of the old simulator-only/threaded-only
+//! stacks; backend-specific power (adversarial schedulers, traces,
+//! replay) stays in `full_stack.rs`.
 
 use aft::ba::{BinaryBa, OracleCoin};
 use aft::broadcast::Acast;
-use aft::core::{CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind};
+use aft::core::{CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind, CommonSubsetInstance};
 use aft::sim::{
-    runtime_by_name, Instance, MuteAfter, NetConfig, PartyId, Runtime, RuntimeExt, SessionId,
-    SessionTag, SilentInstance, StopReason,
+    runtime_by_name, Instance, Metrics, MuteAfter, NetConfig, PartyId, Runtime, RuntimeExt,
+    SessionId, SessionTag, SilentInstance, StopReason,
 };
 
-const BACKENDS: &[&str] = &["sim", "threaded"];
+const BACKENDS: &[&str] = &["sim", "sharded:2", "threaded"];
 
 fn sid(kind: &'static str) -> SessionId {
     SessionId::root().child(SessionTag::new(kind, 0))
@@ -224,6 +225,155 @@ fn quiescence_under_mute_behaviors_on_every_backend() {
             assert!(
                 decisions.iter().all(|&d| d),
                 "backend {backend}: {decisions:?}"
+            );
+        },
+    );
+}
+
+/// Sorted `(kind, sent count)` fingerprint of a metrics snapshot.
+fn kind_fingerprint(metrics: &Metrics) -> Vec<(&'static str, u64)> {
+    let mut kinds: Vec<(&'static str, u64)> = metrics.kinds().collect();
+    kinds.sort();
+    kinds
+}
+
+/// The tentpole equivalence guarantee on the BA stack: for a fixed seed
+/// set, every shard count of the sharded simulator produces outputs,
+/// per-kind message counts, and delivery counts *identical* to the
+/// single-threaded simulator. (The sharded schedule is a pure function of
+/// `(seed, scheduler)`, independent of `k`, and unanimous-input BA pins
+/// the outcome, so the backends must agree bit-for-bit.)
+#[test]
+fn ba_stack_identical_on_sim_and_every_shard_count() {
+    for seed in [1u64, 2, 3, 5, 8, 13] {
+        let run = |backend: &str| {
+            let mut rt = runtime_by_name(backend, NetConfig::new(7, 2, seed)).unwrap();
+            for p in 0..7 {
+                rt.spawn(
+                    PartyId(p),
+                    sid("ba"),
+                    Box::new(BinaryBa::new(
+                        seed % 2 == 0,
+                        Box::new(OracleCoin::new(seed)),
+                    )),
+                );
+            }
+            let report = rt.run(1_000_000_000);
+            assert_eq!(report.stop, StopReason::Quiescent, "{backend} seed={seed}");
+            let outputs: Vec<Option<bool>> = (0..7)
+                .map(|p| rt.output_as::<bool>(PartyId(p), &sid("ba")).copied())
+                .collect();
+            let metrics = rt.metrics();
+            (
+                outputs,
+                kind_fingerprint(&metrics),
+                metrics.sent,
+                metrics.delivered,
+            )
+        };
+        let reference = run("sim");
+        assert!(reference.0.iter().all(|o| o.is_some()), "seed={seed}");
+        for backend in ["sharded:1", "sharded:2", "sharded:4"] {
+            assert_eq!(run(backend), reference, "{backend} seed={seed}");
+        }
+    }
+}
+
+/// The same equivalence on the common-subset stack: outputs agree with
+/// the simulator on every seed, and on a pinned seed set the per-kind
+/// message counts and delivery counts are identical too. (Common subset's
+/// internal BA traffic is genuinely schedule-sensitive, so count equality
+/// between *different* schedules only holds where the simulator's own
+/// schedule takes the full deterministic round — the pinned seeds.)
+#[test]
+fn common_subset_stack_identical_on_sim_and_sharded() {
+    let run = |backend: &str, seed: u64| {
+        let mut rt = runtime_by_name(backend, NetConfig::new(4, 1, seed)).unwrap();
+        for p in 0..4 {
+            rt.spawn(
+                PartyId(p),
+                sid("cs"),
+                Box::new(CommonSubsetInstance::new(3, CoinKind::Oracle(seed), true)),
+            );
+        }
+        let report = rt.run(1_000_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent, "{backend} seed={seed}");
+        let outputs: Vec<Option<Vec<PartyId>>> = (0..4)
+            .map(|p| {
+                rt.output_as::<Vec<PartyId>>(PartyId(p), &sid("cs"))
+                    .cloned()
+            })
+            .collect();
+        let metrics = rt.metrics();
+        (
+            outputs,
+            kind_fingerprint(&metrics),
+            metrics.sent,
+            metrics.delivered,
+        )
+    };
+    // Outputs agree everywhere.
+    for seed in 0u64..12 {
+        let reference = run("sim", seed);
+        assert!(reference.0.iter().all(|o| o.is_some()), "seed={seed}");
+        for backend in ["sharded:1", "sharded:4"] {
+            assert_eq!(run(backend, seed).0, reference.0, "{backend} seed={seed}");
+        }
+    }
+    // Full bit-for-bit equality (outputs, per-kind counts, deliveries) on
+    // the pinned seed set.
+    for seed in [0u64, 4, 5, 9, 12, 16, 17, 18, 22] {
+        let reference = run("sim", seed);
+        for backend in ["sharded:1", "sharded:2", "sharded:4"] {
+            assert_eq!(run(backend, seed), reference, "{backend} seed={seed}");
+        }
+    }
+}
+
+/// Crash-before-run retraction (the old simulator footgun): a party
+/// crashed after spawning but before the first `run` must never send, on
+/// every backend — the simulator retracts its buffered initial sends, the
+/// buffered backends never start it.
+#[test]
+fn crash_before_first_run_retracts_initial_sends_on_every_backend() {
+    /// Greets everyone; outputs after hearing from all n parties.
+    struct Hello {
+        heard: usize,
+    }
+    impl Instance for Hello {
+        fn on_start(&mut self, ctx: &mut aft::sim::Context<'_>) {
+            ctx.send_all(1u8);
+        }
+        fn on_message(
+            &mut self,
+            _f: PartyId,
+            _p: &aft::sim::Payload,
+            ctx: &mut aft::sim::Context<'_>,
+        ) {
+            self.heard += 1;
+            if self.heard == ctx.n() {
+                ctx.output(self.heard);
+            }
+        }
+    }
+    on_every_backend(
+        NetConfig::new(4, 1, 37),
+        |rt| {
+            for p in 0..4 {
+                rt.spawn(PartyId(p), sid("hello"), Box::new(Hello { heard: 0 }));
+            }
+            rt.crash(PartyId(3));
+        },
+        |backend, rt| {
+            let m = rt.metrics();
+            assert_eq!(m.sent, 12, "backend {backend}: three live broadcasters");
+            assert_eq!(
+                m.dropped_crashed, 3,
+                "backend {backend}: deliveries to the crashed party"
+            );
+            assert!(
+                rt.output(PartyId(3), &sid("hello")).is_none(),
+                "backend {backend}"
             );
         },
     );
