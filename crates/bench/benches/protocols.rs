@@ -1,8 +1,10 @@
 //! End-to-end protocol benchmarks: one full simulated execution per
 //! iteration, for every layer of the stack (A-Cast → SVSS → BA →
 //! CommonSubset → CoinFlip → FairChoice → FBA), plus the cross-backend
-//! `ba_sweep_n64` entries comparing `sim` against `sharded:<k>` at scale
-//! and the `session_id` interner hot-path microbenches.
+//! `ba_sweep_n64` entries comparing `sim` against `sharded:<k>` at scale,
+//! the `session_id` interner hot-path microbenches, and the
+//! `delivery/enqueue_pick_drain` queue microbench gating future changes
+//! to the batched in-flight queue.
 
 use aft_ba::{BinaryBa, OracleCoin};
 use aft_broadcast::Acast;
@@ -16,6 +18,7 @@ use aft_sim::{
 };
 use aft_svss::{ShareBundle, SvssRec, SvssShare};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
 
 fn sid() -> SessionId {
     SessionId::root().child(SessionTag::new("bench", 0))
@@ -180,6 +183,54 @@ fn bench_ba_sweep_n64(c: &mut Criterion) {
     }
 }
 
+/// The in-flight queue in isolation: bursts of same-destination pushes
+/// (which merge into batches), random scheduler picks over the batch
+/// view, and full drains — the enqueue/pick/drain cycle every simulated
+/// message pays. Gates future queue changes.
+fn bench_delivery_queue(c: &mut Criterion) {
+    use aft_sim::{Envelope, Payload, Pending, RandomScheduler, Scheduler};
+    let session = sid();
+    c.bench_function("delivery/enqueue_pick_drain", |b| {
+        b.iter(|| {
+            let mut q = Pending::new();
+            let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(7);
+            let mut sched = RandomScheduler;
+            let mut seq = 0u64;
+            let mut delivered = 0u64;
+            // 16 waves: 32 senders burst 4 envelopes each at one
+            // destination (merging into per-pair batches), then random
+            // picks drain the queue down before the next wave.
+            for wave in 0..16u64 {
+                for src in 0..32usize {
+                    let dst = (src + wave as usize) % 32;
+                    for m in 0..4u64 {
+                        q.push(Envelope {
+                            from: PartyId(src),
+                            to: PartyId(dst),
+                            session: session.clone(),
+                            payload: Payload::new(m),
+                            seq,
+                            born_step: wave,
+                        });
+                        seq += 1;
+                    }
+                }
+                while q.messages() > 64 {
+                    let i = sched.pick(&q, &mut rng);
+                    black_box(q.take(i));
+                    delivered += 1;
+                }
+            }
+            while !q.is_empty() {
+                let i = sched.pick(&q, &mut rng);
+                black_box(q.take(i));
+                delivered += 1;
+            }
+            delivered
+        })
+    });
+}
+
 /// The `SessionId` interner hot paths: per-send clones are pointer
 /// copies, child derivation is one interner probe, equality is one word.
 fn bench_session_id(c: &mut Criterion) {
@@ -217,6 +268,6 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_acast, bench_svss, bench_ba, bench_common_subset,
               bench_coin_flip, bench_fair_choice, bench_fba,
-              bench_ba_sweep_n64, bench_session_id
+              bench_ba_sweep_n64, bench_delivery_queue, bench_session_id
 }
 criterion_main!(benches);

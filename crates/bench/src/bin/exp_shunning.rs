@@ -5,33 +5,27 @@
 //! and tracks the cumulative shun counter, verifying it saturates far
 //! below n² (each ordered pair shuns at most once) while every detected
 //! attack run is followed by dropped influence for the attacker.
+//!
+//! The campaign interleaves share and reconstruct episodes on persistent
+//! node state, which every backend now supports — `--runtime sim` (the
+//! default), `--runtime sharded:<k>` and `--runtime threaded` all run the
+//! full chain.
 
 use aft_bench::{print_table, runtime_arg, trials};
 use aft_field::Fp;
-use aft_sim::{scheduler_by_name, Instance, NetConfig, PartyId, SessionId, SessionTag, SimNetwork};
+use aft_sim::{Instance, NetConfig, PartyId, Runtime, RuntimeExt, SessionId, SessionTag};
 use aft_svss::attacks::EquivocalReveal;
 use aft_svss::{ShareBundle, SvssRec, SvssShare};
 
 fn main() {
     println!("# E7 — Shunning dynamics (Definition 3.2's escape hatch)");
-    let rt = runtime_arg();
-    if rt.label() != "sim" {
-        println!(
-            "note: --runtime {} ignored — this experiment interleaves share/rec episodes on \
-             persistent node state, which only the simulator supports; running on sim",
-            rt.label()
-        );
-    } else {
-        rt.announce();
-    }
+    let rt_spec = runtime_arg();
+    rt_spec.announce();
     let instances = trials(40) as usize;
 
     let mut rows = Vec::new();
     for &(n, t) in &[(4usize, 1usize), (7, 2)] {
-        let mut net = SimNetwork::new(
-            NetConfig::new(n, t, 1234),
-            scheduler_by_name("random").unwrap(),
-        );
+        let mut net: Box<dyn Runtime> = rt_spec.make(NetConfig::new(n, t, 1234), "random");
         let mut shun_curve = Vec::new();
         let mut binding_violations_without_shun = 0usize;
         for i in 0..instances {

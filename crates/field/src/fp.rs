@@ -114,6 +114,51 @@ impl Fp {
     }
 }
 
+/// Inverts every nonzero element of `values` in place with Montgomery's
+/// batch-inversion trick: `3(k - 1)` multiplications plus a **single**
+/// field inversion, instead of one `p - 2` exponentiation per element.
+/// Zero entries are left untouched (zero has no inverse).
+///
+/// This is the workhorse behind [`interpolate`](crate::interpolate) and
+/// the Reed–Solomon decode paths, where every call previously paid one
+/// inversion per interpolation point.
+///
+/// ```
+/// use aft_field::{batch_invert, Fp};
+/// let mut vals = [Fp::new(2), Fp::ZERO, Fp::new(7)];
+/// batch_invert(&mut vals);
+/// assert_eq!(vals[0] * Fp::new(2), Fp::ONE);
+/// assert_eq!(vals[1], Fp::ZERO);
+/// assert_eq!(vals[2] * Fp::new(7), Fp::ONE);
+/// ```
+pub fn batch_invert(values: &mut [Fp]) {
+    // Forward pass: prefix[i] = product of all nonzero values before the
+    // i-th nonzero value.
+    let mut prefix = Vec::with_capacity(values.len());
+    let mut acc = Fp::ONE;
+    for &v in values.iter() {
+        if !v.is_zero() {
+            prefix.push(acc);
+            acc *= v;
+        }
+    }
+    // One inversion of the total product...
+    let mut suffix_inv = match acc.inv() {
+        Some(inv) => inv,
+        None => return, // acc == ONE only when no nonzero entries exist
+    };
+    // ...then a backward pass peels off one element at a time:
+    // inv(v_i) = prefix_i * inv(v_i * v_{i+1} * …) * (v_{i+1} * …)⁻¹-free.
+    for v in values.iter_mut().rev() {
+        if !v.is_zero() {
+            let p = prefix.pop().expect("one prefix per nonzero value");
+            let inv_v = suffix_inv * p;
+            suffix_inv *= *v;
+            *v = inv_v;
+        }
+    }
+}
+
 impl fmt::Debug for Fp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Fp({})", self.0)
@@ -355,5 +400,36 @@ mod tests {
         for _ in 0..1000 {
             assert!(Fp::random(&mut r).value() < MODULUS);
         }
+    }
+
+    #[test]
+    fn batch_invert_matches_scalar_inv() {
+        let mut r = rng();
+        for len in 0..20usize {
+            let originals: Vec<Fp> = (0..len).map(|_| Fp::random(&mut r)).collect();
+            let mut batched = originals.clone();
+            batch_invert(&mut batched);
+            for (orig, inv) in originals.iter().zip(&batched) {
+                assert_eq!(*inv, orig.inv().unwrap(), "len {len}");
+                assert_eq!(*orig * *inv, Fp::ONE);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_invert_skips_zeros() {
+        let mut vals = vec![Fp::ZERO, Fp::new(3), Fp::ZERO, Fp::new(9), Fp::ZERO];
+        batch_invert(&mut vals);
+        assert_eq!(vals[0], Fp::ZERO);
+        assert_eq!(vals[2], Fp::ZERO);
+        assert_eq!(vals[4], Fp::ZERO);
+        assert_eq!(vals[1] * Fp::new(3), Fp::ONE);
+        assert_eq!(vals[3] * Fp::new(9), Fp::ONE);
+        // All zeros: a no-op, no panic.
+        let mut zeros = vec![Fp::ZERO; 4];
+        batch_invert(&mut zeros);
+        assert!(zeros.iter().all(|z| z.is_zero()));
+        // Empty: a no-op.
+        batch_invert(&mut []);
     }
 }

@@ -1,6 +1,12 @@
 //! Lagrange interpolation over [`Fp`].
+//!
+//! All interpolation paths compute their basis denominators up front and
+//! invert them with one [`batch_invert`] (Montgomery's trick) — a single
+//! field inversion per call instead of one per point, which matters in
+//! the Reed–Solomon decode loops where interpolation runs per candidate
+//! error budget.
 
-use crate::fp::Fp;
+use crate::fp::{batch_invert, Fp};
 use crate::poly::Poly;
 
 /// Errors produced by interpolation.
@@ -53,19 +59,32 @@ pub fn interpolate(points: &[(Fp, Fp)]) -> Result<Poly, InterpolateError> {
             }
         }
     }
+    // Denominators d_i = prod_{j != i} (x_i - x_j), inverted together:
+    // one field inversion for the whole call (Montgomery's trick).
+    let mut denoms: Vec<Fp> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &(xi, _))| {
+            points
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &(xj, _))| xi - xj)
+                .product()
+        })
+        .collect();
+    batch_invert(&mut denoms);
     let mut acc = Poly::zero();
-    for (i, &(xi, yi)) in points.iter().enumerate() {
-        // Basis polynomial l_i = prod_{j != i} (x - x_j) / (x_i - x_j)
+    for (i, &(_, yi)) in points.iter().enumerate() {
+        // Basis polynomial l_i = prod_{j != i} (x - x_j) / d_i
         let mut basis = Poly::constant(Fp::ONE);
-        let mut denom = Fp::ONE;
         for (j, &(xj, _)) in points.iter().enumerate() {
             if i == j {
                 continue;
             }
             basis = basis.mul_linear(xj);
-            denom *= xi - xj;
         }
-        let scale = yi * denom.inv().expect("distinct x-coords => nonzero denom");
+        let scale = yi * denoms[i];
         let scaled = Poly::from_coeffs(basis.coeffs().iter().map(|&c| c * scale).collect());
         acc = &acc + &scaled;
     }
@@ -111,18 +130,30 @@ pub fn interpolate_at(points: &[(Fp, Fp)], x: Fp) -> Result<Fp, InterpolateError
     if let Some(&(_, y)) = points.iter().find(|(xi, _)| *xi == x) {
         return Ok(y);
     }
+    // Denominators batch-inverted: one inversion per evaluation.
+    let mut dens: Vec<Fp> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &(xi, _))| {
+            points
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &(xj, _))| xi - xj)
+                .product()
+        })
+        .collect();
+    batch_invert(&mut dens);
     let mut total = Fp::ZERO;
-    for (i, &(xi, yi)) in points.iter().enumerate() {
+    for (i, &(_, yi)) in points.iter().enumerate() {
         let mut num = Fp::ONE;
-        let mut den = Fp::ONE;
         for (j, &(xj, _)) in points.iter().enumerate() {
             if i == j {
                 continue;
             }
             num *= x - xj;
-            den *= xi - xj;
         }
-        total += yi * num * den.inv().expect("distinct x-coords");
+        total += yi * num * dens[i];
     }
     Ok(total)
 }

@@ -46,7 +46,7 @@ mod poly;
 mod rs;
 
 pub use bivar::BivarPoly;
-pub use fp::{Fp, MODULUS};
+pub use fp::{batch_invert, Fp, MODULUS};
 pub use interp::{interpolate, interpolate_at, interpolate_at_zero, InterpolateError};
 pub use linalg::solve_linear;
 pub use poly::Poly;

@@ -7,6 +7,11 @@
 //! eventual points are adversarial. OEC retries decoding with a growing
 //! error budget as points arrive and accepts only a polynomial that agrees
 //! with enough received points to be uniquely correct. See `DESIGN.md` §4.1.
+//!
+//! Field inversions in the decode paths are batched: the interpolation
+//! behind the zero-error fast path (and every OEC retry that reaches it)
+//! uses [`batch_invert`](crate::batch_invert) — one inversion per decode
+//! attempt instead of one per point.
 
 use crate::fp::Fp;
 use crate::interp::interpolate;

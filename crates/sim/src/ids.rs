@@ -1,15 +1,28 @@
 //! Identifiers: parties and hierarchical protocol sessions.
 //!
 //! [`SessionId`] paths are *hash-consed*: every distinct tag path is
-//! stored exactly once in a global interner and a `SessionId` is a
-//! reference to that canonical storage. Cloning a session id — the
-//! per-send hot path, since every envelope carries one — is a pointer
-//! copy instead of a `Vec` allocation, and equality/hashing compare one
-//! machine word instead of walking the path.
+//! stored exactly once in a global trie of interned nodes and a
+//! `SessionId` is a reference to that canonical storage. Cloning a
+//! session id — the per-send hot path, since every envelope carries one —
+//! is a pointer copy instead of a `Vec` allocation, and equality/hashing
+//! compare one machine word instead of walking the path.
+//!
+//! The interner is a *trie*: children resolve through a single
+//! `(parent, tag)`-keyed table, so deriving a child
+//! ([`SessionId::child`], the session-spawn hot path) takes one read
+//! lock and allocates nothing on a hit — no path `Vec` is built just to
+//! probe the table. Walking up ([`SessionId::parent`]) follows a stored
+//! pointer in O(1).
+//!
+//! Every interned session also carries a **dense arena index** assigned
+//! at interning time. [`Node`](crate::Node) keys its per-session state by
+//! that index instead of hashing session ids, which removes hash lookups
+//! from the delivery loop entirely.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{OnceLock, RwLock};
 
 /// A party (processor) identifier in `0..n`.
@@ -61,37 +74,75 @@ impl fmt::Display for SessionTag {
     }
 }
 
-/// The canonical empty path (the root session).
-const ROOT_PATH: &[SessionTag] = &[];
-
-/// The global hash-consing table: every distinct path is leaked exactly
-/// once and all `SessionId`s for that path alias the same storage.
+/// One canonical interned session: a node of the global session trie.
 ///
-/// Memory grows with the number of *distinct* sessions ever created (a
-/// few per protocol instance), never with message volume.
-fn interner() -> &'static RwLock<HashSet<&'static [SessionTag]>> {
-    static INTERNER: OnceLock<RwLock<HashSet<&'static [SessionTag]>>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        let mut set = HashSet::new();
-        set.insert(ROOT_PATH);
-        RwLock::new(set)
-    })
+/// Leaked exactly once per distinct path; all `SessionId`s for the path
+/// alias this storage. Memory grows with the number of *distinct*
+/// sessions ever created (a few per protocol instance), never with
+/// message volume. Plain data only — the mutable trie structure lives in
+/// the [`children`] table, so `SessionId` stays a well-behaved map key.
+struct Interned {
+    /// The full tag path from the root.
+    path: &'static [SessionTag],
+    /// The parent trie node (`None` at the root).
+    parent: Option<&'static Interned>,
+    /// Dense arena index, assigned in interning order (root = 0).
+    index: u32,
 }
 
-/// Returns the canonical interned copy of `path`.
-fn intern(path: &[SessionTag]) -> &'static [SessionTag] {
-    if let Some(&hit) = interner().read().expect("interner poisoned").get(path) {
-        return hit;
+/// Next dense arena index to hand out (0 is reserved for the root).
+static NEXT_INDEX: AtomicU32 = AtomicU32::new(1);
+
+/// Cheap multiply-xor hasher for the interner's edge table. The keys are
+/// a pointer plus a tag (static-str pointer bytes and a small index), so
+/// collision quality far beyond this is wasted; SipHash on the 24-byte
+/// key is measurable on the session-spawn hot path. Internal only.
+#[derive(Default)]
+struct EdgeHasher(u64);
+
+impl Hasher for EdgeHasher {
+    fn finish(&self) -> u64 {
+        self.0
     }
-    let mut table = interner().write().expect("interner poisoned");
-    // Double-check: another thread may have interned `path` between the
-    // read unlock and the write lock.
-    if let Some(&hit) = table.get(path) {
-        return hit;
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a for the str bytes of a tag kind (short).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
     }
-    let canonical: &'static [SessionTag] = Box::leak(path.to_vec().into_boxed_slice());
-    table.insert(canonical);
-    canonical
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+}
+
+type EdgeMap =
+    HashMap<(usize, SessionTag), &'static Interned, std::hash::BuildHasherDefault<EdgeHasher>>;
+
+/// The trie's edge table: `(parent node address, tag)` resolves to the
+/// interned child. One read lock and no allocation per already-interned
+/// child — the session-spawn hot path.
+fn children() -> &'static RwLock<EdgeMap> {
+    static CHILDREN: OnceLock<RwLock<EdgeMap>> = OnceLock::new();
+    CHILDREN.get_or_init(|| RwLock::new(EdgeMap::default()))
+}
+
+/// The canonical root trie node.
+fn root_interned() -> &'static Interned {
+    static ROOT: OnceLock<&'static Interned> = OnceLock::new();
+    ROOT.get_or_init(|| {
+        Box::leak(Box::new(Interned {
+            path: &[],
+            parent: None,
+            index: 0,
+        }))
+    })
 }
 
 /// A hierarchical session identifier: the path of [`SessionTag`]s from the
@@ -103,9 +154,9 @@ fn intern(path: &[SessionTag]) -> &'static [SessionTag] {
 /// so messages route without global coordination.
 ///
 /// Session ids are hash-consed (see the module docs): `clone` is a pointer
-/// copy, and `==`/`Hash` compare the canonical pointer — one word — rather
-/// than the tag path. Lexicographic path order is preserved by
-/// [`Ord`]/[`PartialOrd`].
+/// copy, `==`/`Hash` compare the canonical pointer — one word — rather
+/// than the tag path, and [`parent`](SessionId::parent) is a stored
+/// pointer. Lexicographic path order is preserved by [`Ord`]/[`PartialOrd`].
 ///
 /// ```
 /// use aft_sim::{SessionId, SessionTag};
@@ -116,59 +167,91 @@ fn intern(path: &[SessionTag]) -> &'static [SessionTag] {
 /// assert_eq!(svss.last(), Some(&SessionTag::new("svss", 7)));
 /// ```
 #[derive(Clone)]
-pub struct SessionId(&'static [SessionTag]);
+pub struct SessionId(&'static Interned);
 
 impl SessionId {
     /// The empty (root) session.
     pub fn root() -> Self {
-        SessionId(ROOT_PATH)
+        SessionId(root_interned())
     }
 
     /// Builds a session id from a tag path.
     pub fn from_path(path: Vec<SessionTag>) -> Self {
-        if path.is_empty() {
-            return SessionId::root();
+        let mut id = SessionId::root();
+        for tag in path {
+            id = id.child(tag);
         }
-        SessionId(intern(&path))
+        id
     }
 
     /// Returns a child session extended with `tag`.
+    ///
+    /// Hot path: a hit in the trie's edge table is one read lock and no
+    /// allocation (the key is `(parent address, tag)`, so no path `Vec`
+    /// is built to probe); only the first derivation of each distinct
+    /// child pays for interning.
     #[must_use]
     pub fn child(&self, tag: SessionTag) -> SessionId {
-        let mut path = Vec::with_capacity(self.0.len() + 1);
-        path.extend_from_slice(self.0);
+        let key = (self.0 as *const Interned as usize, tag);
+        if let Some(&hit) = children()
+            .read()
+            .expect("session interner poisoned")
+            .get(&key)
+        {
+            return SessionId(hit);
+        }
+        let mut table = children().write().expect("session interner poisoned");
+        // Double-check: another thread may have interned the child between
+        // the read unlock and the write lock.
+        if let Some(&hit) = table.get(&key) {
+            return SessionId(hit);
+        }
+        let mut path = Vec::with_capacity(self.0.path.len() + 1);
+        path.extend_from_slice(self.0.path);
         path.push(tag);
-        SessionId(intern(&path))
+        let interned: &'static Interned = Box::leak(Box::new(Interned {
+            path: Box::leak(path.into_boxed_slice()),
+            parent: Some(self.0),
+            index: NEXT_INDEX.fetch_add(1, Ordering::Relaxed),
+        }));
+        table.insert(key, interned);
+        SessionId(interned)
     }
 
-    /// The parent session, or `None` at the root.
+    /// The parent session, or `None` at the root. O(1): the trie stores
+    /// the parent pointer.
     pub fn parent(&self) -> Option<SessionId> {
-        match self.0.len() {
-            0 => None,
-            1 => Some(SessionId::root()),
-            n => Some(SessionId(intern(&self.0[..n - 1]))),
-        }
+        self.0.parent.map(SessionId)
     }
 
     /// The final tag on the path, or `None` at the root.
     pub fn last(&self) -> Option<&SessionTag> {
-        self.0.last()
+        self.0.path.last()
     }
 
     /// The tag path.
     pub fn path(&self) -> &[SessionTag] {
-        self.0
+        self.0.path
     }
 
     /// Path length (root = 0).
     pub fn depth(&self) -> usize {
-        self.0.len()
+        self.0.path.len()
+    }
+
+    /// The dense interning index of this session (root = 0): distinct
+    /// sessions get consecutive small integers, which is what lets
+    /// [`Node`](crate::Node) arena-index its per-session state instead of
+    /// hashing.
+    pub(crate) fn arena_index(&self) -> usize {
+        self.0.index as usize
     }
 
     /// Whether `self` is `prefix` or a descendant of it.
     pub fn starts_with(&self, prefix: &SessionId) -> bool {
         std::ptr::eq(self.0, prefix.0)
-            || (self.0.len() >= prefix.0.len() && self.0[..prefix.0.len()] == prefix.0[..])
+            || (self.0.path.len() >= prefix.0.path.len()
+                && self.0.path[..prefix.0.path.len()] == prefix.0.path[..])
     }
 }
 
@@ -180,7 +263,7 @@ impl Default for SessionId {
 
 impl PartialEq for SessionId {
     fn eq(&self, other: &Self) -> bool {
-        // Hash-consing makes the canonical slice unique per path, so
+        // Hash-consing makes the canonical node unique per path, so
         // pointer identity IS path equality.
         std::ptr::eq(self.0, other.0)
     }
@@ -190,8 +273,7 @@ impl Eq for SessionId {}
 
 impl Hash for SessionId {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        (self.0.as_ptr() as usize).hash(state);
-        self.0.len().hash(state);
+        (self.0 as *const Interned as usize).hash(state);
     }
 }
 
@@ -204,22 +286,22 @@ impl PartialOrd for SessionId {
 impl Ord for SessionId {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Lexicographic path order, matching the pre-interner semantics.
-        self.0.cmp(other.0)
+        self.0.path.cmp(other.0.path)
     }
 }
 
 impl fmt::Debug for SessionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_tuple("SessionId").field(&self.0).finish()
+        f.debug_tuple("SessionId").field(&self.0.path).finish()
     }
 }
 
 impl fmt::Display for SessionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0.is_empty() {
+        if self.0.path.is_empty() {
             return write!(f, "/");
         }
-        for tag in self.0 {
+        for tag in self.0.path {
             write!(f, "/{tag}")?;
         }
         Ok(())
@@ -292,6 +374,17 @@ mod tests {
     }
 
     #[test]
+    fn arena_indices_are_distinct_and_stable() {
+        let a = SessionId::root().child(SessionTag::new("arena", 0));
+        let b = SessionId::root().child(SessionTag::new("arena", 1));
+        assert_ne!(a.arena_index(), b.arena_index());
+        assert_eq!(SessionId::root().arena_index(), 0);
+        // Re-deriving the same path resolves to the same index.
+        let a2 = SessionId::root().child(SessionTag::new("arena", 0));
+        assert_eq!(a.arena_index(), a2.arena_index());
+    }
+
+    #[test]
     fn ordering_is_lexicographic_by_path() {
         let a0 = SessionId::root().child(SessionTag::new("a", 0));
         let a1 = SessionId::root().child(SessionTag::new("a", 1));
@@ -318,6 +411,7 @@ mod tests {
         for pair in ids.windows(2) {
             assert_eq!(pair[0], pair[1]);
             assert!(std::ptr::eq(pair[0].path(), pair[1].path()));
+            assert_eq!(pair[0].arena_index(), pair[1].arena_index());
         }
     }
 }

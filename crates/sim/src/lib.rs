@@ -68,13 +68,13 @@ pub use montecarlo::{run_trials, Bernoulli};
 pub use network::{Envelope, SimNetwork};
 pub use node::{Node, Outgoing, ShunRegistry};
 pub use payload::Payload;
-pub use queue::{MsgMeta, Pending};
+pub use queue::{BatchSlot, MsgMeta, Pending};
 pub use runtime::{
     runtime_by_name, Metrics, NetConfig, RunReport, Runtime, RuntimeExt, StopReason,
 };
 pub use scheduler::{
-    FifoScheduler, LifoScheduler, RandomScheduler, Scheduler, SchedulerConfig, StarveScheduler,
-    WindowScheduler,
+    BlockScheduler, FifoScheduler, LifoScheduler, RandomScheduler, Scheduler, SchedulerConfig,
+    StarveScheduler, WindowScheduler,
 };
 pub use shard::ShardedSimRuntime;
 pub use threaded::{run_threaded, ThreadedOutputs, ThreadedRuntime};
@@ -85,6 +85,8 @@ pub use threaded::{run_threaded, ThreadedOutputs, ThreadedRuntime};
 ///
 /// * `"fifo"`, `"random"`, `"lifo"`;
 /// * `"window<k>"` for any positive `k` (e.g. `"window4"`, `"window128"`);
+/// * `"block:<b>"` for any positive block size — the locality-preserving
+///   random scheduler ([`BlockScheduler`], e.g. `"block:16"`);
 /// * `"starve:<ids>"` with a comma-separated victim list
 ///   (e.g. `"starve:2"`, `"starve:1,3"`).
 ///
@@ -94,6 +96,7 @@ pub use threaded::{run_threaded, ThreadedOutputs, ThreadedRuntime};
 /// let s = aft_sim::scheduler_by_name("random").unwrap();
 /// assert_eq!(s.name(), "random");
 /// assert!(aft_sim::scheduler_by_name("window9").is_some());
+/// assert!(aft_sim::scheduler_by_name("block:16").is_some());
 /// assert!(aft_sim::scheduler_by_name("starve:1,3").is_some());
 /// assert!(aft_sim::scheduler_by_name("bogus").is_none());
 /// ```
@@ -109,6 +112,13 @@ pub fn scheduler_by_name(name: &str) -> Option<Box<dyn Scheduler>> {
                     return None;
                 }
                 return Some(Box::new(WindowScheduler::new(k)));
+            }
+            if let Some(b) = name.strip_prefix("block:") {
+                let b: usize = b.parse().ok()?;
+                if b == 0 {
+                    return None;
+                }
+                return Some(Box::new(BlockScheduler::new(b)));
             }
             let rest = name.strip_prefix("starve:")?;
             let mut victims = Vec::new();
@@ -127,11 +137,16 @@ mod tests {
 
     #[test]
     fn scheduler_by_name_covers_all() {
-        for n in ["fifo", "random", "lifo", "window4", "window16", "starve:2"] {
+        for n in [
+            "fifo", "random", "lifo", "window4", "window16", "block:1", "block:64", "starve:2",
+        ] {
             assert!(scheduler_by_name(n).is_some(), "{n}");
         }
         assert!(scheduler_by_name("nope").is_none());
         assert!(scheduler_by_name("starve:x").is_none());
+        assert!(scheduler_by_name("block:0").is_none(), "zero block");
+        assert!(scheduler_by_name("block:").is_none(), "missing size");
+        assert!(scheduler_by_name("block:x").is_none(), "non-numeric size");
     }
 
     #[test]

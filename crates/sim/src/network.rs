@@ -88,6 +88,8 @@ pub struct SimNetwork {
     /// Whether any delivery step has executed (gates the crash-before-run
     /// retraction of buffered sends).
     started: bool,
+    /// Reusable dispatch-output buffer (empty between steps).
+    scratch: Vec<Outgoing>,
 }
 
 impl SimNetwork {
@@ -119,6 +121,7 @@ impl SimNetwork {
             crash_at: HashMap::new(),
             trace: None,
             started: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -144,8 +147,8 @@ impl SimNetwork {
     /// Spawns `instance` for `party` at `session` and injects its initial
     /// sends.
     pub fn spawn(&mut self, party: PartyId, session: SessionId, instance: Box<dyn Instance>) {
-        let out = self.nodes[party.0].spawn(session, instance);
-        self.enqueue(party, out);
+        let mut out = self.nodes[party.0].spawn(session, instance);
+        self.enqueue(party, &mut out);
     }
 
     /// Crashes `party` immediately: it stops processing and sending.
@@ -171,7 +174,7 @@ impl SimNetwork {
 
     /// The number of in-flight envelopes.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.pending.messages()
     }
 
     /// Run metrics so far.
@@ -195,43 +198,65 @@ impl SimNetwork {
             .and_then(|p| p.downcast_ref::<T>())
     }
 
-    /// Delivers exactly one message (chosen by the scheduler, subject to
-    /// the fairness cap). Returns `false` when nothing is pending.
+    /// Delivers the scheduler's next pick — one same-`(src, dst)` batch
+    /// run in FIFO order, subject to the fairness cap. Returns `false`
+    /// when nothing is pending.
+    ///
+    /// Delivering the run whole is what keeps the scheduler machinery
+    /// (RNG draw, Fenwick lookup, random slab access) at O(batches)
+    /// rather than O(messages); scheduling granularity is the batch,
+    /// delivery accounting stays per-message.
     pub fn step(&mut self) -> bool {
-        let Some(env) = self.pick_next() else {
-            return false;
+        self.step_bounded(u64::MAX) > 0
+    }
+
+    /// [`step`](SimNetwork::step), with the run truncated to at most
+    /// `limit` messages (exact step budgets). Returns the number
+    /// delivered — `0` means nothing was pending (or `limit == 0`).
+    fn step_bounded(&mut self, limit: u64) -> u64 {
+        if limit == 0 {
+            return 0;
+        }
+        let Some((slot, run)) = self.pick_next() else {
+            return 0;
         };
         self.started = true;
-        // Trigger scheduled crashes (steps is incremented by the shared
-        // dispatch core below, so "now" is steps + 1).
-        if !self.crash_at.is_empty() {
-            let step_now = self.metrics.steps + 1;
-            let due: Vec<PartyId> = self
-                .crash_at
-                .iter()
-                .filter(|(_, &s)| s <= step_now)
-                .map(|(&p, _)| p)
-                .collect();
-            for p in due {
-                self.crash_at.remove(&p);
-                self.crash(p);
+        let run = run.min(limit);
+        for _ in 0..run {
+            // Trigger scheduled crashes per delivery, so a crash step
+            // falling inside a batch run still fires exactly on time
+            // (steps is incremented by the shared dispatch core below,
+            // so "now" is steps + 1).
+            if !self.crash_at.is_empty() {
+                let step_now = self.metrics.steps + 1;
+                let due: Vec<PartyId> = self
+                    .crash_at
+                    .iter()
+                    .filter(|(_, &s)| s <= step_now)
+                    .map(|(&p, _)| p)
+                    .collect();
+                for p in due {
+                    self.crash_at.remove(&p);
+                    self.crash(p);
+                }
             }
+            let env = self.pending.take_slot(slot);
+            if let Some(trace) = &mut self.trace {
+                trace.push((env.seq, env.from, env.to));
+            }
+            let mut out = std::mem::take(&mut self.scratch);
+            deliver_counted(
+                &mut self.nodes[env.to.0],
+                env.from,
+                env.session,
+                env.payload,
+                &mut out,
+                &mut self.metrics,
+            );
+            self.enqueue(env.to, &mut out);
+            self.scratch = out;
         }
-
-        if let Some(trace) = &mut self.trace {
-            trace.push((env.seq, env.from, env.to));
-        }
-        let mut out = Vec::new();
-        deliver_counted(
-            &mut self.nodes[env.to.0],
-            env.from,
-            env.session,
-            env.payload,
-            &mut out,
-            &mut self.metrics,
-        );
-        self.enqueue(env.to, out);
-        true
+        run
     }
 
     /// Runs until quiescence or until `max_steps` deliveries.
@@ -240,7 +265,8 @@ impl SimNetwork {
     }
 
     /// Runs until quiescence, the step budget, or `stop(self)` returning
-    /// `true` (checked after every delivery).
+    /// `true` (checked after every scheduler pick, i.e. every delivered
+    /// batch run).
     pub fn run_until<F: FnMut(&SimNetwork) -> bool>(
         &mut self,
         max_steps: u64,
@@ -248,10 +274,11 @@ impl SimNetwork {
     ) -> RunReport {
         let start = self.metrics.steps;
         loop {
-            if self.metrics.steps - start >= max_steps {
+            let remaining = max_steps - (self.metrics.steps - start);
+            if remaining == 0 {
                 return self.report(StopReason::StepLimit);
             }
-            if !self.step() {
+            if self.step_bounded(remaining) == 0 {
                 return self.report(StopReason::Quiescent);
             }
             if stop(self) {
@@ -283,12 +310,22 @@ impl SimNetwork {
         }
     }
 
-    fn enqueue(&mut self, from: PartyId, out: Vec<Outgoing>) {
+    /// Counts and enqueues one dispatch's outgoing envelopes, grouped by
+    /// destination (a stable sort, so per-destination order is emission
+    /// order): a multi-send dispatch becomes one batch per destination in
+    /// the in-flight queue instead of one record per envelope. Metrics see
+    /// the original emission order. Drains `out` in place so callers can
+    /// reuse the buffer.
+    fn enqueue(&mut self, from: PartyId, out: &mut Vec<Outgoing>) {
         if self.muted[from.0] {
+            out.clear();
             return;
         }
-        for o in out {
+        for o in out.iter() {
             self.metrics.on_sent(&o.session);
+        }
+        out.sort_by_key(|o| o.to.0);
+        for o in out.drain(..) {
             self.pending.push(Envelope {
                 from,
                 to: o.to,
@@ -301,14 +338,16 @@ impl SimNetwork {
         }
     }
 
-    /// Applies the fairness cap, then the scheduler.
-    fn pick_next(&mut self) -> Option<Envelope> {
+    /// Applies the fairness cap, then the scheduler. Returns the stable
+    /// handle of the picked batch and the length of its run.
+    fn pick_next(&mut self) -> Option<(crate::queue::BatchSlot, u64)> {
         if self.pending.is_empty() {
             return None;
         }
         let now = self.metrics.steps;
         let max_age = self.config.scheduler.max_age;
-        // Index 0 is the oldest pending message (arrival order).
+        // Index 0 is the oldest pending batch (arrival order); its meta
+        // carries the age of its oldest envelope.
         let idx = if now.saturating_sub(self.pending.meta(0).born_step) > max_age {
             0
         } else {
@@ -316,7 +355,9 @@ impl SimNetwork {
             debug_assert!(i < self.pending.len(), "scheduler index out of range");
             i.min(self.pending.len() - 1)
         };
-        Some(self.pending.take(idx))
+        let slot = self.pending.slot_of(idx);
+        let run = self.pending.meta_of_slot(slot).count as u64;
+        Some((slot, run))
     }
 }
 

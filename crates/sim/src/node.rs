@@ -1,5 +1,12 @@
 //! A single party's runtime: session routing, child spawning, output
 //! propagation, shun enforcement.
+//!
+//! Per-session state (instance, early-message buffer, first output) lives
+//! in an **arena** indexed by the dense interning index of each
+//! [`SessionId`] — the delivery hot path does one bounds-checked array
+//! access instead of hashing, and the effect loop reuses its work queue
+//! and effect buffers across deliveries, so a steady-state run allocates
+//! nothing per message.
 
 use crate::ids::{PartyId, SessionId, SessionTag};
 use crate::instance::{Context, Effect, Instance};
@@ -45,7 +52,12 @@ impl ShunRegistry {
 
     /// Whether a message from `from` addressed to `session` should be
     /// dropped.
+    #[inline]
     pub fn blocks(&self, from: PartyId, session: &SessionId) -> bool {
+        // Fast path for the overwhelmingly common case: no shun recorded.
+        if self.entries.is_empty() {
+            return false;
+        }
         match self.entries.get(&from) {
             None => false,
             // Same invocation subtree (or an ancestor of it) still accepted.
@@ -78,6 +90,44 @@ enum Work {
     ChildOutput(SessionId, SessionTag, Payload),
 }
 
+/// Sessions per arena page. Arena indices are process-global (assigned by
+/// the interner), so a flat `Vec` per node would grow with every session
+/// ever interned anywhere; pages keep a node's footprint proportional to
+/// the sessions *it* touches (which get near-contiguous indices, since a
+/// deployment interns its sessions together).
+const ARENA_PAGE: usize = 64;
+
+/// One lazily-allocated page of session slots.
+type ArenaPage = [Option<SessionSlot>; ARENA_PAGE];
+
+/// Arena cell holding everything the node tracks for one session.
+struct SessionSlot {
+    /// The session this cell belongs to (for iteration back to ids).
+    session: SessionId,
+    /// The live instance. `None` while the instance is running a callback
+    /// (taken out to sidestep re-entrancy) or when the session was only
+    /// ever touched by early messages / outputs.
+    instance: Option<Box<dyn Instance>>,
+    /// Whether an instance was ever spawned here (spawn idempotence).
+    spawned: bool,
+    /// Messages that arrived before the session was spawned locally.
+    early: Vec<(PartyId, Payload)>,
+    /// First output of the session.
+    output: Option<Payload>,
+}
+
+impl SessionSlot {
+    fn new(session: SessionId) -> Self {
+        SessionSlot {
+            session,
+            instance: None,
+            spawned: false,
+            early: Vec::new(),
+            output: None,
+        }
+    }
+}
+
 /// One party's local runtime: routes messages to protocol instances,
 /// spawns children, propagates outputs upward, and enforces shunning.
 pub struct Node {
@@ -85,17 +135,21 @@ pub struct Node {
     n: usize,
     t: usize,
     rng: ChaCha12Rng,
-    instances: HashMap<SessionId, Box<dyn Instance>>,
-    /// Messages that arrived before their session was spawned locally.
-    early: HashMap<SessionId, VecDeque<(PartyId, Payload)>>,
-    /// First output of each session.
-    outputs: HashMap<SessionId, Payload>,
+    /// Per-session state, indexed by [`SessionId::arena_index`] through a
+    /// two-level page table (see [`ARENA_PAGE`]).
+    slots: Vec<Option<Box<ArenaPage>>>,
+    /// Number of sessions with a spawned instance (diagnostics).
+    instances: usize,
     /// Peers this node shuns.
     pub(crate) shun: ShunRegistry,
     /// True once the party has crashed (stops reacting entirely).
     crashed: bool,
     /// Count of shun events this node declared (for metrics).
     shun_events: u64,
+    /// Reusable effect-loop work queue (empty between deliveries).
+    work: VecDeque<Work>,
+    /// Reusable effect buffer handed to instance callbacks.
+    effects_pool: Vec<Effect>,
 }
 
 impl Node {
@@ -107,12 +161,13 @@ impl Node {
             n,
             t,
             rng,
-            instances: HashMap::new(),
-            early: HashMap::new(),
-            outputs: HashMap::new(),
+            slots: Vec::new(),
+            instances: 0,
             shun: ShunRegistry::default(),
             crashed: false,
             shun_events: 0,
+            work: VecDeque::new(),
+            effects_pool: Vec::new(),
         }
     }
 
@@ -131,19 +186,43 @@ impl Node {
         self.crashed
     }
 
+    /// The arena cell for `session`, created on first touch.
+    fn slot_mut(&mut self, session: &SessionId) -> &mut SessionSlot {
+        let idx = session.arena_index();
+        let (page, offset) = (idx / ARENA_PAGE, idx % ARENA_PAGE);
+        if page >= self.slots.len() {
+            self.slots.resize_with(page + 1, || None);
+        }
+        let cells = self.slots[page].get_or_insert_with(|| Box::new(std::array::from_fn(|_| None)));
+        cells[offset].get_or_insert_with(|| SessionSlot::new(session.clone()))
+    }
+
+    /// The arena cell for `session`, if it was ever touched.
+    fn slot(&self, session: &SessionId) -> Option<&SessionSlot> {
+        let idx = session.arena_index();
+        self.slots.get(idx / ARENA_PAGE)?.as_ref()?[idx % ARENA_PAGE].as_ref()
+    }
+
     /// The first output recorded for `session`, if any.
     pub fn output(&self, session: &SessionId) -> Option<&Payload> {
-        self.outputs.get(session)
+        self.slot(session)?.output.as_ref()
     }
 
     /// All recorded `(session, output)` pairs.
     pub fn outputs(&self) -> impl Iterator<Item = (&SessionId, &Payload)> {
-        self.outputs.iter()
+        self.slots
+            .iter()
+            .filter_map(|page| page.as_deref())
+            .flatten()
+            .filter_map(|cell| {
+                let slot = cell.as_ref()?;
+                Some((&slot.session, slot.output.as_ref()?))
+            })
     }
 
     /// Number of live instances (diagnostics).
     pub fn instance_count(&self) -> usize {
-        self.instances.len()
+        self.instances
     }
 
     /// Number of shun events declared by this node.
@@ -163,10 +242,13 @@ impl Node {
         if self.crashed {
             return out;
         }
-        if self.instances.contains_key(&session) {
+        let slot = self.slot_mut(&session);
+        if slot.spawned {
             return out; // idempotent
         }
-        self.instances.insert(session.clone(), instance);
+        slot.spawned = true;
+        slot.instance = Some(instance);
+        self.instances += 1;
         self.run_loop(Work::Start(session), &mut out);
         out
     }
@@ -193,55 +275,64 @@ impl Node {
     }
 
     /// The effect-processing loop: executes one work item, then drains all
-    /// effects it generated (which may enqueue more work).
+    /// effects it generated (which may enqueue more work). The work queue
+    /// and effect buffer are node-owned and reused across deliveries.
     fn run_loop(&mut self, first: Work, out: &mut Vec<Outgoing>) {
-        let mut queue = VecDeque::new();
+        debug_assert!(self.work.is_empty(), "work queue must drain fully");
+        let mut queue = std::mem::take(&mut self.work);
         queue.push_back(first);
         while let Some(work) = queue.pop_front() {
-            let (session, effects) = match work {
+            let mut effects = match work {
                 Work::Start(session) => {
-                    let Some(mut inst) = self.instances.remove(&session) else {
+                    let slot = self.slot_mut(&session);
+                    let Some(mut inst) = slot.instance.take() else {
                         continue;
                     };
                     let mut ctx =
                         Context::new(self.id, self.n, self.t, session.clone(), &mut self.rng);
+                    ctx.effects = std::mem::take(&mut self.effects_pool);
                     inst.on_start(&mut ctx);
-                    self.instances.insert(session.clone(), inst);
+                    let effects = std::mem::take(&mut ctx.effects);
+                    drop(ctx);
+                    let slot = self.slot_mut(&session);
+                    slot.instance = Some(inst);
                     // Drain any messages that raced ahead of the spawn.
-                    if let Some(buffered) = self.early.remove(&session) {
-                        for (from, payload) in buffered {
-                            queue.push_back(Work::Msg(session.clone(), from, payload));
-                        }
+                    for (from, payload) in std::mem::take(&mut slot.early) {
+                        queue.push_back(Work::Msg(session.clone(), from, payload));
                     }
-                    (session, ctx.effects)
+                    effects
                 }
                 Work::Msg(session, from, payload) => {
-                    let Some(mut inst) = self.instances.remove(&session) else {
-                        self.early
-                            .entry(session)
-                            .or_default()
-                            .push_back((from, payload));
+                    let slot = self.slot_mut(&session);
+                    let Some(mut inst) = slot.instance.take() else {
+                        slot.early.push((from, payload));
                         continue;
                     };
                     let mut ctx =
                         Context::new(self.id, self.n, self.t, session.clone(), &mut self.rng);
+                    ctx.effects = std::mem::take(&mut self.effects_pool);
                     inst.on_message(from, &payload, &mut ctx);
-                    self.instances.insert(session.clone(), inst);
-                    (session, ctx.effects)
+                    let effects = std::mem::take(&mut ctx.effects);
+                    drop(ctx);
+                    self.slot_mut(&session).instance = Some(inst);
+                    effects
                 }
                 Work::ChildOutput(session, tag, value) => {
-                    let Some(mut inst) = self.instances.remove(&session) else {
+                    let slot = self.slot_mut(&session);
+                    let Some(mut inst) = slot.instance.take() else {
                         continue;
                     };
                     let mut ctx =
                         Context::new(self.id, self.n, self.t, session.clone(), &mut self.rng);
+                    ctx.effects = std::mem::take(&mut self.effects_pool);
                     inst.on_child_output(&tag, &value, &mut ctx);
-                    self.instances.insert(session.clone(), inst);
-                    (session, ctx.effects)
+                    let effects = std::mem::take(&mut ctx.effects);
+                    drop(ctx);
+                    self.slot_mut(&session).instance = Some(inst);
+                    effects
                 }
             };
-            let _ = session;
-            for effect in effects {
+            for effect in effects.drain(..) {
                 match effect {
                     Effect::Send {
                         to,
@@ -262,16 +353,20 @@ impl Node {
                         }
                     }
                     Effect::Spawn { session, instance } => {
-                        if !self.instances.contains_key(&session) {
-                            self.instances.insert(session.clone(), instance);
+                        let slot = self.slot_mut(&session);
+                        if !slot.spawned {
+                            slot.spawned = true;
+                            slot.instance = Some(instance);
+                            self.instances += 1;
                             queue.push_back(Work::Start(session));
                         }
                     }
                     Effect::Output { session, value } => {
-                        if self.outputs.contains_key(&session) {
+                        let slot = self.slot_mut(&session);
+                        if slot.output.is_some() {
                             continue; // first output wins
                         }
-                        self.outputs.insert(session.clone(), value.clone());
+                        slot.output = Some(value.clone());
                         if let (Some(parent), Some(tag)) = (session.parent(), session.last()) {
                             queue.push_back(Work::ChildOutput(parent, *tag, value));
                         }
@@ -283,7 +378,12 @@ impl Node {
                     }
                 }
             }
+            // Recycle the drained buffer for the next callback.
+            if effects.capacity() > self.effects_pool.capacity() {
+                self.effects_pool = effects;
+            }
         }
+        self.work = queue;
     }
 }
 
@@ -324,6 +424,15 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].to, PartyId(0));
         assert_eq!(out[0].payload.downcast_ref::<u32>(), Some(&1));
+        assert_eq!(n.instance_count(), 1);
+    }
+
+    #[test]
+    fn spawn_is_idempotent() {
+        let mut n = node(1);
+        assert_eq!(n.spawn(sid("x"), Box::new(Doubler)).len(), 1);
+        assert!(n.spawn(sid("x"), Box::new(Doubler)).is_empty());
+        assert_eq!(n.instance_count(), 1);
     }
 
     #[test]

@@ -1,10 +1,20 @@
 //! The in-flight message queue behind the simulator's delivery loop.
 //!
-//! Envelopes live in a slab next to their scheduler-visible [`MsgMeta`];
-//! what the [`Scheduler`] sees is an arrival-ordered view of those
-//! lightweight records (sender, receiver, sequence number, age, kind).
-//! Schedulers index into that view and never touch payloads or session
-//! paths.
+//! Envelopes live in a slab of **batches** next to their scheduler-visible
+//! [`MsgMeta`]; what the [`Scheduler`] sees is an arrival-ordered view of
+//! those lightweight records (sender, receiver, head sequence number, age,
+//! kind, batch size). Schedulers index into that view and never touch
+//! payloads or session paths.
+//!
+//! **Batching**: consecutive envelopes with the same `(sender, receiver)`
+//! pair collapse into a single slab record holding the run of envelopes in
+//! FIFO order. The scheduler's pick granularity is the batch; delivery
+//! granularity stays the single message — [`take`](Pending::take) pops the
+//! *head* of the picked batch and the record keeps its arrival position
+//! until the run is drained. The arrival list, the Fenwick index and the
+//! sharded backend's cross-shard channels therefore move O(batches)
+//! records instead of O(messages), and draining a batch walks one
+//! contiguous buffer instead of hopping across the slab.
 //!
 //! The live view is an append-only arrival list with tombstones indexed
 //! by a Fenwick tree, so removal at an arbitrary arrival position — a
@@ -12,26 +22,45 @@
 //! shift, the front position (fairness-cap forced deliveries, FIFO) is
 //! O(1), and a queue that drains to empty (every sharded-simulator
 //! epoch) resets for free. Dead entries are compacted away when the list
-//! regrows.
+//! regrows. A pick that only shortens a batch does not touch the Fenwick
+//! tree at all.
 //!
 //! [`Scheduler`]: crate::Scheduler
 
 use crate::ids::PartyId;
 use crate::network::Envelope;
+use std::collections::VecDeque;
 
-/// Scheduler-visible metadata of one in-flight message.
+/// Scheduler-visible metadata of one in-flight batch (a FIFO run of
+/// envelopes sharing a `(sender, receiver)` pair — often of length 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MsgMeta {
     /// Sender.
     pub from: PartyId,
     /// Receiver.
     pub to: PartyId,
-    /// Global send sequence number (unique, monotone).
+    /// Global send sequence number of the batch head (unique, monotone).
     pub seq: u64,
-    /// Delivery step at which the message was sent.
+    /// Delivery step at which the batch head was sent.
     pub born_step: u64,
-    /// Leaf session kind (`"root"` for root sessions).
+    /// Leaf session kind of the batch head (`"root"` for root sessions).
     pub kind: &'static str,
+    /// Number of envelopes remaining in the batch (≥ 1).
+    pub count: u32,
+}
+
+impl MsgMeta {
+    /// Metadata for a batch headed by `env` with `count` envelopes.
+    fn of(env: &Envelope, count: u32) -> MsgMeta {
+        MsgMeta {
+            from: env.from,
+            to: env.to,
+            seq: env.seq,
+            born_step: env.born_step,
+            kind: env.session.last().map_or("root", |t| t.kind),
+            count,
+        }
+    }
 }
 
 /// A Fenwick (binary indexed) tree of 0/1 counts over arrival positions:
@@ -84,17 +113,41 @@ impl LiveIndex {
     }
 }
 
+/// Batched envelope storage of one slab record. Singletons — the common
+/// case on the single-queue simulator — hold their envelope inline; only
+/// a real run of same-pair envelopes pays for a deque (recycled through
+/// [`Pending::spare`], so steady-state batching does not allocate either).
+enum Batch {
+    /// Exactly one envelope, stored inline.
+    One(Envelope),
+    /// A FIFO run of two or more (until drained) envelopes.
+    Many(VecDeque<Envelope>),
+}
+
+/// A stable handle to one live batch record, valid until the batch's run
+/// drains — unlike arrival indices, it survives pushes, compactions and
+/// removals of *other* batches, so a caller delivering a whole run
+/// resolves the arrival order once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchSlot(u32);
+
 /// The arrival-ordered in-flight queue.
 ///
-/// Index `0` is always the oldest pending message; pushes append at the
-/// back. [`take`](Pending::take) removes by arrival index in
-/// O(log queue) — O(1) at the front.
+/// Index `0` is always the oldest pending batch; pushes append at the back
+/// (or extend the youngest batch when the `(sender, receiver)` pair
+/// matches). [`take`](Pending::take) pops one envelope by arrival index in
+/// O(log batches) — O(1) at the front and O(1) whenever the pick leaves
+/// the batch non-empty.
 #[derive(Default)]
 pub struct Pending {
-    /// Metadata + envelope storage; `None` slots are free.
-    slots: Vec<Option<(MsgMeta, Envelope)>>,
+    /// Metadata, current arrival position, and batched envelope storage;
+    /// `None` slots are free. The stored position is kept current by
+    /// compaction, which is what makes [`BatchSlot`] handles stable.
+    slots: Vec<Option<(MsgMeta, usize, Batch)>>,
     /// Free slot indices available for reuse.
     free: Vec<u32>,
+    /// Recycled (empty) deques from drained multi-envelope batches.
+    spare: Vec<VecDeque<Envelope>>,
     /// Arrival-ordered slot ids (append-only between compactions).
     arrival: Vec<u32>,
     /// Tombstones, parallel to `arrival`.
@@ -103,17 +156,23 @@ pub struct Pending {
     index: LiveIndex,
     /// First possibly-live position in `arrival`.
     head: usize,
-    /// Number of live entries.
+    /// Number of live batches.
     live: usize,
+    /// Number of in-flight envelopes across all batches.
+    total: usize,
+    /// Slot id of the most recently pushed batch while it is still live —
+    /// the only merge target, so batching is a pure function of the
+    /// push/take sequence (tombstone compaction cannot change it).
+    tail: Option<u32>,
 }
 
 impl Pending {
     /// Creates an empty queue.
-    pub(crate) fn new() -> Self {
+    pub fn new() -> Self {
         Pending::default()
     }
 
-    /// Number of in-flight messages.
+    /// Number of in-flight *batches* — the scheduler's pick space.
     pub fn len(&self) -> usize {
         self.live
     }
@@ -123,7 +182,12 @@ impl Pending {
         self.live == 0
     }
 
-    /// Arrival position of the `i`-th oldest live entry.
+    /// Number of in-flight *envelopes* across all batches.
+    pub fn messages(&self) -> usize {
+        self.total
+    }
+
+    /// Arrival position of the `i`-th oldest live batch.
     fn position(&self, i: usize) -> usize {
         assert!(i < self.live, "index {i} beyond live queue ({})", self.live);
         if i == 0 {
@@ -134,7 +198,7 @@ impl Pending {
         }
     }
 
-    /// Metadata of the `i`-th oldest in-flight message.
+    /// Metadata of the `i`-th oldest in-flight batch.
     ///
     /// # Panics
     ///
@@ -147,7 +211,7 @@ impl Pending {
             .0
     }
 
-    /// All metadata in arrival order (oldest first).
+    /// All batch metadata in arrival order (oldest first).
     pub fn metas(&self) -> impl Iterator<Item = MsgMeta> + '_ {
         self.arrival[self.head..]
             .iter()
@@ -161,33 +225,106 @@ impl Pending {
             })
     }
 
-    /// Enqueues an envelope at the back (the youngest position).
-    pub(crate) fn push(&mut self, env: Envelope) {
-        let meta = MsgMeta {
-            from: env.from,
-            to: env.to,
-            seq: env.seq,
-            born_step: env.born_step,
-            kind: env.session.last().map_or("root", |t| t.kind),
+    /// Whether the most recently pushed batch is live and can absorb an
+    /// envelope from `from` to `to`; returns its slot id if so.
+    fn mergeable_tail(&self, from: PartyId, to: PartyId) -> Option<u32> {
+        let slot = self.tail?;
+        let meta = &self.slots[slot as usize]
+            .as_ref()
+            .expect("tail batch is live")
+            .0;
+        (meta.from == from && meta.to == to).then_some(slot)
+    }
+
+    /// Extends the live tail batch in slot `slot` with one envelope,
+    /// promoting an inline singleton to a deque (recycled when possible).
+    fn extend_tail(&mut self, slot: u32, env: Envelope) {
+        let entry = self.slots[slot as usize]
+            .as_mut()
+            .expect("mergeable tail slot occupied");
+        entry.0.count += 1;
+        self.total += 1;
+        match &mut entry.2 {
+            Batch::Many(run) => run.push_back(env),
+            one => {
+                let mut run = self.spare.pop().unwrap_or_default();
+                let head = match std::mem::replace(one, Batch::Many(VecDeque::new())) {
+                    Batch::One(head) => head,
+                    Batch::Many(_) => unreachable!("matched above"),
+                };
+                run.push_back(head);
+                run.push_back(env);
+                *one = Batch::Many(run);
+            }
+        }
+    }
+
+    /// Enqueues an envelope at the back: extends the youngest batch when
+    /// the `(sender, receiver)` pair matches, otherwise opens a new batch.
+    pub fn push(&mut self, env: Envelope) {
+        if let Some(slot) = self.mergeable_tail(env.from, env.to) {
+            self.extend_tail(slot, env);
+            return;
+        }
+        let meta = MsgMeta::of(&env, 1);
+        self.insert_batch(meta, Batch::One(env));
+    }
+
+    /// Enqueues a whole same-`(sender, receiver)` run as one batch record —
+    /// the sharded backend's cross-shard handoff, which thereby moves
+    /// O(batches) instead of O(messages). Empty runs are ignored.
+    ///
+    /// The envelopes must share one `(from, to)` pair and be in the
+    /// intended FIFO order.
+    pub fn push_batch(&mut self, envs: Vec<Envelope>) {
+        let Some(first) = envs.first() else {
+            return;
         };
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.slots[s as usize] = Some((meta, env));
-                s
+        debug_assert!(
+            envs.iter()
+                .all(|e| e.from == first.from && e.to == first.to),
+            "a batch must share one (from, to) pair"
+        );
+        if let Some(slot) = self.mergeable_tail(first.from, first.to) {
+            for env in envs {
+                self.extend_tail(slot, env);
             }
-            None => {
-                self.slots.push(Some((meta, env)));
-                (self.slots.len() - 1) as u32
-            }
+            return;
+        }
+        let meta = MsgMeta::of(first, envs.len() as u32);
+        let batch = if envs.len() == 1 {
+            Batch::One(envs.into_iter().next().expect("len checked"))
+        } else {
+            Batch::Many(VecDeque::from(envs))
+        };
+        self.insert_batch(meta, batch);
+    }
+
+    /// Installs a fresh batch record at the back of the arrival order.
+    fn insert_batch(&mut self, meta: MsgMeta, batch: Batch) {
+        self.total += match &batch {
+            Batch::One(_) => 1,
+            Batch::Many(run) => run.len(),
         };
         if self.arrival.len() == self.index.capacity() {
             self.compact_and_grow();
         }
         let pos = self.arrival.len();
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some((meta, pos, batch));
+                s
+            }
+            None => {
+                self.slots.push(Some((meta, pos, batch)));
+                (self.slots.len() - 1) as u32
+            }
+        };
         self.arrival.push(slot);
         self.alive.push(true);
         self.index.add(pos, 1);
         self.live += 1;
+        self.tail = Some(slot);
     }
 
     /// Removes and returns every in-flight message sent by `from`, oldest
@@ -197,6 +334,9 @@ impl Pending {
         let mut i = 0;
         while i < self.len() {
             if self.meta(i).from == from {
+                // `take` keeps a partially drained batch at index `i`, so
+                // repeating the take drains the whole run before `i` moves
+                // on to the next batch.
                 removed.push(self.take(i));
             } else {
                 i += 1;
@@ -205,22 +345,82 @@ impl Pending {
         removed
     }
 
-    /// Removes and returns the `i`-th oldest in-flight message.
+    /// Removes and returns the head envelope of the `i`-th oldest batch.
+    /// The batch keeps its arrival position until its run drains.
     ///
     /// # Panics
     ///
     /// Panics if `i >= len()`.
-    pub(crate) fn take(&mut self, i: usize) -> Envelope {
+    pub fn take(&mut self, i: usize) -> Envelope {
         let pos = self.position(i);
-        let slot = self.arrival[pos];
+        self.take_slot(BatchSlot(self.arrival[pos]))
+    }
+
+    /// Stable handle of the `i`-th oldest live batch, for use with
+    /// [`take_slot`](Pending::take_slot). The handle stays valid while
+    /// the batch has envelopes left (`meta(i).count` of them, plus any
+    /// concurrently merged into it), so a caller draining a whole run
+    /// resolves the Fenwick index once instead of once per envelope —
+    /// and, unlike a raw arrival position, the handle survives pushes
+    /// and compactions happening between takes.
+    pub fn slot_of(&self, i: usize) -> BatchSlot {
+        BatchSlot(self.arrival[self.position(i)])
+    }
+
+    /// Metadata of the live batch `slot` — O(1), no arrival-order lookup
+    /// (pair with [`slot_of`](Pending::slot_of) to resolve a pick's
+    /// handle and run length with a single Fenwick traversal).
+    pub fn meta_of_slot(&self, slot: BatchSlot) -> MsgMeta {
+        self.slots[slot.0 as usize]
+            .as_ref()
+            .expect("batch handle refers to a live batch")
+            .0
+    }
+
+    /// Removes and returns the head envelope of the live batch `slot`
+    /// (obtained from [`slot_of`](Pending::slot_of)) in O(1) while the
+    /// batch survives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` does not refer to a live batch.
+    pub fn take_slot(&mut self, slot: BatchSlot) -> Envelope {
+        let slot = slot.0 as usize;
+        let entry = self.slots[slot]
+            .as_mut()
+            .expect("batch handle refers to a live batch");
+        self.total -= 1;
+        if let Batch::Many(run) = &mut entry.2 {
+            if run.len() > 1 {
+                // The batch survives: refresh its meta to the new head.
+                // The Fenwick view is untouched — an O(1) pick.
+                let env = run.pop_front().expect("len checked");
+                let next = run.front().expect("len checked");
+                entry.0 = MsgMeta::of(next, entry.0.count - 1);
+                return env;
+            }
+        }
+        // Batch drained: retire the record, recycling its deque.
+        let (_, pos, batch) = self.slots[slot]
+            .take()
+            .expect("batch handle refers to a live batch");
+        let env = match batch {
+            Batch::One(env) => env,
+            Batch::Many(mut run) => {
+                let env = run.pop_front().expect("drained batch has its last");
+                if self.spare.len() < 32 {
+                    self.spare.push(run);
+                }
+                env
+            }
+        };
+        self.free.push(slot as u32);
+        if self.tail == Some(slot as u32) {
+            self.tail = None;
+        }
         self.alive[pos] = false;
         self.index.add(pos, -1);
         self.live -= 1;
-        self.free.push(slot);
-        let env = self.slots[slot as usize]
-            .take()
-            .expect("live arrival entry points at an occupied slot")
-            .1;
         if self.live == 0 {
             // Fully drained (every sharded epoch ends here): the Fenwick
             // tree is all zeros again, so resetting is free.
@@ -263,6 +463,14 @@ impl Pending {
                 index.tree[parent] += index.tree[i];
             }
         }
+        // Refresh every survivor's stored position (what keeps
+        // `BatchSlot` handles stable across the rebuild).
+        for (new_pos, &slot) in lives.iter().enumerate() {
+            self.slots[slot as usize]
+                .as_mut()
+                .expect("live arrival entry points at an occupied slot")
+                .1 = new_pos;
+        }
         self.alive = vec![true; lives.len()];
         self.arrival = lives;
         self.index = index;
@@ -288,16 +496,70 @@ mod tests {
     }
 
     #[test]
-    fn preserves_arrival_order() {
+    fn preserves_arrival_order_across_batches() {
         let mut q = Pending::new();
         for s in 0..5 {
-            q.push(env(0, 1, s));
+            // Distinct senders: five singleton batches.
+            q.push(env(s as usize, 9, s));
         }
         assert_eq!(q.len(), 5);
+        assert_eq!(q.messages(), 5);
         assert_eq!(q.meta(0).seq, 0);
         assert_eq!(q.meta(4).seq, 4);
         assert_eq!(q.take(0).seq, 0);
         assert_eq!(q.meta(0).seq, 1, "remaining shift down");
+    }
+
+    #[test]
+    fn same_pair_run_collapses_into_one_batch() {
+        let mut q = Pending::new();
+        for s in 0..4 {
+            q.push(env(0, 1, s));
+        }
+        assert_eq!(q.len(), 1, "one batch");
+        assert_eq!(q.messages(), 4);
+        let m = q.meta(0);
+        assert_eq!((m.count, m.seq, m.born_step), (4, 0, 0));
+        // Draining pops FIFO and refreshes the head meta in place.
+        assert_eq!(q.take(0).seq, 0);
+        let m = q.meta(0);
+        assert_eq!((m.count, m.seq, m.born_step), (3, 1, 1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.messages(), 3);
+        for expect in 1..4 {
+            assert_eq!(q.take(0).seq, expect);
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.messages(), 0);
+    }
+
+    #[test]
+    fn interleaved_pairs_do_not_merge() {
+        let mut q = Pending::new();
+        q.push(env(0, 1, 0));
+        q.push(env(2, 1, 1));
+        q.push(env(0, 1, 2)); // same pair as batch 0 but not adjacent
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.messages(), 3);
+    }
+
+    #[test]
+    fn push_batch_installs_one_record() {
+        let mut q = Pending::new();
+        q.push(env(3, 1, 0));
+        q.push_batch((10..14).map(|s| env(2, 1, s)).collect());
+        q.push_batch(Vec::new()); // ignored
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.messages(), 5);
+        let m = q.meta(1);
+        assert_eq!((m.from, m.count, m.seq), (PartyId(2), 4, 10));
+        // A same-pair push extends the freshly installed batch.
+        q.push(env(2, 1, 14));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.meta(1).count, 5);
+        let drained: Vec<u64> = (0..5).map(|_| q.take(1).seq).collect();
+        assert_eq!(drained, vec![10, 11, 12, 13, 14]);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]
@@ -320,7 +582,7 @@ mod tests {
     }
 
     #[test]
-    fn meta_records_kind_and_endpoints() {
+    fn meta_records_kind_endpoints_and_count() {
         let mut q = Pending::new();
         q.push(env(2, 3, 7));
         let m = q.meta(0);
@@ -328,23 +590,26 @@ mod tests {
         assert_eq!(m.to, PartyId(3));
         assert_eq!(m.kind, "k");
         assert_eq!(m.born_step, 7);
+        assert_eq!(m.count, 1);
     }
 
     #[test]
     fn retract_from_removes_only_that_sender() {
         let mut q = Pending::new();
         q.push(env(0, 1, 0));
-        q.push(env(2, 1, 1));
-        q.push(env(0, 3, 2));
-        q.push(env(1, 0, 3));
+        q.push(env(0, 1, 1)); // merges with the batch above
+        q.push(env(2, 1, 2));
+        q.push(env(0, 3, 3));
+        q.push(env(1, 0, 4));
         let removed = q.retract_from(PartyId(0));
         assert_eq!(
             removed.iter().map(|e| e.seq).collect::<Vec<_>>(),
-            vec![0, 2]
+            vec![0, 1, 3]
         );
         assert_eq!(q.len(), 2);
-        assert_eq!(q.meta(0).seq, 1);
-        assert_eq!(q.meta(1).seq, 3);
+        assert_eq!(q.messages(), 2);
+        assert_eq!(q.meta(0).seq, 2);
+        assert_eq!(q.meta(1).seq, 4);
         assert!(q.retract_from(PartyId(0)).is_empty());
     }
 
@@ -359,39 +624,138 @@ mod tests {
         assert_eq!(seqs, vec![0, 2, 3]);
     }
 
-    /// Differential test of the Fenwick-indexed view against a naive
-    /// `Vec` model, across interleaved pushes, arbitrary-index takes and
-    /// full drains (compactions included).
+    /// Differential test of the batched Fenwick-indexed view against a
+    /// naive batch model, across interleaved pushes (merging and not),
+    /// arbitrary-index takes and full drains (compactions included).
     #[test]
     fn matches_naive_model_under_mixed_workload() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(42);
         let mut q = Pending::new();
-        let mut model: Vec<u64> = Vec::new();
+        // Model: batches of (from, to, seqs), plus whether the most
+        // recently pushed batch is still live (the only merge target).
+        let mut model: Vec<(usize, usize, Vec<u64>)> = Vec::new();
+        let mut tail_live = false;
         let mut next_seq = 0u64;
         for round in 0..2_000 {
             if model.is_empty() || rng.gen_bool(0.55) {
-                q.push(env(0, 1, next_seq));
-                model.push(next_seq);
+                let from = rng.gen_range(0..3usize);
+                let to = rng.gen_range(0..2usize);
+                q.push(env(from, to, next_seq));
+                match model.last_mut() {
+                    Some((f, t, seqs)) if tail_live && *f == from && *t == to => {
+                        seqs.push(next_seq)
+                    }
+                    _ => model.push((from, to, vec![next_seq])),
+                }
+                tail_live = true;
                 next_seq += 1;
             } else {
                 let i = rng.gen_range(0..model.len());
-                assert_eq!(q.meta(i).seq, model[i], "round {round}");
-                assert_eq!(q.take(i).seq, model.remove(i), "round {round}");
+                let (f, t, seqs) = &mut model[i];
+                let m = q.meta(i);
+                assert_eq!(
+                    (m.from.0, m.to.0, m.seq, m.count as usize),
+                    (*f, *t, seqs[0], seqs.len()),
+                    "round {round}"
+                );
+                assert_eq!(q.take(i).seq, seqs.remove(0), "round {round}");
+                if seqs.is_empty() {
+                    if tail_live && i == model.len() - 1 {
+                        tail_live = false;
+                    }
+                    model.remove(i);
+                }
             }
             assert_eq!(q.len(), model.len());
+            assert_eq!(
+                q.messages(),
+                model.iter().map(|(_, _, s)| s.len()).sum::<usize>()
+            );
             if round % 97 == 0 {
-                let seqs: Vec<u64> = q.metas().map(|m| m.seq).collect();
-                assert_eq!(seqs, model, "round {round}");
+                let heads: Vec<u64> = q.metas().map(|m| m.seq).collect();
+                let expect: Vec<u64> = model.iter().map(|(_, _, s)| s[0]).collect();
+                assert_eq!(heads, expect, "round {round}");
             }
         }
         while !model.is_empty() {
             let i = model.len() / 2;
-            assert_eq!(q.take(i).seq, model.remove(i));
+            let expect = model[i].2.remove(0);
+            if model[i].2.is_empty() {
+                model.remove(i);
+            }
+            assert_eq!(q.take(i).seq, expect);
         }
         assert!(q.is_empty());
         // Still usable after a full drain.
         q.push(env(1, 2, 12345));
         assert_eq!(q.meta(0).seq, 12345);
+    }
+
+    /// Property test: `LiveIndex` add/select/tombstone agrees with a naive
+    /// `Vec<bool>` model under arbitrary op sequences. Ops are decoded
+    /// from raw words: kind = word % 3 (set / clear / select), operand =
+    /// word / 3.
+    mod liveindex_props {
+        use super::super::LiveIndex;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn matches_vec_bool_model(
+                cap in 1usize..96,
+                ops in proptest::collection::vec(any::<u64>(), 1..200),
+            ) {
+                let mut index = LiveIndex::with_capacity(cap);
+                let mut model = vec![false; cap];
+                for word in ops {
+                    let operand = (word / 3) as usize;
+                    match word % 3 {
+                        0 => {
+                            let pos = operand % cap;
+                            if !model[pos] {
+                                model[pos] = true;
+                                index.add(pos, 1);
+                            }
+                        }
+                        1 => {
+                            let pos = operand % cap;
+                            if model[pos] {
+                                model[pos] = false;
+                                index.add(pos, -1);
+                            }
+                        }
+                        _ => {
+                            let live = model.iter().filter(|&&b| b).count();
+                            if live == 0 {
+                                continue;
+                            }
+                            let k = operand % live + 1;
+                            // Naive: position of the k-th set bit.
+                            let expect = model
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &b)| b)
+                                .nth(k - 1)
+                                .map(|(i, _)| i)
+                                .unwrap();
+                            prop_assert_eq!(index.select(k as u32), expect);
+                        }
+                    }
+                }
+                // Final sweep: every live rank selects to the model position.
+                let live: Vec<usize> = model
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b)
+                    .map(|(i, _)| i)
+                    .collect();
+                for (rank, &pos) in live.iter().enumerate() {
+                    prop_assert_eq!(index.select(rank as u32 + 1), pos);
+                }
+            }
+        }
     }
 }

@@ -12,14 +12,19 @@
 //!   from `(seed, party)`;
 //! * execution proceeds in **epochs**: in epoch `e` each party drains
 //!   exactly the messages that were in its inbox at the epoch barrier,
-//!   in an order chosen by its own scheduler; everything it sends —
-//!   intra-shard or cross-shard, even to itself — is buffered and only
-//!   becomes deliverable in epoch `e + 1`;
+//!   in an order chosen by its own scheduler — each pick selects a
+//!   same-sender *batch* and delivers its whole run in FIFO order, so
+//!   scheduling work is O(batches) while delivery stays per-message;
+//!   everything it sends — intra-shard or cross-shard, even to itself —
+//!   is buffered and only becomes deliverable in epoch `e + 1`;
 //! * at the barrier, buffered envelopes flow through per-pair ordered
-//!   channels and are merged into the destination inboxes **round-robin,
-//!   keyed by `(epoch, src, arrival_seq)`**: wave `j` takes the `j`-th
-//!   envelope of every sender in ascending party order before wave
-//!   `j + 1` begins.
+//!   channels and are merged into the destination inboxes **as
+//!   sender-blocks, keyed by `(epoch, src)`**: each sender's channel for
+//!   the epoch lands as *one batch record* in the destination's inbox,
+//!   senders in ascending party order, envelopes within a batch in
+//!   emission order. The handoff moves O(senders) `Vec` handles, not
+//!   O(messages) envelopes, and a scheduler pick that stays inside a
+//!   batch walks a contiguous buffer instead of hopping across the slab.
 //!
 //! Because every per-party decision depends only on `(seed, scheduler,
 //! n)` and the merge key is a pure function of the logical send order,
@@ -98,25 +103,37 @@ impl PartyState {
 
     /// Delivers up to `limit` messages from the epoch inbox, buffering all
     /// resulting sends for the next epoch. Returns the number delivered.
+    ///
+    /// A scheduler pick selects a *batch* (a same-sender run) and the
+    /// whole run is delivered in FIFO order before the next pick: one RNG
+    /// draw and one Fenwick lookup per batch instead of per message, with
+    /// the run read out of one contiguous buffer. The schedule stays a
+    /// pure function of `(seed, scheduler)` — batching is defined by the
+    /// logical send order, never by the shard partition.
     fn drain_epoch(&mut self, me: PartyId, n: u64, epoch: u64, limit: u64) -> u64 {
         let mut done = 0;
         while !self.inbox.is_empty() && done < limit {
             let idx = self.scheduler.pick(&self.inbox, &mut self.rng);
             debug_assert!(idx < self.inbox.len(), "scheduler index out of range");
-            let env = self.inbox.take(idx.min(self.inbox.len() - 1));
-            if let Some(trace) = &mut self.trace {
-                trace.push((env.seq, env.from, env.to));
+            let idx = idx.min(self.inbox.len() - 1);
+            let slot = self.inbox.slot_of(idx);
+            let run = (self.inbox.meta_of_slot(slot).count as u64).min(limit - done);
+            for _ in 0..run {
+                let env = self.inbox.take_slot(slot);
+                if let Some(trace) = &mut self.trace {
+                    trace.push((env.seq, env.from, env.to));
+                }
+                deliver_counted(
+                    &mut self.node,
+                    env.from,
+                    env.session,
+                    env.payload,
+                    &mut self.scratch,
+                    &mut self.metrics,
+                );
+                self.flush_sends(me, n, epoch);
             }
-            deliver_counted(
-                &mut self.node,
-                env.from,
-                env.session,
-                env.payload,
-                &mut self.scratch,
-                &mut self.metrics,
-            );
-            self.flush_sends(me, n, epoch);
-            done += 1;
+            done += run;
         }
         done
     }
@@ -124,28 +141,15 @@ impl PartyState {
 
 /// Refills the inboxes of one shard's parties (`chunk`) from
 /// `channels[local dst][src]` — the per-pair ordered channels of this
-/// epoch — in round-robin `(wave, src)` order: wave `j` takes the `j`-th
-/// envelope of every sender in ascending party order. Comparison-free:
-/// each envelope is moved into its inbox exactly once.
+/// epoch — in `(epoch, src)` sender-block order: each sender's whole
+/// channel becomes one inbox batch, senders in ascending party order.
+/// Comparison-free and O(senders) per inbox: every channel `Vec` is moved
+/// wholesale, no envelope is touched individually.
 fn merge_into_shard(chunk: &mut [PartyState], channels: &mut [Vec<Vec<Envelope>>]) {
-    let mut cursors: Vec<std::vec::IntoIter<Envelope>> = Vec::new();
     for (ps, pairs) in chunk.iter_mut().zip(channels.iter_mut()) {
-        cursors.clear();
-        cursors.extend(
-            pairs
-                .iter_mut()
-                .map(|pair| std::mem::take(pair).into_iter()),
-        );
-        loop {
-            let mut progressed = false;
-            for cursor in &mut cursors {
-                if let Some(env) = cursor.next() {
-                    ps.inbox.push(env);
-                    progressed = true;
-                }
-            }
-            if !progressed {
-                break;
+        for pair in pairs.iter_mut() {
+            if !pair.is_empty() {
+                ps.inbox.push_batch(std::mem::take(pair));
             }
         }
     }
@@ -309,7 +313,7 @@ impl ShardedSimRuntime {
 
     /// Messages deliverable in the next epoch (diagnostics).
     pub fn pending_len(&self) -> usize {
-        self.parties.iter().map(|p| p.inbox.len()).sum()
+        self.parties.iter().map(|p| p.inbox.messages()).sum()
     }
 
     /// Immutable access to a node (outputs, shun registry, …).
@@ -332,10 +336,11 @@ impl ShardedSimRuntime {
 
     /// The epoch barrier: hands every per-pair channel from the sender
     /// side to the receiver side (an O(n²) swap of `Vec` handles, no
-    /// envelope moves) and refills the inboxes in round-robin
-    /// `(epoch, src, arrival_seq)` order — wave `j` takes the `j`-th
-    /// envelope of each sender, senders in ascending party order. The
-    /// merge itself runs shard-parallel: each worker refills only its own
+    /// envelope moves) and refills the inboxes in `(epoch, src)`
+    /// sender-block order — each sender's channel becomes one inbox batch,
+    /// senders in ascending party order, so the refill also moves O(n)
+    /// handles per inbox rather than O(messages) envelopes. The merge
+    /// itself runs shard-parallel: each worker refills only its own
     /// parties' inboxes. Also flattens per-party traces into the logical
     /// global trace.
     fn merge_barrier(&mut self) {
@@ -385,7 +390,7 @@ impl ShardedSimRuntime {
     fn deliver_epoch_parallel(&mut self) -> u64 {
         let n = self.config.n as u64;
         let epoch = self.epoch;
-        let workload: usize = self.parties.iter().map(|p| p.inbox.len()).sum();
+        let workload: usize = self.parties.iter().map(|p| p.inbox.messages()).sum();
         if self.workers() == 1 || workload < 256 {
             let mut done = 0;
             for (p, ps) in self.parties.iter_mut().enumerate() {

@@ -14,6 +14,13 @@
 //! (shunning, crash handling and metric accounting included); what differs
 //! is only who chooses the delivery order.
 //!
+//! **Nodes persist across episodes** (matching the simulator and the
+//! sharded backend): each [`run`](Runtime::run) call moves the long-lived
+//! nodes into the worker threads and moves them back at quiescence, so
+//! multi-phase deployments — SVSS share→reconstruct chains, shunning
+//! campaigns that interleave spawns and runs — carry session state,
+//! outputs and shun registries from one episode to the next.
+//!
 //! Termination uses a global in-flight counter: every send increments it,
 //! every completed delivery decrements it; once every party finished its
 //! spawn phase and the counter reads zero there are no messages anywhere
@@ -43,9 +50,9 @@ struct Wire {
 /// Per-party outputs of a threaded run.
 pub type ThreadedOutputs = Vec<HashMap<SessionId, Payload>>;
 
-/// One worker's episode result: its session outputs plus thread-local
-/// metrics.
-type WorkerResult = (HashMap<SessionId, Payload>, Metrics);
+/// One worker's episode result: the persistent node handed back, plus
+/// thread-local metrics.
+type WorkerResult = (Node, Metrics);
 
 /// Shared bookkeeping for one threaded episode.
 struct EpisodeState {
@@ -96,18 +103,20 @@ fn dispatch(
     }
 }
 
-/// Runs one episode: every party's thread spawns its instances, processes
-/// messages to quiescence (or the step budget), and returns its outputs
-/// and thread-local metrics.
+/// Runs one episode: every party's thread takes ownership of its
+/// persistent node, spawns its buffered instances, processes messages to
+/// quiescence (or the step budget), and hands the node back with its
+/// thread-local metrics.
 fn run_episode(
     config: &NetConfig,
     poll: Duration,
+    nodes: Vec<Node>,
     spawns: Vec<Vec<(SessionId, Box<dyn Instance>)>>,
-    crashed: &[bool],
     max_steps: u64,
 ) -> (Vec<WorkerResult>, StopReason) {
     let n = config.n;
     assert_eq!(spawns.len(), n, "one spawn list per party");
+    assert_eq!(nodes.len(), n, "one node per party");
 
     let mut senders: Vec<Sender<Wire>> = Vec::with_capacity(n);
     let mut receivers: Vec<Receiver<Wire>> = Vec::with_capacity(n);
@@ -127,22 +136,17 @@ fn run_episode(
 
     let results = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
-        for (p, instances) in spawns.into_iter().enumerate() {
+        for (p, (mut node, instances)) in nodes.into_iter().zip(spawns).enumerate() {
             let me = PartyId(p);
             let rx = receivers[p].clone();
             let senders = senders.clone();
             let state = Arc::clone(&state);
-            let start_crashed = crashed[p];
             handles.push(scope.spawn(move || {
                 let mut guard = PoisonOnUnwind {
                     state: Arc::clone(&state),
                     disarmed: false,
                 };
                 let mut metrics = Metrics::default();
-                let mut node: Node = build_node(config, p);
-                if start_crashed {
-                    node.crash();
-                }
                 let mut out = Vec::new();
                 for (session, instance) in instances {
                     out = node.spawn(session, instance);
@@ -187,11 +191,7 @@ fn run_episode(
                     }
                 }
                 guard.disarmed = true;
-                let outputs: HashMap<SessionId, Payload> = node
-                    .outputs()
-                    .map(|(s, v)| (s.clone(), v.clone()))
-                    .collect();
-                (outputs, metrics)
+                (node, metrics)
             }));
         }
         handles
@@ -223,9 +223,10 @@ fn run_episode(
 /// derive from `config.seed`, so protocol-local randomness matches the
 /// simulator's for the same seed.
 ///
-/// A later `spawn` + `run` starts a *fresh episode* with fresh node state
-/// (sessions do not persist across episodes); outputs and metrics
-/// accumulate across episodes.
+/// Node state **persists across episodes** (as on the simulator and the
+/// sharded backend): a later `spawn` + `run` continues on the same nodes,
+/// so sessions, outputs and shun registries accumulate — share→rec
+/// chains and shunning campaigns run unchanged under `--runtime threaded`.
 ///
 /// [`SimNetwork`]: crate::SimNetwork
 ///
@@ -258,9 +259,9 @@ fn run_episode(
 pub struct ThreadedRuntime {
     config: NetConfig,
     poll: Duration,
+    /// The persistent per-party nodes, kept across episodes.
+    nodes: Vec<Node>,
     spawns: Vec<Vec<(SessionId, Box<dyn Instance>)>>,
-    crashed: Vec<bool>,
-    outputs: ThreadedOutputs,
     metrics: Metrics,
 }
 
@@ -294,16 +295,29 @@ impl ThreadedRuntime {
         ThreadedRuntime {
             config,
             poll,
+            nodes: (0..config.n).map(|p| build_node(&config, p)).collect(),
             spawns: (0..config.n).map(|_| Vec::new()).collect(),
-            crashed: vec![false; config.n],
-            outputs: (0..config.n).map(|_| HashMap::new()).collect(),
             metrics: Metrics::default(),
         }
     }
 
-    /// All recorded outputs per party (accumulated across episodes).
-    pub fn outputs(&self) -> &ThreadedOutputs {
-        &self.outputs
+    /// All recorded outputs per party, cloned out of the persistent nodes
+    /// (accumulated across episodes).
+    pub fn outputs(&self) -> ThreadedOutputs {
+        self.nodes
+            .iter()
+            .map(|node| {
+                node.outputs()
+                    .map(|(s, v)| (s.clone(), v.clone()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Immutable access to a party's persistent node (outputs, shun
+    /// registry, …).
+    pub fn node(&self, party: PartyId) -> &Node {
+        &self.nodes[party.0]
     }
 }
 
@@ -317,7 +331,7 @@ impl Runtime for ThreadedRuntime {
     }
 
     fn crash(&mut self, party: PartyId) {
-        self.crashed[party.0] = true;
+        self.nodes[party.0].crash();
     }
 
     fn run(&mut self, max_steps: u64) -> RunReport {
@@ -325,14 +339,11 @@ impl Runtime for ThreadedRuntime {
             &mut self.spawns,
             (0..self.config.n).map(|_| Vec::new()).collect(),
         );
-        let (results, stop) =
-            run_episode(&self.config, self.poll, spawns, &self.crashed, max_steps);
-        for (p, (outputs, metrics)) in results.into_iter().enumerate() {
+        let nodes = std::mem::take(&mut self.nodes);
+        let (results, stop) = run_episode(&self.config, self.poll, nodes, spawns, max_steps);
+        for (node, metrics) in results {
             self.metrics.merge(&metrics);
-            for (session, value) in outputs {
-                // First output wins, matching Node semantics.
-                self.outputs[p].entry(session).or_insert(value);
-            }
+            self.nodes.push(node);
         }
         RunReport {
             stop,
@@ -342,7 +353,7 @@ impl Runtime for ThreadedRuntime {
     }
 
     fn output(&self, party: PartyId, session: &SessionId) -> Option<&Payload> {
-        self.outputs[party.0].get(session)
+        self.nodes[party.0].output(session)
     }
 
     fn metrics(&self) -> Metrics {
@@ -384,7 +395,7 @@ pub fn run_threaded(
         }
     }
     rt.run(u64::MAX);
-    rt.outputs
+    rt.outputs()
 }
 
 #[cfg(test)]
@@ -518,6 +529,56 @@ mod tests {
         assert!(rt.output(PartyId(3), &sid()).is_none());
         assert_eq!(report.metrics.sent, 12, "three live broadcasters");
         assert_eq!(report.metrics.dropped_crashed, 3, "deliveries to P3");
+    }
+
+    #[test]
+    fn nodes_persist_across_episodes() {
+        // Episode 1 completes a session; episode 2 spawns a second session
+        // on the SAME nodes: both outputs stay readable, matching the
+        // simulator and sharded backends.
+        let other = SessionId::root().child(SessionTag::new("second", 0));
+        let mut rt = ThreadedRuntime::new(NetConfig::new(4, 1, 8));
+        for p in 0..4 {
+            rt.spawn(PartyId(p), sid(), Box::new(Hello { heard: 0 }));
+        }
+        let report = rt.run(u64::MAX);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        for p in 0..4 {
+            rt.spawn(PartyId(p), other.clone(), Box::new(Hello { heard: 0 }));
+        }
+        let report = rt.run(u64::MAX);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        for p in 0..4 {
+            assert_eq!(rt.output_as::<usize>(PartyId(p), &sid()), Some(&4));
+            assert_eq!(rt.output_as::<usize>(PartyId(p), &other), Some(&4));
+        }
+        // Spawning the same session again is idempotent on the persistent
+        // node: no new sends occur.
+        let sent_before = rt.metrics().sent;
+        for p in 0..4 {
+            rt.spawn(PartyId(p), sid(), Box::new(Hello { heard: 0 }));
+        }
+        rt.run(u64::MAX);
+        assert_eq!(rt.metrics().sent, sent_before, "re-spawn is a no-op");
+    }
+
+    #[test]
+    fn crash_persists_across_episodes() {
+        let other = SessionId::root().child(SessionTag::new("second", 0));
+        let mut rt = ThreadedRuntime::new(NetConfig::new(4, 1, 9));
+        rt.crash(PartyId(3));
+        for p in 0..4 {
+            rt.spawn(PartyId(p), sid(), Box::new(Hello { heard: 0 }));
+        }
+        rt.run(u64::MAX);
+        // Second episode: the crashed node stays crashed.
+        for p in 0..4 {
+            rt.spawn(PartyId(p), other.clone(), Box::new(Hello { heard: 0 }));
+        }
+        let report = rt.run(u64::MAX);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        assert!(rt.output(PartyId(3), &other).is_none());
+        assert_eq!(report.metrics.sent, 24, "3 live broadcasters × 2 episodes");
     }
 
     #[test]

@@ -20,9 +20,14 @@ enough to absorb machine-class differences, tight enough to catch a
 catastrophic regression (the pre-Fenwick queue was 50x+).
 
 Only millisecond-scale end-to-end delivery benches are guarded:
-nanosecond microbenches (session_id/*) and the core-count-sensitive
-sharded sweep (ba_sweep_n64/*) are reported but warn-only, since their
-run-to-run variance on shared runners exceeds any sane threshold.
+nanosecond microbenches (session_id/*, delivery/*) and the
+core-count-sensitive sharded sweep (ba_sweep_n64/*) are reported but
+warn-only, since their run-to-run variance on shared runners exceeds
+any sane threshold.
+
+A Markdown improvement/regression table is printed after the plain
+report and, when GITHUB_STEP_SUMMARY is set (as in CI), appended to the
+job summary so the diff is readable straight from the run page.
 """
 
 import json
@@ -43,6 +48,54 @@ def load(path):
         return {b["name"]: b for b in json.load(f)["benchmarks"]}
 
 
+def fmt_ns(ns):
+    """Human-scaled duration."""
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f} µs"
+    return f"{ns:.0f} ns"
+
+
+def markdown_table(rows, suite_ratio, threshold):
+    """Build the Markdown improvement/regression table."""
+    lines = [
+        "## Bench diff vs committed baseline",
+        "",
+        f"Suite-wide median ratio (machine-speed normalizer): "
+        f"**{suite_ratio:.2f}×** — per-bench deltas below are normalized "
+        f"by it; guarded benches fail beyond {threshold:.2f}×.",
+        "",
+        "| benchmark | baseline | current | normalized Δ | status |",
+        "|---|---:|---:|---:|:---:|",
+    ]
+    for name, base_ns, cur_ns, normalized, guarded, failed in rows:
+        if cur_ns is None:
+            status = "❌ missing" if failed else "⚠️ missing"
+            if guarded:
+                status += " (guarded)"
+            lines.append(f"| `{name}` | {fmt_ns(base_ns)} | — | — | {status} |")
+            continue
+        delta_pct = (normalized - 1.0) * 100.0
+        if failed:
+            status = "❌ regression"
+        elif normalized > 1.05:
+            status = "⚠️ slower"
+        elif normalized < 0.95:
+            status = "✅ faster"
+        else:
+            status = "· unchanged"
+        if guarded:
+            status += " (guarded)"
+        lines.append(
+            f"| `{name}` | {fmt_ns(base_ns)} | {fmt_ns(cur_ns)} "
+            f"| {delta_pct:+.1f}% | {status} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def main():
     if len(sys.argv) != 3:
         print(__doc__)
@@ -61,6 +114,7 @@ def main():
     print(f"suite-wide median ratio (machine-speed normalizer): {suite_ratio:.2f}\n")
 
     failures = []
+    table_rows = []
     for name, base in sorted(baseline.items()):
         guarded = name.startswith(GUARDED_PREFIXES)
         cur = current.get(name)
@@ -70,6 +124,7 @@ def main():
                 failures.append(msg)
             else:
                 print(f"warn: {msg}")
+            table_rows.append((name, base["median_ns"], None, None, guarded, guarded))
             continue
         normalized = ratios[name] / suite_ratio
         marker = "GUARDED" if guarded else "       "
@@ -89,13 +144,25 @@ def main():
                 f"{name}: {ratios[name]:.2f}x slower than baseline in absolute "
                 f"terms (cap {absolute_cap:.2f}x)"
             )
+        failed = False
         if regressed:
             if guarded:
                 failures.append(regressed)
+                failed = True
             else:
                 print(f"warn: {regressed}")
+        table_rows.append(
+            (name, base["median_ns"], cur["median_ns"], normalized, guarded, failed)
+        )
     for name in sorted(set(current) - set(baseline)):
         print(f"note: new benchmark without baseline: {name}")
+
+    table = markdown_table(table_rows, suite_ratio, threshold)
+    print("\n" + table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(table + "\n")
 
     if failures:
         print("\nbench regression check FAILED:")
