@@ -2,8 +2,41 @@
 
 use crate::ba::{V1, V2, V3};
 use aft_broadcast::Acast;
-use aft_sim::{Context, Instance, PartyId, Payload, SessionTag};
+use aft_sim::{AttackRegistry, AttackRole, Context, Instance, PartyId, Payload, SessionTag};
 use rand::Rng;
+
+/// Registers this crate's attacks with a scenario [`AttackRegistry`]:
+///
+/// * `random-voter[:rounds]` — [`RandomVoter`] (default 5 rounds);
+/// * `fixed-voter[:true|false[:rounds]]` — [`FixedVoter`] (default
+///   `true`, 5 rounds).
+///
+/// Both are single-episode attacks: they vote in whatever session they
+/// are spawned in, so they apply to any episode of a BA-bearing stack.
+pub fn register_attacks(registry: &mut AttackRegistry) {
+    registry.register("random-voter", |ctx| {
+        let rounds = if ctx.args.is_empty() {
+            5
+        } else {
+            ctx.args.parse().ok()?
+        };
+        Some(AttackRole::Instance(Box::new(RandomVoter::new(rounds))))
+    });
+    registry.register("fixed-voter", |ctx| {
+        let (target, rounds) = match ctx.args.split_once(':') {
+            Some((v, r)) => (v, r.parse().ok()?),
+            None => (ctx.args, 5),
+        };
+        let target = match target {
+            "" | "true" => true,
+            "false" => false,
+            _ => return None,
+        };
+        Some(AttackRole::Instance(Box::new(FixedVoter::new(
+            target, rounds,
+        ))))
+    });
+}
 
 /// A Byzantine party that broadcasts uniformly random votes in every phase
 /// of rounds `0..rounds` and sprays `Decide` claims for both values.

@@ -1,0 +1,157 @@
+//! E11 — the declarative adversarial scenario matrix.
+//!
+//! Sweeps the reference protocol stacks (BA, SVSS share→rec, common
+//! subset) across the cross-product of backends × scheduler families ×
+//! fault plans × seeds, checking every cell's machine-stated safety
+//! invariants and the matrix's bit-for-bit reproducibility from
+//! `(seed, scenario string)` alone. This is the sweep driver behind
+//! `tests/scenario_conformance.rs`, exposed as an experiment so larger
+//! matrices (more seeds via `AFT_TRIALS`, more backends) can be explored
+//! without recompiling the test suite.
+//!
+//! Flags:
+//!
+//! * `--smoke` — a minimal matrix (2 backends × 2 schedulers × 3 plans ×
+//!   1 seed per stack), used by CI to keep the driver itself from rotting;
+//! * `--scenario <spec>` — run one scenario string on every stack it fits
+//!   and print its cell reports (debugging aid);
+//! * `--threaded` — add the OS-thread backend to the matrix (invariants
+//!   only; its cells are excluded from reproducibility checks).
+//!
+//! Exits nonzero if any cell violates an invariant or fails to reproduce.
+
+use aft_bench::{print_table, trials};
+use aft_core::scenarios::{run_cell, standard_registry, CellReport, StackKind};
+use aft_sim::{MatrixCell, Scenario, ScenarioMatrix, ALL_SCHEDULERS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let with_threaded = args.iter().any(|a| a == "--threaded");
+    if let Some(i) = args.iter().position(|a| a == "--scenario") {
+        let spec = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("error: --scenario needs a spec string");
+            std::process::exit(2);
+        });
+        run_single(spec);
+        return;
+    }
+
+    println!("# E11 — adversarial scenario matrix");
+    let registry = standard_registry();
+    let mut backends: Vec<String> = if smoke {
+        vec!["sim".into(), "sharded:2".into()]
+    } else {
+        vec!["sim".into(), "sharded:2".into(), "sharded:4".into()]
+    };
+    if with_threaded {
+        backends.push("threaded".into());
+    }
+    let schedulers: Vec<String> = if smoke {
+        vec!["random".into(), "starve:1".into()]
+    } else {
+        ALL_SCHEDULERS
+            .iter()
+            .map(|f| f.example.to_string())
+            .collect()
+    };
+    let seeds: Vec<u64> = if smoke {
+        vec![1]
+    } else {
+        (0..trials(4)).collect()
+    };
+    println!(
+        "backends: {backends:?}\nschedulers: {schedulers:?}\nseeds per cell: {}",
+        seeds.len()
+    );
+
+    let mut rows = Vec::new();
+    let mut bad_cells: Vec<String> = Vec::new();
+    for kind in StackKind::all() {
+        let plans: Vec<String> = {
+            let all = kind.standard_plans();
+            let take = if smoke { all.len().min(3) } else { all.len() };
+            all[..take].iter().map(|p| p.to_string()).collect()
+        };
+        let matrix = ScenarioMatrix {
+            n: 4,
+            t: 1,
+            backends: backends.clone(),
+            schedulers: schedulers.clone(),
+            plans,
+            seeds: seeds.clone(),
+        };
+        let sweep = || matrix.run(16, |sc, seed| run_cell(kind, sc, seed, &registry));
+        let cells = sweep();
+        let violations: usize = cells
+            .iter()
+            .filter(|c| !c.outcome.violations.is_empty())
+            .count();
+        for cell in cells.iter().filter(|c| !c.outcome.violations.is_empty()) {
+            bad_cells.push(format!(
+                "{} seed={} -> {:?}",
+                cell.spec, cell.seed, cell.outcome.violations
+            ));
+        }
+        // Reproducibility: re-sweep and compare the deterministic cells
+        // bit-for-bit (threaded cells are exempt by design).
+        let again = sweep();
+        let deterministic = |c: &MatrixCell<CellReport>| !c.spec.contains("rt=threaded");
+        let repro = cells
+            .iter()
+            .zip(&again)
+            .filter(|(c, _)| deterministic(c))
+            .all(|(a, b)| a == b);
+        if !repro {
+            bad_cells.push(format!("{}: re-sweep diverged", kind.label()));
+        }
+        let mean_steps =
+            cells.iter().map(|c| c.outcome.steps).sum::<u64>() as f64 / cells.len().max(1) as f64;
+        rows.push(vec![
+            kind.label().to_string(),
+            cells.len().to_string(),
+            violations.to_string(),
+            if repro { "yes".into() } else { "NO".into() },
+            format!("{mean_steps:.0}"),
+        ]);
+    }
+    print_table(
+        "Scenario matrix: safety violations and reproducibility per stack",
+        &["stack", "cells", "violations", "reproducible", "mean steps"],
+        &rows,
+    );
+    if bad_cells.is_empty() {
+        println!("\nall cells safe; deterministic cells reproduce bit-for-bit");
+    } else {
+        println!("\nUNSAFE OR NON-REPRODUCIBLE CELLS:");
+        for line in &bad_cells {
+            println!("  {line}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Runs one scenario spec on every stack and prints the cell reports.
+fn run_single(spec: &str) {
+    let scenario = Scenario::parse(spec).unwrap_or_else(|| {
+        eprintln!("error: invalid scenario spec {spec:?}");
+        std::process::exit(2);
+    });
+    let registry = standard_registry();
+    if let Err(e) = scenario.validate_attacks(&registry) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    println!("# scenario: {scenario}");
+    for kind in StackKind::all() {
+        let report = run_cell(kind, &scenario, 1, &registry);
+        println!(
+            "{}: violations={:?} fingerprint={:#018x} sent={} steps={}",
+            kind.label(),
+            report.violations,
+            report.fingerprint,
+            report.sent,
+            report.steps
+        );
+    }
+}

@@ -12,48 +12,62 @@
 //! full chain.
 
 use aft_bench::{print_table, runtime_arg, trials};
+use aft_core::scenarios::standard_registry;
 use aft_field::Fp;
-use aft_sim::{Instance, NetConfig, PartyId, Runtime, RuntimeExt, SessionId, SessionTag};
-use aft_svss::attacks::EquivocalReveal;
+use aft_sim::{
+    NetConfig, PartyId, Payload, Runtime, RuntimeExt, Scenario, SessionId, SessionTag,
+    SilentInstance,
+};
 use aft_svss::{ShareBundle, SvssRec, SvssShare};
 
 fn main() {
     println!("# E7 — Shunning dynamics (Definition 3.2's escape hatch)");
     let rt_spec = runtime_arg();
     rt_spec.announce();
+    let registry = standard_registry();
     let instances = trials(40) as usize;
 
     let mut rows = Vec::new();
     for &(n, t) in &[(4usize, 1usize), (7, 2)] {
+        // The adversary as data: the last party equivocates its reveal.
+        // The runtime itself still comes from --runtime (the scenario's
+        // corruption plan is backend-agnostic).
+        let scenario = Scenario::parse(&format!("n={n},t={t},corrupt=equivocal-reveal@{}", n - 1))
+            .expect("campaign scenario is valid");
         let mut net: Box<dyn Runtime> = rt_spec.make(NetConfig::new(n, t, 1234), "random");
         let mut shun_curve = Vec::new();
         let mut binding_violations_without_shun = 0usize;
         for i in 0..instances {
             let ssid = SessionId::root().child(SessionTag::new("svss-share", i as u64));
             let rsid = SessionId::root().child(SessionTag::new("svss-rec", i as u64));
-            for p in 0..n {
-                let inst: Box<dyn Instance> = if p == 0 {
-                    Box::new(SvssShare::dealer(PartyId(0), Fp::new(i as u64)))
-                } else {
-                    Box::new(SvssShare::party(PartyId(0)))
-                };
-                net.spawn(PartyId(p), ssid.clone(), inst);
-            }
-            net.run(1_000_000_000);
-            // Reconstruct, with the last party equivocating its reveal.
-            let bundles: Vec<Option<ShareBundle>> = (0..n)
-                .map(|p| net.output_as::<ShareBundle>(PartyId(p), &ssid).cloned())
-                .collect();
-            for (p, b) in bundles.into_iter().enumerate() {
-                if let Some(b) = b {
-                    let inst: Box<dyn Instance> = if p == n - 1 {
-                        Box::new(EquivocalReveal::new(b))
+            scenario
+                .deploy_episode(net.as_mut(), &registry, "svss-share", &ssid, &[], |p, _| {
+                    if p == PartyId(0) {
+                        Box::new(SvssShare::dealer(PartyId(0), Fp::new(i as u64)))
                     } else {
-                        Box::new(SvssRec::new(b))
-                    };
-                    net.spawn(PartyId(p), rsid.clone(), inst);
-                }
-            }
+                        Box::new(SvssShare::party(PartyId(0)))
+                    }
+                })
+                .expect("share deploy");
+            net.run(1_000_000_000);
+            // Reconstruct; the registry hands the equivocator its bundle
+            // (the carry) and everyone honest a plain SvssRec.
+            let carries: Vec<Option<Payload>> = (0..n)
+                .map(|p| net.output(PartyId(p), &ssid).cloned())
+                .collect();
+            scenario
+                .deploy_episode(
+                    net.as_mut(),
+                    &registry,
+                    "svss-rec",
+                    &rsid,
+                    &carries,
+                    |_, c| match c.and_then(|c| c.downcast_ref::<ShareBundle>()) {
+                        Some(b) => Box::new(SvssRec::new(b.clone())),
+                        None => Box::new(SilentInstance),
+                    },
+                )
+                .expect("rec deploy");
             net.run(1_000_000_000);
             // Binding check among honest reconstructors.
             let outs: Vec<Fp> = (0..n - 1)

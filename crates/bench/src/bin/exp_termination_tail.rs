@@ -16,26 +16,36 @@
 
 use aft_ba::{BinaryBa, LocalCoin};
 use aft_bench::{print_table, session, trials};
-use aft_sim::{run_trials, runtime_by_name, Bernoulli, NetConfig, PartyId, RuntimeExt, StopReason};
+use aft_sim::{run_trials, Bernoulli, PartyId, RuntimeExt, Scenario, StopReason};
 
 /// Round thresholds whose exceedance probability is reported.
 const TAILS: &[u64] = &[2, 3, 5, 8];
 
+/// The backend axis, one declarative scenario string per row — the same
+/// spec form `exp_scenario_matrix` and the conformance suite use, so a
+/// row is reproducible by pasting its string into `--scenario`.
+const ROWS: &[&str] = &[
+    "scenario:n=4,t=1,rt=sim",
+    "scenario:n=4,t=1,rt=sharded:2",
+    "scenario:n=4,t=1,rt=sharded:4",
+    "scenario:n=4,t=1,rt=threaded",
+];
+
 fn main() {
     println!("# E10 — almost-sure-termination tails of BA across backends");
-    let n = 4usize;
-    let t = 1usize;
     let n_trials = trials(200);
-    println!("local-coin binary BA, n={n} t={t}, split inputs, {n_trials} trials per backend");
+    println!("local-coin binary BA, n=4 t=1, split inputs, {n_trials} trials per backend");
 
     let mut rows = Vec::new();
-    for backend in ["sim", "sharded:2", "sharded:4", "threaded"] {
+    for spec in ROWS {
+        let scenario = Scenario::parse(spec).expect("row scenarios are valid");
+        let (n, backend) = (scenario.n, scenario.rt.clone());
+        let backend = backend.as_str();
         // The threaded backend spawns n OS threads per episode; keep the
         // outer trial parallelism modest there.
         let workers = if backend == "threaded" { 4 } else { 16 };
         let rounds_per_trial = run_trials(0..n_trials, workers, |seed| {
-            let mut rt = runtime_by_name(backend, NetConfig::new(n, t, seed))
-                .unwrap_or_else(|| panic!("backend {backend} must exist"));
+            let mut rt = scenario.runtime(seed);
             let sid = session("ba");
             for p in 0..n {
                 rt.spawn(

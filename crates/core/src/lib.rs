@@ -54,6 +54,7 @@ mod common_subset;
 mod config;
 mod fair_choice;
 mod fba;
+pub mod scenarios;
 
 pub use beacon::{Beacon, BeaconOutput};
 pub use coin_flip::{CoinFlip, CoinFlipOutput, CoinFlipParams};

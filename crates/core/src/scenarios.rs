@@ -1,0 +1,518 @@
+//! Standard adversarial-scenario stacks and their machine-stated
+//! invariants.
+//!
+//! [`aft_sim::scenario`] defines *what* an adversary is (corruption plan,
+//! scheduler, backend); this module defines *what it attacks* and *what
+//! must survive*: the three reference protocol stacks, each with the
+//! safety invariants the paper claims for it:
+//!
+//! | stack | deployment | invariants checked per run |
+//! |---|---|---|
+//! | [`StackKind::Ba`] | unanimous-input [`BinaryBa`] | quiescence, termination, agreement, validity, message conservation |
+//! | [`StackKind::SvssChain`] | [`SvssShare`] → [`SvssRec`] | quiescence, share liveness & binding-to-dealt secret (honest dealer), binding-or-shun (faulty dealer), secrecy proxy (no single share reveals the secret), conservation |
+//! | [`StackKind::CommonSubset`] | [`CommonSubsetInstance`] | quiescence, termination, output-set consistency, `|S| ≥ k`, members in range, conservation |
+//!
+//! [`standard_registry`] assembles the named attacks the protocol crates
+//! export ([`aft_ba::attacks::register_attacks`],
+//! [`aft_svss::attacks::register_attacks`]); [`run_cell`] executes one
+//! `(scenario, seed)` cell of a [`ScenarioMatrix`](aft_sim::ScenarioMatrix)
+//! sweep and returns a [`CellReport`] whose violations list is empty iff
+//! every invariant held, and whose fingerprint supports bit-for-bit
+//! cross-backend and re-run comparison.
+
+use crate::config::CoinKind;
+use crate::CommonSubsetInstance;
+use aft_ba::{BinaryBa, OracleCoin};
+use aft_field::Fp;
+use aft_sim::{
+    AttackRegistry, Fingerprint, Metrics, PartyId, RuntimeExt, Scenario, SessionId, SessionTag,
+    SilentInstance, StopReason,
+};
+use aft_svss::{ShareBundle, SvssRec, SvssShare};
+
+/// Builds the registry of every named attack the workspace's protocol
+/// crates export. The conformance suite, the sweep driver and the
+/// proptests all resolve scenario attack names through this.
+pub fn standard_registry() -> AttackRegistry {
+    let mut registry = AttackRegistry::new();
+    aft_ba::attacks::register_attacks(&mut registry);
+    aft_svss::attacks::register_attacks(&mut registry);
+    registry
+}
+
+/// Which reference stack a scenario cell runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackKind {
+    /// Binary Byzantine agreement with unanimous honest inputs.
+    Ba,
+    /// SVSS share→reconstruct, two episodes on persistent node state.
+    SvssChain,
+    /// Common subset over self-announcing predicates.
+    CommonSubset,
+}
+
+impl StackKind {
+    /// Every reference stack.
+    pub fn all() -> [StackKind; 3] {
+        [StackKind::Ba, StackKind::SvssChain, StackKind::CommonSubset]
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StackKind::Ba => "ba",
+            StackKind::SvssChain => "svss",
+            StackKind::CommonSubset => "common-subset",
+        }
+    }
+
+    /// The standard fault-plan axis for this stack (`corrupt=` values;
+    /// `""` is the all-honest control row). Plans pair generic behaviours
+    /// with the protocol's registered attacks.
+    pub fn standard_plans(&self) -> &'static [&'static str] {
+        match self {
+            StackKind::Ba => &[
+                "",
+                "silent@3",
+                "crash@1",
+                "mute-after:6@2",
+                "garbage:40@3",
+                "equivocate:12@1",
+                "random-voter@3",
+                "fixed-voter:true@2",
+            ],
+            StackKind::SvssChain => &[
+                "",
+                "silent@3",
+                "crash@3",
+                "garbage:40@2",
+                "silent-rec@3",
+                "wrong-sigma@3",
+                "wrong-sigma:reveal@3",
+                "equivocal-reveal@3",
+                "wrong-cross@2",
+                "two-faced-dealer@0",
+            ],
+            StackKind::CommonSubset => &[
+                "",
+                "silent@3",
+                "crash@3",
+                "mute-after:8@2",
+                "garbage:30@2",
+                "equivocate:8@1",
+            ],
+        }
+    }
+}
+
+/// The outcome of one `(scenario, seed)` cell: invariant violations (empty
+/// iff the run was safe) plus a deterministic fingerprint of outputs and
+/// metrics for cross-backend / re-run bit-equality checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellReport {
+    /// Human-readable invariant violations; empty means the cell is safe.
+    pub violations: Vec<String>,
+    /// FNV fingerprint of all party outputs and the final metrics.
+    pub fingerprint: u64,
+    /// Total envelopes sent.
+    pub sent: u64,
+    /// Total envelopes delivered.
+    pub delivered: u64,
+    /// Delivery steps executed.
+    pub steps: u64,
+}
+
+/// Runs one cell of `kind`'s stack under `scenario` with `seed`.
+pub fn run_cell(
+    kind: StackKind,
+    scenario: &Scenario,
+    seed: u64,
+    registry: &AttackRegistry,
+) -> CellReport {
+    match kind {
+        StackKind::Ba => run_ba_cell(scenario, seed, registry),
+        StackKind::SvssChain => run_svss_cell(scenario, seed, registry),
+        StackKind::CommonSubset => run_cs_cell(scenario, seed, registry),
+    }
+}
+
+const STEP_BUDGET: u64 = 2_000_000_000;
+
+fn sid(kind: &'static str) -> SessionId {
+    SessionId::root().child(SessionTag::new(kind, 0))
+}
+
+/// Appends the backend-independent bookkeeping violations (quiescence and
+/// message conservation) and folds the metrics into the fingerprint.
+fn check_run(
+    violations: &mut Vec<String>,
+    fp: &mut Fingerprint,
+    stop: StopReason,
+    metrics: &Metrics,
+    phase: &str,
+) {
+    if stop != StopReason::Quiescent {
+        violations.push(format!("{phase}: run did not quiesce ({stop:?})"));
+    }
+    if metrics.sent != metrics.delivered + metrics.dropped_shunned + metrics.dropped_crashed {
+        violations.push(format!(
+            "{phase}: message conservation broken (sent {} != delivered {} + shunned {} + crashed {})",
+            metrics.sent, metrics.delivered, metrics.dropped_shunned, metrics.dropped_crashed
+        ));
+    }
+    fp.write_str(phase);
+    fp.write_metrics(metrics);
+}
+
+/// Unanimous-input binary BA: termination, agreement and validity must
+/// hold for the honest parties under any ≤ t corruption plan.
+pub fn run_ba_cell(scenario: &Scenario, seed: u64, registry: &AttackRegistry) -> CellReport {
+    let mut rt = scenario.runtime(seed);
+    let session = sid("ba");
+    let input = seed.is_multiple_of(2);
+    let mut violations = Vec::new();
+    let mut fp = Fingerprint::new();
+    if let Err(e) = scenario.deploy_episode(rt.as_mut(), registry, "ba", &session, &[], |_, _| {
+        Box::new(BinaryBa::new(input, Box::new(OracleCoin::new(seed))))
+    }) {
+        violations.push(format!("deploy: {e}"));
+        return CellReport {
+            violations,
+            fingerprint: fp.finish(),
+            sent: 0,
+            delivered: 0,
+            steps: 0,
+        };
+    }
+    let report = rt.run(STEP_BUDGET);
+    check_run(&mut violations, &mut fp, report.stop, &report.metrics, "ba");
+
+    let honest: Vec<Option<bool>> = scenario
+        .honest_parties()
+        .map(|p| rt.output_as::<bool>(p, &session).copied())
+        .collect();
+    if honest.iter().any(|o| o.is_none()) {
+        violations.push(format!("termination: honest outputs {honest:?}"));
+    }
+    let decided: Vec<bool> = honest.iter().flatten().copied().collect();
+    if decided.windows(2).any(|w| w[0] != w[1]) {
+        violations.push(format!("agreement: honest decisions {decided:?}"));
+    }
+    if decided.iter().any(|&d| d != input) {
+        violations.push(format!(
+            "validity: unanimous input {input} but decisions {decided:?}"
+        ));
+    }
+    for p in (0..scenario.n).map(PartyId) {
+        fp.write_str(&format!("{:?}", rt.output_as::<bool>(p, &session)));
+    }
+    CellReport {
+        violations,
+        fingerprint: fp.finish(),
+        sent: report.metrics.sent,
+        delivered: report.metrics.delivered,
+        steps: report.metrics.steps,
+    }
+}
+
+/// SVSS share→rec chain (dealer at party 0). With an honest dealer the
+/// dealt secret must come back exactly; with a corrupt dealer every
+/// binding divergence must be accompanied by shun events (Definition
+/// 3.2's escape hatch). In between, the secrecy proxy: no single
+/// non-dealer share evaluates to the dealt secret.
+pub fn run_svss_cell(scenario: &Scenario, seed: u64, registry: &AttackRegistry) -> CellReport {
+    let mut rt = scenario.runtime(seed);
+    let share_sid = sid("svss-share");
+    let rec_sid = sid("svss-rec");
+    let secret = Fp::new(seed.wrapping_mul(7).wrapping_add(3));
+    let mut violations = Vec::new();
+    let mut fp = Fingerprint::new();
+    let dealer_honest = !scenario.is_corrupt(PartyId(0));
+
+    let deployed = scenario.deploy_episode(
+        rt.as_mut(),
+        registry,
+        "svss-share",
+        &share_sid,
+        &[],
+        |p, _| {
+            if p == PartyId(0) {
+                Box::new(SvssShare::dealer(PartyId(0), secret))
+            } else {
+                Box::new(SvssShare::party(PartyId(0)))
+            }
+        },
+    );
+    if let Err(e) = deployed {
+        violations.push(format!("deploy share: {e}"));
+        return CellReport {
+            violations,
+            fingerprint: fp.finish(),
+            sent: 0,
+            delivered: 0,
+            steps: 0,
+        };
+    }
+    let share_report = rt.run(STEP_BUDGET);
+    check_run(
+        &mut violations,
+        &mut fp,
+        share_report.stop,
+        &share_report.metrics,
+        "share",
+    );
+
+    let carries: Vec<Option<aft_sim::Payload>> = (0..scenario.n)
+        .map(|p| rt.output(PartyId(p), &share_sid).cloned())
+        .collect();
+    // Secrecy proxy: no *single* party's share-phase view determines the
+    // dealt secret — each σ_i = F(x_i, 0) and its column counterpart
+    // F(0, x_i) must differ from F(0, 0). Full t-collusion secrecy is
+    // information-theoretic and not directly checkable in one run, but a
+    // degenerate dealer polynomial (degree-0 sharing, secret embedded in
+    // every row) fails this for every party. A random degree-t bivariate
+    // hits equality only with probability ~n/2⁶¹ per run, and the runs
+    // are seed-deterministic, so the check never flakes.
+    if dealer_honest {
+        for (p, carry) in carries.iter().enumerate() {
+            let Some(bundle) = carry.as_ref().and_then(|c| c.downcast_ref::<ShareBundle>()) else {
+                continue;
+            };
+            if p == 0 {
+                continue; // the dealer legitimately knows the secret
+            }
+            let leaks = bundle
+                .row
+                .as_ref()
+                .is_some_and(|r| r.eval(Fp::ZERO) == secret)
+                || bundle
+                    .col
+                    .as_ref()
+                    .is_some_and(|c| c.eval(Fp::ZERO) == secret);
+            if leaks {
+                violations.push(format!(
+                    "secrecy-proxy: party {p}'s single share evaluates to the dealt secret"
+                ));
+            }
+        }
+    }
+    if dealer_honest {
+        for p in scenario.honest_parties() {
+            if carries[p.0].is_none() {
+                violations.push(format!(
+                    "share-liveness: honest party {} has no bundle under an honest dealer",
+                    p.0
+                ));
+            }
+        }
+    }
+
+    let deployed = scenario.deploy_episode(
+        rt.as_mut(),
+        registry,
+        "svss-rec",
+        &rec_sid,
+        &carries,
+        |_, carry| match carry.and_then(|c| c.downcast_ref::<ShareBundle>()) {
+            Some(bundle) => Box::new(SvssRec::new(bundle.clone())),
+            // No bundle (faulty dealer): the party cannot reconstruct.
+            None => Box::new(SilentInstance),
+        },
+    );
+    if let Err(e) = deployed {
+        violations.push(format!("deploy rec: {e}"));
+    } else {
+        let rec_report = rt.run(STEP_BUDGET);
+        let total = rt.metrics();
+        check_run(&mut violations, &mut fp, rec_report.stop, &total, "rec");
+
+        let outputs: Vec<(PartyId, Option<Fp>)> = scenario
+            .honest_parties()
+            .map(|p| (p, rt.output_as::<Fp>(p, &rec_sid).copied()))
+            .collect();
+        if dealer_honest {
+            for (p, out) in &outputs {
+                match out {
+                    None => violations.push(format!(
+                        "rec-termination: honest party {} never reconstructed",
+                        p.0
+                    )),
+                    Some(v) if *v != secret => violations.push(format!(
+                        "binding: honest party {} reconstructed {v:?}, dealt {secret:?}",
+                        p.0
+                    )),
+                    Some(_) => {}
+                }
+            }
+        } else {
+            // Faulty dealer: binding may fail, but only alongside shuns.
+            let values: Vec<Fp> = outputs.iter().filter_map(|(_, o)| *o).collect();
+            let divergent = values.windows(2).any(|w| w[0] != w[1]);
+            if divergent && total.shun_events == 0 {
+                violations.push(format!(
+                    "binding-without-shun: divergent reconstructions {values:?} with zero shun events"
+                ));
+            }
+        }
+        for p in (0..scenario.n).map(PartyId) {
+            fp.write_str(&format!("{:?}", rt.output_as::<Fp>(p, &rec_sid)));
+        }
+    }
+    let total = rt.metrics();
+    CellReport {
+        violations,
+        fingerprint: fp.finish(),
+        sent: total.sent,
+        delivered: total.delivered,
+        steps: total.steps,
+    }
+}
+
+/// Common subset with self-announcing predicates: every honest party must
+/// terminate with the *same* set of at least `n − t` valid party ids.
+pub fn run_cs_cell(scenario: &Scenario, seed: u64, registry: &AttackRegistry) -> CellReport {
+    let mut rt = scenario.runtime(seed);
+    let session = sid("cs");
+    let k = scenario.n - scenario.t;
+    let mut violations = Vec::new();
+    let mut fp = Fingerprint::new();
+    if let Err(e) = scenario.deploy_episode(rt.as_mut(), registry, "cs", &session, &[], |_, _| {
+        Box::new(CommonSubsetInstance::new(k, CoinKind::Oracle(seed), true))
+    }) {
+        violations.push(format!("deploy: {e}"));
+        return CellReport {
+            violations,
+            fingerprint: fp.finish(),
+            sent: 0,
+            delivered: 0,
+            steps: 0,
+        };
+    }
+    let report = rt.run(STEP_BUDGET);
+    check_run(&mut violations, &mut fp, report.stop, &report.metrics, "cs");
+
+    let outputs: Vec<(PartyId, Option<Vec<PartyId>>)> = scenario
+        .honest_parties()
+        .map(|p| (p, rt.output_as::<Vec<PartyId>>(p, &session).cloned()))
+        .collect();
+    for (p, out) in &outputs {
+        match out {
+            None => violations.push(format!("termination: honest party {} has no subset", p.0)),
+            Some(s) => {
+                if s.len() < k {
+                    violations.push(format!(
+                        "subset-size: party {} output {} members, need >= {k}",
+                        p.0,
+                        s.len()
+                    ));
+                }
+                if s.iter().any(|m| m.0 >= scenario.n) {
+                    violations.push(format!("subset-members: party {} output {s:?}", p.0));
+                }
+            }
+        }
+    }
+    let sets: Vec<&Vec<PartyId>> = outputs.iter().filter_map(|(_, o)| o.as_ref()).collect();
+    if sets.windows(2).any(|w| w[0] != w[1]) {
+        violations.push(format!("consistency: honest subsets disagree: {sets:?}"));
+    }
+    for p in (0..scenario.n).map(PartyId) {
+        fp.write_str(&format!("{:?}", rt.output_as::<Vec<PartyId>>(p, &session)));
+    }
+    CellReport {
+        violations,
+        fingerprint: fp.finish(),
+        sent: report.metrics.sent,
+        delivered: report.metrics.delivered,
+        steps: report.metrics.steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_every_protocol_attack() {
+        let registry = standard_registry();
+        for name in [
+            "random-voter",
+            "fixed-voter",
+            "two-faced-dealer",
+            "wrong-cross",
+            "wrong-sigma",
+            "equivocal-reveal",
+            "silent-rec",
+        ] {
+            assert!(registry.contains(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn standard_plans_resolve_in_the_standard_registry() {
+        let registry = standard_registry();
+        for kind in StackKind::all() {
+            assert!(kind.standard_plans().len() >= 6, "{:?}", kind.label());
+            for plan in kind.standard_plans() {
+                let spec = if plan.is_empty() {
+                    "n=4,t=1".to_string()
+                } else {
+                    format!("n=4,t=1,corrupt={plan}")
+                };
+                let scenario = Scenario::parse(&spec)
+                    .unwrap_or_else(|| panic!("{:?} plan {plan:?} must parse", kind.label()));
+                scenario
+                    .validate_attacks(&registry)
+                    .unwrap_or_else(|e| panic!("{:?} plan {plan:?}: {e}", kind.label()));
+            }
+        }
+    }
+
+    #[test]
+    fn honest_cells_are_safe_on_every_stack() {
+        let registry = standard_registry();
+        let scenario = Scenario::parse("n=4,t=1,sched=random,rt=sim").unwrap();
+        for kind in StackKind::all() {
+            let report = run_cell(kind, &scenario, 7, &registry);
+            assert!(
+                report.violations.is_empty(),
+                "{}: {:?}",
+                kind.label(),
+                report.violations
+            );
+            assert!(report.sent > 0);
+        }
+    }
+
+    #[test]
+    fn ba_cell_flags_a_rigged_run() {
+        // A scenario the BA stack cannot survive: every party silent means
+        // no honest termination — the invariant machinery must say so
+        // (this guards the checker itself, not the protocol).
+        let registry = standard_registry();
+        let mut scenario = Scenario::parse("n=4,t=1,corrupt=silent@3,sched=fifo,rt=sim").unwrap();
+        // Manually stretch the corruption budget past what parse allows,
+        // to starve BA below its quorum.
+        scenario.corruptions = (1..4)
+            .map(|p| aft_sim::Corruption {
+                party: PartyId(p),
+                fault: aft_sim::FaultSpec::Silent,
+            })
+            .collect();
+        let report = run_ba_cell(&scenario, 1, &registry);
+        assert!(
+            report.violations.iter().any(|v| v.contains("termination")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn equivocal_reveal_cell_draws_shuns_and_stays_bound() {
+        let registry = standard_registry();
+        let scenario =
+            Scenario::parse("n=4,t=1,corrupt=equivocal-reveal@3,sched=random,rt=sim").unwrap();
+        let report = run_svss_cell(&scenario, 5, &registry);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

@@ -161,3 +161,87 @@ proptest! {
         }
     }
 }
+
+/// Random adversarial scenarios on the BA stack: any ≤ t corruption plan
+/// drawn from the generic behaviours and the registered BA attacks, any
+/// scheduler family, any deterministic backend — safety must hold. (The
+/// scenario string of a failing case is printed by the harness, giving a
+/// replayable minimal-ish counterexample for free.)
+mod scenario_safety {
+    use aft_core::scenarios::{run_ba_cell, standard_registry};
+    use aft_sim::{Corruption, FaultSpec, PartyId, Scenario, ALL_SCHEDULERS};
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    fn ba_fault_from(sel: u64) -> FaultSpec {
+        match sel % 8 {
+            0 => FaultSpec::Silent,
+            1 => FaultSpec::Crash,
+            2 => FaultSpec::MuteAfter(sel / 8 % 16),
+            3 => FaultSpec::Garbage(1 + sel / 8 % 48),
+            4 => FaultSpec::Equivocate(1 + sel / 8 % 12),
+            5 => FaultSpec::Attack {
+                name: "random-voter".into(),
+                args: String::new(),
+            },
+            6 => FaultSpec::Attack {
+                name: "fixed-voter".into(),
+                args: "true".into(),
+            },
+            _ => FaultSpec::Attack {
+                name: "fixed-voter".into(),
+                args: "false:3".into(),
+            },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn random_scenarios_preserve_ba_safety(
+            seed in any::<u64>(),
+            n in 4usize..=7,
+            sched in 0usize..16,
+            rt in 0usize..16,
+            corrupt in vec(any::<u64>(), 0..=2),
+        ) {
+            let t = (n - 1) / 3;
+            let mut parties: Vec<usize> = Vec::new();
+            for sel in corrupt.iter().take(t) {
+                let available: Vec<usize> = (0..n).filter(|p| !parties.contains(p)).collect();
+                parties.push(available[(sel % available.len() as u64) as usize]);
+            }
+            parties.sort_unstable();
+            let corruptions: Vec<Corruption> = parties
+                .iter()
+                .zip(&corrupt)
+                .map(|(&party, sel)| Corruption {
+                    party: PartyId(party),
+                    fault: ba_fault_from(sel >> 8),
+                })
+                .collect();
+            let rts = ["sim", "sharded:2", "sharded:3"];
+            let scenario = Scenario {
+                n,
+                t,
+                corruptions,
+                sched: ALL_SCHEDULERS[sched % ALL_SCHEDULERS.len()].example.to_string(),
+                rt: rts[rt % rts.len()].to_string(),
+            };
+            // (a) the spec round-trips through its string form;
+            let spec = scenario.to_string();
+            let parsed = Scenario::parse(&spec);
+            prop_assert_eq!(parsed.as_ref(), Some(&scenario), "{}", spec);
+            // (b) safety invariants hold when the parsed spec runs.
+            let report = run_ba_cell(&parsed.unwrap(), seed, &standard_registry());
+            prop_assert!(
+                report.violations.is_empty(),
+                "scenario {} seed {}: {:?}",
+                spec,
+                seed,
+                report.violations
+            );
+        }
+    }
+}

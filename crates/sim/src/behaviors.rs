@@ -114,6 +114,47 @@ impl Instance for GarbageInstance {
     }
 }
 
+/// A party that *equivocates*: on every event (up to a budget) it sends a
+/// different [`Garbage`] value to every party, so no two receivers share a
+/// view of what it said. The protocol-agnostic skeleton of every
+/// split-the-honest-parties attack; honest instances fail the downcast
+/// and ignore it, but routing, buffering and per-receiver state all see
+/// genuinely conflicting traffic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Equivocator {
+    events: u64,
+    /// Cap on equivocation events (keeps runs quiescent).
+    budget: u64,
+}
+
+impl Equivocator {
+    /// Creates an equivocator active for `budget` events.
+    pub fn new(budget: u64) -> Self {
+        Equivocator { events: 0, budget }
+    }
+
+    fn equivocate(&mut self, ctx: &mut Context<'_>) {
+        if self.events >= self.budget {
+            return;
+        }
+        self.events += 1;
+        let base: u64 = ctx.rng().gen();
+        for p in ctx.parties().collect::<Vec<_>>() {
+            // Each receiver gets a distinct value derived from one draw.
+            ctx.send(p, Garbage(base ^ (p.0 as u64).wrapping_mul(0x9E37)));
+        }
+    }
+}
+
+impl Instance for Equivocator {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.equivocate(ctx);
+    }
+    fn on_message(&mut self, _from: PartyId, _payload: &Payload, ctx: &mut Context<'_>) {
+        self.equivocate(ctx);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +241,91 @@ mod tests {
         );
         net2.run(100_000);
         assert_eq!(net2.output_as::<usize>(PartyId(3), &sid()), Some(&3));
+    }
+
+    // Cross-backend conformance of the generic behaviours: the same
+    // deployment must quiesce and preserve honest outputs on the
+    // deterministic simulator, the sharded simulator, and the OS-thread
+    // runtime alike.
+
+    const BACKENDS: &[&str] = &["sim", "sharded:2", "threaded"];
+
+    fn on_every_backend(seed: u64, byzantine: impl Fn() -> Box<dyn Instance>) {
+        use crate::runtime::{runtime_by_name, RuntimeExt};
+        for backend in BACKENDS {
+            let mut rt = runtime_by_name(backend, NetConfig::new(4, 1, seed)).unwrap();
+            for p in 0..3 {
+                rt.spawn(PartyId(p), sid(), Box::new(Pinger { heard: 0 }));
+            }
+            rt.spawn(PartyId(3), sid(), byzantine());
+            let r = rt.run(1_000_000);
+            assert_eq!(r.stop, StopReason::Quiescent, "backend {backend}");
+            let m = rt.metrics();
+            assert_eq!(
+                m.sent,
+                m.delivered + m.dropped_shunned + m.dropped_crashed,
+                "backend {backend}: conservation at quiescence"
+            );
+            for p in 0..3 {
+                assert_eq!(
+                    rt.output_as::<usize>(PartyId(p), &sid()),
+                    Some(&3),
+                    "backend {backend} party {p}: honest output survives the behaviour"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mute_after_quiesces_on_every_backend() {
+        // Mute after 2 events: the wrapped pinger broadcasts on start and
+        // then dies mid-protocol on every backend.
+        on_every_backend(41, || {
+            Box::new(MuteAfter::new(Box::new(Pinger { heard: 0 }), 2))
+        });
+    }
+
+    #[test]
+    fn garbage_injection_quiesces_on_every_backend() {
+        on_every_backend(43, || Box::new(GarbageInstance::new(64)));
+    }
+
+    #[test]
+    fn equivocator_quiesces_on_every_backend() {
+        on_every_backend(47, || Box::new(Equivocator::new(12)));
+    }
+
+    #[test]
+    fn equivocator_sends_conflicting_values() {
+        // Two receivers record what the equivocator told them; the values
+        // must differ (that is the point of equivocation).
+        struct Recorder {
+            seen: Option<u64>,
+        }
+        impl Instance for Recorder {
+            fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+            fn on_message(&mut self, _f: PartyId, p: &Payload, ctx: &mut Context<'_>) {
+                if let Some(g) = p.downcast_ref::<Garbage>() {
+                    if self.seen.is_none() {
+                        self.seen = Some(g.0);
+                        ctx.output(g.0);
+                    }
+                }
+            }
+        }
+        let mut net = SimNetwork::new(NetConfig::new(4, 1, 5), Box::new(RandomScheduler));
+        for p in 0..3 {
+            net.spawn(PartyId(p), sid(), Box::new(Recorder { seen: None }));
+        }
+        net.spawn(PartyId(3), sid(), Box::new(Equivocator::new(1)));
+        let r = net.run(100_000);
+        assert_eq!(r.stop, StopReason::Quiescent);
+        let views: Vec<u64> = (0..3)
+            .map(|p| *net.output_as::<u64>(PartyId(p), &sid()).unwrap())
+            .collect();
+        assert!(
+            views.windows(2).any(|w| w[0] != w[1]),
+            "receivers must disagree about the equivocator's value: {views:?}"
+        );
     }
 }

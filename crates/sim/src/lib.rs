@@ -57,11 +57,12 @@ mod node;
 mod payload;
 mod queue;
 mod runtime;
+pub mod scenario;
 mod scheduler;
 pub mod shard;
 pub mod threaded;
 
-pub use behaviors::{Garbage, GarbageInstance, MuteAfter, SilentInstance};
+pub use behaviors::{Equivocator, Garbage, GarbageInstance, MuteAfter, SilentInstance};
 pub use ids::{PartyId, SessionId, SessionTag};
 pub use instance::{Context, Instance};
 pub use montecarlo::{run_trials, Bernoulli};
@@ -71,6 +72,10 @@ pub use payload::Payload;
 pub use queue::{BatchSlot, MsgMeta, Pending};
 pub use runtime::{
     runtime_by_name, Metrics, NetConfig, RunReport, Runtime, RuntimeExt, StopReason,
+};
+pub use scenario::{
+    AttackCtx, AttackRegistry, AttackRole, Corruption, FaultSpec, Fingerprint, MatrixCell,
+    Scenario, ScenarioMatrix,
 };
 pub use scheduler::{
     BlockScheduler, FifoScheduler, LifoScheduler, RandomScheduler, Scheduler, SchedulerConfig,
@@ -101,35 +106,91 @@ pub use threaded::{run_threaded, ThreadedOutputs, ThreadedRuntime};
 /// assert!(aft_sim::scheduler_by_name("bogus").is_none());
 /// ```
 pub fn scheduler_by_name(name: &str) -> Option<Box<dyn Scheduler>> {
-    match name {
-        "fifo" => Some(Box::new(FifoScheduler)),
-        "random" => Some(Box::new(RandomScheduler)),
-        "lifo" => Some(Box::new(LifoScheduler)),
-        _ => {
-            if let Some(k) = name.strip_prefix("window") {
-                let k: usize = k.parse().ok()?;
-                if k == 0 {
-                    return None;
-                }
-                return Some(Box::new(WindowScheduler::new(k)));
-            }
-            if let Some(b) = name.strip_prefix("block:") {
-                let b: usize = b.parse().ok()?;
-                if b == 0 {
-                    return None;
-                }
-                return Some(Box::new(BlockScheduler::new(b)));
-            }
-            let rest = name.strip_prefix("starve:")?;
-            let mut victims = Vec::new();
-            for part in rest.split(',') {
-                let id: usize = part.trim().parse().ok()?;
-                victims.push(PartyId(id));
-            }
-            Some(Box::new(StarveScheduler::new(victims)))
-        }
+    ALL_SCHEDULERS.iter().find_map(|family| family.parse(name))
+}
+
+/// One scheduler family known to [`scheduler_by_name`].
+///
+/// The registry is a table so that everything downstream derives from one
+/// place: the parser tries each family in order, coverage tests iterate
+/// the table, and conformance matrices use each family's
+/// [`example`](SchedulerFamily::example) as their scheduler-axis row — a
+/// newly registered scheduler is automatically parsed, tested and swept.
+pub struct SchedulerFamily {
+    /// The family name, as reported by [`Scheduler::name`].
+    pub name: &'static str,
+    /// A canonical example spec that parses into this family; conformance
+    /// matrices use it as the family's representative.
+    pub example: &'static str,
+    parser: fn(&str) -> Option<Box<dyn Scheduler>>,
+}
+
+impl SchedulerFamily {
+    /// Parses `spec` as a member of this family (`None` when `spec`
+    /// belongs to another family or is malformed).
+    pub fn parse(&self, spec: &str) -> Option<Box<dyn Scheduler>> {
+        (self.parser)(spec)
     }
 }
+
+impl std::fmt::Debug for SchedulerFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerFamily")
+            .field("name", &self.name)
+            .field("example", &self.example)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Every scheduler family [`scheduler_by_name`] can build — THE registry.
+/// Register new schedulers here (and only here): parsing, the
+/// `scheduler_by_name` coverage test and the adversarial conformance
+/// matrix all derive their scheduler lists from this table.
+pub static ALL_SCHEDULERS: &[SchedulerFamily] = &[
+    SchedulerFamily {
+        name: "fifo",
+        example: "fifo",
+        parser: |s| (s == "fifo").then(|| Box::new(FifoScheduler) as Box<dyn Scheduler>),
+    },
+    SchedulerFamily {
+        name: "random",
+        example: "random",
+        parser: |s| (s == "random").then(|| Box::new(RandomScheduler) as Box<dyn Scheduler>),
+    },
+    SchedulerFamily {
+        name: "lifo",
+        example: "lifo",
+        parser: |s| (s == "lifo").then(|| Box::new(LifoScheduler) as Box<dyn Scheduler>),
+    },
+    SchedulerFamily {
+        name: "window",
+        example: "window4",
+        parser: |s| {
+            let k: usize = s.strip_prefix("window")?.parse().ok()?;
+            (k > 0).then(|| Box::new(WindowScheduler::new(k)) as Box<dyn Scheduler>)
+        },
+    },
+    SchedulerFamily {
+        name: "block",
+        example: "block:8",
+        parser: |s| {
+            let b: usize = s.strip_prefix("block:")?.parse().ok()?;
+            (b > 0).then(|| Box::new(BlockScheduler::new(b)) as Box<dyn Scheduler>)
+        },
+    },
+    SchedulerFamily {
+        name: "starve",
+        example: "starve:1",
+        parser: |s| {
+            let rest = s.strip_prefix("starve:")?;
+            let mut victims = Vec::new();
+            for part in rest.split(',') {
+                victims.push(PartyId(part.trim().parse().ok()?));
+            }
+            Some(Box::new(StarveScheduler::new(victims)))
+        },
+    },
+];
 
 #[cfg(test)]
 mod tests {
@@ -137,16 +198,43 @@ mod tests {
 
     #[test]
     fn scheduler_by_name_covers_all() {
-        for n in [
-            "fifo", "random", "lifo", "window4", "window16", "block:1", "block:64", "starve:2",
-        ] {
-            assert!(scheduler_by_name(n).is_some(), "{n}");
+        // Derived from the shared ALL_SCHEDULERS table: a newly registered
+        // family is covered here (and by the conformance matrix's
+        // scheduler axis) automatically — no hardcoded name list to forget.
+        for family in ALL_SCHEDULERS {
+            let s = scheduler_by_name(family.example)
+                .unwrap_or_else(|| panic!("example {:?} must parse", family.example));
+            assert_eq!(s.name(), family.name, "example {:?}", family.example);
+            assert!(
+                family.parse(family.example).is_some(),
+                "family {} accepts its own example",
+                family.name
+            );
         }
         assert!(scheduler_by_name("nope").is_none());
         assert!(scheduler_by_name("starve:x").is_none());
         assert!(scheduler_by_name("block:0").is_none(), "zero block");
         assert!(scheduler_by_name("block:").is_none(), "missing size");
         assert!(scheduler_by_name("block:x").is_none(), "non-numeric size");
+    }
+
+    #[test]
+    fn scheduler_family_examples_are_unique_and_exhaustive() {
+        // Each example parses into exactly one family — so a matrix axis
+        // built from the examples exercises every family exactly once.
+        for family in ALL_SCHEDULERS {
+            let owners: Vec<&str> = ALL_SCHEDULERS
+                .iter()
+                .filter(|f| f.parse(family.example).is_some())
+                .map(|f| f.name)
+                .collect();
+            assert_eq!(owners, vec![family.name], "example {:?}", family.example);
+        }
+        // Sanity: the Scheduler impls in this crate are all represented.
+        let names: Vec<&str> = ALL_SCHEDULERS.iter().map(|f| f.name).collect();
+        for required in ["fifo", "random", "lifo", "window", "block", "starve"] {
+            assert!(names.contains(&required), "{required} missing from table");
+        }
     }
 
     #[test]

@@ -1,0 +1,1002 @@
+//! Declarative adversarial scenarios: corruption plans, schedulers and
+//! backends as *data*.
+//!
+//! The paper's optimal-resilience claims are claims about every adversary
+//! that controls scheduling **and** up to `t` parties' behaviour. This
+//! module turns one such adversary into a value — a [`Scenario`] — that
+//! parses from a string exactly like [`scheduler_by_name`] and
+//! [`runtime_by_name`] specs do:
+//!
+//! ```text
+//! scenario:n=16,t=3,corrupt=silent@1;garbage@5,sched=starve:1,rt=sharded:4
+//! ```
+//!
+//! Grammar (the `scenario:` prefix is optional; [`Scenario`]'s `Display`
+//! emits the canonical form without it):
+//!
+//! ```text
+//! scenario := ["scenario:"] field ("," field)*
+//! field    := "n=" usize | "t=" usize | "corrupt=" plan
+//!           | "sched=" scheduler-spec | "rt=" runtime-spec
+//! plan     := fault "@" party (";" fault "@" party)*
+//! fault    := "silent" | "crash" | "mute-after:" events
+//!           | "garbage" [":" budget] | "equivocate" [":" budget]
+//!           | attack-name [":" args]          (resolved via AttackRegistry)
+//! ```
+//!
+//! `t` defaults to `⌊(n−1)/3⌋`, `sched` to `random`, `rt` to `sim`. A
+//! comma inside a value (e.g. `sched=starve:1,3`) is glued back onto the
+//! preceding field, so scheduler specs need no escaping. Parsing validates
+//! everything it can without a registry: `n ≥ 3t + 1`, at most `t` distinct
+//! corrupted parties, all ids in range, scheduler and runtime specs
+//! resolvable; [`Scenario::validate_attacks`] additionally checks named
+//! attacks against an [`AttackRegistry`].
+//!
+//! Generic faults map onto the behaviours of [`crate::behaviors`]; named
+//! attacks are protocol-specific and resolved through an
+//! [`AttackRegistry`] that protocol crates populate (`aft-ba`, `aft-svss`
+//! export `register_attacks`; `aft-core` assembles the standard registry).
+//! Attack factories are *episode-aware*: multi-phase stacks (SVSS
+//! share→rec) pass the previous episode's per-party output as a carry, so
+//! reconstruction attacks can be built from the bundle the corrupted party
+//! legitimately obtained in the share phase.
+//!
+//! [`ScenarioMatrix`] sweeps a protocol stack across the cross-product of
+//! backends × schedulers × fault plans × seeds, in parallel via
+//! [`run_trials`](crate::run_trials); each cell re-parses its scenario
+//! string, so every result is reproducible from `(seed, scenario string)`
+//! alone.
+//!
+//! [`scheduler_by_name`]: crate::scheduler_by_name
+//! [`runtime_by_name`]: crate::runtime_by_name
+
+use crate::behaviors::{Equivocator, GarbageInstance, MuteAfter, SilentInstance};
+use crate::ids::{PartyId, SessionId};
+use crate::instance::Instance;
+use crate::payload::Payload;
+use crate::runtime::{runtime_by_name, Metrics, NetConfig, Runtime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default message budget of the `garbage` fault.
+pub const DEFAULT_GARBAGE_BUDGET: u64 = 32;
+/// Default event budget of the `equivocate` fault.
+pub const DEFAULT_EQUIVOCATE_BUDGET: u64 = 16;
+
+/// How one corrupted party misbehaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Never sends anything ([`SilentInstance`]).
+    Silent,
+    /// Whole-party crash from the start ([`Runtime::crash`] before the
+    /// first run, so initial sends are retracted on every backend).
+    Crash,
+    /// Honest for the given number of events, then silent ([`MuteAfter`]
+    /// wrapping the stack's honest instance).
+    MuteAfter(u64),
+    /// Sprays junk payloads at random parties up to the given budget
+    /// ([`GarbageInstance`]).
+    Garbage(u64),
+    /// Sends *conflicting* junk to different parties for up to the given
+    /// number of events ([`Equivocator`]).
+    Equivocate(u64),
+    /// A protocol-specific attack resolved by name through an
+    /// [`AttackRegistry`].
+    Attack {
+        /// Registered attack name (lowercase kebab-case).
+        name: String,
+        /// Attack-defined argument string (text after the first `:`).
+        args: String,
+    },
+}
+
+impl FaultSpec {
+    /// Parses one fault spec (the part of a plan entry before `@`).
+    pub fn parse(spec: &str) -> Option<FaultSpec> {
+        let (head, args) = match spec.split_once(':') {
+            Some((h, a)) => (h, a),
+            None => (spec, ""),
+        };
+        match head {
+            "silent" => args.is_empty().then_some(FaultSpec::Silent),
+            "crash" => args.is_empty().then_some(FaultSpec::Crash),
+            "mute-after" => Some(FaultSpec::MuteAfter(args.parse().ok()?)),
+            "garbage" => Some(FaultSpec::Garbage(if args.is_empty() {
+                DEFAULT_GARBAGE_BUDGET
+            } else {
+                args.parse().ok()?
+            })),
+            "equivocate" => Some(FaultSpec::Equivocate(if args.is_empty() {
+                DEFAULT_EQUIVOCATE_BUDGET
+            } else {
+                args.parse().ok()?
+            })),
+            _ => {
+                let mut chars = head.chars();
+                let valid_head = chars.next().is_some_and(|c| c.is_ascii_lowercase())
+                    && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
+                valid_head.then(|| FaultSpec::Attack {
+                    name: head.to_string(),
+                    args: args.to_string(),
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpec::Silent => write!(f, "silent"),
+            FaultSpec::Crash => write!(f, "crash"),
+            FaultSpec::MuteAfter(k) => write!(f, "mute-after:{k}"),
+            FaultSpec::Garbage(b) => write!(f, "garbage:{b}"),
+            FaultSpec::Equivocate(b) => write!(f, "equivocate:{b}"),
+            FaultSpec::Attack { name, args } if args.is_empty() => write!(f, "{name}"),
+            FaultSpec::Attack { name, args } => write!(f, "{name}:{args}"),
+        }
+    }
+}
+
+/// One corrupted party and its assigned fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Corruption {
+    /// The corrupted party.
+    pub party: PartyId,
+    /// Its behaviour.
+    pub fault: FaultSpec,
+}
+
+impl fmt::Display for Corruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.fault, self.party.0)
+    }
+}
+
+/// A declarative adversarial scenario: system size, corruption plan,
+/// scheduler and backend. See the [module docs](self) for the grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Number of parties.
+    pub n: usize,
+    /// Fault threshold (`n ≥ 3t + 1`).
+    pub t: usize,
+    /// Corrupted parties, sorted by id; at most `t` of them.
+    pub corruptions: Vec<Corruption>,
+    /// Scheduler spec, resolvable by [`scheduler_by_name`](crate::scheduler_by_name).
+    pub sched: String,
+    /// Backend spec: `sim`, `sharded:<k>`, or `threaded[:<poll_ms>]` (the
+    /// scheduler is carried separately in `sched`).
+    pub rt: String,
+}
+
+impl Scenario {
+    /// An all-honest scenario on the simulator with the random scheduler.
+    pub fn honest(n: usize, t: usize) -> Scenario {
+        Scenario {
+            n,
+            t,
+            corruptions: Vec::new(),
+            sched: "random".to_string(),
+            rt: "sim".to_string(),
+        }
+    }
+
+    /// Parses and validates a scenario string. Returns `None` on grammar
+    /// errors or failed validation (see [`Scenario::validate`]).
+    pub fn parse(spec: &str) -> Option<Scenario> {
+        let body = spec.strip_prefix("scenario:").unwrap_or(spec);
+        // Split into `key=value` fields; a token without `=` is a
+        // continuation of the previous value (scheduler specs like
+        // `starve:1,3` contain commas).
+        let mut fields: Vec<(&str, String)> = Vec::new();
+        for tok in body.split(',') {
+            match tok.split_once('=') {
+                Some((k, v)) => fields.push((k.trim(), v.trim().to_string())),
+                None => {
+                    let last = fields.last_mut()?;
+                    last.1.push(',');
+                    last.1.push_str(tok.trim());
+                }
+            }
+        }
+        let mut n = None;
+        let mut t = None;
+        let mut corrupt = String::new();
+        let mut sched = "random".to_string();
+        let mut rt = "sim".to_string();
+        for (k, v) in fields {
+            match k {
+                "n" => n = Some(v.parse().ok()?),
+                "t" => t = Some(v.parse().ok()?),
+                "corrupt" => corrupt = v,
+                "sched" => sched = v,
+                "rt" => rt = v,
+                _ => return None,
+            }
+        }
+        let n: usize = n?;
+        let t: usize = match t {
+            Some(t) => t,
+            None => n.saturating_sub(1) / 3,
+        };
+        let mut corruptions = Vec::new();
+        if !corrupt.is_empty() {
+            for part in corrupt.split(';') {
+                let (fault, party) = part.rsplit_once('@')?;
+                corruptions.push(Corruption {
+                    party: PartyId(party.trim().parse().ok()?),
+                    fault: FaultSpec::parse(fault.trim())?,
+                });
+            }
+        }
+        corruptions.sort_by_key(|c| c.party.0);
+        let scenario = Scenario {
+            n,
+            t,
+            corruptions,
+            sched,
+            rt,
+        };
+        scenario.validate().ok()?;
+        Some(scenario)
+    }
+
+    /// Checks everything checkable without an attack registry: resilience
+    /// bound, corruption budget and ids, scheduler and runtime specs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("n must be positive".into());
+        }
+        if self.n < 3 * self.t + 1 {
+            return Err(format!(
+                "n={} violates optimal resilience n >= 3t+1 (t={})",
+                self.n, self.t
+            ));
+        }
+        if self.corruptions.len() > self.t {
+            return Err(format!(
+                "{} corruptions exceed the fault threshold t={}",
+                self.corruptions.len(),
+                self.t
+            ));
+        }
+        for pair in self.corruptions.windows(2) {
+            if pair[0].party == pair[1].party {
+                return Err(format!("party {} corrupted twice", pair[0].party.0));
+            }
+        }
+        for c in &self.corruptions {
+            if c.party.0 >= self.n {
+                return Err(format!("corrupt party {} out of range", c.party.0));
+            }
+        }
+        if crate::scheduler_by_name(&self.sched).is_none() {
+            return Err(format!("unknown scheduler {:?}", self.sched));
+        }
+        let rt_ok = match self.rt.as_str() {
+            "sim" | "threaded" => true,
+            other => {
+                if let Some(k) = other.strip_prefix("sharded:") {
+                    k.parse::<usize>().is_ok_and(|k| k > 0)
+                } else if let Some(ms) = other.strip_prefix("threaded:") {
+                    ms.parse::<u64>().is_ok()
+                } else {
+                    false
+                }
+            }
+        };
+        if !rt_ok {
+            return Err(format!(
+                "unknown runtime {:?} (expected sim, sharded:<k>, or threaded[:<poll_ms>])",
+                self.rt
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks that every [`FaultSpec::Attack`] in the plan resolves in
+    /// `registry` (by name only — argument errors surface at deploy time).
+    pub fn validate_attacks(&self, registry: &AttackRegistry) -> Result<(), String> {
+        for c in &self.corruptions {
+            if let FaultSpec::Attack { name, .. } = &c.fault {
+                if !registry.contains(name) {
+                    return Err(format!("unregistered attack {name:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The full [`runtime_by_name`](crate::runtime_by_name) spec this
+    /// scenario runs on: `rt` composed with `sched` on the backends that
+    /// honor schedulers (`threaded` ignores them — the OS schedules).
+    pub fn backend_name(&self) -> String {
+        match self.rt.as_str() {
+            "sim" => format!("sim:{}", self.sched),
+            rt if rt.starts_with("sharded:") => format!("{rt}:{}", self.sched),
+            rt => rt.to_string(),
+        }
+    }
+
+    /// The [`NetConfig`] of a run of this scenario with `seed`.
+    pub fn config(&self, seed: u64) -> NetConfig {
+        NetConfig::new(self.n, self.t, seed)
+    }
+
+    /// Builds the scenario's runtime for one seeded run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario was constructed by hand with specs that
+    /// don't pass [`Scenario::validate`] (parsed scenarios always do).
+    pub fn runtime(&self, seed: u64) -> Box<dyn Runtime> {
+        let name = self.backend_name();
+        runtime_by_name(&name, self.config(seed))
+            .unwrap_or_else(|| panic!("invalid scenario backend {name:?}"))
+    }
+
+    /// The fault assigned to `party`, if corrupted.
+    pub fn fault_of(&self, party: PartyId) -> Option<&FaultSpec> {
+        self.corruptions
+            .iter()
+            .find(|c| c.party == party)
+            .map(|c| &c.fault)
+    }
+
+    /// Whether `party` is corrupted in this scenario.
+    pub fn is_corrupt(&self, party: PartyId) -> bool {
+        self.fault_of(party).is_some()
+    }
+
+    /// Ids of the honest (non-corrupted) parties, in order.
+    pub fn honest_parties(&self) -> impl Iterator<Item = PartyId> + '_ {
+        (0..self.n).map(PartyId).filter(|p| !self.is_corrupt(*p))
+    }
+
+    /// Deploys one episode of a protocol stack under this scenario's
+    /// corruption plan.
+    ///
+    /// For every party, spawns at `session` either the stack's honest
+    /// instance (from `honest(party, carry)`) or the fault's instance:
+    /// generic faults use the behaviours of [`crate::behaviors`]
+    /// (`mute-after` wraps the honest instance), named attacks are built
+    /// by `registry` with an episode-aware [`AttackCtx`]. `crash` spawns
+    /// the honest instance and then crashes the party (idempotent across
+    /// episodes; a crash before the first run retracts initial sends on
+    /// every backend).
+    ///
+    /// `carries[p]` is party `p`'s output from the previous episode (pass
+    /// `&[]` for the first); it is forwarded both to `honest` and to
+    /// attack factories, which is how reconstruction attacks receive the
+    /// share bundle the corrupted party obtained honestly.
+    pub fn deploy_episode(
+        &self,
+        rt: &mut dyn Runtime,
+        registry: &AttackRegistry,
+        episode: &str,
+        session: &SessionId,
+        carries: &[Option<Payload>],
+        mut honest: impl FnMut(PartyId, Option<&Payload>) -> Box<dyn Instance>,
+    ) -> Result<(), String> {
+        let config = *rt.config();
+        if config.n != self.n || config.t != self.t {
+            return Err(format!(
+                "runtime is configured for n={}/t={}, scenario wants n={}/t={}",
+                config.n, config.t, self.n, self.t
+            ));
+        }
+        for p in (0..self.n).map(PartyId) {
+            let carry = carries.get(p.0).and_then(|c| c.as_ref());
+            let instance: Box<dyn Instance> = match self.fault_of(p) {
+                None => honest(p, carry),
+                Some(FaultSpec::Silent) => Box::new(SilentInstance),
+                Some(FaultSpec::Crash) => {
+                    rt.spawn(p, session.clone(), honest(p, carry));
+                    rt.crash(p);
+                    continue;
+                }
+                Some(FaultSpec::MuteAfter(k)) => Box::new(MuteAfter::new(honest(p, carry), *k)),
+                Some(FaultSpec::Garbage(b)) => Box::new(GarbageInstance::new(*b)),
+                Some(FaultSpec::Equivocate(b)) => Box::new(Equivocator::new(*b)),
+                Some(FaultSpec::Attack { name, args }) => {
+                    let ctx = AttackCtx {
+                        party: p,
+                        n: self.n,
+                        t: self.t,
+                        seed: config.seed,
+                        args,
+                        episode,
+                        carry,
+                    };
+                    match registry.build(name, &ctx) {
+                        Some(AttackRole::Instance(inst)) => inst,
+                        Some(AttackRole::Honest) => honest(p, carry),
+                        None => {
+                            return Err(format!(
+                                "attack {name:?} (args {args:?}) failed to build for \
+                                 episode {episode:?}"
+                            ))
+                        }
+                    }
+                }
+            };
+            rt.spawn(p, session.clone(), instance);
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={},t={}", self.n, self.t)?;
+        if !self.corruptions.is_empty() {
+            write!(f, ",corrupt=")?;
+            for (i, c) in self.corruptions.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ";")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        write!(f, ",sched={},rt={}", self.sched, self.rt)
+    }
+}
+
+/// Everything an attack factory may depend on when building the corrupted
+/// party's instance for one episode.
+///
+/// By convention the scenario stacks place protocol roles at party 0
+/// (e.g. the SVSS dealer), so factories that need a role id use
+/// `PartyId(0)` unless their `args` say otherwise.
+pub struct AttackCtx<'a> {
+    /// The corrupted party being deployed.
+    pub party: PartyId,
+    /// Number of parties.
+    pub n: usize,
+    /// Fault threshold.
+    pub t: usize,
+    /// The run's master seed.
+    pub seed: u64,
+    /// Attack-defined argument string from the fault spec.
+    pub args: &'a str,
+    /// The episode (leaf session kind) being deployed, e.g. `"ba"`,
+    /// `"svss-share"`, `"svss-rec"`.
+    pub episode: &'a str,
+    /// The party's output from the previous episode, if any.
+    pub carry: Option<&'a Payload>,
+}
+
+/// What an attack factory contributes to one episode.
+pub enum AttackRole {
+    /// Run this instance for the corrupted party.
+    Instance(Box<dyn Instance>),
+    /// This episode is not attacked: run the stack's honest instance.
+    Honest,
+}
+
+type AttackFactory = Box<dyn Fn(&AttackCtx<'_>) -> Option<AttackRole> + Send + Sync>;
+
+/// Named protocol-specific attacks, pluggable by protocol crates.
+///
+/// Factories receive an [`AttackCtx`] and return the corrupted party's
+/// role for the episode being deployed, or `None` when the arguments are
+/// invalid. `aft-ba` and `aft-svss` export `register_attacks` functions;
+/// `aft-core` assembles them into the standard registry used by the
+/// conformance suite.
+#[derive(Default)]
+pub struct AttackRegistry {
+    factories: BTreeMap<&'static str, AttackFactory>,
+}
+
+impl AttackRegistry {
+    /// An empty registry (generic faults need no registration).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `factory` under `name`, replacing any previous entry.
+    pub fn register(
+        &mut self,
+        name: &'static str,
+        factory: impl Fn(&AttackCtx<'_>) -> Option<AttackRole> + Send + Sync + 'static,
+    ) {
+        self.factories.insert(name, Box::new(factory));
+    }
+
+    /// Whether an attack named `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// Registered attack names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.factories.keys().copied()
+    }
+
+    /// Builds the attack `name` for `ctx`; `None` when the name is
+    /// unknown or the factory rejected the arguments.
+    pub fn build(&self, name: &str, ctx: &AttackCtx<'_>) -> Option<AttackRole> {
+        self.factories.get(name)?(ctx)
+    }
+}
+
+impl fmt::Debug for AttackRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.names()).finish()
+    }
+}
+
+/// A sweep over the cross-product of backends × schedulers × fault plans
+/// × seeds, run in parallel via [`run_trials`](crate::run_trials).
+///
+/// Every cell is identified by its scenario *string* (composed from the
+/// axes) plus its seed, and [`ScenarioMatrix::run`] re-parses that string
+/// inside the trial — results are reproducible from `(seed, scenario
+/// string)` alone, with no hidden state.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    /// Number of parties (shared by every cell).
+    pub n: usize,
+    /// Fault threshold.
+    pub t: usize,
+    /// Backend axis (`rt=` values: `sim`, `sharded:<k>`, `threaded`).
+    pub backends: Vec<String>,
+    /// Scheduler axis (`sched=` values).
+    pub schedulers: Vec<String>,
+    /// Fault-plan axis (`corrupt=` values; `""` means all honest).
+    pub plans: Vec<String>,
+    /// Seed axis.
+    pub seeds: Vec<u64>,
+}
+
+/// One completed cell of a [`ScenarioMatrix`] sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixCell<T> {
+    /// The cell's canonical scenario string.
+    pub spec: String,
+    /// The cell's seed.
+    pub seed: u64,
+    /// Whatever the runner returned.
+    pub outcome: T,
+}
+
+impl ScenarioMatrix {
+    /// The scenario strings of the sweep (cross-product minus seeds), in
+    /// axis order: backends outermost, then schedulers, then plans.
+    pub fn specs(&self) -> Vec<String> {
+        let mut specs = Vec::new();
+        for rt in &self.backends {
+            for sched in &self.schedulers {
+                for plan in &self.plans {
+                    let corrupt = if plan.is_empty() {
+                        String::new()
+                    } else {
+                        format!(",corrupt={plan}")
+                    };
+                    specs.push(format!(
+                        "n={},t={}{corrupt},sched={sched},rt={rt}",
+                        self.n, self.t
+                    ));
+                }
+            }
+        }
+        specs
+    }
+
+    /// All `(scenario string, seed)` cells of the sweep.
+    pub fn cells(&self) -> Vec<(String, u64)> {
+        let mut cells = Vec::new();
+        for spec in self.specs() {
+            for &seed in &self.seeds {
+                cells.push((spec.clone(), seed));
+            }
+        }
+        cells
+    }
+
+    /// Runs `runner` on every cell across up to `threads` OS threads and
+    /// returns outcomes in cell order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any composed scenario string fails to parse (axis values
+    /// are validated here, not at construction).
+    pub fn run<T: Send>(
+        &self,
+        threads: usize,
+        runner: impl Fn(&Scenario, u64) -> T + Sync,
+    ) -> Vec<MatrixCell<T>> {
+        let cells = self.cells();
+        let outcomes = crate::montecarlo::run_trials(0..cells.len() as u64, threads, |i| {
+            let (spec, seed) = &cells[i as usize];
+            let scenario = Scenario::parse(spec)
+                .unwrap_or_else(|| panic!("matrix composed an invalid scenario {spec:?}"));
+            runner(&scenario, *seed)
+        });
+        cells
+            .into_iter()
+            .zip(outcomes)
+            .map(|((spec, seed), outcome)| MatrixCell {
+                spec,
+                seed,
+                outcome,
+            })
+            .collect()
+    }
+}
+
+/// A tiny deterministic (FNV-1a) fingerprint accumulator, used to compare
+/// runs bit-for-bit across backends and re-runs without relying on
+/// `std`'s unstable-by-contract default hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes into the fingerprint.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into the fingerprint.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a string (with a terminator, so concatenations differ).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+        self.write_bytes(&[0xff]);
+    }
+
+    /// Folds the run-affecting counters of a [`Metrics`] snapshot: sends,
+    /// deliveries, drops, shun events and sorted per-kind send counts.
+    pub fn write_metrics(&mut self, m: &Metrics) {
+        self.write_u64(m.sent);
+        self.write_u64(m.delivered);
+        self.write_u64(m.dropped_shunned);
+        self.write_u64(m.dropped_crashed);
+        self.write_u64(m.shun_events);
+        let mut kinds: Vec<(&'static str, u64)> = m.kinds().collect();
+        kinds.sort();
+        for (kind, count) in kinds {
+            self.write_str(kind);
+            self.write_u64(count);
+        }
+    }
+
+    /// The accumulated 64-bit fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SessionTag;
+    use crate::instance::Context;
+    use crate::runtime::{RuntimeExt, StopReason};
+
+    fn sid() -> SessionId {
+        SessionId::root().child(SessionTag::new("s", 0))
+    }
+
+    /// Counts pings; outputs after hearing 3.
+    struct Pinger {
+        heard: usize,
+    }
+    impl Instance for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send_all(1u8);
+        }
+        fn on_message(&mut self, _f: PartyId, p: &Payload, ctx: &mut Context<'_>) {
+            if p.downcast_ref::<u8>().is_some() {
+                self.heard += 1;
+                if self.heard == 3 {
+                    ctx.output(self.heard);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_issue_example() {
+        let s = Scenario::parse(
+            "scenario:n=16,t=3,corrupt=silent@1;garbage@5,sched=starve:1,rt=sharded:4",
+        )
+        .unwrap();
+        assert_eq!((s.n, s.t), (16, 3));
+        assert_eq!(s.corruptions.len(), 2);
+        assert_eq!(s.fault_of(PartyId(1)), Some(&FaultSpec::Silent));
+        assert_eq!(
+            s.fault_of(PartyId(5)),
+            Some(&FaultSpec::Garbage(DEFAULT_GARBAGE_BUDGET))
+        );
+        assert_eq!(s.sched, "starve:1");
+        assert_eq!(s.rt, "sharded:4");
+        assert_eq!(s.backend_name(), "sharded:4:starve:1");
+    }
+
+    #[test]
+    fn parse_defaults_and_prefix_optional() {
+        let s = Scenario::parse("n=7").unwrap();
+        assert_eq!((s.n, s.t), (7, 2));
+        assert!(s.corruptions.is_empty());
+        assert_eq!(s.sched, "random");
+        assert_eq!(s.rt, "sim");
+        assert_eq!(Scenario::parse("scenario:n=7"), Some(s));
+    }
+
+    #[test]
+    fn parse_glues_scheduler_commas() {
+        let s = Scenario::parse("n=7,t=2,sched=starve:1,3,rt=sim").unwrap();
+        assert_eq!(s.sched, "starve:1,3");
+        assert_eq!(s.rt, "sim");
+        // Comma-continuations also work for attack args in corrupt plans.
+        let s = Scenario::parse("n=7,sched=random,corrupt=wrong-cross:1,2@4").unwrap();
+        assert_eq!(
+            s.fault_of(PartyId(4)),
+            Some(&FaultSpec::Attack {
+                name: "wrong-cross".into(),
+                args: "1,2".into()
+            })
+        );
+    }
+
+    #[test]
+    fn display_round_trips_and_is_canonical() {
+        for spec in [
+            "n=4,t=1,sched=random,rt=sim",
+            "n=7,t=2,corrupt=silent@2;mute-after:6@5,sched=lifo,rt=sharded:2",
+            "n=16,t=5,corrupt=garbage:9@1;equivocate:3@8;my-attack:x@12,sched=window4,rt=threaded",
+            "n=10,t=3,corrupt=crash@9,sched=starve:1,3,rt=sharded:1",
+        ] {
+            let s = Scenario::parse(spec).unwrap();
+            assert_eq!(s.to_string(), spec, "canonical form is stable");
+            assert_eq!(Scenario::parse(&s.to_string()), Some(s), "{spec}");
+        }
+        // Non-canonical inputs normalize: default budgets become explicit,
+        // corruption lists sort by party.
+        let s = Scenario::parse("n=7,corrupt=garbage@5;silent@2").unwrap();
+        assert_eq!(
+            s.to_string(),
+            "n=7,t=2,corrupt=silent@2;garbage:32@5,sched=random,rt=sim"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_invalid() {
+        for bad in [
+            "",                                  // no n
+            "t=1",                               // no n
+            "n=4,t=2",                           // resilience violated
+            "n=4,t=1,corrupt=silent@1;silent@2", // two corruptions > t
+            "n=4,t=1,corrupt=silent@4",          // party out of range
+            "n=4,t=1,corrupt=silent@1;silent@1", // duplicate party
+            "n=4,t=1,corrupt=silent:9@1",        // silent takes no args
+            "n=4,t=1,corrupt=mute-after@1",      // mute-after needs a count
+            "n=4,t=1,corrupt=garbage:x@1",       // malformed builtin args
+            "n=4,t=1,corrupt=Bad-Name@1",        // invalid attack name
+            "n=4,t=1,corrupt=silent",            // missing @party
+            "n=4,sched=bogus",                   // unknown scheduler
+            "n=4,rt=hovercraft",                 // unknown runtime
+            "n=4,rt=sharded:0",                  // zero shards
+            "n=4,rt=sim:lifo",                   // scheduler belongs in sched=
+            "n=4,zzz=1",                         // unknown field
+            "n=four",                            // malformed n
+        ] {
+            assert!(Scenario::parse(bad).is_none(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn backend_name_composition() {
+        let mut s = Scenario::honest(4, 1);
+        s.sched = "lifo".into();
+        assert_eq!(s.backend_name(), "sim:lifo");
+        s.rt = "sharded:4".into();
+        assert_eq!(s.backend_name(), "sharded:4:lifo");
+        s.rt = "threaded".into();
+        assert_eq!(s.backend_name(), "threaded");
+    }
+
+    #[test]
+    fn deploy_generic_faults_and_crash() {
+        // 7 parties, silent@5 + crash@6: the 5 honest pingers each
+        // broadcast once and hear enough pings to output.
+        let s = Scenario::parse("n=7,t=2,corrupt=silent@5;crash@6,sched=random,rt=sim").unwrap();
+        let mut rt = s.runtime(11);
+        let reg = AttackRegistry::new();
+        s.deploy_episode(rt.as_mut(), &reg, "ping", &sid(), &[], |_, _| {
+            Box::new(Pinger { heard: 0 })
+        })
+        .unwrap();
+        let report = rt.run(1_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        for p in s.honest_parties() {
+            assert_eq!(rt.output_as::<usize>(p, &sid()), Some(&3), "party {p:?}");
+        }
+        assert!(rt.output(PartyId(5), &sid()).is_none(), "silent");
+        assert!(rt.output(PartyId(6), &sid()).is_none(), "crashed");
+        // Crash-before-run retracted party 6's initial broadcast entirely:
+        // only the 5 live parties' send_alls count, and each of their
+        // deliveries to the crashed party is dropped-and-counted.
+        assert_eq!(report.metrics.sent, 35);
+        assert_eq!(report.metrics.dropped_crashed, 5);
+    }
+
+    #[test]
+    fn deploy_attack_roles_and_errors() {
+        let mut reg = AttackRegistry::new();
+        reg.register("pinger-stutter", |ctx| match ctx.episode {
+            "ping" => Some(AttackRole::Instance(Box::new(SilentInstance))),
+            _ => Some(AttackRole::Honest),
+        });
+        assert!(reg.contains("pinger-stutter"));
+        assert_eq!(reg.names().collect::<Vec<_>>(), vec!["pinger-stutter"]);
+
+        let s = Scenario::parse("n=4,t=1,corrupt=pinger-stutter@3,sched=fifo,rt=sim").unwrap();
+        assert!(s.validate_attacks(&reg).is_ok());
+        assert!(s
+            .validate_attacks(&AttackRegistry::new())
+            .unwrap_err()
+            .contains("pinger-stutter"));
+
+        // Episode "ping": the attack is active (silent).
+        let mut rt = s.runtime(3);
+        s.deploy_episode(rt.as_mut(), &reg, "ping", &sid(), &[], |_, _| {
+            Box::new(Pinger { heard: 0 })
+        })
+        .unwrap();
+        rt.run(1_000_000);
+        assert!(rt.output(PartyId(3), &sid()).is_none());
+
+        // Episode "other": AttackRole::Honest falls back to the honest
+        // instance.
+        let other = SessionId::root().child(SessionTag::new("other", 0));
+        let mut rt = s.runtime(3);
+        s.deploy_episode(rt.as_mut(), &reg, "other", &other, &[], |_, _| {
+            Box::new(Pinger { heard: 0 })
+        })
+        .unwrap();
+        rt.run(1_000_000);
+        assert_eq!(rt.output_as::<usize>(PartyId(3), &other), Some(&3));
+
+        // Unknown attack: deploy fails loudly.
+        let mut rt = s.runtime(3);
+        let err = s
+            .deploy_episode(
+                rt.as_mut(),
+                &AttackRegistry::new(),
+                "ping",
+                &sid(),
+                &[],
+                |_, _| Box::new(Pinger { heard: 0 }),
+            )
+            .unwrap_err();
+        assert!(err.contains("pinger-stutter"), "{err}");
+    }
+
+    #[test]
+    fn deploy_rejects_mismatched_runtime() {
+        let s = Scenario::honest(4, 1);
+        let mut rt = runtime_by_name("sim", NetConfig::new(7, 2, 0)).unwrap();
+        let err = s
+            .deploy_episode(
+                rt.as_mut(),
+                &AttackRegistry::new(),
+                "ping",
+                &sid(),
+                &[],
+                |_, _| Box::new(SilentInstance),
+            )
+            .unwrap_err();
+        assert!(err.contains("n=7"), "{err}");
+    }
+
+    #[test]
+    fn deploy_forwards_carries() {
+        struct EchoCarry;
+        impl Instance for EchoCarry {
+            fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+            fn on_message(&mut self, _f: PartyId, _p: &Payload, _c: &mut Context<'_>) {}
+        }
+        let s = Scenario::honest(4, 1);
+        let mut rt = s.runtime(0);
+        let carries: Vec<Option<Payload>> = (0..4u64).map(|p| Some(Payload::new(p))).collect();
+        let mut seen = Vec::new();
+        s.deploy_episode(
+            rt.as_mut(),
+            &AttackRegistry::new(),
+            "e2",
+            &sid(),
+            &carries,
+            |p, c| {
+                seen.push((p, c.and_then(|c| c.downcast_ref::<u64>()).copied()));
+                Box::new(EchoCarry)
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            seen,
+            (0..4)
+                .map(|p| (PartyId(p), Some(p as u64)))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn matrix_cells_and_reproducible_run() {
+        let matrix = ScenarioMatrix {
+            n: 4,
+            t: 1,
+            backends: vec!["sim".into(), "sharded:2".into()],
+            schedulers: vec!["fifo".into(), "random".into()],
+            plans: vec!["".into(), "silent@3".into()],
+            seeds: vec![1, 2],
+        };
+        assert_eq!(matrix.specs().len(), 8);
+        assert_eq!(matrix.cells().len(), 16);
+        let run = || {
+            matrix.run(4, |scenario, seed| {
+                let mut rt = scenario.runtime(seed);
+                scenario
+                    .deploy_episode(
+                        rt.as_mut(),
+                        &AttackRegistry::new(),
+                        "ping",
+                        &sid(),
+                        &[],
+                        |_, _| Box::new(Pinger { heard: 0 }),
+                    )
+                    .unwrap();
+                let report = rt.run(1_000_000);
+                let mut fp = Fingerprint::new();
+                fp.write_metrics(&report.metrics);
+                for p in (0..scenario.n).map(PartyId) {
+                    fp.write_str(&format!("{:?}", rt.output_as::<usize>(p, &sid())));
+                }
+                (report.stop, fp.finish())
+            })
+        };
+        let first = run();
+        assert!(first.iter().all(|c| c.outcome.0 == StopReason::Quiescent));
+        // Bit-for-bit reproducible from (seed, scenario string) alone.
+        assert_eq!(first, run());
+    }
+
+    #[test]
+    fn fingerprint_separates_and_repeats() {
+        let mut a = Fingerprint::new();
+        a.write_str("ab");
+        let mut b = Fingerprint::new();
+        b.write_str("a");
+        b.write_str("b");
+        assert_ne!(a.finish(), b.finish(), "terminator separates strings");
+        let mut c = Fingerprint::new();
+        c.write_str("ab");
+        assert_eq!(a.finish(), c.finish());
+        let mut m = Metrics::default();
+        m.sent = 3;
+        let mut d = Fingerprint::new();
+        d.write_metrics(&m);
+        let mut e = Fingerprint::new();
+        e.write_metrics(&m);
+        assert_eq!(d.finish(), e.finish());
+    }
+}

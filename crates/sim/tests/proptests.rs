@@ -175,3 +175,118 @@ proptest! {
         prop_assert!(net.node(PartyId(2)).is_crashed());
     }
 }
+
+/// Property tests of the declarative scenario layer: random `Scenario`
+/// values must survive a display→parse round trip unchanged, and the
+/// matrix composition must produce parseable specs.
+mod scenario_props {
+    use aft_sim::{Corruption, FaultSpec, PartyId, Scenario, ScenarioMatrix, ALL_SCHEDULERS};
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    /// Decodes one selector into a fault, covering every generic variant
+    /// plus registry-style attack names with and without args.
+    fn fault_from(sel: u64) -> FaultSpec {
+        match sel % 7 {
+            0 => FaultSpec::Silent,
+            1 => FaultSpec::Crash,
+            2 => FaultSpec::MuteAfter(sel / 7 % 32),
+            3 => FaultSpec::Garbage(1 + sel / 7 % 64),
+            4 => FaultSpec::Equivocate(1 + sel / 7 % 16),
+            5 => FaultSpec::Attack {
+                name: "equivocal-reveal".into(),
+                args: String::new(),
+            },
+            _ => FaultSpec::Attack {
+                name: "fixed-voter".into(),
+                args: "true:3".into(),
+            },
+        }
+    }
+
+    /// Builds a valid random scenario: ≤ t distinct corrupted parties,
+    /// a scheduler drawn from the shared family table (plus parameterized
+    /// variants), and any backend.
+    fn scenario_from(n: usize, corrupt: &[u64], sched: usize, rt: usize) -> Scenario {
+        let t = (n - 1) / 3;
+        let mut parties: Vec<usize> = Vec::new();
+        for sel in corrupt.iter().take(t) {
+            let available: Vec<usize> = (0..n).filter(|p| !parties.contains(p)).collect();
+            parties.push(available[(sel % available.len() as u64) as usize]);
+        }
+        parties.sort_unstable();
+        let corruptions = parties
+            .iter()
+            .zip(corrupt)
+            .map(|(&party, sel)| Corruption {
+                party: PartyId(party),
+                fault: fault_from(sel >> 8),
+            })
+            .collect();
+        let mut scheds: Vec<String> = ALL_SCHEDULERS
+            .iter()
+            .map(|f| f.example.to_string())
+            .collect();
+        scheds.push("window9".into());
+        scheds.push("starve:0,2".into());
+        let rts = [
+            "sim",
+            "sharded:1",
+            "sharded:2",
+            "sharded:4",
+            "threaded",
+            "threaded:5",
+        ];
+        Scenario {
+            n,
+            t,
+            corruptions,
+            sched: scheds[sched % scheds.len()].clone(),
+            rt: rts[rt % rts.len()].to_string(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Display→parse round trip: the canonical string of any valid
+        /// scenario parses back to the identical value.
+        #[test]
+        fn scenario_display_parse_round_trip(
+            n in 4usize..=13,
+            corrupt in vec(any::<u64>(), 0..=4),
+            sched in 0usize..16,
+            rt in 0usize..16,
+        ) {
+            let scenario = scenario_from(n, &corrupt, sched, rt);
+            prop_assert!(scenario.validate().is_ok(), "{scenario}");
+            let shown = scenario.to_string();
+            prop_assert_eq!(Scenario::parse(&shown), Some(scenario), "{}", shown);
+        }
+
+        /// Matrix composition always yields parseable, validated specs,
+        /// and the cell count is the exact cross-product size.
+        #[test]
+        fn matrix_specs_always_parse(
+            n in 4usize..=7,
+            plan_sel in any::<u64>(),
+            seeds in vec(any::<u64>(), 1..=3),
+        ) {
+            let plan = fault_from(plan_sel).to_string() + "@1";
+            let matrix = ScenarioMatrix {
+                n,
+                t: (n - 1) / 3,
+                backends: vec!["sim".into(), "sharded:2".into()],
+                schedulers: ALL_SCHEDULERS.iter().map(|f| f.example.to_string()).collect(),
+                plans: vec![String::new(), plan],
+                seeds: seeds.clone(),
+            };
+            let specs = matrix.specs();
+            prop_assert_eq!(specs.len(), 2 * ALL_SCHEDULERS.len() * 2);
+            prop_assert_eq!(matrix.cells().len(), specs.len() * seeds.len());
+            for spec in specs {
+                prop_assert!(Scenario::parse(&spec).is_some(), "{}", spec);
+            }
+        }
+    }
+}

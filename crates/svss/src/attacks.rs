@@ -4,7 +4,105 @@
 use crate::msgs::{party_point, RecMsg, ShareBundle, ShareMsg};
 use crate::share::SvssShare;
 use aft_field::{BivarPoly, Fp, Poly};
-use aft_sim::{Context, Instance, PartyId, Payload};
+use aft_sim::{AttackCtx, AttackRegistry, AttackRole, Context, Instance, PartyId, Payload};
+
+/// Registers this crate's attacks with a scenario [`AttackRegistry`].
+///
+/// SVSS attacks are *episode-aware*: the share→rec stack deploys two
+/// episodes (leaf session kinds `"svss-share"` then `"svss-rec"`), and a
+/// reconstruction attack needs the [`ShareBundle`] the corrupted party
+/// legitimately obtained in the share phase — which arrives as the
+/// episode carry. The scenario stacks place the dealer at party 0.
+///
+/// * `two-faced-dealer` — [`TwoFacedDealer`] in the share phase (group A
+///   is the first `n − t` parties, so a core can still form), silent in
+///   rec; corrupt only the dealer (party 0) with it.
+/// * `wrong-cross[:victims]` — [`WrongCross`] in the share phase against
+///   the comma-separated victim list (default: the next party), honest in
+///   rec.
+/// * `wrong-sigma[:reveal]` — honest share phase; in rec, a σ off by one
+///   ([`WrongSigma`]), optionally also revealing (which exposes the
+///   self-contradiction and draws shuns).
+/// * `equivocal-reveal` — honest share phase; in rec, reveals a shifted
+///   row/col ([`EquivocalReveal`]) — the canonical shun generator.
+/// * `silent-rec` — honest share phase; withholds everything in rec
+///   ([`SilentRec`]), the adversary online error correction must absorb.
+pub fn register_attacks(registry: &mut AttackRegistry) {
+    fn carry_bundle(ctx: &AttackCtx<'_>) -> Option<ShareBundle> {
+        ctx.carry
+            .and_then(|c| c.downcast_ref::<ShareBundle>())
+            .cloned()
+    }
+    /// Rec-phase role from the share-phase bundle: attack if the party
+    /// holds one, stay silent if the share phase never completed for it.
+    fn rec_role(
+        ctx: &AttackCtx<'_>,
+        attack: impl FnOnce(ShareBundle) -> Box<dyn Instance>,
+    ) -> Option<AttackRole> {
+        Some(AttackRole::Instance(match carry_bundle(ctx) {
+            Some(bundle) => attack(bundle),
+            None => Box::new(SilentRec),
+        }))
+    }
+
+    registry.register("two-faced-dealer", |ctx| {
+        if ctx.episode != "svss-share" {
+            return Some(AttackRole::Instance(Box::new(SilentRec)));
+        }
+        let group_a: Vec<PartyId> = (0..ctx.n - ctx.t).map(PartyId).collect();
+        let secret_a = Fp::new(ctx.seed.wrapping_mul(3).wrapping_add(1));
+        let secret_b = Fp::new(ctx.seed.wrapping_mul(5).wrapping_add(2));
+        Some(AttackRole::Instance(Box::new(TwoFacedDealer::new(
+            ctx.party, group_a, secret_a, secret_b,
+        ))))
+    });
+    registry.register("wrong-cross", |ctx| {
+        if ctx.episode != "svss-share" {
+            return Some(AttackRole::Honest);
+        }
+        let victims: Vec<PartyId> = if ctx.args.is_empty() {
+            vec![PartyId((ctx.party.0 + 1) % ctx.n)]
+        } else {
+            ctx.args
+                .split(',')
+                .map(|part| {
+                    let id: usize = part.trim().parse().ok()?;
+                    (id < ctx.n).then_some(PartyId(id))
+                })
+                .collect::<Option<_>>()?
+        };
+        Some(AttackRole::Instance(Box::new(WrongCross::new(
+            PartyId(0),
+            victims,
+        ))))
+    });
+    registry.register("wrong-sigma", |ctx| {
+        if ctx.episode == "svss-share" {
+            return Some(AttackRole::Honest);
+        }
+        let reveal_too = match ctx.args {
+            "" => false,
+            "reveal" => true,
+            _ => return None,
+        };
+        rec_role(ctx, |bundle| {
+            Box::new(WrongSigma::new(bundle, Fp::ONE, reveal_too))
+        })
+    });
+    registry.register("equivocal-reveal", |ctx| {
+        if ctx.episode == "svss-share" {
+            return Some(AttackRole::Honest);
+        }
+        rec_role(ctx, |bundle| Box::new(EquivocalReveal::new(bundle)))
+    });
+    registry.register("silent-rec", |ctx| {
+        Some(if ctx.episode == "svss-share" {
+            AttackRole::Honest
+        } else {
+            AttackRole::Instance(Box::new(SilentRec))
+        })
+    });
+}
 
 /// A Byzantine dealer that deals shares of **two different secrets**: the
 /// parties in `group_a` receive rows/columns of a polynomial with secret

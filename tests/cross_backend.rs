@@ -520,6 +520,58 @@ fn crash_before_first_run_retracts_initial_sends_on_every_backend() {
     );
 }
 
+/// The block-scheduler equivalence extended to *adversarial* runs: a
+/// declarative scenario corrupting up to `t` parties (garbage sprayer,
+/// mid-protocol mute, equivocator, whole-party crash) deployed through
+/// `Scenario::deploy_episode` must leave `sim` and every `sharded:<k>`
+/// bit-identical — outputs, per-kind counts, sends and deliveries — on
+/// every seed tried, exactly like the honest runs above. Byzantine
+/// instances draw from the same per-party RNGs, so they are as
+/// deterministic as honest code under an identical schedule.
+#[test]
+fn adversarial_scenarios_identical_on_sim_and_every_shard_count() {
+    use aft::sim::{AttackRegistry, Scenario};
+    let registry = AttackRegistry::new(); // generic behaviours need no registration
+    for plan in [
+        "garbage:40@6",
+        "silent@5;mute-after:6@6",
+        "equivocate:12@6",
+        "crash@5;garbage:24@6",
+    ] {
+        for seed in [1u64, 2, 3, 5, 8] {
+            let run = |backend: &str| {
+                let spec = format!("n=7,t=2,corrupt={plan},sched=block:8,rt={backend}");
+                let scenario = Scenario::parse(&spec).unwrap();
+                let mut rt = scenario.runtime(seed);
+                scenario
+                    .deploy_episode(rt.as_mut(), &registry, "ba", &sid("ba"), &[], |_, _| {
+                        Box::new(BinaryBa::new(
+                            seed % 2 == 0,
+                            Box::new(OracleCoin::new(seed)),
+                        ))
+                    })
+                    .unwrap();
+                let report = rt.run(1_000_000_000);
+                assert_eq!(report.stop, StopReason::Quiescent, "{spec} seed={seed}");
+                let outputs: Vec<Option<bool>> = (0..7)
+                    .map(|p| rt.output_as::<bool>(PartyId(p), &sid("ba")).copied())
+                    .collect();
+                let metrics = rt.metrics();
+                (
+                    outputs,
+                    kind_fingerprint(&metrics),
+                    metrics.sent,
+                    metrics.delivered,
+                )
+            };
+            let reference = run("sim");
+            for backend in ["sharded:1", "sharded:2", "sharded:4"] {
+                assert_eq!(run(backend), reference, "{plan} rt={backend} seed={seed}");
+            }
+        }
+    }
+}
+
 /// Message conservation holds on every backend:
 /// `sent = delivered + dropped_shunned + dropped_crashed` at quiescence.
 #[test]
