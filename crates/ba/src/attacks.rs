@@ -5,6 +5,11 @@ use aft_broadcast::Acast;
 use aft_sim::{AttackRegistry, AttackRole, Context, Instance, PartyId, Payload, SessionTag};
 use rand::Rng;
 
+/// Registers this module's message kinds (the decoy `Decide`).
+pub(crate) fn register_codecs(registry: &mut aft_sim::CodecRegistry) {
+    registry.register::<FakeDecide>();
+}
+
 /// Registers this crate's attacks with a scenario [`AttackRegistry`]:
 ///
 /// * `random-voter[:rounds]` — [`RandomVoter`] (default 5 rounds);
@@ -56,11 +61,21 @@ impl RandomVoter {
     }
 }
 
-/// Mirror of the BA's private `DecideMsg`; field layout compatibility is
-/// irrelevant because honest parties match on their own type — this simply
-/// exercises the type-confusion path too.
+/// Mirror of the BA's private `DecideMsg`, under a *different* wire kind;
+/// honest parties match on their own kind, so this exercises the
+/// type-confusion path on in-memory backends and the kind-mismatch path
+/// on the wire backend alike.
 #[derive(Debug, Clone, Copy)]
 struct FakeDecide;
+
+impl aft_sim::WireMessage for FakeDecide {
+    const KIND: u16 = aft_sim::wire::KIND_BA_BASE + 5;
+    const KIND_NAME: &'static str = "ba-fake-decide";
+    fn encode_body(&self, _out: &mut Vec<u8>) {}
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        bytes.is_empty().then_some(FakeDecide)
+    }
+}
 
 impl Instance for RandomVoter {
     fn on_start(&mut self, ctx: &mut Context<'_>) {

@@ -3,7 +3,8 @@
 
 use crate::coin::{Coin, CoinSource};
 use aft_broadcast::Acast;
-use aft_sim::{Context, Instance, PartyId, Payload, SessionTag};
+use aft_sim::wire::{WireReader, WireWriter, KIND_BA_BASE};
+use aft_sim::{Context, Instance, PartyId, Payload, SessionTag, WireMessage};
 use std::collections::{HashMap, HashSet};
 
 /// Phase-1 vote value (A-Cast payload/output).
@@ -18,7 +19,60 @@ pub struct V3(pub Option<bool>);
 
 /// Direct (non-broadcast) termination-gadget message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct DecideMsg(bool);
+pub(crate) struct DecideMsg(pub(crate) bool);
+
+macro_rules! bool_vote_wire {
+    ($ty:ident, $kind:expr, $name:literal) => {
+        impl WireMessage for $ty {
+            const KIND: u16 = $kind;
+            const KIND_NAME: &'static str = $name;
+            fn encode_body(&self, out: &mut Vec<u8>) {
+                WireWriter::bool(out, self.0);
+            }
+            fn decode_body(bytes: &[u8]) -> Option<Self> {
+                let mut r = WireReader::new(bytes);
+                let v = r.bool()?;
+                r.finish()?;
+                Some($ty(v))
+            }
+        }
+    };
+}
+
+bool_vote_wire!(V1, KIND_BA_BASE, "ba-v1");
+bool_vote_wire!(V2, KIND_BA_BASE + 1, "ba-v2");
+bool_vote_wire!(DecideMsg, KIND_BA_BASE + 3, "ba-decide");
+
+/// Registers this module's private message kinds.
+pub(crate) fn register_private_codecs(registry: &mut aft_sim::CodecRegistry) {
+    registry.register::<DecideMsg>();
+}
+
+impl WireMessage for V3 {
+    const KIND: u16 = KIND_BA_BASE + 2;
+    const KIND_NAME: &'static str = "ba-v3";
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        WireWriter::u8(
+            out,
+            match self.0 {
+                None => 2,
+                Some(false) => 0,
+                Some(true) => 1,
+            },
+        );
+    }
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        let mut r = WireReader::new(bytes);
+        let v = match r.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            2 => None,
+            _ => return None,
+        };
+        r.finish()?;
+        Some(V3(v))
+    }
+}
 
 /// Session tag kinds for per-round vote broadcasts (index packs
 /// `round * n + voter`).
@@ -370,8 +424,8 @@ impl Instance for BinaryBa {
         if self.halted {
             return;
         }
-        if let Some(DecideMsg(v)) = payload.downcast_ref::<DecideMsg>() {
-            self.on_decide_msg(from, *v, ctx);
+        if let Some(DecideMsg(v)) = payload.to_msg::<DecideMsg>() {
+            self.on_decide_msg(from, v, ctx);
         }
     }
 
@@ -424,5 +478,30 @@ impl Instance for BinaryBa {
         if round == self.round {
             self.advance(ctx);
         }
+    }
+}
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use aft_sim::wire::{decode_frame_as, encode_frame};
+
+    #[test]
+    fn decide_msg_round_trips_and_rejects_junk() {
+        for v in [true, false] {
+            let mut frame = Vec::new();
+            encode_frame(&DecideMsg(v), &mut frame);
+            assert_eq!(decode_frame_as::<DecideMsg>(&frame), Some(DecideMsg(v)));
+        }
+        assert_eq!(DecideMsg::decode_body(&[2]), None);
+        assert_eq!(DecideMsg::decode_body(&[0, 0]), None, "trailing bytes");
+        assert_eq!(DecideMsg::decode_body(&[]), None);
+    }
+
+    #[test]
+    fn v3_rejects_non_ternary_bodies() {
+        assert_eq!(V3::decode_body(&[3]), None);
+        assert_eq!(V3::decode_body(&[]), None);
+        assert_eq!(V3::decode_body(&[1, 1]), None);
     }
 }

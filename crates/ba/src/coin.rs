@@ -107,9 +107,46 @@ impl CoinSource for WeakSharedCoin {
 
 /// Messages of the weak shared coin.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum WeakCoinMsg {
+pub(crate) enum WeakCoinMsg {
     /// "These n − t dealers' share phases completed for me."
     Gather(BTreeSet<usize>),
+}
+
+impl aft_sim::WireMessage for WeakCoinMsg {
+    const KIND: u16 = aft_sim::wire::KIND_BA_BASE + 4;
+    const KIND_NAME: &'static str = "ba-gather";
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        let WeakCoinMsg::Gather(set) = self;
+        for &d in set {
+            aft_sim::wire::WireWriter::u64(out, d as u64);
+        }
+    }
+
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        if !bytes.len().is_multiple_of(8) {
+            return None;
+        }
+        let mut r = aft_sim::wire::WireReader::new(bytes);
+        let mut set = BTreeSet::new();
+        let mut prev = None;
+        while r.remaining() > 0 {
+            let d = usize::try_from(r.u64()?).ok()?;
+            // Strictly ascending: the canonical (BTreeSet iteration)
+            // order is the only accepted one, so encode ∘ decode = id.
+            if prev.is_some_and(|p| p >= d) {
+                return None;
+            }
+            prev = Some(d);
+            set.insert(d);
+        }
+        Some(WeakCoinMsg::Gather(set))
+    }
+}
+
+/// Registers this module's private message kinds.
+pub(crate) fn register_private_codecs(registry: &mut aft_sim::CodecRegistry) {
+    registry.register::<WeakCoinMsg>();
 }
 
 /// Session tag kinds for the weak coin's children.
@@ -227,7 +264,7 @@ impl Instance for WeakCoinInstance {
     }
 
     fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
-        let Some(WeakCoinMsg::Gather(set)) = payload.downcast_ref::<WeakCoinMsg>() else {
+        let Some(WeakCoinMsg::Gather(set)) = payload.to_msg::<WeakCoinMsg>() else {
             return;
         };
         let (n, t) = (ctx.n(), ctx.t());
@@ -237,7 +274,7 @@ impl Instance for WeakCoinInstance {
         if self.gathers.contains_key(&from) {
             return;
         }
-        self.gathers.insert(from, set.clone());
+        self.gathers.insert(from, set);
         self.try_progress(ctx);
     }
 
@@ -257,6 +294,33 @@ impl Instance for WeakCoinInstance {
             }
             _ => {}
         }
+    }
+}
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use aft_sim::wire::{decode_frame_as, encode_frame};
+    use aft_sim::WireMessage;
+
+    #[test]
+    fn gather_round_trips_in_canonical_order_only() {
+        let msg = WeakCoinMsg::Gather([3usize, 0, 7].into_iter().collect());
+        let mut frame = Vec::new();
+        encode_frame(&msg, &mut frame);
+        assert_eq!(decode_frame_as::<WeakCoinMsg>(&frame), Some(msg));
+        // Duplicates and out-of-order entries are non-canonical bytes.
+        let mut body = Vec::new();
+        for d in [3u64, 3] {
+            body.extend_from_slice(&d.to_le_bytes());
+        }
+        assert_eq!(WeakCoinMsg::decode_body(&body), None, "duplicate");
+        let mut body = Vec::new();
+        for d in [7u64, 3] {
+            body.extend_from_slice(&d.to_le_bytes());
+        }
+        assert_eq!(WeakCoinMsg::decode_body(&body), None, "descending");
+        assert_eq!(WeakCoinMsg::decode_body(&[1, 2, 3]), None, "ragged");
     }
 }
 

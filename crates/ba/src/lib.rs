@@ -56,3 +56,18 @@ mod coin;
 
 pub use ba::{BinaryBa, V1, V2, V3};
 pub use coin::{Coin, CoinSource, LocalCoin, OracleCoin, WeakCoinInstance, WeakSharedCoin};
+
+/// Registers this crate's wire kinds: the three vote values, their
+/// A-Cast wrappers, the termination-gadget `Decide`, and the weak coin's
+/// gather set.
+pub fn register_codecs(registry: &mut aft_sim::CodecRegistry) {
+    registry.register::<V1>();
+    registry.register::<V2>();
+    registry.register::<V3>();
+    registry.register::<aft_broadcast::AcastMsg<V1>>();
+    registry.register::<aft_broadcast::AcastMsg<V2>>();
+    registry.register::<aft_broadcast::AcastMsg<V3>>();
+    ba::register_private_codecs(registry);
+    coin::register_private_codecs(registry);
+    attacks::register_codecs(registry);
+}

@@ -97,3 +97,55 @@ proptest! {
         }
     }
 }
+
+/// Codec laws for the BA vote kinds: round trips (bare and A-Cast
+/// wrapped), kind separation between the three phases, totality on junk.
+mod codec_props {
+    use aft_ba::{V1, V2, V3};
+    use aft_broadcast::AcastMsg;
+    use aft_sim::wire::{decode_frame_as, encode_frame, parse_frame};
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn vote_kinds_round_trip_and_stay_separated(b in any::<bool>(), d in 0u8..3) {
+            let v3 = V3(match d { 0 => None, 1 => Some(false), _ => Some(true) });
+            let mut f1 = Vec::new();
+            encode_frame(&V1(b), &mut f1);
+            let mut f2 = Vec::new();
+            encode_frame(&V2(b), &mut f2);
+            let mut f3 = Vec::new();
+            encode_frame(&v3, &mut f3);
+            prop_assert_eq!(decode_frame_as::<V1>(&f1), Some(V1(b)));
+            prop_assert_eq!(decode_frame_as::<V2>(&f2), Some(V2(b)));
+            prop_assert_eq!(decode_frame_as::<V3>(&f3), Some(v3));
+            // Same body layout, different kinds: never cross-decode.
+            prop_assert_eq!(decode_frame_as::<V2>(&f1), None);
+            prop_assert_eq!(decode_frame_as::<V1>(&f2), None);
+
+            let wrapped = AcastMsg::Echo(V1(b));
+            let mut fw = Vec::new();
+            encode_frame(&wrapped, &mut fw);
+            prop_assert_eq!(decode_frame_as::<AcastMsg<V1>>(&fw.clone()), Some(wrapped));
+            prop_assert_eq!(decode_frame_as::<AcastMsg<V2>>(&fw.clone()), None);
+            prop_assert_eq!(decode_frame_as::<V1>(&fw), None, "wrapper kind differs");
+        }
+
+        #[test]
+        fn vote_decoders_total_and_kind_honest(bytes in vec(any::<u8>(), 0..32)) {
+            for kind in [
+                decode_frame_as::<V1>(&bytes).map(|_| <V1 as aft_sim::WireMessage>::KIND),
+                decode_frame_as::<V2>(&bytes).map(|_| <V2 as aft_sim::WireMessage>::KIND),
+                decode_frame_as::<V3>(&bytes).map(|_| <V3 as aft_sim::WireMessage>::KIND),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                prop_assert_eq!(parse_frame(&bytes).unwrap().0, kind);
+            }
+        }
+    }
+}

@@ -208,7 +208,9 @@ fn bench_delivery_queue(c: &mut Criterion) {
                             from: PartyId(src),
                             to: PartyId(dst),
                             session: session.clone(),
-                            payload: Payload::new(m),
+                            // The send-path constructor: small messages
+                            // small-box into inline frames, no Arc.
+                            payload: Payload::message(m),
                             seq,
                             born_step: wave,
                         });
@@ -227,6 +229,54 @@ fn bench_delivery_queue(c: &mut Criterion) {
                 delivered += 1;
             }
             delivered
+        })
+    });
+}
+
+/// The typed wire codec in isolation: encode + decode round trips for a
+/// small control message (the dominant wire traffic: inline-frame path)
+/// and a polynomial-bearing SVSS share message (the large-frame path),
+/// gating codec changes in the bench-regression diff.
+fn bench_codec(c: &mut Criterion) {
+    use aft_ba::V1;
+    use aft_broadcast::AcastMsg;
+    use aft_sim::wire::{decode_frame_as, encode_frame};
+    use aft_svss::ShareMsg;
+
+    c.bench_function("codec/encode_decode", |b| {
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(7);
+        let poly = aft_field::Poly::random(4, &mut rng);
+        let small = AcastMsg::Echo(V1(true));
+        let large = ShareMsg::Shares {
+            row: poly.clone(),
+            col: poly,
+        };
+        b.iter(|| {
+            let mut buf = Vec::new();
+            let mut acc = 0usize;
+            for _ in 0..256 {
+                buf.clear();
+                encode_frame(black_box(&small), &mut buf);
+                acc += decode_frame_as::<AcastMsg<V1>>(&buf).is_some() as usize;
+                buf.clear();
+                encode_frame(black_box(&large), &mut buf);
+                acc += decode_frame_as::<ShareMsg>(&buf).is_some() as usize;
+            }
+            acc
+        })
+    });
+
+    // The payload boundary itself: message construction (small-box) and
+    // view-decode, as paid per delivered envelope on every backend.
+    c.bench_function("codec/payload_message_view", |b| {
+        use aft_sim::Payload;
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..256u64 {
+                let p = Payload::message(black_box(i));
+                acc += p.to_msg::<u64>().unwrap_or(0);
+            }
+            acc
         })
     });
 }
@@ -268,6 +318,7 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_acast, bench_svss, bench_ba, bench_common_subset,
               bench_coin_flip, bench_fair_choice, bench_fba,
-              bench_ba_sweep_n64, bench_delivery_queue, bench_session_id
+              bench_ba_sweep_n64, bench_delivery_queue, bench_codec,
+              bench_session_id
 }
 criterion_main!(benches);

@@ -11,8 +11,9 @@
 //!
 //! Flags:
 //!
-//! * `--smoke` — a minimal matrix (2 backends × 2 schedulers × 3 plans ×
-//!   1 seed per stack), used by CI to keep the driver itself from rotting;
+//! * `--smoke` — a minimal matrix (3 backends including `wire` × 2
+//!   schedulers × 3 plans × 1 seed per stack), used by CI to keep the
+//!   driver itself from rotting;
 //! * `--scenario <spec>` — run one scenario string on every stack it fits
 //!   and print its cell reports (debugging aid);
 //! * `--threaded` — add the OS-thread backend to the matrix (invariants
@@ -40,9 +41,14 @@ fn main() {
     println!("# E11 — adversarial scenario matrix");
     let registry = standard_registry();
     let mut backends: Vec<String> = if smoke {
-        vec!["sim".into(), "sharded:2".into()]
+        vec!["sim".into(), "sharded:2".into(), "wire".into()]
     } else {
-        vec!["sim".into(), "sharded:2".into(), "sharded:4".into()]
+        vec![
+            "sim".into(),
+            "sharded:2".into(),
+            "sharded:4".into(),
+            "wire".into(),
+        ]
     };
     if with_threaded {
         backends.push("threaded".into());
@@ -143,6 +149,7 @@ fn run_single(spec: &str) {
         std::process::exit(2);
     }
     println!("# scenario: {scenario}");
+    let mut unsafe_cells = 0usize;
     for kind in StackKind::all() {
         let report = run_cell(kind, &scenario, 1, &registry);
         println!(
@@ -153,5 +160,10 @@ fn run_single(spec: &str) {
             report.sent,
             report.steps
         );
+        unsafe_cells += usize::from(!report.violations.is_empty());
+    }
+    if unsafe_cells > 0 {
+        eprintln!("{unsafe_cells} stack(s) violated invariants");
+        std::process::exit(1);
     }
 }

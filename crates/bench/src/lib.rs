@@ -45,6 +45,12 @@ pub fn trials(base: u64) -> u64 {
 ///   delivery policy.
 /// * `--runtime sharded:<k>:<sched>` — the sharded simulator pinned to
 ///   one per-party scheduler, overriding per-row schedulers.
+/// * `--runtime wire` — the wire-serialized deterministic backend
+///   (envelopes round-trip through the byte codec and per-party OS
+///   sockets); each row's scheduler column picks the adversary, exactly
+///   as on `sim`.
+/// * `--runtime wire:<sched>` — the wire backend pinned to one
+///   scheduler.
 /// * `--runtime threaded[:<poll_ms>]` — the OS-thread backend; scheduler
 ///   columns are ignored (the OS is the scheduler).
 #[derive(Debug, Clone)]
@@ -74,7 +80,7 @@ impl RuntimeSpec {
 
     /// Whether rows parameterized by scheduler are meaningful.
     pub fn honors_schedulers(&self) -> bool {
-        self.name == "sim" || self.bare_sharded()
+        self.name == "sim" || self.name == "wire" || self.bare_sharded()
     }
 
     /// Resolves the backend name for a row that wants scheduler `sched`.
@@ -127,7 +133,7 @@ pub fn runtime_arg() -> RuntimeSpec {
     if runtime_by_name(&picked.backend_for("random"), NetConfig::new(4, 1, 0)).is_none() {
         eprintln!(
             "error: unknown --runtime {:?} (expected sim[:<scheduler>], \
-             sharded:<k>[:<scheduler>], or threaded[:<poll_ms>])",
+             wire[:<scheduler>], sharded:<k>[:<scheduler>], or threaded[:<poll_ms>])",
             picked.label()
         );
         std::process::exit(2);
@@ -381,6 +387,31 @@ mod tests {
         let sharded_pinned = RuntimeSpec::named("sharded:4:fifo");
         assert!(!sharded_pinned.honors_schedulers());
         assert_eq!(sharded_pinned.backend_for("lifo"), "sharded:4:fifo");
+        let wire = RuntimeSpec::named("wire");
+        assert!(wire.honors_schedulers());
+        assert_eq!(wire.backend_for("lifo"), "wire:lifo");
+        let wire_pinned = RuntimeSpec::named("wire:fifo");
+        assert!(!wire_pinned.honors_schedulers());
+        assert_eq!(wire_pinned.backend_for("lifo"), "wire:fifo");
+    }
+
+    #[test]
+    fn coin_runner_on_wire_backend() {
+        aft_core::scenarios::register_standard_codecs();
+        let rt = RuntimeSpec::named("wire");
+        let out = run_coin(
+            &rt,
+            4,
+            1,
+            0,
+            1,
+            CoinKind::Oracle(1),
+            "random",
+            Adversary::None,
+        );
+        assert!(out.all_terminated);
+        assert!(out.agreement);
+        assert!(out.metrics.wire_frames > 0, "bytes moved on the wire");
     }
 
     #[test]

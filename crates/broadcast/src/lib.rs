@@ -43,14 +43,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use aft_sim::{Context, Instance, PartyId, Payload};
+use aft_sim::wire::{acast_kind, CodecRegistry, WireReader, WireWriter};
+use aft_sim::{Context, Instance, PartyId, Payload, WireMessage};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Debug;
 use std::hash::Hash;
 
-/// Bound on the value types A-Cast can carry.
-pub trait Value: Clone + Eq + Hash + Debug + Send + Sync + 'static {}
-impl<T: Clone + Eq + Hash + Debug + Send + Sync + 'static> Value for T {}
+/// Bound on the value types A-Cast can carry: ordinary value semantics
+/// plus a wire codec, so a broadcast of `V` runs on byte-level backends
+/// too.
+pub trait Value: Clone + Eq + Hash + Debug + WireMessage {}
+impl<T: Clone + Eq + Hash + Debug + WireMessage> Value for T {}
 
 /// Wire messages of the A-Cast protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +64,50 @@ pub enum AcastMsg<V> {
     Echo(V),
     /// Commitment amplification.
     Ready(V),
+}
+
+impl<V: Value> WireMessage for AcastMsg<V> {
+    /// The carried value's kind with the A-Cast bit set: every `V` gets
+    /// its own frame kind without a registry of instantiations (plain
+    /// kinds stay below `0x8000`, which this checks at compile time).
+    const KIND: u16 = {
+        assert!(V::KIND < 0x8000, "A-Cast cannot wrap a wrapped kind");
+        acast_kind(V::KIND)
+    };
+    const KIND_NAME: &'static str = "acast";
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        let (tag, v) = match self {
+            AcastMsg::Send(v) => (0u8, v),
+            AcastMsg::Echo(v) => (1, v),
+            AcastMsg::Ready(v) => (2, v),
+        };
+        WireWriter::u8(out, tag);
+        v.encode_body(out);
+    }
+
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        let mut r = WireReader::new(bytes);
+        let tag = r.u8()?;
+        let v = V::decode_body(r.rest())?;
+        match tag {
+            0 => Some(AcastMsg::Send(v)),
+            1 => Some(AcastMsg::Echo(v)),
+            2 => Some(AcastMsg::Ready(v)),
+            _ => None,
+        }
+    }
+}
+
+/// Registers the A-Cast frame kinds for the value types the workspace
+/// broadcasts out of the box (protocol crates register their own vote
+/// types on top — e.g. `aft-ba` adds `AcastMsg<V1..V3>`).
+pub fn register_codecs(registry: &mut CodecRegistry) {
+    registry.register::<AcastMsg<u8>>();
+    registry.register::<AcastMsg<u32>>();
+    registry.register::<AcastMsg<u64>>();
+    registry.register::<AcastMsg<String>>();
+    registry.register::<AcastMsg<Vec<usize>>>();
 }
 
 /// One party's A-Cast instance (honest behaviour).
@@ -124,11 +171,11 @@ impl<V: Value> Instance for Acast<V> {
     }
 
     fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
-        let Some(msg) = payload.downcast_ref::<AcastMsg<V>>() else {
-            return; // type-confused (Byzantine) message: ignore
+        let Some(msg) = payload.view::<AcastMsg<V>>() else {
+            return; // type-confused or byte-garbled (Byzantine): ignore
         };
         let (n, t) = (ctx.n(), ctx.t());
-        match msg {
+        match &*msg {
             AcastMsg::Send(v) => {
                 // Only the designated sender's first Send counts.
                 if from == self.sender && !self.echoed {

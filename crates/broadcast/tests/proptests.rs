@@ -109,3 +109,58 @@ proptest! {
         }
     }
 }
+
+/// Codec laws for the A-Cast wire messages: round trip per carried value
+/// type, kind separation between instantiations, and totality on junk.
+mod codec_props {
+    use aft_broadcast::AcastMsg;
+    use aft_sim::wire::{decode_frame_as, encode_frame};
+    use aft_sim::WireMessage;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    fn msg<V: Clone>(tag: u8, v: V) -> AcastMsg<V> {
+        match tag % 3 {
+            0 => AcastMsg::Send(v),
+            1 => AcastMsg::Echo(v),
+            _ => AcastMsg::Ready(v),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn acast_frames_round_trip(tag in any::<u8>(), v in any::<u64>(), s_bytes in vec(any::<u8>(), 0..20)) {
+            let m = msg(tag, v);
+            let mut frame = Vec::new();
+            encode_frame(&m, &mut frame);
+            prop_assert_eq!(decode_frame_as::<AcastMsg<u64>>(&frame), Some(m));
+
+            let s = String::from_utf8_lossy(&s_bytes).into_owned();
+            let m = msg(tag, s);
+            let mut frame = Vec::new();
+            encode_frame(&m, &mut frame);
+            prop_assert_eq!(decode_frame_as::<AcastMsg<String>>(&frame.clone()), Some(m));
+            // A frame of acast<String> never decodes as acast<u64>: the
+            // composed kinds differ per carried type.
+            prop_assert_eq!(decode_frame_as::<AcastMsg<u64>>(&frame), None);
+        }
+
+        #[test]
+        fn acast_decoder_total_on_junk(bytes in vec(any::<u8>(), 0..48)) {
+            let _ = decode_frame_as::<AcastMsg<u64>>(&bytes);
+            let _ = decode_frame_as::<AcastMsg<String>>(&bytes);
+            let _ = AcastMsg::<u64>::decode_body(&bytes);
+        }
+
+        #[test]
+        fn acast_truncation_is_rejected(tag in any::<u8>(), v in any::<u64>(), cut in 0usize..14) {
+            let m = msg(tag, v);
+            let mut frame = Vec::new();
+            encode_frame(&m, &mut frame);
+            let cut = cut.min(frame.len() - 1);
+            prop_assert_eq!(decode_frame_as::<AcastMsg<u64>>(&frame[..cut]), None);
+        }
+    }
+}

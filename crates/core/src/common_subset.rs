@@ -144,6 +144,15 @@ pub struct CommonSubsetInstance {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PredicateMsg;
 
+impl aft_sim::WireMessage for PredicateMsg {
+    const KIND: u16 = aft_sim::wire::KIND_CORE_BASE;
+    const KIND_NAME: &'static str = "cs-predicate";
+    fn encode_body(&self, _out: &mut Vec<u8>) {}
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        bytes.is_empty().then_some(PredicateMsg)
+    }
+}
+
 impl CommonSubsetInstance {
     /// Creates the wrapper; if `announce` is true the party announces
     /// itself on start (setting everyone's `Q(me)`).
@@ -163,7 +172,7 @@ impl aft_sim::Instance for CommonSubsetInstance {
     }
 
     fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
-        if payload.downcast_ref::<PredicateMsg>().is_some() {
+        if payload.to_msg::<PredicateMsg>().is_some() {
             self.cs.set_predicate(from.0, ctx);
         }
     }

@@ -33,11 +33,31 @@ use aft_svss::{ShareBundle, SvssRec, SvssShare};
 /// Builds the registry of every named attack the workspace's protocol
 /// crates export. The conformance suite, the sweep driver and the
 /// proptests all resolve scenario attack names through this.
+///
+/// As a side effect this also installs the workspace's wire codecs into
+/// the process-global [`CodecRegistry`](aft_sim::CodecRegistry) (see
+/// [`register_standard_codecs`]), so every code path that can run
+/// scenario cells — including `rt=wire` cells built by name — resolves
+/// frame kinds without further setup.
 pub fn standard_registry() -> AttackRegistry {
+    register_standard_codecs();
     let mut registry = AttackRegistry::new();
     aft_ba::attacks::register_attacks(&mut registry);
     aft_svss::attacks::register_attacks(&mut registry);
     registry
+}
+
+/// Installs every protocol crate's wire kinds into the process-global
+/// codec registry (builtins are always present). Idempotent; call before
+/// building `rt=wire` runtimes by name so their frames carry registered
+/// kind names.
+pub fn register_standard_codecs() {
+    aft_sim::wire::register_global(|reg| {
+        aft_broadcast::register_codecs(reg);
+        aft_ba::register_codecs(reg);
+        aft_svss::register_codecs(reg);
+        reg.register::<crate::PredicateMsg>();
+    });
 }
 
 /// Which reference stack a scenario cell runs.
@@ -86,6 +106,7 @@ impl StackKind {
                 "silent@3",
                 "crash@3",
                 "garbage:40@2",
+                "equivocate:10@2",
                 "silent-rec@3",
                 "wrong-sigma@3",
                 "wrong-sigma:reveal@3",

@@ -245,3 +245,49 @@ mod scenario_safety {
         }
     }
 }
+
+/// Registry-wide decoder fuzz over the *standard* codec registry: every
+/// kind any protocol crate registers must decode arbitrary bodies
+/// without panicking, and whatever decodes carries the declared kind's
+/// registered name — never another kind's.
+mod codec_props {
+    use aft_core::scenarios::register_standard_codecs;
+    use aft_sim::wire::{global_registry, parse_frame};
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        #[test]
+        fn every_registered_decoder_is_total_and_kind_honest(
+            kind_sel in any::<usize>(),
+            body in vec(any::<u8>(), 0..64),
+        ) {
+            register_standard_codecs();
+            let registry = global_registry();
+            let kinds: Vec<(u16, &'static str)> = registry.kinds().collect();
+            prop_assert!(kinds.len() >= 20, "standard registry is populated");
+            let (kind, name) = kinds[kind_sel % kinds.len()];
+            // A syntactically valid frame with an arbitrary body, aimed
+            // at this exact registered decoder.
+            let mut frame = kind.to_le_bytes().to_vec();
+            frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&body);
+            if let Some((got_kind, payload)) = registry.decode_frame(&frame) {
+                prop_assert_eq!(got_kind, kind);
+                prop_assert_eq!(payload.type_name(), name, "never a different kind");
+            }
+        }
+
+        #[test]
+        fn registry_decode_total_on_arbitrary_bytes(bytes in vec(any::<u8>(), 0..64)) {
+            register_standard_codecs();
+            let registry = global_registry();
+            if let Some((kind, payload)) = registry.decode_frame(&bytes) {
+                prop_assert_eq!(parse_frame(&bytes).unwrap().0, kind);
+                prop_assert_eq!(Some(payload.type_name()), registry.kind_name(kind));
+            }
+        }
+    }
+}

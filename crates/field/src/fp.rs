@@ -59,6 +59,31 @@ impl Fp {
         self.0
     }
 
+    /// The canonical 8-byte little-endian wire encoding.
+    ///
+    /// ```
+    /// use aft_field::Fp;
+    /// let x = Fp::new(0xABCD);
+    /// assert_eq!(Fp::from_le_bytes(x.to_le_bytes()), Some(x));
+    /// ```
+    #[inline]
+    pub const fn to_le_bytes(self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+
+    /// Decodes the canonical encoding; rejects non-canonical
+    /// representatives (`>= MODULUS`), so every field element has exactly
+    /// one byte form and byte-level adversaries cannot alias elements.
+    #[inline]
+    pub const fn from_le_bytes(bytes: [u8; 8]) -> Option<Fp> {
+        let v = u64::from_le_bytes(bytes);
+        if v < MODULUS {
+            Some(Fp(v))
+        } else {
+            None
+        }
+    }
+
     /// Returns `true` if this is the additive identity.
     #[inline]
     pub const fn is_zero(self) -> bool {

@@ -80,6 +80,37 @@ impl Poly {
         self.coeffs.is_empty()
     }
 
+    /// Appends the canonical wire encoding: `u32` coefficient count, then
+    /// each coefficient's canonical 8-byte form, ascending degree.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.coeffs.len() as u32).to_le_bytes());
+        for c in &self.coeffs {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+
+    /// Decodes a prefix written by [`encode_to`](Poly::encode_to) from
+    /// `bytes`, returning the polynomial and the bytes consumed.
+    ///
+    /// Rejects truncated input, non-canonical field elements and
+    /// non-normalized encodings (a trailing zero coefficient), so
+    /// `decode ∘ encode = id` and every polynomial has exactly one byte
+    /// form.
+    pub fn decode_from(bytes: &[u8]) -> Option<(Poly, usize)> {
+        let count_bytes: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
+        let count = u32::from_le_bytes(count_bytes) as usize;
+        let total = 4 + count.checked_mul(8)?;
+        let body = bytes.get(4..total)?;
+        let mut coeffs = Vec::with_capacity(count);
+        for chunk in body.chunks_exact(8) {
+            coeffs.push(Fp::from_le_bytes(chunk.try_into().ok()?)?);
+        }
+        if coeffs.last().is_some_and(|c| c.is_zero()) {
+            return None; // non-canonical: normalization would alias it
+        }
+        Some((Poly { coeffs }, total))
+    }
+
     /// The coefficients in ascending degree order (no trailing zeros).
     pub fn coeffs(&self) -> &[Fp] {
         &self.coeffs

@@ -167,4 +167,38 @@ proptest! {
             .collect();
         prop_assert_eq!(bz, b);
     }
+
+    #[test]
+    fn fp_byte_encoding_round_trips_and_is_canonical(a in fp(), junk in any::<u64>()) {
+        prop_assert_eq!(Fp::from_le_bytes(a.to_le_bytes()), Some(a));
+        // Non-canonical representatives are rejected, never aliased.
+        let decoded = Fp::from_le_bytes(junk.to_le_bytes());
+        match decoded {
+            Some(v) => prop_assert_eq!(v.value(), junk),
+            None => prop_assert!(junk >= aft_field::MODULUS),
+        }
+    }
+
+    #[test]
+    fn poly_encoding_round_trips_exactly(p in poly(9), trailing in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let mut buf = Vec::new();
+        p.encode_to(&mut buf);
+        let len = buf.len();
+        // Round trip, and consumed length is exact even with trailing bytes.
+        buf.extend_from_slice(&trailing);
+        let (back, used) = Poly::decode_from(&buf).expect("canonical encoding decodes");
+        prop_assert_eq!(back, p);
+        prop_assert_eq!(used, len);
+    }
+
+    #[test]
+    fn poly_decode_is_total_on_junk(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        // Never panics; when it decodes, re-encoding reproduces the
+        // consumed prefix (canonical form is unique).
+        if let Some((p, used)) = Poly::decode_from(&bytes) {
+            let mut again = Vec::new();
+            p.encode_to(&mut again);
+            prop_assert_eq!(&bytes[..used], &again[..]);
+        }
+    }
 }

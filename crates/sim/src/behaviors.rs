@@ -7,6 +7,7 @@
 use crate::ids::PartyId;
 use crate::instance::{Context, Instance};
 use crate::payload::Payload;
+use crate::wire::WireMessage;
 use rand::Rng;
 
 /// A party that never sends anything — the paper's recurring
@@ -73,10 +74,81 @@ impl Instance for MuteAfter {
     }
 }
 
-/// Marker payload type emitted by [`GarbageInstance`]; honest instances
-/// fail to downcast it and ignore it, exercising type-confusion paths.
+/// Junk payload type emitted by [`GarbageInstance`] and [`Equivocator`];
+/// honest instances fail to view it and ignore it, exercising
+/// type-confusion paths.
+///
+/// On the wire-serialized backend the junk becomes *bytes*: `Garbage`'s
+/// [`raw_frame`](WireMessage::raw_frame) derives a deliberately malformed
+/// frame from the junk value — pure noise, truncated bodies, kind-spoofed
+/// headers, or oversized declared lengths — so byte-level adversaries are
+/// exercised by the exact same scenarios that exercise in-memory type
+/// confusion. Honest decoders must reject every variant without
+/// panicking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Garbage(pub u64);
+
+/// SplitMix64 step for deriving junk bytes deterministically.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl WireMessage for Garbage {
+    const KIND: u16 = crate::wire::KIND_BEHAVIOR_BASE;
+    const KIND_NAME: &'static str = "garbage";
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        Some(Garbage(u64::from_le_bytes(bytes.try_into().ok()?)))
+    }
+
+    fn raw_frame(&self) -> Option<Vec<u8>> {
+        let x = self.0;
+        let mut frame = Vec::new();
+        match x % 4 {
+            // Pure noise: usually not even a parseable header.
+            0 => {
+                let len = (mix(x) % 19) as usize;
+                for i in 0..len {
+                    frame.push((mix(x ^ i as u64) & 0xFF) as u8);
+                }
+            }
+            // Truncated: honest-looking header, body shorter than the
+            // declared length.
+            1 => {
+                frame.extend_from_slice(&Self::KIND.to_le_bytes());
+                frame.extend_from_slice(&8u32.to_le_bytes());
+                frame.extend_from_slice(&mix(x).to_le_bytes()[..3]);
+            }
+            // Kind-spoofed: a consistent frame claiming a (likely
+            // registered) kind with a junk body of junk length — the
+            // receiving decoder, not the framing layer, must reject it.
+            2 => {
+                let kind = (mix(x) % 0x90) as u16;
+                let len = (mix(x ^ 0xF00D) % 13) as usize;
+                frame.extend_from_slice(&kind.to_le_bytes());
+                frame.extend_from_slice(&(len as u32).to_le_bytes());
+                for i in 0..len {
+                    frame.push((mix(x ^ (i as u64) << 8) & 0xFF) as u8);
+                }
+            }
+            // Oversized declared length with a tiny actual body —
+            // length-prefix sanity must hold even when the prefix lies.
+            _ => {
+                frame.extend_from_slice(&Self::KIND.to_le_bytes());
+                frame.extend_from_slice(&u32::MAX.to_le_bytes());
+                frame.extend_from_slice(&[0xAB, 0xCD]);
+            }
+        }
+        Some(frame)
+    }
+}
 
 /// A party that responds to every event by spraying meaningless payloads at
 /// random parties — stress for routing, buffering and downcast handling.
@@ -176,7 +248,7 @@ mod tests {
             ctx.send_all(1u8);
         }
         fn on_message(&mut self, _f: PartyId, p: &Payload, ctx: &mut Context<'_>) {
-            if p.downcast_ref::<u8>().is_some() {
+            if p.to_msg::<u8>().is_some() {
                 self.heard += 1;
                 if self.heard == 3 {
                     ctx.output(self.heard);
@@ -248,7 +320,7 @@ mod tests {
     // deterministic simulator, the sharded simulator, and the OS-thread
     // runtime alike.
 
-    const BACKENDS: &[&str] = &["sim", "sharded:2", "threaded"];
+    const BACKENDS: &[&str] = &["sim", "sharded:2", "threaded", "wire"];
 
     fn on_every_backend(seed: u64, byzantine: impl Fn() -> Box<dyn Instance>) {
         use crate::runtime::{runtime_by_name, RuntimeExt};
@@ -296,6 +368,42 @@ mod tests {
     }
 
     #[test]
+    fn garbage_deliveries_are_observable_as_decode_misses() {
+        // Satellite invariant: a type-confused delivery is not silently
+        // dropped — it increments the per-kind miss counter. On the wire
+        // backend the junk arrives as malformed/spoofed bytes, so the
+        // misses land under the wire diagnostic kinds instead.
+        use crate::runtime::{runtime_by_name, RuntimeExt};
+        for backend in ["sim", "sharded:2", "wire"] {
+            let mut rt = runtime_by_name(backend, NetConfig::new(4, 1, 43)).unwrap();
+            for p in 0..3 {
+                rt.spawn(PartyId(p), sid(), Box::new(Pinger { heard: 0 }));
+            }
+            rt.spawn(PartyId(3), sid(), Box::new(GarbageInstance::new(16)));
+            rt.run_to_quiescence();
+            let m = rt.metrics();
+            let misses: u64 = m.decode_misses().map(|(_, c)| c).sum();
+            assert!(misses > 0, "backend {backend}: no miss recorded: {m:?}");
+            if backend == "wire" {
+                assert!(
+                    m.decode_miss_by_kind("wire:malformed")
+                        + m.decode_miss_by_kind("wire:unknown")
+                        + m.decode_miss_by_kind("garbage")
+                        > 0,
+                    "wire misses must carry wire kind names: {:?}",
+                    m.decode_misses().collect::<Vec<_>>()
+                );
+                assert!(m.wire_malformed > 0, "byte-level junk must be seen");
+            } else {
+                assert!(
+                    m.decode_miss_by_kind("garbage") > 0,
+                    "sim misses carry the junk type's kind name"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn equivocator_sends_conflicting_values() {
         // Two receivers record what the equivocator told them; the values
         // must differ (that is the point of equivocation).
@@ -305,7 +413,7 @@ mod tests {
         impl Instance for Recorder {
             fn on_start(&mut self, _ctx: &mut Context<'_>) {}
             fn on_message(&mut self, _f: PartyId, p: &Payload, ctx: &mut Context<'_>) {
-                if let Some(g) = p.downcast_ref::<Garbage>() {
+                if let Some(g) = p.to_msg::<Garbage>() {
                     if self.seen.is_none() {
                         self.seen = Some(g.0);
                         ctx.output(g.0);

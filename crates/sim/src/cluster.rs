@@ -32,6 +32,40 @@ pub struct ClusterMsg {
     pub payload: Payload,
 }
 
+impl crate::wire::WireMessage for ClusterMsg {
+    const KIND: u16 = crate::wire::KIND_BEHAVIOR_BASE + 1;
+    const KIND_NAME: &'static str = "cluster-msg";
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        crate::wire::WireWriter::u32(out, self.from_inner as u32);
+        crate::wire::WireWriter::u32(out, self.to_inner as u32);
+        crate::wire::put_session(out, &self.session);
+        if !self.payload.encode_wire_frame(out) {
+            // Inner payload without a wire identity: emit a malformed
+            // marker so the frame is observably undecodable rather than
+            // silently truncated.
+            out.extend_from_slice(&u16::MAX.to_le_bytes());
+        }
+    }
+
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        let mut r = crate::wire::WireReader::new(bytes);
+        let from_inner = r.u32()? as usize;
+        let to_inner = r.u32()? as usize;
+        let session = crate::wire::get_session(&mut r)?;
+        let frame = r.rest().to_vec();
+        Some(ClusterMsg {
+            from_inner,
+            to_inner,
+            session,
+            // Kind names resolve through the global registry (one lock
+            // read, no per-message snapshot); the inner payload decodes
+            // lazily when an instance views it.
+            payload: Payload::from_wire_global(frame),
+        })
+    }
+}
+
 /// Factory producing each hosted inner party's initial instances.
 pub type InnerFactory = Box<dyn Fn(usize) -> Vec<(SessionId, Box<dyn Instance>)> + Send>;
 
@@ -166,7 +200,7 @@ impl Instance for Cluster {
     }
 
     fn on_message(&mut self, _from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
-        let Some(msg) = payload.downcast_ref::<ClusterMsg>() else {
+        let Some(msg) = payload.view::<ClusterMsg>() else {
             return;
         };
         if msg.to_inner >= self.inner_n || self.assignment[msg.to_inner] != ctx.me().0 {

@@ -66,6 +66,34 @@ impl SessionTag {
     pub fn new(kind: &'static str, index: u64) -> Self {
         SessionTag { kind, index }
     }
+
+    /// Interns an arbitrary kind string to the canonical `&'static str`
+    /// used by tags — the wire decoder's way back from bytes to tags.
+    ///
+    /// Kinds form a small closed set (a handful per protocol), so the
+    /// intern table is bounded; each distinct kind is leaked exactly
+    /// once. Interning the same text twice returns the same pointer.
+    ///
+    /// ```
+    /// use aft_sim::SessionTag;
+    /// let a = SessionTag::intern_kind("acast");
+    /// let b = SessionTag::intern_kind(&String::from("acast"));
+    /// assert!(std::ptr::eq(a, b));
+    /// ```
+    pub fn intern_kind(kind: &str) -> &'static str {
+        static KINDS: OnceLock<RwLock<HashMap<String, &'static str>>> = OnceLock::new();
+        let table = KINDS.get_or_init(|| RwLock::new(HashMap::new()));
+        if let Some(&hit) = table.read().expect("kind interner poisoned").get(kind) {
+            return hit;
+        }
+        let mut table = table.write().expect("kind interner poisoned");
+        if let Some(&hit) = table.get(kind) {
+            return hit;
+        }
+        let leaked: &'static str = Box::leak(kind.to_owned().into_boxed_str());
+        table.insert(kind.to_owned(), leaked);
+        leaked
+    }
 }
 
 impl fmt::Display for SessionTag {

@@ -154,19 +154,29 @@ impl<'a> Context<'a> {
     }
 
     /// Sends `payload` to `to` within this session.
-    pub fn send<T: Send + Sync + 'static>(&mut self, to: PartyId, payload: T) {
+    ///
+    /// Messages are [`WireMessage`]s: they carry a typed codec identity,
+    /// so the same send works on in-memory backends (delivered as typed
+    /// values, small ones inlined without allocation) and on the
+    /// wire-serialized backend (delivered as encoded byte frames).
+    /// Receivers read them back with [`Payload::view`] /
+    /// [`Payload::to_msg`].
+    ///
+    /// [`WireMessage`]: crate::wire::WireMessage
+    pub fn send<T: crate::wire::WireMessage>(&mut self, to: PartyId, payload: T) {
         self.effects.push(Effect::Send {
             to,
             session: self.session.clone(),
-            payload: Payload::new(payload),
+            payload: Payload::message(payload),
         });
     }
 
-    /// Sends `payload` to every party, including this one.
-    pub fn send_all<T: Send + Sync + 'static>(&mut self, payload: T) {
+    /// Sends `payload` to every party, including this one. See
+    /// [`send`](Context::send) for the message bound.
+    pub fn send_all<T: crate::wire::WireMessage>(&mut self, payload: T) {
         self.effects.push(Effect::SendAll {
             session: self.session.clone(),
-            payload: Payload::new(payload),
+            payload: Payload::message(payload),
         });
     }
 
@@ -221,7 +231,7 @@ mod tests {
         let sid = SessionId::root().child(SessionTag::new("x", 0));
         let mut ctx = Context::new(PartyId(1), 4, 1, sid.clone(), &mut rng);
         ctx.send(PartyId(2), 42u32);
-        ctx.send_all("hello");
+        ctx.send_all("hello".to_string());
         ctx.spawn(SessionTag::new("child", 9), Box::new(Nop));
         ctx.output(7u8);
         ctx.shun(PartyId(3));
@@ -234,7 +244,7 @@ mod tests {
             } => {
                 assert_eq!(*to, PartyId(2));
                 assert_eq!(session, &sid);
-                assert_eq!(payload.downcast_ref::<u32>(), Some(&42));
+                assert_eq!(payload.to_msg::<u32>(), Some(42));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -36,6 +36,11 @@
 //!   partitioned across worker threads, epoch-barrier merge, schedules
 //!   that are a pure function of `(seed, scheduler)` for *every* shard
 //!   count;
+//! * [`WireRuntime`] — the wire-serialized deterministic runtime: every
+//!   envelope is encoded to a self-describing byte frame (see the
+//!   [`wire`] codec module), round-tripped through a per-party OS socket
+//!   pair, and decoded lazily at the receiver — the byte-level seam the
+//!   `garbage`/`equivocate` adversaries fuzz with malformed frames;
 //! * [`ThreadedRuntime`] — real OS threads and channels (genuine
 //!   asynchrony, no determinism).
 //!
@@ -61,6 +66,8 @@ pub mod scenario;
 mod scheduler;
 pub mod shard;
 pub mod threaded;
+pub mod wire;
+mod wire_rt;
 
 pub use behaviors::{Equivocator, Garbage, GarbageInstance, MuteAfter, SilentInstance};
 pub use ids::{PartyId, SessionId, SessionTag};
@@ -68,7 +75,7 @@ pub use instance::{Context, Instance};
 pub use montecarlo::{run_trials, Bernoulli};
 pub use network::{Envelope, SimNetwork};
 pub use node::{Node, Outgoing, ShunRegistry};
-pub use payload::Payload;
+pub use payload::{MsgView, Payload};
 pub use queue::{BatchSlot, MsgMeta, Pending};
 pub use runtime::{
     runtime_by_name, Metrics, NetConfig, RunReport, Runtime, RuntimeExt, StopReason,
@@ -83,6 +90,8 @@ pub use scheduler::{
 };
 pub use shard::ShardedSimRuntime;
 pub use threaded::{run_threaded, ThreadedOutputs, ThreadedRuntime};
+pub use wire::{CodecRegistry, WireMessage};
+pub use wire_rt::WireRuntime;
 
 /// Builds a boxed scheduler by name — convenience for experiment sweeps.
 ///

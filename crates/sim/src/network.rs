@@ -90,6 +90,10 @@ pub struct SimNetwork {
     started: bool,
     /// Reusable dispatch-output buffer (empty between steps).
     scratch: Vec<Outgoing>,
+    /// When present, every enqueued envelope round-trips through the
+    /// byte-level wire boundary (the [`WireRuntime`](crate::WireRuntime)
+    /// runs a `SimNetwork` in this mode).
+    codec: Option<Box<crate::wire_rt::WireLink>>,
 }
 
 impl SimNetwork {
@@ -122,7 +126,21 @@ impl SimNetwork {
             trace: None,
             started: false,
             scratch: Vec::new(),
+            codec: None,
         }
+    }
+
+    /// Creates a network whose envelopes round-trip through the wire
+    /// codec and a per-party OS socket pair — the engine behind
+    /// [`WireRuntime`](crate::WireRuntime).
+    pub(crate) fn with_codec(
+        config: NetConfig,
+        scheduler: Box<dyn Scheduler>,
+        registry: std::sync::Arc<crate::wire::CodecRegistry>,
+    ) -> Self {
+        let mut net = SimNetwork::new(config, scheduler);
+        net.codec = Some(Box::new(crate::wire_rt::WireLink::new(config.n, registry)));
+        net
     }
 
     /// The network's static configuration.
@@ -326,11 +344,18 @@ impl SimNetwork {
         }
         out.sort_by_key(|o| o.to.0);
         for o in out.drain(..) {
+            let (to, session, payload) = match &mut self.codec {
+                // Wire mode: the envelope crosses the byte boundary
+                // before it is ever scheduled — what the receiver will
+                // see is exactly what the bytes said.
+                Some(link) => link.round_trip(from, o, &mut self.metrics),
+                None => (o.to, o.session, o.payload),
+            };
             self.pending.push(Envelope {
                 from,
-                to: o.to,
-                session: o.session,
-                payload: o.payload,
+                to,
+                session,
+                payload,
                 seq: self.seq,
                 born_step: self.metrics.steps,
             });

@@ -407,7 +407,7 @@ mod tests {
             ctx.send(PartyId(0), 1u32);
         }
         fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
-            if let Some(&v) = payload.downcast_ref::<u32>() {
+            if let Some(v) = payload.to_msg::<u32>() {
                 if v == 99 {
                     ctx.output(v);
                 } else {
@@ -423,7 +423,7 @@ mod tests {
         let out = n.spawn(sid("x"), Box::new(Doubler));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].to, PartyId(0));
-        assert_eq!(out[0].payload.downcast_ref::<u32>(), Some(&1));
+        assert_eq!(out[0].payload.to_msg::<u32>(), Some(1));
         assert_eq!(n.instance_count(), 1);
     }
 
@@ -442,7 +442,7 @@ mod tests {
         let mut out = Vec::new();
         assert!(n.deliver(PartyId(2), sid("x"), Payload::new(21u32), &mut out));
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].payload.downcast_ref::<u32>(), Some(&42));
+        assert_eq!(out[0].payload.to_msg::<u32>(), Some(42));
         assert_eq!(out[0].to, PartyId(2));
     }
 
@@ -455,7 +455,7 @@ mod tests {
         let out2 = n.spawn(sid("x"), Box::new(Doubler));
         // on_start send + the buffered message's reply
         assert_eq!(out2.len(), 2);
-        assert_eq!(out2[1].payload.downcast_ref::<u32>(), Some(&10));
+        assert_eq!(out2[1].payload.to_msg::<u32>(), Some(10));
     }
 
     #[test]
@@ -543,7 +543,7 @@ mod tests {
                 ctx.shun(PartyId(2));
             }
             fn on_message(&mut self, _f: PartyId, p: &Payload, ctx: &mut Context<'_>) {
-                if let Some(&v) = p.downcast_ref::<u32>() {
+                if let Some(v) = p.to_msg::<u32>() {
                     ctx.output(v);
                 }
             }

@@ -1,74 +1,429 @@
-//! Dynamically-typed, cheaply-cloneable message payloads.
+//! Message payloads: typed fast path, inline small-box, lazy wire frames.
+//!
+//! A [`Payload`] is one of three representations:
+//!
+//! * **Typed** — a shared `Arc<dyn Any>` value, optionally carrying its
+//!   [`WireMessage`] identity so the wire boundary can serialize it.
+//!   Outputs ([`Context::output`]) and large messages live here; cloning
+//!   is an `Arc` bump.
+//! * **Inline** — the *encoded frame* of a small message (body ≤ 24
+//!   bytes) stored inline in the payload itself: no allocation per
+//!   message on the send path, and cloning is a 30-byte copy. Most
+//!   protocol control messages (votes, acks, gather sets) take this
+//!   path.
+//! * **Wire** — a received byte frame, shared behind an `Arc<[u8]>` and
+//!   decoded *lazily*: [`Payload::view`] decodes through the expected
+//!   type's own decoder, so a malformed or kind-spoofed frame simply
+//!   fails to view — exactly like an in-memory type-confused value fails
+//!   to downcast. The wire-serialized runtime builds these from the
+//!   bytes it reads off its sockets, resolving the kind's diagnostic
+//!   name through its per-run [`CodecRegistry`].
+//!
+//! Honest receivers read messages with [`Payload::view`] /
+//! [`Payload::to_msg`], which work uniformly across all three
+//! representations. A failed view or downcast during a delivery is
+//! recorded per kind and surfaces in
+//! [`Metrics`](crate::Metrics)`::decode_misses` — type-confused or
+//! byte-garbled deliveries are observable, not silently dropped.
+//!
+//! [`Context::output`]: crate::Context::output
+//! [`CodecRegistry`]: crate::wire::CodecRegistry
 
+use crate::wire::{parse_frame, CodecRegistry, WireMessage, WireVtable};
 use std::any::Any;
+use std::cell::RefCell;
 use std::fmt;
+use std::ops::Deref;
 use std::sync::Arc;
 
-/// A protocol message payload or instance output.
-///
-/// Payloads are dynamically typed so that protocol crates can define their
-/// own message enums without the simulator depending on them. A receiving
-/// instance downcasts to the type it expects; a failed downcast models a
-/// type-confused (Byzantine) message and is simply ignored by honest code.
-///
-/// Cloning is an `Arc` bump, so broadcasting to `n` parties does not copy
-/// the message body.
+/// Maximum encoded *body* size stored inline (frame = 6-byte header +
+/// body).
+pub const INLINE_BODY_CAP: usize = 24;
+const INLINE_FRAME_CAP: usize = crate::wire::FRAME_HEADER_LEN + INLINE_BODY_CAP;
+
+/// Diagnostic name reported for wire frames whose kind no registry entry
+/// explains.
+const UNKNOWN_WIRE_KIND: &str = "wire:unknown";
+/// Diagnostic name reported for byte frames whose header is malformed.
+const MALFORMED_WIRE_FRAME: &str = "wire:malformed";
+/// Kind sentinel for malformed frames (never matches a real kind because
+/// views compare against `T::KIND` after re-parsing the frame).
+const MALFORMED_KIND: u16 = u16::MAX;
+
+enum Repr {
+    Typed {
+        value: Arc<dyn Any + Send + Sync>,
+        type_name: &'static str,
+        /// Wire identity when constructed from a [`WireMessage`]
+        /// (`None` for plain outputs, which never cross the wire).
+        vt: Option<&'static WireVtable>,
+    },
+    Inline {
+        vt: &'static WireVtable,
+        len: u8,
+        buf: [u8; INLINE_FRAME_CAP],
+    },
+    Wire {
+        frame: Arc<[u8]>,
+        kind: u16,
+        name: &'static str,
+    },
+}
+
+impl Clone for Repr {
+    fn clone(&self) -> Self {
+        match self {
+            Repr::Typed {
+                value,
+                type_name,
+                vt,
+            } => Repr::Typed {
+                value: value.clone(),
+                type_name,
+                vt: *vt,
+            },
+            Repr::Inline { vt, len, buf } => Repr::Inline {
+                vt,
+                len: *len,
+                buf: *buf,
+            },
+            Repr::Wire { frame, kind, name } => Repr::Wire {
+                frame: frame.clone(),
+                kind: *kind,
+                name,
+            },
+        }
+    }
+}
+
+/// A protocol message payload or instance output. See the
+/// [module docs](self) for the three representations.
 ///
 /// ```
 /// use aft_sim::Payload;
 ///
-/// #[derive(Debug, PartialEq)]
-/// struct Echo(u32);
+/// // Outputs: dynamically typed, read back with `downcast_ref`.
+/// let out = Payload::new(vec![1u32, 2, 3]);
+/// assert_eq!(out.downcast_ref::<Vec<u32>>(), Some(&vec![1, 2, 3]));
 ///
-/// let p = Payload::new(Echo(7));
-/// assert_eq!(p.downcast_ref::<Echo>(), Some(&Echo(7)));
-/// assert_eq!(p.downcast_ref::<String>(), None);
+/// // Messages: wire-typed, read back with `view`/`to_msg` on every
+/// // backend (u64 implements `WireMessage` as a builtin kind).
+/// let msg = Payload::message(7u64);
+/// assert_eq!(msg.to_msg::<u64>(), Some(7));
+/// assert_eq!(msg.to_msg::<u32>(), None, "kind-checked");
 /// ```
 #[derive(Clone)]
-pub struct Payload {
-    value: Arc<dyn Any + Send + Sync>,
-    type_name: &'static str,
+pub struct Payload(Repr);
+
+/// A decoded message handed out by [`Payload::view`]: borrowed from a
+/// typed payload, owned when decoded from bytes. `Deref`s to the
+/// message either way.
+pub enum MsgView<'a, T> {
+    /// Borrowed from an in-memory typed payload.
+    Borrowed(&'a T),
+    /// Decoded on the fly from an inline or wire frame.
+    Owned(T),
+}
+
+impl<T> Deref for MsgView<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match self {
+            MsgView::Borrowed(v) => v,
+            MsgView::Owned(v) => v,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MsgView<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+thread_local! {
+    /// Per-kind decode/downcast misses observed on this thread since the
+    /// last drain. `deliver_counted` drains it around every delivery, so
+    /// the counts attribute to the run whose dispatch produced them.
+    static MISSES: RefCell<Vec<(&'static str, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Reusable encode scratch for the small-box probe.
+    static ENCODE_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+fn record_miss(kind: &'static str) {
+    MISSES.with(|m| {
+        let mut m = m.borrow_mut();
+        if let Some(entry) = m.iter_mut().find(|(k, _)| *k == kind) {
+            entry.1 += 1;
+        } else {
+            m.push((kind, 1));
+        }
+    });
+}
+
+/// Drains this thread's miss counters into `sink` (pass `None` to
+/// discard). Called by the shared delivery core before and after each
+/// dispatch.
+pub(crate) fn drain_misses(mut sink: Option<&mut Vec<(&'static str, u64)>>) {
+    MISSES.with(|m| {
+        let mut m = m.borrow_mut();
+        if m.is_empty() {
+            return;
+        }
+        if let Some(sink) = &mut sink {
+            for (kind, count) in m.drain(..) {
+                if let Some(entry) = sink.iter_mut().find(|(k, _)| *k == kind) {
+                    entry.1 += count;
+                } else {
+                    sink.push((kind, count));
+                }
+            }
+        } else {
+            m.clear();
+        }
+    });
 }
 
 impl Payload {
-    /// Wraps a value as a payload.
+    /// Wraps a value as a dynamically-typed payload (outputs, child
+    /// results — anything that never crosses the wire).
     pub fn new<T: Any + Send + Sync>(value: T) -> Self {
-        Payload {
+        Payload(Repr::Typed {
             value: Arc::new(value),
             type_name: std::any::type_name::<T>(),
+            vt: None,
+        })
+    }
+
+    /// Wraps a protocol message, keeping its wire identity.
+    ///
+    /// Small messages (encoded body ≤ [`INLINE_BODY_CAP`] bytes) are
+    /// stored as inline frames — no allocation; larger ones share an
+    /// `Arc` and encode lazily at the wire boundary. Messages with an
+    /// adversarial [`raw_frame`](WireMessage::raw_frame) stay typed so
+    /// in-memory backends observe the same junk *values* the wire
+    /// backend turns into junk *bytes*.
+    pub fn message<T: WireMessage>(value: T) -> Self {
+        if value.raw_frame().is_none() {
+            let inline = ENCODE_SCRATCH.with(|scratch| {
+                let mut scratch = scratch.borrow_mut();
+                scratch.clear();
+                crate::wire::encode_frame(&value, &mut scratch);
+                if scratch.len() <= INLINE_FRAME_CAP {
+                    let mut buf = [0u8; INLINE_FRAME_CAP];
+                    buf[..scratch.len()].copy_from_slice(&scratch);
+                    Some(Repr::Inline {
+                        vt: &T::VTABLE,
+                        len: scratch.len() as u8,
+                        buf,
+                    })
+                } else {
+                    None
+                }
+            });
+            if let Some(repr) = inline {
+                return Payload(repr);
+            }
+        }
+        Payload(Repr::Typed {
+            value: Arc::new(value),
+            type_name: std::any::type_name::<T>(),
+            vt: Some(&T::VTABLE),
+        })
+    }
+
+    /// Wraps a received wire frame, resolving its kind name through
+    /// `registry` for diagnostics. Decoding happens lazily in
+    /// [`view`](Payload::view); malformed headers yield a payload no view
+    /// ever matches.
+    pub fn from_wire(frame: impl Into<Arc<[u8]>>, registry: &CodecRegistry) -> Self {
+        Self::from_wire_named(frame, |kind| registry.kind_name(kind))
+    }
+
+    /// [`from_wire`](Payload::from_wire) resolving the kind name in the
+    /// process-global registry (one lock read, no snapshot) — the cheap
+    /// path for nested decoders like the cluster envelope.
+    pub fn from_wire_global(frame: impl Into<Arc<[u8]>>) -> Self {
+        Self::from_wire_named(frame, crate::wire::global_kind_name)
+    }
+
+    fn from_wire_named(
+        frame: impl Into<Arc<[u8]>>,
+        resolve: impl FnOnce(u16) -> Option<&'static str>,
+    ) -> Self {
+        let frame: Arc<[u8]> = frame.into();
+        let (kind, name) = match parse_frame(&frame) {
+            Some((kind, _)) => (kind, resolve(kind).unwrap_or(UNKNOWN_WIRE_KIND)),
+            None => (MALFORMED_KIND, MALFORMED_WIRE_FRAME),
+        };
+        Payload(Repr::Wire { frame, kind, name })
+    }
+
+    /// Views the payload as message type `T`, uniformly across
+    /// representations: typed payloads borrow, inline/wire frames decode
+    /// through `T`'s own decoder (kind-checked first). Returns `None` —
+    /// and records a per-kind decode miss — for type-confused values,
+    /// kind mismatches and malformed bytes.
+    pub fn view<T: WireMessage>(&self) -> Option<MsgView<'_, T>> {
+        match &self.0 {
+            Repr::Typed { value, .. } => match value.as_ref().downcast_ref::<T>() {
+                Some(v) => Some(MsgView::Borrowed(v)),
+                None => {
+                    record_miss(self.type_name());
+                    None
+                }
+            },
+            Repr::Inline { vt, len, buf } => {
+                let frame = &buf[..*len as usize];
+                if vt.kind == T::KIND {
+                    if let Some(v) = crate::wire::decode_frame_as::<T>(frame) {
+                        return Some(MsgView::Owned(v));
+                    }
+                }
+                record_miss(vt.name);
+                None
+            }
+            Repr::Wire { frame, kind, name } => {
+                if *kind == T::KIND {
+                    if let Some(v) = crate::wire::decode_frame_as::<T>(frame) {
+                        return Some(MsgView::Owned(v));
+                    }
+                }
+                record_miss(name);
+                None
+            }
         }
     }
 
-    /// Borrows the payload as `T`, or `None` when the type differs.
+    /// Owned convenience over [`view`](Payload::view) (clones borrowed
+    /// values) — handy for small `Copy` messages.
+    pub fn to_msg<T: WireMessage + Clone>(&self) -> Option<T> {
+        self.view::<T>().map(|v| match v {
+            MsgView::Borrowed(b) => b.clone(),
+            MsgView::Owned(o) => o,
+        })
+    }
+
+    /// Borrows a *typed* payload as `T`. Wire and inline frames always
+    /// return `None` (use [`view`](Payload::view) for messages); a failed
+    /// downcast during a delivery is recorded as a decode miss.
     pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
-        self.value.as_ref().downcast_ref::<T>()
+        match &self.0 {
+            Repr::Typed { value, .. } => {
+                let hit = value.as_ref().downcast_ref::<T>();
+                if hit.is_none() {
+                    record_miss(self.type_name());
+                }
+                hit
+            }
+            Repr::Inline { vt, .. } => {
+                record_miss(vt.name);
+                None
+            }
+            Repr::Wire { name, .. } => {
+                record_miss(name);
+                None
+            }
+        }
     }
 
-    /// Whether the payload holds a `T`.
+    /// Whether a *typed* payload holds a `T`.
     pub fn is<T: Any>(&self) -> bool {
-        self.value.as_ref().is::<T>()
+        match &self.0 {
+            Repr::Typed { value, .. } => value.as_ref().is::<T>(),
+            _ => false,
+        }
     }
 
-    /// The Rust type name of the wrapped value (diagnostics only).
+    /// The payload's diagnostic name: the *kind name* whenever the
+    /// payload has a wire identity (typed messages, inline frames, and
+    /// received wire frames — `wire:unknown` / `wire:malformed` when no
+    /// registry entry explains received bytes), the Rust type name for
+    /// plain typed values (outputs).
     pub fn type_name(&self) -> &'static str {
-        self.type_name
+        match &self.0 {
+            Repr::Typed {
+                type_name,
+                vt: None,
+                ..
+            } => type_name,
+            Repr::Typed { vt: Some(vt), .. } => vt.name,
+            Repr::Inline { vt, .. } => vt.name,
+            Repr::Wire { name, .. } => name,
+        }
+    }
+
+    /// The frame kind this payload carries on the wire, if it has one.
+    pub fn wire_kind(&self) -> Option<u16> {
+        match &self.0 {
+            Repr::Typed { vt, .. } => vt.as_ref().map(|vt| vt.kind),
+            Repr::Inline { vt, .. } => Some(vt.kind),
+            Repr::Wire { kind, .. } => Some(*kind),
+        }
+    }
+
+    /// Appends this payload's wire frame to `out`. Returns `false` for
+    /// typed payloads without a wire identity (outputs), which never
+    /// legitimately reach a wire boundary.
+    pub fn encode_wire_frame(&self, out: &mut Vec<u8>) -> bool {
+        match &self.0 {
+            Repr::Typed { value, vt, .. } => match vt {
+                Some(vt) => {
+                    (vt.encode_frame)(value.as_ref(), out);
+                    true
+                }
+                None => false,
+            },
+            Repr::Inline { len, buf, .. } => {
+                out.extend_from_slice(&buf[..*len as usize]);
+                true
+            }
+            Repr::Wire { frame, .. } => {
+                out.extend_from_slice(frame);
+                true
+            }
+        }
     }
 }
 
 impl fmt::Debug for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Payload<{}>", self.type_name)
+        write!(f, "Payload<{}>", self.type_name())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::{encode_frame, CodecRegistry, WireReader, WireWriter};
 
     #[derive(Debug, PartialEq)]
     struct A(u8);
     #[derive(Debug, PartialEq)]
     struct B(u8);
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Big(Vec<u64>);
+    impl WireMessage for Big {
+        const KIND: u16 = crate::wire::KIND_TEST_BASE + 1;
+        const KIND_NAME: &'static str = "test-big";
+        fn encode_body(&self, out: &mut Vec<u8>) {
+            for &v in &self.0 {
+                WireWriter::u64(out, v);
+            }
+        }
+        fn decode_body(bytes: &[u8]) -> Option<Self> {
+            if !bytes.len().is_multiple_of(8) {
+                return None;
+            }
+            let mut r = WireReader::new(bytes);
+            let mut out = Vec::new();
+            while r.remaining() > 0 {
+                out.push(r.u64()?);
+            }
+            Some(Big(out))
+        }
+    }
 
     #[test]
     fn downcast_success_and_failure() {
@@ -77,6 +432,7 @@ mod tests {
         assert!(!p.is::<B>());
         assert_eq!(p.downcast_ref::<A>(), Some(&A(3)));
         assert_eq!(p.downcast_ref::<B>(), None);
+        drain_misses(None);
     }
 
     #[test]
@@ -92,11 +448,82 @@ mod tests {
         let s = format!("{p:?}");
         assert!(s.contains("A"), "{s}");
     }
-}
 
-#[cfg(test)]
-mod thread_safety {
-    use super::*;
+    #[test]
+    fn small_message_is_inline_and_views_back() {
+        let p = Payload::message(0xFEEDu64);
+        assert!(matches!(p.0, Repr::Inline { .. }), "u64 must small-box");
+        assert_eq!(p.to_msg::<u64>(), Some(0xFEED));
+        assert_eq!(p.type_name(), "u64");
+        assert_eq!(p.wire_kind(), Some(<u64 as WireMessage>::KIND));
+        // Inline frames are not typed values.
+        assert_eq!(p.downcast_ref::<u64>(), None);
+        drain_misses(None);
+    }
+
+    #[test]
+    fn large_message_stays_typed_with_wire_identity() {
+        let big = Big((0..10).collect());
+        let p = Payload::message(big.clone());
+        assert!(matches!(p.0, Repr::Typed { vt: Some(_), .. }));
+        assert_eq!(&*p.view::<Big>().unwrap(), &big);
+        let mut frame = Vec::new();
+        assert!(p.encode_wire_frame(&mut frame));
+        let mut expect = Vec::new();
+        encode_frame(&big, &mut expect);
+        assert_eq!(frame, expect);
+    }
+
+    #[test]
+    fn view_is_kind_checked_across_representations() {
+        // Typed, inline, wire: a u64 payload never views as u32.
+        let reg = CodecRegistry::with_builtins();
+        let typed = Payload::message(Big(vec![1]));
+        let inline = Payload::message(5u64);
+        let mut frame = Vec::new();
+        encode_frame(&5u64, &mut frame);
+        let wire = Payload::from_wire(frame, &reg);
+        for p in [&typed, &inline, &wire] {
+            assert!(p.view::<u32>().is_none(), "{p:?}");
+        }
+        assert_eq!(wire.to_msg::<u64>(), Some(5));
+        assert_eq!(wire.type_name(), "u64");
+        drain_misses(None);
+    }
+
+    #[test]
+    fn malformed_wire_frames_never_view_and_are_named() {
+        let reg = CodecRegistry::with_builtins();
+        let junk = Payload::from_wire(vec![1, 2, 3], &reg);
+        assert_eq!(junk.type_name(), "wire:malformed");
+        assert!(junk.view::<u64>().is_none());
+        // Unknown kind with a consistent header.
+        let mut frame = 0x7EEEu16.to_le_bytes().to_vec();
+        frame.extend_from_slice(&2u32.to_le_bytes());
+        frame.extend_from_slice(&[9, 9]);
+        let unknown = Payload::from_wire(frame, &reg);
+        assert_eq!(unknown.type_name(), "wire:unknown");
+        assert!(unknown.view::<u16>().is_none());
+        drain_misses(None);
+    }
+
+    #[test]
+    fn misses_are_recorded_per_kind() {
+        drain_misses(None);
+        let p = Payload::message(7u64);
+        assert!(p.view::<u32>().is_none());
+        assert!(p.view::<u32>().is_none());
+        let q = Payload::new(A(1));
+        assert!(q.downcast_ref::<B>().is_none());
+        let mut sink = Vec::new();
+        drain_misses(Some(&mut sink));
+        assert_eq!(sink.iter().find(|(k, _)| *k == "u64"), Some(&("u64", 2)));
+        assert!(sink.iter().any(|(k, c)| k.contains("A") && *c == 1));
+        // Drained: a second drain sees nothing.
+        let mut sink2 = Vec::new();
+        drain_misses(Some(&mut sink2));
+        assert!(sink2.is_empty());
+    }
 
     #[test]
     fn payload_is_send_and_sync() {

@@ -69,10 +69,23 @@ pub struct Metrics {
     pub steps: u64,
     /// Shun events declared across all nodes.
     pub shun_events: u64,
+    /// Payload frames round-tripped through the wire codec (wire backend
+    /// only).
+    pub wire_frames: u64,
+    /// Envelope bytes round-tripped through the wire transport (wire
+    /// backend only).
+    pub wire_bytes: u64,
+    /// Payload frames whose header was malformed on arrival — the
+    /// byte-level adversary's fingerprint (wire backend only).
+    pub wire_malformed: u64,
     /// Sent counts per leaf session kind, in first-seen order.
     by_kind: Vec<(&'static str, u64)>,
     /// Index into `by_kind` of the most recently counted kind.
     last_kind: usize,
+    /// Failed message views/downcasts per payload kind, in first-seen
+    /// order: type-confused or byte-garbled deliveries an honest
+    /// instance rejected.
+    decode_miss: Vec<(&'static str, u64)>,
 }
 
 impl Metrics {
@@ -87,6 +100,22 @@ impl Metrics {
     /// All `(kind, sent count)` pairs, in first-seen order.
     pub fn kinds(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.by_kind.iter().copied()
+    }
+
+    /// All `(payload kind, failed view/downcast count)` pairs — how often
+    /// honest code rejected a delivered payload of that kind. In-memory
+    /// type confusion (`Garbage`) and wire-level byte garbage
+    /// (`wire:unknown`, `wire:malformed`) both land here.
+    pub fn decode_misses(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.decode_miss.iter().copied()
+    }
+
+    /// Total failed views/downcasts for payload kind `kind`.
+    pub fn decode_miss_by_kind(&self, kind: &str) -> u64 {
+        self.decode_miss
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |&(_, c)| c)
     }
 
     /// Records one sent envelope for `session`'s leaf kind.
@@ -135,11 +164,21 @@ impl Metrics {
         self.dropped_crashed += other.dropped_crashed;
         self.steps += other.steps;
         self.shun_events += other.shun_events;
+        self.wire_frames += other.wire_frames;
+        self.wire_bytes += other.wire_bytes;
+        self.wire_malformed += other.wire_malformed;
         for &(kind, count) in &other.by_kind {
             if let Some(i) = self.by_kind.iter().position(|(k, _)| *k == kind) {
                 self.by_kind[i].1 += count;
             } else {
                 self.by_kind.push((kind, count));
+            }
+        }
+        for &(kind, count) in &other.decode_miss {
+            if let Some(i) = self.decode_miss.iter().position(|(k, _)| *k == kind) {
+                self.decode_miss[i].1 += count;
+            } else {
+                self.decode_miss.push((kind, count));
             }
         }
     }
@@ -205,12 +244,17 @@ pub(crate) fn deliver_counted(
         metrics.dropped_crashed += 1;
         return;
     }
+    // Discard stray miss records from outside deliveries (test probes,
+    // spawn-time output inspection), then attribute the dispatch's own
+    // failed views to this run's metrics.
+    crate::payload::drain_misses(None);
     let shuns_before = node.shun_event_count();
     if node.deliver(from, session, payload, out) {
         metrics.delivered += 1;
     } else {
         metrics.dropped_shunned += 1;
     }
+    crate::payload::drain_misses(Some(&mut metrics.decode_miss));
     metrics.shun_events += node.shun_event_count() - shuns_before;
 }
 
@@ -326,6 +370,13 @@ impl<R: Runtime + ?Sized> RuntimeExt for R {}
 /// * `"sharded:<k>:<scheduler>"` — sharded simulator with every party
 ///   running the named [`scheduler_by_name`](crate::scheduler_by_name)
 ///   policy (e.g. `"sharded:4:lifo"`);
+/// * `"wire"` — the wire-serialized deterministic runtime
+///   ([`WireRuntime`](crate::WireRuntime)): every envelope is encoded to
+///   a length-prefixed byte frame, round-tripped through a per-party OS
+///   socket pair, and decoded lazily through the process-global
+///   [`CodecRegistry`](crate::wire::CodecRegistry) snapshot;
+/// * `"wire:<scheduler>"` — the wire runtime with any
+///   [`scheduler_by_name`](crate::scheduler_by_name) scheduler;
 /// * `"threaded"` — OS-thread runtime with the default poll interval;
 /// * `"threaded:<millis>"` — OS-thread runtime with an explicit idle-poll
 ///   interval in milliseconds.
@@ -338,7 +389,9 @@ impl<R: Runtime + ?Sized> RuntimeExt for R {}
 /// assert_eq!(runtime_by_name("sim", config).unwrap().backend_name(), "sim");
 /// assert_eq!(runtime_by_name("threaded", config).unwrap().backend_name(), "threaded");
 /// assert_eq!(runtime_by_name("sharded:4", config).unwrap().backend_name(), "sharded");
+/// assert_eq!(runtime_by_name("wire", config).unwrap().backend_name(), "wire");
 /// assert!(runtime_by_name("sim:window8", config).is_some());
+/// assert!(runtime_by_name("wire:lifo", config).is_some());
 /// assert!(runtime_by_name("sharded:2:lifo", config).is_some());
 /// assert!(runtime_by_name("sharded:0", config).is_none());
 /// assert!(runtime_by_name("hovercraft", config).is_none());
@@ -347,6 +400,7 @@ pub fn runtime_by_name(name: &str, config: NetConfig) -> Option<Box<dyn Runtime>
     use crate::network::SimNetwork;
     use crate::shard::ShardedSimRuntime;
     use crate::threaded::ThreadedRuntime;
+    use crate::wire_rt::WireRuntime;
     if name == "sim" {
         return Some(Box::new(SimNetwork::new(
             config,
@@ -357,6 +411,20 @@ pub fn runtime_by_name(name: &str, config: NetConfig) -> Option<Box<dyn Runtime>
         return Some(Box::new(SimNetwork::new(
             config,
             crate::scheduler_by_name(sched)?,
+        )));
+    }
+    if name == "wire" {
+        return Some(Box::new(WireRuntime::new(
+            config,
+            Box::new(crate::scheduler::RandomScheduler),
+            crate::wire::global_registry(),
+        )));
+    }
+    if let Some(sched) = name.strip_prefix("wire:") {
+        return Some(Box::new(WireRuntime::new(
+            config,
+            crate::scheduler_by_name(sched)?,
+            crate::wire::global_registry(),
         )));
     }
     if let Some(rest) = name.strip_prefix("sharded:") {

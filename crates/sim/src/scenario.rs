@@ -165,8 +165,9 @@ pub struct Scenario {
     pub corruptions: Vec<Corruption>,
     /// Scheduler spec, resolvable by [`scheduler_by_name`](crate::scheduler_by_name).
     pub sched: String,
-    /// Backend spec: `sim`, `sharded:<k>`, or `threaded[:<poll_ms>]` (the
-    /// scheduler is carried separately in `sched`).
+    /// Backend spec: `sim`, `wire`, `sharded:<k>`, or
+    /// `threaded[:<poll_ms>]` (the scheduler is carried separately in
+    /// `sched`).
     pub rt: String,
 }
 
@@ -275,8 +276,18 @@ impl Scenario {
             return Err(format!("unknown scheduler {:?}", self.sched));
         }
         let rt_ok = match self.rt.as_str() {
-            "sim" | "threaded" => true,
+            "sim" | "threaded" | "wire" => true,
             other => {
+                if other.starts_with("wire:") || other == "wire:" {
+                    // The most likely authoring mistake on wire cells:
+                    // schedulers (and anything else) do not nest inside
+                    // `rt=`; reject with a targeted message instead of a
+                    // runtime panic deep inside a sweep.
+                    return Err(format!(
+                        "runtime {other:?} takes no arguments: write rt=wire and put the \
+                         scheduler in sched= (wire cells compose as wire:<sched> internally)"
+                    ));
+                }
                 if let Some(k) = other.strip_prefix("sharded:") {
                     k.parse::<usize>().is_ok_and(|k| k > 0)
                 } else if let Some(ms) = other.strip_prefix("threaded:") {
@@ -288,7 +299,7 @@ impl Scenario {
         };
         if !rt_ok {
             return Err(format!(
-                "unknown runtime {:?} (expected sim, sharded:<k>, or threaded[:<poll_ms>])",
+                "unknown runtime {:?} (expected sim, wire, sharded:<k>, or threaded[:<poll_ms>])",
                 self.rt
             ));
         }
@@ -314,6 +325,7 @@ impl Scenario {
     pub fn backend_name(&self) -> String {
         match self.rt.as_str() {
             "sim" => format!("sim:{}", self.sched),
+            "wire" => format!("wire:{}", self.sched),
             rt if rt.starts_with("sharded:") => format!("{rt}:{}", self.sched),
             rt => rt.to_string(),
         }
@@ -705,7 +717,7 @@ mod tests {
             ctx.send_all(1u8);
         }
         fn on_message(&mut self, _f: PartyId, p: &Payload, ctx: &mut Context<'_>) {
-            if p.downcast_ref::<u8>().is_some() {
+            if p.to_msg::<u8>().is_some() {
                 self.heard += 1;
                 if self.heard == 3 {
                     ctx.output(self.heard);
@@ -797,11 +809,30 @@ mod tests {
             "n=4,rt=hovercraft",                 // unknown runtime
             "n=4,rt=sharded:0",                  // zero shards
             "n=4,rt=sim:lifo",                   // scheduler belongs in sched=
+            "n=4,rt=wire:lifo",                  // ditto for the wire backend
+            "n=4,rt=wire:",                      // malformed wire spec
             "n=4,zzz=1",                         // unknown field
             "n=four",                            // malformed n
         ] {
             assert!(Scenario::parse(bad).is_none(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn wire_cells_parse_and_misuse_gets_a_clear_error() {
+        let s = Scenario::parse("n=4,t=1,corrupt=garbage:9@3,sched=lifo,rt=wire").unwrap();
+        assert_eq!(s.rt, "wire");
+        assert_eq!(s.backend_name(), "wire:lifo");
+        assert_eq!(
+            s.to_string(),
+            "n=4,t=1,corrupt=garbage:9@3,sched=lifo,rt=wire"
+        );
+        // Hand-built scenario with scheduler jammed into rt=: validate()
+        // names the mistake instead of panicking at runtime() time.
+        let mut bad = Scenario::honest(4, 1);
+        bad.rt = "wire:lifo".into();
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("sched="), "targeted message, got: {err}");
     }
 
     #[test]

@@ -465,7 +465,7 @@ mod tests {
             }
         }
         fn on_message(&mut self, from: PartyId, p: &Payload, ctx: &mut Context<'_>) {
-            if let Some(&v) = p.downcast_ref::<u32>() {
+            if let Some(v) = p.to_msg::<u32>() {
                 self.bounces += 1;
                 if v == 0 {
                     ctx.output(self.bounces);

@@ -1,0 +1,708 @@
+//! The typed wire codec: self-describing, length-prefixed message frames.
+//!
+//! Every protocol message type implements [`WireMessage`]: a stable
+//! 16-bit kind, a body encoder and a body decoder. A message travels as a
+//! *frame*:
+//!
+//! ```text
+//! +--------------+---------------+-------------------+
+//! | kind: u16 LE | len: u32 LE   | body: `len` bytes |
+//! +--------------+---------------+-------------------+
+//! ```
+//!
+//! Frames are self-describing (the kind says what the body claims to be)
+//! and length-prefixed (the declared `len` must equal the actual body
+//! length — [`parse_frame`] rejects everything else). Decoders consume
+//! the body exactly; trailing bytes, truncation and kind mismatches all
+//! decode to `None`, never to a value of a different kind and never by
+//! panicking — malformed bytes from Byzantine parties are an *expected
+//! input*, not an error condition.
+//!
+//! ## Kind space
+//!
+//! Kinds below `0x8000` are plain message kinds, allocated in per-crate
+//! ranges so registries can be merged without collisions (the
+//! [`CodecRegistry`] panics on a genuine collision):
+//!
+//! | range | owner |
+//! |---|---|
+//! | `0x0001..=0x000F` | builtin primitives (`aft-sim`) |
+//! | `0x0010..=0x001F` | generic behaviours (`aft-sim`) |
+//! | `0x0020..=0x002F` | `aft-ba` |
+//! | `0x0030..=0x003F` | `aft-svss` |
+//! | `0x0040..=0x004F` | `aft-core` |
+//! | `0x7000..=0x7FFF` | tests and examples |
+//!
+//! The high bit composes: `0x8000 | K` is "an A-Cast message carrying a
+//! value of kind `K`" (see [`acast_kind`]), which is how generic wrappers
+//! get a distinct kind per payload type without a global registry of
+//! instantiations.
+//!
+//! ## Registries
+//!
+//! A [`CodecRegistry`] maps kinds to named decoders. The wire-serialized
+//! runtime resolves incoming frames' kind *names* through its per-run
+//! registry (so diagnostics say `acast`, not `Bytes`), and fuzz tests
+//! drive every registered decoder through arbitrary bytes. Protocol
+//! crates export `register_codecs(&mut CodecRegistry)`; call
+//! [`register_global`] to make them visible to runtimes built by name
+//! (`runtime_by_name("wire", …)` snapshots the global registry).
+
+use crate::ids::{SessionId, SessionTag};
+use crate::payload::Payload;
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// First builtin primitive kind (`u8`).
+pub const KIND_BUILTIN_BASE: u16 = 0x0001;
+/// First kind reserved for `aft-sim`'s generic behaviours.
+pub const KIND_BEHAVIOR_BASE: u16 = 0x0010;
+/// First kind reserved for `aft-ba`.
+pub const KIND_BA_BASE: u16 = 0x0020;
+/// First kind reserved for `aft-svss`.
+pub const KIND_SVSS_BASE: u16 = 0x0030;
+/// First kind reserved for `aft-core`.
+pub const KIND_CORE_BASE: u16 = 0x0040;
+/// First kind reserved for tests and examples.
+pub const KIND_TEST_BASE: u16 = 0x7000;
+
+/// Bytes of a frame header: kind (2) + body length (4).
+pub const FRAME_HEADER_LEN: usize = 6;
+
+/// Composes the kind of an A-Cast frame carrying an inner kind.
+///
+/// The inner kind must be a plain kind (`< 0x8000`); wrappers do not
+/// nest, which the const assertion in `AcastMsg`'s impl enforces at
+/// compile time.
+pub const fn acast_kind(inner: u16) -> u16 {
+    0x8000 | inner
+}
+
+/// A message that can cross a byte-level network boundary.
+///
+/// Implementors pick a stable [`KIND`](WireMessage::KIND) from their
+/// crate's range (see the [module docs](self)), encode their body with
+/// the [`WireWriter`] helpers and decode with a [`WireReader`] —
+/// rejecting, never panicking on, malformed bytes. The laws the codec
+/// proptests pin:
+///
+/// * **round trip** — `decode_body(encode_body(m)) == Some(m)`;
+/// * **exactness** — decoders consume the body exactly (a
+///   [`WireReader`] is finished with [`WireReader::finish`]);
+/// * **totality** — `decode_body` returns `None` (never panics, never a
+///   different value) on arbitrary bytes.
+///
+/// [`Payload`] stores small encoded messages inline (no allocation per
+/// message) and keeps large ones as shared typed values that encode
+/// lazily at the wire boundary, so implementing this trait is all a
+/// protocol crate does to run on every backend including the
+/// wire-serialized one.
+pub trait WireMessage: Any + Send + Sync + Sized {
+    /// The frame kind identifying this message type on the wire.
+    const KIND: u16;
+    /// Diagnostic name of the kind (reported by
+    /// [`Payload::type_name`](crate::Payload::type_name) for wire frames).
+    const KIND_NAME: &'static str;
+
+    /// Erased encode/identity table for this type (used by [`Payload`]).
+    #[doc(hidden)]
+    const VTABLE: WireVtable = WireVtable {
+        kind: Self::KIND,
+        name: Self::KIND_NAME,
+        encode_frame: encode_frame_erased::<Self>,
+    };
+
+    /// Appends the message body (no header) to `out`.
+    fn encode_body(&self, out: &mut Vec<u8>);
+
+    /// Decodes a body produced by [`encode_body`](WireMessage::encode_body).
+    /// Must consume the body exactly and return `None` on any malformed
+    /// input.
+    fn decode_body(bytes: &[u8]) -> Option<Self>;
+
+    /// Adversarial hook: when `Some`, the wire transport emits these
+    /// exact bytes as the payload frame *instead of* the well-formed
+    /// `header + encode_body` encoding — the frame may be truncated,
+    /// kind-spoofed or pure junk. Honest messages leave the default
+    /// `None`; the generic `garbage`/`equivocate` behaviours override it
+    /// to turn their in-memory junk values into genuinely malformed byte
+    /// frames on wire-capable runs.
+    fn raw_frame(&self) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// Appends the full frame (header + body, or the raw adversarial frame)
+/// for `msg` to `out`.
+pub fn encode_frame<T: WireMessage>(msg: &T, out: &mut Vec<u8>) {
+    if let Some(raw) = msg.raw_frame() {
+        out.extend_from_slice(&raw);
+        return;
+    }
+    out.extend_from_slice(&T::KIND.to_le_bytes());
+    let len_at = out.len();
+    out.extend_from_slice(&[0; 4]);
+    msg.encode_body(out);
+    let body_len = (out.len() - len_at - 4) as u32;
+    out[len_at..len_at + 4].copy_from_slice(&body_len.to_le_bytes());
+}
+
+/// Splits a frame into `(kind, body)`. Returns `None` unless the header
+/// is present and the declared body length equals the actual one.
+pub fn parse_frame(frame: &[u8]) -> Option<(u16, &[u8])> {
+    if frame.len() < FRAME_HEADER_LEN {
+        return None;
+    }
+    let kind = u16::from_le_bytes([frame[0], frame[1]]);
+    let len = u32::from_le_bytes([frame[2], frame[3], frame[4], frame[5]]) as usize;
+    let body = &frame[FRAME_HEADER_LEN..];
+    (body.len() == len).then_some((kind, body))
+}
+
+/// Decodes a full frame as `T`: header well-formed, kind equal to
+/// `T::KIND`, body decodable. The only way bytes become a typed message.
+pub fn decode_frame_as<T: WireMessage>(frame: &[u8]) -> Option<T> {
+    let (kind, body) = parse_frame(frame)?;
+    (kind == T::KIND).then(|| T::decode_body(body)).flatten()
+}
+
+/// Type-erased encode-frame shim monomorphized per message type.
+fn encode_frame_erased<T: WireMessage>(value: &(dyn Any + Send + Sync), out: &mut Vec<u8>) {
+    let msg = value
+        .downcast_ref::<T>()
+        .expect("wire vtable attached to a value of another type");
+    encode_frame(msg, out);
+}
+
+/// Erased per-type codec identity, attached to typed [`Payload`]s so the
+/// wire boundary can serialize them without knowing their type.
+#[doc(hidden)]
+pub struct WireVtable {
+    /// The frame kind.
+    pub kind: u16,
+    /// The kind's diagnostic name.
+    pub name: &'static str,
+    /// Appends the full frame for the (type-erased) value.
+    pub encode_frame: fn(&(dyn Any + Send + Sync), &mut Vec<u8>),
+}
+
+// ---------------------------------------------------------------------------
+// Body encode/decode helpers.
+// ---------------------------------------------------------------------------
+
+/// Append-style helpers for message bodies (all little-endian).
+pub struct WireWriter;
+
+impl WireWriter {
+    /// Appends one byte.
+    pub fn u8(out: &mut Vec<u8>, v: u8) {
+        out.push(v);
+    }
+    /// Appends a `u16`.
+    pub fn u16(out: &mut Vec<u8>, v: u16) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Appends a `u32`.
+    pub fn u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Appends a `u64`.
+    pub fn u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Appends a `bool` as `0`/`1`.
+    pub fn bool(out: &mut Vec<u8>, v: bool) {
+        out.push(v as u8);
+    }
+    /// Appends a `u32`-length-prefixed byte string.
+    pub fn bytes(out: &mut Vec<u8>, v: &[u8]) {
+        Self::u32(out, v.len() as u32);
+        out.extend_from_slice(v);
+    }
+}
+
+/// A checked, position-tracking reader over a message body.
+///
+/// Every accessor returns `None` past the end; [`finish`] additionally
+/// rejects trailing bytes, which is what makes decoders *exact*.
+///
+/// [`finish`]: WireReader::finish
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Starts reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> Option<u16> {
+        let s = self.take(2)?;
+        Some(u16::from_le_bytes([s[0], s[1]]))
+    }
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        let s = self.take(4)?;
+        Some(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        let s = self.take(8)?;
+        Some(u64::from_le_bytes(s.try_into().ok()?))
+    }
+    /// Reads a strict `bool` (`0` or `1`; anything else is malformed).
+    pub fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+    /// Reads a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+    /// Borrows the unconsumed tail without consuming it — for nested
+    /// decoders that report how much they used (pair with
+    /// [`skip`](WireReader::skip)).
+    pub fn peek_rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+    /// Skips `n` bytes (`None` past the end).
+    pub fn skip(&mut self, n: usize) -> Option<()> {
+        self.take(n).map(|_| ())
+    }
+    /// Consumes the rest of the body.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+    /// Succeeds iff the body was consumed exactly.
+    pub fn finish(self) -> Option<()> {
+        (self.pos == self.buf.len()).then_some(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session ids on the wire.
+// ---------------------------------------------------------------------------
+
+/// Appends a session id as `depth:u8` then per tag
+/// `kind:(u32-len bytes)`, `index:u64`.
+pub fn put_session(out: &mut Vec<u8>, session: &SessionId) {
+    let path = session.path();
+    WireWriter::u8(out, path.len() as u8);
+    for tag in path {
+        WireWriter::bytes(out, tag.kind.as_bytes());
+        WireWriter::u64(out, tag.index);
+    }
+}
+
+/// Reads a session id written by [`put_session`], re-interning the tag
+/// kinds (the interner guarantees a decoded id is pointer-equal to the
+/// locally constructed one, so routing works unchanged).
+pub fn get_session(r: &mut WireReader<'_>) -> Option<SessionId> {
+    let depth = r.u8()? as usize;
+    let mut id = SessionId::root();
+    for _ in 0..depth {
+        let kind = std::str::from_utf8(r.bytes()?).ok()?;
+        let index = r.u64()?;
+        id = id.child(SessionTag::new(SessionTag::intern_kind(kind), index));
+    }
+    Some(id)
+}
+
+// ---------------------------------------------------------------------------
+// Builtin WireMessage impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! int_wire {
+    ($ty:ty, $kind:expr, $name:literal) => {
+        impl WireMessage for $ty {
+            const KIND: u16 = $kind;
+            const KIND_NAME: &'static str = $name;
+            fn encode_body(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode_body(bytes: &[u8]) -> Option<Self> {
+                Some(<$ty>::from_le_bytes(bytes.try_into().ok()?))
+            }
+        }
+    };
+}
+
+int_wire!(u8, KIND_BUILTIN_BASE, "u8");
+int_wire!(u16, KIND_BUILTIN_BASE + 1, "u16");
+int_wire!(u32, KIND_BUILTIN_BASE + 2, "u32");
+int_wire!(u64, KIND_BUILTIN_BASE + 3, "u64");
+int_wire!(i64, KIND_BUILTIN_BASE + 4, "i64");
+
+impl WireMessage for usize {
+    const KIND: u16 = KIND_BUILTIN_BASE + 5;
+    const KIND_NAME: &'static str = "usize";
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        WireWriter::u64(out, *self as u64);
+    }
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        let mut r = WireReader::new(bytes);
+        let v = r.u64()?;
+        r.finish()?;
+        usize::try_from(v).ok()
+    }
+}
+
+impl WireMessage for bool {
+    const KIND: u16 = KIND_BUILTIN_BASE + 6;
+    const KIND_NAME: &'static str = "bool";
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        WireWriter::bool(out, *self);
+    }
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        let mut r = WireReader::new(bytes);
+        let v = r.bool()?;
+        r.finish()?;
+        Some(v)
+    }
+}
+
+impl WireMessage for () {
+    const KIND: u16 = KIND_BUILTIN_BASE + 7;
+    const KIND_NAME: &'static str = "unit";
+    fn encode_body(&self, _out: &mut Vec<u8>) {}
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        bytes.is_empty().then_some(())
+    }
+}
+
+impl WireMessage for String {
+    const KIND: u16 = KIND_BUILTIN_BASE + 8;
+    const KIND_NAME: &'static str = "string";
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        std::str::from_utf8(bytes).ok().map(str::to_owned)
+    }
+}
+
+impl WireMessage for Vec<u8> {
+    const KIND: u16 = KIND_BUILTIN_BASE + 9;
+    const KIND_NAME: &'static str = "bytes";
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        Some(bytes.to_vec())
+    }
+}
+
+impl WireMessage for Vec<usize> {
+    const KIND: u16 = KIND_BUILTIN_BASE + 10;
+    const KIND_NAME: &'static str = "usize-list";
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        for &v in self {
+            WireWriter::u64(out, v as u64);
+        }
+    }
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        if !bytes.len().is_multiple_of(8) {
+            return None;
+        }
+        let mut r = WireReader::new(bytes);
+        let mut out = Vec::with_capacity(bytes.len() / 8);
+        while r.remaining() > 0 {
+            out.push(usize::try_from(r.u64()?).ok()?);
+        }
+        Some(out)
+    }
+}
+
+/// Registers every builtin primitive kind with `registry`.
+pub fn register_builtin_codecs(registry: &mut CodecRegistry) {
+    registry.register::<u8>();
+    registry.register::<u16>();
+    registry.register::<u32>();
+    registry.register::<u64>();
+    registry.register::<i64>();
+    registry.register::<usize>();
+    registry.register::<bool>();
+    registry.register::<()>();
+    registry.register::<String>();
+    registry.register::<Vec<u8>>();
+    registry.register::<Vec<usize>>();
+}
+
+// ---------------------------------------------------------------------------
+// The codec registry.
+// ---------------------------------------------------------------------------
+
+/// One registered kind: its name plus a decoder producing a typed
+/// [`Payload`].
+#[derive(Clone, Copy)]
+struct KindEntry {
+    name: &'static str,
+    decode: fn(&[u8]) -> Option<Payload>,
+}
+
+/// A per-run mapping from frame kinds to named decoders.
+///
+/// The wire-serialized runtime resolves incoming frames' kind names
+/// through its registry, the decode-fuzz proptests drive every
+/// registered decoder, and [`decode_frame`](CodecRegistry::decode_frame)
+/// eagerly materializes a typed payload when a caller wants one.
+/// Registration panics on a kind collision (two types claiming the same
+/// kind with different names) — that is a workspace configuration bug,
+/// not a runtime input.
+#[derive(Default, Clone)]
+pub struct CodecRegistry {
+    entries: BTreeMap<u16, KindEntry>,
+}
+
+impl CodecRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-populated with the builtin primitive kinds.
+    pub fn with_builtins() -> Self {
+        let mut r = Self::new();
+        register_builtin_codecs(&mut r);
+        r
+    }
+
+    /// Registers `T`'s kind. Idempotent for the same type; panics when a
+    /// *different* type (by kind name) already owns the kind.
+    pub fn register<T: WireMessage>(&mut self) {
+        fn decode_to_payload<T: WireMessage>(body: &[u8]) -> Option<Payload> {
+            T::decode_body(body).map(Payload::message)
+        }
+        let entry = KindEntry {
+            name: T::KIND_NAME,
+            decode: decode_to_payload::<T>,
+        };
+        if let Some(prev) = self.entries.insert(T::KIND, entry) {
+            assert_eq!(
+                prev.name,
+                T::KIND_NAME,
+                "wire kind {:#06x} claimed by both {:?} and {:?}",
+                T::KIND,
+                prev.name,
+                T::KIND_NAME
+            );
+        }
+    }
+
+    /// Whether `kind` is registered.
+    pub fn contains(&self, kind: u16) -> bool {
+        self.entries.contains_key(&kind)
+    }
+
+    /// The registered name of `kind`, if any.
+    pub fn kind_name(&self, kind: u16) -> Option<&'static str> {
+        self.entries.get(&kind).map(|e| e.name)
+    }
+
+    /// All registered `(kind, name)` pairs, in kind order.
+    pub fn kinds(&self) -> impl Iterator<Item = (u16, &'static str)> + '_ {
+        self.entries.iter().map(|(&k, e)| (k, e.name))
+    }
+
+    /// Eagerly decodes a full frame through the registered decoder for
+    /// its declared kind. `None` for malformed headers, unknown kinds, or
+    /// bodies the decoder rejects. The returned payload is typed and is
+    /// guaranteed to be of the *declared* kind — a decoder never produces
+    /// a value of another kind.
+    pub fn decode_frame(&self, frame: &[u8]) -> Option<(u16, Payload)> {
+        let (kind, body) = parse_frame(frame)?;
+        let entry = self.entries.get(&kind)?;
+        Some((kind, (entry.decode)(body)?))
+    }
+}
+
+impl std::fmt::Debug for CodecRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map()
+            .entries(self.entries.iter().map(|(k, e)| (k, e.name)))
+            .finish()
+    }
+}
+
+/// Registers `aft-sim`'s own non-primitive kinds: the generic
+/// behaviours' junk payload and the super-party cluster envelope.
+pub fn register_sim_codecs(registry: &mut CodecRegistry) {
+    registry.register::<crate::behaviors::Garbage>();
+    registry.register::<crate::cluster::ClusterMsg>();
+}
+
+/// The process-global registry behind [`register_global`] /
+/// [`global_registry`].
+fn global() -> &'static RwLock<CodecRegistry> {
+    static GLOBAL: OnceLock<RwLock<CodecRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let mut registry = CodecRegistry::with_builtins();
+        register_sim_codecs(&mut registry);
+        RwLock::new(registry)
+    })
+}
+
+/// Adds kinds to the process-global registry (additive; registering the
+/// same type twice is a no-op). Protocol crates expose
+/// `register_codecs(&mut CodecRegistry)` functions; `aft-core` installs
+/// the whole workspace's kinds through this before wire runs.
+pub fn register_global(f: impl FnOnce(&mut CodecRegistry)) {
+    f(&mut global().write().expect("codec registry poisoned"));
+}
+
+/// A snapshot of the process-global registry (builtins and `aft-sim`'s
+/// own kinds always included). `runtime_by_name("wire", …)` hands this
+/// to the runtime it builds; kinds registered later are not visible to
+/// already-built runtimes.
+pub fn global_registry() -> Arc<CodecRegistry> {
+    Arc::new(global().read().expect("codec registry poisoned").clone())
+}
+
+/// Resolves one kind's name in the process-global registry without
+/// snapshotting it — the cheap per-message path for decoders that only
+/// need a diagnostic name.
+pub fn global_kind_name(kind: u16) -> Option<&'static str> {
+    global()
+        .read()
+        .expect("codec registry poisoned")
+        .kind_name(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_round_trips() {
+        fn rt<T: WireMessage + PartialEq + std::fmt::Debug>(v: T) {
+            let mut frame = Vec::new();
+            encode_frame(&v, &mut frame);
+            assert_eq!(decode_frame_as::<T>(&frame), Some(v), "{frame:?}");
+        }
+        rt(7u8);
+        rt(0xBEEFu16);
+        rt(0xDEAD_BEEFu32);
+        rt(u64::MAX);
+        rt(-5i64);
+        rt(42usize);
+        rt(true);
+        rt(false);
+        rt(());
+        rt("hello wörld".to_string());
+        rt(vec![1u8, 2, 3]);
+        rt(vec![0usize, 9, 1 << 40]);
+    }
+
+    #[test]
+    fn frames_reject_truncation_and_trailing_bytes() {
+        let mut frame = Vec::new();
+        encode_frame(&0xAABBCCDDu32, &mut frame);
+        for cut in 0..frame.len() {
+            assert_eq!(parse_frame(&frame[..cut]), None, "cut={cut}");
+        }
+        let mut long = frame.clone();
+        long.push(0);
+        assert_eq!(parse_frame(&long), None, "declared len must be exact");
+    }
+
+    #[test]
+    fn decode_frame_as_checks_the_kind() {
+        let mut frame = Vec::new();
+        encode_frame(&7u64, &mut frame);
+        assert_eq!(decode_frame_as::<u64>(&frame), Some(7));
+        // Same body length, different kind: rejected, not reinterpreted.
+        assert_eq!(decode_frame_as::<i64>(&frame), None);
+        assert_eq!(decode_frame_as::<u8>(&frame), None);
+    }
+
+    #[test]
+    fn strict_bool_rejects_junk() {
+        assert_eq!(bool::decode_body(&[2]), None);
+        assert_eq!(bool::decode_body(&[]), None);
+        assert_eq!(bool::decode_body(&[1, 0]), None);
+    }
+
+    #[test]
+    fn session_round_trip_is_pointer_equal() {
+        let sid = SessionId::root()
+            .child(SessionTag::new("wiresess", 3))
+            .child(SessionTag::new("sub", u64::MAX));
+        let mut buf = Vec::new();
+        put_session(&mut buf, &sid);
+        let mut r = WireReader::new(&buf);
+        let back = get_session(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, sid);
+        assert!(std::ptr::eq(back.path(), sid.path()), "re-interned");
+    }
+
+    #[test]
+    fn registry_names_and_eager_decode() {
+        let reg = CodecRegistry::with_builtins();
+        assert_eq!(reg.kind_name(u64::KIND), Some("u64"));
+        assert!(reg.kinds().count() >= 10);
+        let mut frame = Vec::new();
+        encode_frame(&31337u64, &mut frame);
+        let (kind, payload) = reg.decode_frame(&frame).unwrap();
+        assert_eq!(kind, u64::KIND);
+        assert_eq!(payload.to_msg::<u64>(), Some(31337));
+        // Unknown kind: None, not a panic.
+        frame[0] = 0xFF;
+        frame[1] = 0x7E;
+        assert!(reg.decode_frame(&frame).is_none());
+    }
+
+    #[test]
+    fn registry_register_is_idempotent() {
+        let mut reg = CodecRegistry::new();
+        reg.register::<u64>();
+        reg.register::<u64>();
+        assert_eq!(reg.kinds().count(), 1);
+    }
+
+    #[test]
+    fn global_registry_snapshot_includes_builtins() {
+        let snap = global_registry();
+        assert!(snap.contains(bool::KIND));
+    }
+
+    #[test]
+    fn acast_kind_sets_the_high_bit() {
+        assert_eq!(acast_kind(0x0020), 0x8020);
+        assert_ne!(acast_kind(u8::KIND), u8::KIND);
+    }
+
+    #[test]
+    fn reader_is_total_on_short_input() {
+        let mut r = WireReader::new(&[1, 2]);
+        assert_eq!(r.u64(), None);
+        assert_eq!(r.u16(), Some(0x0201));
+        assert_eq!(r.u8(), None);
+        assert!(r.finish().is_some());
+    }
+}

@@ -1,0 +1,390 @@
+//! The wire-serialized runtime: every envelope crosses a byte boundary.
+//!
+//! [`WireRuntime`] drives the same deterministic scheduling machinery as
+//! [`SimNetwork`](crate::SimNetwork), but parties exchange *bytes*, not
+//! values: each party owns an OS socket pair (a `UnixStream` loopback),
+//! and every envelope it emits is
+//!
+//! 1. **encoded** — sender, session path and the payload's
+//!    self-describing frame (`kind`, `len`, body) serialized
+//!    little-endian;
+//! 2. **written** to the party's socket and **read back** through the
+//!    kernel (the byte-stream seam a process-per-party deployment
+//!    crosses; instance state stays in-process so deployments remain
+//!    `Box<dyn Instance>`-generic);
+//! 3. **re-framed** from the stream (outer length prefix — stream
+//!    transports do not preserve message boundaries) and **decoded
+//!    lazily**: the receiver gets a [`Payload`] wire frame that only
+//!    becomes a typed message when an instance [`view`](Payload::view)s
+//!    it through its own kind-checked decoder.
+//!
+//! Because the schedule depends only on envelope *metadata* (never on
+//! payload representation), a wire run is bit-for-bit identical to the
+//! same seed's `sim` run whenever every Byzantine payload is well-formed
+//! — and when it is not (the `garbage`/`equivocate` behaviours emit
+//! genuinely malformed, truncated or kind-spoofed frames via
+//! [`WireMessage::raw_frame`](crate::wire::WireMessage::raw_frame)),
+//! honest decoders must reject the bytes without panicking, which the
+//! conformance suite checks. Byte-level activity is visible in
+//! [`Metrics`]: `wire_frames`, `wire_bytes`, `wire_malformed`.
+//!
+//! Build one with [`runtime_by_name`](crate::runtime_by_name)
+//! (`"wire"`, `"wire:<scheduler>"` — the process-global codec registry
+//! snapshot supplies kind names), or directly with
+//! [`WireRuntime::new`] for a custom per-run [`CodecRegistry`].
+
+use crate::ids::{PartyId, SessionId};
+use crate::instance::Instance;
+use crate::network::SimNetwork;
+use crate::node::Outgoing;
+use crate::payload::Payload;
+use crate::runtime::{Metrics, NetConfig, RunReport, Runtime};
+use crate::scheduler::Scheduler;
+use crate::wire::{get_session, parse_frame, put_session, CodecRegistry, WireReader, WireWriter};
+use std::sync::Arc;
+
+/// Envelopes larger than this bypass the kernel socket (they are framed
+/// and decoded identically, just not written through the OS) so a single
+/// oversized message cannot deadlock the synchronous
+/// write-all-then-read-back loopback. The cap must stay below the
+/// smallest default unix-socket buffer pair among supported platforms —
+/// macOS defaults to ~8 KiB per direction (Linux ~208 KiB), so 4 KiB
+/// leaves comfortable headroom everywhere.
+const SOCKET_MAX_ENVELOPE: usize = 4 * 1024;
+
+/// One party's byte transport: a connected OS socket pair on Unix, an
+/// in-memory loopback elsewhere.
+struct Pipe {
+    #[cfg(unix)]
+    tx: std::os::unix::net::UnixStream,
+    #[cfg(unix)]
+    rx: std::os::unix::net::UnixStream,
+    #[cfg(not(unix))]
+    buf: std::collections::VecDeque<u8>,
+}
+
+impl Pipe {
+    fn new() -> Pipe {
+        #[cfg(unix)]
+        {
+            let (tx, rx) = std::os::unix::net::UnixStream::pair()
+                .expect("wire runtime: socketpair unavailable");
+            Pipe { tx, rx }
+        }
+        #[cfg(not(unix))]
+        {
+            Pipe {
+                buf: std::collections::VecDeque::new(),
+            }
+        }
+    }
+
+    /// Writes `bytes` and reads them back through the transport.
+    fn round_trip(&mut self, bytes: &[u8], readback: &mut Vec<u8>) {
+        readback.clear();
+        #[cfg(unix)]
+        {
+            use std::io::{Read, Write};
+            self.tx
+                .write_all(bytes)
+                .expect("wire runtime: socket write failed");
+            readback.resize(bytes.len(), 0);
+            self.rx
+                .read_exact(readback)
+                .expect("wire runtime: socket read failed");
+        }
+        #[cfg(not(unix))]
+        {
+            self.buf.extend(bytes);
+            readback.extend(self.buf.drain(..));
+        }
+    }
+}
+
+/// The per-run byte boundary [`SimNetwork`] routes sends through when it
+/// runs in wire mode: per-party pipes, the codec registry for kind-name
+/// resolution, and reusable buffers.
+pub(crate) struct WireLink {
+    registry: Arc<CodecRegistry>,
+    pipes: Vec<Pipe>,
+    scratch: Vec<u8>,
+    readback: Vec<u8>,
+}
+
+impl WireLink {
+    pub(crate) fn new(n: usize, registry: Arc<CodecRegistry>) -> Self {
+        WireLink {
+            registry,
+            pipes: (0..n).map(|_| Pipe::new()).collect(),
+            scratch: Vec::new(),
+            readback: Vec::new(),
+        }
+    }
+
+    /// Serializes one outgoing envelope, round-trips the bytes through
+    /// the sender's socket, and reconstructs the envelope with a lazily
+    /// decoded wire payload. Malformed payload frames (the byte-level
+    /// adversary) survive as payloads no honest view will ever match —
+    /// counted, never panicking.
+    pub(crate) fn round_trip(
+        &mut self,
+        from: PartyId,
+        out: Outgoing,
+        metrics: &mut Metrics,
+    ) -> (PartyId, SessionId, Payload) {
+        self.scratch.clear();
+        // Outer transport frame: u32 length prefix (patched below), then
+        // the envelope: from, to, session, payload frame.
+        self.scratch.extend_from_slice(&[0; 4]);
+        WireWriter::u32(&mut self.scratch, from.0 as u32);
+        WireWriter::u32(&mut self.scratch, out.to.0 as u32);
+        put_session(&mut self.scratch, &out.session);
+        if !out.payload.encode_wire_frame(&mut self.scratch) {
+            // A payload without a wire identity (a plain `Payload::new`
+            // value leaking onto the network) cannot be serialized;
+            // emit an explicitly malformed frame so the receiver drops
+            // it observably instead of the runtime panicking.
+            debug_assert!(false, "non-wire payload sent on the wire runtime");
+            self.scratch.extend_from_slice(&u16::MAX.to_le_bytes());
+        }
+        let total = (self.scratch.len() - 4) as u32;
+        self.scratch[..4].copy_from_slice(&total.to_le_bytes());
+
+        if self.scratch.len() <= SOCKET_MAX_ENVELOPE {
+            let (pipe, scratch) = (&mut self.pipes[from.0], &self.scratch);
+            pipe.round_trip(scratch, &mut self.readback);
+        } else {
+            self.readback.clear();
+            self.readback.extend_from_slice(&self.scratch);
+        }
+        metrics.wire_bytes += self.readback.len() as u64;
+        metrics.wire_frames += 1;
+
+        // Re-frame from the stream: outer length first, then the
+        // envelope fields the transport wrote (always well-formed — only
+        // the payload frame region is adversary-controlled).
+        let mut r = WireReader::new(&self.readback);
+        let declared = r.u32().expect("wire transport lost the length prefix") as usize;
+        assert_eq!(
+            declared + 4,
+            self.readback.len(),
+            "wire transport desynchronized"
+        );
+        let decoded_from = PartyId(r.u32().expect("envelope sender") as usize);
+        debug_assert_eq!(decoded_from, from, "sender survives the round trip");
+        let to = PartyId(r.u32().expect("envelope receiver") as usize);
+        let session = get_session(&mut r).expect("envelope session");
+        let frame = r.rest();
+        if parse_frame(frame).is_none() {
+            metrics.wire_malformed += 1;
+        }
+        let payload = Payload::from_wire(frame.to_vec(), &self.registry);
+        (to, session, payload)
+    }
+}
+
+/// The wire-serialized execution backend — see the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use aft_sim::{Context, Instance, NetConfig, PartyId, Payload, RuntimeExt,
+///               SessionId, SessionTag, runtime_by_name};
+///
+/// struct Hello { heard: usize }
+/// impl Instance for Hello {
+///     fn on_start(&mut self, ctx: &mut Context<'_>) { ctx.send_all(1u8); }
+///     fn on_message(&mut self, _f: PartyId, p: &Payload, ctx: &mut Context<'_>) {
+///         if p.to_msg::<u8>() == Some(1) {
+///             self.heard += 1;
+///             if self.heard == ctx.n() { ctx.output(self.heard); }
+///         }
+///     }
+/// }
+///
+/// let sid = SessionId::root().child(SessionTag::new("hello-wire", 0));
+/// let mut rt = runtime_by_name("wire", NetConfig::new(4, 1, 7)).unwrap();
+/// for p in 0..4 {
+///     rt.spawn(PartyId(p), sid.clone(), Box::new(Hello { heard: 0 }));
+/// }
+/// let report = rt.run(1_000_000);
+/// assert_eq!(report.stop, aft_sim::StopReason::Quiescent);
+/// assert!(report.metrics.wire_frames > 0, "bytes actually moved");
+/// for p in 0..4 {
+///     assert_eq!(rt.output_as::<usize>(PartyId(p), &sid), Some(&4));
+/// }
+/// ```
+pub struct WireRuntime {
+    net: SimNetwork,
+}
+
+impl WireRuntime {
+    /// Creates a wire runtime with an explicit per-run codec registry
+    /// (use [`runtime_by_name`](crate::runtime_by_name) for the global
+    /// snapshot).
+    pub fn new(
+        config: NetConfig,
+        scheduler: Box<dyn Scheduler>,
+        registry: Arc<CodecRegistry>,
+    ) -> Self {
+        WireRuntime {
+            net: SimNetwork::with_codec(config, scheduler, registry),
+        }
+    }
+
+    /// The first output of `party` in `session`, if recorded.
+    pub fn output(&self, party: PartyId, session: &SessionId) -> Option<&Payload> {
+        self.net.output(party, session)
+    }
+
+    /// Run metrics so far (including the `wire_*` byte-level counters).
+    pub fn metrics(&self) -> &Metrics {
+        self.net.metrics()
+    }
+}
+
+impl Runtime for WireRuntime {
+    fn config(&self) -> &NetConfig {
+        self.net.config()
+    }
+
+    fn spawn(&mut self, party: PartyId, session: SessionId, instance: Box<dyn Instance>) {
+        self.net.spawn(party, session, instance);
+    }
+
+    fn crash(&mut self, party: PartyId) {
+        self.net.crash(party);
+    }
+
+    fn run(&mut self, max_steps: u64) -> RunReport {
+        self.net.run(max_steps)
+    }
+
+    fn output(&self, party: PartyId, session: &SessionId) -> Option<&Payload> {
+        self.net.output(party, session)
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.net.metrics().clone()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "wire"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SessionTag;
+    use crate::instance::Context;
+    use crate::runtime::{runtime_by_name, RuntimeExt, StopReason};
+    use crate::scheduler::RandomScheduler;
+
+    fn sid() -> SessionId {
+        SessionId::root().child(SessionTag::new("wirert", 0))
+    }
+
+    /// Counts pings; outputs after 3.
+    struct Pinger {
+        heard: usize,
+    }
+    impl Instance for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send_all(1u8);
+        }
+        fn on_message(&mut self, _f: PartyId, p: &Payload, ctx: &mut Context<'_>) {
+            if p.to_msg::<u8>().is_some() {
+                self.heard += 1;
+                if self.heard == 3 {
+                    ctx.output(self.heard);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wire_run_delivers_through_bytes() {
+        let mut rt = WireRuntime::new(
+            NetConfig::new(4, 1, 5),
+            Box::new(RandomScheduler),
+            Arc::new(CodecRegistry::with_builtins()),
+        );
+        for p in 0..4 {
+            rt.spawn(PartyId(p), sid(), Box::new(Pinger { heard: 0 }));
+        }
+        let report = rt.run(1_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        for p in 0..4 {
+            assert_eq!(rt.output_as::<usize>(PartyId(p), &sid()), Some(&3));
+        }
+        let m = rt.metrics();
+        assert_eq!(m.wire_frames, m.sent, "every envelope crossed the wire");
+        assert!(m.wire_bytes > 0);
+        assert_eq!(m.wire_malformed, 0, "honest frames are well-formed");
+        assert_eq!(m.sent, m.delivered + m.dropped_shunned + m.dropped_crashed);
+    }
+
+    #[test]
+    fn wire_matches_sim_bit_for_bit_on_honest_runs() {
+        // Same seed, same scheduler family: the byte boundary must not
+        // perturb the schedule or the outputs.
+        for seed in [1u64, 9, 42] {
+            let run = |name: &str| {
+                let mut rt = runtime_by_name(name, NetConfig::new(4, 1, seed)).unwrap();
+                for p in 0..4 {
+                    rt.spawn(PartyId(p), sid(), Box::new(Pinger { heard: 0 }));
+                }
+                let report = rt.run(1_000_000);
+                let outs: Vec<Option<usize>> = (0..4)
+                    .map(|p| rt.output_as::<usize>(PartyId(p), &sid()).copied())
+                    .collect();
+                (
+                    report.stop,
+                    report.metrics.sent,
+                    report.metrics.delivered,
+                    outs,
+                )
+            };
+            assert_eq!(run("sim"), run("wire"), "seed {seed}");
+            assert_eq!(run("sim:lifo"), run("wire:lifo"), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn crash_before_run_retracts_on_the_wire_backend() {
+        let mut rt = WireRuntime::new(
+            NetConfig::new(4, 1, 3),
+            Box::new(RandomScheduler),
+            Arc::new(CodecRegistry::with_builtins()),
+        );
+        for p in 0..4 {
+            rt.spawn(PartyId(p), sid(), Box::new(Pinger { heard: 0 }));
+        }
+        rt.crash(PartyId(3));
+        assert_eq!(rt.metrics().sent, 12, "P3's buffered sends retracted");
+        let report = rt.run(1_000_000);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        for p in 0..3 {
+            assert_eq!(rt.output_as::<usize>(PartyId(p), &sid()), Some(&3));
+        }
+    }
+
+    #[test]
+    fn unregistered_kinds_still_deliver_with_fallback_name() {
+        // An empty registry (no builtins): frames still round-trip and
+        // decode lazily by type; only the diagnostic name degrades.
+        let mut rt = WireRuntime::new(
+            NetConfig::new(4, 1, 5),
+            Box::new(RandomScheduler),
+            Arc::new(CodecRegistry::new()),
+        );
+        for p in 0..4 {
+            rt.spawn(PartyId(p), sid(), Box::new(Pinger { heard: 0 }));
+        }
+        rt.run(1_000_000);
+        for p in 0..4 {
+            assert_eq!(rt.output_as::<usize>(PartyId(p), &sid()), Some(&3));
+        }
+    }
+}

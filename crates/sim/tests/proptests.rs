@@ -21,7 +21,7 @@ impl Instance for PingPong {
     }
     fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
         self.received += 1;
-        if let Some(&v) = payload.downcast_ref::<u32>() {
+        if let Some(v) = payload.to_msg::<u32>() {
             if v > 0 {
                 ctx.send(from, v - 1);
             } else {
@@ -142,7 +142,7 @@ proptest! {
         impl Instance for Receiver {
             fn on_start(&mut self, _ctx: &mut Context<'_>) {}
             fn on_message(&mut self, _f: PartyId, p: &Payload, ctx: &mut Context<'_>) {
-                if let Some(&v) = p.downcast_ref::<u32>() {
+                if let Some(v) = p.to_msg::<u32>() {
                     ctx.output(v);
                 }
             }
@@ -286,6 +286,89 @@ mod scenario_props {
             prop_assert_eq!(matrix.cells().len(), specs.len() * seeds.len());
             for spec in specs {
                 prop_assert!(Scenario::parse(&spec).is_some(), "{}", spec);
+            }
+        }
+    }
+}
+
+mod codec_props {
+    use aft_sim::wire::{decode_frame_as, encode_frame, parse_frame, CodecRegistry, WireMessage};
+    use aft_sim::Payload;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    fn roundtrips<T: WireMessage + Clone + PartialEq + std::fmt::Debug>(v: &T) {
+        let mut frame = Vec::new();
+        encode_frame(v, &mut frame);
+        assert_eq!(decode_frame_as::<T>(&frame).as_ref(), Some(v));
+        // The payload path agrees with the raw frame path.
+        assert_eq!(Payload::message(v.clone()).to_msg::<T>().as_ref(), Some(v));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// encode ∘ decode = id for every builtin kind, on arbitrary
+        /// values, through both the frame API and the Payload small-box.
+        #[test]
+        fn builtin_kinds_round_trip(
+            a in any::<u64>(),
+            b in any::<u32>(),
+            c in any::<u8>(),
+            d in any::<bool>(),
+            s_bytes in vec(any::<u8>(), 0..24),
+            l in vec(any::<usize>(), 0..12),
+            raw in vec(any::<u8>(), 0..40),
+        ) {
+            roundtrips(&a);
+            roundtrips(&b);
+            roundtrips(&c);
+            roundtrips(&d);
+            roundtrips(&String::from_utf8_lossy(&s_bytes).into_owned());
+            roundtrips(&l);
+            roundtrips(&raw);
+        }
+
+        /// Decoder-fuzz: arbitrary bytes never panic anywhere in the
+        /// codec stack, and whatever decodes carries the frame's own
+        /// declared kind — never another one.
+        #[test]
+        fn arbitrary_bytes_never_panic_or_cross_kinds(bytes in vec(any::<u8>(), 0..64)) {
+            let registry = CodecRegistry::with_builtins();
+            if let Some((kind, payload)) = registry.decode_frame(&bytes) {
+                prop_assert_eq!(parse_frame(&bytes).unwrap().0, kind);
+                prop_assert_eq!(Some(payload.type_name()), registry.kind_name(kind));
+            }
+            // The lazy path is total too.
+            let lazy = Payload::from_wire(bytes.clone(), &registry);
+            let _ = lazy.to_msg::<u64>();
+            let _ = lazy.to_msg::<String>();
+            let _ = lazy.type_name();
+        }
+
+        /// Truncating or bit-flipping a valid frame never panics and
+        /// never produces a value under a kind the mutated header does
+        /// not declare.
+        #[test]
+        fn mutated_frames_stay_kind_honest(
+            v in any::<u64>(),
+            cut in 0usize..14,
+            flip_at in 0usize..14,
+            flip_bit in 0u8..8,
+        ) {
+            let mut frame = Vec::new();
+            encode_frame(&v, &mut frame);
+            // Truncation: parse always fails (declared len is exact).
+            let cut = cut.min(frame.len().saturating_sub(1));
+            prop_assert!(parse_frame(&frame[..cut]).is_none());
+            prop_assert!(decode_frame_as::<u64>(&frame[..cut]).is_none());
+            // Bit flip: decode may fail or yield a u64, but only when
+            // the (mutated) header still declares u64's kind.
+            let mut mutated = frame.clone();
+            let at = flip_at.min(mutated.len() - 1);
+            mutated[at] ^= 1 << flip_bit;
+            if decode_frame_as::<u64>(&mutated).is_some() {
+                prop_assert_eq!(parse_frame(&mutated).unwrap().0, <u64 as WireMessage>::KIND);
             }
         }
     }

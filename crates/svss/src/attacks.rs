@@ -198,16 +198,18 @@ impl Instance for WrongCross {
         // second, conflicting cross first. Since receivers keep the first
         // cross per peer, flood the victims with the corrupted value before
         // the inner handles the message.
-        if let Some(ShareMsg::Shares { row, col }) = payload.downcast_ref::<ShareMsg>() {
-            for &v in &self.victims {
-                let x = party_point(v);
-                ctx.send(
-                    v,
-                    ShareMsg::Cross {
-                        a: row.eval(x) + Fp::ONE,
-                        b: col.eval(x) + Fp::ONE,
-                    },
-                );
+        if let Some(msg) = payload.view::<ShareMsg>() {
+            if let ShareMsg::Shares { row, col } = &*msg {
+                for &v in &self.victims {
+                    let x = party_point(v);
+                    ctx.send(
+                        v,
+                        ShareMsg::Cross {
+                            a: row.eval(x) + Fp::ONE,
+                            b: col.eval(x) + Fp::ONE,
+                        },
+                    );
+                }
             }
         }
         self.inner.on_message(from, payload, ctx);

@@ -73,3 +73,11 @@ pub use clique::find_clique;
 pub use msgs::{party_point, RecMsg, ShareBundle, ShareMsg};
 pub use rec::SvssRec;
 pub use share::{SvssShare, CORE_TAG};
+
+/// Registers this crate's wire kinds: the share/rec message enums and
+/// the A-Cast wrapper carrying the dealer's core proposal.
+pub fn register_codecs(registry: &mut aft_sim::CodecRegistry) {
+    registry.register::<ShareMsg>();
+    registry.register::<RecMsg>();
+    registry.register::<aft_broadcast::AcastMsg<Vec<usize>>>();
+}

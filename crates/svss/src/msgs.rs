@@ -1,8 +1,31 @@
 //! Wire messages and shared types of the SVSS protocol.
 
 use aft_field::{Fp, Poly};
-use aft_sim::PartyId;
+use aft_sim::wire::{WireReader, WireWriter, KIND_SVSS_BASE};
+use aft_sim::{PartyId, WireMessage};
 use std::collections::HashMap;
+
+/// Appends a field element's canonical 8-byte form.
+fn put_fp(out: &mut Vec<u8>, v: Fp) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a canonical field element (non-canonical bytes are malformed).
+fn get_fp(r: &mut WireReader<'_>) -> Option<Fp> {
+    Fp::from_le_bytes(r.u64()?.to_le_bytes())
+}
+
+/// Appends a polynomial's canonical encoding.
+fn put_poly(out: &mut Vec<u8>, p: &Poly) {
+    p.encode_to(out);
+}
+
+/// Reads a canonical polynomial, advancing the reader past it.
+fn get_poly(r: &mut WireReader<'_>) -> Option<Poly> {
+    let (poly, used) = Poly::decode_from(r.peek_rest())?;
+    r.skip(used)?;
+    Some(poly)
+}
 
 /// The field point assigned to party `i`: `x_i = i + 1` (zero is reserved
 /// for the secret).
@@ -35,6 +58,50 @@ pub enum ShareMsg {
     Done,
 }
 
+impl WireMessage for ShareMsg {
+    const KIND: u16 = KIND_SVSS_BASE;
+    const KIND_NAME: &'static str = "svss-share-msg";
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            ShareMsg::Shares { row, col } => {
+                WireWriter::u8(out, 0);
+                put_poly(out, row);
+                put_poly(out, col);
+            }
+            ShareMsg::Cross { a, b } => {
+                WireWriter::u8(out, 1);
+                put_fp(out, *a);
+                put_fp(out, *b);
+            }
+            ShareMsg::Ok(p) => {
+                WireWriter::u8(out, 2);
+                WireWriter::u32(out, p.0 as u32);
+            }
+            ShareMsg::Done => WireWriter::u8(out, 3),
+        }
+    }
+
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        let mut r = WireReader::new(bytes);
+        let msg = match r.u8()? {
+            0 => ShareMsg::Shares {
+                row: get_poly(&mut r)?,
+                col: get_poly(&mut r)?,
+            },
+            1 => ShareMsg::Cross {
+                a: get_fp(&mut r)?,
+                b: get_fp(&mut r)?,
+            },
+            2 => ShareMsg::Ok(PartyId(r.u32()? as usize)),
+            3 => ShareMsg::Done,
+            _ => return None,
+        };
+        r.finish()?;
+        Some(msg)
+    }
+}
+
 /// Messages of the SVSS reconstruction phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecMsg {
@@ -49,6 +116,39 @@ pub enum RecMsg {
         /// Claimed column polynomial.
         col: Poly,
     },
+}
+
+impl WireMessage for RecMsg {
+    const KIND: u16 = KIND_SVSS_BASE + 1;
+    const KIND_NAME: &'static str = "svss-rec-msg";
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            RecMsg::Sigma(v) => {
+                WireWriter::u8(out, 0);
+                put_fp(out, *v);
+            }
+            RecMsg::Reveal { row, col } => {
+                WireWriter::u8(out, 1);
+                put_poly(out, row);
+                put_poly(out, col);
+            }
+        }
+    }
+
+    fn decode_body(bytes: &[u8]) -> Option<Self> {
+        let mut r = WireReader::new(bytes);
+        let msg = match r.u8()? {
+            0 => RecMsg::Sigma(get_fp(&mut r)?),
+            1 => RecMsg::Reveal {
+                row: get_poly(&mut r)?,
+                col: get_poly(&mut r)?,
+            },
+            _ => return None,
+        };
+        r.finish()?;
+        Some(msg)
+    }
 }
 
 /// A party's state after completing the share phase — the input to

@@ -125,11 +125,11 @@ impl Instance for SvssRec {
     }
 
     fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
-        let Some(msg) = payload.downcast_ref::<RecMsg>() else {
+        let Some(msg) = payload.view::<RecMsg>() else {
             return;
         };
         let t = ctx.t();
-        match msg {
+        match &*msg {
             RecMsg::Sigma(v) => {
                 if let Some(prev) = self.sigma_seen.get(&from) {
                     if prev != v {

@@ -207,11 +207,11 @@ impl Instance for SvssShare {
     }
 
     fn on_message(&mut self, from: PartyId, payload: &Payload, ctx: &mut Context<'_>) {
-        let Some(msg) = payload.downcast_ref::<ShareMsg>() else {
+        let Some(msg) = payload.view::<ShareMsg>() else {
             return;
         };
         let t = ctx.t();
-        match msg {
+        match &*msg {
             ShareMsg::Shares { row, col } => {
                 // Only the dealer's first share message, of valid degree.
                 if from != self.dealer || self.row.is_some() {

@@ -136,3 +136,79 @@ proptest! {
         }
     }
 }
+
+/// Codec laws for the SVSS wire messages, whose bodies carry field
+/// elements and polynomials: exact round trips, canonical-form
+/// rejection, totality on junk bytes.
+mod codec_props {
+    use aft_field::{Fp, Poly};
+    use aft_sim::wire::{decode_frame_as, encode_frame};
+    use aft_svss::{RecMsg, ShareMsg};
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    fn fp(raw: u64) -> Fp {
+        Fp::new(raw)
+    }
+
+    fn poly(raw: &[u64]) -> Poly {
+        Poly::from_coeffs(raw.iter().map(|&c| fp(c)).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn share_msgs_round_trip(
+            sel in 0u8..4,
+            a in any::<u64>(),
+            b in any::<u64>(),
+            row in vec(any::<u64>(), 1..6),
+            col in vec(any::<u64>(), 1..6),
+            peer in 0usize..16,
+        ) {
+            let msg = match sel {
+                0 => ShareMsg::Shares { row: poly(&row), col: poly(&col) },
+                1 => ShareMsg::Cross { a: fp(a), b: fp(b) },
+                2 => ShareMsg::Ok(aft_sim::PartyId(peer)),
+                _ => ShareMsg::Done,
+            };
+            let mut frame = Vec::new();
+            encode_frame(&msg, &mut frame);
+            prop_assert_eq!(decode_frame_as::<ShareMsg>(&frame), Some(msg));
+        }
+
+        #[test]
+        fn rec_msgs_round_trip(
+            sel in 0u8..2,
+            v in any::<u64>(),
+            row in vec(any::<u64>(), 1..6),
+            col in vec(any::<u64>(), 1..6),
+        ) {
+            let msg = match sel {
+                0 => RecMsg::Sigma(fp(v)),
+                _ => RecMsg::Reveal { row: poly(&row), col: poly(&col) },
+            };
+            let mut frame = Vec::new();
+            encode_frame(&msg, &mut frame);
+            prop_assert_eq!(decode_frame_as::<RecMsg>(&frame), Some(msg));
+        }
+
+        #[test]
+        fn svss_decoders_total_on_junk_and_truncation(
+            bytes in vec(any::<u8>(), 0..96),
+            row in vec(any::<u64>(), 1..5),
+            cut_frac in 0usize..100,
+        ) {
+            // Arbitrary junk never panics.
+            let _ = decode_frame_as::<ShareMsg>(&bytes);
+            let _ = decode_frame_as::<RecMsg>(&bytes);
+            // Truncating a real Shares frame is always rejected.
+            let msg = ShareMsg::Shares { row: poly(&row), col: poly(&row) };
+            let mut frame = Vec::new();
+            encode_frame(&msg, &mut frame);
+            let cut = cut_frac * (frame.len() - 1) / 100;
+            prop_assert_eq!(decode_frame_as::<ShareMsg>(&frame[..cut]), None);
+        }
+    }
+}

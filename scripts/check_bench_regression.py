@@ -36,10 +36,13 @@ import statistics
 import sys
 
 # The delivery hot path: end-to-end runs dominated by enqueue/pick/deliver
-# work, at millisecond scale (stable on shared runners).
+# work, at millisecond scale (stable on shared runners), plus the typed
+# wire codec round trip (tight-loop, low-variance, and every backend's
+# message path now goes through it).
 GUARDED_PREFIXES = (
     "acast/full_run",
     "ba/split_inputs",
+    "codec/encode_decode",
 )
 
 

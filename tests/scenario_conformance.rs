@@ -5,9 +5,11 @@
 //! A fixed [`ScenarioMatrix`] sweeps the BA and SVSS share→rec stacks
 //! across backends × schedulers × fault plans × seeds:
 //!
-//! * **backends** — `sim`, `sharded:1`, `sharded:4` (the deterministic
-//!   trio; the threaded backend is exercised separately below, since its
-//!   schedules are not reproducible);
+//! * **backends** — `sim`, `sharded:1`, `sharded:4`, `wire` (the
+//!   deterministic set — `wire` round-trips every envelope through the
+//!   byte codec and per-party OS sockets; the threaded backend is
+//!   exercised separately below, since its schedules are not
+//!   reproducible);
 //! * **schedulers** — every family in [`ALL_SCHEDULERS`], so a newly
 //!   registered scheduler automatically joins the matrix;
 //! * **fault plans** — each stack's [`StackKind::standard_plans`]:
@@ -20,14 +22,18 @@
 //! proxy for SVSS, output-set consistency for common subset, quiescence
 //! and message conservation everywhere) — the suite fails on the first
 //! violated cell. On top, the whole matrix must be *reproducible from
-//! `(seed, scenario string)` alone*: a second sweep has to reproduce every
-//! cell bit-for-bit, and on locality-scheduled cells the three
-//! deterministic backends must agree bit-for-bit with each other.
+//! `(seed, scenario string)` alone*: a second sweep has to reproduce
+//! every cell bit-for-bit; on locality-scheduled cells the in-memory
+//! deterministic backends must agree bit-for-bit with each other; and
+//! `wire` must agree bit-for-bit with `sim` on every plan whose
+//! Byzantine payloads are well-formed, while the byte-junk plans
+//! (`garbage`/`equivocate`) must be *rejected* by every honest decoder
+//! with zero panics and zero safety violations.
 
 use aft::core::scenarios::{run_cell, standard_registry, CellReport, StackKind};
 use aft::sim::{MatrixCell, Scenario, ScenarioMatrix, ALL_SCHEDULERS};
 
-const BACKENDS: &[&str] = &["sim", "sharded:1", "sharded:4"];
+const BACKENDS: &[&str] = &["sim", "sharded:1", "sharded:4", "wire"];
 const SEEDS: &[u64] = &[5, 6];
 const THREADS: usize = 8;
 
@@ -75,14 +81,25 @@ fn assert_no_violations(kind: StackKind, cells: &[MatrixCell<CellReport>]) {
     );
 }
 
-/// The matrix floor promised by the issue: ≥ 3 backends × ≥ 4 schedulers
-/// × ≥ 6 fault plans on both headline stacks.
+/// The matrix floor promised by the issue: ≥ 3 deterministic in-memory
+/// backends plus the wire-serialized backend, ≥ 4 schedulers, ≥ 6 fault
+/// plans on both headline stacks — and the wire rows run under every
+/// scheduler family with the silent/crash/garbage/equivocate plans
+/// included (they are in every stack's standard plan set).
 #[test]
 fn fixed_matrix_meets_the_floor() {
-    assert!(BACKENDS.len() >= 3);
+    assert!(BACKENDS.len() >= 4);
+    assert!(BACKENDS.contains(&"wire"), "wire cells are part of the net");
     assert!(scheduler_axis().len() >= 4);
     for kind in [StackKind::Ba, StackKind::SvssChain] {
         assert!(kind.standard_plans().len() >= 6, "{}", kind.label());
+        for fault in ["silent", "crash", "garbage", "equivocate"] {
+            assert!(
+                kind.standard_plans().iter().any(|p| p.contains(fault)),
+                "{}: plan set must cover {fault}",
+                kind.label()
+            );
+        }
     }
 }
 
@@ -233,6 +250,123 @@ fn adversarial_cells_invariant_under_shard_count_on_every_scheduler() {
                 }
             }
         }
+    }
+}
+
+/// Wire-backend differential: the byte boundary must not perturb the
+/// deterministic schedule. On every plan whose Byzantine payloads are
+/// *well-formed* (everything except the byte-junk `garbage`/`equivocate`
+/// faults, which legitimately change what receivers see), a wire cell is
+/// bit-identical to the `sim` cell of the same `(seed, scenario)` —
+/// outputs, per-kind metrics, sends, deliveries and steps.
+#[test]
+fn wire_cells_bit_identical_to_sim_on_well_formed_plans() {
+    let byte_junk = |plan: &str| plan.contains("garbage") || plan.contains("equivocate");
+    for (kind, seeds) in [
+        (StackKind::Ba, &[1u64, 5][..]),
+        (StackKind::SvssChain, &[3u64, 8][..]),
+        (StackKind::CommonSubset, &[9u64][..]),
+    ] {
+        for plan in kind.standard_plans().iter().filter(|p| !byte_junk(p)) {
+            let corrupt = if plan.is_empty() {
+                String::new()
+            } else {
+                format!(",corrupt={plan}")
+            };
+            for sched in ["random", "lifo", "starve:1"] {
+                let spec = format!("n=4,t=1{corrupt},sched={sched}");
+                for &seed in seeds {
+                    let reference = run_on(kind, &spec, "sim", seed);
+                    assert_eq!(
+                        run_on(kind, &spec, "wire", seed),
+                        reference,
+                        "{} {spec} rt=wire seed={seed}",
+                        kind.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Byte-fuzzed garbage on the wire backend: the `garbage` and
+/// `equivocate` plans emit genuinely malformed, truncated and
+/// kind-spoofed frames there. Every honest decoder must reject them —
+/// zero panics, zero safety violations (checked by `run_cell`'s
+/// invariants) — while the metrics prove the junk bytes actually
+/// happened and were observed; and the cells stay reproducible from
+/// `(seed, scenario string)`.
+#[test]
+fn wire_cells_survive_byte_fuzzed_garbage_frames() {
+    let registry = standard_registry();
+    for kind in StackKind::all() {
+        for plan in kind
+            .standard_plans()
+            .iter()
+            .filter(|p| p.contains("garbage") || p.contains("equivocate"))
+        {
+            for sched in ["random", "fifo", "block:8"] {
+                let spec = format!("n=4,t=1,corrupt={plan},sched={sched},rt=wire");
+                let scenario = Scenario::parse(&spec).unwrap();
+                for seed in [5u64, 6] {
+                    let report = run_cell(kind, &scenario, seed, &registry);
+                    assert!(
+                        report.violations.is_empty(),
+                        "{} {spec} seed={seed}: {:?}",
+                        kind.label(),
+                        report.violations
+                    );
+                    assert_eq!(
+                        report,
+                        run_cell(kind, &scenario, seed, &registry),
+                        "{} {spec} seed={seed}: wire cell must reproduce",
+                        kind.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The byte-level adversary is real, not simulated: a wire garbage run
+/// records malformed frames on the transport and decode misses at the
+/// honest receivers.
+#[test]
+fn wire_garbage_runs_record_malformed_frames_and_misses() {
+    use aft::sim::{runtime_by_name, GarbageInstance, NetConfig, PartyId, RuntimeExt};
+    let _ = standard_registry(); // installs the global codecs
+    let mut rt = runtime_by_name("wire", NetConfig::new(4, 1, 7)).unwrap();
+    let session = aft::sim::SessionId::root().child(aft::sim::SessionTag::new("fuzzed", 0));
+    for p in 0..3 {
+        rt.spawn(
+            PartyId(p),
+            session.clone(),
+            Box::new(aft::ba::BinaryBa::new(
+                true,
+                Box::new(aft::ba::OracleCoin::new(7)),
+            )),
+        );
+    }
+    rt.spawn(
+        PartyId(3),
+        session.clone(),
+        Box::new(GarbageInstance::new(64)),
+    );
+    rt.run_to_quiescence();
+    let m = rt.metrics();
+    assert!(m.wire_frames > 0, "bytes moved");
+    assert!(
+        m.wire_malformed > 0,
+        "malformed frames were injected: {m:?}"
+    );
+    let total_misses: u64 = m.decode_misses().map(|(_, c)| c).sum();
+    assert!(total_misses > 0, "honest decoders observed rejections");
+    for p in 0..3 {
+        assert_eq!(
+            rt.output_as::<bool>(PartyId(p), &session),
+            Some(&true),
+            "byte junk must not derail agreement"
+        );
     }
 }
 
