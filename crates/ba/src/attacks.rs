@@ -71,6 +71,7 @@ struct FakeDecide;
 impl aft_sim::WireMessage for FakeDecide {
     const KIND: u16 = aft_sim::wire::KIND_BA_BASE + 5;
     const KIND_NAME: &'static str = "ba-fake-decide";
+    const MAX_BODY_HINT: Option<usize> = Some(0);
     fn encode_body(&self, _out: &mut Vec<u8>) {}
     fn decode_body(bytes: &[u8]) -> Option<Self> {
         bytes.is_empty().then_some(FakeDecide)

@@ -26,6 +26,7 @@ macro_rules! bool_vote_wire {
         impl WireMessage for $ty {
             const KIND: u16 = $kind;
             const KIND_NAME: &'static str = $name;
+            const MAX_BODY_HINT: Option<usize> = Some(1);
             fn encode_body(&self, out: &mut Vec<u8>) {
                 WireWriter::bool(out, self.0);
             }
@@ -51,6 +52,7 @@ pub(crate) fn register_private_codecs(registry: &mut aft_sim::CodecRegistry) {
 impl WireMessage for V3 {
     const KIND: u16 = KIND_BA_BASE + 2;
     const KIND_NAME: &'static str = "ba-v3";
+    const MAX_BODY_HINT: Option<usize> = Some(1);
     fn encode_body(&self, out: &mut Vec<u8>) {
         WireWriter::u8(
             out,

@@ -183,6 +183,31 @@ fn bench_ba_sweep_n64(c: &mut Criterion) {
     }
 }
 
+/// The n = 256 stretch row: one unanimous-input BA execution at
+/// `(n, t) = (256, 85)` per iteration, on both deterministic backends.
+/// Sampled shallow (each iteration is a full four-figure-party BA run)
+/// and non-gating in CI — its job is to prove the pipeline completes at
+/// this scale and to track the trend, not to gate on noise.
+fn bench_ba_sweep_n256(c: &mut Criterion) {
+    let (n, t) = (256usize, 85usize);
+    for backend in ["sim", "sharded:4"] {
+        let label = backend.replace(':', "");
+        c.bench_with_input_samples(BenchmarkId::new("ba_sweep_n256", label), &n, 3, |b, _| {
+            b.iter(|| {
+                let mut rt = runtime_by_name(backend, NetConfig::new(n, t, 7)).unwrap();
+                for p in 0..n {
+                    rt.spawn(
+                        PartyId(p),
+                        sid(),
+                        Box::new(BinaryBa::new(true, Box::new(OracleCoin::new(7)))),
+                    );
+                }
+                rt.run(u64::MAX)
+            })
+        });
+    }
+}
+
 /// The in-flight queue in isolation: bursts of same-destination pushes
 /// (which merge into batches), random scheduler picks over the batch
 /// view, and full drains — the enqueue/pick/drain cycle every simulated
@@ -318,7 +343,7 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_acast, bench_svss, bench_ba, bench_common_subset,
               bench_coin_flip, bench_fair_choice, bench_fba,
-              bench_ba_sweep_n64, bench_delivery_queue, bench_codec,
-              bench_session_id
+              bench_ba_sweep_n64, bench_ba_sweep_n256, bench_delivery_queue,
+              bench_codec, bench_session_id
 }
 criterion_main!(benches);

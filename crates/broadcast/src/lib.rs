@@ -45,7 +45,6 @@
 
 use aft_sim::wire::{acast_kind, CodecRegistry, WireReader, WireWriter};
 use aft_sim::{Context, Instance, PartyId, Payload, WireMessage};
-use std::collections::{HashMap, HashSet};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -75,6 +74,14 @@ impl<V: Value> WireMessage for AcastMsg<V> {
         acast_kind(V::KIND)
     };
     const KIND_NAME: &'static str = "acast";
+
+    /// One tag byte on top of the carried value's bound, when it has one
+    /// — so wrapped small votes keep their static inline/probe-free
+    /// classification.
+    const MAX_BODY_HINT: Option<usize> = match V::MAX_BODY_HINT {
+        Some(max) => Some(max + 1),
+        None => None,
+    };
 
     fn encode_body(&self, out: &mut Vec<u8>) {
         let (tag, v) = match self {
@@ -110,6 +117,64 @@ pub fn register_codecs(registry: &mut CodecRegistry) {
     registry.register::<AcastMsg<Vec<usize>>>();
 }
 
+/// Which parties voted for one value: a bitset over party ids plus a
+/// popcount, lazily sized from the highest id seen.
+#[derive(Default)]
+struct PartySet {
+    words: Vec<u64>,
+    count: u32,
+}
+
+impl PartySet {
+    /// Inserts `p`; returns the new count, or `None` if already present.
+    fn insert(&mut self, p: PartyId) -> Option<u32> {
+        let (word, bit) = (p.0 / 64, p.0 % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        if self.words[word] & mask != 0 {
+            return None;
+        }
+        self.words[word] |= mask;
+        self.count += 1;
+        Some(self.count)
+    }
+}
+
+/// Per-value vote tally. Honest executions see one distinct value (an
+/// equivocating sender at most a handful), so a linear scan over the
+/// entries beats hashing every message — and the [`PartySet`] bitsets
+/// never rehash, where a per-value `HashSet<PartyId>` grows (and
+/// reallocates) `O(log n)` times on its way to `n` voters. A-Cast
+/// tallies are the delivery hot path of every protocol built on
+/// broadcast, so this is where the per-message constant matters.
+struct Tally<V> {
+    entries: Vec<(V, PartySet)>,
+}
+
+impl<V: Value> Tally<V> {
+    fn new() -> Self {
+        Tally {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records `from`'s vote for `v`; returns the value's new vote count,
+    /// or `None` for a duplicate (vote changes count per value — A-Cast
+    /// quorums are per-value, equivocators only split their weight).
+    fn record(&mut self, v: &V, from: PartyId) -> Option<u32> {
+        let entry = match self.entries.iter_mut().find(|(ev, _)| ev == v) {
+            Some((_, set)) => set,
+            None => {
+                self.entries.push((v.clone(), PartySet::default()));
+                &mut self.entries.last_mut().expect("just pushed").1
+            }
+        };
+        entry.insert(from)
+    }
+}
+
 /// One party's A-Cast instance (honest behaviour).
 ///
 /// Construct with [`Acast::sender`] for the designated sender or
@@ -122,8 +187,8 @@ pub struct Acast<V> {
     echoed: bool,
     readied: bool,
     delivered: bool,
-    echoes: HashMap<V, HashSet<PartyId>>,
-    readies: HashMap<V, HashSet<PartyId>>,
+    echoes: Tally<V>,
+    readies: Tally<V>,
 }
 
 impl<V: Value> Acast<V> {
@@ -135,8 +200,8 @@ impl<V: Value> Acast<V> {
             echoed: false,
             readied: false,
             delivered: false,
-            echoes: HashMap::new(),
-            readies: HashMap::new(),
+            echoes: Tally::new(),
+            readies: Tally::new(),
         }
     }
 
@@ -148,8 +213,8 @@ impl<V: Value> Acast<V> {
             echoed: false,
             readied: false,
             delivered: false,
-            echoes: HashMap::new(),
-            readies: HashMap::new(),
+            echoes: Tally::new(),
+            readies: Tally::new(),
         }
     }
 
@@ -184,16 +249,16 @@ impl<V: Value> Instance for Acast<V> {
                 }
             }
             AcastMsg::Echo(v) => {
-                let set = self.echoes.entry(v.clone()).or_default();
-                if set.insert(from) && set.len() >= n - t {
-                    let v = v.clone();
-                    self.maybe_ready(&v, ctx);
+                if let Some(count) = self.echoes.record(v, from) {
+                    if count as usize >= n - t {
+                        let v = v.clone();
+                        self.maybe_ready(&v, ctx);
+                    }
                 }
             }
             AcastMsg::Ready(v) => {
-                let set = self.readies.entry(v.clone()).or_default();
-                if set.insert(from) {
-                    let count = set.len();
+                if let Some(count) = self.readies.record(v, from) {
+                    let count = count as usize;
                     let v = v.clone();
                     if count > t {
                         self.maybe_ready(&v, ctx);

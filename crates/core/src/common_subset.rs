@@ -147,6 +147,7 @@ pub struct PredicateMsg;
 impl aft_sim::WireMessage for PredicateMsg {
     const KIND: u16 = aft_sim::wire::KIND_CORE_BASE;
     const KIND_NAME: &'static str = "cs-predicate";
+    const MAX_BODY_HINT: Option<usize> = Some(0);
     fn encode_body(&self, _out: &mut Vec<u8>) {}
     fn decode_body(bytes: &[u8]) -> Option<Self> {
         bytes.is_empty().then_some(PredicateMsg)

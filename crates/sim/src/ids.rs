@@ -116,6 +116,10 @@ struct Interned {
     parent: Option<&'static Interned>,
     /// Dense arena index, assigned in interning order (root = 0).
     index: u32,
+    /// The path's final tag, mirrored inline (`None` at the root): the
+    /// leaf kind is read per enqueued envelope (batch metadata, per-kind
+    /// metrics), and the mirror saves the `path` slice indirection.
+    leaf: Option<SessionTag>,
 }
 
 /// Next dense arena index to hand out (0 is reserved for the root).
@@ -158,7 +162,10 @@ type EdgeMap =
 /// child — the session-spawn hot path.
 fn children() -> &'static RwLock<EdgeMap> {
     static CHILDREN: OnceLock<RwLock<EdgeMap>> = OnceLock::new();
-    CHILDREN.get_or_init(|| RwLock::new(EdgeMap::default()))
+    // Pre-sized so large deployments (n=256 interns thousands of per-party
+    // child sessions) never rehash the table under the write lock.
+    CHILDREN
+        .get_or_init(|| RwLock::new(EdgeMap::with_capacity_and_hasher(4096, Default::default())))
 }
 
 /// The canonical root trie node.
@@ -169,6 +176,7 @@ fn root_interned() -> &'static Interned {
             path: &[],
             parent: None,
             index: 0,
+            leaf: None,
         }))
     })
 }
@@ -241,6 +249,7 @@ impl SessionId {
             path: Box::leak(path.into_boxed_slice()),
             parent: Some(self.0),
             index: NEXT_INDEX.fetch_add(1, Ordering::Relaxed),
+            leaf: Some(tag),
         }));
         table.insert(key, interned);
         SessionId(interned)
@@ -254,7 +263,7 @@ impl SessionId {
 
     /// The final tag on the path, or `None` at the root.
     pub fn last(&self) -> Option<&SessionTag> {
-        self.0.path.last()
+        self.0.leaf.as_ref()
     }
 
     /// The tag path.

@@ -75,7 +75,7 @@ pub use instance::{Context, Instance};
 pub use montecarlo::{run_trials, Bernoulli};
 pub use network::{Envelope, SimNetwork};
 pub use node::{Node, Outgoing, ShunRegistry};
-pub use payload::{MsgView, Payload};
+pub use payload::{FrameBytes, MsgView, Payload};
 pub use queue::{BatchSlot, MsgMeta, Pending};
 pub use runtime::{
     runtime_by_name, Metrics, NetConfig, RunReport, Runtime, RuntimeExt, StopReason,

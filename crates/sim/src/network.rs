@@ -321,11 +321,33 @@ impl SimNetwork {
     }
 
     fn report(&self, stop: StopReason) -> RunReport {
+        let metrics = self.metrics_snapshot();
         RunReport {
             stop,
-            steps: self.metrics.steps,
-            metrics: self.metrics.clone(),
+            steps: metrics.steps,
+            metrics,
         }
+    }
+
+    /// Metrics snapshot folding in the in-flight queue's buffer-pool
+    /// counters (the queue recycles its batch deques internally and
+    /// reports reuse through the same `pool_*` metrics as the wire
+    /// link). The borrowed [`metrics`](SimNetwork::metrics) accessor
+    /// exposes the raw counters without that fold.
+    fn metrics_snapshot(&self) -> Metrics {
+        let mut m = self.metrics.clone();
+        let (reused, allocated) = self.pending.pool_stats();
+        m.pool_reused += reused;
+        m.pool_alloc += allocated;
+        m
+    }
+
+    /// Releases all of `party`'s local state for a completed `session`
+    /// (output, early buffer, arena slot) — see
+    /// [`Runtime::retire_session`]. Returns `true` when a slot was
+    /// freed.
+    pub fn retire_session(&mut self, party: PartyId, session: &SessionId) -> bool {
+        self.nodes[party.0].retire_session(session)
     }
 
     /// Counts and enqueues one dispatch's outgoing envelopes, grouped by
@@ -342,24 +364,61 @@ impl SimNetwork {
         for o in out.iter() {
             self.metrics.on_sent(&o.session);
         }
-        out.sort_by_key(|o| o.to.0);
-        for o in out.drain(..) {
-            let (to, session, payload) = match &mut self.codec {
-                // Wire mode: the envelope crosses the byte boundary
-                // before it is ever scheduled — what the receiver will
-                // see is exactly what the bytes said.
-                Some(link) => link.round_trip(from, o, &mut self.metrics),
-                None => (o.to, o.session, o.payload),
-            };
-            self.pending.push(Envelope {
-                from,
-                to,
-                session,
-                payload,
-                seq: self.seq,
-                born_step: self.metrics.steps,
-            });
-            self.seq += 1;
+        // Multi-sends already emit in ascending destination order; the
+        // scan skips the stable sort (and its temp allocation) then.
+        if !out.is_sorted_by_key(|o| o.to.0) {
+            out.sort_by_key(|o| o.to.0);
+        }
+        let SimNetwork {
+            codec,
+            pending,
+            metrics,
+            seq,
+            ..
+        } = self;
+        let born_step = metrics.steps;
+        match codec {
+            // Wire mode: each same-destination run crosses the byte
+            // boundary as one framed batch before it is ever scheduled —
+            // what the receiver will see is exactly what the bytes said.
+            Some(link) => {
+                let mut start = 0;
+                while start < out.len() {
+                    let to = out[start].to;
+                    let end = start + out[start..].iter().take_while(|o| o.to == to).count();
+                    link.round_trip_run(
+                        from,
+                        &out[start..end],
+                        &mut *metrics,
+                        |to, session, payload| {
+                            pending.push(Envelope {
+                                from,
+                                to,
+                                session,
+                                payload,
+                                seq: *seq,
+                                born_step,
+                            });
+                            *seq += 1;
+                        },
+                    );
+                    start = end;
+                }
+                out.clear();
+            }
+            None => {
+                for o in out.drain(..) {
+                    pending.push(Envelope {
+                        from,
+                        to: o.to,
+                        session: o.session,
+                        payload: o.payload,
+                        seq: *seq,
+                        born_step,
+                    });
+                    *seq += 1;
+                }
+            }
         }
     }
 
@@ -371,9 +430,9 @@ impl SimNetwork {
         }
         let now = self.metrics.steps;
         let max_age = self.config.scheduler.max_age;
-        // Index 0 is the oldest pending batch (arrival order); its meta
-        // carries the age of its oldest envelope.
-        let idx = if now.saturating_sub(self.pending.meta(0).born_step) > max_age {
+        // The queue mirrors the oldest batch's birth step inline, so the
+        // per-pick age check costs a field read, not a slab access.
+        let idx = if now.saturating_sub(self.pending.head_born_step()) > max_age {
             0
         } else {
             let i = self.scheduler.pick(&self.pending, &mut self.sched_rng);
@@ -381,7 +440,7 @@ impl SimNetwork {
             i.min(self.pending.len() - 1)
         };
         let slot = self.pending.slot_of(idx);
-        let run = self.pending.meta_of_slot(slot).count as u64;
+        let run = self.pending.run_len_of_slot(slot) as u64;
         Some((slot, run))
     }
 }
@@ -408,7 +467,11 @@ impl Runtime for SimNetwork {
     }
 
     fn metrics(&self) -> Metrics {
-        self.metrics.clone()
+        self.metrics_snapshot()
+    }
+
+    fn retire_session(&mut self, party: PartyId, session: &SessionId) -> bool {
+        SimNetwork::retire_session(self, party, session)
     }
 
     fn backend_name(&self) -> &'static str {

@@ -117,12 +117,12 @@ struct SessionSlot {
 }
 
 impl SessionSlot {
-    fn new(session: SessionId) -> Self {
+    fn new(session: SessionId, early: Vec<(PartyId, Payload)>) -> Self {
         SessionSlot {
             session,
             instance: None,
             spawned: false,
-            early: Vec::new(),
+            early,
             output: None,
         }
     }
@@ -150,6 +150,9 @@ pub struct Node {
     work: VecDeque<Work>,
     /// Reusable effect buffer handed to instance callbacks.
     effects_pool: Vec<Effect>,
+    /// Recycled early-message buffer from the most recently retired
+    /// session, handed to the next freshly created slot.
+    early_pool: Vec<(PartyId, Payload)>,
 }
 
 impl Node {
@@ -168,6 +171,7 @@ impl Node {
             shun_events: 0,
             work: VecDeque::new(),
             effects_pool: Vec::new(),
+            early_pool: Vec::new(),
         }
     }
 
@@ -194,7 +198,40 @@ impl Node {
             self.slots.resize_with(page + 1, || None);
         }
         let cells = self.slots[page].get_or_insert_with(|| Box::new(std::array::from_fn(|_| None)));
-        cells[offset].get_or_insert_with(|| SessionSlot::new(session.clone()))
+        cells[offset].get_or_insert_with(|| {
+            SessionSlot::new(session.clone(), std::mem::take(&mut self.early_pool))
+        })
+    }
+
+    /// Retires `session`'s arena cell: drops its instance, output, and
+    /// early buffer, recycling the early buffer's allocation and freeing
+    /// the whole page once every cell on it is retired. Returns `true`
+    /// if the session had a slot to free.
+    ///
+    /// Retiring *forgets* the session: its output becomes unreadable and
+    /// a later spawn at the same id starts fresh — callers retire only
+    /// after consuming the session's result.
+    pub fn retire_session(&mut self, session: &SessionId) -> bool {
+        let idx = session.arena_index();
+        let (page, offset) = (idx / ARENA_PAGE, idx % ARENA_PAGE);
+        let Some(Some(cells)) = self.slots.get_mut(page) else {
+            return false;
+        };
+        let Some(slot) = cells[offset].take() else {
+            return false;
+        };
+        if slot.spawned {
+            self.instances -= 1;
+        }
+        let mut early = slot.early;
+        if early.capacity() > self.early_pool.capacity() {
+            early.clear();
+            self.early_pool = early;
+        }
+        if cells.iter().all(|c| c.is_none()) {
+            self.slots[page] = None;
+        }
+        true
     }
 
     /// The arena cell for `session`, if it was ever touched.
@@ -280,8 +317,11 @@ impl Node {
     fn run_loop(&mut self, first: Work, out: &mut Vec<Outgoing>) {
         debug_assert!(self.work.is_empty(), "work queue must drain fully");
         let mut queue = std::mem::take(&mut self.work);
-        queue.push_back(first);
-        while let Some(work) = queue.pop_front() {
+        // The first item executes directly — the queue only ever holds
+        // follow-up work (early-message replays, child starts, output
+        // routing), so the common single-item delivery never touches it.
+        let mut next = Some(first);
+        while let Some(work) = next.take().or_else(|| queue.pop_front()) {
             let mut effects = match work {
                 Work::Start(session) => {
                     let slot = self.slot_mut(&session);
@@ -303,6 +343,7 @@ impl Node {
                     effects
                 }
                 Work::Msg(session, from, payload) => {
+                    let idx = session.arena_index();
                     let slot = self.slot_mut(&session);
                     let Some(mut inst) = slot.instance.take() else {
                         slot.early.push((from, payload));
@@ -314,7 +355,15 @@ impl Node {
                     inst.on_message(from, &payload, &mut ctx);
                     let effects = std::mem::take(&mut ctx.effects);
                     drop(ctx);
-                    self.slot_mut(&session).instance = Some(inst);
+                    // Put the instance back by the index resolved above:
+                    // the slot cannot move or vanish while it is borrowed
+                    // out (retire/spawn only happen between dispatches).
+                    self.slots[idx / ARENA_PAGE]
+                        .as_mut()
+                        .expect("slot accessed above")[idx % ARENA_PAGE]
+                        .as_mut()
+                        .expect("slot accessed above")
+                        .instance = Some(inst);
                     effects
                 }
                 Work::ChildOutput(session, tag, value) => {
@@ -508,6 +557,37 @@ mod tests {
             n.output(&child_sid).unwrap().downcast_ref::<u32>(),
             Some(&7)
         );
+    }
+
+    #[test]
+    fn retire_session_frees_the_slot_and_page() {
+        let mut n = node(1);
+        n.spawn(sid("x"), Box::new(Doubler));
+        assert_eq!(n.instance_count(), 1);
+        assert!(n.retire_session(&sid("x")));
+        assert_eq!(n.instance_count(), 0);
+        assert!(n.output(&sid("x")).is_none(), "retire forgets the output");
+        assert!(!n.retire_session(&sid("x")), "second retire is a no-op");
+        // The whole page is reclaimed once its last cell is retired.
+        assert!(n.slots.iter().all(|p| p.is_none()));
+        // A later spawn at the same id starts fresh.
+        assert_eq!(n.spawn(sid("x"), Box::new(Doubler)).len(), 1);
+        assert_eq!(n.instance_count(), 1);
+    }
+
+    #[test]
+    fn retire_recycles_the_early_buffer() {
+        let mut n = node(1);
+        let mut out = Vec::new();
+        // Buffer early messages for a session that never spawns …
+        for s in 0..8 {
+            n.deliver(PartyId(2), sid("x"), Payload::new(s as u32), &mut out);
+        }
+        assert!(n.retire_session(&sid("x")));
+        // … and the next fresh slot inherits the allocation.
+        n.deliver(PartyId(2), sid("y"), Payload::new(0u32), &mut out);
+        let slot = n.slot(&sid("y")).unwrap();
+        assert!(slot.early.capacity() >= 8, "early buffer was recycled");
     }
 
     #[test]

@@ -11,13 +11,14 @@
 //!   message on the send path, and cloning is a 30-byte copy. Most
 //!   protocol control messages (votes, acks, gather sets) take this
 //!   path.
-//! * **Wire** — a received byte frame, shared behind an `Arc<[u8]>` and
-//!   decoded *lazily*: [`Payload::view`] decodes through the expected
-//!   type's own decoder, so a malformed or kind-spoofed frame simply
-//!   fails to view — exactly like an in-memory type-confused value fails
-//!   to downcast. The wire-serialized runtime builds these from the
-//!   bytes it reads off its sockets, resolving the kind's diagnostic
-//!   name through its per-run [`CodecRegistry`].
+//! * **Wire** — a received byte frame, held as a [`FrameBytes`] range of
+//!   a shared (possibly pooled) read buffer and decoded *lazily*:
+//!   [`Payload::view`] decodes through the expected type's own decoder,
+//!   so a malformed or kind-spoofed frame simply fails to view — exactly
+//!   like an in-memory type-confused value fails to downcast. The
+//!   wire-serialized runtime slices these straight out of its per-party
+//!   socket read buffers (no per-frame copy), resolving the kind's
+//!   diagnostic name through its per-run [`CodecRegistry`].
 //!
 //! Honest receivers read messages with [`Payload::view`] /
 //! [`Payload::to_msg`], which work uniformly across all three
@@ -50,6 +51,68 @@ const MALFORMED_WIRE_FRAME: &str = "wire:malformed";
 /// views compare against `T::KIND` after re-parsing the frame).
 const MALFORMED_KIND: u16 = u16::MAX;
 
+/// A received wire frame: a byte range of a shared read buffer.
+///
+/// The wire transport reads a whole envelope batch into one contiguous
+/// buffer and hands each payload its frame as a range of that buffer —
+/// no per-frame `Vec`. Cloning bumps the `Arc`; the buffer returns to
+/// the transport's pool once every frame sliced from it is dropped.
+#[derive(Clone)]
+pub struct FrameBytes {
+    buf: Arc<Vec<u8>>,
+    start: u32,
+    end: u32,
+}
+
+impl FrameBytes {
+    /// Slices `buf[start..end]` as a frame. The range must be in bounds.
+    pub(crate) fn from_shared(buf: &Arc<Vec<u8>>, start: usize, end: usize) -> Self {
+        debug_assert!(start <= end && end <= buf.len());
+        FrameBytes {
+            buf: Arc::clone(buf),
+            start: start as u32,
+            end: end as u32,
+        }
+    }
+
+    /// The frame's bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start as usize..self.end as usize]
+    }
+}
+
+impl From<Vec<u8>> for FrameBytes {
+    /// Wraps an owned frame (the whole vector) — the path for frames
+    /// that were not sliced out of a transport read buffer.
+    fn from(frame: Vec<u8>) -> Self {
+        let end = frame.len() as u32;
+        FrameBytes {
+            buf: Arc::new(frame),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for FrameBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for FrameBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for FrameBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FrameBytes({} bytes)", self.as_slice().len())
+    }
+}
+
 enum Repr {
     Typed {
         value: Arc<dyn Any + Send + Sync>,
@@ -64,7 +127,7 @@ enum Repr {
         buf: [u8; INLINE_FRAME_CAP],
     },
     Wire {
-        frame: Arc<[u8]>,
+        frame: FrameBytes,
         kind: u16,
         name: &'static str,
     },
@@ -203,12 +266,35 @@ impl Payload {
     /// adversarial [`raw_frame`](WireMessage::raw_frame) stay typed so
     /// in-memory backends observe the same junk *values* the wire
     /// backend turns into junk *bytes*.
+    ///
+    /// Types advertising a [`MAX_BODY_HINT`](WireMessage::MAX_BODY_HINT)
+    /// pick their representation at compile time: a bound within the
+    /// inline cap guarantees the inline arm (the typed fallback is
+    /// statically dead), and a bound above it skips the (always wasted)
+    /// probe encode.
     pub fn message<T: WireMessage>(value: T) -> Self {
-        if value.raw_frame().is_none() {
+        // Both predicates are const-foldable: for hinted types exactly
+        // one of the branches below survives monomorphization.
+        let hinted_inline = matches!(T::MAX_BODY_HINT, Some(max) if max <= INLINE_BODY_CAP);
+        let hinted_large = matches!(T::MAX_BODY_HINT, Some(max) if max > INLINE_BODY_CAP);
+        if !hinted_large && value.raw_frame().is_none() {
             let inline = ENCODE_SCRATCH.with(|scratch| {
                 let mut scratch = scratch.borrow_mut();
                 scratch.clear();
                 crate::wire::encode_frame(&value, &mut scratch);
+                if hinted_inline {
+                    debug_assert!(
+                        scratch.len() <= INLINE_FRAME_CAP,
+                        "{}::MAX_BODY_HINT understates its encoding ({} frame bytes)",
+                        T::KIND_NAME,
+                        scratch.len(),
+                    );
+                }
+                // The cap comparison stays even when the hint proves it
+                // always true: the branch hands the optimizer the length
+                // bound that keeps the copy below a few fixed moves
+                // (folding it away regressed this path ~30% by forcing
+                // an unbounded memcpy call).
                 if scratch.len() <= INLINE_FRAME_CAP {
                     let mut buf = [0u8; INLINE_FRAME_CAP];
                     buf[..scratch.len()].copy_from_slice(&scratch);
@@ -236,22 +322,22 @@ impl Payload {
     /// `registry` for diagnostics. Decoding happens lazily in
     /// [`view`](Payload::view); malformed headers yield a payload no view
     /// ever matches.
-    pub fn from_wire(frame: impl Into<Arc<[u8]>>, registry: &CodecRegistry) -> Self {
+    pub fn from_wire(frame: impl Into<FrameBytes>, registry: &CodecRegistry) -> Self {
         Self::from_wire_named(frame, |kind| registry.kind_name(kind))
     }
 
     /// [`from_wire`](Payload::from_wire) resolving the kind name in the
     /// process-global registry (one lock read, no snapshot) — the cheap
     /// path for nested decoders like the cluster envelope.
-    pub fn from_wire_global(frame: impl Into<Arc<[u8]>>) -> Self {
+    pub fn from_wire_global(frame: impl Into<FrameBytes>) -> Self {
         Self::from_wire_named(frame, crate::wire::global_kind_name)
     }
 
-    fn from_wire_named(
-        frame: impl Into<Arc<[u8]>>,
+    pub(crate) fn from_wire_named(
+        frame: impl Into<FrameBytes>,
         resolve: impl FnOnce(u16) -> Option<&'static str>,
     ) -> Self {
-        let frame: Arc<[u8]> = frame.into();
+        let frame: FrameBytes = frame.into();
         let (kind, name) = match parse_frame(&frame) {
             Some((kind, _)) => (kind, resolve(kind).unwrap_or(UNKNOWN_WIRE_KIND)),
             None => (MALFORMED_KIND, MALFORMED_WIRE_FRAME),
@@ -529,5 +615,87 @@ mod tests {
     fn payload_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Payload>();
+    }
+
+    #[test]
+    fn frame_bytes_slices_share_one_buffer() {
+        let reg = CodecRegistry::with_builtins();
+        let mut buf = Vec::new();
+        encode_frame(&0x11u64, &mut buf);
+        let first_len = buf.len();
+        encode_frame(&0x22u64, &mut buf);
+        let shared = Arc::new(buf);
+        let a = Payload::from_wire(FrameBytes::from_shared(&shared, 0, first_len), &reg);
+        let b = Payload::from_wire(
+            FrameBytes::from_shared(&shared, first_len, shared.len()),
+            &reg,
+        );
+        assert_eq!(a.to_msg::<u64>(), Some(0x11));
+        assert_eq!(b.to_msg::<u64>(), Some(0x22));
+        // Both payloads (and their clones) alias the one buffer.
+        let c = b.clone();
+        assert_eq!(Arc::strong_count(&shared), 4);
+        assert_eq!(c.to_msg::<u64>(), Some(0x22));
+        drop((a, b, c));
+        assert_eq!(Arc::strong_count(&shared), 1, "slices released the buffer");
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct HintedPair(u64, u64);
+    impl WireMessage for HintedPair {
+        const KIND: u16 = crate::wire::KIND_TEST_BASE + 2;
+        const KIND_NAME: &'static str = "test-hinted-pair";
+        const MAX_BODY_HINT: Option<usize> = Some(16);
+        fn encode_body(&self, out: &mut Vec<u8>) {
+            WireWriter::u64(out, self.0);
+            WireWriter::u64(out, self.1);
+        }
+        fn decode_body(bytes: &[u8]) -> Option<Self> {
+            let mut r = WireReader::new(bytes);
+            let v = HintedPair(r.u64()?, r.u64()?);
+            r.finish()?;
+            Some(v)
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct HintedWide([u64; 8]);
+    impl WireMessage for HintedWide {
+        const KIND: u16 = crate::wire::KIND_TEST_BASE + 3;
+        const KIND_NAME: &'static str = "test-hinted-wide";
+        const MAX_BODY_HINT: Option<usize> = Some(64);
+        fn encode_body(&self, out: &mut Vec<u8>) {
+            for v in self.0 {
+                WireWriter::u64(out, v);
+            }
+        }
+        fn decode_body(bytes: &[u8]) -> Option<Self> {
+            let mut r = WireReader::new(bytes);
+            let mut vs = [0u64; 8];
+            for v in &mut vs {
+                *v = r.u64()?;
+            }
+            r.finish()?;
+            Some(HintedWide(vs))
+        }
+    }
+
+    #[test]
+    fn body_hints_pick_the_representation_statically() {
+        let small = Payload::message(HintedPair(1, 2));
+        assert!(matches!(small.0, Repr::Inline { .. }), "≤ cap hint inlines");
+        assert_eq!(small.to_msg::<HintedPair>(), Some(HintedPair(1, 2)));
+        let wide = Payload::message(HintedWide([7; 8]));
+        assert!(
+            matches!(wide.0, Repr::Typed { vt: Some(_), .. }),
+            "> cap hint skips the probe and stays typed"
+        );
+        assert_eq!(wide.to_msg::<HintedWide>(), Some(HintedWide([7; 8])));
+        // Both still encode well-formed frames at the wire boundary.
+        for p in [&small, &wide] {
+            let mut frame = Vec::new();
+            assert!(p.encode_wire_frame(&mut frame));
+            assert!(crate::wire::parse_frame(&frame).is_some());
+        }
     }
 }

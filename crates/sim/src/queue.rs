@@ -73,6 +73,7 @@ struct LiveIndex {
 }
 
 impl LiveIndex {
+    #[cfg(test)]
     fn with_capacity(cap: usize) -> Self {
         LiveIndex {
             tree: vec![0; cap + 1],
@@ -124,6 +125,36 @@ enum Batch {
     Many(VecDeque<Envelope>),
 }
 
+/// One slab record: a batch plus its remaining length and current
+/// arrival position. Scheduler-visible [`MsgMeta`] is *derived* from the
+/// batch head on demand rather than stored — the random scheduler never
+/// reads it, so the per-push hot path writes one small record instead of
+/// materializing (and later refreshing) full metadata.
+struct Record {
+    /// Envelopes remaining in the batch (≥ 1).
+    count: u32,
+    /// Current arrival position (kept current by compaction, which is
+    /// what makes [`BatchSlot`] handles stable).
+    pos: usize,
+    /// The batched envelopes.
+    batch: Batch,
+}
+
+impl Record {
+    /// The batch's oldest (next-delivered) envelope.
+    fn head(&self) -> &Envelope {
+        match &self.batch {
+            Batch::One(env) => env,
+            Batch::Many(run) => run.front().expect("live batch is non-empty"),
+        }
+    }
+
+    /// The derived scheduler-visible metadata.
+    fn meta(&self) -> MsgMeta {
+        MsgMeta::of(self.head(), self.count)
+    }
+}
+
 /// A stable handle to one live batch record, valid until the batch's run
 /// drains — unlike arrival indices, it survives pushes, compactions and
 /// removals of *other* batches, so a caller delivering a whole run
@@ -140,10 +171,8 @@ pub struct BatchSlot(u32);
 /// the batch non-empty.
 #[derive(Default)]
 pub struct Pending {
-    /// Metadata, current arrival position, and batched envelope storage;
-    /// `None` slots are free. The stored position is kept current by
-    /// compaction, which is what makes [`BatchSlot`] handles stable.
-    slots: Vec<Option<(MsgMeta, usize, Batch)>>,
+    /// Slab of batch records; `None` slots are free.
+    slots: Vec<Option<Record>>,
     /// Free slot indices available for reuse.
     free: Vec<u32>,
     /// Recycled (empty) deques from drained multi-envelope batches.
@@ -164,6 +193,26 @@ pub struct Pending {
     /// the only merge target, so batching is a pure function of the
     /// push/take sequence (tombstone compaction cannot change it).
     tail: Option<u32>,
+    /// `(from, to)` of the live tail batch, mirrored inline (valid while
+    /// `tail` is `Some`): the per-push merge probe reads this field
+    /// instead of chasing `tail` into the slot storage — a guaranteed
+    /// cache miss on workloads whose consecutive sends never merge.
+    tail_pair: (PartyId, PartyId),
+    /// `born_step` of the head batch's oldest envelope, mirrored inline
+    /// (valid while `live > 0`): the per-pick fairness-age check reads
+    /// this field instead of resolving `arrival[head]` into the slots.
+    head_born: u64,
+    /// Batch deques recycled from [`spare`](Pending::spare) instead of
+    /// allocated (pool-stats counter, folded into run metrics).
+    reused: u64,
+    /// Batch deques allocated because the spare pool was empty.
+    allocated: u64,
+    /// Reusable survivor buffer for [`compact_and_grow`]: swapped with
+    /// `arrival` on every rebuild, so steady-state compaction allocates
+    /// nothing.
+    ///
+    /// [`compact_and_grow`]: Pending::compact_and_grow
+    compact_scratch: Vec<u32>,
 }
 
 impl Pending {
@@ -208,7 +257,7 @@ impl Pending {
         self.slots[slot as usize]
             .as_ref()
             .expect("live arrival entry points at an occupied slot")
-            .0
+            .meta()
     }
 
     /// All batch metadata in arrival order (oldest first).
@@ -221,19 +270,32 @@ impl Pending {
                 self.slots[slot as usize]
                     .as_ref()
                     .expect("live arrival entry points at an occupied slot")
-                    .0
+                    .meta()
             })
     }
 
+    /// `(reused, allocated)` batch-deque recycling counts so far —
+    /// folded into the owning backend's `pool_*` metrics at snapshot
+    /// time.
+    pub(crate) fn pool_stats(&self) -> (u64, u64) {
+        (self.reused, self.allocated)
+    }
+
+    /// Hands out one recycled (empty) batch buffer as a `Vec` — the
+    /// allocation carries over (an empty deque is trivially contiguous,
+    /// so the conversion is free). The sharded backend refills its
+    /// per-destination outboxes from here, closing the loop: outbox →
+    /// cross-shard batch → drained deque → spare → outbox.
+    pub(crate) fn take_spare_vec(&mut self) -> Option<Vec<Envelope>> {
+        self.spare.pop().map(Vec::from)
+    }
+
     /// Whether the most recently pushed batch is live and can absorb an
-    /// envelope from `from` to `to`; returns its slot id if so.
+    /// envelope from `from` to `to`; returns its slot id if so. Reads
+    /// only the inline `tail_pair` mirror — no slot-storage access.
     fn mergeable_tail(&self, from: PartyId, to: PartyId) -> Option<u32> {
         let slot = self.tail?;
-        let meta = &self.slots[slot as usize]
-            .as_ref()
-            .expect("tail batch is live")
-            .0;
-        (meta.from == from && meta.to == to).then_some(slot)
+        (self.tail_pair == (from, to)).then_some(slot)
     }
 
     /// Extends the live tail batch in slot `slot` with one envelope,
@@ -242,12 +304,21 @@ impl Pending {
         let entry = self.slots[slot as usize]
             .as_mut()
             .expect("mergeable tail slot occupied");
-        entry.0.count += 1;
+        entry.count += 1;
         self.total += 1;
-        match &mut entry.2 {
+        match &mut entry.batch {
             Batch::Many(run) => run.push_back(env),
             one => {
-                let mut run = self.spare.pop().unwrap_or_default();
+                let mut run = match self.spare.pop() {
+                    Some(run) => {
+                        self.reused += 1;
+                        run
+                    }
+                    None => {
+                        self.allocated += 1;
+                        VecDeque::new()
+                    }
+                };
                 let head = match std::mem::replace(one, Batch::Many(VecDeque::new())) {
                     Batch::One(head) => head,
                     Batch::Many(_) => unreachable!("matched above"),
@@ -266,8 +337,7 @@ impl Pending {
             self.extend_tail(slot, env);
             return;
         }
-        let meta = MsgMeta::of(&env, 1);
-        self.insert_batch(meta, Batch::One(env));
+        self.insert_batch(1, Batch::One(env));
     }
 
     /// Enqueues a whole same-`(sender, receiver)` run as one batch record —
@@ -291,32 +361,34 @@ impl Pending {
             }
             return;
         }
-        let meta = MsgMeta::of(first, envs.len() as u32);
+        let count = envs.len() as u32;
         let batch = if envs.len() == 1 {
             Batch::One(envs.into_iter().next().expect("len checked"))
         } else {
             Batch::Many(VecDeque::from(envs))
         };
-        self.insert_batch(meta, batch);
+        self.insert_batch(count, batch);
     }
 
     /// Installs a fresh batch record at the back of the arrival order.
-    fn insert_batch(&mut self, meta: MsgMeta, batch: Batch) {
-        self.total += match &batch {
-            Batch::One(_) => 1,
-            Batch::Many(run) => run.len(),
-        };
+    fn insert_batch(&mut self, count: u32, batch: Batch) {
+        self.total += count as usize;
         if self.arrival.len() == self.index.capacity() {
             self.compact_and_grow();
         }
         let pos = self.arrival.len();
+        let record = Record { count, pos, batch };
+        let (from, to, born) = {
+            let head = record.head();
+            (head.from, head.to, head.born_step)
+        };
         let slot = match self.free.pop() {
             Some(s) => {
-                self.slots[s as usize] = Some((meta, pos, batch));
+                self.slots[s as usize] = Some(record);
                 s
             }
             None => {
-                self.slots.push(Some((meta, pos, batch)));
+                self.slots.push(Some(record));
                 (self.slots.len() - 1) as u32
             }
         };
@@ -325,6 +397,22 @@ impl Pending {
         self.index.add(pos, 1);
         self.live += 1;
         self.tail = Some(slot);
+        self.tail_pair = (from, to);
+        if self.live == 1 {
+            // The queue was empty, so this batch is the head.
+            self.head_born = born;
+        }
+    }
+
+    /// `born_step` of the oldest in-flight envelope — what the fairness
+    /// cap ages against. O(1): reads the inline head mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the queue is empty.
+    pub fn head_born_step(&self) -> u64 {
+        debug_assert!(self.live > 0, "head_born_step on an empty queue");
+        self.head_born
     }
 
     /// Removes and returns every in-flight message sent by `from`, oldest
@@ -374,7 +462,17 @@ impl Pending {
         self.slots[slot.0 as usize]
             .as_ref()
             .expect("batch handle refers to a live batch")
-            .0
+            .meta()
+    }
+
+    /// Remaining run length of the live batch `slot` — what a delivery
+    /// loop actually needs per pick, without deriving full [`MsgMeta`]
+    /// (which reads the head envelope's session for its leaf kind).
+    pub fn run_len_of_slot(&self, slot: BatchSlot) -> u32 {
+        self.slots[slot.0 as usize]
+            .as_ref()
+            .expect("batch handle refers to a live batch")
+            .count
     }
 
     /// Removes and returns the head envelope of the live batch `slot`
@@ -390,18 +488,20 @@ impl Pending {
             .as_mut()
             .expect("batch handle refers to a live batch");
         self.total -= 1;
-        if let Batch::Many(run) = &mut entry.2 {
+        if let Batch::Many(run) = &mut entry.batch {
             if run.len() > 1 {
-                // The batch survives: refresh its meta to the new head.
-                // The Fenwick view is untouched — an O(1) pick.
+                // The batch survives at its arrival position; only its
+                // count (and, at the head, the inline age mirror) moves.
                 let env = run.pop_front().expect("len checked");
-                let next = run.front().expect("len checked");
-                entry.0 = MsgMeta::of(next, entry.0.count - 1);
+                entry.count -= 1;
+                if entry.pos == self.head {
+                    self.head_born = run.front().expect("len checked").born_step;
+                }
                 return env;
             }
         }
         // Batch drained: retire the record, recycling its deque.
-        let (_, pos, batch) = self.slots[slot]
+        let Record { pos, batch, .. } = self.slots[slot]
             .take()
             .expect("batch handle refers to a live batch");
         let env = match batch {
@@ -431,6 +531,11 @@ impl Pending {
             while !self.alive[self.head] {
                 self.head += 1;
             }
+            self.head_born = self.slots[self.arrival[self.head] as usize]
+                .as_ref()
+                .expect("live arrival entry points at an occupied slot")
+                .head()
+                .born_step;
         }
         env
     }
@@ -439,28 +544,36 @@ impl Pending {
     /// capacity for growth (amortized against the removals that created
     /// the tombstones).
     fn compact_and_grow(&mut self) {
-        let lives: Vec<u32> = self.arrival[self.head..]
-            .iter()
-            .zip(&self.alive[self.head..])
-            .filter(|&(_, &alive)| alive)
-            .map(|(&slot, _)| slot)
-            .collect();
+        let mut lives = std::mem::take(&mut self.compact_scratch);
+        lives.clear();
+        lives.extend(
+            self.arrival[self.head..]
+                .iter()
+                .zip(&self.alive[self.head..])
+                .filter(|&(_, &alive)| alive)
+                .map(|(&slot, _)| slot),
+        );
         debug_assert_eq!(lives.len(), self.live);
         let cap = (self.live * 2).max(64);
-        let mut index = LiveIndex::with_capacity(cap);
+        // Reuse the Fenwick buffer: re-zeroing the kept allocation costs
+        // the same O(cap) pass as the bulk build below, without the
+        // allocation (once the tree has reached its high-water capacity).
+        let tree = &mut self.index.tree;
+        tree.clear();
+        tree.resize(cap + 1, 0);
         // O(cap) bulk build: seed the leaves, then push sums upward.
         for i in 1..=lives.len() {
-            index.tree[i] += 1;
+            tree[i] += 1;
             let parent = i + (i & i.wrapping_neg());
             if parent <= cap {
-                index.tree[parent] += index.tree[i];
+                tree[parent] += tree[i];
             }
         }
         // Finish propagation for positions past the seeded range.
         for i in lives.len() + 1..=cap {
             let parent = i + (i & i.wrapping_neg());
             if parent <= cap {
-                index.tree[parent] += index.tree[i];
+                tree[parent] += tree[i];
             }
         }
         // Refresh every survivor's stored position (what keeps
@@ -469,11 +582,14 @@ impl Pending {
             self.slots[slot as usize]
                 .as_mut()
                 .expect("live arrival entry points at an occupied slot")
-                .1 = new_pos;
+                .pos = new_pos;
         }
-        self.alive = vec![true; lives.len()];
-        self.arrival = lives;
-        self.index = index;
+        self.alive.clear();
+        self.alive.resize(lives.len(), true);
+        // The survivors become the new arrival list; the old list's
+        // allocation becomes the next rebuild's scratch.
+        std::mem::swap(&mut self.arrival, &mut lives);
+        self.compact_scratch = lives;
         self.head = 0;
     }
 }
@@ -582,6 +698,31 @@ mod tests {
     }
 
     #[test]
+    fn batch_deques_recycle_through_the_spare_pool() {
+        let mut q = Pending::new();
+        // First same-pair run promotes One -> Many with an empty spare
+        // pool: one allocation.
+        q.push(env(0, 1, 0));
+        q.push(env(0, 1, 1));
+        assert_eq!(q.pool_stats(), (0, 1));
+        q.take(0);
+        q.take(0);
+        // The drained deque returns to the pool; the next promotion
+        // reuses it instead of allocating.
+        q.push(env(0, 1, 2));
+        q.push(env(0, 1, 3));
+        assert_eq!(q.pool_stats(), (1, 1));
+        q.take(0);
+        q.take(0);
+        // The pooled buffer can be handed out as a Vec, allocation and
+        // all, for outbox refills.
+        let v = q.take_spare_vec().expect("one pooled buffer");
+        assert!(v.is_empty());
+        assert!(v.capacity() >= 2, "recycled capacity carries over");
+        assert!(q.take_spare_vec().is_none());
+    }
+
+    #[test]
     fn meta_records_kind_endpoints_and_count() {
         let mut q = Pending::new();
         q.push(env(2, 3, 7));
@@ -672,6 +813,10 @@ mod tests {
                 q.messages(),
                 model.iter().map(|(_, _, s)| s.len()).sum::<usize>()
             );
+            if !q.is_empty() {
+                // The inline head mirror tracks the oldest batch exactly.
+                assert_eq!(q.head_born_step(), q.meta(0).born_step, "round {round}");
+            }
             if round % 97 == 0 {
                 let heads: Vec<u64> = q.metas().map(|m| m.seq).collect();
                 let expect: Vec<u64> = model.iter().map(|(_, _, s)| s[0]).collect();

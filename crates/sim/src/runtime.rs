@@ -78,6 +78,13 @@ pub struct Metrics {
     /// Payload frames whose header was malformed on arrival — the
     /// byte-level adversary's fingerprint (wire backend only).
     pub wire_malformed: u64,
+    /// Delivery-path buffers (batch deques, outbox vectors, wire read
+    /// buffers) reacquired from a recycling pool instead of allocated.
+    /// Diagnostic only: never folded into scenario fingerprints.
+    pub pool_reused: u64,
+    /// Delivery-path buffers allocated fresh because no recycled buffer
+    /// was available — the pool's miss counter.
+    pub pool_alloc: u64,
     /// Sent counts per leaf session kind, in first-seen order.
     by_kind: Vec<(&'static str, u64)>,
     /// Index into `by_kind` of the most recently counted kind.
@@ -167,6 +174,8 @@ impl Metrics {
         self.wire_frames += other.wire_frames;
         self.wire_bytes += other.wire_bytes;
         self.wire_malformed += other.wire_malformed;
+        self.pool_reused += other.pool_reused;
+        self.pool_alloc += other.pool_alloc;
         for &(kind, count) in &other.by_kind {
             if let Some(i) = self.by_kind.iter().position(|(k, _)| *k == kind) {
                 self.by_kind[i].1 += count;
@@ -330,6 +339,24 @@ pub trait Runtime {
 
     /// The first output of `party` in `session`, if recorded.
     fn output(&self, party: PartyId, session: &SessionId) -> Option<&Payload>;
+
+    /// Releases all per-party state of a completed `session` on `party`:
+    /// its recorded output, buffered early messages and arena slot. Long
+    /// multi-tenant runs call this after reading a session's output so
+    /// the per-party session arena stops growing monotonically; a fully
+    /// emptied arena page is returned to the allocator.
+    ///
+    /// Retiring is an *explicit* lifecycle step, never automatic —
+    /// instances may keep participating (e.g. echoing for laggards)
+    /// after producing an output, and reclaiming them implicitly would
+    /// change schedules. Returns `true` when a session slot was freed.
+    /// Backends without per-party arenas (e.g. the threaded runtime,
+    /// whose nodes live on worker threads) may not support it and return
+    /// `false`.
+    fn retire_session(&mut self, party: PartyId, session: &SessionId) -> bool {
+        let _ = (party, session);
+        false
+    }
 
     /// Snapshot of the run metrics so far.
     fn metrics(&self) -> Metrics;

@@ -89,7 +89,21 @@ impl PartyState {
     fn flush_sends(&mut self, me: PartyId, n: u64, epoch: u64) {
         for o in self.scratch.drain(..) {
             self.metrics.on_sent(&o.session);
-            self.outbox[o.to.0].push(Envelope {
+            let out = &mut self.outbox[o.to.0];
+            if out.capacity() == 0 {
+                // The barrier handed this outbox's buffer away whole;
+                // refill it from the inbox's recycled batch deques, so
+                // the allocation loops outbox → cross-shard batch →
+                // drained deque → spare pool → outbox.
+                match self.inbox.take_spare_vec() {
+                    Some(spare) => {
+                        *out = spare;
+                        self.metrics.pool_reused += 1;
+                    }
+                    None => self.metrics.pool_alloc += 1,
+                }
+            }
+            out.push(Envelope {
                 from: me,
                 to: o.to,
                 session: o.session,
@@ -117,7 +131,7 @@ impl PartyState {
             debug_assert!(idx < self.inbox.len(), "scheduler index out of range");
             let idx = idx.min(self.inbox.len() - 1);
             let slot = self.inbox.slot_of(idx);
-            let run = (self.inbox.meta_of_slot(slot).count as u64).min(limit - done);
+            let run = (self.inbox.run_len_of_slot(slot) as u64).min(limit - done);
             for _ in 0..run {
                 let env = self.inbox.take_slot(slot);
                 if let Some(trace) = &mut self.trace {
@@ -501,8 +515,15 @@ impl Runtime for ShardedSimRuntime {
         let mut merged = Metrics::default();
         for ps in &self.parties {
             merged.merge(&ps.metrics);
+            let (reused, allocated) = ps.inbox.pool_stats();
+            merged.pool_reused += reused;
+            merged.pool_alloc += allocated;
         }
         merged
+    }
+
+    fn retire_session(&mut self, party: PartyId, session: &SessionId) -> bool {
+        self.parties[party.0].node.retire_session(session)
     }
 
     fn backend_name(&self) -> &'static str {
@@ -664,6 +685,45 @@ mod tests {
             assert_eq!(rt.output_as::<usize>(PartyId(p), &sid()), Some(&8));
             assert_eq!(rt.output_as::<usize>(PartyId(p), &other), Some(&4));
         }
+    }
+
+    #[test]
+    fn outboxes_and_batch_deques_recycle() {
+        /// Three pings per wave, so each per-pair channel carries a
+        /// multi-envelope batch — what feeds the spare-deque pool the
+        /// outboxes refill from.
+        struct Burst {
+            waves: u32,
+            heard: usize,
+        }
+        impl Instance for Burst {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for _ in 0..3 {
+                    ctx.send_all(0u32);
+                }
+            }
+            fn on_message(&mut self, _f: PartyId, _p: &Payload, ctx: &mut Context<'_>) {
+                self.heard += 1;
+                if self.heard.is_multiple_of(3 * ctx.n()) && self.waves > 0 {
+                    self.waves -= 1;
+                    for _ in 0..3 {
+                        ctx.send_all(0u32);
+                    }
+                }
+            }
+        }
+        let mut rt = ShardedSimRuntime::new(NetConfig::new(4, 1, 3), 2);
+        for p in 0..4 {
+            rt.spawn(PartyId(p), sid(), Box::new(Burst { waves: 3, heard: 0 }));
+        }
+        rt.run(1_000_000);
+        let m = rt.metrics();
+        assert!(
+            m.pool_reused > 0,
+            "steady-state bursts must reuse pooled buffers (reused {}, alloc {})",
+            m.pool_reused,
+            m.pool_alloc
+        );
     }
 
     #[test]

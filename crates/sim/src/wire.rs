@@ -105,6 +105,21 @@ pub trait WireMessage: Any + Send + Sync + Sized {
     /// [`Payload::type_name`](crate::Payload::type_name) for wire frames).
     const KIND_NAME: &'static str;
 
+    /// Static upper bound on [`encode_body`](WireMessage::encode_body)'s
+    /// output length, in bytes, when one is known at compile time.
+    ///
+    /// The contract: when `Some(max)`, **every** value of the type must
+    /// encode to at most `max` body bytes (`Payload` debug-asserts it).
+    /// Types whose bound is at most
+    /// [`INLINE_BODY_CAP`](crate::payload::INLINE_BODY_CAP) are stored
+    /// inline unconditionally — the typed fallback arm is statically
+    /// dead — and types whose bound exceeds the cap skip the probe
+    /// encode entirely and go straight to the shared typed
+    /// representation. Leave the default `None` for variable-length
+    /// types; the probe then decides at runtime, which is always
+    /// correct, just not free.
+    const MAX_BODY_HINT: Option<usize> = None;
+
     /// Erased encode/identity table for this type (used by [`Payload`]).
     #[doc(hidden)]
     const VTABLE: WireVtable = WireVtable {
@@ -220,6 +235,29 @@ impl WireWriter {
         Self::u32(out, v.len() as u32);
         out.extend_from_slice(v);
     }
+
+    /// Appends a batch: `count:u32`, then `count` items each written by
+    /// `encode_item(out, i)` and wrapped as a `u32`-length-prefixed byte
+    /// string (the prefix is patched in place after the callback runs,
+    /// so items encode directly into `out` with no staging buffer).
+    ///
+    /// The wire transport uses this to ship every same-`(src, dst)`
+    /// envelope run as one framed batch; [`WireReader::read_batch`] is
+    /// the inverse.
+    pub fn write_batch(
+        out: &mut Vec<u8>,
+        count: usize,
+        mut encode_item: impl FnMut(&mut Vec<u8>, usize),
+    ) {
+        Self::u32(out, count as u32);
+        for i in 0..count {
+            let len_at = out.len();
+            out.extend_from_slice(&[0; 4]);
+            encode_item(out, i);
+            let len = (out.len() - len_at - 4) as u32;
+            out[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+        }
+    }
 }
 
 /// A checked, position-tracking reader over a message body.
@@ -292,6 +330,20 @@ impl<'a> WireReader<'a> {
     pub fn skip(&mut self, n: usize) -> Option<()> {
         self.take(n).map(|_| ())
     }
+    /// Reads a batch written by [`WireWriter::write_batch`]: `count:u32`
+    /// then `count` `u32`-length-prefixed items, invoking `each` with
+    /// every item's bytes (still borrowed from the underlying buffer —
+    /// no copies). Returns the item count, or `None` when the batch is
+    /// truncated, in which case `each` may already have observed a
+    /// prefix of the items.
+    pub fn read_batch(&mut self, mut each: impl FnMut(&'a [u8])) -> Option<u32> {
+        let count = self.u32()?;
+        for _ in 0..count {
+            each(self.bytes()?);
+        }
+        Some(count)
+    }
+
     /// Consumes the rest of the body.
     pub fn rest(&mut self) -> &'a [u8] {
         let s = &self.buf[self.pos..];
@@ -342,6 +394,7 @@ macro_rules! int_wire {
         impl WireMessage for $ty {
             const KIND: u16 = $kind;
             const KIND_NAME: &'static str = $name;
+            const MAX_BODY_HINT: Option<usize> = Some(std::mem::size_of::<$ty>());
             fn encode_body(&self, out: &mut Vec<u8>) {
                 out.extend_from_slice(&self.to_le_bytes());
             }
@@ -361,6 +414,7 @@ int_wire!(i64, KIND_BUILTIN_BASE + 4, "i64");
 impl WireMessage for usize {
     const KIND: u16 = KIND_BUILTIN_BASE + 5;
     const KIND_NAME: &'static str = "usize";
+    const MAX_BODY_HINT: Option<usize> = Some(8);
     fn encode_body(&self, out: &mut Vec<u8>) {
         WireWriter::u64(out, *self as u64);
     }
@@ -375,6 +429,7 @@ impl WireMessage for usize {
 impl WireMessage for bool {
     const KIND: u16 = KIND_BUILTIN_BASE + 6;
     const KIND_NAME: &'static str = "bool";
+    const MAX_BODY_HINT: Option<usize> = Some(1);
     fn encode_body(&self, out: &mut Vec<u8>) {
         WireWriter::bool(out, *self);
     }
@@ -389,6 +444,7 @@ impl WireMessage for bool {
 impl WireMessage for () {
     const KIND: u16 = KIND_BUILTIN_BASE + 7;
     const KIND_NAME: &'static str = "unit";
+    const MAX_BODY_HINT: Option<usize> = Some(0);
     fn encode_body(&self, _out: &mut Vec<u8>) {}
     fn decode_body(bytes: &[u8]) -> Option<Self> {
         bytes.is_empty().then_some(())
@@ -695,6 +751,63 @@ mod tests {
     fn acast_kind_sets_the_high_bit() {
         assert_eq!(acast_kind(0x0020), 0x8020);
         assert_ne!(acast_kind(u8::KIND), u8::KIND);
+    }
+
+    #[test]
+    fn batch_round_trips_and_rejects_truncation() {
+        let items: [&[u8]; 3] = [b"alpha", b"", b"\x00\xFFbeta"];
+        let mut buf = Vec::new();
+        WireWriter::write_batch(&mut buf, items.len(), |out, i| {
+            out.extend_from_slice(items[i]);
+        });
+        let mut r = WireReader::new(&buf);
+        let mut got = Vec::new();
+        assert_eq!(r.read_batch(|item| got.push(item.to_vec())), Some(3));
+        assert!(r.finish().is_some());
+        assert_eq!(got, items.map(<[u8]>::to_vec));
+        // Any truncation loses at least the final item.
+        for cut in 0..buf.len() {
+            let mut r = WireReader::new(&buf[..cut]);
+            let mut seen = 0;
+            assert_eq!(r.read_batch(|_| seen += 1), None, "cut={cut}");
+            assert!(seen < items.len(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_four_bytes() {
+        let mut buf = Vec::new();
+        WireWriter::write_batch(&mut buf, 0, |_, _| unreachable!());
+        assert_eq!(buf, 0u32.to_le_bytes());
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.read_batch(|_| unreachable!()), Some(0));
+    }
+
+    #[test]
+    fn builtin_body_hints_bound_real_encodings() {
+        fn check<T: WireMessage>(v: T) {
+            let max = T::MAX_BODY_HINT.expect("builtin scalar has a hint");
+            let mut body = Vec::new();
+            v.encode_body(&mut body);
+            assert!(
+                body.len() <= max,
+                "{}: {} > {max}",
+                T::KIND_NAME,
+                body.len()
+            );
+        }
+        check(u8::MAX);
+        check(u16::MAX);
+        check(u32::MAX);
+        check(u64::MAX);
+        check(i64::MIN);
+        check(usize::MAX);
+        check(true);
+        check(());
+        // Variable-length builtins advertise no bound.
+        assert_eq!(<String as WireMessage>::MAX_BODY_HINT, None);
+        assert_eq!(<Vec<u8> as WireMessage>::MAX_BODY_HINT, None);
+        assert_eq!(<Vec<usize> as WireMessage>::MAX_BODY_HINT, None);
     }
 
     #[test]

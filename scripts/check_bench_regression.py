@@ -19,11 +19,13 @@ absolute ratio (default 3x, override with BENCH_ABSOLUTE_CAP) — wide
 enough to absorb machine-class differences, tight enough to catch a
 catastrophic regression (the pre-Fenwick queue was 50x+).
 
-Only millisecond-scale end-to-end delivery benches are guarded:
-nanosecond microbenches (session_id/*, delivery/*) and the
-core-count-sensitive sharded sweep (ba_sweep_n64/*) are reported but
-warn-only, since their run-to-run variance on shared runners exceeds
-any sane threshold.
+Guarded benches are the millisecond-scale end-to-end delivery runs,
+the codec round trip, and the session-intern microbench (tight-loop
+and low-variance enough to gate). The remaining nanosecond
+microbenches (delivery/*) and the core-count-sensitive sweeps
+(ba_sweep_n64/*, ba_sweep_n256/*) are reported but warn-only, since
+their run-to-run variance on shared runners exceeds any sane
+threshold.
 
 A Markdown improvement/regression table is printed after the plain
 report and, when GITHUB_STEP_SUMMARY is set (as in CI), appended to the
@@ -37,12 +39,13 @@ import sys
 
 # The delivery hot path: end-to-end runs dominated by enqueue/pick/deliver
 # work, at millisecond scale (stable on shared runners), plus the typed
-# wire codec round trip (tight-loop, low-variance, and every backend's
-# message path now goes through it).
+# wire codec round trip and the session-intern path (both tight-loop and
+# low-variance, and every backend's message/spawn path goes through them).
 GUARDED_PREFIXES = (
     "acast/full_run",
     "ba/split_inputs",
     "codec/encode_decode",
+    "session_id/child_intern",
 )
 
 

@@ -157,6 +157,35 @@ fn common_subset_matrix_is_safe_and_reproducible() {
     assert_eq!(first, run(), "CS matrix must reproduce bit-for-bit");
 }
 
+/// The delivery pipeline's buffer pools are *live* on every deterministic
+/// backend — the reuse/alloc counters tick during an ordinary BA run — so
+/// every bit-identity assertion in this suite already exercises pooled
+/// delivery. The counters themselves are diagnostic only and excluded
+/// from cell fingerprints by construction, which is what keeps pooled
+/// runs bit-identical to the pre-pool seed behavior.
+#[test]
+fn pooling_is_active_but_invisible_to_conformance() {
+    use aft::ba::{BinaryBa, OracleCoin};
+    use aft::sim::{runtime_by_name, NetConfig, PartyId, SessionId, SessionTag};
+    for backend in ["sim", "sharded:4", "wire"] {
+        let mut rt = runtime_by_name(backend, NetConfig::new(4, 1, 7)).unwrap();
+        let sid = SessionId::root().child(SessionTag::new("pool-proof", 0));
+        for p in 0..4 {
+            rt.spawn(
+                PartyId(p),
+                sid.clone(),
+                Box::new(BinaryBa::new(true, Box::new(OracleCoin::new(7)))),
+            );
+        }
+        rt.run(u64::MAX);
+        let m = rt.metrics();
+        assert!(
+            m.pool_reused + m.pool_alloc > 0,
+            "{backend}: buffer pooling must be active on the delivery path"
+        );
+    }
+}
+
 /// Runs `kind` under one scenario string (with the backend substituted)
 /// and returns the cell report.
 fn run_on(kind: StackKind, spec: &str, backend: &str, seed: u64) -> CellReport {

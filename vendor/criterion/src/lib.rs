@@ -116,6 +116,27 @@ impl Criterion {
         self
     }
 
+    /// Runs one benchmark parameterized by `input` with its own sample
+    /// count — for expensive cases (large `n` sweeps) that would take
+    /// minutes at the group's configured size.
+    pub fn bench_with_input_samples<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        samples: usize,
+        mut f: F,
+    ) -> &mut Self {
+        assert!(samples > 0, "sample size must be positive");
+        let mut b = Bencher {
+            sample_size: samples,
+            times_ns: Vec::new(),
+        };
+        f(&mut b, input);
+        let name = id.full;
+        self.record(&name, b.times_ns);
+        self
+    }
+
     fn record(&mut self, name: &str, mut times_ns: Vec<f64>) {
         if times_ns.is_empty() {
             eprintln!("warning: bench {name} recorded no samples");
@@ -224,6 +245,19 @@ mod tests {
         assert_eq!(c.results.len(), 1);
         assert_eq!(c.results[0].iters, 5);
         assert_eq!(runs, 6, "5 samples + 1 warm-up");
+    }
+
+    #[test]
+    fn bench_with_input_samples_overrides_group_size() {
+        let mut c = Criterion::default().sample_size(60);
+        let mut runs = 0u32;
+        c.bench_with_input_samples(BenchmarkId::new("big", 256), &(), 3, |b, ()| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(c.results[0].iters, 3);
+        assert_eq!(runs, 4, "3 samples + 1 warm-up");
     }
 
     #[test]
