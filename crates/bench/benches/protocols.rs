@@ -338,12 +338,27 @@ fn bench_session_id(c: &mut Criterion) {
     });
 }
 
+/// The flight recorder's disabled fast path: a full BA run through the
+/// instrumented delivery pipeline with tracing off must cost the same as
+/// before the trace seam existed (the per-delivery check is one
+/// statically predictable `Option` branch). Guarded by the bench
+/// regression gate as `trace/off_overhead`.
+fn bench_trace_off(c: &mut Criterion) {
+    c.bench_function("trace/off_overhead", |b| {
+        b.iter(|| {
+            run_net(7, 2, 7, |p| {
+                Box::new(BinaryBa::new(p % 2 == 0, Box::new(OracleCoin::new(1))))
+            })
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_acast, bench_svss, bench_ba, bench_common_subset,
               bench_coin_flip, bench_fair_choice, bench_fba,
               bench_ba_sweep_n64, bench_ba_sweep_n256, bench_delivery_queue,
-              bench_codec, bench_session_id
+              bench_codec, bench_session_id, bench_trace_off
 }
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! OracleCoin under adversarially split inputs.
 
 use aft_ba::{BinaryBa, CoinSource, LocalCoin, OracleCoin, WeakSharedCoin};
-use aft_bench::{print_table, runtime_arg, session, trials};
+use aft_bench::{output_arg, record_run, runtime_arg, session, trials};
 use aft_sim::{run_trials, NetConfig, PartyId, RuntimeExt, StopReason};
 
 fn coin_source(name: &str, seed: u64) -> Box<dyn CoinSource> {
@@ -20,7 +20,8 @@ fn coin_source(name: &str, seed: u64) -> Box<dyn CoinSource> {
 }
 
 fn main() {
-    println!("# E8 — BA baselines: local coin vs shared coin");
+    let out = output_arg();
+    out.note("# E8 — BA baselines: local coin vs shared coin");
     let rt = runtime_arg();
     rt.announce();
     let n_trials = trials(60);
@@ -36,6 +37,7 @@ fn main() {
             };
             let outcomes = run_trials(0..runs, 24, |seed| {
                 let mut net = rt.make(NetConfig::new(n, t, seed), "random");
+                let tracing = rt.attach_trace(net.as_mut());
                 let sid = session("ba");
                 for p in 0..n {
                     net.spawn(
@@ -45,6 +47,10 @@ fn main() {
                     );
                 }
                 let report = net.run(4_000_000_000);
+                record_run(&report.metrics);
+                if tracing {
+                    rt.dump_trace(net.as_mut(), &format!("ba n={n} coin={coin} seed={seed}"));
+                }
                 assert_eq!(report.stop, StopReason::Quiescent);
                 let outs: Vec<bool> = (0..n)
                     .filter_map(|p| net.output_as::<bool>(PartyId(p), &sid).copied())
@@ -71,7 +77,7 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    out.table(
         "Binary BA with split inputs (half propose 1), random scheduler",
         &[
             "n/t",
@@ -83,9 +89,9 @@ fn main() {
         ],
         &rows,
     );
-    println!("\nexpected shape (paper's framing): LocalCoin round counts grow with n");
-    println!("(2^Θ(n) in the worst case — Ben-Or'83); shared-coin rounds stay constant.");
-    println!("This is the gap that motivates building a *strong* coin at n = 3t + 1.");
+    out.note("\nexpected shape (paper's framing): LocalCoin round counts grow with n");
+    out.note("(2^Θ(n) in the worst case — Ben-Or'83); shared-coin rounds stay constant.");
+    out.note("This is the gap that motivates building a *strong* coin at n = 3t + 1.");
 
     // Standalone weak-coin quality: how often do all parties see the same
     // bit (the δ that BA liveness multiplies by), and is it fair?
@@ -99,7 +105,7 @@ fn main() {
             for p in 0..n {
                 net.spawn(PartyId(p), sid.clone(), Box::new(WeakCoinInstance::new()));
             }
-            net.run(4_000_000_000);
+            record_run(&net.run(4_000_000_000).metrics);
             let bits: Vec<bool> = (0..n)
                 .filter_map(|p| net.output_as::<bool>(PartyId(p), &sid).copied())
                 .collect();
@@ -118,7 +124,7 @@ fn main() {
             format!("{:.2}", ones as f64 / total as f64),
         ]);
     }
-    print_table(
+    out.table(
         &format!("Standalone weak shared coin quality, {wc_trials} flips per row"),
         &[
             "n/t",
@@ -128,7 +134,8 @@ fn main() {
         ],
         &rows,
     );
-    println!("\nthe weak coin terminates always but only agrees with probability δ < 1 —");
-    println!("exactly the deficiency the paper's CoinFlip (strong coin, agreement w.p. 1)");
-    println!("removes by adding CommonSubset + k-fold majority + one BA.");
+    out.note("\nthe weak coin terminates always but only agrees with probability δ < 1 —");
+    out.note("exactly the deficiency the paper's CoinFlip (strong coin, agreement w.p. 1)");
+    out.note("removes by adding CommonSubset + k-fold majority + one BA.");
+    out.backend_counters();
 }

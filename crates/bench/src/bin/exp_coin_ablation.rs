@@ -6,7 +6,7 @@
 //! thousands of sequential SVSS+CommonSubset rounds — exactly as
 //! Algorithm 1 prescribes.
 
-use aft_bench::{print_table, run_coin, runtime_arg, trials, Adversary};
+use aft_bench::{output_arg, record_run, run_coin, runtime_arg, trials, Adversary};
 use aft_core::{CoinFlip, CoinFlipOutput, CoinFlipParams, CoinKind};
 use aft_sim::{
     run_trials, scheduler_by_name, NetConfig, PartyId, SessionId, SessionTag, SimNetwork,
@@ -14,7 +14,8 @@ use aft_sim::{
 };
 
 fn main() {
-    println!("# E9 — Coin ablations");
+    let out = output_arg();
+    out.note("# E9 — Coin ablations");
     let rt = runtime_arg();
     rt.announce();
     let n_trials = trials(30);
@@ -44,7 +45,7 @@ fn main() {
             steps.to_string(),
         ]);
     }
-    print_table(
+    out.table(
         &format!("(a) inner-BA coin substrate, CoinFlip k=2, n=4, {n_trials} runs"),
         &[
             "inner coin",
@@ -80,7 +81,7 @@ fn main() {
             format!("{:.1}", msgs as f64 / (n * n * n) as f64),
         ]);
     }
-    print_table(
+    out.table(
         "(b) cost vs n (k=1 iteration)",
         &["n/t", "avg messages", "avg steps", "messages / n³"],
         &rows,
@@ -110,7 +111,7 @@ fn main() {
             msgs.to_string(),
         ]);
     }
-    print_table(
+    out.table(
         "(c) iteration count k (n=4)",
         &["k", "agreement", "avg messages"],
         &rows,
@@ -123,7 +124,9 @@ fn main() {
         .unwrap_or(0.4f64);
     let params = CoinFlipParams::PaperExact { epsilon };
     let k = params.iterations(4);
-    println!("\n(d) paper-exact run: n=4, ε={epsilon} ⇒ k = 4⌈(e/(επ))²·n⁴⌉ = {k} iterations…");
+    out.note(&format!(
+        "\n(d) paper-exact run: n=4, ε={epsilon} ⇒ k = 4⌈(e/(επ))²·n⁴⌉ = {k} iterations…"
+    ));
     let t0 = std::time::Instant::now();
     let mut net = SimNetwork::new(
         NetConfig::new(4, 1, 424242),
@@ -138,6 +141,7 @@ fn main() {
         );
     }
     let report = net.run(u64::MAX);
+    record_run(&report.metrics);
     assert_eq!(report.stop, StopReason::Quiescent);
     let outs: Vec<CoinFlipOutput> = (0..4)
         .map(|p| {
@@ -146,7 +150,7 @@ fn main() {
         })
         .collect();
     let agreed = outs.windows(2).all(|w| w[0].value == w[1].value);
-    print_table(
+    out.table(
         "(d) paper-exact Algorithm 1",
         &["ε", "k", "agreed", "coin", "messages", "steps", "wall time"],
         &[vec![
@@ -159,6 +163,7 @@ fn main() {
             format!("{:.1?}", t0.elapsed()),
         ]],
     );
-    println!("\nthe scaled-k experiments (E2) measure the same estimator with affordable");
-    println!("sample counts; the paper-exact run here executes Algorithm 1 verbatim.");
+    out.note("\nthe scaled-k experiments (E2) measure the same estimator with affordable");
+    out.note("sample counts; the paper-exact run here executes Algorithm 1 verbatim.");
+    out.backend_counters();
 }

@@ -4,12 +4,13 @@
 //! `Pr[all honest output 0]`, `Pr[all honest output 1]` (each must be
 //! ≥ 1/2 − ε) and the agreement rate (must be 1.0).
 
-use aft_bench::{fmt_prob, print_table, run_coin, runtime_arg, trials, Adversary};
+use aft_bench::{fmt_prob, output_arg, run_coin, runtime_arg, trials, Adversary};
 use aft_core::CoinKind;
 use aft_sim::run_trials;
 
 fn main() {
-    println!("# E2 — Strong common coin bias (Theorem 3.5)");
+    let out = output_arg();
+    out.note("# E2 — Strong common coin bias (Theorem 3.5)");
     let rt = runtime_arg();
     rt.announce();
     let n_trials = trials(200);
@@ -47,7 +48,7 @@ fn main() {
             }
         }
     }
-    print_table(
+    out.table(
         &format!("CoinFlip outcomes over {n_trials} seeded runs per row (inner BA coin: oracle)"),
         &[
             "n/t",
@@ -61,11 +62,11 @@ fn main() {
         ],
         &rows,
     );
-    println!("\npaper bound: Pr[coin=b] ≥ 1/2 − ε for each b; agreement always.");
-    println!("(k relates to ε through k = 4⌈(e/(επ))²n⁴⌉ in paper-exact mode — see E9.)");
-    println!("scaled runs use ODD k: the paper's majority with even k has a tie mass of");
-    println!("Θ(1/√k) that resolves to 0 — negligible at the paper's k = Θ(n⁴), visible");
-    println!("at k ∈ {{2, 8}} (measured ≈ binomial prediction, see EXPERIMENTS.md note).");
+    out.note("\npaper bound: Pr[coin=b] ≥ 1/2 − ε for each b; agreement always.");
+    out.note("(k relates to ε through k = 4⌈(e/(επ))²n⁴⌉ in paper-exact mode — see E9.)");
+    out.note("scaled runs use ODD k: the paper's majority with even k has a tie mass of");
+    out.note("Θ(1/√k) that resolves to 0 — negligible at the paper's k = Θ(n⁴), visible");
+    out.note("at k ∈ {2, 8} (measured ≈ binomial prediction, see EXPERIMENTS.md note).");
 
     // Demonstrate the even-k tie effect explicitly (a reproduction note).
     let mut rows = Vec::new();
@@ -93,7 +94,7 @@ fn main() {
             format!("{predict:.3}"),
         ]);
     }
-    print_table(
+    out.table(
         "Reproduction note: even-k majority ties resolve to 0 (vanishes as k → paper scale)",
         &[
             "k (even)",
@@ -125,7 +126,7 @@ fn main() {
         .filter(|o| o.1 && o.2 == Some(false))
         .count();
     let ones = outcomes.iter().filter(|o| o.1 && o.2 == Some(true)).count();
-    print_table(
+    out.table(
         &format!("Fully information-theoretic stack (WeakShared inner coins), {it_trials} runs"),
         &[
             "n/t",
@@ -144,4 +145,5 @@ fn main() {
             fmt_prob(ones, total),
         ]],
     );
+    out.backend_counters();
 }

@@ -4,7 +4,7 @@
 //! and schedulers: every run terminates, the tail is short, no scheduler
 //! starves the protocol past the fairness cap.
 
-use aft_bench::{print_table, run_coin, runtime_arg, trials, Adversary};
+use aft_bench::{output_arg, run_coin, runtime_arg, trials, Adversary};
 use aft_core::CoinKind;
 use aft_sim::run_trials;
 
@@ -15,7 +15,8 @@ fn quantiles(mut xs: Vec<u64>) -> (u64, u64, u64, u64) {
 }
 
 fn main() {
-    println!("# E3 — Coin termination distribution");
+    let out = output_arg();
+    out.note("# E3 — Coin termination distribution");
     let rt = runtime_arg();
     rt.announce();
     let n_trials = trials(100);
@@ -48,7 +49,7 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    out.table(
         &format!("CoinFlip (k=2) over {n_trials} seeds per row — all runs must terminate"),
         &[
             "n/t",
@@ -59,6 +60,7 @@ fn main() {
         ],
         &rows,
     );
-    println!("\npaper claim: almost-sure termination under any fair scheduling —");
-    println!("observed: termination in every run, with bounded tails across all schedulers.");
+    out.note("\npaper claim: almost-sure termination under any fair scheduling —");
+    out.note("observed: termination in every run, with bounded tails across all schedulers.");
+    out.backend_counters();
 }

@@ -1,12 +1,13 @@
 //! E6 — Definition 3.4 / Theorem C.2: CommonSubset agreement, size, and
 //! soundness of membership.
 
-use aft_bench::{print_table, run_protocol, runtime_arg, trials, Adversary};
+use aft_bench::{output_arg, run_protocol, runtime_arg, trials, Adversary};
 use aft_core::{CoinKind, CommonSubsetInstance};
 use aft_sim::{run_trials, PartyId};
 
 fn main() {
-    println!("# E6 — CommonSubset (Algorithm 4 / Appendix C)");
+    let out = output_arg();
+    out.note("# E6 — CommonSubset (Algorithm 4 / Appendix C)");
     let rt = runtime_arg();
     rt.announce();
     let n_trials = trials(150);
@@ -58,7 +59,7 @@ fn main() {
             }
         }
     }
-    print_table(
+    out.table(
         &format!("CommonSubset(Q, n−t) over {n_trials} runs per row"),
         &[
             "n/t",
@@ -72,7 +73,8 @@ fn main() {
         ],
         &rows,
     );
-    println!("\npaper claims (Def 3.4): common output set, |S| ≥ k, every member backed by");
-    println!("an honest predicate — all three at 100% above; message cost grows with n");
-    println!("as n parallel BA instances (the n² → n⁴ ladder the coin sits on).");
+    out.note("\npaper claims (Def 3.4): common output set, |S| ≥ k, every member backed by");
+    out.note("an honest predicate — all three at 100% above; message cost grows with n");
+    out.note("as n parallel BA instances (the n² → n⁴ ladder the coin sits on).");
+    out.backend_counters();
 }

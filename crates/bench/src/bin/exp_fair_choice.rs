@@ -5,12 +5,13 @@
 //! *worst-case* majority subset G (the ⌈(m+1)/2⌉ least likely outcomes —
 //! the adversary's best choice of G).
 
-use aft_bench::{fmt_prob, print_table, run_fair_choice, runtime_arg, trials, Adversary};
+use aft_bench::{fmt_prob, output_arg, run_fair_choice, runtime_arg, trials, Adversary};
 use aft_core::CoinKind;
 use aft_sim::run_trials;
 
 fn main() {
-    println!("# E4 — FairChoice validity (Theorem 4.3)");
+    let out = output_arg();
+    out.note("# E4 — FairChoice validity (Theorem 4.3)");
     let rt = runtime_arg();
     rt.announce();
     let n_trials = trials(200);
@@ -53,7 +54,7 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    out.table(
         &format!("FairChoice(m) over {n_trials} runs per row (n=4, t=1)"),
         &[
             "m",
@@ -65,7 +66,8 @@ fn main() {
         ],
         &rows,
     );
-    println!("\nnote: with an unbiased agreed coin the outcome distribution is near-uniform,");
-    println!("so even the adversarially-chosen majority subset keeps > 1/2 of the mass —");
-    println!("the slack the paper engineers via ε = 1/(100·m·log₂ m).");
+    out.note("\nnote: with an unbiased agreed coin the outcome distribution is near-uniform,");
+    out.note("so even the adversarially-chosen majority subset keeps > 1/2 of the mass —");
+    out.note("the slack the paper engineers via ε = 1/(100·m·log₂ m).");
+    out.backend_counters();
 }

@@ -5,12 +5,13 @@
 //!   probability ≥ 1/2 (fair validity), even with crashed parties and a
 //!   hostile scheduler.
 
-use aft_bench::{fmt_prob, print_table, run_fba, runtime_arg, trials, Adversary};
+use aft_bench::{fmt_prob, output_arg, run_fba, runtime_arg, trials, Adversary};
 use aft_core::CoinKind;
 use aft_sim::run_trials;
 
 fn main() {
-    println!("# E5 — FBA fair validity (Theorem 4.5)");
+    let out = output_arg();
+    out.note("# E5 — FBA fair validity (Theorem 4.5)");
     let rt = runtime_arg();
     rt.announce();
     let n_trials = trials(150);
@@ -41,7 +42,7 @@ fn main() {
             "all output the common input (prob. 1)".into(),
         ]);
     }
-    print_table(
+    out.table(
         "Validity under unanimous honest inputs",
         &["inputs", "adversary", "validity holds", "paper claim"],
         &rows,
@@ -85,7 +86,7 @@ fn main() {
             "≥ 0.5".into(),
         ]);
     }
-    print_table(
+    out.table(
         &format!("Fair validity over {n_trials} runs per row (n=4, t=1)"),
         &[
             "configuration",
@@ -120,7 +121,7 @@ fn main() {
     });
     let total = outcomes.iter().filter(|o| o.is_some()).count();
     let fair = outcomes.iter().filter(|o| **o == Some(true)).count();
-    print_table(
+    out.table(
         &format!("Byzantine-participating planted value, {n_trials} runs"),
         &[
             "configuration",
@@ -133,6 +134,7 @@ fn main() {
             "≥ 0.5".into(),
         ]],
     );
-    println!("\nnote: with only crash faults every A-Cast value IS an honest input (prob 1);");
-    println!("the planted-value row is where the ≥ 1/2 bound actually binds.");
+    out.note("\nnote: with only crash faults every A-Cast value IS an honest input (prob 1);");
+    out.note("the planted-value row is where the ≥ 1/2 bound actually binds.");
+    out.backend_counters();
 }

@@ -4,23 +4,24 @@
 //! claimed properties, the Claim 1 view-indistinguishability, and the
 //! Claim 2 correctness violation.
 
-use aft_bench::{fmt_prob, print_table, runtime_arg, trials};
+use aft_bench::{fmt_prob, output_arg, runtime_arg, trials};
 use aft_lowerbound::{claim2_exact, claim2_run, theorem_2_2_report, Claim2Randomness};
 use rand::SeedableRng;
 
 fn main() {
-    println!("# E1 — Lower bound (Theorem 2.2)");
+    let out = output_arg();
+    out.note("# E1 — Lower bound (Theorem 2.2)");
     let rt = runtime_arg();
     if rt.label() != "sim" {
-        println!(
+        out.note(&format!(
             "note: --runtime {} ignored — the lower-bound attacks are exhaustive local \
              computations with no message-passing runtime",
             rt.label()
-        );
+        ));
     }
     let r = theorem_2_2_report();
 
-    print_table(
+    out.table(
         "Toy AVSS baseline (exhaustive over all 625 executions per secret)",
         &["property", "paper requirement", "measured"],
         &[
@@ -42,7 +43,7 @@ fn main() {
         ],
     );
 
-    print_table(
+    out.table(
         "Claim 1 — equivocating dealer (exhaustive, 625 attack executions)",
         &["quantity", "paper claim", "measured"],
         &[
@@ -76,7 +77,7 @@ fn main() {
         }
     }
 
-    print_table(
+    out.table(
         "Claim 2 — simulating B vs honest dealer sharing 0",
         &["quantity", "paper claim", "measured"],
         &[
@@ -103,7 +104,7 @@ fn main() {
         ],
     );
 
-    print_table(
+    out.table(
         "The contradiction (Theorem 2.2)",
         &["ε", "allowed wrong-output ≤ 1/3 − ε", "measured", "verdict"],
         &[0.30f64, 0.20, 0.10, 0.05, 0.01]
@@ -124,8 +125,9 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
-    println!(
+    out.note(&format!(
         "\ncontradiction_established = {}",
         r.contradiction_established()
-    );
+    ));
+    out.backend_counters();
 }

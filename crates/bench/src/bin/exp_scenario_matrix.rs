@@ -21,9 +21,12 @@
 //!
 //! Exits nonzero if any cell violates an invariant or fails to reproduce.
 
-use aft_bench::{print_table, trials};
-use aft_core::scenarios::{run_cell, standard_registry, CellReport, StackKind};
-use aft_sim::{MatrixCell, Scenario, ScenarioMatrix, ALL_SCHEDULERS};
+use aft_bench::{output_arg, trials};
+use aft_core::scenarios::{
+    repro_dir, run_cell, run_cell_traced, standard_registry, write_repro_bundle, CellReport,
+    StackKind,
+};
+use aft_sim::{MatrixCell, Scenario, ScenarioMatrix, TraceMode, ALL_SCHEDULERS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +41,8 @@ fn main() {
         return;
     }
 
-    println!("# E11 — adversarial scenario matrix");
+    let out = output_arg();
+    out.note("# E11 — adversarial scenario matrix");
     let registry = standard_registry();
     let mut backends: Vec<String> = if smoke {
         vec!["sim".into(), "sharded:2".into(), "wire".into()]
@@ -66,10 +70,10 @@ fn main() {
     } else {
         (0..trials(4)).collect()
     };
-    println!(
+    out.note(&format!(
         "backends: {backends:?}\nschedulers: {schedulers:?}\nseeds per cell: {}",
         seeds.len()
-    );
+    ));
 
     let mut rows = Vec::new();
     let mut bad_cells: Vec<String> = Vec::new();
@@ -98,6 +102,19 @@ fn main() {
                 "{} seed={} -> {:?}",
                 cell.spec, cell.seed, cell.outcome.violations
             ));
+            // Forensics: replay the violating cell with the flight
+            // recorder on (cells are pure functions of (scenario, seed),
+            // so the replay reproduces the violation bit-for-bit) and
+            // drop a repro bundle.
+            if let Some(scenario) = Scenario::parse(&cell.spec) {
+                let (report, events) =
+                    run_cell_traced(kind, &scenario, cell.seed, &registry, TraceMode::Ring(4096));
+                match write_repro_bundle(&repro_dir(), kind, &scenario, cell.seed, &report, &events)
+                {
+                    Ok(bundle) => eprintln!("repro bundle: {}", bundle.display()),
+                    Err(e) => eprintln!("repro bundle write failed: {e}"),
+                }
+            }
         }
         // Reproducibility: re-sweep and compare the deterministic cells
         // bit-for-bit (threaded cells are exempt by design).
@@ -121,17 +138,17 @@ fn main() {
             format!("{mean_steps:.0}"),
         ]);
     }
-    print_table(
+    out.table(
         "Scenario matrix: safety violations and reproducibility per stack",
         &["stack", "cells", "violations", "reproducible", "mean steps"],
         &rows,
     );
     if bad_cells.is_empty() {
-        println!("\nall cells safe; deterministic cells reproduce bit-for-bit");
+        out.note("\nall cells safe; deterministic cells reproduce bit-for-bit");
     } else {
-        println!("\nUNSAFE OR NON-REPRODUCIBLE CELLS:");
+        out.note("\nUNSAFE OR NON-REPRODUCIBLE CELLS:");
         for line in &bad_cells {
-            println!("  {line}");
+            out.note(&format!("  {line}"));
         }
         std::process::exit(1);
     }
@@ -160,7 +177,15 @@ fn run_single(spec: &str) {
             report.sent,
             report.steps
         );
-        unsafe_cells += usize::from(!report.violations.is_empty());
+        if !report.violations.is_empty() {
+            unsafe_cells += 1;
+            let (traced, events) =
+                run_cell_traced(kind, &scenario, 1, &registry, TraceMode::Ring(4096));
+            match write_repro_bundle(&repro_dir(), kind, &scenario, 1, &traced, &events) {
+                Ok(bundle) => eprintln!("repro bundle: {}", bundle.display()),
+                Err(e) => eprintln!("repro bundle write failed: {e}"),
+            }
+        }
     }
     if unsafe_cells > 0 {
         eprintln!("{unsafe_cells} stack(s) violated invariants");

@@ -11,7 +11,7 @@
 //! default), `--runtime sharded:<k>` and `--runtime threaded` all run the
 //! full chain.
 
-use aft_bench::{print_table, runtime_arg, trials};
+use aft_bench::{output_arg, record_run, runtime_arg, trials};
 use aft_core::scenarios::standard_registry;
 use aft_field::Fp;
 use aft_sim::{
@@ -21,7 +21,8 @@ use aft_sim::{
 use aft_svss::{ShareBundle, SvssRec, SvssShare};
 
 fn main() {
-    println!("# E7 — Shunning dynamics (Definition 3.2's escape hatch)");
+    let out = output_arg();
+    out.note("# E7 — Shunning dynamics (Definition 3.2's escape hatch)");
     let rt_spec = runtime_arg();
     rt_spec.announce();
     let registry = standard_registry();
@@ -35,6 +36,7 @@ fn main() {
         let scenario = Scenario::parse(&format!("n={n},t={t},corrupt=equivocal-reveal@{}", n - 1))
             .expect("campaign scenario is valid");
         let mut net: Box<dyn Runtime> = rt_spec.make(NetConfig::new(n, t, 1234), "random");
+        let tracing = rt_spec.attach_trace(net.as_mut());
         let mut shun_curve = Vec::new();
         let mut binding_violations_without_shun = 0usize;
         for i in 0..instances {
@@ -79,6 +81,10 @@ fn main() {
             }
             shun_curve.push(net.metrics().shun_events);
         }
+        record_run(&net.metrics());
+        if tracing {
+            rt_spec.dump_trace(net.as_mut(), &format!("shunning campaign n={n}"));
+        }
         let final_shuns = *shun_curve.last().unwrap();
         let saturation_at = shun_curve
             .iter()
@@ -92,12 +98,12 @@ fn main() {
             format!("instance {saturation_at}"),
             binding_violations_without_shun.to_string(),
         ]);
-        println!(
+        out.note(&format!(
             "n={n}: cumulative shun curve (per instance): {:?}",
             shun_curve
-        );
+        ));
     }
-    print_table(
+    out.table(
         &format!("{instances} sequential SVSS instances with a reveal-equivocating party"),
         &[
             "n/t",
@@ -109,7 +115,8 @@ fn main() {
         ],
         &rows,
     );
-    println!("\npaper: each ordered pair shuns at most once ⇒ fewer than n² events ever;");
-    println!("after saturation the attacker's messages are dropped and later instances");
-    println!("run clean — exactly the budget the CoinFlip analysis charges against k.");
+    out.note("\npaper: each ordered pair shuns at most once ⇒ fewer than n² events ever;");
+    out.note("after saturation the attacker's messages are dropped and later instances");
+    out.note("run clean — exactly the budget the CoinFlip analysis charges against k.");
+    out.backend_counters();
 }

@@ -15,7 +15,7 @@
 //! shows the tail under genuine OS nondeterminism.
 
 use aft_ba::{BinaryBa, LocalCoin};
-use aft_bench::{print_table, session, trials};
+use aft_bench::{output_arg, record_run, session, trials};
 use aft_sim::{run_trials, Bernoulli, PartyId, RuntimeExt, Scenario, StopReason};
 
 /// Round thresholds whose exceedance probability is reported.
@@ -32,9 +32,12 @@ const ROWS: &[&str] = &[
 ];
 
 fn main() {
-    println!("# E10 — almost-sure-termination tails of BA across backends");
+    let out = output_arg();
+    out.note("# E10 — almost-sure-termination tails of BA across backends");
     let n_trials = trials(200);
-    println!("local-coin binary BA, n=4 t=1, split inputs, {n_trials} trials per backend");
+    out.note(&format!(
+        "local-coin binary BA, n=4 t=1, split inputs, {n_trials} trials per backend"
+    ));
 
     let mut rows = Vec::new();
     for spec in ROWS {
@@ -55,6 +58,7 @@ fn main() {
                 );
             }
             let report = rt.run(4_000_000_000);
+            record_run(&report.metrics);
             assert_eq!(report.stop, StopReason::Quiescent, "{backend} seed={seed}");
             let outs: Vec<bool> = (0..n)
                 .filter_map(|p| rt.output_as::<bool>(PartyId(p), &sid).copied())
@@ -82,13 +86,34 @@ fn main() {
     let tail_headers: Vec<String> = TAILS.iter().map(|r| format!("P[rounds ≥ {r}]")).collect();
     let mut headers = vec!["backend", "mean rounds", "max"];
     headers.extend(tail_headers.iter().map(|s| s.as_str()));
-    print_table(
+    out.table(
         "Round-count tail of local-coin BA (estimate ± CI95, successes/trials)",
         &headers,
         &rows,
     );
-    println!("\nthe deterministic backends (sim, sharded:<k>) reproduce their tails");
-    println!("seed-for-seed; `threaded` samples the same protocol under genuine OS");
-    println!("scheduling. The geometric tail is the price of local coins — the");
-    println!("paper's strong common coin removes it (see exp_ba_baselines).");
+    out.note("\nthe deterministic backends (sim, sharded:<k>) reproduce their tails");
+    out.note("seed-for-seed; `threaded` samples the same protocol under genuine OS");
+    out.note("scheduling. The geometric tail is the price of local coins — the");
+    out.note("paper's strong common coin removes it (see exp_ba_baselines).");
+
+    // --trace <path>: replay one representative cell (first row, seed 0)
+    // with the flight recorder attached and export it.
+    if let Some(path) = aft_bench::trace_arg() {
+        let scenario = Scenario::parse(ROWS[0]).expect("row scenarios are valid");
+        let mut rt = scenario.runtime(0);
+        rt.set_trace(aft_sim::TraceMode::Full);
+        let sid = session("ba");
+        for p in 0..scenario.n {
+            rt.spawn(
+                PartyId(p),
+                sid.clone(),
+                Box::new(BinaryBa::new(p % 2 == 0, Box::new(LocalCoin))),
+            );
+        }
+        rt.run(4_000_000_000);
+        if let Some(sink) = rt.take_trace() {
+            aft_bench::write_trace_files(&path, &sink.snapshot(), &format!("{} seed=0", ROWS[0]));
+        }
+    }
+    out.backend_counters();
 }

@@ -22,8 +22,11 @@ use aft_core::{
 };
 use aft_sim::{
     runtime_by_name, Instance, Metrics, NetConfig, PartyId, Runtime, RuntimeExt, SessionId,
-    SessionTag, SilentInstance, StopReason,
+    SessionTag, SilentInstance, StopReason, TraceMode,
 };
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Reads the trial multiplier from `AFT_TRIALS` (default `base`).
 pub fn trials(base: u64) -> u64 {
@@ -53,9 +56,27 @@ pub fn trials(base: u64) -> u64 {
 ///   scheduler.
 /// * `--runtime threaded[:<poll_ms>]` — the OS-thread backend; scheduler
 ///   columns are ignored (the OS is the scheduler).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RuntimeSpec {
     name: String,
+    /// Where to dump a flight-recorder trace of the first run, if asked
+    /// (`--trace <path>`).
+    trace: Option<PathBuf>,
+    /// Whether the trace dump is still pending (only the first run built
+    /// through this spec is traced — one representative execution).
+    trace_pending: AtomicBool,
+}
+
+impl Clone for RuntimeSpec {
+    fn clone(&self) -> Self {
+        RuntimeSpec {
+            name: self.name.clone(),
+            trace: self.trace.clone(),
+            // A clone does not inherit the trace obligation: exactly one
+            // run per `--trace` flag is recorded, via the original spec.
+            trace_pending: AtomicBool::new(false),
+        }
+    }
 }
 
 impl RuntimeSpec {
@@ -63,7 +84,39 @@ impl RuntimeSpec {
     pub fn named(name: &str) -> Self {
         RuntimeSpec {
             name: name.to_string(),
+            trace: None,
+            trace_pending: AtomicBool::new(false),
         }
+    }
+
+    /// Asks the spec to dump a flight-recorder trace of the first run it
+    /// builds to `path` (JSONL; a `.perfetto.json` sibling is written
+    /// alongside).
+    pub fn with_trace(mut self, path: Option<PathBuf>) -> Self {
+        self.trace_pending = AtomicBool::new(self.trace.is_none() && path.is_some());
+        self.trace = path;
+        self
+    }
+
+    /// Enables the flight recorder on `rt` if this spec still owes a
+    /// trace dump. Returns whether tracing was attached (pair with
+    /// [`RuntimeSpec::dump_trace`] after the run).
+    pub fn attach_trace(&self, rt: &mut dyn Runtime) -> bool {
+        if self.trace_pending.swap(false, Ordering::Relaxed) {
+            rt.set_trace(TraceMode::Full);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Detaches `rt`'s recorder and writes the JSONL trace plus its
+    /// Perfetto sibling; `label` identifies the traced run on stderr.
+    pub fn dump_trace(&self, rt: &mut dyn Runtime, label: &str) {
+        let Some(path) = &self.trace else { return };
+        let Some(sink) = rt.take_trace() else { return };
+        let events = sink.snapshot();
+        write_trace_files(path, &events, label);
     }
 
     /// The backend name as given (`"sim"`, `"threaded"`, …).
@@ -105,9 +158,16 @@ impl RuntimeSpec {
 
     /// Prints the standard one-line backend banner.
     pub fn announce(&self) {
-        println!("runtime backend: {}", self.name);
+        let banner = |line: &str| {
+            if json_arg() {
+                eprintln!("{line}");
+            } else {
+                println!("{line}");
+            }
+        };
+        banner(&format!("runtime backend: {}", self.name));
         if !self.honors_schedulers() {
-            println!("(scheduler columns are ignored on this backend)");
+            banner("(scheduler columns are ignored on this backend)");
         }
     }
 }
@@ -138,7 +198,232 @@ pub fn runtime_arg() -> RuntimeSpec {
         );
         std::process::exit(2);
     }
+    picked.with_trace(trace_arg())
+}
+
+/// Parses `--trace <path>` / `--trace=<path>` from the command line:
+/// where to write a flight-recorder trace (JSONL, plus a
+/// `.perfetto.json` sibling) of one representative run.
+pub fn trace_arg() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    let mut picked = None;
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            picked = args.next().map(PathBuf::from);
+        } else if let Some(path) = arg.strip_prefix("--trace=") {
+            picked = Some(PathBuf::from(path));
+        }
+    }
     picked
+}
+
+/// Whether `--json` was passed: tables become JSON objects on stdout
+/// (one per table) and banners move to stderr.
+pub fn json_arg() -> bool {
+    std::env::args().skip(1).any(|a| a == "--json")
+}
+
+/// Writes `events` as JSONL to `path` and as a Chrome/Perfetto trace to
+/// `path` + `.perfetto.json`, announcing both on stderr.
+pub fn write_trace_files(path: &Path, events: &[aft_sim::TraceEvent], label: &str) {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let perfetto = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".perfetto.json");
+        PathBuf::from(os)
+    };
+    match std::fs::write(path, aft_sim::trace::to_jsonl(events)) {
+        Ok(()) => eprintln!(
+            "trace: {} events from run [{label}] -> {}",
+            events.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("trace: cannot write {}: {e}", path.display()),
+    }
+    match std::fs::write(&perfetto, aft_sim::trace::to_chrome_trace(events)) {
+        Ok(()) => eprintln!("trace: perfetto view -> {}", perfetto.display()),
+        Err(e) => eprintln!("trace: cannot write {}: {e}", perfetto.display()),
+    }
+}
+
+/// Output mode shared by every `exp_*` binary: Markdown tables (default)
+/// or machine-readable JSON (`--json`).
+#[derive(Debug, Clone, Copy)]
+pub struct Output {
+    json: bool,
+}
+
+/// Builds the [`Output`] from the command line (`--json`).
+pub fn output_arg() -> Output {
+    Output { json: json_arg() }
+}
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Output {
+    /// Whether JSON mode is active.
+    pub fn is_json(&self) -> bool {
+        self.json
+    }
+
+    /// Prints a human-facing banner line (stdout normally, stderr in
+    /// JSON mode so stdout stays parseable).
+    pub fn note(&self, msg: &str) {
+        if self.json {
+            eprintln!("{msg}");
+        } else {
+            println!("{msg}");
+        }
+    }
+
+    /// Prints one result table: Markdown normally, a single-line JSON
+    /// object `{"table": .., "rows": [{header: cell, ..}, ..]}` in JSON
+    /// mode.
+    pub fn table(&self, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+        if !self.json {
+            print_table(title, headers, rows);
+            return;
+        }
+        let mut out = String::from("{\"table\":");
+        push_json_escaped(&mut out, title);
+        out.push_str(",\"rows\":[");
+        for (i, row) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (j, (h, cell)) in headers.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_escaped(&mut out, h);
+                out.push(':');
+                push_json_escaped(&mut out, cell);
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        println!("{out}");
+    }
+
+    /// Prints the process-wide backend counter totals accumulated by
+    /// [`run_protocol`] — the uniform pool/wire/decode-miss exposure
+    /// every experiment binary ends with.
+    pub fn backend_counters(&self) {
+        let totals = TOTALS.lock().expect("totals poisoned");
+        if totals.runs == 0 {
+            return;
+        }
+        self.table(
+            &format!("backend counters ({} runs)", totals.runs),
+            &[
+                "sent",
+                "delivered",
+                "dropped_shunned",
+                "dropped_crashed",
+                "shun_events",
+                "steps",
+                "pool_reused",
+                "pool_alloc",
+                "wire_frames",
+                "wire_bytes",
+                "wire_malformed",
+                "decode_misses",
+            ],
+            &[vec![
+                totals.sent.to_string(),
+                totals.delivered.to_string(),
+                totals.dropped_shunned.to_string(),
+                totals.dropped_crashed.to_string(),
+                totals.shun_events.to_string(),
+                totals.steps.to_string(),
+                totals.pool_reused.to_string(),
+                totals.pool_alloc.to_string(),
+                totals.wire_frames.to_string(),
+                totals.wire_bytes.to_string(),
+                totals.wire_malformed.to_string(),
+                totals.decode_misses.to_string(),
+            ]],
+        );
+    }
+}
+
+/// Process-wide backend counter totals, summed over every
+/// [`run_protocol`] call (all public [`Metrics`] counters plus the
+/// decode-miss total) — what [`Output::backend_counters`] reports.
+#[derive(Debug, Default)]
+struct BackendTotals {
+    runs: u64,
+    sent: u64,
+    delivered: u64,
+    dropped_shunned: u64,
+    dropped_crashed: u64,
+    shun_events: u64,
+    steps: u64,
+    pool_reused: u64,
+    pool_alloc: u64,
+    wire_frames: u64,
+    wire_bytes: u64,
+    wire_malformed: u64,
+    decode_misses: u64,
+}
+
+static TOTALS: Mutex<BackendTotals> = Mutex::new(BackendTotals {
+    runs: 0,
+    sent: 0,
+    delivered: 0,
+    dropped_shunned: 0,
+    dropped_crashed: 0,
+    shun_events: 0,
+    steps: 0,
+    pool_reused: 0,
+    pool_alloc: 0,
+    wire_frames: 0,
+    wire_bytes: 0,
+    wire_malformed: 0,
+    decode_misses: 0,
+});
+
+/// Folds one finished run's metrics into the process-wide backend
+/// counter totals that [`Output::backend_counters`] reports. Experiment
+/// binaries that build runtimes directly (instead of going through
+/// [`run_protocol`], which records automatically) call this after each
+/// `run`.
+pub fn record_run(metrics: &Metrics) {
+    record_totals(metrics);
+}
+
+fn record_totals(m: &Metrics) {
+    let mut t = TOTALS.lock().expect("totals poisoned");
+    t.runs += 1;
+    t.sent += m.sent;
+    t.delivered += m.delivered;
+    t.dropped_shunned += m.dropped_shunned;
+    t.dropped_crashed += m.dropped_crashed;
+    t.shun_events += m.shun_events;
+    t.steps += m.steps;
+    t.pool_reused += m.pool_reused;
+    t.pool_alloc += m.pool_alloc;
+    t.wire_frames += m.wire_frames;
+    t.wire_bytes += m.wire_bytes;
+    t.wire_malformed += m.wire_malformed;
+    t.decode_misses += m.decode_misses().map(|(_, c)| c).sum::<u64>();
 }
 
 /// Prints a Markdown table.
@@ -277,6 +562,7 @@ pub fn run_protocol<T: Clone + PartialEq + 'static>(
     mk: impl Fn(usize, bool) -> Box<dyn Instance>,
 ) -> RunOutcome<T> {
     let mut net = rt.make(NetConfig::new(n, t, seed), sched);
+    let tracing = rt.attach_trace(net.as_mut());
     let sid = session("exp");
     for p in 0..n {
         let inst: Box<dyn Instance> = if adversary.is_byz(p, n, t) {
@@ -287,6 +573,13 @@ pub fn run_protocol<T: Clone + PartialEq + 'static>(
         net.spawn(PartyId(p), sid.clone(), inst);
     }
     let report = net.run(4_000_000_000);
+    record_totals(&report.metrics);
+    if tracing {
+        rt.dump_trace(
+            net.as_mut(),
+            &format!("n={n} t={t} seed={seed} sched={sched} rt={}", rt.label()),
+        );
+    }
     assert_eq!(
         report.stop,
         StopReason::Quiescent,

@@ -25,10 +25,11 @@ use crate::CommonSubsetInstance;
 use aft_ba::{BinaryBa, OracleCoin};
 use aft_field::Fp;
 use aft_sim::{
-    AttackRegistry, Fingerprint, Metrics, PartyId, RuntimeExt, Scenario, SessionId, SessionTag,
-    SilentInstance, StopReason,
+    AttackRegistry, Fingerprint, Metrics, PartyId, Runtime, RuntimeExt, Scenario, SessionId,
+    SessionTag, SilentInstance, StopReason, TraceEvent, TraceMode,
 };
 use aft_svss::{ShareBundle, SvssRec, SvssShare};
+use std::path::{Path, PathBuf};
 
 /// Builds the registry of every named attack the workspace's protocol
 /// crates export. The conformance suite, the sweep driver and the
@@ -157,6 +158,84 @@ pub fn run_cell(
     }
 }
 
+/// [`run_cell`] with the flight recorder attached: returns the cell
+/// report plus the retained trace events. Because a cell is a pure
+/// function of `(scenario, seed)` and tracing is observational, the
+/// report is bit-for-bit identical to the untraced run — which is what
+/// makes post-hoc forensics sound: any violating cell can be re-run
+/// traced and yields the *same* violation.
+pub fn run_cell_traced(
+    kind: StackKind,
+    scenario: &Scenario,
+    seed: u64,
+    registry: &AttackRegistry,
+    mode: TraceMode,
+) -> (CellReport, Vec<TraceEvent>) {
+    let mut rt = scenario.runtime(seed);
+    rt.set_trace(mode);
+    let report = match kind {
+        StackKind::Ba => run_ba_cell_on(rt.as_mut(), scenario, seed, registry),
+        StackKind::SvssChain => run_svss_cell_on(rt.as_mut(), scenario, seed, registry),
+        StackKind::CommonSubset => run_cs_cell_on(rt.as_mut(), scenario, seed, registry),
+    };
+    let events = rt.take_trace().map(|s| s.snapshot()).unwrap_or_default();
+    (report, events)
+}
+
+/// Default repro-bundle directory: `$AFT_REPRO_DIR`, or `target/repro`.
+pub fn repro_dir() -> PathBuf {
+    std::env::var_os("AFT_REPRO_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/repro"))
+}
+
+/// Writes a violation repro bundle under `dir` and returns the bundle
+/// path. The bundle holds everything needed to replay and inspect the
+/// failing cell:
+///
+/// * `scenario.txt` — the scenario spec string, stack, seed, fingerprint
+///   and the violations, one per line (replay with
+///   `exp_trace --stack <stack> --scenario '<spec>' --seed <seed>`);
+/// * `trace.jsonl` — the retained events, one JSON object per line;
+/// * `trace.perfetto.json` — the same events as a Chrome/Perfetto
+///   trace with party×session lanes.
+pub fn write_repro_bundle(
+    dir: &Path,
+    kind: StackKind,
+    scenario: &Scenario,
+    seed: u64,
+    report: &CellReport,
+    events: &[TraceEvent],
+) -> std::io::Result<PathBuf> {
+    let bundle = dir.join(format!(
+        "{}-seed{}-{:016x}",
+        kind.label(),
+        seed,
+        report.fingerprint
+    ));
+    std::fs::create_dir_all(&bundle)?;
+    let mut manifest = String::new();
+    manifest.push_str(&format!("scenario: {scenario}\n"));
+    manifest.push_str(&format!("stack: {}\n", kind.label()));
+    manifest.push_str(&format!("seed: {seed}\n"));
+    manifest.push_str(&format!("fingerprint: {:016x}\n", report.fingerprint));
+    manifest.push_str(&format!(
+        "sent: {} delivered: {} steps: {}\n",
+        report.sent, report.delivered, report.steps
+    ));
+    manifest.push_str(&format!("events-retained: {}\n", events.len()));
+    for v in &report.violations {
+        manifest.push_str(&format!("violation: {v}\n"));
+    }
+    std::fs::write(bundle.join("scenario.txt"), manifest)?;
+    std::fs::write(bundle.join("trace.jsonl"), aft_sim::trace::to_jsonl(events))?;
+    std::fs::write(
+        bundle.join("trace.perfetto.json"),
+        aft_sim::trace::to_chrome_trace(events),
+    )?;
+    Ok(bundle)
+}
+
 const STEP_BUDGET: u64 = 2_000_000_000;
 
 fn sid(kind: &'static str) -> SessionId {
@@ -189,11 +268,20 @@ fn check_run(
 /// hold for the honest parties under any ≤ t corruption plan.
 pub fn run_ba_cell(scenario: &Scenario, seed: u64, registry: &AttackRegistry) -> CellReport {
     let mut rt = scenario.runtime(seed);
+    run_ba_cell_on(rt.as_mut(), scenario, seed, registry)
+}
+
+fn run_ba_cell_on(
+    rt: &mut dyn Runtime,
+    scenario: &Scenario,
+    seed: u64,
+    registry: &AttackRegistry,
+) -> CellReport {
     let session = sid("ba");
     let input = seed.is_multiple_of(2);
     let mut violations = Vec::new();
     let mut fp = Fingerprint::new();
-    if let Err(e) = scenario.deploy_episode(rt.as_mut(), registry, "ba", &session, &[], |_, _| {
+    if let Err(e) = scenario.deploy_episode(rt, registry, "ba", &session, &[], |_, _| {
         Box::new(BinaryBa::new(input, Box::new(OracleCoin::new(seed))))
     }) {
         violations.push(format!("deploy: {e}"));
@@ -243,6 +331,15 @@ pub fn run_ba_cell(scenario: &Scenario, seed: u64, registry: &AttackRegistry) ->
 /// non-dealer share evaluates to the dealt secret.
 pub fn run_svss_cell(scenario: &Scenario, seed: u64, registry: &AttackRegistry) -> CellReport {
     let mut rt = scenario.runtime(seed);
+    run_svss_cell_on(rt.as_mut(), scenario, seed, registry)
+}
+
+fn run_svss_cell_on(
+    rt: &mut dyn Runtime,
+    scenario: &Scenario,
+    seed: u64,
+    registry: &AttackRegistry,
+) -> CellReport {
     let share_sid = sid("svss-share");
     let rec_sid = sid("svss-rec");
     let secret = Fp::new(seed.wrapping_mul(7).wrapping_add(3));
@@ -250,20 +347,13 @@ pub fn run_svss_cell(scenario: &Scenario, seed: u64, registry: &AttackRegistry) 
     let mut fp = Fingerprint::new();
     let dealer_honest = !scenario.is_corrupt(PartyId(0));
 
-    let deployed = scenario.deploy_episode(
-        rt.as_mut(),
-        registry,
-        "svss-share",
-        &share_sid,
-        &[],
-        |p, _| {
-            if p == PartyId(0) {
-                Box::new(SvssShare::dealer(PartyId(0), secret))
-            } else {
-                Box::new(SvssShare::party(PartyId(0)))
-            }
-        },
-    );
+    let deployed = scenario.deploy_episode(rt, registry, "svss-share", &share_sid, &[], |p, _| {
+        if p == PartyId(0) {
+            Box::new(SvssShare::dealer(PartyId(0), secret))
+        } else {
+            Box::new(SvssShare::party(PartyId(0)))
+        }
+    });
     if let Err(e) = deployed {
         violations.push(format!("deploy share: {e}"));
         return CellReport {
@@ -329,7 +419,7 @@ pub fn run_svss_cell(scenario: &Scenario, seed: u64, registry: &AttackRegistry) 
     }
 
     let deployed = scenario.deploy_episode(
-        rt.as_mut(),
+        rt,
         registry,
         "svss-rec",
         &rec_sid,
@@ -393,11 +483,20 @@ pub fn run_svss_cell(scenario: &Scenario, seed: u64, registry: &AttackRegistry) 
 /// terminate with the *same* set of at least `n − t` valid party ids.
 pub fn run_cs_cell(scenario: &Scenario, seed: u64, registry: &AttackRegistry) -> CellReport {
     let mut rt = scenario.runtime(seed);
+    run_cs_cell_on(rt.as_mut(), scenario, seed, registry)
+}
+
+fn run_cs_cell_on(
+    rt: &mut dyn Runtime,
+    scenario: &Scenario,
+    seed: u64,
+    registry: &AttackRegistry,
+) -> CellReport {
     let session = sid("cs");
     let k = scenario.n - scenario.t;
     let mut violations = Vec::new();
     let mut fp = Fingerprint::new();
-    if let Err(e) = scenario.deploy_episode(rt.as_mut(), registry, "cs", &session, &[], |_, _| {
+    if let Err(e) = scenario.deploy_episode(rt, registry, "cs", &session, &[], |_, _| {
         Box::new(CommonSubsetInstance::new(k, CoinKind::Oracle(seed), true))
     }) {
         violations.push(format!("deploy: {e}"));

@@ -66,6 +66,7 @@ pub mod scenario;
 mod scheduler;
 pub mod shard;
 pub mod threaded;
+pub mod trace;
 pub mod wire;
 mod wire_rt;
 
@@ -90,6 +91,10 @@ pub use scheduler::{
 };
 pub use shard::ShardedSimRuntime;
 pub use threaded::{run_threaded, ThreadedOutputs, ThreadedRuntime};
+pub use trace::{
+    DepthHistogram, DropReason, FullRecorder, RingRecorder, TraceEvent, TraceMode, TraceSink,
+    TraceSummary,
+};
 pub use wire::{CodecRegistry, WireMessage};
 pub use wire_rt::WireRuntime;
 

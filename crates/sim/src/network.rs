@@ -6,9 +6,10 @@ use crate::node::{Node, Outgoing};
 use crate::payload::Payload;
 use crate::queue::Pending;
 use crate::runtime::{
-    build_node, deliver_counted, Metrics, NetConfig, RunReport, Runtime, StopReason,
+    build_node, deliver_counted, DeliverTrace, Metrics, NetConfig, RunReport, Runtime, StopReason,
 };
 use crate::scheduler::Scheduler;
+use crate::trace::{TraceEvent, TraceMode, TraceSink};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::collections::HashMap;
@@ -85,6 +86,10 @@ pub struct SimNetwork {
     crash_at: HashMap<PartyId, u64>,
     /// Trace of (seq, from, to) for determinism checks, if enabled.
     trace: Option<Vec<(u64, PartyId, PartyId)>>,
+    /// Structured flight recorder (see [`crate::trace`]), if enabled.
+    /// Observational only: consulted behind one `Option` check and never
+    /// allowed to perturb schedules, RNGs or metrics.
+    sink: Option<Box<dyn TraceSink>>,
     /// Whether any delivery step has executed (gates the crash-before-run
     /// retraction of buffered sends).
     started: bool,
@@ -124,6 +129,7 @@ impl SimNetwork {
             muted: vec![false; config.n],
             crash_at: HashMap::new(),
             trace: None,
+            sink: None,
             started: false,
             scratch: Vec::new(),
             codec: None,
@@ -166,7 +172,19 @@ impl SimNetwork {
     /// sends.
     pub fn spawn(&mut self, party: PartyId, session: SessionId, instance: Box<dyn Instance>) {
         let mut out = self.nodes[party.0].spawn(session, instance);
-        self.enqueue(party, &mut out);
+        // Spawn-phase sends have no causal parent: they are DAG roots.
+        self.enqueue(party, &mut out, None);
+    }
+
+    /// Enables the structured flight recorder for subsequent runs (see
+    /// [`crate::trace`]); [`TraceMode::Off`] disables it.
+    pub fn set_trace(&mut self, mode: TraceMode) {
+        self.sink = mode.build();
+    }
+
+    /// Detaches and returns the flight recorder's sink, if any.
+    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
     }
 
     /// Crashes `party` immediately: it stops processing and sending.
@@ -182,6 +200,12 @@ impl SimNetwork {
             for env in self.pending.retract_from(party) {
                 self.metrics.on_retracted(&env.session);
             }
+        }
+        if let Some(sink) = &mut self.sink {
+            sink.record(TraceEvent::Crash {
+                step: self.metrics.steps,
+                party,
+            });
         }
     }
 
@@ -240,6 +264,15 @@ impl SimNetwork {
         };
         self.started = true;
         let run = run.min(limit);
+        if let Some(sink) = &mut self.sink {
+            let meta = self.pending.meta_of_slot(slot);
+            sink.record(TraceEvent::SchedulerPick {
+                step: self.metrics.steps,
+                party: meta.to,
+                queued: self.pending.len(),
+                run: run as usize,
+            });
+        }
         for _ in 0..run {
             // Trigger scheduled crashes per delivery, so a crash step
             // falling inside a batch run still fires exactly on time
@@ -263,15 +296,29 @@ impl SimNetwork {
                 trace.push((env.seq, env.from, env.to));
             }
             let mut out = std::mem::take(&mut self.scratch);
+            let SimNetwork {
+                nodes,
+                metrics,
+                sink,
+                ..
+            } = self;
+            let tctx = sink.as_deref_mut().map(|s| DeliverTrace {
+                sink: s,
+                seq: env.seq,
+            });
             deliver_counted(
-                &mut self.nodes[env.to.0],
+                &mut nodes[env.to.0],
                 env.from,
                 env.session,
                 env.payload,
                 &mut out,
-                &mut self.metrics,
+                metrics,
+                tctx,
             );
-            self.enqueue(env.to, &mut out);
+            // Sends emitted by this handler are caused by the delivery
+            // that just ran (its step index is the post-increment count).
+            let parent = self.metrics.steps;
+            self.enqueue(env.to, &mut out, Some(parent));
             self.scratch = out;
         }
         run
@@ -291,18 +338,27 @@ impl SimNetwork {
         mut stop: F,
     ) -> RunReport {
         let start = self.metrics.steps;
-        loop {
+        if let Some(sink) = &mut self.sink {
+            sink.record(TraceEvent::EpisodeStart { step: start });
+        }
+        let reason = loop {
             let remaining = max_steps - (self.metrics.steps - start);
             if remaining == 0 {
-                return self.report(StopReason::StepLimit);
+                break StopReason::StepLimit;
             }
             if self.step_bounded(remaining) == 0 {
-                return self.report(StopReason::Quiescent);
+                break StopReason::Quiescent;
             }
             if stop(self) {
-                return self.report(StopReason::Predicate);
+                break StopReason::Predicate;
             }
+        };
+        if let Some(sink) = &mut self.sink {
+            sink.record(TraceEvent::EpisodeEnd {
+                step: self.metrics.steps,
+            });
         }
+        self.report(reason)
     }
 
     /// Convenience: runs until every listed party has an output for
@@ -326,6 +382,10 @@ impl SimNetwork {
             stop,
             steps: metrics.steps,
             metrics,
+            trace: self
+                .sink
+                .as_ref()
+                .map(|s| crate::trace::summarize(s.as_ref())),
         }
     }
 
@@ -356,7 +416,7 @@ impl SimNetwork {
     /// the in-flight queue instead of one record per envelope. Metrics see
     /// the original emission order. Drains `out` in place so callers can
     /// reuse the buffer.
-    fn enqueue(&mut self, from: PartyId, out: &mut Vec<Outgoing>) {
+    fn enqueue(&mut self, from: PartyId, out: &mut Vec<Outgoing>, causal: Option<u64>) {
         if self.muted[from.0] {
             out.clear();
             return;
@@ -374,6 +434,7 @@ impl SimNetwork {
             pending,
             metrics,
             seq,
+            sink,
             ..
         } = self;
         let born_step = metrics.steps;
@@ -391,6 +452,16 @@ impl SimNetwork {
                         &out[start..end],
                         &mut *metrics,
                         |to, session, payload| {
+                            if let Some(s) = sink.as_deref_mut() {
+                                s.record(TraceEvent::Send {
+                                    step: born_step,
+                                    from,
+                                    to,
+                                    session: session.clone(),
+                                    seq: *seq,
+                                    causal_parent: causal,
+                                });
+                            }
                             pending.push(Envelope {
                                 from,
                                 to,
@@ -408,6 +479,16 @@ impl SimNetwork {
             }
             None => {
                 for o in out.drain(..) {
+                    if let Some(s) = sink.as_deref_mut() {
+                        s.record(TraceEvent::Send {
+                            step: born_step,
+                            from,
+                            to: o.to,
+                            session: o.session.clone(),
+                            seq: *seq,
+                            causal_parent: causal,
+                        });
+                    }
                     pending.push(Envelope {
                         from,
                         to: o.to,
@@ -472,6 +553,14 @@ impl Runtime for SimNetwork {
 
     fn retire_session(&mut self, party: PartyId, session: &SessionId) -> bool {
         SimNetwork::retire_session(self, party, session)
+    }
+
+    fn set_trace(&mut self, mode: TraceMode) {
+        SimNetwork::set_trace(self, mode);
+    }
+
+    fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        SimNetwork::take_trace(self)
     }
 
     fn backend_name(&self) -> &'static str {

@@ -146,6 +146,10 @@ pub struct Node {
     crashed: bool,
     /// Count of shun events this node declared (for metrics).
     shun_events: u64,
+    /// Count of session outputs recorded (first-wins outputs only). The
+    /// flight recorder diffs this across a delivery to attribute
+    /// `Output` events without scanning the arena.
+    outputs_recorded: u64,
     /// Reusable effect-loop work queue (empty between deliveries).
     work: VecDeque<Work>,
     /// Reusable effect buffer handed to instance callbacks.
@@ -169,6 +173,7 @@ impl Node {
             shun: ShunRegistry::default(),
             crashed: false,
             shun_events: 0,
+            outputs_recorded: 0,
             work: VecDeque::new(),
             effects_pool: Vec::new(),
             early_pool: Vec::new(),
@@ -265,6 +270,12 @@ impl Node {
     /// Number of shun events declared by this node.
     pub fn shun_event_count(&self) -> u64 {
         self.shun_events
+    }
+
+    /// Number of session outputs ever recorded by this node (monotonic;
+    /// unaffected by [`retire_session`](Node::retire_session)).
+    pub fn output_count(&self) -> u64 {
+        self.outputs_recorded
     }
 
     /// The node's shun registry.
@@ -416,6 +427,7 @@ impl Node {
                             continue; // first output wins
                         }
                         slot.output = Some(value.clone());
+                        self.outputs_recorded += 1;
                         if let (Some(parent), Some(tag)) = (session.parent(), session.last()) {
                             queue.push_back(Work::ChildOutput(parent, *tag, value));
                         }

@@ -21,8 +21,10 @@ use crate::instance::Instance;
 use crate::node::{Node, Outgoing};
 use crate::payload::Payload;
 use crate::scheduler::SchedulerConfig;
+use crate::trace::{DropReason, TraceEvent, TraceMode, TraceSink, TraceSummary};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
+use std::fmt;
 
 /// Static parameters of a simulated system.
 #[derive(Debug, Clone, Copy)]
@@ -213,6 +215,41 @@ pub struct RunReport {
     pub steps: u64,
     /// Copy of the metrics at stop time.
     pub metrics: Metrics,
+    /// Flight-recorder digest, present iff tracing was enabled via
+    /// [`Runtime::set_trace`]. Diagnostic only: never folded into
+    /// scenario fingerprints.
+    pub trace: Option<TraceSummary>,
+}
+
+impl fmt::Display for RunReport {
+    /// Uniform text rendering across every backend: stop reason, core
+    /// counters, pool stats, per-kind send counts and decode misses, and
+    /// the trace digest when tracing was on.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = &self.metrics;
+        writeln!(f, "stop: {:?} after {} steps", self.stop, self.steps)?;
+        writeln!(
+            f,
+            "messages: sent={} delivered={} dropped_shunned={} dropped_crashed={} shun_events={}",
+            m.sent, m.delivered, m.dropped_shunned, m.dropped_crashed, m.shun_events
+        )?;
+        writeln!(
+            f,
+            "wire: frames={} bytes={} malformed={}",
+            m.wire_frames, m.wire_bytes, m.wire_malformed
+        )?;
+        writeln!(f, "pool: reused={} alloc={}", m.pool_reused, m.pool_alloc)?;
+        let kinds: Vec<String> = m.kinds().map(|(k, c)| format!("{k}={c}")).collect();
+        writeln!(f, "sent by kind: {}", kinds.join(" "))?;
+        let misses: Vec<String> = m.decode_misses().map(|(k, c)| format!("{k}={c}")).collect();
+        if !misses.is_empty() {
+            writeln!(f, "decode misses: {}", misses.join(" "))?;
+        }
+        if let Some(trace) = &self.trace {
+            write!(f, "{trace}")?;
+        }
+        Ok(())
+    }
 }
 
 /// Derives party `p`'s deterministic RNG from the master seed.
@@ -236,10 +273,30 @@ pub(crate) fn build_node(config: &NetConfig, party: usize) -> Node {
     )
 }
 
+/// Per-delivery flight-recorder context: the sink to record into plus
+/// the identity of the envelope being delivered. `None` (tracing off) is
+/// the statically-predictable fast path — one branch, no other cost.
+pub(crate) struct DeliverTrace<'a> {
+    /// Destination for the delivery's events.
+    pub sink: &'a mut dyn TraceSink,
+    /// Sequence number of the envelope being delivered.
+    pub seq: u64,
+}
+
+fn miss_total(misses: &[(&'static str, u64)]) -> u64 {
+    misses.iter().map(|&(_, c)| c).sum()
+}
+
 /// Delivers one message to `node` with full metric accounting — the
 /// dispatch core shared by every backend. Crashed receivers count as
 /// `dropped_crashed`, shun-filtered messages as `dropped_shunned`,
 /// the rest as `delivered`; new shun declarations are tallied.
+///
+/// When `trace` is set, the delivery additionally records
+/// `Deliver`/`Drop` plus any `DecodeMiss`/`Shun`/`Output` events it
+/// caused. Tracing only *reads* the state the untraced path already
+/// computes, so a traced run is bit-for-bit identical to an untraced
+/// one.
 pub(crate) fn deliver_counted(
     node: &mut Node,
     from: PartyId,
@@ -247,10 +304,21 @@ pub(crate) fn deliver_counted(
     payload: Payload,
     out: &mut Vec<Outgoing>,
     metrics: &mut Metrics,
+    trace: Option<DeliverTrace<'_>>,
 ) {
     metrics.steps += 1;
     if node.is_crashed() {
         metrics.dropped_crashed += 1;
+        if let Some(t) = trace {
+            t.sink.record(TraceEvent::Drop {
+                step: metrics.steps,
+                party: node.id(),
+                from,
+                session,
+                seq: t.seq,
+                reason: DropReason::Crashed,
+            });
+        }
         return;
     }
     // Discard stray miss records from outside deliveries (test probes,
@@ -258,13 +326,72 @@ pub(crate) fn deliver_counted(
     // failed views to this run's metrics.
     crate::payload::drain_misses(None);
     let shuns_before = node.shun_event_count();
-    if node.deliver(from, session, payload, out) {
+    // Captured only when tracing; the trace-off path pays nothing here.
+    let before = trace.as_ref().map(|_| {
+        (
+            session.clone(),
+            node.output_count(),
+            miss_total(&metrics.decode_miss),
+        )
+    });
+    let delivered = node.deliver(from, session, payload, out);
+    if delivered {
         metrics.delivered += 1;
     } else {
         metrics.dropped_shunned += 1;
     }
     crate::payload::drain_misses(Some(&mut metrics.decode_miss));
-    metrics.shun_events += node.shun_event_count() - shuns_before;
+    let new_shuns = node.shun_event_count() - shuns_before;
+    metrics.shun_events += new_shuns;
+    if let Some(t) = trace {
+        let (session, outputs_before, miss_before) = before.expect("captured when tracing");
+        let step = metrics.steps;
+        let party = node.id();
+        if delivered {
+            t.sink.record(TraceEvent::Deliver {
+                step,
+                party,
+                from,
+                session: session.clone(),
+                seq: t.seq,
+            });
+        } else {
+            t.sink.record(TraceEvent::Drop {
+                step,
+                party,
+                from,
+                session: session.clone(),
+                seq: t.seq,
+                reason: DropReason::Shunned,
+            });
+        }
+        let misses = miss_total(&metrics.decode_miss) - miss_before;
+        if misses > 0 {
+            t.sink.record(TraceEvent::DecodeMiss {
+                step,
+                party,
+                session: session.clone(),
+                count: misses,
+            });
+        }
+        if new_shuns > 0 {
+            t.sink.record(TraceEvent::Shun {
+                step,
+                party,
+                session: session.clone(),
+                count: new_shuns,
+            });
+        }
+        let outputs = node.output_count() - outputs_before;
+        if outputs > 0 {
+            t.sink.record(TraceEvent::Output {
+                step,
+                party,
+                session,
+                count: outputs,
+            });
+        }
+    }
 }
 
 /// One execution backend: deploy [`Instance`]s, run, read outputs.
@@ -360,6 +487,21 @@ pub trait Runtime {
 
     /// Snapshot of the run metrics so far.
     fn metrics(&self) -> Metrics;
+
+    /// Configures the flight recorder (see [`trace`](crate::trace)) for
+    /// subsequent runs. Off by default; tracing is observational only
+    /// and never perturbs schedules, RNGs or fingerprints. The default
+    /// implementation ignores the call, so backends without a recorder
+    /// stay valid.
+    fn set_trace(&mut self, mode: TraceMode) {
+        let _ = mode;
+    }
+
+    /// Detaches and returns the active trace sink, if any, leaving
+    /// tracing off.
+    fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        None
+    }
 
     /// The backend's name (`"sim"`, `"threaded"`, …) for reports.
     fn backend_name(&self) -> &'static str;
@@ -584,6 +726,7 @@ mod tests {
             Payload::new(1u8),
             &mut out,
             &mut metrics,
+            None,
         );
         assert_eq!(metrics.dropped_shunned, 1);
 
@@ -595,6 +738,7 @@ mod tests {
             Payload::new(1u8),
             &mut out,
             &mut metrics,
+            None,
         );
         assert_eq!(metrics.delivered, 1);
 
@@ -607,6 +751,7 @@ mod tests {
             Payload::new(1u8),
             &mut out,
             &mut metrics,
+            None,
         );
         assert_eq!(metrics.dropped_crashed, 1);
         assert_eq!(metrics.steps, 3);
@@ -618,5 +763,145 @@ mod tests {
         assert!(runtime_by_name("sim:bogus", config).is_none());
         assert!(runtime_by_name("threaded:abc", config).is_none());
         assert!(runtime_by_name("", config).is_none());
+    }
+
+    /// One randomized bookkeeping op against a `Metrics`.
+    #[derive(Debug, Clone, Copy)]
+    enum MetricOp {
+        Sent(usize),
+        Retract(usize),
+        Miss(usize),
+        Delivered,
+        DroppedShunned,
+        DroppedCrashed,
+        Step,
+        Shun,
+        Pool,
+    }
+
+    const OP_KINDS: [&str; 4] = ["acast", "ba", "svss-share", "wire:unknown"];
+
+    fn apply_op(m: &mut Metrics, op: MetricOp, live: &mut [u64; 4]) {
+        let sid = |i: usize| SessionId::root().child(SessionTag::new(OP_KINDS[i % 4], 0));
+        match op {
+            MetricOp::Sent(i) => {
+                live[i % 4] += 1;
+                m.on_sent(&sid(i));
+            }
+            MetricOp::Retract(i) => {
+                // Only retract a kind this half actually sent, like the
+                // simulator (which retracts buffered, counted sends).
+                if live[i % 4] > 0 {
+                    live[i % 4] -= 1;
+                    m.on_retracted(&sid(i));
+                }
+            }
+            MetricOp::Miss(i) => {
+                let kind = OP_KINDS[i % 4];
+                if let Some(j) = m.decode_miss.iter().position(|(k, _)| *k == kind) {
+                    m.decode_miss[j].1 += 1;
+                } else {
+                    m.decode_miss.push((kind, 1));
+                }
+            }
+            MetricOp::Delivered => m.delivered += 1,
+            MetricOp::DroppedShunned => m.dropped_shunned += 1,
+            MetricOp::DroppedCrashed => m.dropped_crashed += 1,
+            MetricOp::Step => m.steps += 1,
+            MetricOp::Shun => m.shun_events += 1,
+            MetricOp::Pool => {
+                m.pool_reused += 1;
+                m.pool_alloc += 1;
+                m.wire_frames += 1;
+                m.wire_bytes += 3;
+                m.wire_malformed += 1;
+            }
+        }
+    }
+
+    /// Sorted per-kind counters, as returned by [`canon`].
+    type KindCounts = Vec<(&'static str, u64)>;
+
+    /// Order-independent view of every counter, for equality modulo the
+    /// first-seen ordering of the interned maps.
+    fn canon(m: &Metrics) -> (Vec<u64>, KindCounts, KindCounts) {
+        let scalars = vec![
+            m.sent,
+            m.delivered,
+            m.dropped_shunned,
+            m.dropped_crashed,
+            m.steps,
+            m.shun_events,
+            m.wire_frames,
+            m.wire_bytes,
+            m.wire_malformed,
+            m.pool_reused,
+            m.pool_alloc,
+        ];
+        let mut kinds: Vec<_> = m.kinds().collect();
+        kinds.sort_unstable();
+        let mut misses: Vec<_> = m.decode_misses().collect();
+        misses.sort_unstable();
+        (scalars, kinds, misses)
+    }
+
+    /// Decodes one random word into an op: low byte selects the variant,
+    /// the next byte the session kind.
+    fn decode_op(raw: u32) -> MetricOp {
+        let kind = ((raw >> 8) & 0xFF) as usize;
+        match raw % 9 {
+            0 => MetricOp::Sent(kind),
+            1 => MetricOp::Retract(kind),
+            2 => MetricOp::Miss(kind),
+            3 => MetricOp::Delivered,
+            4 => MetricOp::DroppedShunned,
+            5 => MetricOp::DroppedCrashed,
+            6 => MetricOp::Step,
+            7 => MetricOp::Shun,
+            _ => MetricOp::Pool,
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(128))]
+
+        /// `Metrics::merge` ∘ split ≡ unsplit: routing any op sequence
+        /// through two halves (as the sharded and threaded backends route
+        /// per-party/per-thread bookkeeping) and merging gives exactly
+        /// the counters of applying the sequence to one `Metrics` —
+        /// including the interned per-kind and decode-miss maps.
+        #[test]
+        fn metrics_merge_of_split_equals_unsplit(
+            raw in proptest::collection::vec(proptest::any::<u32>(), 0..64),
+        ) {
+            let mut whole = Metrics::default();
+            let mut live_whole = [0u64; 4];
+            let mut left = Metrics::default();
+            let mut live_left = [0u64; 4];
+            let mut right = Metrics::default();
+            let mut live_right = [0u64; 4];
+            for &word in &raw {
+                let op = decode_op(word);
+                let go_left = (word >> 16) & 1 == 0;
+                // The split must see the same effective ops as the whole:
+                // a retract is a no-op when its half never sent that kind,
+                // so route each op by where it *can* apply identically.
+                let (half, live_half) = if go_left {
+                    (&mut left, &mut live_left)
+                } else {
+                    (&mut right, &mut live_right)
+                };
+                if let MetricOp::Retract(i) = op {
+                    if live_half[i % 4] == 0 {
+                        continue; // would diverge from the whole; skip
+                    }
+                }
+                apply_op(&mut whole, op, &mut live_whole);
+                apply_op(half, op, live_half);
+            }
+            let mut merged = left;
+            merged.merge(&right);
+            proptest::prop_assert_eq!(canon(&merged), canon(&whole));
+        }
     }
 }

@@ -50,9 +50,10 @@ use crate::node::Node;
 use crate::payload::Payload;
 use crate::queue::Pending;
 use crate::runtime::{
-    build_node, deliver_counted, Metrics, NetConfig, RunReport, Runtime, StopReason,
+    build_node, deliver_counted, DeliverTrace, Metrics, NetConfig, RunReport, Runtime, StopReason,
 };
 use crate::scheduler::{RandomScheduler, Scheduler};
+use crate::trace::{TraceEvent, TraceMode, TraceSink};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
@@ -78,6 +79,11 @@ struct PartyState {
     emit: u64,
     /// Delivered `(seq, from, to)` tuples this epoch, if tracing.
     trace: Option<Vec<(u64, PartyId, PartyId)>>,
+    /// Flight-recorder events this epoch (flattened into the global sink
+    /// at the barrier in party order, so the stream is a pure function of
+    /// the logical schedule). `step` fields are party-local delivery
+    /// counts: `(party, step)` uniquely names a delivery.
+    events: Option<Vec<TraceEvent>>,
     /// Scratch buffer for node dispatch output.
     scratch: Vec<crate::node::Outgoing>,
 }
@@ -86,7 +92,7 @@ impl PartyState {
     /// Tags `self.scratch` as emissions of this party and appends them to
     /// the per-pair channels (crashed nodes produce no outgoing work, so
     /// this never sees output from one).
-    fn flush_sends(&mut self, me: PartyId, n: u64, epoch: u64) {
+    fn flush_sends(&mut self, me: PartyId, n: u64, epoch: u64, causal: Option<u64>) {
         for o in self.scratch.drain(..) {
             self.metrics.on_sent(&o.session);
             let out = &mut self.outbox[o.to.0];
@@ -103,12 +109,23 @@ impl PartyState {
                     None => self.metrics.pool_alloc += 1,
                 }
             }
+            let seq = self.emit * n + me.0 as u64;
+            if let Some(events) = &mut self.events {
+                events.push(TraceEvent::Send {
+                    step: self.metrics.steps,
+                    from: me,
+                    to: o.to,
+                    session: o.session.clone(),
+                    seq,
+                    causal_parent: causal,
+                });
+            }
             out.push(Envelope {
                 from: me,
                 to: o.to,
                 session: o.session,
                 payload: o.payload,
-                seq: self.emit * n + me.0 as u64,
+                seq,
                 born_step: epoch,
             });
             self.emit += 1;
@@ -132,20 +149,43 @@ impl PartyState {
             let idx = idx.min(self.inbox.len() - 1);
             let slot = self.inbox.slot_of(idx);
             let run = (self.inbox.run_len_of_slot(slot) as u64).min(limit - done);
+            if let Some(events) = &mut self.events {
+                events.push(TraceEvent::SchedulerPick {
+                    step: self.metrics.steps,
+                    party: me,
+                    queued: self.inbox.len(),
+                    run: run as usize,
+                });
+            }
             for _ in 0..run {
                 let env = self.inbox.take_slot(slot);
                 if let Some(trace) = &mut self.trace {
                     trace.push((env.seq, env.from, env.to));
                 }
+                let PartyState {
+                    node,
+                    metrics,
+                    events,
+                    scratch,
+                    ..
+                } = self;
+                let tctx = events.as_mut().map(|ev| DeliverTrace {
+                    sink: ev,
+                    seq: env.seq,
+                });
                 deliver_counted(
-                    &mut self.node,
+                    node,
                     env.from,
                     env.session,
                     env.payload,
-                    &mut self.scratch,
-                    &mut self.metrics,
+                    scratch,
+                    metrics,
+                    tctx,
                 );
-                self.flush_sends(me, n, epoch);
+                // Party-local step of the delivery that just ran: the
+                // causal parent of everything it emitted.
+                let parent = self.metrics.steps;
+                self.flush_sends(me, n, epoch, Some(parent));
             }
             done += run;
         }
@@ -221,6 +261,10 @@ pub struct ShardedSimRuntime {
     /// Flattened delivery trace in logical `(epoch, party, index)` order,
     /// if tracing.
     trace: Option<Vec<(u64, PartyId, PartyId)>>,
+    /// Structured flight recorder (see [`crate::trace`]): per-party event
+    /// buffers flatten into this sink at every barrier, in party order.
+    /// Observational only — never consulted by the schedule.
+    sink: Option<Box<dyn TraceSink>>,
     /// The per-pair ordered channels, receiver side: `channels[dst][src]`
     /// is filled by the barrier handoff and drained by the merge.
     channels: Vec<Vec<Vec<Envelope>>>,
@@ -271,6 +315,7 @@ impl ShardedSimRuntime {
                 outbox: (0..config.n).map(|_| Vec::new()).collect(),
                 emit: 0,
                 trace: None,
+                events: None,
                 scratch: Vec::new(),
             })
             .collect();
@@ -284,6 +329,7 @@ impl ShardedSimRuntime {
             epoch: 0,
             steps: 0,
             trace: None,
+            sink: None,
             channels: (0..config.n)
                 .map(|_| (0..config.n).map(|_| Vec::new()).collect())
                 .collect(),
@@ -344,7 +390,8 @@ impl ShardedSimRuntime {
         for (party, session, instance) in spawns {
             let ps = &mut self.parties[party.0];
             ps.scratch = ps.node.spawn(session, instance);
-            ps.flush_sends(party, n, epoch);
+            // Spawn-phase sends have no causal parent: they are DAG roots.
+            ps.flush_sends(party, n, epoch, None);
         }
     }
 
@@ -390,6 +437,15 @@ impl ShardedSimRuntime {
             for ps in &mut self.parties {
                 if let Some(local) = &mut ps.trace {
                     global.append(local);
+                }
+            }
+        }
+        if let Some(sink) = &mut self.sink {
+            for ps in &mut self.parties {
+                if let Some(local) = &mut ps.events {
+                    for event in local.drain(..) {
+                        sink.record(event);
+                    }
                 }
             }
         }
@@ -456,6 +512,10 @@ impl ShardedSimRuntime {
             stop,
             steps: self.steps,
             metrics: self.metrics(),
+            trace: self
+                .sink
+                .as_ref()
+                .map(|s| crate::trace::summarize(s.as_ref())),
         }
     }
 }
@@ -481,15 +541,27 @@ impl Runtime for ShardedSimRuntime {
 
     fn crash(&mut self, party: PartyId) {
         self.parties[party.0].node.crash();
+        if let Some(sink) = &mut self.sink {
+            sink.record(TraceEvent::Crash {
+                step: self.steps,
+                party,
+            });
+        }
     }
 
     fn run(&mut self, max_steps: u64) -> RunReport {
+        if let Some(sink) = &mut self.sink {
+            sink.record(TraceEvent::EpisodeStart { step: self.steps });
+        }
         self.apply_spawns();
         self.merge_barrier();
         let mut run_steps = 0;
-        while self.pending_len() > 0 {
+        let reason = loop {
+            if self.pending_len() == 0 {
+                break StopReason::Quiescent;
+            }
             if run_steps >= max_steps {
-                return self.report(StopReason::StepLimit);
+                break StopReason::StepLimit;
             }
             let remaining = max_steps - run_steps;
             let workload = self.pending_len() as u64;
@@ -501,8 +573,11 @@ impl Runtime for ShardedSimRuntime {
             run_steps += done;
             self.steps += done;
             self.merge_barrier();
+        };
+        if let Some(sink) = &mut self.sink {
+            sink.record(TraceEvent::EpisodeEnd { step: self.steps });
         }
-        self.report(StopReason::Quiescent)
+        self.report(reason)
     }
 
     fn output(&self, party: PartyId, session: &SessionId) -> Option<&Payload> {
@@ -524,6 +599,21 @@ impl Runtime for ShardedSimRuntime {
 
     fn retire_session(&mut self, party: PartyId, session: &SessionId) -> bool {
         self.parties[party.0].node.retire_session(session)
+    }
+
+    fn set_trace(&mut self, mode: TraceMode) {
+        self.sink = mode.build();
+        let on = self.sink.is_some();
+        for ps in &mut self.parties {
+            ps.events = if on { Some(Vec::new()) } else { None };
+        }
+    }
+
+    fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        for ps in &mut self.parties {
+            ps.events = None;
+        }
+        self.sink.take()
     }
 
     fn backend_name(&self) -> &'static str {

@@ -33,18 +33,22 @@ use crate::instance::Instance;
 use crate::node::{Node, Outgoing};
 use crate::payload::Payload;
 use crate::runtime::{
-    build_node, deliver_counted, Metrics, NetConfig, RunReport, Runtime, StopReason,
+    build_node, deliver_counted, DeliverTrace, Metrics, NetConfig, RunReport, Runtime, StopReason,
 };
+use crate::trace::{TraceEvent, TraceMode, TraceSink};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 struct Wire {
     from: PartyId,
     session: SessionId,
     payload: Payload,
+    /// Globally-unique envelope number (`emit * n + sender`), joining the
+    /// flight recorder's `Send` and `Deliver` events.
+    seq: u64,
 }
 
 /// Per-party outputs of a threaded run.
@@ -84,21 +88,40 @@ impl Drop for PoisonOnUnwind {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     from: PartyId,
     out: &mut Vec<Outgoing>,
     senders: &[Sender<Wire>],
     state: &EpisodeState,
     metrics: &mut Metrics,
+    n: u64,
+    emit: &mut u64,
+    sink: Option<&Mutex<Box<dyn TraceSink>>>,
+    causal: Option<u64>,
 ) {
     for o in out.drain(..) {
         metrics.on_sent(&o.session);
+        let seq = *emit * n + from.0 as u64;
+        *emit += 1;
+        if let Some(shared) = sink {
+            let mut sink = shared.lock().expect("trace sink poisoned");
+            sink.record(TraceEvent::Send {
+                step: metrics.steps,
+                from,
+                to: o.to,
+                session: o.session.clone(),
+                seq,
+                causal_parent: causal,
+            });
+        }
         state.in_flight.fetch_add(1, Ordering::SeqCst);
         // Receiver may only disappear after quiescence; ignore failures.
         let _ = senders[o.to.0].send(Wire {
             from,
             session: o.session,
             payload: o.payload,
+            seq,
         });
     }
 }
@@ -113,6 +136,7 @@ fn run_episode(
     nodes: Vec<Node>,
     spawns: Vec<Vec<(SessionId, Box<dyn Instance>)>>,
     max_steps: u64,
+    sink: Option<&Mutex<Box<dyn TraceSink>>>,
 ) -> (Vec<WorkerResult>, StopReason) {
     let n = config.n;
     assert_eq!(spawns.len(), n, "one spawn list per party");
@@ -148,9 +172,22 @@ fn run_episode(
                 };
                 let mut metrics = Metrics::default();
                 let mut out = Vec::new();
+                let mut emit = 0u64;
+                let n_u64 = n as u64;
                 for (session, instance) in instances {
                     out = node.spawn(session, instance);
-                    dispatch(me, &mut out, &senders, &state, &mut metrics);
+                    // Spawn-phase sends are causal-DAG roots.
+                    dispatch(
+                        me,
+                        &mut out,
+                        &senders,
+                        &state,
+                        &mut metrics,
+                        n_u64,
+                        &mut emit,
+                        sink,
+                        None,
+                    );
                 }
                 state.started.fetch_add(1, Ordering::SeqCst);
                 loop {
@@ -168,15 +205,37 @@ fn run_episode(
                                 state.in_flight.fetch_sub(1, Ordering::SeqCst);
                                 continue;
                             }
-                            deliver_counted(
-                                &mut node,
-                                wire.from,
-                                wire.session,
-                                wire.payload,
+                            {
+                                let mut guard =
+                                    sink.map(|m| m.lock().expect("trace sink poisoned"));
+                                let tctx = guard.as_mut().map(|g| DeliverTrace {
+                                    sink: (**g).as_mut(),
+                                    seq: wire.seq,
+                                });
+                                deliver_counted(
+                                    &mut node,
+                                    wire.from,
+                                    wire.session,
+                                    wire.payload,
+                                    &mut out,
+                                    &mut metrics,
+                                    tctx,
+                                );
+                            }
+                            // Emissions below are caused by the delivery
+                            // that just ran (this worker's step count).
+                            let parent = metrics.steps;
+                            dispatch(
+                                me,
                                 &mut out,
+                                &senders,
+                                &state,
                                 &mut metrics,
+                                n_u64,
+                                &mut emit,
+                                sink,
+                                Some(parent),
                             );
-                            dispatch(me, &mut out, &senders, &state, &mut metrics);
                             state.in_flight.fetch_sub(1, Ordering::SeqCst);
                         }
                         Err(_) => {
@@ -263,6 +322,10 @@ pub struct ThreadedRuntime {
     nodes: Vec<Node>,
     spawns: Vec<Vec<(SessionId, Box<dyn Instance>)>>,
     metrics: Metrics,
+    /// Structured flight recorder (see [`crate::trace`]); shared with the
+    /// worker threads behind a mutex during episodes. Event order reflects
+    /// real OS interleaving — unlike the deterministic backends.
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl ThreadedRuntime {
@@ -298,6 +361,7 @@ impl ThreadedRuntime {
             nodes: (0..config.n).map(|p| build_node(&config, p)).collect(),
             spawns: (0..config.n).map(|_| Vec::new()).collect(),
             metrics: Metrics::default(),
+            sink: None,
         }
     }
 
@@ -332,23 +396,52 @@ impl Runtime for ThreadedRuntime {
 
     fn crash(&mut self, party: PartyId) {
         self.nodes[party.0].crash();
+        if let Some(sink) = &mut self.sink {
+            sink.record(TraceEvent::Crash {
+                step: self.metrics.steps,
+                party,
+            });
+        }
     }
 
     fn run(&mut self, max_steps: u64) -> RunReport {
+        if let Some(sink) = &mut self.sink {
+            sink.record(TraceEvent::EpisodeStart {
+                step: self.metrics.steps,
+            });
+        }
         let spawns = std::mem::replace(
             &mut self.spawns,
             (0..self.config.n).map(|_| Vec::new()).collect(),
         );
         let nodes = std::mem::take(&mut self.nodes);
-        let (results, stop) = run_episode(&self.config, self.poll, nodes, spawns, max_steps);
+        let shared = self.sink.take().map(Mutex::new);
+        let (results, stop) = run_episode(
+            &self.config,
+            self.poll,
+            nodes,
+            spawns,
+            max_steps,
+            shared.as_ref(),
+        );
+        self.sink = shared.map(|m| m.into_inner().expect("trace sink poisoned"));
         for (node, metrics) in results {
             self.metrics.merge(&metrics);
             self.nodes.push(node);
+        }
+        if let Some(sink) = &mut self.sink {
+            sink.record(TraceEvent::EpisodeEnd {
+                step: self.metrics.steps,
+            });
         }
         RunReport {
             stop,
             steps: self.metrics.steps,
             metrics: self.metrics.clone(),
+            trace: self
+                .sink
+                .as_ref()
+                .map(|s| crate::trace::summarize(s.as_ref())),
         }
     }
 
@@ -358,6 +451,14 @@ impl Runtime for ThreadedRuntime {
 
     fn metrics(&self) -> Metrics {
         self.metrics.clone()
+    }
+
+    fn set_trace(&mut self, mode: TraceMode) {
+        self.sink = mode.build();
+    }
+
+    fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
     }
 
     fn backend_name(&self) -> &'static str {

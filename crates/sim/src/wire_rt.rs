@@ -368,6 +368,14 @@ impl Runtime for WireRuntime {
         self.net.retire_session(party, session)
     }
 
+    fn set_trace(&mut self, mode: crate::trace::TraceMode) {
+        self.net.set_trace(mode);
+    }
+
+    fn take_trace(&mut self) -> Option<Box<dyn crate::trace::TraceSink>> {
+        self.net.take_trace()
+    }
+
     fn backend_name(&self) -> &'static str {
         "wire"
     }

@@ -46,6 +46,10 @@ GUARDED_PREFIXES = (
     "ba/split_inputs",
     "codec/encode_decode",
     "session_id/child_intern",
+    # The flight recorder's disabled fast path: a BA run through the
+    # fully instrumented pipeline with tracing off must stay within the
+    # gate, pinning "tracing costs ~nothing when disabled".
+    "trace/off_overhead",
 )
 
 

@@ -431,3 +431,187 @@ fn threaded_backend_passes_the_conformance_invariants() {
         }
     }
 }
+
+/// Tracing is schedule-invisible: running a cell with the flight
+/// recorder attached (full or ring) yields a bit-identical
+/// [`CellReport`] — same outputs fingerprint, same message counts, same
+/// step count — on every deterministic backend. The recorder never
+/// touches RNGs, schedules or fingerprints; it only observes.
+#[test]
+fn tracing_is_bit_invisible_to_conformance() {
+    use aft::core::scenarios::run_cell_traced;
+    use aft::sim::TraceMode;
+    let registry = standard_registry();
+    for backend in ["sim", "sharded:4", "wire"] {
+        for (kind, plan) in [
+            (StackKind::Ba, "garbage:40@3"),
+            (StackKind::Ba, "equivocate:12@1"),
+            (StackKind::SvssChain, "equivocal-reveal@3"),
+        ] {
+            let spec = format!("n=4,t=1,corrupt={plan},sched=random,rt={backend}");
+            let scenario = Scenario::parse(&spec).unwrap();
+            for seed in SEEDS {
+                let off = run_cell(kind, &scenario, *seed, &registry);
+                let (full, full_events) =
+                    run_cell_traced(kind, &scenario, *seed, &registry, TraceMode::Full);
+                let (ring, ring_events) =
+                    run_cell_traced(kind, &scenario, *seed, &registry, TraceMode::Ring(256));
+                assert_eq!(
+                    off,
+                    full,
+                    "{} {spec} seed={seed}: trace-on != trace-off",
+                    kind.label()
+                );
+                assert_eq!(
+                    off,
+                    ring,
+                    "{} {spec} seed={seed}: ring trace perturbed the run",
+                    kind.label()
+                );
+                assert!(
+                    !full_events.is_empty(),
+                    "{spec}: full recorder captured nothing"
+                );
+                assert!(ring_events.len() <= 256, "{spec}: ring exceeded its bound");
+            }
+        }
+    }
+}
+
+/// The recorded causal message DAG is well-formed. On `sim` (globally
+/// ordered stream): every `Send.causal_parent` names a `Deliver` of the
+/// sending party that already appeared in the stream; every `Deliver`
+/// consumes a previously recorded `Send` of the same `seq`; and
+/// parentless (root) sends occur only in the spawn phase — never after
+/// the current episode has started delivering. On `sharded:4` (events
+/// flattened in party order at each barrier) the per-edge properties
+/// must still hold; the spawn-phase ordering is checked per party
+/// implicitly by the parent-precedes-child rule.
+#[test]
+fn recorded_causal_dag_is_well_formed() {
+    use aft::core::scenarios::run_cell_traced;
+    use aft::sim::{TraceEvent, TraceMode};
+    use std::collections::HashSet;
+    let registry = standard_registry();
+    for (backend, strict_roots) in [("sim", true), ("wire", true), ("sharded:4", false)] {
+        let spec = format!("n=4,t=1,corrupt=equivocate:10@2,sched=random,rt={backend}");
+        let scenario = Scenario::parse(&spec).unwrap();
+        let (_, events) = run_cell_traced(
+            StackKind::SvssChain,
+            &scenario,
+            5,
+            &registry,
+            TraceMode::Full,
+        );
+        assert!(!events.is_empty(), "{backend}: no events recorded");
+        let mut delivered: HashSet<(aft::sim::PartyId, u64)> = HashSet::new();
+        let mut sent_seqs: HashSet<u64> = HashSet::new();
+        let mut episode_delivering = false;
+        for (i, ev) in events.iter().enumerate() {
+            match ev {
+                TraceEvent::EpisodeStart { .. } | TraceEvent::EpisodeEnd { .. } => {
+                    episode_delivering = false;
+                }
+                TraceEvent::Send {
+                    from,
+                    seq,
+                    causal_parent,
+                    ..
+                } => {
+                    sent_seqs.insert(*seq);
+                    match causal_parent {
+                        Some(cp) => assert!(
+                            delivered.contains(&(*from, *cp)),
+                            "{backend} event {i}: causal parent ({from:?}, {cp}) \
+                             does not precede its Send"
+                        ),
+                        None => assert!(
+                            !(strict_roots && episode_delivering),
+                            "{backend} event {i}: root Send after the episode \
+                             started delivering"
+                        ),
+                    }
+                }
+                TraceEvent::Deliver {
+                    party, step, seq, ..
+                } => {
+                    assert!(
+                        sent_seqs.contains(seq),
+                        "{backend} event {i}: Deliver of seq {seq} precedes its Send"
+                    );
+                    delivered.insert((*party, *step));
+                    episode_delivering = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            !delivered.is_empty() && !sent_seqs.is_empty(),
+            "{backend}: DAG must be non-trivial"
+        );
+    }
+}
+
+/// Violation forensics end-to-end: a (test-forced) invariant violation
+/// on a byte-junk scenario produces a repro bundle whose scenario string
+/// and seed replay — through the ordinary `(seed, scenario string)` cell
+/// runner — to the *same* fingerprint and the same retained JSONL trace.
+#[test]
+fn violation_repro_bundle_replays_to_the_same_fingerprint() {
+    use aft::core::scenarios::{run_cell_traced, write_repro_bundle};
+    use aft::sim::TraceMode;
+    let registry = standard_registry();
+    let spec = "n=4,t=1,corrupt=garbage:40@3,sched=starve:1,rt=wire";
+    let scenario = Scenario::parse(spec).unwrap();
+    let seed = 6;
+    let (mut report, events) = run_cell_traced(
+        StackKind::Ba,
+        &scenario,
+        seed,
+        &registry,
+        TraceMode::Ring(512),
+    );
+    assert!(events.len() <= 512, "ring bound");
+    // Test-only forced violation: the standard cells are safe by
+    // construction, so fake the detection to drive the forensics path.
+    report
+        .violations
+        .push("test-forced: injected invariant violation".into());
+    let dir = std::env::temp_dir().join(format!("aft-repro-test-{}", std::process::id()));
+    let bundle = write_repro_bundle(&dir, StackKind::Ba, &scenario, seed, &report, &events)
+        .expect("bundle written");
+    let manifest = std::fs::read_to_string(bundle.join("scenario.txt")).unwrap();
+    let jsonl = std::fs::read_to_string(bundle.join("trace.jsonl")).unwrap();
+    assert!(bundle.join("trace.perfetto.json").exists());
+    assert!(manifest.contains("violation: test-forced"));
+
+    // Replay purely from what the bundle records.
+    let replay_spec = manifest
+        .lines()
+        .find_map(|l| l.strip_prefix("scenario: "))
+        .expect("manifest records the scenario string");
+    let replay_seed: u64 = manifest
+        .lines()
+        .find_map(|l| l.strip_prefix("seed: "))
+        .expect("manifest records the seed")
+        .parse()
+        .unwrap();
+    let replay_scenario = Scenario::parse(replay_spec).expect("recorded spec re-parses");
+    let (replayed, replayed_events) = run_cell_traced(
+        StackKind::Ba,
+        &replay_scenario,
+        replay_seed,
+        &registry,
+        TraceMode::Ring(512),
+    );
+    assert_eq!(
+        replayed.fingerprint, report.fingerprint,
+        "replay from (seed, scenario string) must reach the recorded fingerprint"
+    );
+    assert_eq!(
+        aft::sim::trace::to_jsonl(&replayed_events),
+        jsonl,
+        "replayed trace must match the bundled JSONL byte-for-byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
