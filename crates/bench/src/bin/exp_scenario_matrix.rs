@@ -58,7 +58,7 @@ fn main() {
         backends.push("threaded".into());
     }
     let schedulers: Vec<String> = if smoke {
-        vec!["random".into(), "starve:1".into()]
+        vec!["random".into(), "starve:1".into(), "net:lat=1..8".into()]
     } else {
         ALL_SCHEDULERS
             .iter()
@@ -91,53 +91,40 @@ fn main() {
             plans,
             seeds: seeds.clone(),
         };
-        let sweep = || matrix.run(16, |sc, seed| run_cell(kind, sc, seed, &registry));
-        let cells = sweep();
-        let violations: usize = cells
-            .iter()
-            .filter(|c| !c.outcome.violations.is_empty())
-            .count();
-        for cell in cells.iter().filter(|c| !c.outcome.violations.is_empty()) {
-            bad_cells.push(format!(
-                "{} seed={} -> {:?}",
-                cell.spec, cell.seed, cell.outcome.violations
-            ));
-            // Forensics: replay the violating cell with the flight
-            // recorder on (cells are pure functions of (scenario, seed),
-            // so the replay reproduces the violation bit-for-bit) and
-            // drop a repro bundle.
-            if let Some(scenario) = Scenario::parse(&cell.spec) {
-                let (report, events) =
-                    run_cell_traced(kind, &scenario, cell.seed, &registry, TraceMode::Ring(4096));
-                match write_repro_bundle(&repro_dir(), kind, &scenario, cell.seed, &report, &events)
-                {
-                    Ok(bundle) => eprintln!("repro bundle: {}", bundle.display()),
-                    Err(e) => eprintln!("repro bundle write failed: {e}"),
-                }
-            }
-        }
-        // Reproducibility: re-sweep and compare the deterministic cells
-        // bit-for-bit (threaded cells are exempt by design).
-        let again = sweep();
-        let deterministic = |c: &MatrixCell<CellReport>| !c.spec.contains("rt=threaded");
-        let repro = cells
-            .iter()
-            .zip(&again)
-            .filter(|(c, _)| deterministic(c))
-            .all(|(a, b)| a == b);
-        if !repro {
-            bad_cells.push(format!("{}: re-sweep diverged", kind.label()));
-        }
-        let mean_steps =
-            cells.iter().map(|c| c.outcome.steps).sum::<u64>() as f64 / cells.len().max(1) as f64;
-        rows.push(vec![
-            kind.label().to_string(),
-            cells.len().to_string(),
-            violations.to_string(),
-            if repro { "yes".into() } else { "NO".into() },
-            format!("{mean_steps:.0}"),
-        ]);
+        run_matrix(
+            kind,
+            kind.label(),
+            &matrix,
+            &registry,
+            &mut rows,
+            &mut bad_cells,
+        );
     }
+
+    // Virtual-time rows: partitions with healing plus a crash-recovery
+    // plan. `recover@<vtime>` is measured in virtual time, so these need
+    // a `net:` scheduler and cannot ride the cross-product above (they
+    // would be rejected by validation on the order-only schedulers).
+    let net_matrix = ScenarioMatrix {
+        n: 4,
+        t: 1,
+        backends: backends
+            .iter()
+            .filter(|b| !b.starts_with("threaded"))
+            .cloned()
+            .collect(),
+        schedulers: vec!["net:lat=1..12,partition=p50,heal=200".into()],
+        plans: vec![String::new(), "recover:80@3".into()],
+        seeds: seeds.clone(),
+    };
+    run_matrix(
+        StackKind::Ba,
+        "ba/net-recovery",
+        &net_matrix,
+        &registry,
+        &mut rows,
+        &mut bad_cells,
+    );
     out.table(
         "Scenario matrix: safety violations and reproducibility per stack",
         &["stack", "cells", "violations", "reproducible", "mean steps"],
@@ -152,6 +139,64 @@ fn main() {
         }
         std::process::exit(1);
     }
+}
+
+/// Sweeps one matrix on one stack: checks every cell's invariants (with
+/// repro bundles on violation), re-sweeps for bit-for-bit reproducibility
+/// of the deterministic cells, and appends a summary row.
+fn run_matrix(
+    kind: StackKind,
+    label: &str,
+    matrix: &ScenarioMatrix,
+    registry: &aft_sim::AttackRegistry,
+    rows: &mut Vec<Vec<String>>,
+    bad_cells: &mut Vec<String>,
+) {
+    let sweep = || matrix.run(16, |sc, seed| run_cell(kind, sc, seed, registry));
+    let cells = sweep();
+    let violations: usize = cells
+        .iter()
+        .filter(|c| !c.outcome.violations.is_empty())
+        .count();
+    for cell in cells.iter().filter(|c| !c.outcome.violations.is_empty()) {
+        bad_cells.push(format!(
+            "{} seed={} -> {:?}",
+            cell.spec, cell.seed, cell.outcome.violations
+        ));
+        // Forensics: replay the violating cell with the flight
+        // recorder on (cells are pure functions of (scenario, seed),
+        // so the replay reproduces the violation bit-for-bit) and
+        // drop a repro bundle.
+        if let Some(scenario) = Scenario::parse(&cell.spec) {
+            let (report, events) =
+                run_cell_traced(kind, &scenario, cell.seed, registry, TraceMode::Ring(4096));
+            match write_repro_bundle(&repro_dir(), kind, &scenario, cell.seed, &report, &events) {
+                Ok(bundle) => eprintln!("repro bundle: {}", bundle.display()),
+                Err(e) => eprintln!("repro bundle write failed: {e}"),
+            }
+        }
+    }
+    // Reproducibility: re-sweep and compare the deterministic cells
+    // bit-for-bit (threaded cells are exempt by design).
+    let again = sweep();
+    let deterministic = |c: &MatrixCell<CellReport>| !c.spec.contains("rt=threaded");
+    let repro = cells
+        .iter()
+        .zip(&again)
+        .filter(|(c, _)| deterministic(c))
+        .all(|(a, b)| a == b);
+    if !repro {
+        bad_cells.push(format!("{label}: re-sweep diverged"));
+    }
+    let mean_steps =
+        cells.iter().map(|c| c.outcome.steps).sum::<u64>() as f64 / cells.len().max(1) as f64;
+    rows.push(vec![
+        label.to_string(),
+        cells.len().to_string(),
+        violations.to_string(),
+        if repro { "yes".into() } else { "NO".into() },
+        format!("{mean_steps:.0}"),
+    ]);
 }
 
 /// Runs one scenario spec on every stack and prints the cell reports.

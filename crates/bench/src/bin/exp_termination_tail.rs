@@ -21,14 +21,22 @@ use aft_sim::{run_trials, Bernoulli, PartyId, RuntimeExt, Scenario, StopReason};
 /// Round thresholds whose exceedance probability is reported.
 const TAILS: &[u64] = &[2, 3, 5, 8];
 
+/// Virtual-time thresholds (in virtual milliseconds) whose exceedance
+/// probability is reported for the `net:` rows.
+const VTAILS: &[u64] = &[50, 100, 200, 400];
+
 /// The backend axis, one declarative scenario string per row — the same
 /// spec form `exp_scenario_matrix` and the conformance suite use, so a
-/// row is reproducible by pasting its string into `--scenario`.
+/// row is reproducible by pasting its string into `--scenario`. The
+/// `net:` rows run the same deployment under the virtual-time network
+/// model, which adds a latency tail measured in virtual milliseconds.
 const ROWS: &[&str] = &[
     "scenario:n=4,t=1,rt=sim",
     "scenario:n=4,t=1,rt=sharded:2",
     "scenario:n=4,t=1,rt=sharded:4",
     "scenario:n=4,t=1,rt=threaded",
+    "scenario:n=4,t=1,sched=net:lat=1..20,rt=sim",
+    "scenario:n=4,t=1,sched=net:lat=exp:5,partition=p50,heal=200,rt=sim",
 ];
 
 fn main() {
@@ -40,14 +48,20 @@ fn main() {
     ));
 
     let mut rows = Vec::new();
+    let mut vrows = Vec::new();
     for spec in ROWS {
         let scenario = Scenario::parse(spec).expect("row scenarios are valid");
-        let (n, backend) = (scenario.n, scenario.rt.clone());
+        let n = scenario.n;
+        let backend = if scenario.sched.starts_with("net") {
+            format!("{}:{}", scenario.rt, scenario.sched)
+        } else {
+            scenario.rt.clone()
+        };
         let backend = backend.as_str();
         // The threaded backend spawns n OS threads per episode; keep the
         // outer trial parallelism modest there.
         let workers = if backend == "threaded" { 4 } else { 16 };
-        let rounds_per_trial = run_trials(0..n_trials, workers, |seed| {
+        let outcomes = run_trials(0..n_trials, workers, |seed| {
             let mut rt = scenario.runtime(seed);
             let sid = session("ba");
             for p in 0..n {
@@ -71,8 +85,10 @@ fn main() {
             // Phase-1 A-Cast traffic is proportional to rounds run.
             let v1 = report.metrics.sent_by_kind("bav1");
             let per_round = (n * (n + 2 * n * n)) as f64;
-            (v1 as f64 / per_round).round() as u64
+            let rounds = (v1 as f64 / per_round).round() as u64;
+            (rounds, report.metrics.virtual_time)
         });
+        let rounds_per_trial: Vec<u64> = outcomes.iter().map(|&(r, _)| r).collect();
         let mean =
             rounds_per_trial.iter().sum::<u64>() as f64 / rounds_per_trial.len().max(1) as f64;
         let max = rounds_per_trial.iter().copied().max().unwrap_or(0);
@@ -82,6 +98,18 @@ fn main() {
             row.push(format!("{tail}"));
         }
         rows.push(row);
+        // Virtual-time completion tail, for rows with a virtual clock.
+        let vtimes: Vec<u64> = outcomes.iter().map(|&(_, v)| v).collect();
+        if vtimes.iter().any(|&v| v > 0) {
+            let vmean = vtimes.iter().sum::<u64>() as f64 / vtimes.len().max(1) as f64;
+            let vmax = vtimes.iter().copied().max().unwrap_or(0);
+            let mut vrow = vec![backend.to_string(), format!("{vmean:.1}"), vmax.to_string()];
+            for &v in VTAILS {
+                let tail = Bernoulli::from_outcomes(vtimes.iter().map(|&x| x >= v));
+                vrow.push(format!("{tail}"));
+            }
+            vrows.push(vrow);
+        }
     }
     let tail_headers: Vec<String> = TAILS.iter().map(|r| format!("P[rounds ≥ {r}]")).collect();
     let mut headers = vec!["backend", "mean rounds", "max"];
@@ -91,6 +119,16 @@ fn main() {
         &headers,
         &rows,
     );
+    if !vrows.is_empty() {
+        let vtail_headers: Vec<String> = VTAILS.iter().map(|v| format!("P[vms ≥ {v}]")).collect();
+        let mut vheaders = vec!["backend", "mean vms", "max vms"];
+        vheaders.extend(vtail_headers.iter().map(|s| s.as_str()));
+        out.table(
+            "Completion-time tail under the virtual-time network model (virtual milliseconds)",
+            &vheaders,
+            &vrows,
+        );
+    }
     out.note("\nthe deterministic backends (sim, sharded:<k>) reproduce their tails");
     out.note("seed-for-seed; `threaded` samples the same protocol under genuine OS");
     out.note("scheduling. The geometric tail is the price of local coins — the");

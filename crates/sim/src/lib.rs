@@ -57,6 +57,7 @@ pub mod cluster;
 mod ids;
 mod instance;
 mod montecarlo;
+pub mod net;
 mod network;
 mod node;
 mod payload;
@@ -74,6 +75,7 @@ pub use behaviors::{Equivocator, Garbage, GarbageInstance, MuteAfter, SilentInst
 pub use ids::{PartyId, SessionId, SessionTag};
 pub use instance::{Context, Instance};
 pub use montecarlo::{run_trials, Bernoulli};
+pub use net::{LatencyDist, NetEvent, NetScheduler, NetSpec, PartitionSpec};
 pub use network::{Envelope, SimNetwork};
 pub use node::{Node, Outgoing, ShunRegistry};
 pub use payload::{FrameBytes, MsgView, Payload};
@@ -107,7 +109,9 @@ pub use wire_rt::WireRuntime;
 /// * `"block:<b>"` for any positive block size — the locality-preserving
 ///   random scheduler ([`BlockScheduler`], e.g. `"block:16"`);
 /// * `"starve:<ids>"` with a comma-separated victim list
-///   (e.g. `"starve:2"`, `"starve:1,3"`).
+///   (e.g. `"starve:2"`, `"starve:1,3"`);
+/// * `"net"` / `"net:<args>"` — the virtual-time network model
+///   ([`NetScheduler`], e.g. `"net:lat=1..20,partition=p50,heal=200"`).
 ///
 /// # Examples
 ///
@@ -117,6 +121,7 @@ pub use wire_rt::WireRuntime;
 /// assert!(aft_sim::scheduler_by_name("window9").is_some());
 /// assert!(aft_sim::scheduler_by_name("block:16").is_some());
 /// assert!(aft_sim::scheduler_by_name("starve:1,3").is_some());
+/// assert!(aft_sim::scheduler_by_name("net:lat=1..20,partition=p50,heal=200").is_some());
 /// assert!(aft_sim::scheduler_by_name("bogus").is_none());
 /// ```
 pub fn scheduler_by_name(name: &str) -> Option<Box<dyn Scheduler>> {
@@ -204,6 +209,14 @@ pub static ALL_SCHEDULERS: &[SchedulerFamily] = &[
             Some(Box::new(StarveScheduler::new(victims)))
         },
     },
+    SchedulerFamily {
+        name: "net",
+        example: "net:lat=1..8",
+        parser: |s| {
+            let spec = NetSpec::parse(s)?;
+            Some(Box::new(NetScheduler::new(spec)) as Box<dyn Scheduler>)
+        },
+    },
 ];
 
 #[cfg(test)]
@@ -246,7 +259,7 @@ mod tests {
         }
         // Sanity: the Scheduler impls in this crate are all represented.
         let names: Vec<&str> = ALL_SCHEDULERS.iter().map(|f| f.name).collect();
-        for required in ["fifo", "random", "lifo", "window", "block", "starve"] {
+        for required in ["fifo", "random", "lifo", "window", "block", "starve", "net"] {
             assert!(names.contains(&required), "{required} missing from table");
         }
     }

@@ -1,0 +1,693 @@
+//! The `net:` virtual-time network model.
+//!
+//! Every other scheduler only permutes delivery *order*; this family adds
+//! a notion of *when*. A discrete-event virtual clock assigns each
+//! in-flight batch a virtual arrival time — per-link latency sampled from
+//! a configurable distribution, optional sampled link failures
+//! (modelled as retransmission delay), and a seed-chosen partition that
+//! heals at a configured virtual time — and always delivers the earliest
+//! arrival next. One virtual tick is one virtual millisecond.
+//!
+//! The model stays inside the paper's hypothesis: a partition is a
+//! *structured finite delay*, never a loss. Traffic crossing the cut
+//! while it is up is re-timed to land after the heal, and a
+//! never-healing partition resolves at a huge-but-finite horizon
+//! ([`NEVER_HEAL`]), so every message is still eventually delivered and
+//! the conservation invariant (`sent == delivered + dropped`) is
+//! untouched.
+//!
+//! Determinism: the partition plan is derived once from
+//! `(seed, spec)` via a dedicated RNG stream, so every per-party
+//! scheduler instance (the sharded backend builds one per party)
+//! resolves the identical cut and timing; arrival times are sampled from
+//! the scheduler RNG in arrival-order scan order, making the whole
+//! virtual schedule a pure function of `(seed, scenario string)`.
+
+use crate::ids::PartyId;
+use crate::queue::{MsgMeta, Pending};
+use crate::runtime::NetConfig;
+use crate::scheduler::Scheduler;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Virtual-time horizon standing in for "never": a partition with no
+/// `heal=` heals here. Huge (≈ 10^12 virtual ms) but finite, which keeps
+/// eventual delivery a theorem rather than a hope.
+pub const NEVER_HEAL: u64 = 1 << 40;
+
+/// Per-link latency distribution (virtual milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyDist {
+    /// Uniform over `lo..=hi`.
+    Uniform {
+        /// Minimum latency (≥ 1).
+        lo: u64,
+        /// Maximum latency (≥ `lo`).
+        hi: u64,
+    },
+    /// Geometric approximation of an exponential with the given mean:
+    /// integer trials with success probability `1/mean`, capped at
+    /// `16 * mean`. Integer-only, so cross-platform determinism never
+    /// rests on floating point.
+    Exp {
+        /// Mean latency (1..=256).
+        mean: u64,
+    },
+}
+
+impl LatencyDist {
+    fn parse(v: &str) -> Option<LatencyDist> {
+        if let Some(m) = v.strip_prefix("exp:") {
+            let mean: u64 = m.parse().ok()?;
+            if !(1..=256).contains(&mean) {
+                return None;
+            }
+            return Some(LatencyDist::Exp { mean });
+        }
+        let (lo, hi) = v.split_once("..")?;
+        let lo: u64 = lo.parse().ok()?;
+        let hi: u64 = hi.parse().ok()?;
+        if lo == 0 || hi < lo || hi > 1 << 20 {
+            return None;
+        }
+        Some(LatencyDist::Uniform { lo, hi })
+    }
+}
+
+impl fmt::Display for LatencyDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatencyDist::Uniform { lo, hi } => write!(f, "{lo}..{hi}"),
+            LatencyDist::Exp { mean } => write!(f, "exp:{mean}"),
+        }
+    }
+}
+
+/// Which parties the partition isolates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionSpec {
+    /// `p<pct>`: cut `ceil(t * pct / 100)` seed-chosen parties (≥ 1, ≤ t).
+    Sampled {
+        /// Percentage of the fault budget `t` to isolate (1..=100).
+        pct: u8,
+    },
+    /// `<i>+<j>+…`: an explicit strictly-increasing party list.
+    Explicit(Vec<PartyId>),
+}
+
+impl PartitionSpec {
+    fn parse(v: &str) -> Option<PartitionSpec> {
+        if let Some(p) = v.strip_prefix('p') {
+            let pct: u8 = p.parse().ok()?;
+            if !(1..=100).contains(&pct) {
+                return None;
+            }
+            return Some(PartitionSpec::Sampled { pct });
+        }
+        let mut ids = Vec::new();
+        for part in v.split('+') {
+            let id: usize = part.parse().ok()?;
+            // Canonical form only: strictly increasing, no duplicates.
+            if ids.last().is_some_and(|&PartyId(prev)| prev >= id) {
+                return None;
+            }
+            ids.push(PartyId(id));
+        }
+        if ids.is_empty() {
+            return None;
+        }
+        Some(PartitionSpec::Explicit(ids))
+    }
+}
+
+impl fmt::Display for PartitionSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionSpec::Sampled { pct } => write!(f, "p{pct}"),
+            PartitionSpec::Explicit(ids) => {
+                for (i, p) in ids.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "+")?;
+                    }
+                    write!(f, "{}", p.0)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Parsed `net:` scheduler spec. Grammar (comma-separated, any order,
+/// each key at most once):
+///
+/// ```text
+/// net[:lat=<lo>..<hi> | lat=exp:<mean>][,fail=p<pct>]
+///    [,partition=p<pct> | partition=<i>+<j>+…][,heal=<vticks>]
+/// ```
+///
+/// `heal=` requires `partition=`; a partition without `heal=` never
+/// heals (resolves at [`NEVER_HEAL`]). Bare `net` means `net:lat=1..8`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetSpec {
+    /// Per-link latency distribution.
+    pub lat: LatencyDist,
+    /// Sampled link-failure probability in percent (0 = off). A failed
+    /// send is retransmitted: its delay grows by four extra samples'
+    /// worth, it is never lost.
+    pub fail_pct: u8,
+    /// Optional partition.
+    pub partition: Option<PartitionSpec>,
+    /// Virtual ticks after partition start at which it heals.
+    pub heal_after: Option<u64>,
+}
+
+impl NetSpec {
+    /// Parses a full scheduler string (`net` or `net:<args>`). Returns
+    /// `None` on unknown keys, duplicate keys, out-of-range values, or
+    /// `heal=` without `partition=`.
+    pub fn parse(s: &str) -> Option<NetSpec> {
+        let rest = if s == "net" {
+            ""
+        } else {
+            match s.strip_prefix("net:") {
+                Some(r) if !r.is_empty() => r,
+                _ => return None,
+            }
+        };
+        let mut lat = None;
+        let mut fail = None;
+        let mut partition = None;
+        let mut heal = None;
+        if !rest.is_empty() {
+            for tok in rest.split(',') {
+                let (k, v) = tok.split_once('=')?;
+                match k {
+                    "lat" if lat.is_none() => lat = Some(LatencyDist::parse(v)?),
+                    "fail" if fail.is_none() => {
+                        let p: u8 = v.strip_prefix('p')?.parse().ok()?;
+                        if !(1..=99).contains(&p) {
+                            return None;
+                        }
+                        fail = Some(p);
+                    }
+                    "partition" if partition.is_none() => {
+                        partition = Some(PartitionSpec::parse(v)?)
+                    }
+                    "heal" if heal.is_none() => {
+                        let h: u64 = v.parse().ok()?;
+                        if h == 0 || h > 1 << 30 {
+                            return None;
+                        }
+                        heal = Some(h);
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        if heal.is_some() && partition.is_none() {
+            return None;
+        }
+        Some(NetSpec {
+            lat: lat.unwrap_or(LatencyDist::Uniform { lo: 1, hi: 8 }),
+            fail_pct: fail.unwrap_or(0),
+            partition,
+            heal_after: heal,
+        })
+    }
+}
+
+impl fmt::Display for NetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net:lat={}", self.lat)?;
+        if self.fail_pct > 0 {
+            write!(f, ",fail=p{}", self.fail_pct)?;
+        }
+        if let Some(p) = &self.partition {
+            write!(f, ",partition={p}")?;
+        }
+        if let Some(h) = self.heal_after {
+            write!(f, ",heal={h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A network-lifecycle event the virtual clock crossed; drained by the
+/// backend into the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetEvent {
+    /// The partition went up at `vtime`, isolating `cut`.
+    PartitionStart {
+        /// Virtual time of the cut.
+        vtime: u64,
+        /// Isolated parties (sorted).
+        cut: Vec<PartyId>,
+    },
+    /// The partition healed at `vtime`.
+    PartitionHeal {
+        /// Virtual time of the heal.
+        vtime: u64,
+    },
+}
+
+/// The resolved partition: which parties are cut, from when to when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Isolated parties (sorted, non-empty, ≤ t of them).
+    pub cut: Vec<PartyId>,
+    /// Virtual time the cut goes up.
+    pub start: u64,
+    /// Virtual time the cut heals ([`NEVER_HEAL`]-based if unhealed).
+    pub end: u64,
+}
+
+impl PartitionPlan {
+    /// Derives the plan from `(seed, spec)` — identical on every
+    /// scheduler instance sharing those inputs, which is what makes the
+    /// sharded backend's per-party schedulers agree on the cut.
+    fn derive(spec: &NetSpec, n: usize, t: usize, seed: u64) -> Option<PartitionPlan> {
+        let part = spec.partition.as_ref()?;
+        let mut rng = ChaCha12Rng::seed_from_u64(plan_seed(seed, spec));
+        let cut: Vec<PartyId> = match part {
+            PartitionSpec::Explicit(ids) => {
+                ids.iter().copied().filter(|p| p.0 < n).take(t).collect()
+            }
+            PartitionSpec::Sampled { pct } => {
+                if t == 0 {
+                    return None;
+                }
+                let size = (t * *pct as usize).div_ceil(100).clamp(1, t);
+                // Partial Fisher–Yates: the first `size` positions end up
+                // a uniform sample without replacement.
+                let mut idx: Vec<usize> = (0..n).collect();
+                for k in 0..size {
+                    let j = rng.gen_range(k..n);
+                    idx.swap(k, j);
+                }
+                let mut cut: Vec<PartyId> = idx[..size].iter().map(|&i| PartyId(i)).collect();
+                cut.sort_unstable();
+                cut
+            }
+        };
+        if cut.is_empty() {
+            return None;
+        }
+        let start: u64 = rng.gen_range(0..64);
+        let end = start.saturating_add(spec.heal_after.unwrap_or(NEVER_HEAL));
+        Some(PartitionPlan { cut, start, end })
+    }
+
+    /// Whether a `from → to` link crosses the cut (exactly one endpoint
+    /// isolated). Traffic *within* the cut still flows.
+    fn crosses(&self, from: PartyId, to: PartyId) -> bool {
+        self.cut.binary_search(&from).is_ok() != self.cut.binary_search(&to).is_ok()
+    }
+}
+
+/// FNV-1a over the canonical spec string, folded with the run seed, so
+/// the plan RNG stream is a pure function of `(seed, spec)`.
+fn plan_seed(seed: u64, spec: &NetSpec) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in spec.to_string().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(h)
+}
+
+/// The discrete-event virtual-clock scheduler (glitch-style: a priority
+/// order keyed by `(virtual_time, arrival_index)`).
+///
+/// Each unseen batch head is assigned a virtual arrival time when first
+/// scanned: `now + latency` (plus retransmission delay on a sampled
+/// link failure), re-timed past the heal when the link crosses an
+/// active partition cut. `pick` always returns the earliest arrival,
+/// ties broken by arrival order, and the clock advances monotonically
+/// to the delivered arrival's time.
+pub struct NetScheduler {
+    spec: NetSpec,
+    /// The virtual clock, in virtual milliseconds.
+    now: u64,
+    /// Batch-head sequence number → assigned virtual arrival time.
+    arrivals: HashMap<u64, u64>,
+    /// Resolved partition (set by `configure`; `None` = latency only).
+    plan: Option<PartitionPlan>,
+    emitted_start: bool,
+    emitted_heal: bool,
+    /// Lifecycle events crossed but not yet drained by the backend.
+    events: Vec<NetEvent>,
+}
+
+impl NetScheduler {
+    /// Builds an unconfigured scheduler. Until
+    /// [`configure`](Scheduler::configure) runs, a partition spec
+    /// degrades to latency-only (no cut can be derived without `n`,
+    /// `t` and the seed).
+    pub fn new(spec: NetSpec) -> Self {
+        NetScheduler {
+            spec,
+            now: 0,
+            arrivals: HashMap::new(),
+            plan: None,
+            emitted_start: false,
+            emitted_heal: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// The parsed spec.
+    pub fn spec(&self) -> &NetSpec {
+        &self.spec
+    }
+
+    /// The resolved partition plan, if any (after `configure`).
+    pub fn plan(&self) -> Option<&PartitionPlan> {
+        self.plan.as_ref()
+    }
+
+    fn sample_latency(&self, rng: &mut ChaCha12Rng) -> u64 {
+        match self.spec.lat {
+            LatencyDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            LatencyDist::Exp { mean } => {
+                // Geometric with p = 1/mean: mean = `mean`, capped.
+                let cap = mean.saturating_mul(16);
+                let mut d = 1u64;
+                while d < cap && rng.gen_range(0..mean) != 0 {
+                    d += 1;
+                }
+                d
+            }
+        }
+    }
+
+    /// Samples the virtual arrival time for a freshly scanned batch head.
+    fn arrival_time(&self, m: &MsgMeta, rng: &mut ChaCha12Rng) -> u64 {
+        let mut delay = self.sample_latency(rng);
+        if self.spec.fail_pct > 0 && rng.gen_range(0..100u8) < self.spec.fail_pct {
+            // Link failure = retransmission, not loss: four extra
+            // samples' worth of delay keeps delivery eventual.
+            delay = delay.saturating_add(4 * self.sample_latency(rng));
+        }
+        let natural = self.now.saturating_add(delay);
+        if let Some(plan) = &self.plan {
+            if plan.crosses(m.from, m.to) && natural >= plan.start && natural < plan.end {
+                // Crossing an active cut: the message sits in the
+                // partition and lands a fresh latency after the heal.
+                return plan.end.saturating_add(self.sample_latency(rng));
+            }
+        }
+        natural
+    }
+
+    /// Advances the clock monotonically to `target`, emitting any
+    /// partition lifecycle events it crosses.
+    fn advance(&mut self, target: u64) {
+        if let Some(plan) = &self.plan {
+            if !self.emitted_start && target >= plan.start {
+                self.events.push(NetEvent::PartitionStart {
+                    vtime: plan.start,
+                    cut: plan.cut.clone(),
+                });
+                self.emitted_start = true;
+            }
+            if !self.emitted_heal && plan.end < NEVER_HEAL && target >= plan.end {
+                self.events
+                    .push(NetEvent::PartitionHeal { vtime: plan.end });
+                self.emitted_heal = true;
+            }
+        }
+        self.now = self.now.max(target);
+    }
+
+    /// Garbage-collects arrival entries whose batch heads are gone
+    /// (delivered via a fairness-cap override, or retracted).
+    fn maybe_sweep(&mut self, pending: &Pending) {
+        if self.arrivals.len() > 2 * pending.len() + 32 {
+            let live: HashSet<u64> = pending.metas().map(|m| m.seq).collect();
+            self.arrivals.retain(|seq, _| live.contains(seq));
+        }
+    }
+}
+
+impl Scheduler for NetScheduler {
+    fn pick(&mut self, pending: &Pending, rng: &mut ChaCha12Rng) -> usize {
+        let mut best = 0usize;
+        let mut best_seq = 0u64;
+        let mut best_vt = u64::MAX;
+        for (i, m) in pending.metas().enumerate() {
+            let vt = match self.arrivals.get(&m.seq) {
+                Some(&vt) => vt,
+                None => {
+                    let vt = self.arrival_time(&m, rng);
+                    self.arrivals.insert(m.seq, vt);
+                    vt
+                }
+            };
+            // Strict `<` keeps ties on the earliest arrival index.
+            if vt < best_vt {
+                best_vt = vt;
+                best = i;
+                best_seq = m.seq;
+            }
+        }
+        self.advance(best_vt);
+        self.arrivals.remove(&best_seq);
+        self.maybe_sweep(pending);
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "net"
+    }
+
+    fn configure(&mut self, config: &NetConfig) {
+        self.plan = PartitionPlan::derive(&self.spec, config.n, config.t, config.seed);
+    }
+
+    fn virtual_now(&self) -> Option<u64> {
+        Some(self.now)
+    }
+
+    fn fast_forward(&mut self, to: u64) {
+        if to > self.now {
+            self.advance(to);
+        }
+    }
+
+    fn drain_net_events(&mut self, out: &mut Vec<NetEvent>) {
+        out.append(&mut self.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{SessionId, SessionTag};
+    use crate::network::Envelope;
+    use crate::payload::Payload;
+    use crate::scheduler::SchedulerConfig;
+
+    fn pending(entries: &[(usize, usize)]) -> Pending {
+        let mut q = Pending::new();
+        for (seq, &(from, to)) in entries.iter().enumerate() {
+            q.push(Envelope {
+                from: PartyId(from),
+                to: PartyId(to),
+                session: SessionId::root().child(SessionTag::new("x", 0)),
+                payload: Payload::new(0u8),
+                seq: seq as u64,
+                born_step: 0,
+            });
+        }
+        q
+    }
+
+    fn config(n: usize, t: usize, seed: u64) -> NetConfig {
+        NetConfig {
+            n,
+            t,
+            seed,
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in [
+            "net:lat=1..8",
+            "net:lat=1..20,partition=p50,heal=200",
+            "net:lat=exp:5,fail=p10",
+            "net:lat=2..2,partition=0+2",
+            "net:lat=1..8,fail=p1,partition=p100,heal=1",
+        ] {
+            let spec = NetSpec::parse(s).expect(s);
+            assert_eq!(spec.to_string(), s, "canonical display");
+            assert_eq!(NetSpec::parse(&spec.to_string()), Some(spec));
+        }
+        // Bare `net` canonicalizes to the default latency band.
+        assert_eq!(NetSpec::parse("net").unwrap().to_string(), "net:lat=1..8");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for s in [
+            "net:",
+            "net:lat=0..8",             // zero latency
+            "net:lat=9..2",             // inverted band
+            "net:lat=exp:0",            // zero mean
+            "net:lat=exp:999",          // mean out of range
+            "net:lat=1..8,lat=2..3",    // duplicate key
+            "net:heal=5",               // heal without partition
+            "net:fail=p0",              // zero failure pct
+            "net:fail=p100",            // certain failure
+            "net:fail=10",              // missing p
+            "net:partition=p0",         // empty cut
+            "net:partition=p101",       // over 100%
+            "net:partition=2+1",        // not strictly increasing
+            "net:partition=1+1",        // duplicate
+            "net:partition=",           // empty
+            "net:partition=p50,heal=0", // zero heal
+            "net:bogus=1",              // unknown key
+            "nets:lat=1..8",            // wrong family
+        ] {
+            assert!(NetSpec::parse(s).is_none(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn clock_is_monotone_and_picks_are_in_bounds() {
+        let spec = NetSpec::parse("net:lat=1..20,fail=p25").unwrap();
+        let mut s = NetScheduler::new(spec);
+        s.configure(&config(4, 1, 7));
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let mut q = pending(&[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]);
+        let mut last = 0;
+        while !q.is_empty() {
+            let i = s.pick(&q, &mut rng);
+            assert!(i < q.len());
+            let now = s.virtual_now().unwrap();
+            assert!(now >= last, "clock must be monotone");
+            last = now;
+            q.take(i);
+        }
+        assert!(last > 0, "delivering advances the clock");
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_and_spec() {
+        let run = |seed: u64| {
+            let spec = NetSpec::parse("net:lat=1..20,partition=p50,heal=50").unwrap();
+            let mut s = NetScheduler::new(spec);
+            s.configure(&config(7, 2, seed));
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let mut q = pending(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0)]);
+            let mut order = Vec::new();
+            while !q.is_empty() {
+                let i = s.pick(&q, &mut rng);
+                order.push((q.take(i).seq, s.virtual_now().unwrap()));
+            }
+            let mut events = Vec::new();
+            s.fast_forward(NEVER_HEAL + 1);
+            s.drain_net_events(&mut events);
+            (order, events, s.plan().cloned())
+        };
+        assert_eq!(run(3), run(3), "identical seed, identical schedule");
+        assert_ne!(run(3).0, run(4).0, "different seed, different schedule");
+    }
+
+    #[test]
+    fn partition_delays_cross_cut_traffic_past_the_heal() {
+        let spec = NetSpec::parse("net:lat=1..1,partition=0+1,heal=500").unwrap();
+        let mut s = NetScheduler::new(spec);
+        s.configure(&config(4, 2, 1));
+        let plan = s.plan().cloned().expect("plan derived");
+        assert_eq!(plan.cut, vec![PartyId(0), PartyId(1)]);
+        assert_eq!(plan.end, plan.start + 500);
+
+        // Drive the clock into the partition window with intra-cut
+        // traffic, then check a cross-cut message lands after the heal.
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut q = pending(&[(0, 1); 70]);
+        while s.virtual_now().unwrap() < plan.start {
+            let i = s.pick(&q, &mut rng);
+            q.take(i);
+            assert!(!q.is_empty(), "enough intra-cut traffic to reach start");
+        }
+        let mut q2 = pending(&[(0, 2)]); // crosses the cut
+        let i = s.pick(&q2, &mut rng);
+        q2.take(i);
+        assert!(
+            s.virtual_now().unwrap() > plan.end,
+            "cross-cut delivery waits for the heal"
+        );
+        let mut events = Vec::new();
+        s.drain_net_events(&mut events);
+        assert!(matches!(events[0], NetEvent::PartitionStart { .. }));
+        assert!(matches!(
+            events.last(),
+            Some(NetEvent::PartitionHeal { .. })
+        ));
+    }
+
+    #[test]
+    fn never_healing_partition_still_delivers() {
+        let spec = NetSpec::parse("net:lat=1..1,partition=0+1").unwrap();
+        let mut s = NetScheduler::new(spec);
+        s.configure(&config(4, 2, 1));
+        let plan = s.plan().cloned().unwrap();
+        assert!(plan.end >= NEVER_HEAL);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        // A cross-cut message alone still gets picked (finite vtime).
+        let mut q = pending(&[(0, 2)]);
+        let i = s.pick(&q, &mut rng);
+        q.take(i);
+        assert!(q.is_empty());
+        // The heal event is never emitted for a NEVER_HEAL horizon.
+        s.fast_forward(u64::MAX);
+        let mut events = Vec::new();
+        s.drain_net_events(&mut events);
+        assert!(events
+            .iter()
+            .all(|e| !matches!(e, NetEvent::PartitionHeal { .. })));
+    }
+
+    #[test]
+    fn exp_latency_mean_is_plausible() {
+        let spec = NetSpec::parse("net:lat=exp:5").unwrap();
+        let s = NetScheduler::new(spec);
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        let n = 4000;
+        let total: u64 = (0..n).map(|_| s.sample_latency(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((3.5..=6.5).contains(&mean), "observed mean {mean}");
+    }
+
+    #[test]
+    fn unconfigured_partition_degrades_to_latency_only() {
+        let spec = NetSpec::parse("net:lat=1..4,partition=p50,heal=10").unwrap();
+        let mut s = NetScheduler::new(spec);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut q = pending(&[(0, 1), (1, 0)]);
+        while !q.is_empty() {
+            let i = s.pick(&q, &mut rng);
+            q.take(i);
+        }
+        assert!(s.plan().is_none());
+    }
+
+    #[test]
+    fn sampled_cut_respects_the_fault_budget() {
+        for pct in [1u8, 25, 50, 75, 100] {
+            let spec = NetSpec::parse(&format!("net:lat=1..8,partition=p{pct},heal=50")).unwrap();
+            let mut s = NetScheduler::new(spec);
+            s.configure(&config(10, 3, 42));
+            let plan = s.plan().expect("plan");
+            assert!(!plan.cut.is_empty() && plan.cut.len() <= 3, "cut ≤ t");
+            assert!(plan.cut.windows(2).all(|w| w[0] < w[1]), "sorted cut");
+            assert!(plan.cut.iter().all(|p| p.0 < 10), "ids < n");
+        }
+    }
+}

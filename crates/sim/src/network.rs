@@ -2,11 +2,13 @@
 
 use crate::ids::{PartyId, SessionId};
 use crate::instance::Instance;
+use crate::net::NetEvent;
 use crate::node::{Node, Outgoing};
 use crate::payload::Payload;
 use crate::queue::Pending;
 use crate::runtime::{
-    build_node, deliver_counted, DeliverTrace, Metrics, NetConfig, RunReport, Runtime, StopReason,
+    build_node, deliver_counted, DeliverTrace, Metrics, NetConfig, RecoverPlan, RunReport, Runtime,
+    StopReason, REJOIN_GRACE,
 };
 use crate::scheduler::Scheduler;
 use crate::trace::{TraceEvent, TraceMode, TraceSink};
@@ -93,6 +95,9 @@ pub struct SimNetwork {
     /// Whether any delivery step has executed (gates the crash-before-run
     /// retraction of buffered sends).
     started: bool,
+    /// Pending crash-recoveries, fired against the scheduler's virtual
+    /// clock (see [`Runtime::schedule_recover`]).
+    recoveries: Vec<RecoverPlan>,
     /// Reusable dispatch-output buffer (empty between steps).
     scratch: Vec<Outgoing>,
     /// When present, every enqueued envelope round-trips through the
@@ -118,6 +123,8 @@ impl SimNetwork {
         );
         let nodes = (0..config.n).map(|i| build_node(&config, i)).collect();
         let sched_rng = ChaCha12Rng::seed_from_u64(config.seed.wrapping_add(0xC0FF_EE00));
+        let mut scheduler = scheduler;
+        scheduler.configure(&config);
         SimNetwork {
             config,
             nodes,
@@ -131,6 +138,7 @@ impl SimNetwork {
             trace: None,
             sink: None,
             started: false,
+            recoveries: Vec::new(),
             scratch: Vec::new(),
             codec: None,
         }
@@ -259,10 +267,14 @@ impl SimNetwork {
         if limit == 0 {
             return 0;
         }
+        self.fire_recoveries();
         let Some((slot, run)) = self.pick_next() else {
             return 0;
         };
         self.started = true;
+        // The pick advanced the virtual clock (when there is one): the
+        // whole batch run arrives at this virtual time.
+        let vnow = self.scheduler.virtual_now();
         let run = run.min(limit);
         if let Some(sink) = &mut self.sink {
             let meta = self.pending.meta_of_slot(slot);
@@ -273,6 +285,7 @@ impl SimNetwork {
                 run: run as usize,
             });
         }
+        self.drain_net_events_to_sink();
         for _ in 0..run {
             // Trigger scheduled crashes per delivery, so a crash step
             // falling inside a batch run still fires exactly on time
@@ -295,6 +308,10 @@ impl SimNetwork {
             if let Some(trace) = &mut self.trace {
                 trace.push((env.seq, env.from, env.to));
             }
+            if let Some(vt) = vnow {
+                let kind = env.session.last().map_or("root", |t| t.kind);
+                self.metrics.on_virtual_delivery(kind, vt);
+            }
             let mut out = std::mem::take(&mut self.scratch);
             let SimNetwork {
                 nodes,
@@ -305,6 +322,7 @@ impl SimNetwork {
             let tctx = sink.as_deref_mut().map(|s| DeliverTrace {
                 sink: s,
                 seq: env.seq,
+                vtime: vnow,
             });
             deliver_counted(
                 &mut nodes[env.to.0],
@@ -347,6 +365,12 @@ impl SimNetwork {
                 break StopReason::StepLimit;
             }
             if self.step_bounded(remaining) == 0 {
+                // Out of traffic with recoveries still scheduled: jump
+                // the virtual clock to the last due time and fire them
+                // (each forcing empties plans, so this terminates).
+                if self.force_recoveries() {
+                    continue;
+                }
                 break StopReason::Quiescent;
             }
             if stop(self) {
@@ -503,6 +527,127 @@ impl SimNetwork {
         }
     }
 
+    /// Schedules `party` to recover at virtual time `at_vtime` — see
+    /// [`Runtime::schedule_recover`]. Fires against the scheduler's
+    /// virtual clock (the `net:` family); with an order-only scheduler
+    /// the recovery still fires once traffic drains.
+    pub fn schedule_recover(
+        &mut self,
+        party: PartyId,
+        at_vtime: u64,
+        session: SessionId,
+        instance: Box<dyn Instance>,
+    ) {
+        self.recoveries.push(RecoverPlan {
+            party,
+            at: at_vtime,
+            session,
+            instance: Some(instance),
+            revived: false,
+        });
+    }
+
+    /// Fires due recovery phases against the virtual clock. Phase 1 at
+    /// `at`: the party un-crashes, un-mutes and retires its stale
+    /// session slot. Phase 2 at `at + REJOIN_GRACE`: the stored
+    /// instance respawns — deliveries that landed in the gap
+    /// early-buffered in the fresh slot and replay at spawn, making the
+    /// mid-episode rejoin observable.
+    fn fire_recoveries(&mut self) {
+        if self.recoveries.is_empty() {
+            return;
+        }
+        let Some(vnow) = self.scheduler.virtual_now() else {
+            return;
+        };
+        for i in 0..self.recoveries.len() {
+            if !self.recoveries[i].revived && self.recoveries[i].at <= vnow {
+                let party = self.recoveries[i].party;
+                let at = self.recoveries[i].at;
+                let session = self.recoveries[i].session.clone();
+                self.recoveries[i].revived = true;
+                self.revive(party, at, &session);
+            }
+        }
+        let mut i = 0;
+        while i < self.recoveries.len() {
+            if self.recoveries[i].revived && self.recoveries[i].at + REJOIN_GRACE <= vnow {
+                let plan = self.recoveries.remove(i);
+                if let Some(instance) = plan.instance {
+                    SimNetwork::spawn(self, plan.party, plan.session, instance);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Recovery phase 1 for one party.
+    fn revive(&mut self, party: PartyId, at: u64, session: &SessionId) {
+        self.nodes[party.0].recover();
+        self.muted[party.0] = false;
+        self.nodes[party.0].retire_session(session);
+        if let Some(sink) = &mut self.sink {
+            sink.record(TraceEvent::Recover {
+                step: self.metrics.steps,
+                vtime: at,
+                party,
+            });
+        }
+    }
+
+    /// Forces all scheduled recoveries at quiescence: fast-forwards the
+    /// virtual clock past the last due time and fires both phases (for
+    /// order-only schedulers, which cannot fast-forward, the plans fire
+    /// unconditionally). Returns whether anything fired — the caller
+    /// then re-enters the delivery loop.
+    fn force_recoveries(&mut self) -> bool {
+        if self.recoveries.is_empty() {
+            return false;
+        }
+        let target = self
+            .recoveries
+            .iter()
+            .map(|r| r.at.saturating_add(REJOIN_GRACE))
+            .max()
+            .expect("non-empty");
+        self.scheduler.fast_forward(target);
+        self.fire_recoveries();
+        self.drain_net_events_to_sink();
+        // Order-only schedulers report no clock: fire the plans directly.
+        let plans = std::mem::take(&mut self.recoveries);
+        for plan in plans {
+            if !plan.revived {
+                self.revive(plan.party, plan.at, &plan.session);
+            }
+            if let Some(instance) = plan.instance {
+                SimNetwork::spawn(self, plan.party, plan.session, instance);
+            }
+        }
+        true
+    }
+
+    /// Forwards the scheduler's queued partition lifecycle events to the
+    /// flight recorder (observational only; the scheduler queues at most
+    /// one start and one heal per run).
+    fn drain_net_events_to_sink(&mut self) {
+        if self.sink.is_none() {
+            return;
+        }
+        let mut events = Vec::new();
+        self.scheduler.drain_net_events(&mut events);
+        let step = self.metrics.steps;
+        let sink = self.sink.as_deref_mut().expect("checked above");
+        for e in events {
+            sink.record(match e {
+                NetEvent::PartitionStart { vtime, cut } => {
+                    TraceEvent::PartitionStart { step, vtime, cut }
+                }
+                NetEvent::PartitionHeal { vtime } => TraceEvent::PartitionHeal { step, vtime },
+            });
+        }
+    }
+
     /// Applies the fairness cap, then the scheduler. Returns the stable
     /// handle of the picked batch and the length of its run.
     fn pick_next(&mut self) -> Option<(crate::queue::BatchSlot, u64)> {
@@ -553,6 +698,17 @@ impl Runtime for SimNetwork {
 
     fn retire_session(&mut self, party: PartyId, session: &SessionId) -> bool {
         SimNetwork::retire_session(self, party, session)
+    }
+
+    fn schedule_recover(
+        &mut self,
+        party: PartyId,
+        at_vtime: u64,
+        session: SessionId,
+        instance: Box<dyn Instance>,
+    ) -> bool {
+        SimNetwork::schedule_recover(self, party, at_vtime, session, instance);
+        true
     }
 
     fn set_trace(&mut self, mode: TraceMode) {

@@ -195,6 +195,14 @@ impl Node {
         self.crashed
     }
 
+    /// Un-crashes the party: it resumes processing and emitting. Used by
+    /// the crash-recovery path (`recover@<vtime>` under the `net:`
+    /// virtual-time model); the caller is responsible for retiring stale
+    /// session state and respawning instances afterwards.
+    pub fn recover(&mut self) {
+        self.crashed = false;
+    }
+
     /// The arena cell for `session`, created on first touch.
     fn slot_mut(&mut self, session: &SessionId) -> &mut SessionSlot {
         let idx = session.arena_index();

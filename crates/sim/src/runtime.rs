@@ -87,8 +87,14 @@ pub struct Metrics {
     /// Delivery-path buffers allocated fresh because no recycled buffer
     /// was available — the pool's miss counter.
     pub pool_alloc: u64,
+    /// Virtual time (virtual milliseconds) at the last delivery, when the
+    /// scheduler keeps a virtual clock (the `net:` family); 0 otherwise.
+    pub virtual_time: u64,
     /// Sent counts per leaf session kind, in first-seen order.
     by_kind: Vec<(&'static str, u64)>,
+    /// Virtual time of the last delivery per leaf session kind — the
+    /// virtual-time completion profile of a `net:` run.
+    vtime_by_kind: Vec<(&'static str, u64)>,
     /// Index into `by_kind` of the most recently counted kind.
     last_kind: usize,
     /// Failed message views/downcasts per payload kind, in first-seen
@@ -125,6 +131,32 @@ impl Metrics {
             .iter()
             .find(|(k, _)| *k == kind)
             .map_or(0, |&(_, c)| c)
+    }
+
+    /// Virtual time of the last delivery whose session's leaf kind is
+    /// `kind` (0 when no such delivery happened or no clock ran).
+    pub fn virtual_time_by_kind(&self, kind: &str) -> u64 {
+        self.vtime_by_kind
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |&(_, c)| c)
+    }
+
+    /// All `(kind, virtual completion time)` pairs, in first-seen order —
+    /// empty unless a virtual clock ran.
+    pub fn virtual_times(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.vtime_by_kind.iter().copied()
+    }
+
+    /// Records a delivery at virtual time `vtime` for session kind
+    /// `kind`: the per-kind and global completion clocks advance to it.
+    pub(crate) fn on_virtual_delivery(&mut self, kind: &'static str, vtime: u64) {
+        self.virtual_time = self.virtual_time.max(vtime);
+        if let Some(i) = self.vtime_by_kind.iter().position(|(k, _)| *k == kind) {
+            self.vtime_by_kind[i].1 = self.vtime_by_kind[i].1.max(vtime);
+        } else {
+            self.vtime_by_kind.push((kind, vtime));
+        }
     }
 
     /// Records one sent envelope for `session`'s leaf kind.
@@ -178,6 +210,16 @@ impl Metrics {
         self.wire_malformed += other.wire_malformed;
         self.pool_reused += other.pool_reused;
         self.pool_alloc += other.pool_alloc;
+        // Virtual clocks merge by max: completion time is a high-water
+        // mark, not a sum.
+        self.virtual_time = self.virtual_time.max(other.virtual_time);
+        for &(kind, vtime) in &other.vtime_by_kind {
+            if let Some(i) = self.vtime_by_kind.iter().position(|(k, _)| *k == kind) {
+                self.vtime_by_kind[i].1 = self.vtime_by_kind[i].1.max(vtime);
+            } else {
+                self.vtime_by_kind.push((kind, vtime));
+            }
+        }
         for &(kind, count) in &other.by_kind {
             if let Some(i) = self.by_kind.iter().position(|(k, _)| *k == kind) {
                 self.by_kind[i].1 += count;
@@ -239,6 +281,16 @@ impl fmt::Display for RunReport {
             m.wire_frames, m.wire_bytes, m.wire_malformed
         )?;
         writeln!(f, "pool: reused={} alloc={}", m.pool_reused, m.pool_alloc)?;
+        if m.virtual_time > 0 {
+            let per_kind: Vec<String> =
+                m.virtual_times().map(|(k, v)| format!("{k}={v}")).collect();
+            writeln!(
+                f,
+                "virtual: completed at {} vms ({})",
+                m.virtual_time,
+                per_kind.join(" ")
+            )?;
+        }
         let kinds: Vec<String> = m.kinds().map(|(k, c)| format!("{k}={c}")).collect();
         writeln!(f, "sent by kind: {}", kinds.join(" "))?;
         let misses: Vec<String> = m.decode_misses().map(|(k, c)| format!("{k}={c}")).collect();
@@ -281,6 +333,8 @@ pub(crate) struct DeliverTrace<'a> {
     pub sink: &'a mut dyn TraceSink,
     /// Sequence number of the envelope being delivered.
     pub seq: u64,
+    /// Virtual arrival time, when the scheduler keeps a virtual clock.
+    pub vtime: Option<u64>,
 }
 
 fn miss_total(misses: &[(&'static str, u64)]) -> u64 {
@@ -354,6 +408,7 @@ pub(crate) fn deliver_counted(
                 from,
                 session: session.clone(),
                 seq: t.seq,
+                vtime: t.vtime,
             });
         } else {
             t.sink.record(TraceEvent::Drop {
@@ -392,6 +447,28 @@ pub(crate) fn deliver_counted(
             });
         }
     }
+}
+
+/// Virtual ticks between a recovery's state revival (phase 1: the party
+/// un-crashes and its stale session slot is retired) and its respawn
+/// (phase 2: the fresh instance starts). Deliveries landing in the gap
+/// early-buffer in the fresh slot and replay at spawn, which is what
+/// makes a mid-episode rejoin observable end-to-end.
+pub(crate) const REJOIN_GRACE: u64 = 8;
+
+/// One pending crash-recovery: at virtual time `at`, the crashed party
+/// revives; [`REJOIN_GRACE`] ticks later its stored instance respawns.
+pub(crate) struct RecoverPlan {
+    /// The recovering party.
+    pub party: PartyId,
+    /// Virtual time of phase 1 (revival).
+    pub at: u64,
+    /// Session to retire and respawn.
+    pub session: SessionId,
+    /// The replacement instance, consumed at phase 2.
+    pub instance: Option<Box<dyn Instance>>,
+    /// Whether phase 1 has run.
+    pub revived: bool,
 }
 
 /// One execution backend: deploy [`Instance`]s, run, read outputs.
@@ -482,6 +559,28 @@ pub trait Runtime {
     /// `false`.
     fn retire_session(&mut self, party: PartyId, session: &SessionId) -> bool {
         let _ = (party, session);
+        false
+    }
+
+    /// Schedules `party` — crashed or about to be crashed — to recover at
+    /// virtual time `at_vtime`: its stale `session` state is retired via
+    /// the [`retire_session`](Runtime::retire_session) path and
+    /// `instance` is respawned shortly after, replaying any early-
+    /// buffered traffic, so a mid-episode rejoin is observable.
+    ///
+    /// Recovery needs a virtual clock: backends honor it only when their
+    /// scheduler is the `net:` family (recoveries still fire at
+    /// quiescence otherwise, but without meaningful timing). Returns
+    /// `false` when the backend does not support scheduled recovery —
+    /// the party then simply stays crashed.
+    fn schedule_recover(
+        &mut self,
+        party: PartyId,
+        at_vtime: u64,
+        session: SessionId,
+        instance: Box<dyn Instance>,
+    ) -> bool {
+        let _ = (party, at_vtime, session, instance);
         false
     }
 
@@ -837,6 +936,7 @@ mod tests {
             m.wire_malformed,
             m.pool_reused,
             m.pool_alloc,
+            m.virtual_time,
         ];
         let mut kinds: Vec<_> = m.kinds().collect();
         kinds.sort_unstable();

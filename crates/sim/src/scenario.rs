@@ -19,14 +19,16 @@
 //! field    := "n=" usize | "t=" usize | "corrupt=" plan
 //!           | "sched=" scheduler-spec | "rt=" runtime-spec
 //! plan     := fault "@" party (";" fault "@" party)*
-//! fault    := "silent" | "crash" | "mute-after:" events
+//! fault    := "silent" | "crash" | "recover:" vtime | "mute-after:" events
 //!           | "garbage" [":" budget] | "equivocate" [":" budget]
 //!           | attack-name [":" args]          (resolved via AttackRegistry)
 //! ```
 //!
-//! `t` defaults to `⌊(n−1)/3⌋`, `sched` to `random`, `rt` to `sim`. A
-//! comma inside a value (e.g. `sched=starve:1,3`) is glued back onto the
-//! preceding field, so scheduler specs need no escaping. Parsing validates
+//! `t` defaults to `⌊(n−1)/3⌋`, `sched` to `random`, `rt` to `sim`. Only
+//! the five field keys above start a new field: any other comma-separated
+//! token — with or without an `=` — is glued back onto the preceding
+//! value, so scheduler specs need no escaping (`sched=starve:1,3` and
+//! `sched=net:lat=1..20,partition=p50,heal=200` both parse). Parsing validates
 //! everything it can without a registry: `n ≥ 3t + 1`, at most `t` distinct
 //! corrupted parties, all ids in range, scheduler and runtime specs
 //! resolvable; [`Scenario::validate_attacks`] additionally checks named
@@ -71,6 +73,12 @@ pub enum FaultSpec {
     /// Whole-party crash from the start ([`Runtime::crash`] before the
     /// first run, so initial sends are retracted on every backend).
     Crash,
+    /// Crash from the start, then recover at the given virtual time: the
+    /// node comes back up with its session state retired and a fresh
+    /// honest instance respawns after a short grace period
+    /// ([`Runtime::schedule_recover`]). Requires a `sched=net:` scheduler
+    /// — virtual time is what `@<vtime>` is measured in.
+    Recover(u64),
     /// Honest for the given number of events, then silent ([`MuteAfter`]
     /// wrapping the stack's honest instance).
     MuteAfter(u64),
@@ -100,6 +108,7 @@ impl FaultSpec {
         match head {
             "silent" => args.is_empty().then_some(FaultSpec::Silent),
             "crash" => args.is_empty().then_some(FaultSpec::Crash),
+            "recover" => Some(FaultSpec::Recover(args.parse().ok()?)),
             "mute-after" => Some(FaultSpec::MuteAfter(args.parse().ok()?)),
             "garbage" => Some(FaultSpec::Garbage(if args.is_empty() {
                 DEFAULT_GARBAGE_BUDGET
@@ -129,6 +138,7 @@ impl fmt::Display for FaultSpec {
         match self {
             FaultSpec::Silent => write!(f, "silent"),
             FaultSpec::Crash => write!(f, "crash"),
+            FaultSpec::Recover(vt) => write!(f, "recover:{vt}"),
             FaultSpec::MuteAfter(k) => write!(f, "mute-after:{k}"),
             FaultSpec::Garbage(b) => write!(f, "garbage:{b}"),
             FaultSpec::Equivocate(b) => write!(f, "equivocate:{b}"),
@@ -187,14 +197,19 @@ impl Scenario {
     /// errors or failed validation (see [`Scenario::validate`]).
     pub fn parse(spec: &str) -> Option<Scenario> {
         let body = spec.strip_prefix("scenario:").unwrap_or(spec);
-        // Split into `key=value` fields; a token without `=` is a
-        // continuation of the previous value (scheduler specs like
-        // `starve:1,3` contain commas).
+        // Split into `key=value` fields. Only the known field keys start
+        // a new field; any other token — even one containing an `=` — is
+        // a continuation of the previous value, so scheduler specs like
+        // `starve:1,3` and `net:lat=1..20,partition=p50,heal=200` survive
+        // the comma split unescaped.
+        const KEYS: [&str; 5] = ["n", "t", "corrupt", "sched", "rt"];
         let mut fields: Vec<(&str, String)> = Vec::new();
         for tok in body.split(',') {
             match tok.split_once('=') {
-                Some((k, v)) => fields.push((k.trim(), v.trim().to_string())),
-                None => {
+                Some((k, v)) if KEYS.contains(&k.trim()) => {
+                    fields.push((k.trim(), v.trim().to_string()))
+                }
+                _ => {
                     let last = fields.last_mut()?;
                     last.1.push(',');
                     last.1.push_str(tok.trim());
@@ -273,7 +288,56 @@ impl Scenario {
             }
         }
         if crate::scheduler_by_name(&self.sched).is_none() {
-            return Err(format!("unknown scheduler {:?}", self.sched));
+            // Name the mistake: a known family with malformed arguments
+            // gets that family's grammar example; an unknown family gets
+            // the list of families. Mirrors the rt=wire:<args> hint below.
+            let family = self.sched.split(':').next().unwrap_or(&self.sched);
+            return Err(
+                match crate::ALL_SCHEDULERS.iter().find(|f| f.name == family) {
+                    Some(f) => format!(
+                        "scheduler {:?} has malformed arguments for the {:?} family \
+                         (grammar example: sched={})",
+                        self.sched, f.name, f.example
+                    ),
+                    None => {
+                        let names: Vec<&str> =
+                            crate::ALL_SCHEDULERS.iter().map(|f| f.name).collect();
+                        format!(
+                            "unknown scheduler {:?} (families: {})",
+                            self.sched,
+                            names.join(", ")
+                        )
+                    }
+                },
+            );
+        }
+        if let Some(spec) = crate::net::NetSpec::parse(&self.sched) {
+            if let Some(crate::net::PartitionSpec::Explicit(cut)) = &spec.partition {
+                if cut.len() > self.t {
+                    return Err(format!(
+                        "partition cut of {} parties exceeds the fault threshold t={}: \
+                         a cut isolating more than t parties can block termination",
+                        cut.len(),
+                        self.t
+                    ));
+                }
+                if let Some(p) = cut.iter().find(|p| p.0 >= self.n) {
+                    return Err(format!(
+                        "partition cut party {} out of range (n={})",
+                        p.0, self.n
+                    ));
+                }
+            }
+        } else if let Some(c) = self
+            .corruptions
+            .iter()
+            .find(|c| matches!(c.fault, FaultSpec::Recover(_)))
+        {
+            return Err(format!(
+                "recover@{} is measured in virtual time: use a sched=net: scheduler \
+                 (e.g. sched=net:lat=1..8)",
+                c.party.0
+            ));
         }
         let rt_ok = match self.rt.as_str() {
             "sim" | "threaded" | "wire" => true,
@@ -406,6 +470,22 @@ impl Scenario {
                 Some(FaultSpec::Crash) => {
                     rt.spawn(p, session.clone(), honest(p, carry));
                     rt.crash(p);
+                    continue;
+                }
+                Some(FaultSpec::Recover(at)) => {
+                    // Crash like above, but leave a recovery plan with a
+                    // fresh honest instance: at virtual time `at` the node
+                    // revives with its session state retired, and the
+                    // instance respawns after the rejoin grace period.
+                    rt.spawn(p, session.clone(), honest(p, carry));
+                    rt.crash(p);
+                    if !rt.schedule_recover(p, *at, session.clone(), honest(p, carry)) {
+                        return Err(format!(
+                            "backend {:?} does not support crash-recovery (recover@{})",
+                            rt.backend_name(),
+                            p.0
+                        ));
+                    }
                     continue;
                 }
                 Some(FaultSpec::MuteAfter(k)) => Box::new(MuteAfter::new(honest(p, carry), *k)),
@@ -777,6 +857,8 @@ mod tests {
             "n=7,t=2,corrupt=silent@2;mute-after:6@5,sched=lifo,rt=sharded:2",
             "n=16,t=5,corrupt=garbage:9@1;equivocate:3@8;my-attack:x@12,sched=window4,rt=threaded",
             "n=10,t=3,corrupt=crash@9,sched=starve:1,3,rt=sharded:1",
+            "n=7,t=2,sched=net:lat=1..20,partition=p50,heal=200,rt=sim",
+            "n=7,t=2,corrupt=recover:120@6,sched=net:lat=exp:5,partition=3+5,heal=80,rt=sharded:2",
         ] {
             let s = Scenario::parse(spec).unwrap();
             assert_eq!(s.to_string(), spec, "canonical form is stable");
@@ -794,25 +876,32 @@ mod tests {
     #[test]
     fn parse_rejects_invalid() {
         for bad in [
-            "",                                  // no n
-            "t=1",                               // no n
-            "n=4,t=2",                           // resilience violated
-            "n=4,t=1,corrupt=silent@1;silent@2", // two corruptions > t
-            "n=4,t=1,corrupt=silent@4",          // party out of range
-            "n=4,t=1,corrupt=silent@1;silent@1", // duplicate party
-            "n=4,t=1,corrupt=silent:9@1",        // silent takes no args
-            "n=4,t=1,corrupt=mute-after@1",      // mute-after needs a count
-            "n=4,t=1,corrupt=garbage:x@1",       // malformed builtin args
-            "n=4,t=1,corrupt=Bad-Name@1",        // invalid attack name
-            "n=4,t=1,corrupt=silent",            // missing @party
-            "n=4,sched=bogus",                   // unknown scheduler
-            "n=4,rt=hovercraft",                 // unknown runtime
-            "n=4,rt=sharded:0",                  // zero shards
-            "n=4,rt=sim:lifo",                   // scheduler belongs in sched=
-            "n=4,rt=wire:lifo",                  // ditto for the wire backend
-            "n=4,rt=wire:",                      // malformed wire spec
-            "n=4,zzz=1",                         // unknown field
-            "n=four",                            // malformed n
+            "",                                                // no n
+            "t=1",                                             // no n
+            "n=4,t=2",                                         // resilience violated
+            "n=4,t=1,corrupt=silent@1;silent@2",               // two corruptions > t
+            "n=4,t=1,corrupt=silent@4",                        // party out of range
+            "n=4,t=1,corrupt=silent@1;silent@1",               // duplicate party
+            "n=4,t=1,corrupt=silent:9@1",                      // silent takes no args
+            "n=4,t=1,corrupt=mute-after@1",                    // mute-after needs a count
+            "n=4,t=1,corrupt=garbage:x@1",                     // malformed builtin args
+            "n=4,t=1,corrupt=Bad-Name@1",                      // invalid attack name
+            "n=4,t=1,corrupt=silent",                          // missing @party
+            "n=4,sched=bogus",                                 // unknown scheduler
+            "n=4,sched=net:",                                  // empty net argument list
+            "n=4,sched=net:lat=0..3",                          // zero latency bound
+            "n=4,sched=net:heal=50",                           // heal without a partition
+            "n=4,t=1,sched=net:lat=1..4,partition=0+1,heal=9", // cut > t
+            "n=4,t=1,sched=net:lat=1..4,partition=5,heal=9",   // cut id >= n
+            "n=4,t=1,corrupt=recover@1",                       // recover needs a vtime
+            "n=4,t=1,corrupt=recover:50@1",                    // recover needs sched=net:
+            "n=4,rt=hovercraft",                               // unknown runtime
+            "n=4,rt=sharded:0",                                // zero shards
+            "n=4,rt=sim:lifo",                                 // scheduler belongs in sched=
+            "n=4,rt=wire:lifo",                                // ditto for the wire backend
+            "n=4,rt=wire:",                                    // malformed wire spec
+            "n=4,zzz=1",                                       // unknown field
+            "n=four",                                          // malformed n
         ] {
             assert!(Scenario::parse(bad).is_none(), "{bad:?} must not parse");
         }
@@ -833,6 +922,77 @@ mod tests {
         bad.rt = "wire:lifo".into();
         let err = bad.validate().unwrap_err();
         assert!(err.contains("sched="), "targeted message, got: {err}");
+    }
+
+    #[test]
+    fn scheduler_errors_name_the_family_grammar() {
+        // Unknown family: the error lists the families so the fix is
+        // discoverable without reading source.
+        let mut s = Scenario::honest(4, 1);
+        s.sched = "bogus".into();
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("families:"), "{err}");
+        assert!(err.contains("net"), "{err}");
+        // Known family, malformed arguments: the error carries that
+        // family's grammar example.
+        s.sched = "net:lat=..".into();
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("net:lat=1..8"), "{err}");
+        s.sched = "starve:".into();
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("starve"), "{err}");
+        // Cuts isolating more than t parties are rejected up front: they
+        // could block termination, which no scenario may encode.
+        s.sched = "net:lat=1..4,partition=0+1,heal=50".into();
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("fault threshold"), "{err}");
+        // Recover without virtual time is meaningless.
+        s.sched = "random".into();
+        s.corruptions = vec![Corruption {
+            party: PartyId(2),
+            fault: FaultSpec::Recover(40),
+        }];
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("sched=net:"), "{err}");
+    }
+
+    #[test]
+    fn deploy_recover_rejoins_mid_episode() {
+        // Party 3 crashes at spawn and recovers at vtime 50: its initial
+        // broadcast is retracted, the pre-recovery deliveries to it are
+        // dropped-and-counted, and the respawned instance broadcasts after
+        // rejoining — observable as 4 extra sends on every backend.
+        for rt_name in ["sim", "sharded:2", "wire"] {
+            let spec = format!("n=4,t=1,corrupt=recover:50@3,sched=net:lat=1..4,rt={rt_name}");
+            let s = Scenario::parse(&spec).unwrap();
+            let mut rt = s.runtime(9);
+            s.deploy_episode(
+                rt.as_mut(),
+                &AttackRegistry::new(),
+                "ping",
+                &sid(),
+                &[],
+                |_, _| Box::new(Pinger { heard: 0 }),
+            )
+            .unwrap();
+            let report = rt.run(1_000_000);
+            assert_eq!(report.stop, StopReason::Quiescent, "{rt_name}");
+            assert_eq!(report.metrics.sent, 16, "{rt_name}: 3 live + 1 rejoined");
+            assert_eq!(
+                report.metrics.sent,
+                report.metrics.delivered
+                    + report.metrics.dropped_shunned
+                    + report.metrics.dropped_crashed,
+                "{rt_name}: conservation across the recovery"
+            );
+            for p in s.honest_parties() {
+                assert_eq!(
+                    rt.output_as::<usize>(p, &sid()),
+                    Some(&3),
+                    "{rt_name} {p:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -37,6 +37,26 @@ pub trait Scheduler: Send {
     fn name(&self) -> &'static str {
         "scheduler"
     }
+
+    /// Called once by the backend before any delivery, with the
+    /// network-wide configuration. Schedulers that derive per-run plans
+    /// from `(seed, n, t)` — the virtual-time `net:` family's partition
+    /// cut — hook this; order-only schedulers ignore it.
+    fn configure(&mut self, _config: &crate::runtime::NetConfig) {}
+
+    /// The scheduler's virtual clock in virtual milliseconds, if it
+    /// keeps one (`None` for order-only schedulers).
+    fn virtual_now(&self) -> Option<u64> {
+        None
+    }
+
+    /// Advances the virtual clock to at least `to` (used to force
+    /// scheduled recoveries due at quiescence). No-op without a clock.
+    fn fast_forward(&mut self, _to: u64) {}
+
+    /// Drains queued network-lifecycle events (partition start/heal)
+    /// into `out`. Backends feed these to the trace.
+    fn drain_net_events(&mut self, _out: &mut Vec<crate::net::NetEvent>) {}
 }
 
 /// Delivers messages in the order they were sent (a synchronous-looking,

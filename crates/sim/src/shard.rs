@@ -45,12 +45,14 @@
 
 use crate::ids::{PartyId, SessionId};
 use crate::instance::Instance;
+use crate::net::NetEvent;
 use crate::network::Envelope;
 use crate::node::Node;
 use crate::payload::Payload;
 use crate::queue::Pending;
 use crate::runtime::{
-    build_node, deliver_counted, DeliverTrace, Metrics, NetConfig, RunReport, Runtime, StopReason,
+    build_node, deliver_counted, DeliverTrace, Metrics, NetConfig, RecoverPlan, RunReport, Runtime,
+    StopReason, REJOIN_GRACE,
 };
 use crate::scheduler::{RandomScheduler, Scheduler};
 use crate::trace::{TraceEvent, TraceMode, TraceSink};
@@ -149,6 +151,10 @@ impl PartyState {
             let idx = idx.min(self.inbox.len() - 1);
             let slot = self.inbox.slot_of(idx);
             let run = (self.inbox.run_len_of_slot(slot) as u64).min(limit - done);
+            // Virtual arrival time of the picked batch, if this party's
+            // scheduler models one (the `net:` family). Captured per pick:
+            // the clock advances monotonically across picks.
+            let vnow = self.scheduler.virtual_now();
             if let Some(events) = &mut self.events {
                 events.push(TraceEvent::SchedulerPick {
                     step: self.metrics.steps,
@@ -162,6 +168,10 @@ impl PartyState {
                 if let Some(trace) = &mut self.trace {
                     trace.push((env.seq, env.from, env.to));
                 }
+                if let Some(vt) = vnow {
+                    let kind = env.session.last().map_or("root", |t| t.kind);
+                    self.metrics.on_virtual_delivery(kind, vt);
+                }
                 let PartyState {
                     node,
                     metrics,
@@ -172,6 +182,7 @@ impl PartyState {
                 let tctx = events.as_mut().map(|ev| DeliverTrace {
                     sink: ev,
                     seq: env.seq,
+                    vtime: vnow,
                 });
                 deliver_counted(
                     node,
@@ -254,6 +265,10 @@ pub struct ShardedSimRuntime {
     parties: Vec<PartyState>,
     /// Spawns buffered until the next `run` call.
     pending_spawns: Vec<(PartyId, SessionId, Box<dyn Instance>)>,
+    /// Scheduled crash-recoveries, fired when a party's virtual clock
+    /// reaches the plan time (forced at would-be quiescence so order-only
+    /// schedulers still observe the rejoin).
+    recoveries: Vec<RecoverPlan>,
     /// Completed epoch barriers (also the `born_step` stamp of emissions).
     epoch: u64,
     /// Total deliveries executed, across all shards and epochs.
@@ -306,17 +321,25 @@ impl ShardedSimRuntime {
         assert!(k > 0, "need at least one shard");
         let k = k.min(config.n);
         let parties = (0..config.n)
-            .map(|p| PartyState {
-                node: build_node(&config, p),
-                inbox: Pending::new(),
-                scheduler: factory(PartyId(p)),
-                rng: shard_sched_rng(config.seed, p),
-                metrics: Metrics::default(),
-                outbox: (0..config.n).map(|_| Vec::new()).collect(),
-                emit: 0,
-                trace: None,
-                events: None,
-                scratch: Vec::new(),
+            .map(|p| {
+                // Every party gets its own scheduler instance; configuring
+                // each from the same `(seed, spec)` keeps virtual-time
+                // plans (partitions, latency) identical across parties and
+                // shard counts.
+                let mut scheduler = factory(PartyId(p));
+                scheduler.configure(&config);
+                PartyState {
+                    node: build_node(&config, p),
+                    inbox: Pending::new(),
+                    scheduler,
+                    rng: shard_sched_rng(config.seed, p),
+                    metrics: Metrics::default(),
+                    outbox: (0..config.n).map(|_| Vec::new()).collect(),
+                    emit: 0,
+                    trace: None,
+                    events: None,
+                    scratch: Vec::new(),
+                }
             })
             .collect();
         let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
@@ -326,6 +349,7 @@ impl ShardedSimRuntime {
             workers: k.min(cores),
             parties,
             pending_spawns: Vec::new(),
+            recoveries: Vec::new(),
             epoch: 0,
             steps: 0,
             trace: None,
@@ -448,6 +472,25 @@ impl ShardedSimRuntime {
                     }
                 }
             }
+            // Every party derives the identical partition plan from
+            // `(seed, spec)`, so party 0's scheduler speaks for all of
+            // them; draining only one copy avoids duplicate lifecycle
+            // events in the flight recorder.
+            let mut net_events = Vec::new();
+            self.parties[0].scheduler.drain_net_events(&mut net_events);
+            for event in net_events {
+                sink.record(match event {
+                    NetEvent::PartitionStart { vtime, cut } => TraceEvent::PartitionStart {
+                        step: self.steps,
+                        vtime,
+                        cut,
+                    },
+                    NetEvent::PartitionHeal { vtime } => TraceEvent::PartitionHeal {
+                        step: self.steps,
+                        vtime,
+                    },
+                });
+            }
         }
         self.epoch += 1;
     }
@@ -507,6 +550,106 @@ impl ShardedSimRuntime {
         done
     }
 
+    /// Phase 1 of a crash-recovery: the node comes back up (deliveries
+    /// stop counting as `dropped_crashed`), but its pre-crash session
+    /// state is retired — a recovered party rejoins with amnesia, and
+    /// traffic arriving before the respawn early-buffers for replay.
+    fn revive(&mut self, party: PartyId, at: u64, session: &SessionId) {
+        let ps = &mut self.parties[party.0];
+        ps.node.recover();
+        ps.node.retire_session(session);
+        if let Some(sink) = &mut self.sink {
+            sink.record(TraceEvent::Recover {
+                step: self.steps,
+                vtime: at,
+                party,
+            });
+        }
+    }
+
+    /// Fires due crash-recoveries against each plan party's own virtual
+    /// clock: phase 1 (revive) at the plan time, phase 2 (respawn the
+    /// stored instance, replaying the early buffer) after
+    /// [`REJOIN_GRACE`]. With `force`, fast-forwards every party's clock
+    /// past the last plan and fires everything — the would-be-quiescence
+    /// path, which also covers order-only schedulers with no clock.
+    /// Returns whether anything fired (the caller runs a barrier so the
+    /// respawn's sends become deliverable).
+    fn fire_recoveries(&mut self, force: bool) -> bool {
+        if self.recoveries.is_empty() {
+            return false;
+        }
+        if force {
+            let target = self
+                .recoveries
+                .iter()
+                .map(|r| r.at.saturating_add(REJOIN_GRACE))
+                .max()
+                .unwrap_or(0);
+            for ps in &mut self.parties {
+                ps.scheduler.fast_forward(target);
+            }
+        }
+        let mut changed = false;
+        for i in 0..self.recoveries.len() {
+            let plan = &self.recoveries[i];
+            let (party, at, revived) = (plan.party, plan.at, plan.revived);
+            if revived {
+                continue;
+            }
+            let due = self.parties[party.0]
+                .scheduler
+                .virtual_now()
+                .is_some_and(|vnow| at <= vnow);
+            if due {
+                let session = self.recoveries[i].session.clone();
+                self.revive(party, at, &session);
+                self.recoveries[i].revived = true;
+                changed = true;
+            }
+        }
+        let n = self.config.n as u64;
+        let epoch = self.epoch;
+        let mut i = 0;
+        while i < self.recoveries.len() {
+            let plan = &self.recoveries[i];
+            let due = plan.revived
+                && self.parties[plan.party.0]
+                    .scheduler
+                    .virtual_now()
+                    .is_some_and(|vnow| plan.at.saturating_add(REJOIN_GRACE) <= vnow);
+            if due {
+                let plan = self.recoveries.remove(i);
+                if let Some(instance) = plan.instance {
+                    let ps = &mut self.parties[plan.party.0];
+                    ps.scratch = ps.node.spawn(plan.session, instance);
+                    ps.flush_sends(plan.party, n, epoch, None);
+                }
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if force {
+            // Unconditional fallback: schedulers without a virtual clock
+            // never report `due`, but the rejoin must still happen before
+            // the run can be called quiescent.
+            let plans = std::mem::take(&mut self.recoveries);
+            for plan in plans {
+                if !plan.revived {
+                    self.revive(plan.party, plan.at, &plan.session);
+                }
+                if let Some(instance) = plan.instance {
+                    let ps = &mut self.parties[plan.party.0];
+                    ps.scratch = ps.node.spawn(plan.session, instance);
+                    ps.flush_sends(plan.party, n, epoch, None);
+                }
+                changed = true;
+            }
+        }
+        changed
+    }
+
     fn report(&self, stop: StopReason) -> RunReport {
         RunReport {
             stop,
@@ -557,7 +700,14 @@ impl Runtime for ShardedSimRuntime {
         self.merge_barrier();
         let mut run_steps = 0;
         let reason = loop {
+            if self.fire_recoveries(false) {
+                self.merge_barrier();
+            }
             if self.pending_len() == 0 {
+                if !self.recoveries.is_empty() && self.fire_recoveries(true) {
+                    self.merge_barrier();
+                    continue;
+                }
                 break StopReason::Quiescent;
             }
             if run_steps >= max_steps {
@@ -599,6 +749,23 @@ impl Runtime for ShardedSimRuntime {
 
     fn retire_session(&mut self, party: PartyId, session: &SessionId) -> bool {
         self.parties[party.0].node.retire_session(session)
+    }
+
+    fn schedule_recover(
+        &mut self,
+        party: PartyId,
+        at_vtime: u64,
+        session: SessionId,
+        instance: Box<dyn Instance>,
+    ) -> bool {
+        self.recoveries.push(RecoverPlan {
+            party,
+            at: at_vtime,
+            session,
+            instance: Some(instance),
+            revived: false,
+        });
+        true
     }
 
     fn set_trace(&mut self, mode: TraceMode) {

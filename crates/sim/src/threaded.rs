@@ -211,6 +211,7 @@ fn run_episode(
                                 let tctx = guard.as_mut().map(|g| DeliverTrace {
                                     sink: (**g).as_mut(),
                                     seq: wire.seq,
+                                    vtime: None,
                                 });
                                 deliver_counted(
                                     &mut node,

@@ -100,6 +100,9 @@ pub enum TraceEvent {
         session: SessionId,
         /// Envelope sequence number (joins with [`TraceEvent::Send`]).
         seq: u64,
+        /// Virtual arrival time in virtual milliseconds, when the run's
+        /// scheduler keeps a virtual clock (the `net:` family).
+        vtime: Option<u64>,
     },
     /// An envelope was consumed without reaching a handler.
     Drop {
@@ -169,6 +172,33 @@ pub enum TraceEvent {
         /// Length of the picked same-`(from, to)` run.
         run: usize,
     },
+    /// A network partition went up (the `net:` virtual-time model).
+    PartitionStart {
+        /// Step counter when the clock crossed the cut time.
+        step: u64,
+        /// Virtual time of the cut.
+        vtime: u64,
+        /// The isolated parties (sorted).
+        cut: Vec<PartyId>,
+    },
+    /// A network partition healed.
+    PartitionHeal {
+        /// Step counter when the clock crossed the heal time.
+        step: u64,
+        /// Virtual time of the heal.
+        vtime: u64,
+    },
+    /// A crashed party recovered (crash-recovery under the `net:` model):
+    /// it resumes processing and its stale session state is retired ahead
+    /// of the respawn.
+    Recover {
+        /// Step counter when the recovery took effect.
+        step: u64,
+        /// Virtual time the recovery was scheduled for.
+        vtime: u64,
+        /// The recovering party.
+        party: PartyId,
+    },
 }
 
 impl TraceEvent {
@@ -184,7 +214,21 @@ impl TraceEvent {
             | TraceEvent::Shun { step, .. }
             | TraceEvent::Output { step, .. }
             | TraceEvent::DecodeMiss { step, .. }
-            | TraceEvent::SchedulerPick { step, .. } => *step,
+            | TraceEvent::SchedulerPick { step, .. }
+            | TraceEvent::PartitionStart { step, .. }
+            | TraceEvent::PartitionHeal { step, .. }
+            | TraceEvent::Recover { step, .. } => *step,
+        }
+    }
+
+    /// The event's virtual timestamp, if it carries one.
+    pub fn vtime(&self) -> Option<u64> {
+        match self {
+            TraceEvent::Deliver { vtime, .. } => *vtime,
+            TraceEvent::PartitionStart { vtime, .. }
+            | TraceEvent::PartitionHeal { vtime, .. }
+            | TraceEvent::Recover { vtime, .. } => Some(*vtime),
+            _ => None,
         }
     }
 
@@ -201,6 +245,9 @@ impl TraceEvent {
             TraceEvent::Output { .. } => "output",
             TraceEvent::DecodeMiss { .. } => "decode-miss",
             TraceEvent::SchedulerPick { .. } => "scheduler-pick",
+            TraceEvent::PartitionStart { .. } => "partition-start",
+            TraceEvent::PartitionHeal { .. } => "partition-heal",
+            TraceEvent::Recover { .. } => "recover",
         }
     }
 
@@ -565,11 +612,15 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
             from,
             session,
             seq,
+            vtime,
         } => {
             push_common(&mut out, "deliver", *step);
             out.push_str(&format!(",\"party\":{},\"from\":{}", party.0, from.0));
             push_session(&mut out, session);
             out.push_str(&format!(",\"seq\":{seq}"));
+            if let Some(vt) = vtime {
+                out.push_str(&format!(",\"vtime\":{vt}"));
+            }
         }
         TraceEvent::Drop {
             step,
@@ -624,6 +675,19 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
                 party.0
             ));
         }
+        TraceEvent::PartitionStart { step, vtime, cut } => {
+            push_common(&mut out, "partition-start", *step);
+            let ids: Vec<String> = cut.iter().map(|p| p.0.to_string()).collect();
+            out.push_str(&format!(",\"vtime\":{vtime},\"cut\":[{}]", ids.join(",")));
+        }
+        TraceEvent::PartitionHeal { step, vtime } => {
+            push_common(&mut out, "partition-heal", *step);
+            out.push_str(&format!(",\"vtime\":{vtime}"));
+        }
+        TraceEvent::Recover { step, vtime, party } => {
+            push_common(&mut out, "recover", *step);
+            out.push_str(&format!(",\"vtime\":{vtime},\"party\":{}", party.0));
+        }
     }
     out.push('}');
     out
@@ -666,8 +730,10 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
         let (pid, tid) = match ev {
             TraceEvent::EpisodeStart { .. }
             | TraceEvent::EpisodeEnd { .. }
-            | TraceEvent::SchedulerPick { .. } => (CTL_PID, 0),
-            TraceEvent::Crash { party, .. } => (party.0, 0),
+            | TraceEvent::SchedulerPick { .. }
+            | TraceEvent::PartitionStart { .. }
+            | TraceEvent::PartitionHeal { .. } => (CTL_PID, 0),
+            TraceEvent::Crash { party, .. } | TraceEvent::Recover { party, .. } => (party.0, 0),
             TraceEvent::Send { from, session, .. } => (from.0, lane_of(session)),
             TraceEvent::Deliver { party, session, .. }
             | TraceEvent::Drop { party, session, .. }
@@ -709,11 +775,18 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                 );
             }
             TraceEvent::Deliver {
-                from, session, seq, ..
+                from,
+                session,
+                seq,
+                vtime,
+                ..
             } => {
                 ph = "X";
                 name.push_str(session_kind(session));
-                args = format!("\"from\":{},\"seq\":{seq}", from.0);
+                args = match vtime {
+                    Some(vt) => format!("\"from\":{},\"seq\":{seq},\"vtime\":{vt}", from.0),
+                    None => format!("\"from\":{},\"seq\":{seq}", from.0),
+                };
             }
             TraceEvent::Drop {
                 from, seq, reason, ..
@@ -726,6 +799,19 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
             | TraceEvent::DecodeMiss { count, .. } => {
                 name.push_str(ev.label());
                 args = format!("\"count\":{count}");
+            }
+            TraceEvent::PartitionStart { vtime, cut, .. } => {
+                name.push_str("partition-start");
+                let ids: Vec<String> = cut.iter().map(|p| p.0.to_string()).collect();
+                args = format!("\"vtime\":{vtime},\"cut\":[{}]", ids.join(","));
+            }
+            TraceEvent::PartitionHeal { vtime, .. } => {
+                name.push_str("partition-heal");
+                args = format!("\"vtime\":{vtime}");
+            }
+            TraceEvent::Recover { vtime, .. } => {
+                name.push_str("recover");
+                args = format!("\"vtime\":{vtime}");
             }
         }
         let mut line = String::with_capacity(128);
@@ -795,6 +881,7 @@ mod tests {
             from: PartyId(from),
             session: sid("acast"),
             seq,
+            vtime: None,
         }
     }
 
@@ -932,6 +1019,46 @@ mod tests {
         assert_eq!(ring.snapshot().len(), 2);
         assert_eq!(full.snapshot().len(), 5);
         assert_eq!(ring.recorded(), 5);
+    }
+
+    #[test]
+    fn net_lifecycle_events_export_with_virtual_timestamps() {
+        let events = vec![
+            TraceEvent::PartitionStart {
+                step: 1,
+                vtime: 40,
+                cut: vec![PartyId(0), PartyId(2)],
+            },
+            TraceEvent::Deliver {
+                step: 2,
+                party: PartyId(1),
+                from: PartyId(0),
+                session: sid("ba"),
+                seq: 9,
+                vtime: Some(57),
+            },
+            TraceEvent::PartitionHeal {
+                step: 3,
+                vtime: 240,
+            },
+            TraceEvent::Recover {
+                step: 4,
+                vtime: 300,
+                party: PartyId(2),
+            },
+        ];
+        assert_eq!(events[0].vtime(), Some(40));
+        assert_eq!(events[1].vtime(), Some(57));
+        assert_eq!(events[3].label(), "recover");
+        let jsonl = to_jsonl(&events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].contains("\"cut\":[0,2]"), "{}", lines[0]);
+        assert!(lines[1].contains("\"vtime\":57"), "{}", lines[1]);
+        assert!(lines[2].contains("\"vtime\":240"), "{}", lines[2]);
+        assert!(lines[3].contains("\"party\":2"), "{}", lines[3]);
+        let chrome = to_chrome_trace(&events);
+        assert!(chrome.contains("\"partition-start\""), "{chrome}");
+        assert!(chrome.contains("\"vtime\":300"), "{chrome}");
     }
 
     #[test]

@@ -368,6 +368,16 @@ impl Runtime for WireRuntime {
         self.net.retire_session(party, session)
     }
 
+    fn schedule_recover(
+        &mut self,
+        party: PartyId,
+        at_vtime: u64,
+        session: SessionId,
+        instance: Box<dyn Instance>,
+    ) -> bool {
+        Runtime::schedule_recover(&mut self.net, party, at_vtime, session, instance)
+    }
+
     fn set_trace(&mut self, mode: crate::trace::TraceMode) {
         self.net.set_trace(mode);
     }

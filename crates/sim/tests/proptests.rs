@@ -291,6 +291,174 @@ mod scenario_props {
     }
 }
 
+/// Property tests of the virtual-time network model: random `net:` specs
+/// survive Display↔parse, the event queue is a pure function of
+/// `(seed, spec)`, and crash-recovery never double-delivers.
+mod net_props {
+    use aft_sim::{
+        scheduler_by_name, Context, Instance, LatencyDist, NetConfig, NetSpec, PartitionSpec,
+        PartyId, Payload, Scenario, SessionId, SessionTag, SimNetwork, StopReason,
+    };
+    use proptest::prelude::*;
+
+    /// Builds an arbitrary-but-valid spec from raw selectors.
+    fn spec_from(
+        exp: bool,
+        lo: u64,
+        span: u64,
+        mean: u64,
+        fail: u8,
+        part: u8,
+        heal: u64,
+    ) -> NetSpec {
+        let lat = if exp {
+            LatencyDist::Exp {
+                mean: 1 + mean % 256,
+            }
+        } else {
+            let lo = 1 + lo % 1000;
+            LatencyDist::Uniform {
+                lo,
+                hi: lo + span % 1000,
+            }
+        };
+        let partition = match part % 3 {
+            0 => None,
+            1 => Some(PartitionSpec::Sampled {
+                pct: 1 + part.wrapping_mul(7) % 100,
+            }),
+            _ => Some(PartitionSpec::Explicit(vec![PartyId((part % 4) as usize)])),
+        };
+        let heal_after =
+            (partition.is_some() && heal.is_multiple_of(2)).then_some(1 + heal % 100_000);
+        NetSpec {
+            lat,
+            fail_pct: fail % 100,
+            partition,
+            heal_after,
+        }
+    }
+
+    /// Flood: every party broadcasts `rounds` waves.
+    struct Flood {
+        rounds: u32,
+        sent: u32,
+        heard: usize,
+    }
+    impl Instance for Flood {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            self.sent = 1;
+            ctx.send_all(0u32);
+        }
+        fn on_message(&mut self, _f: PartyId, _p: &Payload, ctx: &mut Context<'_>) {
+            self.heard += 1;
+            if self.heard.is_multiple_of(ctx.n()) && self.sent < self.rounds {
+                self.sent += 1;
+                ctx.send_all(self.sent);
+            }
+        }
+    }
+
+    fn sid() -> SessionId {
+        SessionId::root().child(SessionTag::new("net-pp", 0))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Display→parse round trip for random valid `net:` specs: the
+        /// canonical string parses back to the identical value, and it
+        /// resolves through the shared scheduler family table.
+        #[test]
+        fn net_spec_display_parse_round_trip(
+            exp in any::<bool>(),
+            lo in any::<u64>(),
+            span in any::<u64>(),
+            mean in any::<u64>(),
+            fail in any::<u8>(),
+            part in any::<u8>(),
+            heal in any::<u64>(),
+        ) {
+            let spec = spec_from(exp, lo, span, mean, fail, part, heal);
+            let shown = spec.to_string();
+            prop_assert_eq!(NetSpec::parse(&shown).as_ref(), Some(&spec), "{}", shown);
+            prop_assert!(scheduler_by_name(&shown).is_some(), "{}", shown);
+        }
+
+        /// The virtual-clock schedule is a pure function of `(seed, spec)`:
+        /// two runs produce identical delivery streams, metrics and
+        /// virtual completion times.
+        #[test]
+        fn net_schedule_is_pure_in_seed_and_spec(
+            seed in any::<u64>(),
+            exp in any::<bool>(),
+            lo in any::<u64>(),
+            span in 0u64..40,
+            part in any::<u8>(),
+            heal in any::<u64>(),
+        ) {
+            let spec = spec_from(exp, lo % 20, span, lo % 9, 0, part, heal).to_string();
+            let run = || {
+                let mut net = SimNetwork::new(
+                    NetConfig::new(4, 1, seed),
+                    scheduler_by_name(&spec).expect("spec resolves"),
+                );
+                net.enable_trace();
+                for p in 0..4 {
+                    net.spawn(PartyId(p), sid(), Box::new(Flood { rounds: 3, sent: 0, heard: 0 }));
+                }
+                let report = net.run(1_000_000);
+                (
+                    net.trace().to_vec(),
+                    report.metrics.virtual_time,
+                    report.metrics.sent,
+                    report.stop,
+                )
+            };
+            let first = run();
+            prop_assert_eq!(first.3, StopReason::Quiescent, "{}", &spec);
+            prop_assert_eq!(run(), first, "{}", spec);
+        }
+
+        /// Crash + recover conserves messages exactly: nothing is ever
+        /// delivered twice and nothing vanishes — on the order-only and
+        /// virtual-time schedulers alike, across recovery times that land
+        /// before, during and long after the episode's natural traffic.
+        #[test]
+        fn crash_recover_never_double_delivers(
+            seed in any::<u64>(),
+            at in 1u64..400,
+            lo in 1u64..16,
+        ) {
+            let spec = format!(
+                "n=4,t=1,corrupt=recover:{at}@2,sched=net:lat={lo}..{},rt=sim",
+                lo + 7
+            );
+            let scenario = Scenario::parse(&spec).unwrap();
+            let mut rt = scenario.runtime(seed);
+            scenario
+                .deploy_episode(
+                    rt.as_mut(),
+                    &aft_sim::AttackRegistry::new(),
+                    "flood",
+                    &sid(),
+                    &[],
+                    |_, _| Box::new(Flood { rounds: 2, sent: 0, heard: 0 }),
+                )
+                .unwrap();
+            let report = rt.run(1_000_000);
+            prop_assert_eq!(report.stop, StopReason::Quiescent, "{}", &spec);
+            let m = &report.metrics;
+            prop_assert_eq!(
+                m.sent,
+                m.delivered + m.dropped_shunned + m.dropped_crashed,
+                "{} seed={}: conservation across crash-recovery",
+                &spec, seed
+            );
+        }
+    }
+}
+
 mod codec_props {
     use aft_sim::wire::{decode_frame_as, encode_frame, parse_frame, CodecRegistry, WireMessage};
     use aft_sim::Payload;

@@ -552,16 +552,103 @@ fn recorded_causal_dag_is_well_formed() {
     }
 }
 
+/// Liveness after healing: partitions under the virtual-time `net:`
+/// scheduler are structured *delay*, never loss, so BA and common-subset
+/// cells under a partition-then-heal plan must terminate with zero
+/// invariant violations on every pinned seed and deterministic backend —
+/// and a never-healing cut of ≤ t parties must *still* terminate, since
+/// the paper's model only promises eventual delivery, which the cut
+/// respects. Each cell is also re-run to pin bit-for-bit reproducibility
+/// from `(seed, scenario string)`.
+#[test]
+fn net_partition_heal_cells_terminate_on_every_backend() {
+    let registry = standard_registry();
+    for (kind, sched) in [
+        (StackKind::Ba, "net:lat=1..12,partition=p50,heal=200"),
+        (StackKind::Ba, "net:lat=exp:5,partition=3,heal=120"),
+        (StackKind::Ba, "net:lat=1..8,partition=p100"),
+        (
+            StackKind::CommonSubset,
+            "net:lat=1..12,partition=p50,heal=200",
+        ),
+        (StackKind::CommonSubset, "net:lat=1..8,partition=p100"),
+    ] {
+        for backend in BACKENDS {
+            let spec = format!("n=4,t=1,sched={sched},rt={backend}");
+            let scenario = Scenario::parse(&spec).unwrap_or_else(|| panic!("{spec:?} must parse"));
+            for seed in SEEDS {
+                let first = run_cell(kind, &scenario, *seed, &registry);
+                assert!(
+                    first.violations.is_empty(),
+                    "{} {spec} seed={seed}: {:?}",
+                    kind.label(),
+                    first.violations
+                );
+                assert_eq!(
+                    first,
+                    run_cell(kind, &scenario, *seed, &registry),
+                    "{} {spec} seed={seed}: net cell must reproduce bit-for-bit",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+/// Crash-recovery conformance: a party that crashes at deploy time and
+/// rejoins at a virtual time mid-run must not endanger the honest
+/// parties' safety or termination, on the BA and SVSS chains, across
+/// `sim`, `sharded:4` and `wire` — and the cells replay bit-for-bit
+/// from `(seed, scenario string)`.
+#[test]
+fn net_crash_recovery_cells_are_safe_and_reproducible() {
+    let registry = standard_registry();
+    for kind in [StackKind::Ba, StackKind::SvssChain] {
+        for backend in ["sim", "sharded:4", "wire"] {
+            let spec = format!("n=4,t=1,corrupt=recover:80@3,sched=net:lat=1..8,rt={backend}");
+            let scenario = Scenario::parse(&spec).unwrap();
+            for seed in SEEDS {
+                let first = run_cell(kind, &scenario, *seed, &registry);
+                assert!(
+                    first.violations.is_empty(),
+                    "{} {spec} seed={seed}: {:?}",
+                    kind.label(),
+                    first.violations
+                );
+                assert_eq!(
+                    first,
+                    run_cell(kind, &scenario, *seed, &registry),
+                    "{} {spec} seed={seed}: recovery cell must reproduce",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
 /// Violation forensics end-to-end: a (test-forced) invariant violation
 /// on a byte-junk scenario produces a repro bundle whose scenario string
 /// and seed replay — through the ordinary `(seed, scenario string)` cell
 /// runner — to the *same* fingerprint and the same retained JSONL trace.
 #[test]
 fn violation_repro_bundle_replays_to_the_same_fingerprint() {
+    for (spec, is_net) in [
+        ("n=4,t=1,corrupt=garbage:40@3,sched=starve:1,rt=wire", false),
+        // A virtual-time cell: the bundled JSONL must carry the virtual
+        // timestamps, so the replayed byte-identity also pins them.
+        (
+            "n=4,t=1,sched=net:lat=1..12,partition=p50,heal=200,rt=wire",
+            true,
+        ),
+    ] {
+        violation_repro_bundle_roundtrip(spec, is_net);
+    }
+}
+
+fn violation_repro_bundle_roundtrip(spec: &str, is_net: bool) {
     use aft::core::scenarios::{run_cell_traced, write_repro_bundle};
     use aft::sim::TraceMode;
     let registry = standard_registry();
-    let spec = "n=4,t=1,corrupt=garbage:40@3,sched=starve:1,rt=wire";
     let scenario = Scenario::parse(spec).unwrap();
     let seed = 6;
     let (mut report, events) = run_cell_traced(
@@ -577,13 +664,23 @@ fn violation_repro_bundle_replays_to_the_same_fingerprint() {
     report
         .violations
         .push("test-forced: injected invariant violation".into());
-    let dir = std::env::temp_dir().join(format!("aft-repro-test-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!(
+        "aft-repro-test-{}-{}",
+        std::process::id(),
+        if is_net { "net" } else { "order" }
+    ));
     let bundle = write_repro_bundle(&dir, StackKind::Ba, &scenario, seed, &report, &events)
         .expect("bundle written");
     let manifest = std::fs::read_to_string(bundle.join("scenario.txt")).unwrap();
     let jsonl = std::fs::read_to_string(bundle.join("trace.jsonl")).unwrap();
     assert!(bundle.join("trace.perfetto.json").exists());
     assert!(manifest.contains("violation: test-forced"));
+    if is_net {
+        assert!(
+            jsonl.contains("\"vtime\":"),
+            "net cell bundles must carry virtual timestamps"
+        );
+    }
 
     // Replay purely from what the bundle records.
     let replay_spec = manifest
