@@ -2,7 +2,10 @@
 
 use crate::ba::{V1, V2, V3};
 use aft_broadcast::Acast;
-use aft_sim::{AttackRegistry, AttackRole, Context, Instance, PartyId, Payload, SessionTag};
+use aft_sim::{
+    AttackRegistry, AttackRole, Context, CorruptMode, CorruptionPlan, Instance, ObsEvent, PartyId,
+    Payload, SessionTag,
+};
 use rand::Rng;
 
 /// Registers this module's message kinds (the decoy `Decide`).
@@ -41,6 +44,86 @@ pub fn register_attacks(registry: &mut AttackRegistry) {
             target, rounds,
         ))))
     });
+    registry.register_adaptive("coin-favorite", |ctx| {
+        let equivocate = match ctx.args {
+            "" | "mute" => false,
+            "equivocate" => true,
+            _ => return None,
+        };
+        Some(Box::new(CoinFavorite::new(equivocate)))
+    });
+}
+
+/// The adaptive adversary the BA termination bound is stated against:
+/// watch the vote traffic, identify the party the schedule currently
+/// favors (most BA-vote deliveries — the one whose voice is reaching
+/// everyone, i.e. whoever the weak coin would likely elect), and corrupt
+/// it mid-run. Strikes are paced (one per ~`2n²` vote deliveries) so the
+/// adversary adapts round over round instead of spending its whole t-cap
+/// on round 0.
+///
+/// Registered as `adaptive:coin-favorite[:mute|equivocate]@*`: the victim
+/// is either muted or made to equivocate with a small budget.
+pub struct CoinFavorite {
+    equivocate: bool,
+    /// Per-party BA-vote delivery counts (lazily sized from the plan).
+    counts: Vec<u64>,
+    seen: u64,
+    next_strike: u64,
+}
+
+impl CoinFavorite {
+    /// Creates the policy; `equivocate` selects the corruption mode.
+    pub fn new(equivocate: bool) -> Self {
+        CoinFavorite {
+            equivocate,
+            counts: Vec::new(),
+            seen: 0,
+            next_strike: 0,
+        }
+    }
+}
+
+impl aft_sim::AdaptiveAttack for CoinFavorite {
+    fn observe(&mut self, ev: &ObsEvent, plan: &mut CorruptionPlan) {
+        // Only BA vote traffic (acast sessions tagged bav1/bav2/bav3)
+        // counts toward "favored": scheduler picks and other kinds say
+        // nothing about who the coin would elect.
+        let ObsEvent::Deliver { from, kind, .. } = ev else {
+            return;
+        };
+        if !kind.starts_with("bav") {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; plan.n()];
+            self.next_strike = 2 * (plan.n() as u64) * (plan.n() as u64);
+        }
+        if let Some(c) = self.counts.get_mut(from.0) {
+            *c += 1;
+        }
+        self.seen += 1;
+        if self.seen < self.next_strike {
+            return;
+        }
+        self.next_strike += 2 * (plan.n() as u64) * (plan.n() as u64);
+        // Argmax over non-victims, ties to the lowest id — deterministic.
+        let favorite = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| !plan.is_victim(PartyId(*p)))
+            .max_by_key(|(p, c)| (**c, std::cmp::Reverse(*p)))
+            .map(|(p, _)| PartyId(p));
+        if let Some(p) = favorite {
+            let mode = if self.equivocate {
+                CorruptMode::Equivocate { budget: 8 }
+            } else {
+                CorruptMode::Mute
+            };
+            plan.corrupt(p, mode);
+        }
+    }
 }
 
 /// A Byzantine party that broadcasts uniformly random votes in every phase

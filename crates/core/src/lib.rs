@@ -55,6 +55,7 @@ mod config;
 mod fair_choice;
 mod fba;
 pub mod scenarios;
+pub mod search;
 
 pub use beacon::{Beacon, BeaconOutput};
 pub use coin_flip::{CoinFlip, CoinFlipOutput, CoinFlipParams};

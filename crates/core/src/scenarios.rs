@@ -87,6 +87,12 @@ impl StackKind {
         }
     }
 
+    /// Inverse of [`StackKind::label`] — used by the search corpus, whose
+    /// persisted entries name their stack by label.
+    pub fn from_label(label: &str) -> Option<StackKind> {
+        StackKind::all().into_iter().find(|k| k.label() == label)
+    }
+
     /// The standard fault-plan axis for this stack (`corrupt=` values;
     /// `""` is the all-honest control row). Plans pair generic behaviours
     /// with the protocol's registered attacks.
@@ -151,10 +157,36 @@ pub fn run_cell(
     seed: u64,
     registry: &AttackRegistry,
 ) -> CellReport {
+    run_cell_budgeted(kind, scenario, seed, registry, STEP_BUDGET)
+}
+
+/// [`run_cell`] with an explicit step budget per episode. The search loop
+/// uses a small budget so a planted non-quiescing scenario (e.g. an
+/// adaptive storm) reports `StepLimit` + conservation violations quickly
+/// instead of spinning for the full conformance budget.
+pub fn run_cell_budgeted(
+    kind: StackKind,
+    scenario: &Scenario,
+    seed: u64,
+    registry: &AttackRegistry,
+    budget: u64,
+) -> CellReport {
+    let mut rt = scenario.runtime(seed);
+    run_cell_on(kind, rt.as_mut(), scenario, seed, registry, budget)
+}
+
+fn run_cell_on(
+    kind: StackKind,
+    rt: &mut dyn Runtime,
+    scenario: &Scenario,
+    seed: u64,
+    registry: &AttackRegistry,
+    budget: u64,
+) -> CellReport {
     match kind {
-        StackKind::Ba => run_ba_cell(scenario, seed, registry),
-        StackKind::SvssChain => run_svss_cell(scenario, seed, registry),
-        StackKind::CommonSubset => run_cs_cell(scenario, seed, registry),
+        StackKind::Ba => run_ba_cell_on(rt, scenario, seed, registry, budget),
+        StackKind::SvssChain => run_svss_cell_on(rt, scenario, seed, registry, budget),
+        StackKind::CommonSubset => run_cs_cell_on(rt, scenario, seed, registry, budget),
     }
 }
 
@@ -171,15 +203,65 @@ pub fn run_cell_traced(
     registry: &AttackRegistry,
     mode: TraceMode,
 ) -> (CellReport, Vec<TraceEvent>) {
+    let outcome = run_cell_instrumented(kind, scenario, seed, registry, STEP_BUDGET, mode);
+    (outcome.report, outcome.events)
+}
+
+/// Everything one instrumented cell run produces: the report, the final
+/// metrics snapshot (the coverage-signal source), retained trace events
+/// and the adaptive adversary's final victim set.
+pub struct CellOutcome {
+    /// The cell report ([`run_cell`]'s return value, bit-identical).
+    pub report: CellReport,
+    /// Final metrics snapshot: per-kind send counts, decode misses,
+    /// pool/wire counters, virtual times — the coverage-signal source.
+    pub metrics: Metrics,
+    /// Retained trace events (empty when `mode` is [`TraceMode::Off`]).
+    pub events: Vec<TraceEvent>,
+    /// Parties the adaptive adversary corrupted (static seeds included);
+    /// empty for non-adaptive scenarios.
+    pub victims: Vec<PartyId>,
+}
+
+/// The full-observability cell runner behind the coverage-guided search:
+/// [`run_cell_budgeted`] plus the final [`Metrics`], the retained trace
+/// events and the adaptive victim set.
+pub fn run_cell_instrumented(
+    kind: StackKind,
+    scenario: &Scenario,
+    seed: u64,
+    registry: &AttackRegistry,
+    budget: u64,
+    mode: TraceMode,
+) -> CellOutcome {
     let mut rt = scenario.runtime(seed);
     rt.set_trace(mode);
-    let report = match kind {
-        StackKind::Ba => run_ba_cell_on(rt.as_mut(), scenario, seed, registry),
-        StackKind::SvssChain => run_svss_cell_on(rt.as_mut(), scenario, seed, registry),
-        StackKind::CommonSubset => run_cs_cell_on(rt.as_mut(), scenario, seed, registry),
-    };
+    let report = run_cell_on(kind, rt.as_mut(), scenario, seed, registry, budget);
+    let metrics = rt.metrics();
+    let victims = adaptive_victims(rt.as_ref());
     let events = rt.take_trace().map(|s| s.snapshot()).unwrap_or_default();
-    (report, events)
+    CellOutcome {
+        report,
+        metrics,
+        events,
+        victims,
+    }
+}
+
+/// The adaptive adversary's victim set so far (empty without a
+/// controller). Invariant checkers subtract these from the honest set:
+/// an adaptively corrupted party is Byzantine, and the paper's guarantees
+/// are stated for the parties that *remain* honest.
+fn adaptive_victims(rt: &dyn Runtime) -> Vec<PartyId> {
+    rt.adaptive_handle()
+        .map(|ctrl| {
+            ctrl.lock()
+                .expect("adaptive controller lock poisoned")
+                .plan()
+                .victims()
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 /// Default repro-bundle directory: `$AFT_REPRO_DIR`, or `target/repro`.
@@ -268,7 +350,7 @@ fn check_run(
 /// hold for the honest parties under any ≤ t corruption plan.
 pub fn run_ba_cell(scenario: &Scenario, seed: u64, registry: &AttackRegistry) -> CellReport {
     let mut rt = scenario.runtime(seed);
-    run_ba_cell_on(rt.as_mut(), scenario, seed, registry)
+    run_ba_cell_on(rt.as_mut(), scenario, seed, registry, STEP_BUDGET)
 }
 
 fn run_ba_cell_on(
@@ -276,6 +358,7 @@ fn run_ba_cell_on(
     scenario: &Scenario,
     seed: u64,
     registry: &AttackRegistry,
+    budget: u64,
 ) -> CellReport {
     let session = sid("ba");
     let input = seed.is_multiple_of(2);
@@ -293,11 +376,16 @@ fn run_ba_cell_on(
             steps: 0,
         };
     }
-    let report = rt.run(STEP_BUDGET);
+    let report = rt.run(budget);
     check_run(&mut violations, &mut fp, report.stop, &report.metrics, "ba");
 
+    // Adaptive corruptions happened *during* the run: parties the
+    // controller struck are Byzantine now, so the paper's guarantees only
+    // bind the parties that remain honest.
+    let victims = adaptive_victims(rt);
     let honest: Vec<Option<bool>> = scenario
         .honest_parties()
+        .filter(|p| !victims.contains(p))
         .map(|p| rt.output_as::<bool>(p, &session).copied())
         .collect();
     if honest.iter().any(|o| o.is_none()) {
@@ -331,7 +419,7 @@ fn run_ba_cell_on(
 /// non-dealer share evaluates to the dealt secret.
 pub fn run_svss_cell(scenario: &Scenario, seed: u64, registry: &AttackRegistry) -> CellReport {
     let mut rt = scenario.runtime(seed);
-    run_svss_cell_on(rt.as_mut(), scenario, seed, registry)
+    run_svss_cell_on(rt.as_mut(), scenario, seed, registry, STEP_BUDGET)
 }
 
 fn run_svss_cell_on(
@@ -339,13 +427,13 @@ fn run_svss_cell_on(
     scenario: &Scenario,
     seed: u64,
     registry: &AttackRegistry,
+    budget: u64,
 ) -> CellReport {
     let share_sid = sid("svss-share");
     let rec_sid = sid("svss-rec");
     let secret = Fp::new(seed.wrapping_mul(7).wrapping_add(3));
     let mut violations = Vec::new();
     let mut fp = Fingerprint::new();
-    let dealer_honest = !scenario.is_corrupt(PartyId(0));
 
     let deployed = scenario.deploy_episode(rt, registry, "svss-share", &share_sid, &[], |p, _| {
         if p == PartyId(0) {
@@ -364,7 +452,7 @@ fn run_svss_cell_on(
             steps: 0,
         };
     }
-    let share_report = rt.run(STEP_BUDGET);
+    let share_report = rt.run(budget);
     check_run(
         &mut violations,
         &mut fp,
@@ -372,6 +460,12 @@ fn run_svss_cell_on(
         &share_report.metrics,
         "share",
     );
+
+    // Victims are re-read after each run() — the adaptive adversary may
+    // strike in either episode, and a dealer corrupted mid-share demotes
+    // the cell to the faulty-dealer invariants from that point on.
+    let victims = adaptive_victims(rt);
+    let dealer_honest = !scenario.is_corrupt(PartyId(0)) && !victims.contains(&PartyId(0));
 
     let carries: Vec<Option<aft_sim::Payload>> = (0..scenario.n)
         .map(|p| rt.output(PartyId(p), &share_sid).cloned())
@@ -408,7 +502,7 @@ fn run_svss_cell_on(
         }
     }
     if dealer_honest {
-        for p in scenario.honest_parties() {
+        for p in scenario.honest_parties().filter(|p| !victims.contains(p)) {
             if carries[p.0].is_none() {
                 violations.push(format!(
                     "share-liveness: honest party {} has no bundle under an honest dealer",
@@ -433,12 +527,15 @@ fn run_svss_cell_on(
     if let Err(e) = deployed {
         violations.push(format!("deploy rec: {e}"));
     } else {
-        let rec_report = rt.run(STEP_BUDGET);
+        let rec_report = rt.run(budget);
         let total = rt.metrics();
         check_run(&mut violations, &mut fp, rec_report.stop, &total, "rec");
 
+        let victims = adaptive_victims(rt);
+        let dealer_honest = dealer_honest && !victims.contains(&PartyId(0));
         let outputs: Vec<(PartyId, Option<Fp>)> = scenario
             .honest_parties()
+            .filter(|p| !victims.contains(p))
             .map(|p| (p, rt.output_as::<Fp>(p, &rec_sid).copied()))
             .collect();
         if dealer_honest {
@@ -483,7 +580,7 @@ fn run_svss_cell_on(
 /// terminate with the *same* set of at least `n − t` valid party ids.
 pub fn run_cs_cell(scenario: &Scenario, seed: u64, registry: &AttackRegistry) -> CellReport {
     let mut rt = scenario.runtime(seed);
-    run_cs_cell_on(rt.as_mut(), scenario, seed, registry)
+    run_cs_cell_on(rt.as_mut(), scenario, seed, registry, STEP_BUDGET)
 }
 
 fn run_cs_cell_on(
@@ -491,6 +588,7 @@ fn run_cs_cell_on(
     scenario: &Scenario,
     seed: u64,
     registry: &AttackRegistry,
+    budget: u64,
 ) -> CellReport {
     let session = sid("cs");
     let k = scenario.n - scenario.t;
@@ -508,11 +606,13 @@ fn run_cs_cell_on(
             steps: 0,
         };
     }
-    let report = rt.run(STEP_BUDGET);
+    let report = rt.run(budget);
     check_run(&mut violations, &mut fp, report.stop, &report.metrics, "cs");
 
+    let victims = adaptive_victims(rt);
     let outputs: Vec<(PartyId, Option<Vec<PartyId>>)> = scenario
         .honest_parties()
+        .filter(|p| !victims.contains(p))
         .map(|p| (p, rt.output_as::<Vec<PartyId>>(p, &session).cloned()))
         .collect();
     for (p, out) in &outputs {

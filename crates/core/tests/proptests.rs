@@ -226,6 +226,7 @@ mod scenario_safety {
                 n,
                 t,
                 corruptions,
+                adaptive: None,
                 sched: ALL_SCHEDULERS[sched % ALL_SCHEDULERS.len()].example.to_string(),
                 rt: rts[rt % rts.len()].to_string(),
             };
@@ -242,6 +243,155 @@ mod scenario_safety {
                 seed,
                 report.violations
             );
+        }
+    }
+}
+
+/// Random *adaptive* adversarial scenarios on the BA stack: any mix of a
+/// static corruption and a registered adaptive policy, any scheduler and
+/// deterministic backend, at n = 4..7 — safety must hold for the parties
+/// that remain honest, and the registry's victim-cap accounting must
+/// never let the adversary corrupt more than `t` distinct parties
+/// (static seeds included).
+mod adaptive_safety {
+    use aft_core::scenarios::{run_cell_instrumented, standard_registry, StackKind};
+    use aft_sim::{AdaptiveSpec, Corruption, FaultSpec, Scenario, TraceMode, ALL_SCHEDULERS};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn random_adaptive_scenarios_preserve_ba_safety_and_victim_cap(
+            seed in any::<u64>(),
+            n in 4usize..=7,
+            sched in 0usize..16,
+            rt in 0usize..16,
+            attack in 0usize..16,
+            with_static in any::<bool>(),
+            static_party in 0usize..7,
+        ) {
+            let t = (n - 1) / 3;
+            // The quiescing adaptive policies (the storm pin is exercised
+            // by the shrinker properties below, where non-quiescence is
+            // the point).
+            let pin_mute = format!("mute:{}", attack % n);
+            let pin_equiv = format!("equivocate:{}", (attack / 4) % n);
+            let policies: [(&str, &str); 4] = [
+                ("coin-favorite", ""),
+                ("coin-favorite", "equivocate"),
+                ("pin", &pin_mute),
+                ("pin", &pin_equiv),
+            ];
+            let (name, args) = policies[attack % policies.len()];
+            let corruptions = if with_static {
+                vec![Corruption {
+                    party: aft_sim::PartyId(static_party % n),
+                    fault: FaultSpec::Silent,
+                }]
+            } else {
+                Vec::new()
+            };
+            let rts = ["sim", "sharded:2", "sharded:4", "wire"];
+            let scenario = Scenario {
+                n,
+                t,
+                corruptions,
+                adaptive: Some(AdaptiveSpec {
+                    name: name.to_string(),
+                    args: args.to_string(),
+                }),
+                sched: ALL_SCHEDULERS[sched % ALL_SCHEDULERS.len()].example.to_string(),
+                rt: rts[rt % rts.len()].to_string(),
+            };
+            // (a) adaptive specs round-trip through their string form;
+            let spec = scenario.to_string();
+            prop_assert_eq!(Scenario::parse(&spec).as_ref(), Some(&scenario), "{}", spec);
+            // (b) safety holds for the remaining honest parties;
+            let registry = standard_registry();
+            let run = run_cell_instrumented(
+                StackKind::Ba, &scenario, seed, &registry, u64::MAX, TraceMode::Off,
+            );
+            prop_assert!(
+                run.report.violations.is_empty(),
+                "scenario {} seed {}: {:?}",
+                spec, seed, run.report.violations
+            );
+            // (c) the t-cap: never more than t distinct corrupted parties,
+            // counting the static seeds against the same budget.
+            prop_assert!(
+                run.victims.len() <= t,
+                "scenario {} seed {}: victims {:?} exceed t={}",
+                spec, seed, run.victims, t
+            );
+            for c in &scenario.corruptions {
+                prop_assert!(
+                    run.victims.contains(&c.party),
+                    "static corruption {:?} missing from the victim accounting", c.party
+                );
+            }
+        }
+    }
+}
+
+/// Shrinker contract on synthetic seeded violations: plant the
+/// non-quiescing adaptive storm, dress it up with random decoys (a
+/// static corruption, an exotic scheduler and backend), and require the
+/// shrinker's output to (a) re-parse, (b) still violate with the *same*
+/// violation signature at the same step budget, and (c) never exceed the
+/// input's token count.
+mod shrinker_props {
+    use aft_core::scenarios::{run_cell_budgeted, StackKind};
+    use aft_core::search::{shrink, spec_tokens, violation_signature};
+    use aft_sim::Scenario;
+    use proptest::prelude::*;
+
+    const BUDGET: u64 = 60_000;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn shrinker_output_reparses_still_violates_and_never_grows(
+            seed in 0u64..32,
+            decoy in 0usize..5,
+            target in 0usize..7,
+            sched in 0usize..4,
+        ) {
+            let decoys = ["silent@5", "crash@1", "garbage:9@5", "mute-after:6@2", "equivocate:4@1"];
+            let scheds = ["random", "lifo", "block:8", "net:lat=2..6"];
+            // The storm target must be an honest party: a statically
+            // corrupted party runs the static fault's instance and is
+            // never wrapped in the adaptive shell, so pinning it would
+            // (correctly) not storm at all.
+            let storm_target = [0usize, 3, 4, 6][target % 4];
+            let spec = format!(
+                "n=7,t=2,corrupt={};adaptive:pin:storm:{storm_target}@*,sched={},rt=sharded:2",
+                decoys[decoy], scheds[sched],
+            );
+            prop_assert!(Scenario::parse(&spec).is_some(), "{}", spec);
+            let registry = aft_core::scenarios::standard_registry();
+            let shrunk = shrink(StackKind::Ba, &spec, seed, &registry, BUDGET)
+                .expect("the planted storm always violates");
+            // (a) re-parses;
+            let parsed = Scenario::parse(&shrunk.entry.spec);
+            prop_assert!(parsed.is_some(), "shrunk spec must re-parse: {}", shrunk.entry.spec);
+            // (c) no larger than the input;
+            prop_assert!(
+                spec_tokens(&shrunk.entry.spec) <= spec_tokens(&spec),
+                "{} grew to {}", spec, shrunk.entry.spec
+            );
+            // (b) replays to a violation with the identical signature.
+            let replay = run_cell_budgeted(
+                StackKind::Ba, &parsed.unwrap(), shrunk.entry.seed, &registry, BUDGET,
+            );
+            prop_assert!(!replay.violations.is_empty(), "{}", shrunk.entry.spec);
+            prop_assert_eq!(
+                violation_signature(StackKind::Ba, &replay),
+                shrunk.signature,
+                "{} changed its violation signature", shrunk.entry.spec
+            );
+            prop_assert_eq!(replay.fingerprint, shrunk.report.fingerprint);
         }
     }
 }

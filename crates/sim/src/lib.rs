@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 mod behaviors;
 pub mod cluster;
 mod ids;
@@ -71,6 +72,10 @@ pub mod trace;
 pub mod wire;
 mod wire_rt;
 
+pub use adaptive::{
+    AdaptiveAttack, AdaptiveController, AdaptiveShell, CorruptMode, CorruptionPlan, ObsEvent,
+    PinPolicy, SharedAdaptive,
+};
 pub use behaviors::{Equivocator, Garbage, GarbageInstance, MuteAfter, SilentInstance};
 pub use ids::{PartyId, SessionId, SessionTag};
 pub use instance::{Context, Instance};
@@ -84,8 +89,8 @@ pub use runtime::{
     runtime_by_name, Metrics, NetConfig, RunReport, Runtime, RuntimeExt, StopReason,
 };
 pub use scenario::{
-    AttackCtx, AttackRegistry, AttackRole, Corruption, FaultSpec, Fingerprint, MatrixCell,
-    Scenario, ScenarioMatrix,
+    AdaptiveCtx, AdaptiveSpec, AttackCtx, AttackRegistry, AttackRole, Corruption, FaultSpec,
+    Fingerprint, MatrixCell, Scenario, ScenarioMatrix,
 };
 pub use scheduler::{
     BlockScheduler, FifoScheduler, LifoScheduler, RandomScheduler, Scheduler, SchedulerConfig,

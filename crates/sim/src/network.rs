@@ -1,5 +1,6 @@
 //! The deterministic asynchronous network simulator.
 
+use crate::adaptive::{ObsEvent, SharedAdaptive};
 use crate::ids::{PartyId, SessionId};
 use crate::instance::Instance;
 use crate::net::NetEvent;
@@ -104,6 +105,9 @@ pub struct SimNetwork {
     /// byte-level wire boundary (the [`WireRuntime`](crate::WireRuntime)
     /// runs a `SimNetwork` in this mode).
     codec: Option<Box<crate::wire_rt::WireLink>>,
+    /// Adaptive-adversary controller, if an adaptive scenario installed
+    /// one: fed schedule-stable observation events at each delivery.
+    adaptive: Option<SharedAdaptive>,
 }
 
 impl SimNetwork {
@@ -141,6 +145,7 @@ impl SimNetwork {
             recoveries: Vec::new(),
             scratch: Vec::new(),
             codec: None,
+            adaptive: None,
         }
     }
 
@@ -193,6 +198,17 @@ impl SimNetwork {
     /// Detaches and returns the flight recorder's sink, if any.
     pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
         self.sink.take()
+    }
+
+    /// Installs an adaptive-adversary controller; subsequent deliveries
+    /// and scheduler picks are fed to it as observation events.
+    pub fn install_adaptive(&mut self, ctrl: SharedAdaptive) {
+        self.adaptive = Some(ctrl);
+    }
+
+    /// The installed adaptive controller, if any.
+    pub fn adaptive_handle(&self) -> Option<SharedAdaptive> {
+        self.adaptive.clone()
     }
 
     /// Crashes `party` immediately: it stops processing and sending.
@@ -285,6 +301,16 @@ impl SimNetwork {
                 run: run as usize,
             });
         }
+        if let Some(ctrl) = &self.adaptive {
+            let ev = ObsEvent::SchedulerPick {
+                party: self.pending.meta_of_slot(slot).to,
+                queued: self.pending.len(),
+                run: run as usize,
+            };
+            ctrl.lock()
+                .expect("adaptive controller lock poisoned")
+                .observe(&ev);
+        }
         self.drain_net_events_to_sink();
         for _ in 0..run {
             // Trigger scheduled crashes per delivery, so a crash step
@@ -313,6 +339,14 @@ impl SimNetwork {
                 self.metrics.on_virtual_delivery(kind, vt);
             }
             let mut out = std::mem::take(&mut self.scratch);
+            let obs_pre = self.adaptive.is_some().then(|| {
+                (
+                    env.from,
+                    env.to,
+                    env.session.last().map_or("root", |t| t.kind),
+                    self.metrics.delivered,
+                )
+            });
             let SimNetwork {
                 nodes,
                 metrics,
@@ -333,6 +367,22 @@ impl SimNetwork {
                 metrics,
                 tctx,
             );
+            if let Some((from, to, kind, delivered_before)) = obs_pre {
+                if self.metrics.delivered > delivered_before {
+                    let ev = ObsEvent::Deliver {
+                        party: to,
+                        from,
+                        kind,
+                        step: self.metrics.steps,
+                    };
+                    self.adaptive
+                        .as_ref()
+                        .expect("obs_pre implies adaptive")
+                        .lock()
+                        .expect("adaptive controller lock poisoned")
+                        .observe(&ev);
+                }
+            }
             // Sends emitted by this handler are caused by the delivery
             // that just ran (its step index is the post-increment count).
             let parent = self.metrics.steps;
@@ -717,6 +767,15 @@ impl Runtime for SimNetwork {
 
     fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
         SimNetwork::take_trace(self)
+    }
+
+    fn install_adaptive(&mut self, ctrl: SharedAdaptive) -> bool {
+        SimNetwork::install_adaptive(self, ctrl);
+        true
+    }
+
+    fn adaptive_handle(&self) -> Option<SharedAdaptive> {
+        SimNetwork::adaptive_handle(self)
     }
 
     fn backend_name(&self) -> &'static str {

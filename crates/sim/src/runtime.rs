@@ -16,6 +16,7 @@
 //! [`SimNetwork`]: crate::SimNetwork
 //! [`ThreadedRuntime`]: crate::ThreadedRuntime
 
+use crate::adaptive::SharedAdaptive;
 use crate::ids::{PartyId, SessionId};
 use crate::instance::Instance;
 use crate::node::{Node, Outgoing};
@@ -599,6 +600,25 @@ pub trait Runtime {
     /// Detaches and returns the active trace sink, if any, leaving
     /// tracing off.
     fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        None
+    }
+
+    /// Installs an adaptive-adversary controller (see
+    /// [`adaptive`](crate::adaptive)): the backend feeds it schedule-stable
+    /// observation events (deliveries, scheduler picks) as the run
+    /// progresses, and [`AdaptiveShell`](crate::AdaptiveShell)s consult its
+    /// victim ledger on every activation. Returns `false` when the backend
+    /// cannot feed observations deterministically (e.g. the threaded
+    /// runtime) — adaptive scenarios are rejected there.
+    fn install_adaptive(&mut self, ctrl: SharedAdaptive) -> bool {
+        let _ = ctrl;
+        false
+    }
+
+    /// The installed adaptive controller, if any — lets multi-episode
+    /// deployments reuse one victim ledger across episodes and lets
+    /// invariant checkers read the final victim set.
+    fn adaptive_handle(&self) -> Option<SharedAdaptive> {
         None
     }
 

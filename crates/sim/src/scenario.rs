@@ -18,11 +18,20 @@
 //! scenario := ["scenario:"] field ("," field)*
 //! field    := "n=" usize | "t=" usize | "corrupt=" plan
 //!           | "sched=" scheduler-spec | "rt=" runtime-spec
-//! plan     := fault "@" party (";" fault "@" party)*
+//! plan     := entry (";" entry)*
+//! entry    := fault "@" party | "adaptive:" attack-name [":" args] "@*"
 //! fault    := "silent" | "crash" | "recover:" vtime | "mute-after:" events
 //!           | "garbage" [":" budget] | "equivocate" [":" budget]
 //!           | attack-name [":" args]          (resolved via AttackRegistry)
 //! ```
+//!
+//! An `adaptive:<name>[:args]@*` entry binds an *adaptive adversary* (see
+//! [`crate::adaptive`]) to the whole system rather than one party: the
+//! named policy observes delivered traffic through the runtime's
+//! observation hook and decides who to corrupt mid-run, capped at `t`
+//! distinct victims (statically corrupted parties count against the cap).
+//! At most one adaptive entry per scenario; adaptive plans require a
+//! deterministic backend (`rt=threaded` is rejected).
 //!
 //! `t` defaults to `⌊(n−1)/3⌋`, `sched` to `random`, `rt` to `sim`. Only
 //! the five field keys above start a new field: any other comma-separated
@@ -120,17 +129,20 @@ impl FaultSpec {
             } else {
                 args.parse().ok()?
             })),
-            _ => {
-                let mut chars = head.chars();
-                let valid_head = chars.next().is_some_and(|c| c.is_ascii_lowercase())
-                    && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
-                valid_head.then(|| FaultSpec::Attack {
-                    name: head.to_string(),
-                    args: args.to_string(),
-                })
-            }
+            _ => valid_attack_name(head).then(|| FaultSpec::Attack {
+                name: head.to_string(),
+                args: args.to_string(),
+            }),
         }
     }
+}
+
+/// Attack names (static and adaptive) are lowercase kebab-case: a
+/// lowercase letter, then lowercase letters, digits or `-`.
+fn valid_attack_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next().is_some_and(|c| c.is_ascii_lowercase())
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
 }
 
 impl fmt::Display for FaultSpec {
@@ -144,6 +156,27 @@ impl fmt::Display for FaultSpec {
             FaultSpec::Equivocate(b) => write!(f, "equivocate:{b}"),
             FaultSpec::Attack { name, args } if args.is_empty() => write!(f, "{name}"),
             FaultSpec::Attack { name, args } => write!(f, "{name}:{args}"),
+        }
+    }
+}
+
+/// An adaptive-adversary binding: `adaptive:<name>[:args]@*` in the
+/// grammar. Resolved through [`AttackRegistry::build_adaptive`] at deploy
+/// time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveSpec {
+    /// Registered adaptive-attack name (lowercase kebab-case).
+    pub name: String,
+    /// Policy-defined argument string (text after the second `:`).
+    pub args: String,
+}
+
+impl fmt::Display for AdaptiveSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.args.is_empty() {
+            write!(f, "adaptive:{}@*", self.name)
+        } else {
+            write!(f, "adaptive:{}:{}@*", self.name, self.args)
         }
     }
 }
@@ -173,6 +206,9 @@ pub struct Scenario {
     pub t: usize,
     /// Corrupted parties, sorted by id; at most `t` of them.
     pub corruptions: Vec<Corruption>,
+    /// The adaptive adversary bound to the whole system, if any
+    /// (`adaptive:<name>[:args]@*` in the plan; at most one).
+    pub adaptive: Option<AdaptiveSpec>,
     /// Scheduler spec, resolvable by [`scheduler_by_name`](crate::scheduler_by_name).
     pub sched: String,
     /// Backend spec: `sim`, `wire`, `sharded:<k>`, or
@@ -188,6 +224,7 @@ impl Scenario {
             n,
             t,
             corruptions: Vec::new(),
+            adaptive: None,
             sched: "random".to_string(),
             rt: "sim".to_string(),
         }
@@ -237,9 +274,27 @@ impl Scenario {
             None => n.saturating_sub(1) / 3,
         };
         let mut corruptions = Vec::new();
+        let mut adaptive = None;
         if !corrupt.is_empty() {
             for part in corrupt.split(';') {
                 let (fault, party) = part.rsplit_once('@')?;
+                if party.trim() == "*" {
+                    // `adaptive:<name>[:args]@*` binds the adaptive
+                    // adversary to the whole system; at most one per plan.
+                    let rest = fault.trim().strip_prefix("adaptive:")?;
+                    let (name, args) = match rest.split_once(':') {
+                        Some((n, a)) => (n, a),
+                        None => (rest, ""),
+                    };
+                    if !valid_attack_name(name) || adaptive.is_some() {
+                        return None;
+                    }
+                    adaptive = Some(AdaptiveSpec {
+                        name: name.to_string(),
+                        args: args.to_string(),
+                    });
+                    continue;
+                }
                 corruptions.push(Corruption {
                     party: PartyId(party.trim().parse().ok()?),
                     fault: FaultSpec::parse(fault.trim())?,
@@ -251,6 +306,7 @@ impl Scenario {
             n,
             t,
             corruptions,
+            adaptive,
             sched,
             rt,
         };
@@ -285,6 +341,28 @@ impl Scenario {
         for c in &self.corruptions {
             if c.party.0 >= self.n {
                 return Err(format!("corrupt party {} out of range", c.party.0));
+            }
+            if let FaultSpec::Attack { name, .. } = &c.fault {
+                if name == "adaptive" {
+                    return Err(format!(
+                        "adaptive plans bind to the whole system: write \
+                         corrupt=adaptive:<name>@* instead of @{}",
+                        c.party.0
+                    ));
+                }
+            }
+        }
+        if let Some(spec) = &self.adaptive {
+            if !valid_attack_name(&spec.name) {
+                return Err(format!("invalid adaptive attack name {:?}", spec.name));
+            }
+            if self.rt == "threaded" || self.rt.starts_with("threaded:") {
+                return Err(format!(
+                    "adaptive:{}@* needs a deterministic backend to honor replay: use \
+                     rt=sim, rt=sharded:<k> or rt=wire (threaded schedules are \
+                     OS-timing dependent)",
+                    spec.name
+                ));
             }
         }
         if crate::scheduler_by_name(&self.sched).is_none() {
@@ -380,6 +458,11 @@ impl Scenario {
                 }
             }
         }
+        if let Some(spec) = &self.adaptive {
+            if !registry.contains_adaptive(&spec.name) {
+                return Err(format!("unregistered adaptive attack {:?}", spec.name));
+            }
+        }
         Ok(())
     }
 
@@ -462,10 +545,67 @@ impl Scenario {
                 config.n, config.t, self.n, self.t
             ));
         }
+        // Adaptive adversary: build the policy + victim ledger once and
+        // install it; later episodes of the same runtime reuse the handle,
+        // so the t-cap spans the whole multi-episode run.
+        let adaptive_ctrl: Option<crate::adaptive::SharedAdaptive> = match &self.adaptive {
+            None => None,
+            Some(spec) => {
+                let ctrl = match rt.adaptive_handle() {
+                    Some(ctrl) => ctrl,
+                    None => {
+                        let actx = AdaptiveCtx {
+                            n: self.n,
+                            t: self.t,
+                            seed: config.seed,
+                            args: &spec.args,
+                        };
+                        let policy =
+                            registry.build_adaptive(&spec.name, &actx).ok_or_else(|| {
+                                format!(
+                                    "adaptive attack {:?} (args {:?}) failed to build for \
+                                     episode {episode:?}",
+                                    spec.name, spec.args
+                                )
+                            })?;
+                        let mut plan = crate::adaptive::CorruptionPlan::new(self.n, self.t);
+                        for c in &self.corruptions {
+                            plan.seed_victim(c.party);
+                        }
+                        let ctrl = std::sync::Arc::new(std::sync::Mutex::new(
+                            crate::adaptive::AdaptiveController::new(policy, plan),
+                        ));
+                        if !rt.install_adaptive(ctrl.clone()) {
+                            return Err(format!(
+                                "backend {:?} does not support adaptive attacks \
+                                 (adaptive:{}@*)",
+                                rt.backend_name(),
+                                spec.name
+                            ));
+                        }
+                        ctrl
+                    }
+                };
+                ctrl.lock()
+                    .expect("adaptive controller lock poisoned")
+                    .on_episode(episode);
+                Some(ctrl)
+            }
+        };
         for p in (0..self.n).map(PartyId) {
             let carry = carries.get(p.0).and_then(|c| c.as_ref());
             let instance: Box<dyn Instance> = match self.fault_of(p) {
-                None => honest(p, carry),
+                None => match &adaptive_ctrl {
+                    // Every honest party is wrapped in a transparent shell:
+                    // it passes through untouched until the controller
+                    // corrupts the party, then acts out the assigned mode.
+                    Some(ctrl) => Box::new(crate::adaptive::AdaptiveShell::new(
+                        honest(p, carry),
+                        ctrl.clone(),
+                        p,
+                    )),
+                    None => honest(p, carry),
+                },
                 Some(FaultSpec::Silent) => Box::new(SilentInstance),
                 Some(FaultSpec::Crash) => {
                     rt.spawn(p, session.clone(), honest(p, carry));
@@ -522,13 +662,19 @@ impl Scenario {
 impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "n={},t={}", self.n, self.t)?;
-        if !self.corruptions.is_empty() {
+        if !self.corruptions.is_empty() || self.adaptive.is_some() {
             write!(f, ",corrupt=")?;
             for (i, c) in self.corruptions.iter().enumerate() {
                 if i > 0 {
                     write!(f, ";")?;
                 }
                 write!(f, "{c}")?;
+            }
+            if let Some(a) = &self.adaptive {
+                if !self.corruptions.is_empty() {
+                    write!(f, ";")?;
+                }
+                write!(f, "{a}")?;
             }
         }
         write!(f, ",sched={},rt={}", self.sched, self.rt)
@@ -569,6 +715,23 @@ pub enum AttackRole {
 
 type AttackFactory = Box<dyn Fn(&AttackCtx<'_>) -> Option<AttackRole> + Send + Sync>;
 
+/// Everything an adaptive-attack factory may depend on when building the
+/// run's corruption policy (adaptive policies bind to the whole system,
+/// not one party — compare [`AttackCtx`]).
+pub struct AdaptiveCtx<'a> {
+    /// Number of parties.
+    pub n: usize,
+    /// Fault threshold (the victim cap).
+    pub t: usize,
+    /// The run's master seed.
+    pub seed: u64,
+    /// Policy-defined argument string from the scenario spec.
+    pub args: &'a str,
+}
+
+type AdaptiveFactory =
+    Box<dyn Fn(&AdaptiveCtx<'_>) -> Option<Box<dyn crate::adaptive::AdaptiveAttack>> + Send + Sync>;
+
 /// Named protocol-specific attacks, pluggable by protocol crates.
 ///
 /// Factories receive an [`AttackCtx`] and return the corrupted party's
@@ -576,13 +739,35 @@ type AttackFactory = Box<dyn Fn(&AttackCtx<'_>) -> Option<AttackRole> + Send + S
 /// invalid. `aft-ba` and `aft-svss` export `register_attacks` functions;
 /// `aft-core` assembles them into the standard registry used by the
 /// conformance suite.
-#[derive(Default)]
+///
+/// A second namespace holds *adaptive* attacks ([`AdaptiveAttack`]
+/// policies bound via `corrupt=adaptive:<name>@*`); the built-in constant
+/// policy `pin` ([`PinPolicy`]) is pre-registered in every registry.
+///
+/// [`AdaptiveAttack`]: crate::adaptive::AdaptiveAttack
+/// [`PinPolicy`]: crate::adaptive::PinPolicy
 pub struct AttackRegistry {
     factories: BTreeMap<&'static str, AttackFactory>,
+    adaptive: BTreeMap<&'static str, AdaptiveFactory>,
+}
+
+impl Default for AttackRegistry {
+    fn default() -> Self {
+        let mut reg = AttackRegistry {
+            factories: BTreeMap::new(),
+            adaptive: BTreeMap::new(),
+        };
+        reg.register_adaptive("pin", |ctx| {
+            crate::adaptive::PinPolicy::parse(ctx.args)
+                .map(|p| Box::new(p) as Box<dyn crate::adaptive::AdaptiveAttack>)
+        });
+        reg
+    }
 }
 
 impl AttackRegistry {
-    /// An empty registry (generic faults need no registration).
+    /// A registry holding only the built-in adaptive `pin` policy
+    /// (generic faults need no registration).
     pub fn new() -> Self {
         Self::default()
     }
@@ -610,6 +795,39 @@ impl AttackRegistry {
     /// unknown or the factory rejected the arguments.
     pub fn build(&self, name: &str, ctx: &AttackCtx<'_>) -> Option<AttackRole> {
         self.factories.get(name)?(ctx)
+    }
+
+    /// Registers an adaptive-attack `factory` under `name`, replacing any
+    /// previous entry.
+    pub fn register_adaptive(
+        &mut self,
+        name: &'static str,
+        factory: impl Fn(&AdaptiveCtx<'_>) -> Option<Box<dyn crate::adaptive::AdaptiveAttack>>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.adaptive.insert(name, Box::new(factory));
+    }
+
+    /// Whether an adaptive attack named `name` is registered.
+    pub fn contains_adaptive(&self, name: &str) -> bool {
+        self.adaptive.contains_key(name)
+    }
+
+    /// Registered adaptive-attack names, sorted.
+    pub fn adaptive_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.adaptive.keys().copied()
+    }
+
+    /// Builds the adaptive attack `name` for `ctx`; `None` when the name
+    /// is unknown or the factory rejected the arguments.
+    pub fn build_adaptive(
+        &self,
+        name: &str,
+        ctx: &AdaptiveCtx<'_>,
+    ) -> Option<Box<dyn crate::adaptive::AdaptiveAttack>> {
+        self.adaptive.get(name)?(ctx)
     }
 }
 
@@ -1169,6 +1387,99 @@ mod tests {
         assert!(first.iter().all(|c| c.outcome.0 == StopReason::Quiescent));
         // Bit-for-bit reproducible from (seed, scenario string) alone.
         assert_eq!(first, run());
+    }
+
+    #[test]
+    fn adaptive_specs_parse_and_round_trip() {
+        for spec in [
+            "n=4,t=1,corrupt=adaptive:coin-favorite@*,sched=random,rt=sim",
+            "n=7,t=2,corrupt=silent@2;adaptive:pin:storm:1@*,sched=lifo,rt=wire",
+            "n=7,t=2,corrupt=adaptive:core-candidates:50@*,sched=net:lat=1..8,rt=sharded:4",
+        ] {
+            let s = Scenario::parse(spec).unwrap();
+            assert!(s.adaptive.is_some(), "{spec}");
+            assert_eq!(s.to_string(), spec, "canonical form is stable");
+            assert_eq!(Scenario::parse(&s.to_string()), Some(s), "{spec}");
+        }
+        let s = Scenario::parse("n=7,t=2,corrupt=adaptive:pin:silent:3@*").unwrap();
+        let a = s.adaptive.unwrap();
+        assert_eq!(a.name, "pin");
+        assert_eq!(a.args, "silent:3");
+    }
+
+    #[test]
+    fn adaptive_specs_reject_invalid() {
+        for bad in [
+            "n=4,t=1,corrupt=silent@*",                   // only adaptive: binds to *
+            "n=4,t=1,corrupt=adaptive:@*",                // empty name
+            "n=4,t=1,corrupt=adaptive:Bad@*",             // invalid name charset
+            "n=4,t=1,corrupt=adaptive:a@*;adaptive:b@*",  // at most one
+            "n=4,t=1,corrupt=adaptive:pin:silent:3@2",    // numeric party
+            "n=4,t=1,corrupt=adaptive:pin@*,rt=threaded", // nondeterministic backend
+        ] {
+            assert!(Scenario::parse(bad).is_none(), "{bad:?} must not parse");
+        }
+        // The numeric-party and threaded rejections carry targeted errors.
+        let mut s = Scenario::honest(4, 1);
+        s.corruptions = vec![Corruption {
+            party: PartyId(2),
+            fault: FaultSpec::Attack {
+                name: "adaptive".into(),
+                args: "pin:silent:3".into(),
+            },
+        }];
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("adaptive:<name>@*"), "{err}");
+        let mut s = Scenario::honest(4, 1);
+        s.adaptive = Some(AdaptiveSpec {
+            name: "pin".into(),
+            args: "silent:3".into(),
+        });
+        s.rt = "threaded".into();
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("rt=sim"), "targeted hint, got: {err}");
+        assert!(err.contains("deterministic"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_registry_and_validate_attacks() {
+        let reg = AttackRegistry::new();
+        assert!(reg.contains_adaptive("pin"), "pin is built in");
+        assert_eq!(reg.adaptive_names().collect::<Vec<_>>(), vec!["pin"]);
+        let s = Scenario::parse("n=4,t=1,corrupt=adaptive:pin:silent:3@*").unwrap();
+        assert!(s.validate_attacks(&reg).is_ok());
+        let s = Scenario::parse("n=4,t=1,corrupt=adaptive:nope@*").unwrap();
+        let err = s.validate_attacks(&reg).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn deploy_adaptive_pin_mutes_target() {
+        // adaptive:pin:silent:3@* behaves exactly like silent@3: party 3
+        // never outputs, everyone else does.
+        for rt_name in ["sim", "sharded:2", "wire"] {
+            let spec = format!("n=4,t=1,corrupt=adaptive:pin:silent:3@*,sched=fifo,rt={rt_name}");
+            let s = Scenario::parse(&spec).unwrap();
+            let reg = AttackRegistry::new();
+            let mut rt = s.runtime(7);
+            s.deploy_episode(rt.as_mut(), &reg, "ping", &sid(), &[], |_, _| {
+                Box::new(Pinger { heard: 0 })
+            })
+            .unwrap();
+            let report = rt.run(1_000_000);
+            assert_eq!(report.stop, StopReason::Quiescent, "{rt_name}");
+            assert!(rt.output(PartyId(3), &sid()).is_none(), "{rt_name}: muted");
+            for p in (0..3).map(PartyId) {
+                assert_eq!(
+                    rt.output_as::<usize>(p, &sid()),
+                    Some(&3),
+                    "{rt_name} {p:?}"
+                );
+            }
+            let ctrl = rt.adaptive_handle().expect("controller installed");
+            let ctrl = ctrl.lock().unwrap();
+            assert_eq!(ctrl.plan().victims().collect::<Vec<_>>(), vec![PartyId(3)]);
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! [`SimNetwork`]: crate::SimNetwork
 //! [`ThreadedRuntime`]: crate::ThreadedRuntime
 
+use crate::adaptive::{ObsEvent, SharedAdaptive};
 use crate::ids::{PartyId, SessionId};
 use crate::instance::Instance;
 use crate::net::NetEvent;
@@ -86,6 +87,11 @@ struct PartyState {
     /// the logical schedule). `step` fields are party-local delivery
     /// counts: `(party, step)` uniquely names a delivery.
     events: Option<Vec<TraceEvent>>,
+    /// Adaptive-adversary observation events this epoch (drained into the
+    /// shared controller at the barrier in party order, so adaptive
+    /// decisions are a pure function of the logical schedule — shells only
+    /// *read* the ledger during parallel epochs, writes land at barriers).
+    obs: Option<Vec<ObsEvent>>,
     /// Scratch buffer for node dispatch output.
     scratch: Vec<crate::node::Outgoing>,
 }
@@ -163,6 +169,13 @@ impl PartyState {
                     run: run as usize,
                 });
             }
+            if let Some(obs) = &mut self.obs {
+                obs.push(ObsEvent::SchedulerPick {
+                    party: me,
+                    queued: self.inbox.len(),
+                    run: run as usize,
+                });
+            }
             for _ in 0..run {
                 let env = self.inbox.take_slot(slot);
                 if let Some(trace) = &mut self.trace {
@@ -172,10 +185,19 @@ impl PartyState {
                     let kind = env.session.last().map_or("root", |t| t.kind);
                     self.metrics.on_virtual_delivery(kind, vt);
                 }
+                let obs_pre = self.obs.as_ref().map(|_| {
+                    (
+                        env.from,
+                        env.to,
+                        env.session.last().map_or("root", |t| t.kind),
+                        self.metrics.delivered,
+                    )
+                });
                 let PartyState {
                     node,
                     metrics,
                     events,
+                    obs,
                     scratch,
                     ..
                 } = self;
@@ -193,6 +215,18 @@ impl PartyState {
                     metrics,
                     tctx,
                 );
+                if let Some((from, to, kind, delivered_before)) = obs_pre {
+                    if metrics.delivered > delivered_before {
+                        obs.as_mut()
+                            .expect("obs_pre implies obs")
+                            .push(ObsEvent::Deliver {
+                                party: to,
+                                from,
+                                kind,
+                                step: metrics.steps,
+                            });
+                    }
+                }
                 // Party-local step of the delivery that just ran: the
                 // causal parent of everything it emitted.
                 let parent = self.metrics.steps;
@@ -283,6 +317,9 @@ pub struct ShardedSimRuntime {
     /// The per-pair ordered channels, receiver side: `channels[dst][src]`
     /// is filled by the barrier handoff and drained by the merge.
     channels: Vec<Vec<Vec<Envelope>>>,
+    /// Adaptive-adversary controller, if installed: per-party observation
+    /// buffers drain into it at every barrier, in party order.
+    adaptive: Option<SharedAdaptive>,
 }
 
 impl ShardedSimRuntime {
@@ -338,6 +375,7 @@ impl ShardedSimRuntime {
                     emit: 0,
                     trace: None,
                     events: None,
+                    obs: None,
                     scratch: Vec::new(),
                 }
             })
@@ -357,6 +395,7 @@ impl ShardedSimRuntime {
             channels: (0..config.n)
                 .map(|_| (0..config.n).map(|_| Vec::new()).collect())
                 .collect(),
+            adaptive: None,
         }
     }
 
@@ -490,6 +529,20 @@ impl ShardedSimRuntime {
                         vtime,
                     },
                 });
+            }
+        }
+        if let Some(ctrl) = &self.adaptive {
+            // Epoch-delayed observation: the controller sees each epoch's
+            // events here, in party order — a pure function of the logical
+            // schedule, independent of shard count and thread timing.
+            // Decisions therefore take effect from the next epoch on.
+            let mut ctrl = ctrl.lock().expect("adaptive controller lock poisoned");
+            for ps in &mut self.parties {
+                if let Some(obs) = &mut ps.obs {
+                    for ev in obs.drain(..) {
+                        ctrl.observe(&ev);
+                    }
+                }
             }
         }
         self.epoch += 1;
@@ -781,6 +834,18 @@ impl Runtime for ShardedSimRuntime {
             ps.events = None;
         }
         self.sink.take()
+    }
+
+    fn install_adaptive(&mut self, ctrl: SharedAdaptive) -> bool {
+        for ps in &mut self.parties {
+            ps.obs = Some(Vec::new());
+        }
+        self.adaptive = Some(ctrl);
+        true
+    }
+
+    fn adaptive_handle(&self) -> Option<SharedAdaptive> {
+        self.adaptive.clone()
     }
 
     fn backend_name(&self) -> &'static str {

@@ -386,6 +386,15 @@ impl Runtime for WireRuntime {
         self.net.take_trace()
     }
 
+    fn install_adaptive(&mut self, ctrl: crate::adaptive::SharedAdaptive) -> bool {
+        self.net.install_adaptive(ctrl);
+        true
+    }
+
+    fn adaptive_handle(&self) -> Option<crate::adaptive::SharedAdaptive> {
+        self.net.adaptive_handle()
+    }
+
     fn backend_name(&self) -> &'static str {
         "wire"
     }

@@ -241,6 +241,7 @@ mod scenario_props {
             n,
             t,
             corruptions,
+            adaptive: None,
             sched: scheds[sched % scheds.len()].clone(),
             rt: rts[rt % rts.len()].to_string(),
         }

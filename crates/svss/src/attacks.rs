@@ -4,7 +4,10 @@
 use crate::msgs::{party_point, RecMsg, ShareBundle, ShareMsg};
 use crate::share::SvssShare;
 use aft_field::{BivarPoly, Fp, Poly};
-use aft_sim::{AttackCtx, AttackRegistry, AttackRole, Context, Instance, PartyId, Payload};
+use aft_sim::{
+    AttackCtx, AttackRegistry, AttackRole, Context, CorruptMode, CorruptionPlan, Instance,
+    ObsEvent, PartyId, Payload,
+};
 
 /// Registers this crate's attacks with a scenario [`AttackRegistry`].
 ///
@@ -71,10 +74,15 @@ pub fn register_attacks(registry: &mut AttackRegistry) {
                 })
                 .collect::<Option<_>>()?
         };
-        Some(AttackRole::Instance(Box::new(WrongCross::new(
-            PartyId(0),
-            victims,
-        ))))
+        let attack = if ctx.party == PartyId(0) {
+            // Placed at the dealer seat: deal a seed-derived secret so the
+            // inner share machinery has something to run on.
+            let secret = Fp::new(ctx.seed.wrapping_mul(11).wrapping_add(4));
+            WrongCross::dealer(PartyId(0), secret, victims)
+        } else {
+            WrongCross::new(PartyId(0), victims)
+        };
+        Some(AttackRole::Instance(Box::new(attack)))
     });
     registry.register("wrong-sigma", |ctx| {
         if ctx.episode == "svss-share" {
@@ -102,6 +110,105 @@ pub fn register_attacks(registry: &mut AttackRegistry) {
             AttackRole::Instance(Box::new(SilentRec))
         })
     });
+    registry.register_adaptive("core-candidates", |ctx| {
+        let threshold = if ctx.args.is_empty() {
+            None
+        } else {
+            Some(ctx.args.parse().ok()?)
+        };
+        Some(Box::new(CoreCandidates::new(threshold)))
+    });
+}
+
+/// The adaptive adversary against SVSS / common-subset core formation:
+/// watch who the schedule favors during the run (most deliveries of any
+/// kind — the parties whose traffic is landing are the likely core /
+/// common-subset members), and mute the most-favored candidates once
+/// enough traffic has been observed. In multi-episode stacks the strike
+/// is timed at the *reconstruction* episode boundary: the share phase
+/// must complete for a carry to exist (the model lets the adversary pick
+/// its victims after seeing the share-phase schedule), and the rec-phase
+/// online error correction is what must then absorb the muted cores.
+///
+/// Registered as `adaptive:core-candidates[:<threshold>]@*` where
+/// `threshold` overrides the default observation threshold of `3n²`
+/// deliveries for single-episode stacks (common-subset).
+pub struct CoreCandidates {
+    threshold: Option<u64>,
+    counts: Vec<u64>,
+    seen: u64,
+    struck: bool,
+    episode: String,
+}
+
+impl CoreCandidates {
+    /// Creates the policy; `threshold` overrides the `3n²` default.
+    pub fn new(threshold: Option<u64>) -> Self {
+        CoreCandidates {
+            threshold,
+            counts: Vec::new(),
+            seen: 0,
+            struck: false,
+            episode: String::new(),
+        }
+    }
+
+    /// Mute the most-delivered-to-date non-victims, up to the cap.
+    fn strike(&mut self, plan: &mut CorruptionPlan) {
+        self.struck = true;
+        let mut order: Vec<usize> = (0..plan.n()).collect();
+        // Descending by observed deliveries, ties to the lowest id.
+        order.sort_by_key(|&p| {
+            (
+                std::cmp::Reverse(self.counts.get(p).copied().unwrap_or(0)),
+                p,
+            )
+        });
+        for p in order {
+            let p = PartyId(p);
+            if !plan.is_victim(p) && !plan.corrupt(p, CorruptMode::Mute) {
+                break;
+            }
+        }
+    }
+}
+
+impl aft_sim::AdaptiveAttack for CoreCandidates {
+    fn on_episode(&mut self, episode: &str, plan: &mut CorruptionPlan) {
+        // Strike at the share→rec boundary: the share schedule has been
+        // observed in full, and muting cores now is exactly the adversary
+        // reconstruction's online error correction is specified against.
+        if self.episode == "svss-share" && episode != "svss-share" && !self.struck {
+            self.strike(plan);
+        }
+        self.episode = episode.to_string();
+    }
+
+    fn observe(&mut self, ev: &ObsEvent, plan: &mut CorruptionPlan) {
+        let ObsEvent::Deliver { party, .. } = ev else {
+            return;
+        };
+        if self.counts.is_empty() {
+            self.counts = vec![0; plan.n()];
+        }
+        if let Some(c) = self.counts.get_mut(party.0) {
+            *c += 1;
+        }
+        self.seen += 1;
+        // Mid-episode strike for single-episode stacks only: muting a
+        // party mid-share would break share-phase liveness, which even the
+        // adaptive adversary is not entitled to (it may mute *after* the
+        // core forms — the episode boundary above).
+        if self.struck || self.episode == "svss-share" {
+            return;
+        }
+        let threshold = self
+            .threshold
+            .unwrap_or(3 * (plan.n() as u64) * (plan.n() as u64));
+        if self.seen >= threshold {
+            self.strike(plan);
+        }
+    }
 }
 
 /// A Byzantine dealer that deals shares of **two different secrets**: the
@@ -181,6 +288,19 @@ impl WrongCross {
     pub fn new(dealer: PartyId, victims: Vec<PartyId>) -> Self {
         WrongCross {
             inner: SvssShare::party(dealer),
+            victims,
+        }
+    }
+
+    /// Creates the attack instance for the dealer seat itself: the inner
+    /// deals `secret` (a Byzantine dealer may deal anything) while the
+    /// cross points sent to `victims` are still corrupted. Without this
+    /// the inner would be a secretless dealer, which panics on start —
+    /// found by the scenario search retargeting `wrong-cross` onto the
+    /// dealer.
+    pub fn dealer(dealer: PartyId, secret: Fp, victims: Vec<PartyId>) -> Self {
+        WrongCross {
+            inner: SvssShare::dealer(dealer, secret),
             victims,
         }
     }

@@ -645,6 +645,119 @@ fn violation_repro_bundle_replays_to_the_same_fingerprint() {
     }
 }
 
+/// Adaptive adversaries in the conformance net: the registered policies
+/// (`coin-favorite` on BA, `core-candidates` on the SVSS chain and the
+/// common subset) observe delivered traffic and corrupt victims mid-run,
+/// yet every cell stays safe — the invariants hold for the parties that
+/// *remain* honest — the victim count never exceeds `t`, and each cell
+/// re-runs bit-for-bit from `(seed, scenario string)`. Reproducibility
+/// is asserted per backend, not across backends: observation timing is
+/// backend-specific by design (`sim` feeds the controller per delivery,
+/// `sharded` at epoch barriers), so the *decisions* may differ between
+/// backends while each backend's own schedule stays a pure function of
+/// the seed.
+#[test]
+fn adaptive_cells_are_safe_and_reproducible() {
+    use aft::core::scenarios::run_cell_instrumented;
+    use aft::sim::TraceMode;
+    let registry = standard_registry();
+    for (kind, attack) in [
+        (StackKind::Ba, "adaptive:coin-favorite@*"),
+        (StackKind::Ba, "adaptive:coin-favorite:equivocate@*"),
+        (StackKind::SvssChain, "adaptive:core-candidates@*"),
+        (StackKind::CommonSubset, "adaptive:core-candidates@*"),
+    ] {
+        for backend in ["sim", "sharded:4", "wire"] {
+            let spec = format!("n=4,t=1,corrupt={attack},sched=random,rt={backend}");
+            let scenario = Scenario::parse(&spec).unwrap_or_else(|| panic!("{spec:?} must parse"));
+            for seed in SEEDS {
+                let first = run_cell_instrumented(
+                    kind,
+                    &scenario,
+                    *seed,
+                    &registry,
+                    u64::MAX,
+                    TraceMode::Off,
+                );
+                assert!(
+                    first.report.violations.is_empty(),
+                    "{} {spec} seed={seed}: {:?}",
+                    kind.label(),
+                    first.report.violations
+                );
+                assert!(
+                    first.victims.len() <= scenario.t,
+                    "{} {spec} seed={seed}: victim cap exceeded: {:?}",
+                    kind.label(),
+                    first.victims
+                );
+                assert!(
+                    !first.victims.is_empty(),
+                    "{} {spec} seed={seed}: the adaptive policy never struck",
+                    kind.label()
+                );
+                let again = run_cell_instrumented(
+                    kind,
+                    &scenario,
+                    *seed,
+                    &registry,
+                    u64::MAX,
+                    TraceMode::Off,
+                );
+                assert_eq!(
+                    first.report,
+                    again.report,
+                    "{} {spec} seed={seed}: adaptive cell must reproduce bit-for-bit",
+                    kind.label()
+                );
+                assert_eq!(
+                    first.victims,
+                    again.victims,
+                    "{} {spec} seed={seed}: victim set must reproduce",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+/// Differential: an adaptive plan whose decision policy is *constant*
+/// (`pin`, which corrupts a fixed target at episode start and ignores
+/// all observations) is byte-identical to the equivalent static plan.
+/// `adaptive:pin:silent:3@*` mutes party 3 from the first activation —
+/// exactly what `silent@3` deploys — and the observation hook draws no
+/// randomness and sends nothing, so the full cell reports (outputs
+/// fingerprint, per-kind metrics, sends, deliveries, steps) must agree
+/// bit-for-bit on every stack, backend and pinned seed.
+#[test]
+fn constant_adaptive_policy_matches_the_static_plan_bit_for_bit() {
+    for kind in StackKind::all() {
+        for backend in BACKENDS {
+            for seed in SEEDS {
+                let adaptive = run_on(
+                    kind,
+                    "n=4,t=1,corrupt=adaptive:pin:silent:3@*,sched=random",
+                    backend,
+                    *seed,
+                );
+                let fixed = run_on(
+                    kind,
+                    "n=4,t=1,corrupt=silent@3,sched=random",
+                    backend,
+                    *seed,
+                );
+                assert_eq!(
+                    adaptive,
+                    fixed,
+                    "{} rt={backend} seed={seed}: constant adaptive policy diverged \
+                     from the static plan",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
 fn violation_repro_bundle_roundtrip(spec: &str, is_net: bool) {
     use aft::core::scenarios::{run_cell_traced, write_repro_bundle};
     use aft::sim::TraceMode;
