@@ -1,0 +1,179 @@
+//! E13 — process-per-party deployment with supervised crash/restart.
+//!
+//! Runs a reference stack with one `aft-partyd` OS process per party,
+//! wired into a loopback TCP mesh and supervised over stdin/stdout (see
+//! `aft_bench::deployment`). `corrupt=recover:<vt>@p` maps onto a real
+//! SIGKILL after `vt` milliseconds plus a `--recovered` respawn whose
+//! peers replay their outboxes.
+//!
+//! ```sh
+//! # one scenario
+//! cargo run --release -p aft-bench --bin exp_deployment -- \
+//!     --scenario 'n=4,t=1,corrupt=recover:300@3,rt=proc' --stack ba --seed 2
+//! # the CI smoke suite (BA, common subset, and a kill/restart leg)
+//! cargo run --release -p aft-bench --bin exp_deployment -- --smoke
+//! ```
+//!
+//! Exits nonzero iff any run reports an invariant violation. Per-party
+//! daemon stderr goes to `--log-dir` (default `target/deploy-logs`),
+//! where CI picks it up as an artifact on failure.
+
+use aft_bench::deployment::{run_deployment, DeployOptions, DeployStack};
+use aft_bench::output_arg;
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Cli {
+    scenario: Option<String>,
+    stack: DeployStack,
+    seed: u64,
+    smoke: bool,
+    timeout: Duration,
+    log_dir: PathBuf,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        scenario: None,
+        stack: DeployStack::Ba,
+        seed: 2,
+        smoke: false,
+        timeout: Duration::from_secs(60),
+        log_dir: PathBuf::from("target/deploy-logs"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--scenario" => cli.scenario = Some(value("--scenario")),
+            "--stack" => {
+                let label = value("--stack");
+                cli.stack = DeployStack::from_label(&label).unwrap_or_else(|| {
+                    eprintln!("error: unknown --stack {label:?} (expected ba or common-subset)");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                cli.seed = value("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --seed must be a u64");
+                    std::process::exit(2);
+                });
+            }
+            "--timeout-secs" => {
+                cli.timeout = Duration::from_secs(value("--timeout-secs").parse().unwrap_or(60));
+            }
+            "--log-dir" => cli.log_dir = PathBuf::from(value("--log-dir")),
+            "--smoke" => cli.smoke = true,
+            "--json" => {} // handled by output_arg
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    let out = output_arg();
+    let runs: Vec<(String, DeployStack, u64)> = if cli.smoke {
+        vec![
+            ("n=4,t=1,rt=proc".into(), DeployStack::Ba, 2),
+            ("n=4,t=1,rt=proc".into(), DeployStack::CommonSubset, 9),
+            (
+                // The kill/restart leg: party 3 is SIGKILLed 300 ms in and
+                // respawned; its peers replay their outboxes and the
+                // fresh instance must still reach the unanimous output.
+                "n=4,t=1,corrupt=recover:300@3,rt=proc".into(),
+                DeployStack::Ba,
+                3,
+            ),
+        ]
+    } else {
+        let Some(spec) = cli.scenario.clone() else {
+            eprintln!("error: pass --scenario '<spec with rt=proc>' or --smoke");
+            std::process::exit(2);
+        };
+        vec![(spec, cli.stack, cli.seed)]
+    };
+
+    out.note(&format!(
+        "deployment: one aft-partyd process per party, logs in {}",
+        cli.log_dir.display()
+    ));
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for (spec, stack, seed) in runs {
+        let mut opts = DeployOptions::new(&spec, stack, seed);
+        opts.timeout = cli.timeout;
+        opts.log_dir = Some(cli.log_dir.clone());
+        let report = match run_deployment(&opts) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {spec} ({}): {e}", stack.label());
+                std::process::exit(2);
+            }
+        };
+        let outputs: Vec<String> = report
+            .outputs
+            .iter()
+            .map(|o| o.clone().unwrap_or_else(|| "-".into()))
+            .collect();
+        if !report.violations.is_empty() {
+            failed = true;
+            for v in &report.violations {
+                eprintln!("VIOLATION [{} {spec} seed={seed}]: {v}", stack.label());
+            }
+            let summary = cli
+                .log_dir
+                .join(format!("violations-{}.txt", stack.label()));
+            let body = format!(
+                "scenario: {spec}\nstack: {}\nseed: {seed}\noutputs: {outputs:?}\n{}\n",
+                stack.label(),
+                report.violations.join("\n")
+            );
+            if let Err(e) =
+                std::fs::create_dir_all(&cli.log_dir).and_then(|()| std::fs::write(&summary, body))
+            {
+                eprintln!("error: cannot write {}: {e}", summary.display());
+            }
+        }
+        rows.push(vec![
+            stack.label().to_string(),
+            spec,
+            seed.to_string(),
+            outputs.join(" "),
+            report.restarts.to_string(),
+            report.sent.to_string(),
+            report.delivered.to_string(),
+            if report.violations.is_empty() {
+                "ok".into()
+            } else {
+                format!("{} violation(s)", report.violations.len())
+            },
+        ]);
+    }
+    out.table(
+        "E13 — process-per-party deployment",
+        &[
+            "stack",
+            "scenario",
+            "seed",
+            "outputs (per party)",
+            "restarts",
+            "sent",
+            "delivered",
+            "verdict",
+        ],
+        &rows,
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Integration tests for the process-per-party deployment: real
+//! `aft-partyd` OS processes (cargo builds the binary and hands us its
+//! path via `CARGO_BIN_EXE_aft-partyd`), a loopback TCP mesh, and the
+//! supervisor from `aft_bench::deployment`.
+
+use aft_bench::deployment::{run_deployment, DeployOptions, DeployStack};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn opts(spec: &str, stack: DeployStack, seed: u64) -> DeployOptions {
+    let mut opts = DeployOptions::new(spec, stack, seed);
+    opts.partyd = Some(PathBuf::from(env!("CARGO_BIN_EXE_aft-partyd")));
+    opts.timeout = Duration::from_secs(120);
+    opts
+}
+
+/// BA over four real processes: every party terminates with the
+/// unanimous input, exactly as the in-process backends decide it.
+#[test]
+fn ba_over_real_processes_agrees() {
+    let report = run_deployment(&opts("n=4,t=1,rt=proc", DeployStack::Ba, 2)).unwrap();
+    assert_eq!(report.violations, Vec::<String>::new());
+    assert_eq!(report.restarts, 0);
+    for (p, out) in report.outputs.iter().enumerate() {
+        assert_eq!(out.as_deref(), Some("true"), "party {p}");
+    }
+    assert!(report.sent > 0 && report.delivered > 0);
+}
+
+/// Common subset over real processes: all parties output the same
+/// >= n − t member set.
+#[test]
+fn common_subset_over_real_processes_agrees() {
+    let report = run_deployment(&opts("n=4,t=1,rt=proc", DeployStack::CommonSubset, 9)).unwrap();
+    assert_eq!(report.violations, Vec::<String>::new());
+    let first = report.outputs[0].as_deref().expect("party 0 output");
+    assert!(first.split('+').count() >= 3, "{first}");
+}
+
+/// The supervised crash/restart leg: `corrupt=recover:<vt>@p` maps onto
+/// a real SIGKILL + respawn. The restarted party rejoins from nothing,
+/// its peers replay their outboxes, and every invariant still holds —
+/// including termination of the killed party itself.
+#[test]
+fn kill_and_restart_mid_run_satisfies_invariants() {
+    let report = run_deployment(&opts(
+        "n=4,t=1,corrupt=recover:250@2,rt=proc",
+        DeployStack::Ba,
+        3,
+    ))
+    .unwrap();
+    assert_eq!(report.violations, Vec::<String>::new());
+    assert_eq!(report.restarts, 1, "exactly one kill/restart leg");
+    for (p, out) in report.outputs.iter().enumerate() {
+        assert_eq!(out.as_deref(), Some("false"), "party {p} (seed 3 is odd)");
+    }
+}
+
+/// A static fault rides along unchanged: the silent party owes no
+/// output, everyone else still agrees.
+#[test]
+fn deployment_tolerates_a_silent_party() {
+    let report = run_deployment(&opts(
+        "n=4,t=1,corrupt=silent@3,rt=proc",
+        DeployStack::Ba,
+        2,
+    ))
+    .unwrap();
+    assert_eq!(report.violations, Vec::<String>::new());
+    assert_eq!(report.outputs[3], None, "silent party never outputs");
+    for p in 0..3 {
+        assert_eq!(report.outputs[p].as_deref(), Some("true"), "party {p}");
+    }
+}

@@ -41,8 +41,18 @@
 //!   [`wire`] codec module), round-tripped through a per-party OS socket
 //!   pair, and decoded lazily at the receiver — the byte-level seam the
 //!   `garbage`/`equivocate` adversaries fuzz with malformed frames;
+//! * [`AsyncRuntime`] — the async event-loop backend: every party runs
+//!   as a task on a single-threaded executor and each delivery
+//!   round-trips through per-party channels, while all scheduling stays
+//!   in the deterministic network — bit-for-bit the simulator's
+//!   schedule under any deterministic scheduler family;
 //! * [`ThreadedRuntime`] — real OS threads and channels (genuine
-//!   asynchrony, no determinism).
+//!   asynchrony, no determinism);
+//! * [`ProcRuntime`] — the in-process stand-in for the process-per-party
+//!   deployment (`rt=proc`); the real one-OS-process-per-party
+//!   deployment with supervised crash/restart lives in `aft-bench`
+//!   (`aft-partyd` + `exp_deployment`) on top of [`deploy`]'s envelope
+//!   codec.
 //!
 //! [`runtime_by_name`] builds any of them from a string, which is what the
 //! `exp_*` binaries' `--runtime` flags and the cross-backend test suites
@@ -53,8 +63,10 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+mod async_rt;
 mod behaviors;
 pub mod cluster;
+pub mod deploy;
 mod ids;
 mod instance;
 mod montecarlo;
@@ -76,7 +88,9 @@ pub use adaptive::{
     AdaptiveAttack, AdaptiveController, AdaptiveShell, CorruptMode, CorruptionPlan, ObsEvent,
     PinPolicy, SharedAdaptive,
 };
+pub use async_rt::AsyncRuntime;
 pub use behaviors::{Equivocator, Garbage, GarbageInstance, MuteAfter, SilentInstance};
+pub use deploy::{decode_envelope, encode_envelope, party_node, ProcRuntime};
 pub use ids::{PartyId, SessionId, SessionTag};
 pub use instance::{Context, Instance};
 pub use montecarlo::{run_trials, Bernoulli};

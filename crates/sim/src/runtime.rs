@@ -342,16 +342,184 @@ fn miss_total(misses: &[(&'static str, u64)]) -> u64 {
     misses.iter().map(|&(_, c)| c).sum()
 }
 
+/// How one delivery resolved at the receiving node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeliverStatus {
+    /// The receiver is crashed; the envelope was dropped untouched.
+    Crashed,
+    /// The node accepted and dispatched the message.
+    Delivered,
+    /// The node's shun registry filtered the message out.
+    Shunned,
+}
+
+/// Everything a delivery changed at the node, reported back to whoever
+/// owns the metrics. Produced by [`deliver_raw`], consumed by
+/// [`account_delivery`] — splitting dispatch from accounting lets a
+/// backend run the node on another task or process while the network
+/// keeps the books.
+#[derive(Debug)]
+pub(crate) struct DeliveryOutcome {
+    /// How the delivery resolved.
+    pub status: DeliverStatus,
+    /// Shun declarations the dispatch caused.
+    pub new_shuns: u64,
+    /// Session outputs the dispatch recorded.
+    pub new_outputs: u64,
+    /// Per-kind decode/downcast misses the dispatch caused.
+    pub misses: Vec<(&'static str, u64)>,
+}
+
+/// Dispatches one message to `node` and reports what changed — no
+/// metrics, no tracing. Must run on the thread that performs the
+/// dispatch (miss accounting is thread-local).
+pub(crate) fn deliver_raw(
+    node: &mut Node,
+    from: PartyId,
+    session: SessionId,
+    payload: Payload,
+    out: &mut Vec<Outgoing>,
+) -> DeliveryOutcome {
+    if node.is_crashed() {
+        return DeliveryOutcome {
+            status: DeliverStatus::Crashed,
+            new_shuns: 0,
+            new_outputs: 0,
+            misses: Vec::new(),
+        };
+    }
+    // Discard stray miss records from outside deliveries (test probes,
+    // spawn-time output inspection), then attribute the dispatch's own
+    // failed views to this delivery.
+    crate::payload::drain_misses(None);
+    let shuns_before = node.shun_event_count();
+    let outputs_before = node.output_count();
+    let delivered = node.deliver(from, session, payload, out);
+    let mut misses = Vec::new();
+    crate::payload::drain_misses(Some(&mut misses));
+    DeliveryOutcome {
+        status: if delivered {
+            DeliverStatus::Delivered
+        } else {
+            DeliverStatus::Shunned
+        },
+        new_shuns: node.shun_event_count() - shuns_before,
+        new_outputs: node.output_count() - outputs_before,
+        misses,
+    }
+}
+
+/// Identity of the envelope being accounted by [`account_delivery`].
+pub(crate) struct DeliverCtx {
+    /// Receiving party.
+    pub to: PartyId,
+    /// Sending party.
+    pub from: PartyId,
+    /// The envelope's session — captured only when tracing (the
+    /// trace-off path pays nothing for the clone).
+    pub session: Option<SessionId>,
+    /// Sequence number of the envelope.
+    pub seq: u64,
+    /// Virtual arrival time, when the scheduler keeps a virtual clock.
+    pub vtime: Option<u64>,
+}
+
+/// Folds one [`DeliveryOutcome`] into the run's metrics and, when a
+/// sink is attached, records the `Deliver`/`Drop` event plus any
+/// `DecodeMiss`/`Shun`/`Output` events the dispatch caused. Tracing
+/// only *reads* what the untraced path already computes, so a traced
+/// run is bit-for-bit identical to an untraced one.
+pub(crate) fn account_delivery(
+    ctx: DeliverCtx,
+    outcome: &DeliveryOutcome,
+    metrics: &mut Metrics,
+    sink: Option<&mut (dyn TraceSink + '_)>,
+) {
+    metrics.steps += 1;
+    if outcome.status == DeliverStatus::Crashed {
+        metrics.dropped_crashed += 1;
+        if let Some(sink) = sink {
+            sink.record(TraceEvent::Drop {
+                step: metrics.steps,
+                party: ctx.to,
+                from: ctx.from,
+                session: ctx.session.expect("session captured when tracing"),
+                seq: ctx.seq,
+                reason: DropReason::Crashed,
+            });
+        }
+        return;
+    }
+    let delivered = outcome.status == DeliverStatus::Delivered;
+    if delivered {
+        metrics.delivered += 1;
+    } else {
+        metrics.dropped_shunned += 1;
+    }
+    for &(kind, count) in &outcome.misses {
+        if let Some(entry) = metrics.decode_miss.iter_mut().find(|(k, _)| *k == kind) {
+            entry.1 += count;
+        } else {
+            metrics.decode_miss.push((kind, count));
+        }
+    }
+    metrics.shun_events += outcome.new_shuns;
+    if let Some(sink) = sink {
+        let session = ctx.session.expect("session captured when tracing");
+        let step = metrics.steps;
+        let party = ctx.to;
+        if delivered {
+            sink.record(TraceEvent::Deliver {
+                step,
+                party,
+                from: ctx.from,
+                session: session.clone(),
+                seq: ctx.seq,
+                vtime: ctx.vtime,
+            });
+        } else {
+            sink.record(TraceEvent::Drop {
+                step,
+                party,
+                from: ctx.from,
+                session: session.clone(),
+                seq: ctx.seq,
+                reason: DropReason::Shunned,
+            });
+        }
+        let misses = miss_total(&outcome.misses);
+        if misses > 0 {
+            sink.record(TraceEvent::DecodeMiss {
+                step,
+                party,
+                session: session.clone(),
+                count: misses,
+            });
+        }
+        if outcome.new_shuns > 0 {
+            sink.record(TraceEvent::Shun {
+                step,
+                party,
+                session: session.clone(),
+                count: outcome.new_shuns,
+            });
+        }
+        if outcome.new_outputs > 0 {
+            sink.record(TraceEvent::Output {
+                step,
+                party,
+                session,
+                count: outcome.new_outputs,
+            });
+        }
+    }
+}
+
 /// Delivers one message to `node` with full metric accounting — the
-/// dispatch core shared by every backend. Crashed receivers count as
-/// `dropped_crashed`, shun-filtered messages as `dropped_shunned`,
-/// the rest as `delivered`; new shun declarations are tallied.
-///
-/// When `trace` is set, the delivery additionally records
-/// `Deliver`/`Drop` plus any `DecodeMiss`/`Shun`/`Output` events it
-/// caused. Tracing only *reads* the state the untraced path already
-/// computes, so a traced run is bit-for-bit identical to an untraced
-/// one.
+/// dispatch core shared by every backend: [`deliver_raw`] followed by
+/// [`account_delivery`]. Crashed receivers count as `dropped_crashed`,
+/// shun-filtered messages as `dropped_shunned`, the rest as
+/// `delivered`; new shun declarations are tallied.
 pub(crate) fn deliver_counted(
     node: &mut Node,
     from: PartyId,
@@ -361,93 +529,28 @@ pub(crate) fn deliver_counted(
     metrics: &mut Metrics,
     trace: Option<DeliverTrace<'_>>,
 ) {
-    metrics.steps += 1;
-    if node.is_crashed() {
-        metrics.dropped_crashed += 1;
-        if let Some(t) = trace {
-            t.sink.record(TraceEvent::Drop {
-                step: metrics.steps,
-                party: node.id(),
-                from,
-                session,
-                seq: t.seq,
-                reason: DropReason::Crashed,
-            });
-        }
-        return;
-    }
-    // Discard stray miss records from outside deliveries (test probes,
-    // spawn-time output inspection), then attribute the dispatch's own
-    // failed views to this run's metrics.
-    crate::payload::drain_misses(None);
-    let shuns_before = node.shun_event_count();
-    // Captured only when tracing; the trace-off path pays nothing here.
-    let before = trace.as_ref().map(|_| {
-        (
-            session.clone(),
-            node.output_count(),
-            miss_total(&metrics.decode_miss),
-        )
-    });
-    let delivered = node.deliver(from, session, payload, out);
-    if delivered {
-        metrics.delivered += 1;
-    } else {
-        metrics.dropped_shunned += 1;
-    }
-    crate::payload::drain_misses(Some(&mut metrics.decode_miss));
-    let new_shuns = node.shun_event_count() - shuns_before;
-    metrics.shun_events += new_shuns;
-    if let Some(t) = trace {
-        let (session, outputs_before, miss_before) = before.expect("captured when tracing");
-        let step = metrics.steps;
-        let party = node.id();
-        if delivered {
-            t.sink.record(TraceEvent::Deliver {
-                step,
-                party,
-                from,
-                session: session.clone(),
-                seq: t.seq,
-                vtime: t.vtime,
-            });
-        } else {
-            t.sink.record(TraceEvent::Drop {
-                step,
-                party,
-                from,
-                session: session.clone(),
-                seq: t.seq,
-                reason: DropReason::Shunned,
-            });
-        }
-        let misses = miss_total(&metrics.decode_miss) - miss_before;
-        if misses > 0 {
-            t.sink.record(TraceEvent::DecodeMiss {
-                step,
-                party,
-                session: session.clone(),
-                count: misses,
-            });
-        }
-        if new_shuns > 0 {
-            t.sink.record(TraceEvent::Shun {
-                step,
-                party,
-                session: session.clone(),
-                count: new_shuns,
-            });
-        }
-        let outputs = node.output_count() - outputs_before;
-        if outputs > 0 {
-            t.sink.record(TraceEvent::Output {
-                step,
-                party,
-                session,
-                count: outputs,
-            });
-        }
-    }
+    let to = node.id();
+    let (session_for_trace, trace) = match trace {
+        Some(t) => (Some(session.clone()), Some(t)),
+        None => (None, None),
+    };
+    let outcome = deliver_raw(node, from, session, payload, out);
+    let (sink, seq, vtime) = match trace {
+        Some(t) => (Some(t.sink), t.seq, t.vtime),
+        None => (None, 0, None),
+    };
+    account_delivery(
+        DeliverCtx {
+            to,
+            from,
+            session: session_for_trace,
+            seq,
+            vtime,
+        },
+        &outcome,
+        metrics,
+        sink,
+    );
 }
 
 /// Virtual ticks between a recovery's state revival (phase 1: the party
@@ -665,6 +768,18 @@ impl<R: Runtime + ?Sized> RuntimeExt for R {}
 ///   [`CodecRegistry`](crate::wire::CodecRegistry) snapshot;
 /// * `"wire:<scheduler>"` — the wire runtime with any
 ///   [`scheduler_by_name`](crate::scheduler_by_name) scheduler;
+/// * `"async"` — the event-loop runtime
+///   ([`AsyncRuntime`](crate::AsyncRuntime)): every party runs as a task
+///   on a single-threaded executor and deliveries round-trip through
+///   per-party channels, with the random scheduler picking the order;
+/// * `"async:<scheduler>"` — the event-loop runtime with any
+///   [`scheduler_by_name`](crate::scheduler_by_name) scheduler;
+/// * `"proc"` / `"proc:<n>"` — the in-process stand-in for the
+///   process-per-party deployment ([`ProcRuntime`](crate::ProcRuntime)):
+///   one OS thread per party, OS scheduling, `<n>` (when given) must
+///   equal the configured party count. The *real* multi-process
+///   deployment is driven by the `aft-partyd` binary and the
+///   `exp_deployment` supervisor in `aft-bench`;
 /// * `"threaded"` — OS-thread runtime with the default poll interval;
 /// * `"threaded:<millis>"` — OS-thread runtime with an explicit idle-poll
 ///   interval in milliseconds.
@@ -678,9 +793,14 @@ impl<R: Runtime + ?Sized> RuntimeExt for R {}
 /// assert_eq!(runtime_by_name("threaded", config).unwrap().backend_name(), "threaded");
 /// assert_eq!(runtime_by_name("sharded:4", config).unwrap().backend_name(), "sharded");
 /// assert_eq!(runtime_by_name("wire", config).unwrap().backend_name(), "wire");
+/// assert_eq!(runtime_by_name("async", config).unwrap().backend_name(), "async");
+/// assert_eq!(runtime_by_name("proc", config).unwrap().backend_name(), "proc");
 /// assert!(runtime_by_name("sim:window8", config).is_some());
 /// assert!(runtime_by_name("wire:lifo", config).is_some());
+/// assert!(runtime_by_name("async:lifo", config).is_some());
 /// assert!(runtime_by_name("sharded:2:lifo", config).is_some());
+/// assert!(runtime_by_name("proc:4", config).is_some());
+/// assert!(runtime_by_name("proc:5", config).is_none(), "party-count mismatch");
 /// assert!(runtime_by_name("sharded:0", config).is_none());
 /// assert!(runtime_by_name("hovercraft", config).is_none());
 /// ```
@@ -733,6 +853,28 @@ pub fn runtime_by_name(name: &str, config: NetConfig) -> Option<Box<dyn Runtime>
                 }))
             }
         });
+    }
+    if name == "async" {
+        return Some(Box::new(crate::async_rt::AsyncRuntime::new(
+            config,
+            Box::new(crate::scheduler::RandomScheduler),
+        )));
+    }
+    if let Some(sched) = name.strip_prefix("async:") {
+        return Some(Box::new(crate::async_rt::AsyncRuntime::new(
+            config,
+            crate::scheduler_by_name(sched)?,
+        )));
+    }
+    if name == "proc" {
+        return Some(Box::new(crate::deploy::ProcRuntime::new(config)));
+    }
+    if let Some(k) = name.strip_prefix("proc:") {
+        let k: usize = k.parse().ok()?;
+        if k != config.n {
+            return None;
+        }
+        return Some(Box::new(crate::deploy::ProcRuntime::new(config)));
     }
     if name == "threaded" {
         return Some(Box::new(ThreadedRuntime::new(config)));

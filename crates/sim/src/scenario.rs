@@ -31,7 +31,7 @@
 //! observation hook and decides who to corrupt mid-run, capped at `t`
 //! distinct victims (statically corrupted parties count against the cap).
 //! At most one adaptive entry per scenario; adaptive plans require a
-//! deterministic backend (`rt=threaded` is rejected).
+//! deterministic backend (`rt=threaded` and `rt=proc` are rejected).
 //!
 //! `t` defaults to `⌊(n−1)/3⌋`, `sched` to `random`, `rt` to `sim`. Only
 //! the five field keys above start a new field: any other comma-separated
@@ -356,12 +356,16 @@ impl Scenario {
             if !valid_attack_name(&spec.name) {
                 return Err(format!("invalid adaptive attack name {:?}", spec.name));
             }
-            if self.rt == "threaded" || self.rt.starts_with("threaded:") {
+            let nondeterministic = ["threaded", "proc"]
+                .iter()
+                .any(|family| self.rt == *family || self.rt.starts_with(&format!("{family}:")));
+            if nondeterministic {
                 return Err(format!(
                     "adaptive:{}@* needs a deterministic backend to honor replay: use \
-                     rt=sim, rt=sharded:<k> or rt=wire (threaded schedules are \
+                     rt=sim, rt=async, rt=sharded:<k> or rt=wire ({} schedules are \
                      OS-timing dependent)",
-                    spec.name
+                    spec.name,
+                    self.rt.split(':').next().unwrap_or(&self.rt)
                 ));
             }
         }
@@ -417,8 +421,22 @@ impl Scenario {
                 c.party.0
             ));
         }
+        if self.rt == "proc" || self.rt.starts_with("proc:") {
+            if let Some(c) = self
+                .corruptions
+                .iter()
+                .find(|c| matches!(c.fault, FaultSpec::Recover(_)))
+            {
+                return Err(format!(
+                    "recover:<vt>@{} on rt=proc is supervisor-driven: run the scenario \
+                     through exp_deployment (which maps it onto SIGKILL + respawn) — \
+                     the in-process proc stand-in has no virtual clock",
+                    c.party.0
+                ));
+            }
+        }
         let rt_ok = match self.rt.as_str() {
-            "sim" | "threaded" | "wire" => true,
+            "sim" | "threaded" | "wire" | "async" | "proc" => true,
             other => {
                 if other.starts_with("wire:") || other == "wire:" {
                     // The most likely authoring mistake on wire cells:
@@ -430,7 +448,26 @@ impl Scenario {
                          scheduler in sched= (wire cells compose as wire:<sched> internally)"
                     ));
                 }
-                if let Some(k) = other.strip_prefix("sharded:") {
+                if other.starts_with("async:") || other == "async:" {
+                    return Err(format!(
+                        "runtime {other:?} takes no arguments: write rt=async and put the \
+                         scheduler in sched= (async cells compose as async:<sched> internally)"
+                    ));
+                }
+                if let Some(k) = other.strip_prefix("proc:") {
+                    match k.parse::<usize>() {
+                        Ok(k) if k == self.n => true,
+                        Ok(k) => {
+                            return Err(format!(
+                                "rt=proc:{k} disagrees with n={}: the deployment runs \
+                                 exactly one process per party — write rt=proc (or \
+                                 rt=proc:{})",
+                                self.n, self.n
+                            ));
+                        }
+                        Err(_) => false,
+                    }
+                } else if let Some(k) = other.strip_prefix("sharded:") {
                     k.parse::<usize>().is_ok_and(|k| k > 0)
                 } else if let Some(ms) = other.strip_prefix("threaded:") {
                     ms.parse::<u64>().is_ok()
@@ -441,7 +478,8 @@ impl Scenario {
         };
         if !rt_ok {
             return Err(format!(
-                "unknown runtime {:?} (expected sim, wire, sharded:<k>, or threaded[:<poll_ms>])",
+                "unknown runtime {:?} (expected sim, wire, async, sharded:<k>, \
+                 proc[:<n>], or threaded[:<poll_ms>])",
                 self.rt
             ));
         }
@@ -473,6 +511,7 @@ impl Scenario {
         match self.rt.as_str() {
             "sim" => format!("sim:{}", self.sched),
             "wire" => format!("wire:{}", self.sched),
+            "async" => format!("async:{}", self.sched),
             rt if rt.starts_with("sharded:") => format!("{rt}:{}", self.sched),
             rt => rt.to_string(),
         }
@@ -1094,35 +1133,92 @@ mod tests {
     #[test]
     fn parse_rejects_invalid() {
         for bad in [
-            "",                                                // no n
-            "t=1",                                             // no n
-            "n=4,t=2",                                         // resilience violated
-            "n=4,t=1,corrupt=silent@1;silent@2",               // two corruptions > t
-            "n=4,t=1,corrupt=silent@4",                        // party out of range
-            "n=4,t=1,corrupt=silent@1;silent@1",               // duplicate party
-            "n=4,t=1,corrupt=silent:9@1",                      // silent takes no args
-            "n=4,t=1,corrupt=mute-after@1",                    // mute-after needs a count
-            "n=4,t=1,corrupt=garbage:x@1",                     // malformed builtin args
-            "n=4,t=1,corrupt=Bad-Name@1",                      // invalid attack name
-            "n=4,t=1,corrupt=silent",                          // missing @party
-            "n=4,sched=bogus",                                 // unknown scheduler
-            "n=4,sched=net:",                                  // empty net argument list
-            "n=4,sched=net:lat=0..3",                          // zero latency bound
-            "n=4,sched=net:heal=50",                           // heal without a partition
-            "n=4,t=1,sched=net:lat=1..4,partition=0+1,heal=9", // cut > t
-            "n=4,t=1,sched=net:lat=1..4,partition=5,heal=9",   // cut id >= n
-            "n=4,t=1,corrupt=recover@1",                       // recover needs a vtime
-            "n=4,t=1,corrupt=recover:50@1",                    // recover needs sched=net:
-            "n=4,rt=hovercraft",                               // unknown runtime
-            "n=4,rt=sharded:0",                                // zero shards
-            "n=4,rt=sim:lifo",                                 // scheduler belongs in sched=
-            "n=4,rt=wire:lifo",                                // ditto for the wire backend
-            "n=4,rt=wire:",                                    // malformed wire spec
-            "n=4,zzz=1",                                       // unknown field
-            "n=four",                                          // malformed n
+            "",                                                        // no n
+            "t=1",                                                     // no n
+            "n=4,t=2",                                                 // resilience violated
+            "n=4,t=1,corrupt=silent@1;silent@2",                       // two corruptions > t
+            "n=4,t=1,corrupt=silent@4",                                // party out of range
+            "n=4,t=1,corrupt=silent@1;silent@1",                       // duplicate party
+            "n=4,t=1,corrupt=silent:9@1",                              // silent takes no args
+            "n=4,t=1,corrupt=mute-after@1",                            // mute-after needs a count
+            "n=4,t=1,corrupt=garbage:x@1",                             // malformed builtin args
+            "n=4,t=1,corrupt=Bad-Name@1",                              // invalid attack name
+            "n=4,t=1,corrupt=silent",                                  // missing @party
+            "n=4,sched=bogus",                                         // unknown scheduler
+            "n=4,sched=net:",                                          // empty net argument list
+            "n=4,sched=net:lat=0..3",                                  // zero latency bound
+            "n=4,sched=net:heal=50",                                   // heal without a partition
+            "n=4,t=1,sched=net:lat=1..4,partition=0+1,heal=9",         // cut > t
+            "n=4,t=1,sched=net:lat=1..4,partition=5,heal=9",           // cut id >= n
+            "n=4,t=1,corrupt=recover@1",                               // recover needs a vtime
+            "n=4,t=1,corrupt=recover:50@1",                            // recover needs sched=net:
+            "n=4,rt=hovercraft",                                       // unknown runtime
+            "n=4,rt=sharded:0",                                        // zero shards
+            "n=4,rt=sim:lifo",   // scheduler belongs in sched=
+            "n=4,rt=wire:lifo",  // ditto for the wire backend
+            "n=4,rt=wire:",      // malformed wire spec
+            "n=4,rt=async:lifo", // ditto for the async backend
+            "n=4,rt=async:",     // malformed async spec
+            "n=4,rt=proc:5",     // party-count mismatch
+            "n=4,rt=proc:x",     // malformed party count
+            "n=4,t=1,corrupt=recover:50@3,sched=net:lat=1..4,rt=proc", // supervisor-only
+            "n=4,zzz=1",         // unknown field
+            "n=four",            // malformed n
         ] {
             assert!(Scenario::parse(bad).is_none(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn async_and_proc_cells_parse_and_misuse_gets_a_clear_error() {
+        let s = Scenario::parse("n=4,t=1,corrupt=silent@2,sched=lifo,rt=async").unwrap();
+        assert_eq!(s.backend_name(), "async:lifo");
+        assert_eq!(
+            s.to_string(),
+            "n=4,t=1,corrupt=silent@2,sched=lifo,rt=async"
+        );
+        let s = Scenario::parse("n=4,t=1,rt=proc").unwrap();
+        assert_eq!(
+            s.backend_name(),
+            "proc",
+            "proc ignores sched= (OS schedules)"
+        );
+        let s = Scenario::parse("n=4,t=1,rt=proc:4").unwrap();
+        assert_eq!(s.backend_name(), "proc:4");
+
+        // Scheduler jammed into rt=async: the error names the fix.
+        let mut bad = Scenario::honest(4, 1);
+        bad.rt = "async:lifo".into();
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("sched="), "targeted message, got: {err}");
+        // Party-count mismatch on proc names both numbers.
+        let mut bad = Scenario::honest(4, 1);
+        bad.rt = "proc:7".into();
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("n=4"), "targeted message, got: {err}");
+        // recover: on proc points at the supervisor.
+        let mut bad = Scenario::honest(4, 1);
+        bad.rt = "proc".into();
+        bad.sched = "net:lat=1..4".into();
+        bad.corruptions = vec![Corruption {
+            party: PartyId(3),
+            fault: FaultSpec::Recover(50),
+        }];
+        let err = bad.validate().unwrap_err();
+        assert!(
+            err.contains("exp_deployment"),
+            "targeted message, got: {err}"
+        );
+        // Adaptive plans are rejected on proc like on threaded.
+        let mut bad = Scenario::honest(4, 1);
+        bad.rt = "proc".into();
+        bad.adaptive = Some(AdaptiveSpec {
+            name: "pin".into(),
+            args: "silent:3".into(),
+        });
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("deterministic"), "{err}");
+        assert!(err.contains("rt=async"), "lists the async backend: {err}");
     }
 
     #[test]
@@ -1180,7 +1276,7 @@ mod tests {
         // broadcast is retracted, the pre-recovery deliveries to it are
         // dropped-and-counted, and the respawned instance broadcasts after
         // rejoining — observable as 4 extra sends on every backend.
-        for rt_name in ["sim", "sharded:2", "wire"] {
+        for rt_name in ["sim", "sharded:2", "wire", "async"] {
             let spec = format!("n=4,t=1,corrupt=recover:50@3,sched=net:lat=1..4,rt={rt_name}");
             let s = Scenario::parse(&spec).unwrap();
             let mut rt = s.runtime(9);
@@ -1222,6 +1318,10 @@ mod tests {
         assert_eq!(s.backend_name(), "sharded:4:lifo");
         s.rt = "threaded".into();
         assert_eq!(s.backend_name(), "threaded");
+        s.rt = "async".into();
+        assert_eq!(s.backend_name(), "async:lifo");
+        s.rt = "proc".into();
+        assert_eq!(s.backend_name(), "proc");
     }
 
     #[test]
@@ -1457,7 +1557,7 @@ mod tests {
     fn deploy_adaptive_pin_mutes_target() {
         // adaptive:pin:silent:3@* behaves exactly like silent@3: party 3
         // never outputs, everyone else does.
-        for rt_name in ["sim", "sharded:2", "wire"] {
+        for rt_name in ["sim", "sharded:2", "wire", "async"] {
             let spec = format!("n=4,t=1,corrupt=adaptive:pin:silent:3@*,sched=fifo,rt={rt_name}");
             let s = Scenario::parse(&spec).unwrap();
             let reg = AttackRegistry::new();

@@ -450,6 +450,14 @@ impl Runtime for ThreadedRuntime {
         self.nodes[party.0].output(session)
     }
 
+    fn retire_session(&mut self, party: PartyId, session: &SessionId) -> bool {
+        // Between episodes the nodes live here (workers only borrow them
+        // during `run`), so the arena GC works exactly as on the
+        // simulator: the session's output, early buffer and arena slot
+        // are released and a later spawn of the same id starts fresh.
+        self.nodes[party.0].retire_session(session)
+    }
+
     fn metrics(&self) -> Metrics {
         self.metrics.clone()
     }
@@ -662,6 +670,34 @@ mod tests {
         }
         rt.run(u64::MAX);
         assert_eq!(rt.metrics().sent, sent_before, "re-spawn is a no-op");
+    }
+
+    #[test]
+    fn retire_session_frees_slot_for_respawn() {
+        // Regression: retire_session used to be the trait's no-op default
+        // on this backend, so multi-tenant drivers leaked arena slots and
+        // a post-retire respawn was silently ignored. Retiring must free
+        // the slot (returning true) and a respawn of the SAME session id
+        // must start a fresh instance that sends again.
+        let mut rt = ThreadedRuntime::new(NetConfig::new(4, 1, 8));
+        for p in 0..4 {
+            rt.spawn(PartyId(p), sid(), Box::new(Hello { heard: 0 }));
+        }
+        rt.run(u64::MAX);
+        assert_eq!(rt.metrics().sent, 16);
+        for p in 0..4 {
+            assert!(rt.retire_session(PartyId(p), &sid()), "party {p}");
+            assert!(rt.output(PartyId(p), &sid()).is_none(), "output released");
+        }
+        for p in 0..4 {
+            rt.spawn(PartyId(p), sid(), Box::new(Hello { heard: 0 }));
+        }
+        let report = rt.run(u64::MAX);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        assert_eq!(rt.metrics().sent, 32, "respawn after retire sends again");
+        for p in 0..4 {
+            assert_eq!(rt.output_as::<usize>(PartyId(p), &sid()), Some(&4));
+        }
     }
 
     #[test]

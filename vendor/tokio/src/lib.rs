@@ -1,0 +1,555 @@
+//! Offline stand-in for `tokio`: the single-threaded subset the async
+//! backend uses — a current-thread [`runtime::Runtime`], a
+//! [`task::LocalSet`] for non-`Send` tasks, and unbounded
+//! [`sync::mpsc`] channels.
+//!
+//! Scheduling is strictly deterministic: ready tasks are polled in FIFO
+//! wake order, `spawn_local` marks the new task ready immediately, and a
+//! `block_on` whose future goes to sleep with no runnable task and no
+//! external wake source panics (a genuine deadlock — there is no I/O
+//! driver to wake anything later).
+
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Sentinel task id the main (`block_on`) future wakes with.
+const MAIN_TASK: usize = usize::MAX;
+
+/// Wake-queue shared between wakers (which must be `Send + Sync`) and
+/// the single-threaded executor that drains it.
+#[derive(Default)]
+struct ReadyQueue {
+    ids: Mutex<VecDeque<usize>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: usize) {
+        let mut ids = self.ids.lock().expect("ready queue poisoned");
+        if !ids.contains(&id) {
+            ids.push_back(id);
+        }
+    }
+
+    fn pop(&self) -> Option<usize> {
+        self.ids.lock().expect("ready queue poisoned").pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: usize,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+fn waker_for(id: usize, ready: &Arc<ReadyQueue>) -> Waker {
+    Waker::from(Arc::new(TaskWaker {
+        id,
+        ready: Arc::clone(ready),
+    }))
+}
+
+pub mod runtime {
+    //! The current-thread runtime subset: `Builder::new_current_thread()
+    //! .enable_all().build()` and [`Runtime::block_on`].
+
+    use super::task::LocalSet;
+
+    /// Builds a [`Runtime`]. Only the current-thread flavor exists in
+    /// the stand-in.
+    #[derive(Debug, Default)]
+    pub struct Builder {
+        _private: (),
+    }
+
+    impl Builder {
+        /// Starts configuring a current-thread runtime.
+        pub fn new_current_thread() -> Self {
+            Builder { _private: () }
+        }
+
+        /// No-op: the stand-in has no I/O or time driver to enable.
+        pub fn enable_all(&mut self) -> &mut Self {
+            self
+        }
+
+        /// Builds the runtime (infallible here; the signature mirrors
+        /// tokio's).
+        pub fn build(&mut self) -> std::io::Result<Runtime> {
+            Ok(Runtime { _private: () })
+        }
+    }
+
+    /// A current-thread executor handle. All task state lives in the
+    /// [`LocalSet`] driven on it, so the handle itself is inert.
+    #[derive(Debug)]
+    pub struct Runtime {
+        _private: (),
+    }
+
+    impl Runtime {
+        /// Runs `future` to completion on a throwaway local set.
+        pub fn block_on<F: std::future::Future>(&self, future: F) -> F::Output {
+            LocalSet::new().block_on(self, future)
+        }
+    }
+}
+
+pub mod task {
+    //! Local (non-`Send`) task support: [`LocalSet`], `spawn_local`,
+    //! [`yield_now`].
+
+    use super::*;
+    use crate::runtime::Runtime;
+
+    type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+    /// A set of non-`Send` tasks driven on the current thread.
+    ///
+    /// Tasks persist across [`block_on`](LocalSet::block_on) calls: a
+    /// task that parks (e.g. on an empty channel) resumes the next time
+    /// a `block_on` drains the ready queue after something wakes it.
+    #[derive(Default)]
+    pub struct LocalSet {
+        tasks: RefCell<Vec<Option<LocalFuture>>>,
+        ready: Arc<ReadyQueue>,
+    }
+
+    impl LocalSet {
+        /// Creates an empty task set.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Spawns `future` onto the set. The task is marked ready
+        /// immediately and first polled by the next `block_on`.
+        pub fn spawn_local<F>(&self, future: F) -> JoinHandle<F::Output>
+        where
+            F: Future + 'static,
+        {
+            let result = Rc::new(RefCell::new(JoinState::<F::Output>::default()));
+            let slot = Rc::clone(&result);
+            let wrapped: LocalFuture = Box::pin(async move {
+                let out = future.await;
+                let mut state = slot.borrow_mut();
+                state.value = Some(out);
+                if let Some(waiter) = state.waiter.take() {
+                    waiter.wake();
+                }
+            });
+            let mut tasks = self.tasks.borrow_mut();
+            let id = tasks.len();
+            tasks.push(Some(wrapped));
+            self.ready.push(id);
+            JoinHandle { result }
+        }
+
+        /// Runs `future` to completion, interleaving it with the set's
+        /// ready tasks in deterministic FIFO wake order.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `future` is pending while no task is runnable:
+        /// with no I/O driver nothing external can wake the set, so
+        /// that state is a deadlock, not a wait.
+        pub fn block_on<F: Future>(&self, _rt: &Runtime, future: F) -> F::Output {
+            let mut future = std::pin::pin!(future);
+            let main_waker = waker_for(MAIN_TASK, &self.ready);
+            let mut main_cx = Context::from_waker(&main_waker);
+            loop {
+                if let Poll::Ready(out) = future.as_mut().poll(&mut main_cx) {
+                    return out;
+                }
+                let mut progressed = false;
+                while let Some(id) = self.ready.pop() {
+                    if id == MAIN_TASK {
+                        progressed = true;
+                        break;
+                    }
+                    self.poll_task(id);
+                    progressed = true;
+                }
+                if !progressed {
+                    panic!(
+                        "tokio stand-in: block_on future is pending with no \
+                         runnable task (deadlock)"
+                    );
+                }
+            }
+        }
+
+        fn poll_task(&self, id: usize) {
+            // Take the task out so it can spawn siblings while polled.
+            let Some(mut task) = self.tasks.borrow_mut()[id].take() else {
+                return; // already finished
+            };
+            let waker = waker_for(id, &self.ready);
+            let mut cx = Context::from_waker(&waker);
+            match task.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {} // drop the finished task
+                Poll::Pending => self.tasks.borrow_mut()[id] = Some(task),
+            }
+        }
+    }
+
+    /// State a [`JoinHandle`] waits on.
+    struct JoinState<T> {
+        value: Option<T>,
+        waiter: Option<Waker>,
+    }
+
+    impl<T> Default for JoinState<T> {
+        fn default() -> Self {
+            JoinState {
+                value: None,
+                waiter: None,
+            }
+        }
+    }
+
+    /// Handle to a spawned task's result.
+    pub struct JoinHandle<T> {
+        result: Rc<RefCell<JoinState<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Whether the task has completed.
+        pub fn is_finished(&self) -> bool {
+            self.result.borrow().value.is_some()
+        }
+    }
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = Result<T, JoinError>;
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut state = self.result.borrow_mut();
+            match state.value.take() {
+                Some(v) => Poll::Ready(Ok(v)),
+                None => {
+                    state.waiter = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+    }
+
+    /// Error from awaiting a [`JoinHandle`] (never produced by the
+    /// stand-in — tasks are not cancellable — but part of the API).
+    #[derive(Debug)]
+    pub struct JoinError {
+        _private: (),
+    }
+
+    impl std::fmt::Display for JoinError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "task failed")
+        }
+    }
+
+    /// Yields once: wakes the current task and returns `Pending` so the
+    /// executor moves to the next ready task.
+    pub async fn yield_now() {
+        struct YieldNow {
+            yielded: bool,
+        }
+        impl Future for YieldNow {
+            type Output = ();
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.yielded {
+                    Poll::Ready(())
+                } else {
+                    self.yielded = true;
+                    cx.waker().wake_by_ref();
+                    Poll::Pending
+                }
+            }
+        }
+        YieldNow { yielded: false }.await
+    }
+}
+
+pub mod sync {
+    //! The unbounded mpsc channel subset.
+
+    pub mod mpsc {
+        //! Unbounded multi-producer single-consumer channels whose
+        //! `recv` integrates with the stand-in executor's wakers.
+
+        use std::collections::VecDeque;
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::sync::{Arc, Mutex};
+        use std::task::{Context, Poll, Waker};
+
+        struct Inner<T> {
+            queue: VecDeque<T>,
+            recv_waker: Option<Waker>,
+            senders: usize,
+            receiver_alive: bool,
+        }
+
+        struct Shared<T> {
+            inner: Mutex<Inner<T>>,
+        }
+
+        /// The sending half of an unbounded channel.
+        pub struct UnboundedSender<T> {
+            shared: Arc<Shared<T>>,
+        }
+
+        /// The receiving half of an unbounded channel.
+        pub struct UnboundedReceiver<T> {
+            shared: Arc<Shared<T>>,
+        }
+
+        /// Creates an unbounded mpsc channel.
+        pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+            let shared = Arc::new(Shared {
+                inner: Mutex::new(Inner {
+                    queue: VecDeque::new(),
+                    recv_waker: None,
+                    senders: 1,
+                    receiver_alive: true,
+                }),
+            });
+            (
+                UnboundedSender {
+                    shared: Arc::clone(&shared),
+                },
+                UnboundedReceiver { shared },
+            )
+        }
+
+        impl<T> Clone for UnboundedSender<T> {
+            fn clone(&self) -> Self {
+                self.shared.inner.lock().expect("channel poisoned").senders += 1;
+                UnboundedSender {
+                    shared: Arc::clone(&self.shared),
+                }
+            }
+        }
+
+        impl<T> Drop for UnboundedSender<T> {
+            fn drop(&mut self) {
+                let mut inner = self.shared.inner.lock().expect("channel poisoned");
+                inner.senders -= 1;
+                if inner.senders == 0 {
+                    // Wake the receiver so it observes disconnection.
+                    if let Some(w) = inner.recv_waker.take() {
+                        drop(inner);
+                        w.wake();
+                    }
+                }
+            }
+        }
+
+        impl<T> UnboundedSender<T> {
+            /// Enqueues `value`, waking the receiver if it is parked.
+            pub fn send(&self, value: T) -> Result<(), error::SendError<T>> {
+                let mut inner = self.shared.inner.lock().expect("channel poisoned");
+                if !inner.receiver_alive {
+                    return Err(error::SendError(value));
+                }
+                inner.queue.push_back(value);
+                let waker = inner.recv_waker.take();
+                drop(inner);
+                if let Some(w) = waker {
+                    w.wake();
+                }
+                Ok(())
+            }
+        }
+
+        impl<T> Drop for UnboundedReceiver<T> {
+            fn drop(&mut self) {
+                self.shared
+                    .inner
+                    .lock()
+                    .expect("channel poisoned")
+                    .receiver_alive = false;
+            }
+        }
+
+        impl<T> UnboundedReceiver<T> {
+            /// Receives the next value, waiting until one is sent.
+            /// Returns `None` once every sender is dropped and the
+            /// queue is drained.
+            pub fn recv(&mut self) -> impl Future<Output = Option<T>> + '_ {
+                Recv { rx: self }
+            }
+
+            /// Dequeues a value if one is immediately available.
+            pub fn try_recv(&mut self) -> Result<T, error::TryRecvError> {
+                let mut inner = self.shared.inner.lock().expect("channel poisoned");
+                match inner.queue.pop_front() {
+                    Some(v) => Ok(v),
+                    None if inner.senders == 0 => Err(error::TryRecvError::Disconnected),
+                    None => Err(error::TryRecvError::Empty),
+                }
+            }
+        }
+
+        struct Recv<'a, T> {
+            rx: &'a mut UnboundedReceiver<T>,
+        }
+
+        impl<T> Future for Recv<'_, T> {
+            type Output = Option<T>;
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+                let this = self.get_mut();
+                let mut inner = this.rx.shared.inner.lock().expect("channel poisoned");
+                if let Some(v) = inner.queue.pop_front() {
+                    return Poll::Ready(Some(v));
+                }
+                if inner.senders == 0 {
+                    return Poll::Ready(None);
+                }
+                inner.recv_waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+
+        pub mod error {
+            //! Channel error types.
+
+            /// The receiver was dropped before the send.
+            #[derive(Debug, PartialEq, Eq)]
+            pub struct SendError<T>(pub T);
+
+            impl<T> std::fmt::Display for SendError<T> {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    write!(f, "channel closed")
+                }
+            }
+
+            /// Why a `try_recv` returned no value.
+            #[derive(Debug, PartialEq, Eq)]
+            pub enum TryRecvError {
+                /// The channel is open but empty.
+                Empty,
+                /// Every sender is gone and the queue is drained.
+                Disconnected,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::Builder;
+    use crate::sync::mpsc;
+    use crate::task::LocalSet;
+
+    #[test]
+    fn block_on_plain_future() {
+        let rt = Builder::new_current_thread().enable_all().build().unwrap();
+        assert_eq!(rt.block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn spawn_local_runs_and_join_handle_resolves() {
+        let rt = Builder::new_current_thread().build().unwrap();
+        let local = LocalSet::new();
+        let handle = local.spawn_local(async { 7u32 });
+        let got = local.block_on(&rt, async { handle.await.unwrap() });
+        assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn channel_roundtrip_between_tasks() {
+        let rt = Builder::new_current_thread().build().unwrap();
+        let local = LocalSet::new();
+        let (cmd_tx, mut cmd_rx) = mpsc::unbounded_channel::<u32>();
+        let (rsp_tx, mut rsp_rx) = mpsc::unbounded_channel::<u32>();
+        local.spawn_local(async move {
+            while let Some(v) = cmd_rx.recv().await {
+                rsp_tx.send(v * 2).unwrap();
+            }
+        });
+        for i in 0..5u32 {
+            cmd_tx.send(i).unwrap();
+            let got = local.block_on(&rt, rsp_rx.recv()).unwrap();
+            assert_eq!(got, i * 2);
+        }
+    }
+
+    #[test]
+    fn tasks_persist_across_block_on_calls() {
+        let rt = Builder::new_current_thread().build().unwrap();
+        let local = LocalSet::new();
+        let (tx, mut rx) = mpsc::unbounded_channel::<u8>();
+        let (out_tx, mut out_rx) = mpsc::unbounded_channel::<u8>();
+        local.spawn_local(async move {
+            let mut sum = 0u8;
+            while let Some(v) = rx.recv().await {
+                sum += v;
+                out_tx.send(sum).unwrap();
+            }
+        });
+        tx.send(1).unwrap();
+        assert_eq!(local.block_on(&rt, out_rx.recv()), Some(1));
+        tx.send(2).unwrap();
+        assert_eq!(local.block_on(&rt, out_rx.recv()), Some(3));
+    }
+
+    #[test]
+    fn recv_sees_disconnect() {
+        let rt = Builder::new_current_thread().build().unwrap();
+        let local = LocalSet::new();
+        let (tx, mut rx) = mpsc::unbounded_channel::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(local.block_on(&rt, rx.recv()), Some(9));
+        assert_eq!(local.block_on(&rt, rx.recv()), None);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = mpsc::unbounded_channel::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_panics_instead_of_hanging() {
+        let rt = Builder::new_current_thread().build().unwrap();
+        let local = LocalSet::new();
+        let (_tx, mut rx) = mpsc::unbounded_channel::<u8>();
+        let _ = local.block_on(&rt, rx.recv());
+    }
+
+    #[test]
+    fn yield_now_interleaves_fifo() {
+        let rt = Builder::new_current_thread().build().unwrap();
+        let local = LocalSet::new();
+        let (tx, mut rx) = mpsc::unbounded_channel::<u32>();
+        for id in 0..3u32 {
+            let tx = tx.clone();
+            local.spawn_local(async move {
+                for round in 0..2u32 {
+                    tx.send(id * 10 + round).unwrap();
+                    crate::task::yield_now().await;
+                }
+            });
+        }
+        drop(tx);
+        let mut seen = Vec::new();
+        while let Some(v) = local.block_on(&rt, rx.recv()) {
+            seen.push(v);
+        }
+        // FIFO wake order: round 0 of each task, then round 1.
+        assert_eq!(seen, vec![0, 10, 20, 1, 11, 21]);
+    }
+}
